@@ -1,0 +1,43 @@
+//! Figure 8a micro-bench: customer dedup per system under Zipf duplicates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_bench::experiments::SEED;
+use cleanm_bench::harness::{all_profiles, session};
+use cleanm_core::ops::Dedup;
+use cleanm_datagen::customer::CustomerGen;
+use cleanm_text::Metric;
+
+fn bench_dedup(c: &mut Criterion) {
+    let data = CustomerGen::new(SEED)
+        .rows(4_000)
+        .duplicate_fraction(0.10)
+        .max_duplicates(50)
+        .fd_noise_fraction(0.0)
+        .generate();
+    let mut group = c.benchmark_group("dedup_customer");
+    group.sample_size(10);
+    for profile in all_profiles() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(profile.name.clone()),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    let mut db = session(p.clone());
+                    db.register("customer", data.table.clone());
+                    Dedup::new("customer", "exact", "t.address")
+                        .metric(Metric::Levenshtein, 0.7)
+                        .similarity_on(&["t.name"])
+                        .run(&mut db)
+                        .unwrap()
+                        .1
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 6 micro-bench: FD φ checking per system as scale grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_bench::experiments::SEED;
+use cleanm_bench::harness::{all_profiles, session};
+use cleanm_core::ops::FdCheck;
+use cleanm_datagen::tpch::{LineitemGen, NoiseColumn};
+
+fn bench_fd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_scale");
+    group.sample_size(10);
+    for rows in [6_000usize, 12_000] {
+        let data = LineitemGen::new(SEED)
+            .rows(rows)
+            .base_rows(6_000)
+            .noise_column(NoiseColumn::OrderKey)
+            .generate();
+        for profile in all_profiles() {
+            group.bench_with_input(
+                BenchmarkId::new(profile.name.clone(), rows),
+                &profile,
+                |b, p| {
+                    b.iter(|| {
+                        let mut db = session(p.clone());
+                        db.register("lineitem", data.table.clone());
+                        FdCheck::columns("lineitem", &["orderkey", "linenumber"], &["suppkey"])
+                            .run(&mut db)
+                            .unwrap()
+                            .violations()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fd);
+criterion_main!(benches);

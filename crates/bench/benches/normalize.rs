@@ -1,0 +1,67 @@
+//! §4.2 optimizer micro-bench: comprehension normalization throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cleanm_core::calculus::{normalize, BinOp, CalcExpr, MonoidKind, Qual};
+use cleanm_core::calculus::desugar_query;
+use cleanm_core::lang::parse_query;
+
+/// A deliberately messy comprehension: nested generators, binds, an if head
+/// and misplaced filters — everything the normalizer must clean up.
+fn messy_comprehension(depth: usize) -> CalcExpr {
+    let mut inner = CalcExpr::comp(
+        MonoidKind::Bag,
+        CalcExpr::bin(BinOp::Mul, CalcExpr::var("x0"), CalcExpr::int(2)),
+        vec![Qual::Gen("x0".into(), CalcExpr::TableRef("t".into()))],
+    );
+    for level in 1..depth {
+        let v = format!("x{level}");
+        inner = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::bin(BinOp::Add, CalcExpr::var(&v), CalcExpr::int(1)),
+            vec![Qual::Gen(v.clone(), inner)],
+        );
+    }
+    CalcExpr::comp(
+        MonoidKind::Sum,
+        CalcExpr::If(
+            Box::new(CalcExpr::bin(BinOp::Lt, CalcExpr::var("y"), CalcExpr::int(50))),
+            Box::new(CalcExpr::var("y")),
+            Box::new(CalcExpr::int(0)),
+        ),
+        vec![
+            Qual::Gen("y".into(), inner),
+            Qual::Gen("z".into(), CalcExpr::TableRef("u".into())),
+            Qual::Pred(CalcExpr::bin(BinOp::Gt, CalcExpr::var("y"), CalcExpr::int(1))),
+        ],
+    )
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize");
+    for depth in [2usize, 4, 8] {
+        let expr = messy_comprehension(depth);
+        group.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| normalize(&expr).1.total())
+        });
+    }
+    // Full front-end: parse + desugar + normalize the running example.
+    let sql = "SELECT c.name, c.address, * FROM customer c, dictionary d \
+               FD(c.address, prefix(c.phone)) \
+               DEDUP(token_filtering, LD, 0.8, c.address) \
+               CLUSTER BY(token_filtering, LD, 0.8, c.name)";
+    group.bench_function("parse_desugar_normalize_running_example", |b| {
+        b.iter(|| {
+            let q = parse_query(sql).unwrap();
+            let dq = desugar_query(&q, 1).unwrap();
+            dq.ops
+                .iter()
+                .map(|op| normalize(&op.comp).1.total())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalize);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 3 micro-bench: term validation under each blocking configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_bench::experiments::{run_termval, TermvalConfig, SEED};
+use cleanm_datagen::dblp::DblpGen;
+
+fn bench_termval(c: &mut Criterion) {
+    // Micro-bench sizing: the full-size runs live in `repro table3`.
+    let data = DblpGen::new(SEED)
+        .publications(300)
+        .dictionary_size(300)
+        .author_noise_fraction(0.10)
+        .edit_rate(0.20)
+        .generate();
+    let mut group = c.benchmark_group("termval");
+    group.sample_size(10);
+    for config in TermvalConfig::paper_set() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&config.label),
+            &config,
+            |b, cfg| b.iter(|| run_termval(&data, cfg, 0.70)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_termval);
+criterion_main!(benches);

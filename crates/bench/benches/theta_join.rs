@@ -1,0 +1,74 @@
+//! §6 ablation: the three theta-join algorithms on the same inequality
+//! join, uniform vs skewed inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_exec::{theta, Dataset, ExecContext};
+
+fn inputs(n: i64, skewed: bool) -> Vec<i64> {
+    if skewed {
+        // 80% of values in the bottom 5% of the domain.
+        (0..n)
+            .map(|i| if i % 5 != 0 { i % (n / 20).max(1) } else { i })
+            .collect()
+    } else {
+        (0..n).map(|i| (i * 131) % n).collect()
+    }
+}
+
+fn bench_theta(c: &mut Criterion) {
+    let n = 1_500i64;
+    let mut group = c.benchmark_group("theta_join");
+    group.sample_size(10);
+    for skewed in [false, true] {
+        let label = if skewed { "skewed" } else { "uniform" };
+        let data = inputs(n, skewed);
+        group.bench_with_input(BenchmarkId::new("cartesian", label), &data, |b, d| {
+            b.iter(|| {
+                let ctx = ExecContext::local();
+                theta::cartesian_filter(
+                    Dataset::from_vec(&ctx, d.clone()),
+                    Dataset::from_vec(&ctx, d.clone()),
+                    |a, b| a < b,
+                )
+                .unwrap()
+                .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("minmax", label), &data, |b, d| {
+            b.iter(|| {
+                let ctx = ExecContext::local();
+                theta::minmax_block_join(
+                    Dataset::from_vec(&ctx, d.clone()),
+                    Dataset::from_vec(&ctx, d.clone()),
+                    |&a| a as f64,
+                    |&b| b as f64,
+                    |(lmin, _), (_, rmax)| lmin < rmax,
+                    |a, b| a < b,
+                )
+                .unwrap()
+                .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mbucket", label), &data, |b, d| {
+            b.iter(|| {
+                let ctx = ExecContext::local();
+                theta::mbucket_join(
+                    Dataset::from_vec(&ctx, d.clone()),
+                    Dataset::from_vec(&ctx, d.clone()),
+                    |&a| a as f64,
+                    |&b| b as f64,
+                    |(lmin, _), (_, rmax)| lmin < rmax,
+                    |a, b| a < b,
+                    None,
+                )
+                .unwrap()
+                .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_theta);
+criterion_main!(benches);

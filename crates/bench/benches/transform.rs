@@ -1,0 +1,49 @@
+//! Table 4 micro-bench: transformation passes, separate vs fused.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cleanm_bench::experiments::SEED;
+use cleanm_bench::harness::local_context;
+use cleanm_core::ops::transform::baseline_scan;
+use cleanm_core::ops::{apply_transforms, Transform, TransformMode};
+use cleanm_datagen::tpch::{LineitemGen, NoiseColumn};
+
+fn bench_transform(c: &mut Criterion) {
+    let data = LineitemGen::new(SEED)
+        .rows(20_000)
+        .noise_column(NoiseColumn::None)
+        .missing_quantity_fraction(0.05)
+        .generate();
+    let ctx = local_context();
+    let both = [
+        Transform::SplitDate {
+            column: "receiptdate".into(),
+        },
+        Transform::FillMissing {
+            column: "quantity".into(),
+        },
+    ];
+    let mut group = c.benchmark_group("transform");
+    group.sample_size(10);
+    group.bench_function("baseline_scan", |b| {
+        b.iter(|| baseline_scan(&ctx, &data.table))
+    });
+    group.bench_function("both_two_steps", |b| {
+        b.iter(|| {
+            apply_transforms(&ctx, &data.table, &both, TransformMode::Separate)
+                .unwrap()
+                .passes
+        })
+    });
+    group.bench_function("both_one_step", |b| {
+        b.iter(|| {
+            apply_transforms(&ctx, &data.table, &both, TransformMode::Fused)
+                .unwrap()
+                .passes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure 5 micro-bench: separate vs combined cleaning per system.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_bench::experiments::SEED;
+use cleanm_bench::harness::session;
+use cleanm_core::physical::EngineProfile;
+use cleanm_datagen::customer::CustomerGen;
+
+fn bench_unified(c: &mut Criterion) {
+    let data = CustomerGen::new(SEED)
+        .rows(3_000)
+        .duplicate_fraction(0.10)
+        .max_duplicates(10)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let combined = "SELECT * FROM customer c \
+                    FD(c.address | prefix(c.phone)) \
+                    FD(c.address | c.nationkey) \
+                    DEDUP(exact, LD, 0.8, c.address, c.name)";
+    let mut group = c.benchmark_group("unified");
+    group.sample_size(10);
+    for profile in [EngineProfile::clean_db(), EngineProfile::spark_sql_like()] {
+        group.bench_with_input(
+            BenchmarkId::new("combined", profile.name.clone()),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    let mut db = session(p.clone());
+                    db.register("customer", data.table.clone());
+                    db.run(combined).unwrap().violations()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("separate", profile.name.clone()),
+            &profile,
+            |b, p| {
+                b.iter(|| {
+                    let mut db = session(p.clone());
+                    db.register("customer", data.table.clone());
+                    let a = db
+                        .run("SELECT * FROM customer c FD(c.address | prefix(c.phone))")
+                        .unwrap()
+                        .violations();
+                    let b2 = db
+                        .run("SELECT * FROM customer c FD(c.address | c.nationkey)")
+                        .unwrap()
+                        .violations();
+                    let c2 = db
+                        .run("SELECT * FROM customer c DEDUP(exact, LD, 0.8, c.address, c.name)")
+                        .unwrap()
+                        .violations();
+                    a + b2 + c2
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unified);
+criterion_main!(benches);

@@ -1,0 +1,271 @@
+//! `repro` — regenerate every table and figure of the CleanM paper.
+//!
+//! ```text
+//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|all]
+//! ```
+//!
+//! Set `CLEANM_SCALE=full` for the larger workloads (default: quick).
+
+use cleanm_bench::experiments as exp;
+use cleanm_bench::{fmt_duration, Scale};
+use cleanm_core::ops::DcOutcome;
+
+fn main() {
+    let scale = Scale::from_env();
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let known = [
+        "table3", "fig3", "fig4", "fig5", "table4", "fig6", "table5", "fig7", "fig8a",
+        "fig8b", "ablation", "all",
+    ];
+    if !known.contains(&arg.as_str()) {
+        eprintln!("unknown experiment `{arg}`; one of {known:?}");
+        std::process::exit(2);
+    }
+    println!("# CleanM reproduction — scale {scale:?} (CLEANM_SCALE=full for larger runs)\n");
+    let want = |name: &str| arg == name || arg == "all";
+
+    if want("table3") || want("fig3") {
+        table3_fig3(scale);
+    }
+    if want("fig4") {
+        fig4(scale);
+    }
+    if want("fig5") {
+        fig5(scale);
+    }
+    if want("table4") {
+        table4(scale);
+    }
+    if want("fig6") {
+        fig6(scale);
+    }
+    if want("table5") {
+        table5(scale);
+    }
+    if want("fig7") {
+        fig7(scale);
+    }
+    if want("fig8a") {
+        fig8a(scale);
+    }
+    if want("fig8b") {
+        fig8b(scale);
+    }
+    if want("ablation") {
+        ablation(scale);
+    }
+}
+
+fn ablation(scale: Scale) {
+    println!("## Ablation — blocking strategies (comparisons vs recall)");
+    println!(
+        "{:<40} {:>14} {:>10} {:>10}",
+        "strategy", "comparisons", "recall", "time"
+    );
+    for row in exp::ablation_blocking(scale) {
+        println!(
+            "{:<40} {:>14} {:>9.1}% {:>10}",
+            row.strategy,
+            row.comparisons,
+            row.recall * 100.0,
+            if row.total.is_zero() { "-".to_string() } else { fmt_duration(row.total) },
+        );
+    }
+    println!();
+}
+
+fn table3_fig3(scale: Scale) {
+    println!("## Table 3 — term validation accuracy (DBLP) + Figure 3 — runtime split");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>12}",
+        "config", "grouping", "similarity", "total", "precision", "recall", "F-score", "comparisons"
+    );
+    for row in exp::table3_fig3(scale) {
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} | {:>9.1}% {:>9.1}% {:>9.1}% | {:>12}",
+            row.config,
+            fmt_duration(row.grouping),
+            fmt_duration(row.similarity),
+            fmt_duration(row.total),
+            row.accuracy.precision * 100.0,
+            row.accuracy.recall * 100.0,
+            row.accuracy.f_score * 100.0,
+            row.comparisons,
+        );
+    }
+    println!();
+}
+
+fn fig4(scale: Scale) {
+    println!("## Figure 4 — term validation accuracy vs noise");
+    println!(
+        "{:<8} {:<12} {:>10} {:>10} {:>10}",
+        "noise", "config", "precision", "recall", "F-score"
+    );
+    for (noise, rows) in exp::fig4(scale) {
+        for row in rows {
+            println!(
+                "{:<8} {:<12} {:>9.1}% {:>9.1}% {:>9.1}%",
+                format!("{:.0}%", noise * 100.0),
+                row.config,
+                row.accuracy.precision * 100.0,
+                row.accuracy.recall * 100.0,
+                row.accuracy.f_score * 100.0,
+            );
+        }
+    }
+    println!();
+}
+
+fn fig5(scale: Scale) {
+    println!("## Figure 5 — unified cleaning on customer (FD1, FD2, DEDUP)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "system", "FD1", "FD2", "DEDUP", "sep.total", "combined", "shared"
+    );
+    for row in exp::fig5(scale) {
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8}",
+            row.system,
+            row.fd1.map(fmt_duration).unwrap_or_else(|| "unsupported".into()),
+            fmt_duration(row.fd2),
+            fmt_duration(row.dedup),
+            fmt_duration(row.separate_total),
+            row.combined
+                .map(fmt_duration)
+                .unwrap_or_else(|| "one-op-only".into()),
+            row.shared_nests,
+        );
+    }
+    println!();
+}
+
+fn table4(scale: Scale) {
+    println!("## Table 4 — syntactic transformation overhead (vs plain traversal)");
+    println!("{:<42} {:>10} {:>10}", "operation", "time", "slowdown");
+    for row in exp::table4(scale) {
+        println!(
+            "{:<42} {:>10} {:>9.2}x",
+            row.operation,
+            fmt_duration(row.duration),
+            row.slowdown
+        );
+    }
+    println!();
+}
+
+fn fig6(scale: Scale) {
+    println!("## Figure 6 — FD φ (orderkey,linenumber → suppkey) over TPC-H");
+    println!(
+        "{:<5} {:<8} {:<12} {:>10} {:>10} {:>12} {:>12}",
+        "SF", "format", "system", "read", "clean", "violations", "shuffled"
+    );
+    for row in exp::fig6(scale) {
+        println!(
+            "{:<5} {:<8} {:<12} {:>10} {:>10} {:>12} {:>12}",
+            row.sf,
+            row.format,
+            row.system,
+            fmt_duration(row.read),
+            fmt_duration(row.clean),
+            row.violations,
+            row.records_shuffled,
+        );
+    }
+    println!();
+}
+
+fn table5(scale: Scale) {
+    println!("## Table 5 — inequality DC ψ (budgeted; `>budget` = paper's `fails to terminate`)");
+    println!(
+        "{:<5} {:<12} {:>14} {:>14} {:>14}",
+        "SF", "system", "outcome", "time", "comparisons"
+    );
+    for row in exp::table5(scale) {
+        match &row.outcome {
+            DcOutcome::Completed {
+                violations,
+                duration,
+                comparisons,
+            } => println!(
+                "{:<5} {:<12} {:>14} {:>14} {:>14}",
+                row.sf,
+                row.system,
+                format!("{violations} violations"),
+                fmt_duration(*duration),
+                comparisons,
+            ),
+            DcOutcome::BudgetExceeded { needed, .. } => println!(
+                "{:<5} {:<12} {:>14} {:>14} {:>14}",
+                row.sf,
+                row.system,
+                ">budget",
+                "-",
+                format!("needs {needed}"),
+            ),
+        }
+    }
+    println!();
+}
+
+fn fig7(scale: Scale) {
+    println!("## Figure 7 — dedup over DBLP representations (nested vs flat)");
+    println!(
+        "{:<6} {:<12} {:<12} {:>10} {:>10} {:>10} {:>8}",
+        "scale", "format", "system", "read", "clean", "rows", "pairs"
+    );
+    for row in exp::fig7(scale) {
+        println!(
+            "{:<6} {:<12} {:<12} {:>10} {:>10} {:>10} {:>8}",
+            row.scale_label,
+            row.format,
+            row.system,
+            fmt_duration(row.read),
+            fmt_duration(row.clean),
+            row.input_rows,
+            row.pairs,
+        );
+    }
+    println!();
+}
+
+fn fig8a(scale: Scale) {
+    println!("## Figure 8a — customer dedup with Zipf duplicate counts");
+    println!(
+        "{:<10} {:<12} {:>10} {:>8} {:>10} {:>10} {:>12}",
+        "interval", "system", "time", "pairs", "precision", "recall", "shuffled"
+    );
+    for row in exp::fig8a(scale) {
+        println!(
+            "{:<10} {:<12} {:>10} {:>8} {:>9.1}% {:>9.1}% {:>12}",
+            row.interval,
+            row.system,
+            fmt_duration(row.duration),
+            row.pairs,
+            row.accuracy.precision * 100.0,
+            row.accuracy.recall * 100.0,
+            row.records_shuffled,
+        );
+    }
+    println!();
+}
+
+fn fig8b(scale: Scale) {
+    println!("## Figure 8b — MAG dedup under heavy skew");
+    println!(
+        "{:<10} {:<12} {:>10} {:>8} {:>12} {:>12}",
+        "dataset", "system", "time", "pairs", "shuffled", "imbalance"
+    );
+    for row in exp::fig8b(scale) {
+        println!(
+            "{:<10} {:<12} {:>10} {:>8} {:>12} {:>11.2}x",
+            row.dataset,
+            row.system,
+            fmt_duration(row.duration),
+            row.pairs,
+            row.records_shuffled,
+            row.max_imbalance,
+        );
+    }
+    println!();
+}

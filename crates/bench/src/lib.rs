@@ -1,0 +1,11 @@
+//! Experiment library: one module per table/figure of the paper's §8.
+//!
+//! Each experiment is a plain function returning structured result rows, so
+//! the same code drives the `repro` binary (which prints paper-style tables)
+//! and the Criterion benches (which measure the hot loops). Scale factors
+//! are laptop-sized by default; everything is seeded and deterministic.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{fmt_duration, Scale};

@@ -1,0 +1,131 @@
+//! The group-map monoid.
+//!
+//! §4.3 proves token filtering is a monoid by giving its zero (the empty
+//! map), its unit (`str → {(token_i, {str}), …}`) and the associativity of
+//! merging group maps. This module is that structure, reified: it is used
+//! both by the single-node reference paths and (in merged-per-partition form)
+//! by the distributed `aggregateByKey` path, and the property tests assert
+//! the monoid laws on random inputs.
+
+use std::collections::BTreeMap;
+
+use crate::blocking::Blocker;
+
+/// A partial grouping: block key → members. `BTreeMap` keeps iteration
+/// deterministic, which the experiments rely on for reproducibility.
+pub type GroupMap = BTreeMap<String, Vec<String>>;
+
+/// Merge two partial group maps (the monoid's ⊕). Member order within a
+/// group is concatenation order; dedup happens at comparison time if needed.
+pub fn merge_groups(mut left: GroupMap, right: GroupMap) -> GroupMap {
+    for (key, mut members) in right {
+        left.entry(key).or_default().append(&mut members);
+    }
+    left
+}
+
+/// The monoid's unit function: a term's singleton group map under a blocker.
+pub fn unit(blocker: &dyn Blocker, term: &str) -> GroupMap {
+    blocker
+        .keys(term)
+        .into_iter()
+        .map(|k| (k, vec![term.to_string()]))
+        .collect()
+}
+
+/// Fold a collection of terms into a full group map (the comprehension
+/// `for (d <- data) yield filter(d.term, algo)` of §4.4).
+pub fn group_all<'a>(
+    blocker: &dyn Blocker,
+    terms: impl IntoIterator<Item = &'a str>,
+) -> GroupMap {
+    let mut acc = GroupMap::new();
+    for term in terms {
+        acc = merge_groups(acc, unit(blocker, term));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::TokenFilter;
+    use proptest::prelude::*;
+
+    fn to_multiset(g: &GroupMap) -> BTreeMap<String, BTreeMap<String, usize>> {
+        g.iter()
+            .map(|(k, members)| {
+                let mut counts = BTreeMap::new();
+                for m in members {
+                    *counts.entry(m.clone()).or_insert(0) += 1;
+                }
+                (k.clone(), counts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let b = TokenFilter::new(2);
+        let g = group_all(&b, ["anna", "bob"]);
+        assert_eq!(merge_groups(g.clone(), GroupMap::new()), g);
+        assert_eq!(merge_groups(GroupMap::new(), g.clone()), g);
+    }
+
+    #[test]
+    fn grouping_collects_shared_tokens() {
+        let b = TokenFilter::new(2);
+        let g = group_all(&b, ["anna", "hanna"]);
+        // "an" and "nn" and "na" are shared.
+        assert_eq!(g["an"], vec!["anna", "hanna"]);
+    }
+
+    proptest! {
+        /// ⊕ is associative up to member multiset (order within a group may
+        /// differ, which downstream pairwise comparison does not observe).
+        #[test]
+        fn merge_is_associative(
+            a in proptest::collection::vec("[a-d]{0,6}", 0..8),
+            b in proptest::collection::vec("[a-d]{0,6}", 0..8),
+            c in proptest::collection::vec("[a-d]{0,6}", 0..8),
+        ) {
+            let blocker = TokenFilter::new(2);
+            let ga = group_all(&blocker, a.iter().map(|s| s.as_str()));
+            let gb = group_all(&blocker, b.iter().map(|s| s.as_str()));
+            let gc = group_all(&blocker, c.iter().map(|s| s.as_str()));
+            let left = merge_groups(merge_groups(ga.clone(), gb.clone()), gc.clone());
+            let right = merge_groups(ga, merge_groups(gb, gc));
+            prop_assert_eq!(to_multiset(&left), to_multiset(&right));
+        }
+
+        /// ⊕ is commutative up to member multiset.
+        #[test]
+        fn merge_is_commutative(
+            a in proptest::collection::vec("[a-d]{0,6}", 0..8),
+            b in proptest::collection::vec("[a-d]{0,6}", 0..8),
+        ) {
+            let blocker = TokenFilter::new(2);
+            let ga = group_all(&blocker, a.iter().map(|s| s.as_str()));
+            let gb = group_all(&blocker, b.iter().map(|s| s.as_str()));
+            let ab = merge_groups(ga.clone(), gb.clone());
+            let ba = merge_groups(gb, ga);
+            prop_assert_eq!(to_multiset(&ab), to_multiset(&ba));
+        }
+
+        /// Folding the whole collection equals merging per-partition folds —
+        /// the homomorphism property `aggregateByKey` relies on.
+        #[test]
+        fn partitioned_fold_equals_global_fold(
+            terms in proptest::collection::vec("[a-e]{0,8}", 0..20),
+            split in 0usize..20,
+        ) {
+            let blocker = TokenFilter::new(2);
+            let split = split.min(terms.len());
+            let global = group_all(&blocker, terms.iter().map(|s| s.as_str()));
+            let left = group_all(&blocker, terms[..split].iter().map(|s| s.as_str()));
+            let right = group_all(&blocker, terms[split..].iter().map(|s| s.as_str()));
+            let merged = merge_groups(left, right);
+            prop_assert_eq!(to_multiset(&global), to_multiset(&merged));
+        }
+    }
+}

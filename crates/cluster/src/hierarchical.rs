@@ -1,0 +1,129 @@
+//! Agglomerative hierarchical clustering (§4.3 "hierarchical clustering").
+//!
+//! Each iteration "computes the items whose distance from each other is
+//! minimum" — a Min-monoid step — and merges them. We implement
+//! single-linkage agglomeration with a Levenshtein distance matrix and a
+//! stopping threshold, returning the dendrogram of merges plus the final
+//! clusters.
+
+use cleanm_text::{levenshtein, normalize};
+
+/// One merge step of the agglomeration: which two clusters merged and at what
+/// distance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dendrogram {
+    /// `(left cluster id, right cluster id, distance)` per merge, in order.
+    pub merges: Vec<(usize, usize, usize)>,
+    /// Final clusters as member indices into the input slice.
+    pub clusters: Vec<Vec<usize>>,
+}
+
+/// Cluster `terms` until the minimum inter-cluster distance exceeds
+/// `max_distance` (single linkage). `O(n³)` worst case — intended for the
+/// modest group sizes blocking produces, not whole datasets.
+pub fn hierarchical_cluster(terms: &[String], max_distance: usize) -> Dendrogram {
+    let normalized: Vec<String> = terms.iter().map(|t| normalize(t)).collect();
+    let n = normalized.len();
+    let mut clusters: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut merges = Vec::new();
+
+    loop {
+        // Min monoid over live cluster pairs: the closest pair.
+        let mut best: Option<(usize, usize, usize)> = None;
+        let live: Vec<usize> = clusters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|_| i))
+            .collect();
+        for (ai, &a) in live.iter().enumerate() {
+            for &b in &live[ai + 1..] {
+                let d = cluster_distance(
+                    clusters[a].as_ref().unwrap(),
+                    clusters[b].as_ref().unwrap(),
+                    &normalized,
+                );
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        match best {
+            Some((a, b, d)) if d <= max_distance => {
+                let mut bm = clusters[b].take().unwrap();
+                clusters[a].as_mut().unwrap().append(&mut bm);
+                merges.push((a, b, d));
+            }
+            _ => break,
+        }
+    }
+
+    Dendrogram {
+        merges,
+        clusters: clusters.into_iter().flatten().collect(),
+    }
+}
+
+/// Single linkage: minimum pairwise member distance.
+fn cluster_distance(a: &[usize], b: &[usize], terms: &[String]) -> usize {
+    let mut min = usize::MAX;
+    for &i in a {
+        for &j in b {
+            min = min.min(levenshtein(&terms[i], &terms[j]));
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn merges_similar_keeps_dissimilar_apart() {
+        let input = terms(&["smith", "smyth", "smithe", "zhang", "zhong"]);
+        let d = hierarchical_cluster(&input, 2);
+        // Two clusters: the smiths and the zh*ngs.
+        assert_eq!(d.clusters.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut s: Vec<usize> = d.clusters.iter().map(|c| c.len()).collect();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn zero_threshold_only_merges_identical() {
+        let input = terms(&["aa", "aa", "ab"]);
+        let d = hierarchical_cluster(&input, 0);
+        assert_eq!(d.clusters.len(), 2);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything() {
+        let input = terms(&["a", "zzzz", "qq"]);
+        let d = hierarchical_cluster(&input, 100);
+        assert_eq!(d.clusters.len(), 1);
+        assert_eq!(d.merges.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(hierarchical_cluster(&[], 3).clusters.is_empty());
+        let d = hierarchical_cluster(&terms(&["only"]), 3);
+        assert_eq!(d.clusters, vec![vec![0]]);
+        assert!(d.merges.is_empty());
+    }
+
+    #[test]
+    fn merge_distances_are_nondecreasing_under_single_linkage_threshold() {
+        let input = terms(&["aaaa", "aaab", "aabb", "abbb", "bbbb"]);
+        let d = hierarchical_cluster(&input, 4);
+        // Single linkage merge distances never exceed the threshold.
+        assert!(d.merges.iter().all(|&(_, _, dist)| dist <= 4));
+    }
+}

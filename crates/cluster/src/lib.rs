@@ -1,0 +1,33 @@
+//! Clustering and blocking algorithms expressed as monoids.
+//!
+//! §4.2–4.3 of the paper prune similarity-join comparisons by first grouping
+//! values so that only intra-group pairs are compared. Two families are
+//! mapped to the monoid calculus:
+//!
+//! * **Token filtering** ([`TokenFilter`]) — split each word into q-grams and
+//!   place it in one group per token; similar words share at least one token.
+//! * **Single-pass k-means** ([`KMeansBlocker`], [`select_centers`]) — the
+//!   ClusterJoin-inspired variation: sample k centers once, then assign every
+//!   word to its closest center (optionally all centers within `delta` of the
+//!   minimum, trading extra comparisons for recall).
+//!
+//! The common interface is [`Blocker`]: a pure function from a term to the
+//! set of group keys it belongs to. Purity is exactly what makes the
+//! grouping a monoid homomorphism — merging two partial group-maps is
+//! associative and commutative, which [`merge_groups`] implements and the
+//! property tests verify.
+//!
+//! The paper's optional variants are implemented too: [`kmeans_multipass`]
+//! (the classic iterative algorithm, §4.3 "multi-pass partitional") and
+//! [`hierarchical_cluster`] (§4.3 "hierarchical", a sequence of Min-monoid
+//! steps), plus [`LengthBand`] blocking (§4.3 "extensibility").
+
+mod blocking;
+mod groups;
+mod hierarchical;
+mod kmeans;
+
+pub use blocking::{Blocker, BlockerKind, ExactKey, LengthBand, TokenFilter};
+pub use groups::{group_all, merge_groups, unit as group_unit, GroupMap};
+pub use hierarchical::{hierarchical_cluster, Dendrogram};
+pub use kmeans::{kmeans_multipass, select_centers, CenterInit, KMeansBlocker};

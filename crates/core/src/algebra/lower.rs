@@ -1,0 +1,287 @@
+//! Lowering: monoid comprehensions → nested relational algebra.
+//!
+//! The full Fegaras–Maier translation handles arbitrary comprehensions; this
+//! implementation covers the (normalized) comprehension family that CleanM's
+//! Monoid Rewriter emits — which is the family §4.4 defines for the cleaning
+//! operators plus plain select-project comprehensions. Qualifiers are
+//! processed left-to-right, each one extending the current plan:
+//!
+//! * `v ← table(t)`                → `Scan`
+//! * `v ← filter{…| d ← t, p̄}`    → `Nest` over (`Select` over) `Scan`
+//! * `v ← g.partition`             → `Unnest`
+//! * a second filter-grouping generator followed by a key-equality
+//!   predicate → `Join` of the two `Nest`s
+//! * predicate                     → `Select`
+//!
+//! and the comprehension's `⊕`/head become the final `Reduce`.
+
+use std::sync::Arc;
+
+use cleanm_values::{Error, Result};
+
+use crate::calculus::{BinOp, CalcExpr, Comprehension, MonoidKind, Qual};
+
+use super::plan::Alg;
+
+/// Lower one desugared comprehension to an algebra plan.
+pub fn lower_op(comp: &CalcExpr) -> Result<Arc<Alg>> {
+    let CalcExpr::Comp(c) = comp else {
+        return Err(Error::Invalid(format!(
+            "lowering expects a comprehension, got `{comp}`"
+        )));
+    };
+    let mut plan: Option<Arc<Alg>> = None;
+    // A grouped input lowered from a generator but not yet joined: set when
+    // we see a second filter-grouping before its key-equality predicate.
+    let mut pending_right: Option<Arc<Alg>> = None;
+
+    for qual in &c.quals {
+        match qual {
+            Qual::Gen(v, source) => match source {
+                CalcExpr::TableRef(t) => {
+                    if plan.is_some() {
+                        return Err(Error::Invalid(
+                            "cross products of base tables must lower through ThetaJoin \
+                             (use ops::dc for denial constraints)"
+                                .to_string(),
+                        ));
+                    }
+                    plan = Some(Arc::new(Alg::Scan {
+                        table: t.clone(),
+                        var: v.clone(),
+                    }));
+                }
+                CalcExpr::Comp(inner) if matches!(inner.monoid, MonoidKind::Filter(_)) => {
+                    let nest = lower_grouping(inner, v)?;
+                    if plan.is_none() {
+                        plan = Some(nest);
+                    } else if pending_right.is_none() {
+                        pending_right = Some(nest);
+                    } else {
+                        return Err(Error::Invalid(
+                            "more than two grouped inputs in one comprehension".to_string(),
+                        ));
+                    }
+                }
+                CalcExpr::Proj(base, field) if field == "partition" => {
+                    let input = plan.take().ok_or_else(|| {
+                        Error::Invalid("unnest before any input".to_string())
+                    })?;
+                    plan = Some(Arc::new(Alg::Unnest {
+                        input,
+                        path: CalcExpr::Proj(base.clone(), field.clone()),
+                        var: v.clone(),
+                    }));
+                }
+                other => {
+                    return Err(Error::Invalid(format!(
+                        "unsupported generator source `{other}`"
+                    )))
+                }
+            },
+            Qual::Pred(p) => {
+                // A key-equality predicate consumes the pending right side
+                // as an equi-join.
+                if let (Some(right), CalcExpr::BinOp(BinOp::Eq, lk, rk)) =
+                    (&pending_right, p)
+                {
+                    let left = plan.take().ok_or_else(|| {
+                        Error::Invalid("join predicate before any input".to_string())
+                    })?;
+                    plan = Some(Arc::new(Alg::Join {
+                        left,
+                        right: right.clone(),
+                        left_key: (**lk).clone(),
+                        right_key: (**rk).clone(),
+                    }));
+                    pending_right = None;
+                    continue;
+                }
+                let input = plan.take().ok_or_else(|| {
+                    Error::Invalid("predicate before any input".to_string())
+                })?;
+                plan = Some(Arc::new(Alg::Select {
+                    input,
+                    pred: p.clone(),
+                }));
+            }
+            Qual::Bind(v, e) => {
+                // Residual binds (rare after normalization) become Select-
+                // style extensions; we inline them by substitution instead.
+                return Err(Error::Invalid(format!(
+                    "residual bind `{v} := {e}` — normalize before lowering"
+                )));
+            }
+        }
+    }
+    if pending_right.is_some() {
+        return Err(Error::Invalid(
+            "grouped input never joined on a key".to_string(),
+        ));
+    }
+    let input = plan.ok_or_else(|| Error::Invalid("empty comprehension body".to_string()))?;
+    Ok(Arc::new(Alg::Reduce {
+        input,
+        monoid: c.monoid.clone(),
+        head: (*c.head).clone(),
+    }))
+}
+
+/// Lower the inner `filter{ {key, item} | d ← t, p̄ }` grouping.
+fn lower_grouping(inner: &Comprehension, group_var: &str) -> Result<Arc<Alg>> {
+    let MonoidKind::Filter(algo) = &inner.monoid else {
+        unreachable!("caller checked the monoid");
+    };
+    let CalcExpr::Record(fields) = &*inner.head else {
+        return Err(Error::Invalid(
+            "filter-monoid head must be a {key, item} record".to_string(),
+        ));
+    };
+    let key = fields
+        .iter()
+        .find(|(n, _)| n == "key")
+        .map(|(_, e)| e.clone())
+        .ok_or_else(|| Error::Invalid("filter head lacks `key`".to_string()))?;
+    let item = fields
+        .iter()
+        .find(|(n, _)| n == "item")
+        .map(|(_, e)| e.clone())
+        .ok_or_else(|| Error::Invalid("filter head lacks `item`".to_string()))?;
+
+    // Body: one table generator plus optional predicates.
+    let mut input: Option<Arc<Alg>> = None;
+    for qual in &inner.quals {
+        match qual {
+            Qual::Gen(v, CalcExpr::TableRef(t)) => {
+                if input.is_some() {
+                    return Err(Error::Invalid(
+                        "grouping body must scan exactly one table".to_string(),
+                    ));
+                }
+                input = Some(Arc::new(Alg::Scan {
+                    table: t.clone(),
+                    var: v.clone(),
+                }));
+            }
+            Qual::Pred(p) => {
+                let prev = input.take().ok_or_else(|| {
+                    Error::Invalid("grouping predicate before its scan".to_string())
+                })?;
+                input = Some(Arc::new(Alg::Select {
+                    input: prev,
+                    pred: p.clone(),
+                }));
+            }
+            other => {
+                return Err(Error::Invalid(format!(
+                    "unsupported qualifier in grouping body: {other:?}"
+                )))
+            }
+        }
+    }
+    let input =
+        input.ok_or_else(|| Error::Invalid("grouping body lacks a table scan".to_string()))?;
+    Ok(Arc::new(Alg::Nest {
+        input,
+        algo: algo.clone(),
+        key,
+        item,
+        group_var: group_var.to_string(),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::{desugar_query, FilterAlgo};
+    use crate::lang::parse_query;
+
+    fn lower_sql(sql: &str) -> Arc<Alg> {
+        let q = parse_query(sql).unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        lower_op(&dq.ops[0].comp).unwrap()
+    }
+
+    #[test]
+    fn fd_lowers_to_reduce_select_nest_scan() {
+        let plan = lower_sql("SELECT * FROM customer c FD(c.address, c.nationkey)");
+        let text = plan.explain();
+        let order: Vec<&str> = text.lines().map(|l| l.trim_start()).collect();
+        assert!(order[0].starts_with("Reduce"), "{text}");
+        assert!(order[1].starts_with("Select"), "{text}");
+        assert!(order[2].starts_with("Nest[exact]"), "{text}");
+        assert!(order[3].starts_with("Scan customer"), "{text}");
+    }
+
+    #[test]
+    fn dedup_lowers_with_double_unnest() {
+        let plan =
+            lower_sql("SELECT * FROM customer c DEDUP(token_filtering, LD, 0.8, c.name)");
+        let text = plan.explain();
+        assert_eq!(text.matches("Unnest").count(), 2, "{text}");
+        assert!(text.contains("Nest[token_filtering(q=3)]"), "{text}");
+        // Similarity + rowid predicates above the unnests.
+        assert_eq!(text.matches("Select").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn cluster_by_lowers_to_join_of_two_nests() {
+        let plan = lower_sql(
+            "SELECT * FROM data x, dict w CLUSTER BY(token_filtering(2), LD, 0.8, x.name)",
+        );
+        let text = plan.explain();
+        assert!(text.contains("Join on"), "{text}");
+        assert_eq!(text.matches("Nest[").count(), 2, "{text}");
+        assert_eq!(text.matches("Scan").count(), 2, "{text}");
+    }
+
+    #[test]
+    fn where_clause_pushes_into_grouping_scan() {
+        let plan = lower_sql(
+            "SELECT * FROM customer c WHERE c.nationkey = 1 FD(c.address, c.phone)",
+        );
+        let text = plan.explain();
+        // The WHERE select sits *below* the Nest (filter pushdown into the
+        // grouping input, not above the groups).
+        let nest_line = text.lines().position(|l| l.contains("Nest")).unwrap();
+        let where_line = text
+            .lines()
+            .position(|l| l.contains("nationkey"))
+            .unwrap();
+        assert!(where_line > nest_line, "{text}");
+    }
+
+    #[test]
+    fn plain_select_lowers() {
+        let plan = lower_sql("SELECT c.name FROM customer c WHERE c.nationkey = 1");
+        let text = plan.explain();
+        assert!(text.contains("Reduce[Bag]"), "{text}");
+        assert!(text.contains("Select"), "{text}");
+        assert!(text.contains("Scan customer"), "{text}");
+    }
+
+    #[test]
+    fn nest_algo_is_parameterized() {
+        let plan = lower_sql("SELECT * FROM t DEDUP(kmeans(7), LD, 0.8, t.name)");
+        let found = find_nest_algo(&plan);
+        assert_eq!(
+            found,
+            Some(FilterAlgo::KMeans {
+                k: 7,
+                delta: 0,
+                seed: 1
+            })
+        );
+    }
+
+    fn find_nest_algo(plan: &Alg) -> Option<FilterAlgo> {
+        match plan {
+            Alg::Nest { algo, .. } => Some(algo.clone()),
+            Alg::Select { input, .. }
+            | Alg::Unnest { input, .. }
+            | Alg::Reduce { input, .. } => find_nest_algo(input),
+            Alg::Join { left, .. } | Alg::ThetaJoin { left, .. } => find_nest_algo(left),
+            Alg::Scan { .. } => None,
+        }
+    }
+}

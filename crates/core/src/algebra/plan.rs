@@ -1,0 +1,259 @@
+//! Plan nodes of the nested relational algebra (Table 1 of the paper).
+
+use std::sync::Arc;
+
+use crate::calculus::{CalcExpr, FilterAlgo, MonoidKind};
+
+/// Numeric key hints for a theta join: which scalar each side's pruning key
+/// comes from and how cells of the join matrix relate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThetaHint {
+    pub left_key: CalcExpr,
+    pub right_key: CalcExpr,
+    pub kind: HintKind,
+}
+
+/// How (left, right) key ranges must relate for a matrix cell to possibly
+/// produce output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HintKind {
+    /// Predicate implies `left.key < right.key` (rule ψ's `t1.price <
+    /// t2.price`): cells with `l_min ≥ r_max` are pruned.
+    LeftLessThanRight,
+    /// No pruning possible; all cells survive (pure load balancing).
+    Any,
+}
+
+impl HintKind {
+    /// The cell-compatibility check handed to the runtime's theta joins.
+    pub fn compatible(&self, l: (f64, f64), r: (f64, f64)) -> bool {
+        match self {
+            HintKind::LeftLessThanRight => l.0 < r.1,
+            HintKind::Any => true,
+        }
+    }
+}
+
+/// A nested-relational-algebra operator. Plans form a DAG via `Arc` — after
+/// the sharing rewrite, common sub-plans are literally the same node, and
+/// the executor materializes each node once.
+///
+/// Variable scoping: every operator *extends* the row environment of its
+/// input. `Scan` binds `var` to each source row; `Nest` replaces the
+/// environment with `group_var` bound to `{key, partition}`; `Unnest` adds
+/// `var` per element of `path`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Alg {
+    /// Bind each row of a base table to `var` (σ-ready scan).
+    Scan { table: String, var: String },
+    /// Keep environments satisfying `pred` (Table 1's σ).
+    Select { input: Arc<Alg>, pred: CalcExpr },
+    /// Group by blocker key (Table 1's Γ / the filter monoid): evaluates
+    /// `key` (scalar, or list → multi-assignment) and `item` per input
+    /// environment, groups items by key, and binds `group_var` to
+    /// `{key, partition}` structs.
+    Nest {
+        input: Arc<Alg>,
+        algo: FilterAlgo,
+        key: CalcExpr,
+        item: CalcExpr,
+        group_var: String,
+    },
+    /// Iterate the collection `path` binding `var` (Table 1's μ).
+    Unnest {
+        input: Arc<Alg>,
+        path: CalcExpr,
+        var: String,
+    },
+    /// Equi-join two plans on scalar key expressions (Table 1's ⋈ with a
+    /// conjunctive equality predicate).
+    Join {
+        left: Arc<Alg>,
+        right: Arc<Alg>,
+        left_key: CalcExpr,
+        right_key: CalcExpr,
+    },
+    /// Theta join with an arbitrary predicate over the two environments and
+    /// numeric pruning hints (§6's custom operator).
+    ThetaJoin {
+        left: Arc<Alg>,
+        right: Arc<Alg>,
+        /// Predicate evaluated over the concatenated environment.
+        pred: CalcExpr,
+        hint: ThetaHint,
+    },
+    /// Evaluate `head` per environment and fold with `monoid`
+    /// (Table 1's Δ).
+    Reduce {
+        input: Arc<Alg>,
+        monoid: MonoidKind,
+        head: CalcExpr,
+    },
+}
+
+impl Alg {
+    /// Indented one-operator-per-line rendering (EXPLAIN-style). Shared
+    /// nodes are printed with their pointer tag so sharing is visible.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Alg::Scan { table, var } => {
+                out.push_str(&format!("{pad}Scan {table} as {var}\n"));
+            }
+            Alg::Select { input, pred } => {
+                out.push_str(&format!("{pad}Select {pred}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Alg::Nest {
+                input,
+                algo,
+                key,
+                group_var,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}Nest[{algo}] key={key} as {group_var} (node@{:p})\n",
+                    std::ptr::from_ref(self)
+                ));
+                input.explain_into(out, depth + 1);
+            }
+            Alg::Unnest { input, path, var } => {
+                out.push_str(&format!("{pad}Unnest {path} as {var}\n"));
+                input.explain_into(out, depth + 1);
+            }
+            Alg::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                out.push_str(&format!("{pad}Join on {left_key} = {right_key}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Alg::ThetaJoin { left, right, pred, .. } => {
+                out.push_str(&format!("{pad}ThetaJoin on {pred}\n"));
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Alg::Reduce { input, monoid, head } => {
+                out.push_str(&format!("{pad}Reduce[{monoid:?}] {head}\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+
+    /// Structural fingerprint used by the sharing rewrite: equal fingerprints
+    /// ⇒ equal sub-plans. Children are identified by their (already
+    /// interned) Arc pointers, making this O(1) per node.
+    pub fn fingerprint(&self) -> String {
+        match self {
+            Alg::Scan { table, var } => format!("scan:{table}:{var}"),
+            Alg::Select { input, pred } => {
+                format!("select:{:p}:{pred}", Arc::as_ptr(input))
+            }
+            Alg::Nest {
+                input,
+                algo,
+                key,
+                item,
+                group_var,
+            } => format!(
+                "nest:{:p}:{algo}:{key}:{item}:{group_var}",
+                Arc::as_ptr(input)
+            ),
+            Alg::Unnest { input, path, var } => {
+                format!("unnest:{:p}:{path}:{var}", Arc::as_ptr(input))
+            }
+            Alg::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => format!(
+                "join:{:p}:{:p}:{left_key}:{right_key}",
+                Arc::as_ptr(left),
+                Arc::as_ptr(right)
+            ),
+            Alg::ThetaJoin { left, right, pred, .. } => format!(
+                "theta:{:p}:{:p}:{pred}",
+                Arc::as_ptr(left),
+                Arc::as_ptr(right)
+            ),
+            Alg::Reduce {
+                input,
+                monoid,
+                head,
+            } => format!("reduce:{:p}:{monoid:?}:{head}", Arc::as_ptr(input)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::CalcExpr;
+
+    #[test]
+    fn explain_renders_tree() {
+        let scan = Arc::new(Alg::Scan {
+            table: "t".into(),
+            var: "d".into(),
+        });
+        let sel = Arc::new(Alg::Select {
+            input: scan,
+            pred: CalcExpr::boolean(true),
+        });
+        let plan = Alg::Reduce {
+            input: sel,
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::var("d"),
+        };
+        let text = plan.explain();
+        assert!(text.contains("Reduce"));
+        assert!(text.contains("Select"));
+        assert!(text.contains("Scan t as d"));
+    }
+
+    #[test]
+    fn hint_compatibility() {
+        let lt = HintKind::LeftLessThanRight;
+        assert!(lt.compatible((0.0, 5.0), (3.0, 10.0)));
+        assert!(!lt.compatible((10.0, 20.0), (0.0, 5.0)));
+        assert!(HintKind::Any.compatible((10.0, 20.0), (0.0, 5.0)));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_and_match() {
+        let scan1 = Arc::new(Alg::Scan {
+            table: "t".into(),
+            var: "d".into(),
+        });
+        let scan2 = Arc::new(Alg::Scan {
+            table: "t".into(),
+            var: "d".into(),
+        });
+        assert_eq!(scan1.fingerprint(), scan2.fingerprint());
+        let nest_a = Alg::Nest {
+            input: scan1.clone(),
+            algo: FilterAlgo::Exact,
+            key: CalcExpr::proj(CalcExpr::var("d"), "address"),
+            item: CalcExpr::var("d"),
+            group_var: "g".into(),
+        };
+        let nest_b = Alg::Nest {
+            input: scan1.clone(),
+            algo: FilterAlgo::Exact,
+            key: CalcExpr::proj(CalcExpr::var("d"), "name"),
+            item: CalcExpr::var("d"),
+            group_var: "g".into(),
+        };
+        assert_ne!(nest_a.fingerprint(), nest_b.fingerprint());
+    }
+}

@@ -1,0 +1,222 @@
+//! Inter-operator rewrites (§5): sharing the plan DAG.
+//!
+//! The rewriter hash-conses plans bottom-up: structurally identical
+//! sub-plans become the *same* `Arc` node. Two consequences, both measured
+//! in §8.2's unified-cleaning experiment:
+//!
+//! * **Plan BC** — FD and DEDUP queries that group the same input on the
+//!   same key end up sharing one `Nest` node, so the grouping pass runs
+//!   once ("performs all operations using a single aggregation step");
+//! * **the Overall Plan** — every operator's pipeline shares the single
+//!   `Scan`, so the dataset is read once.
+//!
+//! The executor completes the picture by memoizing materialized results per
+//! node, and the engine combines the per-operator violation sets with an
+//! outer join (§4.4's multi-operator semantics).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::plan::Alg;
+
+/// What the sharing pass found — surfaced in reports and asserted by tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Nodes whose duplicates were eliminated, by operator name.
+    pub shared_scans: usize,
+    pub shared_nests: usize,
+    pub shared_other: usize,
+}
+
+impl RewriteStats {
+    pub fn total_shared(&self) -> usize {
+        self.shared_scans + self.shared_nests + self.shared_other
+    }
+}
+
+/// Hash-cons a set of per-operator plans into a shared DAG. Returns the
+/// rewritten plans (same order) and sharing statistics.
+pub fn rewrite_shared(plans: &[Arc<Alg>]) -> (Vec<Arc<Alg>>, RewriteStats) {
+    let mut interner: HashMap<String, Arc<Alg>> = HashMap::new();
+    let mut stats = RewriteStats::default();
+    let out = plans
+        .iter()
+        .map(|p| intern(p, &mut interner, &mut stats))
+        .collect();
+    (out, stats)
+}
+
+fn intern(
+    plan: &Arc<Alg>,
+    interner: &mut HashMap<String, Arc<Alg>>,
+    stats: &mut RewriteStats,
+) -> Arc<Alg> {
+    // Rebuild the node with interned children first.
+    let rebuilt: Alg = match &**plan {
+        Alg::Scan { .. } => (**plan).clone(),
+        Alg::Select { input, pred } => Alg::Select {
+            input: intern(input, interner, stats),
+            pred: pred.clone(),
+        },
+        Alg::Nest {
+            input,
+            algo,
+            key,
+            item,
+            group_var,
+        } => Alg::Nest {
+            input: intern(input, interner, stats),
+            algo: algo.clone(),
+            key: key.clone(),
+            item: item.clone(),
+            group_var: group_var.clone(),
+        },
+        Alg::Unnest { input, path, var } => Alg::Unnest {
+            input: intern(input, interner, stats),
+            path: path.clone(),
+            var: var.clone(),
+        },
+        Alg::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => Alg::Join {
+            left: intern(left, interner, stats),
+            right: intern(right, interner, stats),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+        },
+        Alg::ThetaJoin {
+            left,
+            right,
+            pred,
+            hint,
+        } => Alg::ThetaJoin {
+            left: intern(left, interner, stats),
+            right: intern(right, interner, stats),
+            pred: pred.clone(),
+            hint: hint.clone(),
+        },
+        Alg::Reduce {
+            input,
+            monoid,
+            head,
+        } => Alg::Reduce {
+            input: intern(input, interner, stats),
+            monoid: monoid.clone(),
+            head: head.clone(),
+        },
+    };
+    let fp = rebuilt.fingerprint();
+    if let Some(existing) = interner.get(&fp) {
+        match rebuilt {
+            Alg::Scan { .. } => stats.shared_scans += 1,
+            Alg::Nest { .. } => stats.shared_nests += 1,
+            _ => stats.shared_other += 1,
+        }
+        return existing.clone();
+    }
+    let node = Arc::new(rebuilt);
+    interner.insert(fp, node.clone());
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::{desugar_query, CalcExpr, FilterAlgo, MonoidKind};
+    use crate::lang::parse_query;
+
+    fn scan() -> Arc<Alg> {
+        Arc::new(Alg::Scan {
+            table: "customer".into(),
+            var: "d0".into(),
+        })
+    }
+
+    fn nest_on(key_field: &str) -> Arc<Alg> {
+        Arc::new(Alg::Nest {
+            input: scan(),
+            algo: FilterAlgo::Exact,
+            key: CalcExpr::proj(CalcExpr::var("d0"), key_field),
+            item: CalcExpr::var("d0"),
+            group_var: "g".into(),
+        })
+    }
+
+    fn reduce(input: Arc<Alg>) -> Arc<Alg> {
+        Arc::new(Alg::Reduce {
+            input,
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::var("g"),
+        })
+    }
+
+    #[test]
+    fn identical_nests_are_shared() {
+        // Two independent plans grouping the same table on the same key
+        // (the paper's Plan B + Plan C) share one Nest after the rewrite.
+        let plan_b = reduce(nest_on("address"));
+        let plan_c = reduce(nest_on("address"));
+        assert!(!Arc::ptr_eq(&plan_b, &plan_c));
+        let (shared, stats) = rewrite_shared(&[plan_b, plan_c]);
+        assert_eq!(stats.shared_nests, 1);
+        assert_eq!(stats.shared_scans, 1);
+        // The Nest node inside both plans is literally the same node.
+        let nest_of = |p: &Arc<Alg>| match &**p {
+            Alg::Reduce { input, .. } => input.clone(),
+            _ => panic!(),
+        };
+        assert!(Arc::ptr_eq(&nest_of(&shared[0]), &nest_of(&shared[1])));
+    }
+
+    #[test]
+    fn different_keys_share_only_the_scan() {
+        let plan_a = reduce(nest_on("address"));
+        let plan_b = reduce(nest_on("name"));
+        let (_, stats) = rewrite_shared(&[plan_a, plan_b]);
+        assert_eq!(stats.shared_nests, 0);
+        assert_eq!(stats.shared_scans, 1, "the Overall Plan shares the scan");
+    }
+
+    #[test]
+    fn running_example_shares_grouping_between_fd_and_dedup() {
+        // FD(address → nationkey) and DEDUP(exact on address) group the same
+        // scan by the same key: one aggregation pass, as in Figure 5.
+        let q = parse_query(
+            "SELECT * FROM customer c \
+             FD(c.address, c.nationkey) \
+             DEDUP(exact, LD, 0.8, c.address, c.name)",
+        )
+        .unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let plans: Vec<Arc<Alg>> = dq
+            .ops
+            .iter()
+            .map(|op| crate::algebra::lower_op(&op.comp).unwrap())
+            .collect();
+        let (_, stats) = rewrite_shared(&plans);
+        assert_eq!(stats.shared_nests, 1, "Plan BC coalescing");
+        assert_eq!(stats.shared_scans, 1);
+    }
+
+    #[test]
+    fn rewrite_is_idempotent() {
+        let plans = vec![reduce(nest_on("address")), reduce(nest_on("address"))];
+        let (once, s1) = rewrite_shared(&plans);
+        let (twice, s2) = rewrite_shared(&once);
+        assert!(s1.total_shared() > 0);
+        assert_eq!(s1, s2, "same sharing found again");
+        // Compare explains modulo the node-address tags.
+        let strip = |s: String| -> String {
+            s.lines()
+                .map(|l| l.split(" (node@").next().unwrap_or(l))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for (a, b) in once.iter().zip(&twice) {
+            assert_eq!(strip(a.explain()), strip(b.explain()));
+        }
+    }
+}

@@ -1,0 +1,791 @@
+//! The Monoid Rewriter: de-sugarize a CleanM AST into monoid comprehensions,
+//! following the per-operator semantics given in §4.4 of the paper.
+//!
+//! Shapes emitted (and relied upon by `algebra::lower`):
+//!
+//! * **FD** — `bag{ g | g ← filter{ {key: lhs(d), item: d} | d ← t },
+//!   count_distinct(bag{ rhs(x) | x ← g.partition }) > 1 }`
+//! * **DEDUP** — `bag{ {left: p1, right: p2} | g ← filter{…}, p1 ←
+//!   g.partition, p2 ← g.partition, p1.__rowid < p2.__rowid,
+//!   similar(p1.atts, p2.atts) }`
+//! * **CLUSTER BY** — two filter groupings (data and dictionary), joined on
+//!   group key, unnested, similarity-checked:
+//!   `list{ {term, repair} | g1 ← dataGroup, g2 ← dictGroup, g1.key = g2.key,
+//!   t ← g1.partition, w ← g2.partition, similar(t, w) }`
+//!
+//! Rows flow through the calculus as structs; the engine injects a
+//! `__rowid` field so pair enumeration can break symmetry.
+//!
+//! Attribute conventions for `DEDUP(op, metric, θ, a₀, a₁, …)`: `a₀` is the
+//! blocking attribute; similarity compares the concatenation of `a₁…`
+//! (falling back to `a₀` when no others are given). The dictionary table of
+//! CLUSTER BY exposes its term under the column `term`.
+
+use cleanm_text::Metric;
+use cleanm_values::{Error, Result};
+
+use crate::lang::ast::{BlockSpec, CleanOp, Expr, Query};
+
+use super::expr::{BinOp, CalcExpr, FilterAlgo, Func, MonoidKind, Qual};
+
+/// The hidden row-identity field the engine injects into row structs.
+pub const ROWID_FIELD: &str = "__rowid";
+/// The dictionary term column CLUSTER BY expects.
+pub const DICT_TERM_FIELD: &str = "term";
+
+/// One desugared cleaning operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesugaredOp {
+    /// Human-readable label for reports (`"FD(address → prefix(phone))"`).
+    pub label: String,
+    /// The §4.4 comprehension.
+    pub comp: CalcExpr,
+    pub kind: OpKind,
+}
+
+/// Which operator family a desugared comprehension implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Fd,
+    Dedup,
+    TermValidation,
+    Select,
+}
+
+/// The full desugared query: the plain select part (if meaningful) plus one
+/// comprehension per cleaning operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesugaredQuery {
+    pub ops: Vec<DesugaredOp>,
+}
+
+/// Convert a surface expression to a calculus expression, resolving column
+/// references against `row_vars`: alias → comprehension variable.
+pub fn expr_to_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> Result<CalcExpr> {
+    match e {
+        Expr::Literal(v) => Ok(CalcExpr::Const(v.clone())),
+        Expr::Star => Err(Error::Invalid(
+            "`*` cannot appear in this position".to_string(),
+        )),
+        Expr::Column { table, name } => {
+            let var = match table {
+                Some(alias) => row_vars
+                    .iter()
+                    .find(|(a, _)| a.as_deref() == Some(alias.as_str()))
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| Error::Invalid(format!("unknown alias `{alias}`")))?,
+                None => {
+                    row_vars
+                        .first()
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| Error::Invalid("no row in scope".to_string()))?
+                }
+            };
+            Ok(CalcExpr::proj(CalcExpr::var(var), name))
+        }
+        Expr::Not(inner) => Ok(CalcExpr::Not(Box::new(expr_to_calc(inner, row_vars)?))),
+        Expr::BinOp { op, left, right } => {
+            let l = expr_to_calc(left, row_vars)?;
+            let r = expr_to_calc(right, row_vars)?;
+            let op = match op.as_str() {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                "*" => BinOp::Mul,
+                "/" => BinOp::Div,
+                "=" => BinOp::Eq,
+                "<>" | "!=" => BinOp::Ne,
+                "<" => BinOp::Lt,
+                "<=" => BinOp::Le,
+                ">" => BinOp::Gt,
+                ">=" => BinOp::Ge,
+                "AND" => BinOp::And,
+                "OR" => BinOp::Or,
+                other => return Err(Error::Invalid(format!("unknown operator `{other}`"))),
+            };
+            Ok(CalcExpr::bin(op, l, r))
+        }
+        Expr::Call { name, args } => {
+            let calc_args: Vec<CalcExpr> = args
+                .iter()
+                .map(|a| expr_to_calc(a, row_vars))
+                .collect::<Result<_>>()?;
+            let func = match name.to_lowercase().as_str() {
+                "prefix" => Func::Prefix,
+                "lower" => Func::Lower,
+                "length" => Func::Length,
+                "count" => Func::Count,
+                "count_distinct" => Func::CountDistinct,
+                "avg" => Func::Avg,
+                "concat" => Func::Concat,
+                "is_null" => Func::IsNull,
+                "coalesce" => Func::Coalesce,
+                "distinct" => Func::Distinct,
+                "split" => {
+                    // split(expr, 'sep') — the separator must be a literal.
+                    let Some(Expr::Literal(sep)) = args.get(1) else {
+                        return Err(Error::Invalid(
+                            "split() needs a literal separator".to_string(),
+                        ));
+                    };
+                    return Ok(CalcExpr::call(
+                        Func::Split(sep.to_text()),
+                        vec![calc_args.into_iter().next().ok_or_else(|| {
+                            Error::Invalid("split() needs an argument".to_string())
+                        })?],
+                    ));
+                }
+                other => {
+                    return Err(Error::Invalid(format!("unknown function `{other}`")))
+                }
+            };
+            Ok(CalcExpr::call(func, calc_args))
+        }
+    }
+}
+
+/// The inner grouping comprehension
+/// `filter{ {key, item: d} | d ← table, where? }`.
+fn grouping_comp(
+    algo: FilterAlgo,
+    table: &str,
+    row_var: &str,
+    key: CalcExpr,
+    item: CalcExpr,
+    where_pred: Option<CalcExpr>,
+) -> CalcExpr {
+    let mut quals = vec![Qual::Gen(row_var.to_string(), CalcExpr::TableRef(table.into()))];
+    if let Some(p) = where_pred {
+        quals.push(Qual::Pred(p));
+    }
+    CalcExpr::comp(
+        MonoidKind::Filter(algo),
+        CalcExpr::Record(vec![("key".into(), key), ("item".into(), item)]),
+        quals,
+    )
+}
+
+fn block_spec_to_algo(spec: &BlockSpec, seed: u64) -> FilterAlgo {
+    match spec {
+        BlockSpec::TokenFiltering { q } => FilterAlgo::TokenFilter { q: *q },
+        BlockSpec::KMeans { k } => FilterAlgo::KMeans {
+            k: *k,
+            delta: 0,
+            seed,
+        },
+        BlockSpec::Exact => FilterAlgo::Exact,
+        BlockSpec::LengthBand { width } => FilterAlgo::LengthBand { width: *width },
+    }
+}
+
+/// Concatenate attribute expressions into one comparable text.
+fn concat_attrs(attrs: &[CalcExpr]) -> CalcExpr {
+    if attrs.len() == 1 {
+        attrs[0].clone()
+    } else {
+        // Interpose a separator so ("ab","c") != ("a","bc").
+        let mut args = Vec::with_capacity(attrs.len() * 2 - 1);
+        for (i, a) in attrs.iter().enumerate() {
+            if i > 0 {
+                args.push(CalcExpr::str("\u{1}"));
+            }
+            args.push(a.clone());
+        }
+        CalcExpr::call(Func::Concat, args)
+    }
+}
+
+/// A composite key from several expressions (single expr stays scalar).
+fn tuple_key(exprs: &[CalcExpr]) -> CalcExpr {
+    if exprs.len() == 1 {
+        exprs[0].clone()
+    } else {
+        CalcExpr::Record(
+            exprs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (format!("k{i}"), e.clone()))
+                .collect(),
+        )
+    }
+}
+
+/// Desugar a parsed query into per-operator comprehensions. `seed`
+/// parameterizes randomized blockers (k-means center sampling).
+pub fn desugar_query(q: &Query, seed: u64) -> Result<DesugaredQuery> {
+    let primary = q
+        .primary_table()
+        .ok_or_else(|| Error::Invalid("query has no FROM table".to_string()))?;
+    let table = primary.name.clone();
+    let alias = primary.alias.clone();
+    let d = "d0"; // canonical row variable for the primary table
+    let row_vars: Vec<(Option<&str>, &str)> = vec![(alias.as_deref().or(Some(&table)), d)];
+    // Accept both the alias and the bare table name for unqualified columns.
+    let where_pred = q
+        .where_clause
+        .as_ref()
+        .map(|w| expr_to_calc(w, &row_vars))
+        .transpose()?;
+
+    if !q.clean_ops.is_empty() && !q.group_by.is_empty() {
+        return Err(Error::Invalid(
+            "GROUP BY cannot be combined with cleaning operators; run the \
+             aggregation and the cleaning as separate queries"
+                .to_string(),
+        ));
+    }
+
+    let mut ops = Vec::new();
+    for (i, op) in q.clean_ops.iter().enumerate() {
+        match op {
+            CleanOp::Fd { lhs, rhs } => {
+                let lhs_calc: Vec<CalcExpr> = lhs
+                    .iter()
+                    .map(|e| expr_to_calc(e, &row_vars))
+                    .collect::<Result<_>>()?;
+                // RHS is evaluated over partition members bound to `x0`.
+                let x_vars: Vec<(Option<&str>, &str)> =
+                    vec![(alias.as_deref().or(Some(&table)), "x0")];
+                let rhs_calc: Vec<CalcExpr> = rhs
+                    .iter()
+                    .map(|e| expr_to_calc(e, &x_vars))
+                    .collect::<Result<_>>()?;
+
+                let groups = grouping_comp(
+                    FilterAlgo::Exact,
+                    &table,
+                    d,
+                    tuple_key(&lhs_calc),
+                    CalcExpr::var(d),
+                    where_pred.clone(),
+                );
+                // count_distinct(bag{ rhs(x) | x <- g.partition }) > 1
+                let rhs_bag = CalcExpr::comp(
+                    MonoidKind::Bag,
+                    tuple_key(&rhs_calc),
+                    vec![Qual::Gen(
+                        "x0".into(),
+                        CalcExpr::proj(CalcExpr::var("g"), "partition"),
+                    )],
+                );
+                let violation_pred = CalcExpr::bin(
+                    BinOp::Gt,
+                    CalcExpr::call(Func::CountDistinct, vec![rhs_bag]),
+                    CalcExpr::int(1),
+                );
+                let comp = CalcExpr::comp(
+                    MonoidKind::Bag,
+                    CalcExpr::var("g"),
+                    vec![Qual::Gen("g".into(), groups), Qual::Pred(violation_pred)],
+                );
+                ops.push(DesugaredOp {
+                    label: format!("FD#{i}"),
+                    comp,
+                    kind: OpKind::Fd,
+                });
+            }
+            CleanOp::Dedup {
+                op,
+                metric,
+                theta,
+                attributes,
+            } => {
+                if attributes.is_empty() {
+                    return Err(Error::Invalid(
+                        "DEDUP needs at least one attribute".to_string(),
+                    ));
+                }
+                let algo = block_spec_to_algo(op, seed);
+                let attr_calc: Vec<CalcExpr> = attributes
+                    .iter()
+                    .map(|e| expr_to_calc(e, &row_vars))
+                    .collect::<Result<_>>()?;
+                let block_attr = attr_calc[0].clone();
+                let key = match algo {
+                    FilterAlgo::Exact => block_attr,
+                    ref a => CalcExpr::call(Func::BlockKeys(a.clone()), vec![block_attr]),
+                };
+                let groups =
+                    grouping_comp(algo, &table, d, key, CalcExpr::var(d), where_pred.clone());
+
+                // Similarity attributes: the non-blocking attributes, or the
+                // blocking one when it is alone. Rewritten over p1/p2.
+                let sim_attrs: &[Expr] = if attributes.len() > 1 {
+                    &attributes[1..]
+                } else {
+                    &attributes[..1]
+                };
+                let p1_vars: Vec<(Option<&str>, &str)> =
+                    vec![(alias.as_deref().or(Some(&table)), "p1")];
+                let p2_vars: Vec<(Option<&str>, &str)> =
+                    vec![(alias.as_deref().or(Some(&table)), "p2")];
+                let sim1: Vec<CalcExpr> = sim_attrs
+                    .iter()
+                    .map(|e| expr_to_calc(e, &p1_vars))
+                    .collect::<Result<_>>()?;
+                let sim2: Vec<CalcExpr> = sim_attrs
+                    .iter()
+                    .map(|e| expr_to_calc(e, &p2_vars))
+                    .collect::<Result<_>>()?;
+
+                let comp = CalcExpr::comp(
+                    MonoidKind::Bag,
+                    CalcExpr::record(vec![
+                        ("left", CalcExpr::var("p1")),
+                        ("right", CalcExpr::var("p2")),
+                    ]),
+                    vec![
+                        Qual::Gen("g".into(), groups),
+                        Qual::Gen(
+                            "p1".into(),
+                            CalcExpr::proj(CalcExpr::var("g"), "partition"),
+                        ),
+                        Qual::Gen(
+                            "p2".into(),
+                            CalcExpr::proj(CalcExpr::var("g"), "partition"),
+                        ),
+                        Qual::Pred(CalcExpr::bin(
+                            BinOp::Lt,
+                            CalcExpr::proj(CalcExpr::var("p1"), ROWID_FIELD),
+                            CalcExpr::proj(CalcExpr::var("p2"), ROWID_FIELD),
+                        )),
+                        Qual::Pred(CalcExpr::call(
+                            Func::Similar(*metric, *theta),
+                            vec![concat_attrs(&sim1), concat_attrs(&sim2)],
+                        )),
+                    ],
+                );
+                ops.push(DesugaredOp {
+                    label: format!("DEDUP#{i}"),
+                    comp,
+                    kind: OpKind::Dedup,
+                });
+            }
+            CleanOp::ClusterBy {
+                op,
+                metric,
+                theta,
+                term,
+            } => {
+                let dict = q.auxiliary_table().ok_or_else(|| {
+                    Error::Invalid(
+                        "CLUSTER BY needs a dictionary as the second FROM table".to_string(),
+                    )
+                })?;
+                let algo = block_spec_to_algo(op, seed);
+                let term_calc = expr_to_calc(term, &row_vars)?;
+                let data_group = grouping_comp(
+                    algo.clone(),
+                    &table,
+                    d,
+                    CalcExpr::call(Func::BlockKeys(algo.clone()), vec![term_calc.clone()]),
+                    term_calc,
+                    where_pred.clone(),
+                );
+                let dict_term = CalcExpr::proj(CalcExpr::var("w0"), DICT_TERM_FIELD);
+                let dict_group = grouping_comp(
+                    algo.clone(),
+                    &dict.name,
+                    "w0",
+                    CalcExpr::call(Func::BlockKeys(algo.clone()), vec![dict_term.clone()]),
+                    dict_term,
+                    None,
+                );
+                let comp = CalcExpr::comp(
+                    MonoidKind::List,
+                    CalcExpr::record(vec![
+                        ("term", CalcExpr::var("t")),
+                        ("repair", CalcExpr::var("w")),
+                    ]),
+                    vec![
+                        Qual::Gen("g1".into(), data_group),
+                        Qual::Gen("g2".into(), dict_group),
+                        Qual::Pred(CalcExpr::bin(
+                            BinOp::Eq,
+                            CalcExpr::proj(CalcExpr::var("g1"), "key"),
+                            CalcExpr::proj(CalcExpr::var("g2"), "key"),
+                        )),
+                        Qual::Gen(
+                            "t".into(),
+                            CalcExpr::proj(CalcExpr::var("g1"), "partition"),
+                        ),
+                        Qual::Gen(
+                            "w".into(),
+                            CalcExpr::proj(CalcExpr::var("g2"), "partition"),
+                        ),
+                        Qual::Pred(CalcExpr::call(
+                            Func::Similar(*metric, *theta),
+                            vec![CalcExpr::var("t"), CalcExpr::var("w")],
+                        )),
+                    ],
+                );
+                ops.push(DesugaredOp {
+                    label: format!("CLUSTERBY#{i}"),
+                    comp,
+                    kind: OpKind::TermValidation,
+                });
+            }
+        }
+    }
+
+    // Plain select part (used when no cleaning operators are present).
+    if ops.is_empty() {
+        let monoid = if q.distinct {
+            MonoidKind::Set
+        } else {
+            MonoidKind::Bag
+        };
+        let comp = if q.group_by.is_empty() {
+            let head = select_head(q, &row_vars)?;
+            let mut quals =
+                vec![Qual::Gen(d.to_string(), CalcExpr::TableRef(table.clone()))];
+            if let Some(p) = where_pred {
+                quals.push(Qual::Pred(p));
+            }
+            CalcExpr::comp(monoid, head, quals)
+        } else {
+            desugar_group_by(q, &table, d, where_pred, monoid, &row_vars)?
+        };
+        ops.push(DesugaredOp {
+            label: "SELECT".to_string(),
+            comp,
+            kind: OpKind::Select,
+        });
+    }
+
+    Ok(DesugaredQuery { ops })
+}
+
+/// Desugar `GROUP BY … [HAVING …]` into a filter-monoid grouping:
+/// `⊕{ head(g) | g ← filter{ {key: gb(d), item: d} | d ← t, where }, having(g) }`
+/// where aggregate calls in the head/HAVING become nested comprehensions
+/// over `g.partition` and bare group-key expressions become key projections.
+fn desugar_group_by(
+    q: &Query,
+    table: &str,
+    d: &str,
+    where_pred: Option<CalcExpr>,
+    monoid: MonoidKind,
+    row_vars: &[(Option<&str>, &str)],
+) -> Result<CalcExpr> {
+    let key_exprs: Vec<CalcExpr> = q
+        .group_by
+        .iter()
+        .map(|e| expr_to_calc(e, row_vars))
+        .collect::<Result<_>>()?;
+    let groups = grouping_comp(
+        FilterAlgo::Exact,
+        table,
+        d,
+        tuple_key(&key_exprs),
+        CalcExpr::var(d),
+        where_pred,
+    );
+
+    let mut fields = Vec::with_capacity(q.select.len());
+    for (i, item) in q.select.iter().enumerate() {
+        let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
+            Expr::Column { name, .. } => name.clone(),
+            Expr::Call { name, .. } => name.clone(),
+            _ => format!("col{i}"),
+        });
+        fields.push((name, grouped_expr(&item.expr, q, &key_exprs, row_vars)?));
+    }
+    let head = CalcExpr::Record(fields);
+
+    let mut quals = vec![Qual::Gen("g".into(), groups)];
+    if let Some(h) = &q.having {
+        quals.push(Qual::Pred(grouped_expr(h, q, &key_exprs, row_vars)?));
+    }
+    Ok(CalcExpr::comp(monoid, head, quals))
+}
+
+const AGGREGATES: &[&str] = &["count", "count_distinct", "sum", "avg", "min", "max"];
+
+/// Convert a select/HAVING expression in a grouped query: aggregates become
+/// comprehensions over the group's partition; group-key expressions become
+/// key projections; anything else referencing the row is an error, as in
+/// SQL.
+fn grouped_expr(
+    e: &Expr,
+    q: &Query,
+    key_exprs: &[CalcExpr],
+    row_vars: &[(Option<&str>, &str)],
+) -> Result<CalcExpr> {
+    // A group-by expression is replaced by the matching key component.
+    for (i, gb) in q.group_by.iter().enumerate() {
+        if gb == e {
+            let key = CalcExpr::proj(CalcExpr::var("g"), "key");
+            return Ok(if key_exprs.len() == 1 {
+                key
+            } else {
+                CalcExpr::Proj(Box::new(key), format!("k{i}"))
+            });
+        }
+    }
+    match e {
+        Expr::Literal(v) => Ok(CalcExpr::Const(v.clone())),
+        Expr::Call { name, args } if AGGREGATES.contains(&name.to_lowercase().as_str()) => {
+            let lname = name.to_lowercase();
+            // count(*) counts rows; other aggregates evaluate their
+            // argument per partition member `x0`.
+            let member_vars: Vec<(Option<&str>, &str)> =
+                row_vars.iter().map(|(a, _)| (*a, "x0")).collect();
+            let arg = match args.first() {
+                Some(Expr::Star) | None => CalcExpr::int(1),
+                Some(a) => expr_to_calc(a, &member_vars)?,
+            };
+            let over_partition = |m: MonoidKind, head: CalcExpr| {
+                CalcExpr::comp(
+                    m,
+                    head,
+                    vec![Qual::Gen(
+                        "x0".into(),
+                        CalcExpr::proj(CalcExpr::var("g"), "partition"),
+                    )],
+                )
+            };
+            Ok(match lname.as_str() {
+                "count" => over_partition(MonoidKind::Sum, CalcExpr::int(1)),
+                "sum" => over_partition(MonoidKind::Sum, arg),
+                "min" => over_partition(MonoidKind::Min, arg),
+                "max" => over_partition(MonoidKind::Max, arg),
+                "avg" => CalcExpr::call(
+                    Func::Avg,
+                    vec![over_partition(MonoidKind::Bag, arg)],
+                ),
+                _ => CalcExpr::call(
+                    Func::CountDistinct,
+                    vec![over_partition(MonoidKind::Bag, arg)],
+                ),
+            })
+        }
+        Expr::BinOp { op, left, right } => {
+            let l = grouped_expr(left, q, key_exprs, row_vars)?;
+            let r = grouped_expr(right, q, key_exprs, row_vars)?;
+            // Reuse the operator mapping by round-tripping through a
+            // synthetic surface expression is clumsy; map directly.
+            let op = match op.as_str() {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                "*" => BinOp::Mul,
+                "/" => BinOp::Div,
+                "=" => BinOp::Eq,
+                "<>" | "!=" => BinOp::Ne,
+                "<" => BinOp::Lt,
+                "<=" => BinOp::Le,
+                ">" => BinOp::Gt,
+                ">=" => BinOp::Ge,
+                "AND" => BinOp::And,
+                "OR" => BinOp::Or,
+                other => return Err(Error::Invalid(format!("unknown operator `{other}`"))),
+            };
+            Ok(CalcExpr::bin(op, l, r))
+        }
+        Expr::Not(inner) => Ok(CalcExpr::Not(Box::new(grouped_expr(
+            inner, q, key_exprs, row_vars,
+        )?))),
+        Expr::Column { name, .. } => Err(Error::Invalid(format!(
+            "column `{name}` must appear in GROUP BY or inside an aggregate"
+        ))),
+        other => Err(Error::Invalid(format!(
+            "unsupported expression in grouped select: {other:?}"
+        ))),
+    }
+}
+
+fn select_head(q: &Query, row_vars: &[(Option<&str>, &str)]) -> Result<CalcExpr> {
+    // `SELECT *` keeps the whole row struct.
+    if q.select.len() == 1 && matches!(q.select[0].expr, Expr::Star) {
+        return Ok(CalcExpr::var(row_vars[0].1));
+    }
+    let mut fields = Vec::with_capacity(q.select.len());
+    for (i, item) in q.select.iter().enumerate() {
+        if matches!(item.expr, Expr::Star) {
+            // Mixed star: keep the row under a reserved name.
+            fields.push(("__row".to_string(), CalcExpr::var(row_vars[0].1)));
+            continue;
+        }
+        let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
+            Expr::Column { name, .. } => name.clone(),
+            _ => format!("col{i}"),
+        });
+        fields.push((name, expr_to_calc(&item.expr, row_vars)?));
+    }
+    Ok(CalcExpr::Record(fields))
+}
+
+/// Metric re-export point for desugar consumers.
+pub fn default_metric() -> Metric {
+    Metric::Levenshtein
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::eval::{eval, EvalCtx};
+    use crate::lang::parse_query;
+    use cleanm_values::Value;
+
+    fn row(id: i64, addr: &str, nation: i64, phone: &str, name: &str) -> Value {
+        Value::record([
+            (ROWID_FIELD, Value::Int(id)),
+            ("address", Value::str(addr)),
+            ("nationkey", Value::Int(nation)),
+            ("phone", Value::str(phone)),
+            ("name", Value::str(name)),
+        ])
+    }
+
+    #[test]
+    fn fd_comprehension_detects_violations() {
+        let q = parse_query("SELECT * FROM customer c FD(c.address, c.nationkey)").unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        assert_eq!(dq.ops.len(), 1);
+        assert_eq!(dq.ops[0].kind, OpKind::Fd);
+
+        let data = Value::list([
+            row(0, "a st", 1, "101-1", "ann"),
+            row(1, "a st", 2, "101-2", "ann b"), // violates: a st -> {1, 2}
+            row(2, "b st", 3, "103-1", "bob"),
+            row(3, "b st", 3, "103-2", "bobby"),
+        ]);
+        let mut ctx = EvalCtx::new().with_table("customer", data);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        let groups = v.as_list().unwrap();
+        assert_eq!(groups.len(), 1, "only `a st` violates: {v}");
+        assert_eq!(groups[0].field("key").unwrap(), &Value::str("a st"));
+    }
+
+    #[test]
+    fn fd_with_derived_rhs() {
+        // The running example: address -> prefix(phone).
+        let q = parse_query("SELECT * FROM customer c FD(c.address, prefix(c.phone))").unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let data = Value::list([
+            row(0, "a st", 1, "101-111", "x"),
+            row(1, "a st", 1, "102-222", "y"), // same nation, different prefix
+        ]);
+        let mut ctx = EvalCtx::new().with_table("customer", data);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dedup_comprehension_finds_similar_pairs() {
+        let q = parse_query(
+            "SELECT * FROM customer c DEDUP(exact, LD, 0.8, c.address, c.name)",
+        )
+        .unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        assert_eq!(dq.ops[0].kind, OpKind::Dedup);
+        let data = Value::list([
+            row(0, "a st", 1, "101-1", "anderson"),
+            row(1, "a st", 1, "101-2", "andersen"), // same address, similar name
+            row(2, "a st", 1, "101-3", "zhang"),    // same address, dissimilar
+            row(3, "b st", 1, "101-4", "anderson"), // different address
+        ]);
+        let mut ctx = EvalCtx::new().with_table("customer", data);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        let pairs = v.as_list().unwrap();
+        assert_eq!(pairs.len(), 1, "{v}");
+        let left = pairs[0].field("left").unwrap();
+        assert_eq!(left.field("name").unwrap(), &Value::str("anderson"));
+    }
+
+    #[test]
+    fn dedup_pairs_are_asymmetric() {
+        // No (x, x) self pairs and no (b, a) mirror of (a, b).
+        let q =
+            parse_query("SELECT * FROM t DEDUP(token_filtering(2), LD, 0.8, t.name)").unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let data = Value::list([row(0, "x", 1, "1", "smith"), row(1, "x", 1, "1", "smyth")]);
+        let mut ctx = EvalCtx::new().with_table("t", data);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        // smith/smyth share tokens; exactly one ordered pair despite multi-
+        // key blocking possibly co-locating them in several groups… the
+        // rowid order kills mirrors but shared tokens may duplicate pairs;
+        // both orders never appear.
+        for p in v.as_list().unwrap() {
+            let l = p.field("left").unwrap().field(ROWID_FIELD).unwrap();
+            let r = p.field("right").unwrap().field(ROWID_FIELD).unwrap();
+            assert!(l < r);
+        }
+        assert!(!v.as_list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn cluster_by_suggests_repairs() {
+        let q = parse_query(
+            "SELECT * FROM data x, dict w CLUSTER BY(token_filtering(2), LD, 0.75, x.name)",
+        )
+        .unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        assert_eq!(dq.ops[0].kind, OpKind::TermValidation);
+        let data = Value::list([
+            Value::record([(ROWID_FIELD, Value::Int(0)), ("name", Value::str("andersen"))]),
+        ]);
+        let dict = Value::list([
+            Value::record([("term", Value::str("anderson"))]),
+            Value::record([("term", Value::str("zhang"))]),
+        ]);
+        let mut ctx = EvalCtx::new()
+            .with_table("data", data)
+            .with_table("dict", dict);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        let repairs = v.as_list().unwrap();
+        assert!(!repairs.is_empty());
+        assert!(repairs
+            .iter()
+            .all(|r| r.field("repair").unwrap() == &Value::str("anderson")));
+    }
+
+    #[test]
+    fn plain_select_desugars_to_bag() {
+        let q = parse_query("SELECT c.name AS n FROM customer c WHERE c.nationkey = 1").unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        assert_eq!(dq.ops.len(), 1);
+        assert_eq!(dq.ops[0].kind, OpKind::Select);
+        let data = Value::list([
+            row(0, "a", 1, "1", "ann"),
+            row(1, "b", 2, "2", "bob"),
+        ]);
+        let ctx = EvalCtx::new().with_table("customer", data);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        let rows = v.as_list().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].field("n").unwrap(), &Value::str("ann"));
+    }
+
+    #[test]
+    fn unknown_alias_is_error() {
+        let q = parse_query("SELECT zz.name FROM customer c").unwrap();
+        assert!(desugar_query(&q, 1).is_err());
+    }
+
+    #[test]
+    fn cluster_by_without_dictionary_is_error() {
+        let q = parse_query("SELECT * FROM t CLUSTER BY(tf, LD, 0.8, t.name)").unwrap();
+        assert!(desugar_query(&q, 1).is_err());
+    }
+
+    #[test]
+    fn running_example_desugars_to_three_ops() {
+        let q = parse_query(
+            "SELECT c.name, c.address, * FROM customer c, dictionary d \
+             FD(c.address, prefix(c.phone)) \
+             DEDUP(token_filtering, LD, 0.8, c.address) \
+             CLUSTER BY(token_filtering, LD, 0.8, c.name)",
+        )
+        .unwrap();
+        let dq = desugar_query(&q, 7).unwrap();
+        assert_eq!(dq.ops.len(), 3);
+        assert_eq!(dq.ops[0].kind, OpKind::Fd);
+        assert_eq!(dq.ops[1].kind, OpKind::Dedup);
+        assert_eq!(dq.ops[2].kind, OpKind::TermValidation);
+    }
+}

@@ -1,0 +1,711 @@
+//! Comprehension normalization — the §4.2 "domain-agnostic optimizations".
+//!
+//! The normalizer applies a small set of rewrite rules bottom-up until a
+//! fixpoint (with a fuel bound against pathological growth):
+//!
+//! * **beta reduction** — `v := e` bindings are substituted away, which also
+//!   unnests UDFs defined as comprehensions;
+//! * **generator flattening** — `v ← ⊗{e' | q̄'}` becomes `q̄', v := e'`,
+//!   removing nested comprehensions (Fegaras & Maier's unnesting rules);
+//! * **if-splitting** — `⊕{if c then e₁ else e₂ | q̄}` becomes
+//!   `⊕{e₁ | q̄, c} ⊕ ⊕{e₂ | q̄, ¬c}` so each branch optimizes separately;
+//! * **existential unnesting** — `…, exists ⊗{…| q̄'}, …` inlines `q̄'`
+//!   (for idempotent target monoids, where multiplicity cannot matter);
+//! * **filter pushdown** — predicates move directly after the qualifier
+//!   that binds their last free variable;
+//! * **static simplification** — constant folding, `true`/`false` predicate
+//!   elimination, empty-collection propagation, and projection of record
+//!   constructors.
+
+use cleanm_values::Value;
+
+use super::eval::eval_binop;
+use super::expr::{BinOp, CalcExpr, Comprehension, MonoidKind, Qual};
+use super::subst::{free_vars, fresh_var, substitute};
+
+/// Which rules fired how many times — exposed for tests and the `repro`
+/// harness's optimizer report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NormalizeStats {
+    pub beta_reductions: usize,
+    pub generators_flattened: usize,
+    pub ifs_split: usize,
+    pub exists_unnested: usize,
+    pub filters_pushed: usize,
+    pub simplifications: usize,
+    pub passes: usize,
+}
+
+impl NormalizeStats {
+    pub fn total(&self) -> usize {
+        self.beta_reductions
+            + self.generators_flattened
+            + self.ifs_split
+            + self.exists_unnested
+            + self.filters_pushed
+            + self.simplifications
+    }
+}
+
+const MAX_PASSES: usize = 64;
+const MAX_SIZE: usize = 100_000;
+
+/// Normalize an expression to fixpoint. Returns the rewritten expression
+/// and the rule-application statistics.
+pub fn normalize(expr: &CalcExpr) -> (CalcExpr, NormalizeStats) {
+    let mut stats = NormalizeStats::default();
+    let mut current = expr.clone();
+    for _ in 0..MAX_PASSES {
+        stats.passes += 1;
+        let before = stats.total();
+        current = rewrite(current, &mut stats);
+        if stats.total() == before || current.size() > MAX_SIZE {
+            break;
+        }
+    }
+    (current, stats)
+}
+
+/// One bottom-up pass.
+fn rewrite(expr: CalcExpr, stats: &mut NormalizeStats) -> CalcExpr {
+    // First rewrite children…
+    let expr = match expr {
+        CalcExpr::Const(_) | CalcExpr::Var(_) | CalcExpr::TableRef(_) => expr,
+        CalcExpr::Record(fields) => CalcExpr::Record(
+            fields
+                .into_iter()
+                .map(|(n, e)| (n, rewrite(e, stats)))
+                .collect(),
+        ),
+        CalcExpr::Proj(e, f) => CalcExpr::Proj(Box::new(rewrite(*e, stats)), f),
+        CalcExpr::Not(e) => CalcExpr::Not(Box::new(rewrite(*e, stats))),
+        CalcExpr::Exists(e) => CalcExpr::Exists(Box::new(rewrite(*e, stats))),
+        CalcExpr::BinOp(op, l, r) => CalcExpr::BinOp(
+            op,
+            Box::new(rewrite(*l, stats)),
+            Box::new(rewrite(*r, stats)),
+        ),
+        CalcExpr::Merge(m, l, r) => CalcExpr::Merge(
+            m,
+            Box::new(rewrite(*l, stats)),
+            Box::new(rewrite(*r, stats)),
+        ),
+        CalcExpr::If(c, t, e) => CalcExpr::If(
+            Box::new(rewrite(*c, stats)),
+            Box::new(rewrite(*t, stats)),
+            Box::new(rewrite(*e, stats)),
+        ),
+        CalcExpr::Call(f, args) => {
+            CalcExpr::Call(f, args.into_iter().map(|a| rewrite(a, stats)).collect())
+        }
+        CalcExpr::Comp(c) => {
+            let head = rewrite(*c.head, stats);
+            let quals = c
+                .quals
+                .into_iter()
+                .map(|q| match q {
+                    Qual::Gen(v, e) => Qual::Gen(v, rewrite(e, stats)),
+                    Qual::Bind(v, e) => Qual::Bind(v, rewrite(e, stats)),
+                    Qual::Pred(e) => Qual::Pred(rewrite(e, stats)),
+                })
+                .collect();
+            CalcExpr::Comp(Comprehension {
+                monoid: c.monoid,
+                head: Box::new(head),
+                quals,
+            })
+        }
+    };
+    // …then try the rules at this node.
+    apply_node_rules(expr, stats)
+}
+
+fn apply_node_rules(expr: CalcExpr, stats: &mut NormalizeStats) -> CalcExpr {
+    let expr = simplify_static(expr, stats);
+    match expr {
+        CalcExpr::Comp(c) => rewrite_comp(c, stats),
+        other => other,
+    }
+}
+
+// ------------------------------------------------------------- static rules
+
+fn simplify_static(expr: CalcExpr, stats: &mut NormalizeStats) -> CalcExpr {
+    match expr {
+        // Constant folding of scalar binops.
+        CalcExpr::BinOp(op, l, r) => match (&*l, &*r) {
+            (CalcExpr::Const(a), CalcExpr::Const(b))
+                if !matches!(op, BinOp::And | BinOp::Or) =>
+            {
+                match eval_binop(op, a, b) {
+                    Ok(v) => {
+                        stats.simplifications += 1;
+                        CalcExpr::Const(v)
+                    }
+                    Err(_) => CalcExpr::BinOp(op, l, r),
+                }
+            }
+            // Boolean identities.
+            (CalcExpr::Const(Value::Bool(true)), _) if op == BinOp::And => {
+                stats.simplifications += 1;
+                *r
+            }
+            (_, CalcExpr::Const(Value::Bool(true))) if op == BinOp::And => {
+                stats.simplifications += 1;
+                *l
+            }
+            (CalcExpr::Const(Value::Bool(false)), _) if op == BinOp::And => {
+                stats.simplifications += 1;
+                CalcExpr::boolean(false)
+            }
+            (CalcExpr::Const(Value::Bool(false)), _) if op == BinOp::Or => {
+                stats.simplifications += 1;
+                *r
+            }
+            (_, CalcExpr::Const(Value::Bool(false))) if op == BinOp::Or => {
+                stats.simplifications += 1;
+                *l
+            }
+            (CalcExpr::Const(Value::Bool(true)), _) if op == BinOp::Or => {
+                stats.simplifications += 1;
+                CalcExpr::boolean(true)
+            }
+            _ => CalcExpr::BinOp(op, l, r),
+        },
+        CalcExpr::Not(e) => match &*e {
+            CalcExpr::Const(Value::Bool(b)) => {
+                stats.simplifications += 1;
+                CalcExpr::boolean(!*b)
+            }
+            CalcExpr::Not(inner) => {
+                stats.simplifications += 1;
+                (**inner).clone()
+            }
+            _ => CalcExpr::Not(e),
+        },
+        CalcExpr::If(c, t, e) => match &*c {
+            CalcExpr::Const(Value::Bool(true)) => {
+                stats.simplifications += 1;
+                *t
+            }
+            CalcExpr::Const(Value::Bool(false)) => {
+                stats.simplifications += 1;
+                *e
+            }
+            _ => CalcExpr::If(c, t, e),
+        },
+        // Projection of a record constructor.
+        CalcExpr::Proj(e, field) => match &*e {
+            CalcExpr::Record(fields) => match fields.iter().find(|(n, _)| *n == field) {
+                Some((_, v)) => {
+                    stats.simplifications += 1;
+                    v.clone()
+                }
+                None => CalcExpr::Proj(e, field),
+            },
+            _ => CalcExpr::Proj(e, field),
+        },
+        // exists over a constant collection.
+        CalcExpr::Exists(e) => match &*e {
+            CalcExpr::Const(Value::List(items)) => {
+                stats.simplifications += 1;
+                CalcExpr::boolean(!items.is_empty())
+            }
+            _ => CalcExpr::Exists(e),
+        },
+        // Merge with a known-zero side.
+        CalcExpr::Merge(m, l, r) => {
+            let zero = m.zero();
+            match (&*l, &*r) {
+                (CalcExpr::Const(v), _) if *v == zero => {
+                    stats.simplifications += 1;
+                    *r
+                }
+                (_, CalcExpr::Const(v)) if *v == zero => {
+                    stats.simplifications += 1;
+                    *l
+                }
+                _ => CalcExpr::Merge(m, l, r),
+            }
+        }
+        other => other,
+    }
+}
+
+// -------------------------------------------------------- comprehension rules
+
+fn rewrite_comp(c: Comprehension, stats: &mut NormalizeStats) -> CalcExpr {
+    // 1. A statically false predicate annihilates the comprehension.
+    if c.quals.iter().any(|q| {
+        matches!(q, Qual::Pred(CalcExpr::Const(Value::Bool(false))))
+    }) {
+        stats.simplifications += 1;
+        return CalcExpr::Const(c.monoid.zero());
+    }
+    // 2. Drop statically true predicates.
+    let before = c.quals.len();
+    let mut quals: Vec<Qual> = c
+        .quals
+        .into_iter()
+        .filter(|q| !matches!(q, Qual::Pred(CalcExpr::Const(Value::Bool(true)))))
+        .collect();
+    if quals.len() != before {
+        stats.simplifications += before - quals.len();
+    }
+    // 3. A generator over a statically empty collection annihilates.
+    if quals.iter().any(|q| {
+        matches!(q, Qual::Gen(_, CalcExpr::Const(Value::List(items))) if items.is_empty())
+    }) {
+        stats.simplifications += 1;
+        return CalcExpr::Const(c.monoid.zero());
+    }
+
+    // 4. Beta reduction: substitute the first Bind away. Skipped when a
+    //    later qualifier rebinds a free variable of the bound expression —
+    //    substituting past such a binder would capture it. (The evaluator
+    //    handles residual Binds natively, so skipping is always safe.)
+    if let Some(pos) = quals.iter().position(|q| {
+        if let Qual::Bind(_, e) = q {
+            let e_free = free_vars(e);
+            let later = quals
+                .iter()
+                .skip_while(|q2| !std::ptr::eq(*q2, q))
+                .skip(1);
+            !later
+                .filter_map(|q2| match q2 {
+                    Qual::Gen(b, _) | Qual::Bind(b, _) => Some(b),
+                    Qual::Pred(_) => None,
+                })
+                .any(|b| e_free.contains(b))
+        } else {
+            false
+        }
+    }) {
+        let Qual::Bind(v, e) = quals.remove(pos) else {
+            unreachable!()
+        };
+        stats.beta_reductions += 1;
+        let mut head = *c.head;
+        let mut shadowed = false;
+        for q in quals.iter_mut().skip(pos) {
+            match q {
+                Qual::Gen(bv, ge) => {
+                    if !shadowed {
+                        *ge = substitute(ge, &v, &e);
+                    }
+                    if *bv == v {
+                        shadowed = true;
+                    }
+                }
+                Qual::Bind(bv, be) => {
+                    if !shadowed {
+                        *be = substitute(be, &v, &e);
+                    }
+                    if *bv == v {
+                        shadowed = true;
+                    }
+                }
+                Qual::Pred(pe) => {
+                    if !shadowed {
+                        *pe = substitute(pe, &v, &e);
+                    }
+                }
+            }
+        }
+        if !shadowed {
+            head = substitute(&head, &v, &e);
+        }
+        return CalcExpr::Comp(Comprehension {
+            monoid: c.monoid,
+            head: Box::new(head),
+            quals,
+        });
+    }
+
+    // 5. Generator flattening: v ← ⊗{e' | q̄'} ⇒ q̄' (α-renamed), v := e'.
+    if let Some(pos) = quals.iter().position(|q| {
+        matches!(q, Qual::Gen(_, CalcExpr::Comp(inner))
+            if flattenable(&inner.monoid, &c.monoid))
+    }) {
+        let Qual::Gen(v, CalcExpr::Comp(inner)) = quals.remove(pos) else {
+            unreachable!()
+        };
+        stats.generators_flattened += 1;
+        // α-rename the inner binders so they cannot clash with outer names.
+        let mut inner_quals = inner.quals;
+        let mut inner_head = *inner.head;
+        let binders: Vec<String> = inner_quals
+            .iter()
+            .filter_map(|q| match q {
+                Qual::Gen(b, _) | Qual::Bind(b, _) => Some(b.clone()),
+                Qual::Pred(_) => None,
+            })
+            .collect();
+        for b in binders {
+            let nb = fresh_var(&b);
+            for q in inner_quals.iter_mut() {
+                match q {
+                    Qual::Gen(bv, e) | Qual::Bind(bv, e) => {
+                        *e = substitute(e, &b, &CalcExpr::Var(nb.clone()));
+                        if *bv == b {
+                            *bv = nb.clone();
+                        }
+                    }
+                    Qual::Pred(e) => {
+                        *e = substitute(e, &b, &CalcExpr::Var(nb.clone()));
+                    }
+                }
+            }
+            inner_head = substitute(&inner_head, &b, &CalcExpr::Var(nb.clone()));
+        }
+        let mut new_quals = Vec::with_capacity(quals.len() + inner_quals.len() + 1);
+        new_quals.extend_from_slice(&quals[..pos]);
+        new_quals.extend(inner_quals);
+        new_quals.push(Qual::Bind(v, inner_head));
+        new_quals.extend_from_slice(&quals[pos..]);
+        return CalcExpr::Comp(Comprehension {
+            monoid: c.monoid,
+            head: c.head,
+            quals: new_quals,
+        });
+    }
+
+    // 6. Existential unnesting (idempotent targets only — multiplicity
+    //    introduced by the inlined generators must not be observable).
+    if c.monoid.idempotent() {
+        if let Some(pos) = quals.iter().position(|q| {
+            matches!(q, Qual::Pred(CalcExpr::Exists(inner))
+                if matches!(&**inner, CalcExpr::Comp(ic) if ic.monoid.is_collection()))
+        }) {
+            let Qual::Pred(CalcExpr::Exists(inner)) = quals.remove(pos) else {
+                unreachable!()
+            };
+            let CalcExpr::Comp(ic) = *inner else {
+                unreachable!()
+            };
+            stats.exists_unnested += 1;
+            let mut new_quals = Vec::with_capacity(quals.len() + ic.quals.len());
+            new_quals.extend_from_slice(&quals[..pos]);
+            new_quals.extend(ic.quals);
+            new_quals.extend_from_slice(&quals[pos..]);
+            return CalcExpr::Comp(Comprehension {
+                monoid: c.monoid,
+                head: c.head,
+                quals: new_quals,
+            });
+        }
+    }
+
+    // 7. If-splitting of the head.
+    if let CalcExpr::If(cond, then_e, else_e) = &*c.head {
+        // Only when the comprehension still iterates something — otherwise
+        // simplification handles it — and the merge is well-defined.
+        stats.ifs_split += 1;
+        let mut then_quals = quals.clone();
+        then_quals.push(Qual::Pred((**cond).clone()));
+        let mut else_quals = quals.clone();
+        else_quals.push(Qual::Pred(CalcExpr::Not(cond.clone())));
+        return CalcExpr::Merge(
+            c.monoid.clone(),
+            Box::new(CalcExpr::Comp(Comprehension {
+                monoid: c.monoid.clone(),
+                head: then_e.clone(),
+                quals: then_quals,
+            })),
+            Box::new(CalcExpr::Comp(Comprehension {
+                monoid: c.monoid.clone(),
+                head: else_e.clone(),
+                quals: else_quals,
+            })),
+        );
+    }
+
+    // 8. Filter pushdown: place each predicate right after the last binder
+    //    of its free variables (never reordering across binders it needs).
+    let pushed = push_filters(&mut quals);
+    if pushed > 0 {
+        stats.filters_pushed += pushed;
+    }
+
+    CalcExpr::Comp(Comprehension {
+        monoid: c.monoid,
+        head: c.head,
+        quals,
+    })
+}
+
+/// Inner collection monoids that may be flattened into an outer
+/// comprehension: Bag/List always preserve multiplicity and element order of
+/// visits; Set only when the outer monoid is idempotent (it cannot observe
+/// the lost dedup).
+fn flattenable(inner: &MonoidKind, outer: &MonoidKind) -> bool {
+    match inner {
+        MonoidKind::Bag | MonoidKind::List => true,
+        MonoidKind::Set => outer.idempotent(),
+        _ => false,
+    }
+}
+
+/// Stable predicate pushdown. Returns how many predicates moved.
+fn push_filters(quals: &mut [Qual]) -> usize {
+    let mut moved = 0;
+    // Repeatedly move any Pred one slot left when it does not depend on the
+    // binder immediately before it (bubble toward its dependencies).
+    loop {
+        let mut changed = false;
+        for i in 1..quals.len() {
+            let can_swap = match (&quals[i], &quals[i - 1]) {
+                (Qual::Pred(p), Qual::Gen(v, _)) | (Qual::Pred(p), Qual::Bind(v, _)) => {
+                    !free_vars(p).contains(v)
+                }
+                // Don't reorder predicates among themselves.
+                _ => false,
+            };
+            if can_swap {
+                quals.swap(i, i - 1);
+                moved += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::eval::{eval, EvalCtx};
+    use cleanm_values::Value;
+
+    fn nums(ns: &[i64]) -> Value {
+        Value::list(ns.iter().map(|&n| Value::Int(n)))
+    }
+
+    fn sum_comp(quals: Vec<Qual>, head: CalcExpr) -> CalcExpr {
+        CalcExpr::comp(MonoidKind::Sum, head, quals)
+    }
+
+    #[test]
+    fn beta_reduction_removes_binds() {
+        // sum{ y | x <- t, y := x + 1 }  ⇒  sum{ x + 1 | x <- t }
+        let e = sum_comp(
+            vec![
+                Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
+                Qual::Bind(
+                    "y".into(),
+                    CalcExpr::bin(BinOp::Add, CalcExpr::var("x"), CalcExpr::int(1)),
+                ),
+            ],
+            CalcExpr::var("y"),
+        );
+        let (n, stats) = normalize(&e);
+        assert!(stats.beta_reductions >= 1);
+        match &n {
+            CalcExpr::Comp(c) => {
+                assert_eq!(c.quals.len(), 1);
+                assert_eq!(
+                    *c.head,
+                    CalcExpr::bin(BinOp::Add, CalcExpr::var("x"), CalcExpr::int(1))
+                );
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn generator_flattening_unnests() {
+        // sum{ y | y <- bag{ x*2 | x <- t } } ⇒ sum{ x*2 | x <- t }
+        let inner = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::bin(BinOp::Mul, CalcExpr::var("x"), CalcExpr::int(2)),
+            vec![Qual::Gen("x".into(), CalcExpr::TableRef("t".into()))],
+        );
+        let e = sum_comp(vec![Qual::Gen("y".into(), inner)], CalcExpr::var("y"));
+        let (n, stats) = normalize(&e);
+        assert!(stats.generators_flattened >= 1);
+        assert!(stats.beta_reductions >= 1);
+        // Result is a single flat comprehension.
+        match &n {
+            CalcExpr::Comp(c) => {
+                assert_eq!(c.quals.len(), 1);
+                assert!(matches!(&c.quals[0], Qual::Gen(_, CalcExpr::TableRef(t)) if t == "t"));
+            }
+            other => panic!("{other}"),
+        }
+        // Semantics preserved.
+        let ctx = EvalCtx::new().with_table("t", nums(&[1, 2, 3]));
+        assert_eq!(eval(&e, &vec![], &ctx).unwrap(), eval(&n, &vec![], &ctx).unwrap());
+    }
+
+    #[test]
+    fn if_split_partitions() {
+        // bag{ if x < 2 then 0 else 1 | x <- t }
+        let e = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::If(
+                Box::new(CalcExpr::bin(BinOp::Lt, CalcExpr::var("x"), CalcExpr::int(2))),
+                Box::new(CalcExpr::int(0)),
+                Box::new(CalcExpr::int(1)),
+            ),
+            vec![Qual::Gen("x".into(), CalcExpr::TableRef("t".into()))],
+        );
+        let (n, stats) = normalize(&e);
+        assert!(stats.ifs_split >= 1);
+        assert!(matches!(n, CalcExpr::Merge(MonoidKind::Bag, _, _)));
+        let ctx = EvalCtx::new().with_table("t", nums(&[1, 2, 3]));
+        let a = eval(&e, &vec![], &ctx).unwrap();
+        let b = eval(&n, &vec![], &ctx).unwrap();
+        // Bag semantics: compare as multisets.
+        let sort = |v: &Value| {
+            let mut items = v.as_list().unwrap().to_vec();
+            items.sort();
+            items
+        };
+        assert_eq!(sort(&a), sort(&b));
+    }
+
+    #[test]
+    fn exists_unnesting_for_idempotent() {
+        // set{ x | x <- t, exists bag{ y | y <- u, y = x } }
+        let inner = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::var("y"),
+            vec![
+                Qual::Gen("y".into(), CalcExpr::TableRef("u".into())),
+                Qual::Pred(CalcExpr::bin(BinOp::Eq, CalcExpr::var("y"), CalcExpr::var("x"))),
+            ],
+        );
+        let e = CalcExpr::comp(
+            MonoidKind::Set,
+            CalcExpr::var("x"),
+            vec![
+                Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
+                Qual::Pred(CalcExpr::Exists(Box::new(inner))),
+            ],
+        );
+        let (n, stats) = normalize(&e);
+        assert!(stats.exists_unnested >= 1, "{stats:?}");
+        let ctx = EvalCtx::new()
+            .with_table("t", nums(&[1, 2, 3, 4]))
+            .with_table("u", nums(&[2, 4, 4, 6]));
+        assert_eq!(
+            eval(&n, &vec![], &ctx).unwrap(),
+            nums(&[2, 4]),
+            "normalized: {n}"
+        );
+        assert_eq!(eval(&e, &vec![], &ctx).unwrap(), nums(&[2, 4]));
+    }
+
+    #[test]
+    fn exists_not_unnested_for_bag() {
+        // Multiplicity would change for a Bag target: rule must not fire.
+        let inner = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::var("y"),
+            vec![Qual::Gen("y".into(), CalcExpr::TableRef("u".into()))],
+        );
+        let e = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::var("x"),
+            vec![
+                Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
+                Qual::Pred(CalcExpr::Exists(Box::new(inner))),
+            ],
+        );
+        let (_, stats) = normalize(&e);
+        assert_eq!(stats.exists_unnested, 0);
+    }
+
+    #[test]
+    fn filter_pushdown_reorders() {
+        // sum{ x+y | x <- t, y <- u, x > 1 }: the x-predicate moves before
+        // the y generator.
+        let e = sum_comp(
+            vec![
+                Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
+                Qual::Gen("y".into(), CalcExpr::TableRef("u".into())),
+                Qual::Pred(CalcExpr::bin(BinOp::Gt, CalcExpr::var("x"), CalcExpr::int(1))),
+            ],
+            CalcExpr::bin(BinOp::Add, CalcExpr::var("x"), CalcExpr::var("y")),
+        );
+        let (n, stats) = normalize(&e);
+        assert!(stats.filters_pushed >= 1);
+        match &n {
+            CalcExpr::Comp(c) => {
+                assert!(matches!(&c.quals[0], Qual::Gen(v, _) if v == "x"));
+                assert!(matches!(&c.quals[1], Qual::Pred(_)));
+                assert!(matches!(&c.quals[2], Qual::Gen(v, _) if v == "y"));
+            }
+            other => panic!("{other}"),
+        }
+        let ctx = EvalCtx::new()
+            .with_table("t", nums(&[1, 2]))
+            .with_table("u", nums(&[10, 20]));
+        assert_eq!(
+            eval(&e, &vec![], &ctx).unwrap(),
+            eval(&n, &vec![], &ctx).unwrap()
+        );
+    }
+
+    #[test]
+    fn static_simplifications() {
+        // if true then a else b ⇒ a; 1 + 2 ⇒ 3; pred false annihilates.
+        let e = CalcExpr::If(
+            Box::new(CalcExpr::boolean(true)),
+            Box::new(CalcExpr::bin(BinOp::Add, CalcExpr::int(1), CalcExpr::int(2))),
+            Box::new(CalcExpr::int(0)),
+        );
+        let (n, _) = normalize(&e);
+        assert_eq!(n, CalcExpr::int(3));
+
+        let dead = sum_comp(
+            vec![
+                Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
+                Qual::Pred(CalcExpr::boolean(false)),
+            ],
+            CalcExpr::var("x"),
+        );
+        let (n, _) = normalize(&dead);
+        assert_eq!(n, CalcExpr::Const(Value::Int(0)));
+
+        let empty_gen = sum_comp(
+            vec![Qual::Gen("x".into(), CalcExpr::Const(Value::list([])))],
+            CalcExpr::var("x"),
+        );
+        let (n, _) = normalize(&empty_gen);
+        assert_eq!(n, CalcExpr::Const(Value::Int(0)));
+    }
+
+    #[test]
+    fn projection_of_record_folds() {
+        let e = CalcExpr::proj(
+            CalcExpr::record(vec![("a", CalcExpr::int(1)), ("b", CalcExpr::var("z"))]),
+            "b",
+        );
+        let (n, _) = normalize(&e);
+        assert_eq!(n, CalcExpr::var("z"));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let inner = CalcExpr::comp(
+            MonoidKind::Bag,
+            CalcExpr::bin(BinOp::Mul, CalcExpr::var("x"), CalcExpr::int(2)),
+            vec![Qual::Gen("x".into(), CalcExpr::TableRef("t".into()))],
+        );
+        let e = sum_comp(
+            vec![
+                Qual::Gen("y".into(), inner),
+                Qual::Pred(CalcExpr::bin(BinOp::Gt, CalcExpr::var("y"), CalcExpr::int(0))),
+            ],
+            CalcExpr::var("y"),
+        );
+        let (n1, _) = normalize(&e);
+        let (n2, stats2) = normalize(&n1);
+        assert_eq!(n1, n2);
+        assert_eq!(stats2.total(), 0, "{stats2:?}");
+    }
+}

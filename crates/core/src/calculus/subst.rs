@@ -1,0 +1,257 @@
+//! Capture-avoiding substitution and free-variable analysis.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use super::expr::{CalcExpr, Comprehension, Qual};
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// A globally fresh variable name (used when unnesting would capture).
+pub fn fresh_var(base: &str) -> String {
+    let n = FRESH.fetch_add(1, Ordering::Relaxed);
+    format!("{base}${n}")
+}
+
+/// Free variables of an expression.
+pub fn free_vars(expr: &CalcExpr) -> HashSet<String> {
+    let mut out = HashSet::new();
+    collect_free(expr, &mut HashSet::new(), &mut out);
+    out
+}
+
+fn collect_free(expr: &CalcExpr, bound: &mut HashSet<String>, out: &mut HashSet<String>) {
+    match expr {
+        CalcExpr::Const(_) | CalcExpr::TableRef(_) => {}
+        CalcExpr::Var(v) => {
+            if !bound.contains(v) {
+                out.insert(v.clone());
+            }
+        }
+        CalcExpr::Record(fields) => {
+            for (_, e) in fields {
+                collect_free(e, bound, out);
+            }
+        }
+        CalcExpr::Proj(e, _) | CalcExpr::Not(e) | CalcExpr::Exists(e) => {
+            collect_free(e, bound, out)
+        }
+        CalcExpr::BinOp(_, l, r) | CalcExpr::Merge(_, l, r) => {
+            collect_free(l, bound, out);
+            collect_free(r, bound, out);
+        }
+        CalcExpr::If(c, t, e) => {
+            collect_free(c, bound, out);
+            collect_free(t, bound, out);
+            collect_free(e, bound, out);
+        }
+        CalcExpr::Call(_, args) => {
+            for a in args {
+                collect_free(a, bound, out);
+            }
+        }
+        CalcExpr::Comp(c) => {
+            let mut newly_bound: Vec<String> = Vec::new();
+            for q in &c.quals {
+                match q {
+                    Qual::Gen(v, e) | Qual::Bind(v, e) => {
+                        collect_free(e, bound, out);
+                        if bound.insert(v.clone()) {
+                            newly_bound.push(v.clone());
+                        }
+                    }
+                    Qual::Pred(e) => collect_free(e, bound, out),
+                }
+            }
+            collect_free(&c.head, bound, out);
+            for v in newly_bound {
+                bound.remove(&v);
+            }
+        }
+    }
+}
+
+/// Substitute `value` for free occurrences of `var` in `expr`
+/// (capture-avoiding: shadowing binders stop the substitution; binders whose
+/// body would capture a free variable of `value` are α-renamed).
+pub fn substitute(expr: &CalcExpr, var: &str, value: &CalcExpr) -> CalcExpr {
+    match expr {
+        CalcExpr::Const(_) | CalcExpr::TableRef(_) => expr.clone(),
+        CalcExpr::Var(v) => {
+            if v == var {
+                value.clone()
+            } else {
+                expr.clone()
+            }
+        }
+        CalcExpr::Record(fields) => CalcExpr::Record(
+            fields
+                .iter()
+                .map(|(n, e)| (n.clone(), substitute(e, var, value)))
+                .collect(),
+        ),
+        CalcExpr::Proj(e, f) => CalcExpr::Proj(Box::new(substitute(e, var, value)), f.clone()),
+        CalcExpr::Not(e) => CalcExpr::Not(Box::new(substitute(e, var, value))),
+        CalcExpr::Exists(e) => CalcExpr::Exists(Box::new(substitute(e, var, value))),
+        CalcExpr::BinOp(op, l, r) => CalcExpr::BinOp(
+            *op,
+            Box::new(substitute(l, var, value)),
+            Box::new(substitute(r, var, value)),
+        ),
+        CalcExpr::Merge(m, l, r) => CalcExpr::Merge(
+            m.clone(),
+            Box::new(substitute(l, var, value)),
+            Box::new(substitute(r, var, value)),
+        ),
+        CalcExpr::If(c, t, e) => CalcExpr::If(
+            Box::new(substitute(c, var, value)),
+            Box::new(substitute(t, var, value)),
+            Box::new(substitute(e, var, value)),
+        ),
+        CalcExpr::Call(f, args) => CalcExpr::Call(
+            f.clone(),
+            args.iter().map(|a| substitute(a, var, value)).collect(),
+        ),
+        CalcExpr::Comp(c) => CalcExpr::Comp(substitute_comp(c, var, value)),
+    }
+}
+
+fn substitute_comp(c: &Comprehension, var: &str, value: &CalcExpr) -> Comprehension {
+    let value_free = free_vars(value);
+    let mut quals: Vec<Qual> = Vec::with_capacity(c.quals.len());
+    let mut shadowed = false;
+    // Renamings applied to the remainder of the comprehension (α-conversion
+    // of binders that would capture a free var of `value`).
+    let mut renames: Vec<(String, String)> = Vec::new();
+
+    let apply_renames = |e: &CalcExpr, renames: &[(String, String)]| -> CalcExpr {
+        let mut out = e.clone();
+        for (from, to) in renames {
+            out = substitute(&out, from, &CalcExpr::Var(to.clone()));
+        }
+        out
+    };
+
+    for q in &c.quals {
+        match q {
+            Qual::Gen(v, e) | Qual::Bind(v, e) => {
+                let is_gen = matches!(q, Qual::Gen(..));
+                // Substitute in the source expression first (binder not yet
+                // in scope there), unless an earlier binder shadowed `var`.
+                let mut e2 = apply_renames(e, &renames);
+                if !shadowed {
+                    e2 = substitute(&e2, var, value);
+                }
+                let mut v2 = v.clone();
+                if v == var {
+                    shadowed = true;
+                } else if value_free.contains(v) && !shadowed {
+                    // α-rename this binder to avoid capturing `value`'s var.
+                    v2 = fresh_var(v);
+                    renames.push((v.clone(), v2.clone()));
+                }
+                quals.push(if is_gen {
+                    Qual::Gen(v2, e2)
+                } else {
+                    Qual::Bind(v2, e2)
+                });
+            }
+            Qual::Pred(e) => {
+                let mut e2 = apply_renames(e, &renames);
+                if !shadowed {
+                    e2 = substitute(&e2, var, value);
+                }
+                quals.push(Qual::Pred(e2));
+            }
+        }
+    }
+    let mut head = apply_renames(&c.head, &renames);
+    if !shadowed {
+        head = substitute(&head, var, value);
+    }
+    Comprehension {
+        monoid: c.monoid.clone(),
+        head: Box::new(head),
+        quals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::expr::{BinOp, MonoidKind};
+
+    #[test]
+    fn free_vars_basics() {
+        let e = CalcExpr::bin(
+            BinOp::Add,
+            CalcExpr::var("x"),
+            CalcExpr::proj(CalcExpr::var("y"), "f"),
+        );
+        let fv = free_vars(&e);
+        assert!(fv.contains("x") && fv.contains("y"));
+        assert_eq!(fv.len(), 2);
+    }
+
+    #[test]
+    fn comprehension_binds() {
+        // sum{ x + z | x <- t }: x bound, z free.
+        let c = CalcExpr::comp(
+            MonoidKind::Sum,
+            CalcExpr::bin(BinOp::Add, CalcExpr::var("x"), CalcExpr::var("z")),
+            vec![Qual::Gen("x".into(), CalcExpr::TableRef("t".into()))],
+        );
+        let fv = free_vars(&c);
+        assert!(fv.contains("z"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        // sum{ x | x <- xs }: substituting x does nothing inside.
+        let c = CalcExpr::comp(
+            MonoidKind::Sum,
+            CalcExpr::var("x"),
+            vec![Qual::Gen("x".into(), CalcExpr::var("xs"))],
+        );
+        let out = substitute(&c, "x", &CalcExpr::int(9));
+        assert_eq!(out, c);
+        // …but xs does get substituted.
+        let out = substitute(&c, "xs", &CalcExpr::TableRef("t".into()));
+        match out {
+            CalcExpr::Comp(c2) => {
+                assert_eq!(c2.quals[0], Qual::Gen("x".into(), CalcExpr::TableRef("t".into())));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitute_avoids_capture() {
+        // sum{ y + k | y <- t }: substitute k := y. The binder y must be
+        // renamed, otherwise the free y of the value is captured.
+        let c = CalcExpr::comp(
+            MonoidKind::Sum,
+            CalcExpr::bin(BinOp::Add, CalcExpr::var("y"), CalcExpr::var("k")),
+            vec![Qual::Gen("y".into(), CalcExpr::TableRef("t".into()))],
+        );
+        let out = substitute(&c, "k", &CalcExpr::var("y"));
+        match out {
+            CalcExpr::Comp(c2) => {
+                let Qual::Gen(binder, _) = &c2.quals[0] else {
+                    panic!()
+                };
+                assert_ne!(binder, "y", "binder must be α-renamed");
+                // Head: binder + y (the substituted free y remains free).
+                let fv = free_vars(&CalcExpr::Comp(c2));
+                assert!(fv.contains("y"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        assert_ne!(fresh_var("v"), fresh_var("v"));
+    }
+}

@@ -1,0 +1,14 @@
+//! The CleanDB engine: catalog, query pipeline, reports.
+//!
+//! [`CleanDb`] mirrors Figure 2 of the paper: a query string goes through
+//! the parser → Monoid Rewriter (desugar) → Monoid Optimizer (normalize) →
+//! algebra lowering → plan rewriter (sharing) → physical execution under the
+//! session's [`EngineProfile`](crate::physical::EngineProfile), producing a
+//! [`CleaningReport`] with violations, suggested repairs, per-phase timings,
+//! optimizer statistics, and runtime metrics.
+
+pub mod report;
+pub mod session;
+
+pub use report::{CleaningReport, OpResult, Repair};
+pub use session::{CleanDb, EngineError};

@@ -1,0 +1,128 @@
+//! Query results: what a cleaning run found and what it cost.
+
+use std::time::Duration;
+
+use cleanm_exec::MetricsSnapshot;
+use cleanm_values::Value;
+
+use crate::algebra::RewriteStats;
+use crate::calculus::desugar::OpKind;
+use crate::calculus::NormalizeStats;
+use crate::physical::PhaseTimings;
+
+/// One operator's output.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    pub label: String,
+    pub kind: OpKind,
+    /// Raw reduced output (groups for FD, pairs for DEDUP, (term, repair)
+    /// records for CLUSTER BY, projected rows for SELECT).
+    pub output: Vec<Value>,
+    pub duration: Duration,
+}
+
+/// A suggested repair from term validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repair {
+    pub term: String,
+    pub suggestion: String,
+}
+
+/// The result of running one CleanM query.
+#[derive(Debug, Clone)]
+pub struct CleaningReport {
+    /// Which engine profile executed the query.
+    pub profile: String,
+    pub ops: Vec<OpResult>,
+    /// Distinct row ids participating in at least one violation — the
+    /// outer-join combination of §4.4 ("entities that contain at least one
+    /// violation").
+    pub violating_ids: Vec<i64>,
+    /// Term-validation repair candidates (all similar dictionary entries;
+    /// use [`crate::quality::select_best_repairs`] to pick one per term).
+    pub repairs: Vec<Repair>,
+    pub normalize_stats: NormalizeStats,
+    pub rewrite_stats: RewriteStats,
+    pub timings: PhaseTimings,
+    pub total: Duration,
+    pub metrics: MetricsSnapshot,
+    /// EXPLAIN text of the executed (possibly shared) plans.
+    pub plan_text: String,
+}
+
+impl CleaningReport {
+    /// Number of distinct violating entities.
+    pub fn violations(&self) -> usize {
+        self.violating_ids.len()
+    }
+
+    /// Output rows of the op with the given label.
+    pub fn op_output(&self, label: &str) -> Option<&[Value]> {
+        self.ops
+            .iter()
+            .find(|o| o.label == label)
+            .map(|o| o.output.as_slice())
+    }
+
+    /// Human-readable summary (used by examples and the repro harness).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "[{}] {} operator(s), {} violating entities, {} repair candidates in {:?}\n",
+            self.profile,
+            self.ops.len(),
+            self.violations(),
+            self.repairs.len(),
+            self.total,
+        );
+        for op in &self.ops {
+            out.push_str(&format!(
+                "  {}: {} output rows in {:?}\n",
+                op.label,
+                op.output.len(),
+                op.duration
+            ));
+        }
+        out.push_str(&format!(
+            "  optimizer: {} normalization rewrites, {} shared nodes; \
+             shuffled {} records, {} comparisons\n",
+            self.normalize_stats.total(),
+            self.rewrite_stats.total_shared(),
+            self.metrics.records_shuffled,
+            self.metrics.comparisons,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let report = CleaningReport {
+            profile: "CleanDB".into(),
+            ops: vec![OpResult {
+                label: "FD#0".into(),
+                kind: OpKind::Fd,
+                output: vec![Value::Int(1)],
+                duration: Duration::from_millis(5),
+            }],
+            violating_ids: vec![3, 7],
+            repairs: vec![],
+            normalize_stats: NormalizeStats::default(),
+            rewrite_stats: RewriteStats::default(),
+            timings: PhaseTimings::default(),
+            total: Duration::from_millis(9),
+            metrics: MetricsSnapshot::default(),
+            plan_text: String::new(),
+        };
+        let s = report.summary();
+        assert!(s.contains("CleanDB"));
+        assert!(s.contains("2 violating entities"));
+        assert!(s.contains("FD#0"));
+        assert_eq!(report.violations(), 2);
+        assert!(report.op_output("FD#0").is_some());
+        assert!(report.op_output("nope").is_none());
+    }
+}

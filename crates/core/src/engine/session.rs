@@ -1,0 +1,514 @@
+//! The CleanDb session: register tables, run CleanM queries.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cleanm_exec::{ExecContext, ExecError};
+use cleanm_values::{Table, Value};
+
+use crate::algebra::{lower_op, rewrite_shared, Alg, RewriteStats};
+use crate::calculus::desugar::{desugar_query, DesugaredOp, OpKind, ROWID_FIELD};
+use crate::calculus::{normalize, CalcExpr, EvalCtx, Func, NormalizeStats, Qual};
+use crate::lang::{parse_query, Query};
+use crate::physical::{EngineProfile, Executor};
+
+use super::report::{CleaningReport, OpResult, Repair};
+
+/// Engine-level errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Parsing / desugaring / lowering failed.
+    Plan(cleanm_values::Error),
+    /// Execution failed (including work-budget exhaustion).
+    Exec(ExecError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Plan(e) => write!(f, "planning error: {e}"),
+            EngineError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<cleanm_values::Error> for EngineError {
+    fn from(e: cleanm_values::Error) -> Self {
+        EngineError::Plan(e)
+    }
+}
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+/// A CleanDB session: a catalog of registered tables plus the engine
+/// profile and runtime context queries execute under.
+pub struct CleanDb {
+    ctx: Arc<ExecContext>,
+    profile: EngineProfile,
+    tables: HashMap<String, Arc<Vec<Value>>>,
+    /// Dictionary tables (registered via [`CleanDb::register_dictionary`]):
+    /// their terms also serve as the k-means center corpus, as in §8.1.
+    dictionaries: HashMap<String, Arc<Vec<String>>>,
+    seed: u64,
+}
+
+impl CleanDb {
+    /// A session on a local context sized to the machine.
+    pub fn new(profile: EngineProfile) -> Self {
+        CleanDb::with_context(profile, ExecContext::local())
+    }
+
+    /// A session on an explicit runtime context (worker/partition counts,
+    /// work budget).
+    pub fn with_context(profile: EngineProfile, ctx: Arc<ExecContext>) -> Self {
+        CleanDb {
+            ctx,
+            profile,
+            tables: HashMap::new(),
+            dictionaries: HashMap::new(),
+            seed: 42,
+        }
+    }
+
+    /// Seed for randomized blockers (k-means center sampling).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
+    pub fn context(&self) -> &Arc<ExecContext> {
+        &self.ctx
+    }
+
+    /// Register a relational table. Rows become structs carrying a hidden
+    /// `__rowid` identity used for pair enumeration and violation reporting.
+    pub fn register(&mut self, name: &str, table: Table) {
+        let rows: Vec<Value> = table
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                let mut fields: Vec<(&str, Value)> = vec![(ROWID_FIELD, Value::Int(i as i64))];
+                for (f, v) in table.schema.fields().iter().zip(row.values()) {
+                    fields.push((f.name.as_str(), v.clone()));
+                }
+                Value::record(fields)
+            })
+            .collect();
+        self.tables.insert(name.to_string(), Arc::new(rows));
+    }
+
+    /// Register rows that are already structs (must contain `__rowid`).
+    pub fn register_values(&mut self, name: &str, rows: Vec<Value>) {
+        self.tables.insert(name.to_string(), Arc::new(rows));
+    }
+
+    /// Register a dictionary for term validation: a single-column table
+    /// exposing each entry under `term`.
+    pub fn register_dictionary(&mut self, name: &str, terms: Vec<String>) {
+        let rows: Vec<Value> = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                Value::record([
+                    (ROWID_FIELD, Value::Int(i as i64)),
+                    ("term", Value::str(t)),
+                ])
+            })
+            .collect();
+        self.tables.insert(name.to_string(), Arc::new(rows));
+        self.dictionaries
+            .insert(name.to_string(), Arc::new(terms));
+    }
+
+    pub fn table_rows(&self, name: &str) -> Option<&Arc<Vec<Value>>> {
+        self.tables.get(name)
+    }
+
+    /// Crate-internal catalog access for operators that build algebra plans
+    /// directly (denial constraints).
+    pub(crate) fn tables_internal(&self) -> &HashMap<String, Arc<Vec<Value>>> {
+        &self.tables
+    }
+
+    /// Parse and execute a CleanM query.
+    pub fn run(&mut self, sql: &str) -> Result<CleaningReport, EngineError> {
+        let query = parse_query(sql)?;
+        self.run_query(&query)
+    }
+
+    /// Execute a parsed query through the full three-level pipeline.
+    pub fn run_query(&mut self, query: &Query) -> Result<CleaningReport, EngineError> {
+        let started = Instant::now();
+        self.ctx.metrics().reset();
+
+        // Level 1a: Monoid Rewriter (desugar).
+        let dq = desugar_query(query, self.seed)?;
+
+        // Level 1b: Monoid Optimizer (normalization).
+        let mut normalize_stats = NormalizeStats::default();
+        let mut normalized: Vec<DesugaredOp> = Vec::with_capacity(dq.ops.len());
+        for op in &dq.ops {
+            let (comp, stats) = normalize(&op.comp);
+            normalize_stats.beta_reductions += stats.beta_reductions;
+            normalize_stats.generators_flattened += stats.generators_flattened;
+            normalize_stats.ifs_split += stats.ifs_split;
+            normalize_stats.exists_unnested += stats.exists_unnested;
+            normalize_stats.filters_pushed += stats.filters_pushed;
+            normalize_stats.simplifications += stats.simplifications;
+            normalized.push(DesugaredOp {
+                label: op.label.clone(),
+                comp,
+                kind: op.kind,
+            });
+        }
+
+        // Level 2: lowering + sharing rewrite.
+        let mut plans: Vec<Arc<Alg>> = Vec::with_capacity(normalized.len());
+        for op in &normalized {
+            plans.push(lower_op(&op.comp)?);
+        }
+        let (plans, rewrite_stats) = if self.profile.share_plans {
+            rewrite_shared(&plans)
+        } else {
+            (plans, RewriteStats::default())
+        };
+        let plan_text: String = plans
+            .iter()
+            .zip(&normalized)
+            .map(|(p, op)| format!("-- {}\n{}", op.label, p.explain()))
+            .collect();
+
+        // Level 3: physical execution.
+        let eval_ctx = self.build_eval_ctx(&normalized);
+        let mut executor = Executor::new(
+            Arc::clone(&self.ctx),
+            self.profile.clone(),
+            &self.tables,
+            Arc::clone(&eval_ctx),
+        );
+        executor.register_plans(&plans);
+        let mut ops: Vec<OpResult> = Vec::with_capacity(plans.len());
+        for (plan, op) in plans.iter().zip(&normalized) {
+            let op_start = Instant::now();
+            let output = executor.run_reduce(plan)?;
+            ops.push(OpResult {
+                label: op.label.clone(),
+                kind: op.kind,
+                output,
+                duration: op_start.elapsed(),
+            });
+        }
+        let timings = executor.timings.clone();
+        // Expression-level similarity checks are counted in the evaluation
+        // context; fold them into the runtime metrics so reports see one
+        // comparison total.
+        self.ctx.metrics().add_comparisons(eval_ctx.comparisons());
+
+        // Combine per-operator violations (§4.4 outer-join semantics).
+        let violating_ids = self.combine_violations(&ops)?;
+        let repairs = collect_repairs(&ops);
+
+        Ok(CleaningReport {
+            profile: self.profile.name.clone(),
+            ops,
+            violating_ids,
+            repairs,
+            normalize_stats,
+            rewrite_stats,
+            timings,
+            total: started.elapsed(),
+            metrics: self.ctx.metrics().snapshot(),
+            plan_text,
+        })
+    }
+
+    /// Build the evaluation context: tables (for any residual reference
+    /// evaluation) plus prepared blockers. K-means centers come from a
+    /// registered dictionary when available, falling back to the blocking
+    /// attribute's own values (§8.1 obtains centers "from the dictionary").
+    fn build_eval_ctx(&self, ops: &[DesugaredOp]) -> Arc<EvalCtx> {
+        let mut ctx = EvalCtx::new();
+        let corpus: Vec<String> = match self.dictionaries.values().next() {
+            Some(terms) => terms.to_vec(),
+            None => self.sample_string_corpus(2_000),
+        };
+        for op in ops {
+            ctx.prepare_blockers(&op.comp, &corpus);
+        }
+        Arc::new(ctx)
+    }
+
+    /// Fallback k-means corpus: sampled string values from the catalog.
+    fn sample_string_corpus(&self, limit: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for rows in self.tables.values() {
+            for row in rows.iter().step_by((rows.len() / 512).max(1)) {
+                if let Ok(fields) = row.as_struct() {
+                    for (name, v) in fields {
+                        if name.as_ref() != ROWID_FIELD {
+                            if let Value::Str(s) = v {
+                                out.push(s.to_string());
+                                if out.len() >= limit {
+                                    return out;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Union the per-operator violating row ids. With sharing enabled this
+    /// is a cheap local union over already-materialized outputs; without it
+    /// (Spark SQL-like) the engine must recombine through a distributed
+    /// full outer join — the extra cost §8.2 observes.
+    fn combine_violations(&self, ops: &[OpResult]) -> Result<Vec<i64>, EngineError> {
+        let mut per_op_ids: Vec<Vec<i64>> = Vec::new();
+        for op in ops {
+            let mut ids = Vec::new();
+            for v in &op.output {
+                collect_rowids(v, &mut ids);
+            }
+            if !matches!(op.kind, OpKind::Select) {
+                per_op_ids.push(ids);
+            }
+        }
+        if per_op_ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.profile.share_plans || per_op_ids.len() == 1 {
+            let mut set: HashSet<i64> = HashSet::new();
+            for ids in per_op_ids {
+                set.extend(ids);
+            }
+            let mut out: Vec<i64> = set.into_iter().collect();
+            out.sort_unstable();
+            Ok(out)
+        } else {
+            // Distributed recombination via chained full outer joins.
+            use cleanm_exec::Dataset;
+            let mut iter = per_op_ids.into_iter();
+            let first = iter.next().unwrap();
+            let mut acc: Dataset<(i64, bool)> = Dataset::from_vec(
+                &self.ctx,
+                first.into_iter().map(|id| (id, true)).collect(),
+            );
+            for ids in iter {
+                let right: Dataset<(i64, bool)> =
+                    Dataset::from_vec(&self.ctx, ids.into_iter().map(|id| (id, true)).collect());
+                acc = acc
+                    .full_outer_join(right)
+                    .map(|(id, _, _)| (id, true));
+            }
+            let mut out: Vec<i64> = acc.collect().into_iter().map(|(id, _)| id).collect();
+            out.sort_unstable();
+            out.dedup();
+            Ok(out)
+        }
+    }
+}
+
+/// Pull every `__rowid` out of a (possibly nested) output value.
+fn collect_rowids(v: &Value, out: &mut Vec<i64>) {
+    match v {
+        Value::Struct(fields) => {
+            for (name, inner) in fields.iter() {
+                if name.as_ref() == ROWID_FIELD {
+                    if let Value::Int(id) = inner {
+                        out.push(*id);
+                    }
+                } else {
+                    collect_rowids(inner, out);
+                }
+            }
+        }
+        Value::List(items) => {
+            for item in items.iter() {
+                collect_rowids(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Extract (term, repair) pairs from term-validation outputs.
+fn collect_repairs(ops: &[OpResult]) -> Vec<Repair> {
+    let mut out = Vec::new();
+    for op in ops {
+        if op.kind != OpKind::TermValidation {
+            continue;
+        }
+        for v in &op.output {
+            if let (Ok(term), Ok(repair)) = (v.field("term"), v.field("repair")) {
+                out.push(Repair {
+                    term: term.to_text(),
+                    suggestion: repair.to_text(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Helper for ops modules: does a desugared op contain a `BlockKeys` over a
+/// given algorithm? (Used in tests.)
+pub fn op_uses_blocker(op: &DesugaredOp) -> bool {
+    fn walk(e: &CalcExpr) -> bool {
+        match e {
+            CalcExpr::Call(Func::BlockKeys(_), _) => true,
+            CalcExpr::Call(_, args) => args.iter().any(walk),
+            CalcExpr::BinOp(_, l, r) | CalcExpr::Merge(_, l, r) => walk(l) || walk(r),
+            CalcExpr::Not(x) | CalcExpr::Exists(x) | CalcExpr::Proj(x, _) => walk(x),
+            CalcExpr::If(c, t, f) => walk(c) || walk(t) || walk(f),
+            CalcExpr::Record(fs) => fs.iter().any(|(_, x)| walk(x)),
+            CalcExpr::Comp(c) => {
+                walk(&c.head)
+                    || c.quals.iter().any(|q| match q {
+                        Qual::Gen(_, x) | Qual::Bind(_, x) | Qual::Pred(x) => walk(x),
+                    })
+            }
+            _ => false,
+        }
+    }
+    walk(&op.comp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanm_values::{DataType, Row, Schema};
+
+    fn customer_table() -> Table {
+        let schema = Schema::of([
+            ("name", DataType::Str),
+            ("address", DataType::Str),
+            ("nationkey", DataType::Int),
+            ("phone", DataType::Str),
+        ]);
+        let rows = vec![
+            Row::new(vec![
+                Value::str("anderson"),
+                Value::str("a st"),
+                Value::Int(1),
+                Value::str("101-111"),
+            ]),
+            Row::new(vec![
+                Value::str("andersen"),
+                Value::str("a st"),
+                Value::Int(2), // FD violation on nationkey
+                Value::str("102-222"),
+            ]),
+            Row::new(vec![
+                Value::str("zhang"),
+                Value::str("b st"),
+                Value::Int(3),
+                Value::str("103-333"),
+            ]),
+        ];
+        Table::new(schema, rows)
+    }
+
+    #[test]
+    fn end_to_end_fd_query() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        let report = db
+            .run("SELECT * FROM customer c FD(c.address, c.nationkey)")
+            .unwrap();
+        assert_eq!(report.ops.len(), 1);
+        assert_eq!(report.violations(), 2, "both `a st` rows violate");
+        assert_eq!(report.violating_ids, vec![0, 1]);
+        assert!(report.plan_text.contains("Nest"));
+    }
+
+    #[test]
+    fn end_to_end_unified_query_all_profiles() {
+        for profile in [
+            EngineProfile::clean_db(),
+            EngineProfile::spark_sql_like(),
+            EngineProfile::big_dansing_like(),
+        ] {
+            let mut db = CleanDb::new(profile.clone());
+            db.register("customer", customer_table());
+            let report = db
+                .run(
+                    "SELECT * FROM customer c \
+                     FD(c.address, c.nationkey) \
+                     DEDUP(exact, LD, 0.7, c.address, c.name)",
+                )
+                .unwrap();
+            assert_eq!(report.ops.len(), 2, "{}", profile.name);
+            // FD flags rows 0,1; dedup also pairs (0,1): union = {0,1}.
+            assert_eq!(report.violating_ids, vec![0, 1], "{}", profile.name);
+            if profile.share_plans {
+                assert_eq!(report.rewrite_stats.shared_nests, 1);
+            } else {
+                assert_eq!(report.rewrite_stats.total_shared(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_term_validation() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        db.register_dictionary(
+            "dict",
+            vec!["anderson".into(), "zhang".into(), "miller".into()],
+        );
+        let report = db
+            .run(
+                "SELECT * FROM customer c, dict d \
+                 CLUSTER BY(token_filtering(2), LD, 0.75, c.name)",
+            )
+            .unwrap();
+        // andersen -> anderson should be among the repairs.
+        assert!(report
+            .repairs
+            .iter()
+            .any(|r| r.term == "andersen" && r.suggestion == "anderson"));
+    }
+
+    #[test]
+    fn plain_select_works() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        let report = db
+            .run("SELECT c.name AS n FROM customer c WHERE c.nationkey = 1")
+            .unwrap();
+        assert_eq!(report.ops[0].output.len(), 1);
+        assert_eq!(report.violations(), 0);
+    }
+
+    #[test]
+    fn unknown_table_is_execution_error() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        let err = db.run("SELECT * FROM nope n FD(n.a, n.b)").unwrap_err();
+        assert!(matches!(err, EngineError::Exec(_)), "{err}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut db = CleanDb::new(EngineProfile::clean_db());
+            db.register("customer", customer_table());
+            db.run("SELECT * FROM customer c FD(c.address, prefix(c.phone))")
+                .unwrap()
+                .violating_ids
+        };
+        assert_eq!(run(), run());
+    }
+}

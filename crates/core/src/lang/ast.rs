@@ -1,0 +1,141 @@
+//! Abstract syntax tree for CleanM queries.
+
+use cleanm_text::Metric;
+use cleanm_values::Value;
+
+/// Surface-level scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    Literal(Value),
+    /// `alias.column` or bare `column`.
+    Column { table: Option<String>, name: String },
+    /// `f(args…)` — builtin function call by name.
+    Call { name: String, args: Vec<Expr> },
+    /// Binary operation with SQL-ish operator text (`=`, `<>`, `AND`, …).
+    BinOp {
+        op: String,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Unary NOT.
+    Not(Box<Expr>),
+    /// `*` in a select list.
+    Star,
+}
+
+/// One select-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// A table in the FROM clause with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// The cleaning operators of Listing 1. A query may carry any number of
+/// them, in any order; §4.4: "when multiple cleaning operations appear …
+/// the semantics of the query correspond to an outer join \[of\] the
+/// violations of each cleaning operator".
+#[derive(Debug, Clone, PartialEq)]
+pub enum CleanOp {
+    /// `FD(lhs…, rhs…)` — both sides may contain several expressions.
+    Fd { lhs: Vec<Expr>, rhs: Vec<Expr> },
+    /// `DEDUP(op[, metric, theta][, attributes…])`.
+    Dedup {
+        op: BlockSpec,
+        metric: Metric,
+        theta: f64,
+        attributes: Vec<Expr>,
+    },
+    /// `CLUSTER BY(op[, metric, theta], term)` — term validation against
+    /// the dictionary table (the second FROM table).
+    ClusterBy {
+        op: BlockSpec,
+        metric: Metric,
+        theta: f64,
+        term: Expr,
+    },
+}
+
+/// The `<op>` of DEDUP/CLUSTER BY: which blocking algorithm to use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockSpec {
+    TokenFiltering { q: usize },
+    KMeans { k: usize },
+    Exact,
+    LengthBand { width: usize },
+}
+
+/// A parsed CleanM query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub clean_ops: Vec<CleanOp>,
+}
+
+impl Query {
+    /// The primary (first) input table.
+    pub fn primary_table(&self) -> Option<&TableRef> {
+        self.from.first()
+    }
+
+    /// The auxiliary table (dictionary for CLUSTER BY / semantic
+    /// transformations), if any.
+    pub fn auxiliary_table(&self) -> Option<&TableRef> {
+        self.from.get(1)
+    }
+
+    /// Resolve an alias to a FROM table, or fall back to the primary table.
+    pub fn resolve_alias(&self, alias: Option<&str>) -> Option<&TableRef> {
+        match alias {
+            None => self.primary_table(),
+            Some(a) => self
+                .from
+                .iter()
+                .find(|t| t.alias.as_deref() == Some(a) || t.name == a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alias_resolution() {
+        let q = Query {
+            distinct: false,
+            select: vec![],
+            from: vec![
+                TableRef {
+                    name: "customer".into(),
+                    alias: Some("c".into()),
+                },
+                TableRef {
+                    name: "dictionary".into(),
+                    alias: Some("d".into()),
+                },
+            ],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            clean_ops: vec![],
+        };
+        assert_eq!(q.resolve_alias(Some("c")).unwrap().name, "customer");
+        assert_eq!(q.resolve_alias(Some("dictionary")).unwrap().name, "dictionary");
+        assert_eq!(q.resolve_alias(None).unwrap().name, "customer");
+        assert!(q.resolve_alias(Some("zz")).is_none());
+        assert_eq!(q.auxiliary_table().unwrap().name, "dictionary");
+    }
+}

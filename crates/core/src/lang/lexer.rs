@@ -1,0 +1,180 @@
+//! Tokenizer for CleanM query text.
+
+use cleanm_values::{Error, Result};
+
+/// One lexical token. Keywords are recognized case-insensitively and carried
+/// upper-cased; identifiers keep their original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Keyword(String),
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(char),
+    /// Two-char operators: `<=`, `>=`, `<>`, `!=`.
+    Op(String),
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "ALL", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "FD", "DEDUP",
+    "CLUSTER", "AND", "OR", "NOT", "AS", "NULL", "TRUE", "FALSE",
+];
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit()
+            || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut saw_dot = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
+            {
+                if chars[i] == '.' {
+                    saw_dot = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if saw_dot {
+                tokens.push(Token::Float(text.parse().map_err(|_| {
+                    Error::Parse(format!("bad number `{text}`"))
+                })?));
+            } else {
+                tokens.push(Token::Int(text.parse().map_err(|_| {
+                    Error::Parse(format!("bad number `{text}`"))
+                })?));
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let upper = text.to_uppercase();
+            if KEYWORDS.contains(&upper.as_str()) {
+                tokens.push(Token::Keyword(upper));
+            } else {
+                tokens.push(Token::Ident(text));
+            }
+            continue;
+        }
+        if c == '\'' || c == '"' {
+            let quote = c;
+            i += 1;
+            let mut s = String::new();
+            let mut closed = false;
+            while i < chars.len() {
+                if chars[i] == quote {
+                    // Doubled quote = escaped quote.
+                    if chars.get(i + 1) == Some(&quote) {
+                        s.push(quote);
+                        i += 2;
+                        continue;
+                    }
+                    closed = true;
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            if !closed {
+                return Err(Error::Parse("unterminated string literal".to_string()));
+            }
+            tokens.push(Token::Str(s));
+            continue;
+        }
+        // Two-char operators.
+        if i + 1 < chars.len() {
+            let two: String = chars[i..i + 2].iter().collect();
+            if matches!(two.as_str(), "<=" | ">=" | "<>" | "!=") {
+                tokens.push(Token::Op(two));
+                i += 2;
+                continue;
+            }
+        }
+        if "(),.*=<>+-/|".contains(c) {
+            tokens.push(Token::Symbol(c));
+            i += 1;
+            continue;
+        }
+        return Err(Error::Parse(format!("unexpected character `{c}`")));
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("select FROM WheRe").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("FROM".into()),
+                Token::Keyword("WHERE".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_strings_idents() {
+        let t = tokenize("c.name 42 0.8 'a''b'").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("c".into()),
+                Token::Symbol('.'),
+                Token::Ident("name".into()),
+                Token::Int(42),
+                Token::Float(0.8),
+                Token::Str("a'b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a <= b <> c >= d != e = f").unwrap();
+        let ops: Vec<&Token> = t
+            .iter()
+            .filter(|t| matches!(t, Token::Op(_) | Token::Symbol('=')))
+            .collect();
+        assert_eq!(ops.len(), 5);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+
+    #[test]
+    fn full_cleanm_query_tokenizes() {
+        let q = "SELECT c.name, c.address, * FROM customer c, dictionary d \
+                 FD(c.address, prefix(c.phone)) \
+                 DEDUP(token_filtering, LD, 0.8, c.address) \
+                 CLUSTER BY(token_filtering, LD, 0.8, c.name)";
+        let t = tokenize(q).unwrap();
+        assert!(t.contains(&Token::Keyword("FD".into())));
+        assert!(t.contains(&Token::Keyword("DEDUP".into())));
+        assert!(t.contains(&Token::Keyword("CLUSTER".into())));
+        assert!(t.contains(&Token::Ident("token_filtering".into())));
+    }
+}

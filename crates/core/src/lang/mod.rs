@@ -1,0 +1,22 @@
+//! The CleanM language frontend.
+//!
+//! Listing 1 of the paper:
+//!
+//! ```text
+//! SELECT [ALL|DISTINCT] <SELECTLIST> <FROMCLAUSE>
+//! [WHERECLAUSE][GBCLAUSE[HCLAUSE]][FD|DEDUP|CLUSTER BY]*
+//! FD       = FD(attributesLHS, attributesRHS)
+//! DEDUP    = DEDUP(<op>[, <metric>, <theta>][, <attributes>])
+//! CLUSTERBY= CLUSTER BY(<op>[, <metric>, <theta>], <term>)
+//! ```
+//!
+//! [`lexer`] tokenizes, [`parser`] builds the [`ast`], and
+//! [`crate::calculus::desugar`] (the Monoid Rewriter) lowers the AST into
+//! monoid comprehensions.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CleanOp, Expr, Query, SelectItem};
+pub use parser::parse_query;

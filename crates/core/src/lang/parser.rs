@@ -1,0 +1,605 @@
+//! Recursive-descent parser for CleanM (Listing 1).
+
+use cleanm_text::Metric;
+use cleanm_values::{Error, Result, Value};
+
+use super::ast::{BlockSpec, CleanOp, Expr, Query, SelectItem, TableRef};
+use super::lexer::{tokenize, Token};
+
+/// Parse a CleanM query string into its AST.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos < p.tokens.len() {
+        return Err(Error::Parse(format!(
+            "trailing tokens after query: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, s: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(c)) if *c == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, s: char) -> Result<()> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(Error::Parse(format!(
+                "expected `{s}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------- grammar
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = if self.eat_keyword("DISTINCT") {
+            true
+        } else {
+            let _ = self.eat_keyword("ALL");
+            false
+        };
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.parse_from_list()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        let mut having = None;
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            if self.eat_keyword("HAVING") {
+                having = Some(self.expr()?);
+            }
+        }
+        let mut clean_ops = Vec::new();
+        loop {
+            if self.eat_keyword("FD") {
+                clean_ops.push(self.fd_op()?);
+            } else if self.eat_keyword("DEDUP") {
+                clean_ops.push(self.dedup_op()?);
+            } else if self.eat_keyword("CLUSTER") {
+                self.expect_keyword("BY")?;
+                clean_ops.push(self.cluster_by_op()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            clean_ops,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            let expr = if self.eat_symbol('*') {
+                Expr::Star
+            } else {
+                self.expr()?
+            };
+            let alias = if self.eat_keyword("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_from_list(&mut self) -> Result<Vec<TableRef>> {
+        let mut tables = Vec::new();
+        loop {
+            let name = self.ident()?;
+            // Optional alias: a bare identifier not followed by `.`.
+            let alias = match self.peek() {
+                Some(Token::Ident(_)) => Some(self.ident()?),
+                _ => None,
+            };
+            tables.push(TableRef { name, alias });
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    // FD(lhs…, rhs…): with multi-attribute sides the last argument is the
+    // RHS unless a `|` separator splits them; the common two-argument form
+    // FD(a, b) reads as lhs=[a], rhs=[b].
+    fn fd_op(&mut self) -> Result<CleanOp> {
+        self.expect_symbol('(')?;
+        let mut exprs = vec![self.expr()?];
+        let mut split_at = None;
+        loop {
+            if self.eat_symbol('|') {
+                split_at = Some(exprs.len());
+                exprs.push(self.expr()?);
+                continue;
+            }
+            if self.eat_symbol(',') {
+                exprs.push(self.expr()?);
+                continue;
+            }
+            break;
+        }
+        self.expect_symbol(')')?;
+        let split = split_at.unwrap_or(exprs.len().saturating_sub(1).max(1));
+        if split >= exprs.len() {
+            return Err(Error::Parse(
+                "FD needs at least one LHS and one RHS attribute".to_string(),
+            ));
+        }
+        let rhs = exprs.split_off(split);
+        Ok(CleanOp::Fd { lhs: exprs, rhs })
+    }
+
+    // DEDUP(op[, metric, theta][, attributes…])
+    fn dedup_op(&mut self) -> Result<CleanOp> {
+        self.expect_symbol('(')?;
+        let op = self.block_spec()?;
+        let (metric, theta) = self.optional_metric_theta()?;
+        let mut attributes = Vec::new();
+        while self.eat_symbol(',') {
+            attributes.push(self.expr()?);
+        }
+        self.expect_symbol(')')?;
+        Ok(CleanOp::Dedup {
+            op,
+            metric,
+            theta,
+            attributes,
+        })
+    }
+
+    // CLUSTER BY(op[, metric, theta], term)
+    fn cluster_by_op(&mut self) -> Result<CleanOp> {
+        self.expect_symbol('(')?;
+        let op = self.block_spec()?;
+        let (metric, theta) = self.optional_metric_theta()?;
+        self.expect_symbol(',')?;
+        let term = self.expr()?;
+        self.expect_symbol(')')?;
+        Ok(CleanOp::ClusterBy {
+            op,
+            metric,
+            theta,
+            term,
+        })
+    }
+
+    fn block_spec(&mut self) -> Result<BlockSpec> {
+        let name = self.ident()?.to_lowercase();
+        // Optional parameter: token_filtering(3), kmeans(10).
+        let param = if self.eat_symbol('(') {
+            let v = match self.next() {
+                Some(Token::Int(i)) if i > 0 => i as usize,
+                other => {
+                    return Err(Error::Parse(format!(
+                        "expected positive integer parameter, found {other:?}"
+                    )))
+                }
+            };
+            self.expect_symbol(')')?;
+            Some(v)
+        } else {
+            None
+        };
+        match name.as_str() {
+            "token_filtering" | "tf" => Ok(BlockSpec::TokenFiltering {
+                q: param.unwrap_or(3),
+            }),
+            "kmeans" | "k_means" => Ok(BlockSpec::KMeans {
+                k: param.unwrap_or(10),
+            }),
+            "exact" => Ok(BlockSpec::Exact),
+            "length_band" => Ok(BlockSpec::LengthBand {
+                width: param.unwrap_or(4),
+            }),
+            other => Err(Error::Parse(format!("unknown blocking op `{other}`"))),
+        }
+    }
+
+    /// `, metric, theta` — optional; defaults are Levenshtein / 0.8.
+    fn optional_metric_theta(&mut self) -> Result<(Metric, f64)> {
+        let save = self.pos;
+        if self.eat_symbol(',') {
+            if let Some(Token::Ident(name)) = self.peek().cloned() {
+                if let Some(metric) = Metric::parse(&name) {
+                    self.pos += 1;
+                    self.expect_symbol(',')?;
+                    let theta = match self.next() {
+                        Some(Token::Float(f)) => f,
+                        Some(Token::Int(i)) => i as f64,
+                        other => {
+                            return Err(Error::Parse(format!(
+                                "expected threshold, found {other:?}"
+                            )))
+                        }
+                    };
+                    if !(0.0..=1.0).contains(&theta) {
+                        return Err(Error::Parse(format!(
+                            "similarity threshold {theta} outside [0, 1]"
+                        )));
+                    }
+                    return Ok((metric, theta));
+                }
+            }
+            // Not a metric: rewind, the comma belongs to the attribute list.
+            self.pos = save;
+        }
+        Ok((Metric::Levenshtein, 0.8))
+    }
+
+    // --------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let right = self.and_expr()?;
+            left = Expr::BinOp {
+                op: "OR".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let right = self.not_expr()?;
+            left = Expr::BinOp {
+                op: "AND".into(),
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Symbol('=')) => Some("=".to_string()),
+            Some(Token::Symbol('<')) => Some("<".to_string()),
+            Some(Token::Symbol('>')) => Some(">".to_string()),
+            Some(Token::Op(o)) => Some(o.clone()),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            Ok(Expr::BinOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            })
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol('+')) => "+",
+                Some(Token::Symbol('-')) => "-",
+                _ => break,
+            }
+            .to_string();
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::BinOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol('*')) => "*",
+                Some(Token::Symbol('/')) => "/",
+                _ => break,
+            }
+            .to_string();
+            self.pos += 1;
+            let right = self.primary()?;
+            left = Expr::BinOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(Value::from(s))),
+            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Value::Null)),
+            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Value::Bool(true))),
+            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
+            Some(Token::Symbol('(')) => {
+                let e = self.expr()?;
+                self.expect_symbol(')')?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                // Function call?
+                if self.eat_symbol('(') {
+                    let mut args = Vec::new();
+                    if !self.eat_symbol(')') {
+                        loop {
+                            // `count(*)`-style star argument.
+                            if self.eat_symbol('*') {
+                                args.push(Expr::Star);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat_symbol(',') {
+                                break;
+                            }
+                        }
+                        self.expect_symbol(')')?;
+                    }
+                    return Ok(Expr::Call { name, args });
+                }
+                // Qualified column?
+                if self.eat_symbol('.') {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse_query("SELECT name, address FROM customer").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from[0].name, "customer");
+        assert!(q.clean_ops.is_empty());
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn distinct_where_group_by() {
+        let q = parse_query(
+            "SELECT DISTINCT c.name FROM customer c \
+             WHERE c.acctbal > 100 AND NOT c.name = 'x' \
+             GROUP BY c.nationkey HAVING count(c.name) > 1",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn running_example_parses() {
+        let q = parse_query(
+            "SELECT c.name, c.address, * FROM customer c, dictionary d \
+             FD(c.address, prefix(c.phone)) \
+             DEDUP(token_filtering, LD, 0.8, c.address) \
+             CLUSTER BY(token_filtering, LD, 0.8, c.name)",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.clean_ops.len(), 3);
+        match &q.clean_ops[0] {
+            CleanOp::Fd { lhs, rhs } => {
+                assert_eq!(lhs.len(), 1);
+                assert!(matches!(&rhs[0], Expr::Call { name, .. } if name == "prefix"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &q.clean_ops[1] {
+            CleanOp::Dedup {
+                op,
+                metric,
+                theta,
+                attributes,
+            } => {
+                assert_eq!(*op, BlockSpec::TokenFiltering { q: 3 });
+                assert_eq!(*metric, Metric::Levenshtein);
+                assert_eq!(*theta, 0.8);
+                assert_eq!(attributes.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &q.clean_ops[2] {
+            CleanOp::ClusterBy { term, .. } => {
+                assert!(matches!(term, Expr::Column { name, .. } if name == "name"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedup_defaults() {
+        let q = parse_query("SELECT * FROM t DEDUP(exact, name)").unwrap();
+        match &q.clean_ops[0] {
+            CleanOp::Dedup {
+                op,
+                metric,
+                theta,
+                attributes,
+            } => {
+                assert_eq!(*op, BlockSpec::Exact);
+                assert_eq!(*metric, Metric::Levenshtein);
+                assert_eq!(*theta, 0.8);
+                assert_eq!(attributes.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameterized_blockers() {
+        let q = parse_query("SELECT * FROM t DEDUP(token_filtering(2), LD, 0.9, name)")
+            .unwrap();
+        match &q.clean_ops[0] {
+            CleanOp::Dedup { op, theta, .. } => {
+                assert_eq!(*op, BlockSpec::TokenFiltering { q: 2 });
+                assert_eq!(*theta, 0.9);
+            }
+            other => panic!("{other:?}"),
+        }
+        let q = parse_query("SELECT * FROM t, d CLUSTER BY(kmeans(5), LD, 0.7, name)").unwrap();
+        match &q.clean_ops[0] {
+            CleanOp::ClusterBy { op, .. } => assert_eq!(*op, BlockSpec::KMeans { k: 5 }),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_attribute_fd() {
+        let q = parse_query("SELECT * FROM t FD(a, b | c)").unwrap();
+        match &q.clean_ops[0] {
+            CleanOp::Fd { lhs, rhs } => {
+                assert_eq!(lhs.len(), 2);
+                assert_eq!(rhs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default split: last expr is RHS.
+        let q = parse_query("SELECT * FROM t FD(a, b, c)").unwrap();
+        match &q.clean_ops[0] {
+            CleanOp::Fd { lhs, rhs } => {
+                assert_eq!(lhs.len(), 2);
+                assert_eq!(rhs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("FROM t").is_err());
+        assert!(parse_query("SELECT * FROM").is_err());
+        assert!(parse_query("SELECT * FROM t DEDUP(bogus_op, x)").is_err());
+        assert!(parse_query("SELECT * FROM t FD(a)").is_err());
+        assert!(parse_query("SELECT * FROM t WHERE").is_err());
+        assert!(parse_query("SELECT * FROM t DEDUP(tf, LD, 1.5, x)").is_err());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("SELECT a + b * c FROM t").unwrap();
+        match &q.select[0].expr {
+            Expr::BinOp { op, right, .. } => {
+                assert_eq!(op, "+");
+                assert!(matches!(&**right, Expr::BinOp { op, .. } if op == "*"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! High-level cleaning operators — the typed front doors to the pipeline.
+//!
+//! Each operator builds the corresponding CleanM construct (most via the
+//! parser, denial constraints via a direct algebra plan) and runs it through
+//! the session, so callers get §4.4 semantics without writing query strings
+//! by hand. These are what the examples and the benchmark harness use.
+
+pub mod dc;
+pub mod dedup;
+pub mod fd;
+pub mod termval;
+pub mod transform;
+
+pub use dc::{DcOutcome, InequalityDc};
+pub use dedup::Dedup;
+pub use fd::FdCheck;
+pub use termval::TermValidation;
+pub use transform::{apply_transforms, semantic_map, Transform, TransformMode, TransformReport};

@@ -1,0 +1,15 @@
+//! Physical level — translation of algebra plans to runtime operators
+//! (Table 2) under an [`EngineProfile`].
+//!
+//! The profile is the experimental control knob of §8: the *same* logical
+//! plan executes under `CleanDb` (local-aggregate Nest, M-Bucket theta
+//! join, shared plan DAG), `SparkSqlLike` (sort-shuffle Nest, cartesian
+//! theta join, no cross-operator sharing), or `BigDansingLike` (hash-shuffle
+//! Nest, min-max block theta join, one operation at a time), so measured
+//! differences are attributable to exactly the paper's claims.
+
+pub mod execute;
+pub mod profile;
+
+pub use execute::{Executor, PhaseTimings, RowEnv};
+pub use profile::{EngineProfile, NestStrategy, ThetaStrategy};

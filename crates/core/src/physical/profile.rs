@@ -1,0 +1,100 @@
+//! Engine profiles: the physical policies of the three compared systems.
+
+use serde::{Deserialize, Serialize};
+
+/// How a `Nest` (grouping) operator shuffles data — §6 "Handling data skew".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NestStrategy {
+    /// CleanDB: `aggregateByKey` — combine locally per partition, shuffle
+    /// only partial groups, merge. Skew-resilient, minimal traffic.
+    LocalAggregate,
+    /// Spark SQL: sort-based aggregation — range-partition on sampled key
+    /// quantiles, sort, group runs. Heavy keys overload single workers.
+    SortShuffle,
+    /// BigDansing: hash-based shuffling of every record.
+    HashShuffle,
+}
+
+/// How a theta join executes — §6 "Handling theta joins".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThetaStrategy {
+    /// CleanDB: statistics-aware matrix partitioning (Okcan & Riedewald).
+    MBucket,
+    /// BigDansing: per-block min/max pruning on the existing partitioning.
+    MinMaxBlocks,
+    /// Spark SQL: cartesian product followed by a filter.
+    CartesianFilter,
+}
+
+/// A complete physical policy. Construct via [`EngineProfile::clean_db`],
+/// [`EngineProfile::spark_sql_like`], or [`EngineProfile::big_dansing_like`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineProfile {
+    pub name: String,
+    pub nest: NestStrategy,
+    pub theta: ThetaStrategy,
+    /// Apply the §5 sharing rewrites (plan hash-consing + result memoing).
+    /// Spark SQL "is unable to detect the opportunity to group the tasks
+    /// into one"; BigDansing "can only apply one operation at a time".
+    pub share_plans: bool,
+    /// Push single-table selective predicates below expensive joins — the
+    /// monoid-level filter pushdown. Spark SQL's plan for rule ψ
+    /// "involv\[es\] a cartesian product followed by a filter condition"
+    /// (§6), i.e. the filter stays above the product; BigDansing treats the
+    /// DC as a black-box pairwise UDF.
+    pub push_selective_filters: bool,
+}
+
+impl EngineProfile {
+    /// The paper's system: all three optimization levels on.
+    pub fn clean_db() -> Self {
+        EngineProfile {
+            name: "CleanDB".to_string(),
+            nest: NestStrategy::LocalAggregate,
+            theta: ThetaStrategy::MBucket,
+            share_plans: true,
+            push_selective_filters: true,
+        }
+    }
+
+    /// The Spark SQL baseline of §8.
+    pub fn spark_sql_like() -> Self {
+        EngineProfile {
+            name: "SparkSQL".to_string(),
+            nest: NestStrategy::SortShuffle,
+            theta: ThetaStrategy::CartesianFilter,
+            share_plans: false,
+            push_selective_filters: false,
+        }
+    }
+
+    /// The BigDansing baseline of §8.
+    pub fn big_dansing_like() -> Self {
+        EngineProfile {
+            name: "BigDansing".to_string(),
+            nest: NestStrategy::HashShuffle,
+            theta: ThetaStrategy::MinMaxBlocks,
+            share_plans: false,
+            push_selective_filters: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_along_the_papers_axes() {
+        let c = EngineProfile::clean_db();
+        let s = EngineProfile::spark_sql_like();
+        let b = EngineProfile::big_dansing_like();
+        assert_eq!(c.nest, NestStrategy::LocalAggregate);
+        assert_eq!(s.nest, NestStrategy::SortShuffle);
+        assert_eq!(b.nest, NestStrategy::HashShuffle);
+        assert!(c.share_plans && !s.share_plans && !b.share_plans);
+        assert!(c.push_selective_filters);
+        assert_eq!(s.theta, ThetaStrategy::CartesianFilter);
+        assert_eq!(b.theta, ThetaStrategy::MinMaxBlocks);
+    }
+}

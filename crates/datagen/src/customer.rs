@@ -1,0 +1,271 @@
+//! TPC-H-shaped `customer` generator for the unified-cleaning (Figure 5) and
+//! customer-dedup (Figure 8a) experiments.
+//!
+//! Clean data satisfies both functional dependencies of §8.2:
+//!
+//! * FD1: `address → prefix(phone)` (the phone prefix is a function of the
+//!   customer's nation, and each address belongs to one nation)
+//! * FD2: `address → nationkey`
+//!
+//! Noise then (a) duplicates a fraction of customers — with the duplicate
+//! count drawn from Zipf, per Figure 8a — randomly editing name and phone,
+//! and (b) corrupts the nationkey of a fraction of rows, violating FD2 (and
+//! usually FD1, since the phone prefix no longer matches).
+
+use cleanm_values::{DataType, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::noise::{corrupt, pick_dirty_rows};
+use crate::zipf::Zipf;
+
+/// Column layout of the generated customer table.
+pub fn customer_schema() -> Schema {
+    Schema::of([
+        ("custkey", DataType::Int),
+        ("name", DataType::Str),
+        ("address", DataType::Str),
+        ("nationkey", DataType::Int),
+        ("phone", DataType::Str),
+        ("acctbal", DataType::Float),
+    ])
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct CustomerGen {
+    seed: u64,
+    rows: usize,
+    duplicate_fraction: f64,
+    /// Upper bound of the Zipf-distributed duplicate count (Figure 8a uses
+    /// 50 and 100).
+    max_duplicates: usize,
+    fd_noise_fraction: f64,
+}
+
+/// Generated data plus ground truth.
+#[derive(Debug, Clone)]
+pub struct CustomerData {
+    pub table: Table,
+    /// Ground-truth duplicate groups: sets of `custkey`s referring to the
+    /// same real-world customer (original first).
+    pub duplicate_groups: Vec<Vec<i64>>,
+    /// Addresses whose rows were given a conflicting nationkey (FD2
+    /// violations, usually also FD1).
+    pub fd_violating_addresses: Vec<String>,
+}
+
+impl CustomerGen {
+    pub fn new(seed: u64) -> Self {
+        CustomerGen {
+            seed,
+            rows: 10_000,
+            duplicate_fraction: 0.10,
+            max_duplicates: 3,
+            fd_noise_fraction: 0.02,
+        }
+    }
+
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    pub fn duplicate_fraction(mut self, f: f64) -> Self {
+        self.duplicate_fraction = f;
+        self
+    }
+
+    /// Figure 8a's `[1-50]` / `[1-100]` intervals.
+    pub fn max_duplicates(mut self, m: usize) -> Self {
+        self.max_duplicates = m.max(1);
+        self
+    }
+
+    pub fn fd_noise_fraction(mut self, f: f64) -> Self {
+        self.fd_noise_fraction = f;
+        self
+    }
+
+    pub fn generate(&self) -> CustomerData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rows: Vec<Row> = Vec::with_capacity(self.rows);
+
+        // Clean base: unique addresses, nation-consistent phones.
+        for i in 0..self.rows {
+            let nation = rng.gen_range(0..25i64);
+            let name = names::person_name(&mut rng);
+            // Unique address per customer: suffix the sequence number.
+            let address = format!("{} #{i}", names::address(&mut rng));
+            let phone = names::phone(&mut rng, nation);
+            let acctbal = (rng.gen_range(-99_999..999_999i64) as f64) / 100.0;
+            rows.push(Row::new(vec![
+                Value::Int(i as i64),
+                Value::str(&name),
+                Value::str(&address),
+                Value::Int(nation),
+                Value::str(&phone),
+                Value::Float(acctbal),
+            ]));
+        }
+
+        // Duplicates: 10% of customers, Zipf-many copies each, with edited
+        // name and phone (same address => dedup blocks on address find them).
+        let dup_sources = pick_dirty_rows(&mut rng, self.rows, self.duplicate_fraction);
+        let zipf = Zipf::new(self.max_duplicates, 1.0);
+        let mut duplicate_groups = Vec::with_capacity(dup_sources.len());
+        let mut next_key = self.rows as i64;
+        for &src in &dup_sources {
+            let n_dup = zipf.sample(&mut rng);
+            let mut group = vec![src as i64];
+            for _ in 0..n_dup {
+                let orig = rows[src].values().to_vec();
+                let mut v = orig;
+                v[0] = Value::Int(next_key);
+                let name = v[1].as_str().unwrap().to_string();
+                v[1] = Value::str(corrupt(&mut rng, &name, 0.1));
+                let phone = v[4].as_str().unwrap().to_string();
+                v[4] = Value::str(corrupt(&mut rng, &phone, 0.1));
+                rows.push(Row::new(v));
+                group.push(next_key);
+                next_key += 1;
+            }
+            duplicate_groups.push(group);
+        }
+
+        // FD violations: flip nationkey (and hence break prefix(phone)
+        // consistency) for a fraction of base rows.
+        let fd_dirty = pick_dirty_rows(&mut rng, self.rows, self.fd_noise_fraction);
+        let mut fd_violating_addresses = Vec::with_capacity(fd_dirty.len());
+        for &i in &fd_dirty {
+            let mut v = rows[i].values().to_vec();
+            let old_nation = v[3].as_int().unwrap();
+            let new_nation = (old_nation + 1 + rng.gen_range(0..23)) % 25;
+            let address = v[2].as_str().unwrap().to_string();
+            // A second row for the same address with a different nation (and
+            // a phone whose prefix matches the *new* nation): both FDs now
+            // have two RHS values for this address.
+            v[0] = Value::Int(next_key);
+            next_key += 1;
+            v[3] = Value::Int(new_nation);
+            v[4] = Value::str(names::phone(&mut rng, new_nation));
+            rows.push(Row::new(v));
+            fd_violating_addresses.push(address);
+        }
+
+        rows.shuffle(&mut rng);
+        CustomerData {
+            table: Table::new(customer_schema(), rows),
+            duplicate_groups,
+            fd_violating_addresses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    fn prefix(phone: &str) -> &str {
+        &phone[..3]
+    }
+
+    #[test]
+    fn clean_base_satisfies_both_fds() {
+        let data = CustomerGen::new(1)
+            .rows(2000)
+            .duplicate_fraction(0.0)
+            .fd_noise_fraction(0.0)
+            .generate();
+        let mut by_addr: HashMap<&str, (i64, &str)> = HashMap::new();
+        for row in &data.table.rows {
+            let addr = row.values()[2].as_str().unwrap();
+            let nation = row.values()[3].as_int().unwrap();
+            let pfx = prefix(row.values()[4].as_str().unwrap());
+            if let Some((n0, p0)) = by_addr.insert(addr, (nation, pfx)) {
+                assert_eq!(n0, nation);
+                assert_eq!(p0, pfx);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_share_address_and_are_similar() {
+        let data = CustomerGen::new(2).rows(1000).generate();
+        assert!(!data.duplicate_groups.is_empty());
+        let by_key: HashMap<i64, &Row> = data
+            .table
+            .rows
+            .iter()
+            .map(|r| (r.values()[0].as_int().unwrap(), r))
+            .collect();
+        for group in &data.duplicate_groups {
+            let orig = by_key[&group[0]];
+            for &dup in &group[1..] {
+                let d = by_key[&dup];
+                assert_eq!(orig.values()[2], d.values()[2], "same address");
+                let sim = cleanm_text::levenshtein_similarity(
+                    orig.values()[1].as_str().unwrap(),
+                    d.values()[1].as_str().unwrap(),
+                );
+                assert!(sim > 0.6, "names should stay similar: {sim}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_duplicates_are_skewed() {
+        let data = CustomerGen::new(3)
+            .rows(2000)
+            .max_duplicates(50)
+            .generate();
+        let sizes: Vec<usize> = data.duplicate_groups.iter().map(|g| g.len() - 1).collect();
+        // Under Zipf(50, 1), k=1 is the single most likely duplicate count…
+        let mut freq = std::collections::HashMap::new();
+        for &s in &sizes {
+            *freq.entry(s).or_insert(0usize) += 1;
+        }
+        let ones = freq.get(&1).copied().unwrap_or(0);
+        assert!(
+            freq.iter().all(|(&k, &c)| k == 1 || c <= ones),
+            "Zipf: 1 should be the mode: {freq:?}"
+        );
+        // …and a heavy tail exists.
+        assert!(sizes.iter().any(|&s| s > 10), "heavy tail expected");
+    }
+
+    #[test]
+    fn fd_violations_recorded() {
+        let data = CustomerGen::new(4).rows(1000).fd_noise_fraction(0.05).generate();
+        assert_eq!(data.fd_violating_addresses.len(), 50);
+        // Each recorded address has >1 nationkey in the data.
+        let mut by_addr: HashMap<&str, HashSet<i64>> = HashMap::new();
+        for row in &data.table.rows {
+            by_addr
+                .entry(row.values()[2].as_str().unwrap())
+                .or_default()
+                .insert(row.values()[3].as_int().unwrap());
+        }
+        for addr in &data.fd_violating_addresses {
+            assert!(by_addr[addr.as_str()].len() > 1, "{addr} not violating");
+        }
+    }
+
+    #[test]
+    fn custkeys_unique_and_deterministic() {
+        let data = CustomerGen::new(5).rows(500).generate();
+        let keys: HashSet<i64> = data
+            .table
+            .rows
+            .iter()
+            .map(|r| r.values()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(keys.len(), data.table.len());
+        let again = CustomerGen::new(5).rows(500).generate();
+        assert_eq!(data.table.rows, again.table.rows);
+        data.table.validate().unwrap();
+    }
+}

@@ -1,0 +1,336 @@
+//! DBLP-shaped nested publication generator.
+//!
+//! §8 uses DBLP for term validation and duplicate elimination because "these
+//! error categories occur frequently in semi-structured data". The protocol
+//! reproduced here:
+//!
+//! * entities: publications with `key`, `title`, `journal`, `year`, and a
+//!   *list* of author names (the nested representation; flatten with
+//!   [`cleanm_formats::flatten`] for the "flat CSV / flat Parquet" variants);
+//! * author names are drawn from a clean dictionary (the same dictionary
+//!   term validation consults);
+//! * noise: a fraction of author occurrences (default 10%) corrupted at a
+//!   20% character-edit rate — ground truth keeps the clean name;
+//! * scale-up: extra publications built "by permuting the words of existing
+//!   titles and by adding authors from the active domain";
+//! * duplicates: a fraction of publications re-emitted with the same
+//!   journal + title and slightly edited author names (the dedup rule of
+//!   §8.3 blocks on journal+title and thresholds attribute similarity).
+
+use cleanm_values::{DataType, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::noise::{corrupt, pick_dirty_rows};
+
+/// Nested publication schema.
+pub fn dblp_schema() -> Schema {
+    Schema::of([
+        ("key", DataType::Int),
+        ("title", DataType::Str),
+        ("journal", DataType::Str),
+        ("year", DataType::Int),
+        ("authors", DataType::List(Box::new(DataType::Str))),
+    ])
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DblpGen {
+    seed: u64,
+    publications: usize,
+    dictionary_size: usize,
+    /// Fraction of author occurrences corrupted.
+    author_noise_fraction: f64,
+    /// Character-edit rate within a corrupted name (§8 uses 20%–40%).
+    edit_rate: f64,
+    /// Fraction of publications duplicated (same journal/title, edited
+    /// authors).
+    duplicate_fraction: f64,
+    /// Extra scale-up publications (permuted titles, sampled authors), as a
+    /// multiple of `publications`. 0 disables.
+    scale_up_factor: f64,
+}
+
+/// Generated data plus ground truth.
+#[derive(Debug, Clone)]
+pub struct DblpData {
+    /// Nested table (one row per publication).
+    pub table: Table,
+    /// The clean author-name dictionary (term validation's auxiliary table).
+    pub dictionary: Vec<String>,
+    /// For every row, the *clean* author list (aligned with the row's
+    /// `authors` list). Flattening the table row-major preserves this
+    /// alignment.
+    pub clean_authors: Vec<Vec<String>>,
+    /// Indices (row, author position) of corrupted author occurrences.
+    pub corrupted: Vec<(usize, usize)>,
+    /// Ground-truth duplicate groups: row indices describing the same
+    /// publication (original first).
+    pub duplicate_groups: Vec<Vec<usize>>,
+}
+
+impl DblpGen {
+    pub fn new(seed: u64) -> Self {
+        DblpGen {
+            seed,
+            publications: 5_000,
+            dictionary_size: 2_000,
+            author_noise_fraction: 0.10,
+            edit_rate: 0.20,
+            duplicate_fraction: 0.0,
+            scale_up_factor: 0.0,
+        }
+    }
+
+    pub fn publications(mut self, n: usize) -> Self {
+        self.publications = n;
+        self
+    }
+
+    pub fn dictionary_size(mut self, n: usize) -> Self {
+        self.dictionary_size = n;
+        self
+    }
+
+    pub fn author_noise_fraction(mut self, f: f64) -> Self {
+        self.author_noise_fraction = f;
+        self
+    }
+
+    pub fn edit_rate(mut self, r: f64) -> Self {
+        self.edit_rate = r;
+        self
+    }
+
+    pub fn duplicate_fraction(mut self, f: f64) -> Self {
+        self.duplicate_fraction = f;
+        self
+    }
+
+    pub fn scale_up_factor(mut self, f: f64) -> Self {
+        self.scale_up_factor = f;
+        self
+    }
+
+    pub fn generate(&self) -> DblpData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dictionary = names::dictionary(self.dictionary_size, self.seed ^ 0xD1C7);
+
+        // Base publications with clean authors from the dictionary.
+        let mut titles: Vec<String> = Vec::with_capacity(self.publications);
+        let mut journals: Vec<String> = Vec::with_capacity(self.publications);
+        let mut years: Vec<i64> = Vec::with_capacity(self.publications);
+        let mut authors: Vec<Vec<String>> = Vec::with_capacity(self.publications);
+        for _ in 0..self.publications {
+            let title_words = rng.gen_range(4..9);
+            titles.push(names::title(&mut rng, title_words));
+            journals.push(names::journal(&mut rng));
+            years.push(rng.gen_range(1990..2017));
+            let n_auth = rng.gen_range(1..5);
+            authors.push(
+                (0..n_auth)
+                    .map(|_| dictionary[rng.gen_range(0..dictionary.len())].clone())
+                    .collect(),
+            );
+        }
+
+        // §8 scale-up: permuted titles + authors from the active domain.
+        let extra = (self.publications as f64 * self.scale_up_factor) as usize;
+        for _ in 0..extra {
+            let src = rng.gen_range(0..self.publications);
+            titles.push(names::permute_title(&mut rng, &titles[src]));
+            journals.push(journals[src].clone());
+            years.push(years[src]);
+            let n_auth = rng.gen_range(1..5);
+            authors.push(
+                (0..n_auth)
+                    .map(|_| dictionary[rng.gen_range(0..dictionary.len())].clone())
+                    .collect(),
+            );
+        }
+
+        let total = titles.len();
+        let mut clean_authors = authors.clone();
+
+        // Author-name noise on a fraction of all author occurrences.
+        let occurrence_count: usize = authors.iter().map(|a| a.len()).sum();
+        let dirty_occurrences = pick_dirty_rows(
+            &mut rng,
+            occurrence_count,
+            self.author_noise_fraction,
+        );
+        let mut corrupted = Vec::with_capacity(dirty_occurrences.len());
+        {
+            // Map flat occurrence index -> (row, position).
+            let mut positions = Vec::with_capacity(occurrence_count);
+            for (r, list) in authors.iter().enumerate() {
+                for p in 0..list.len() {
+                    positions.push((r, p));
+                }
+            }
+            for &occ in &dirty_occurrences {
+                let (r, p) = positions[occ];
+                let dirty = corrupt(&mut rng, &authors[r][p], self.edit_rate);
+                authors[r][p] = dirty;
+                corrupted.push((r, p));
+            }
+        }
+
+        // Assemble rows.
+        let mut rows: Vec<Row> = Vec::with_capacity(total);
+        for i in 0..total {
+            rows.push(Row::new(vec![
+                Value::Int(i as i64),
+                Value::str(&titles[i]),
+                Value::str(&journals[i]),
+                Value::Int(years[i]),
+                Value::list(authors[i].iter().map(Value::str)),
+            ]));
+        }
+        // Duplicates: same journal+title, edited author spellings.
+        let dup_sources = pick_dirty_rows(&mut rng, total, self.duplicate_fraction);
+        let mut duplicate_groups = Vec::with_capacity(dup_sources.len());
+        for &src in &dup_sources {
+            let dup_index = rows.len();
+            let mut v = rows[src].values().to_vec();
+            v[0] = Value::Int(dup_index as i64);
+            let edited: Vec<String> = authors[src]
+                .iter()
+                .map(|a| corrupt(&mut rng, a, 0.1))
+                .collect();
+            v[4] = Value::list(edited.iter().map(Value::str));
+            rows.push(Row::new(v));
+            clean_authors.push(clean_authors[src].clone());
+            for p in 0..authors[src].len() {
+                corrupted.push((dup_index, p));
+            }
+            duplicate_groups.push(vec![src, dup_index]);
+        }
+
+        // NOTE: rows are *not* shuffled here — `clean_authors` and
+        // `corrupted` are index-aligned with `rows`. The physical layout is
+        // randomized downstream by the runtime's partitioning.
+        DblpData {
+            table: Table::new(dblp_schema(), rows),
+            dictionary,
+            clean_authors,
+            corrupted,
+            duplicate_groups,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_generation_shape() {
+        let d = DblpGen::new(1).publications(200).dictionary_size(100).generate();
+        assert_eq!(d.table.len(), 200);
+        d.table.validate().unwrap();
+        assert_eq!(d.dictionary.len(), 100);
+        assert_eq!(d.clean_authors.len(), 200);
+    }
+
+    #[test]
+    fn noise_fraction_respected_and_truth_aligned() {
+        let d = DblpGen::new(2)
+            .publications(300)
+            .author_noise_fraction(0.2)
+            .generate();
+        let occurrences: usize = d.clean_authors.iter().map(|a| a.len()).sum();
+        let expected = (occurrences as f64 * 0.2).round() as usize;
+        assert_eq!(d.corrupted.len(), expected);
+        for &(r, p) in &d.corrupted {
+            let dirty = d.table.rows[r].values()[4].as_list().unwrap()[p]
+                .as_str()
+                .unwrap()
+                .to_string();
+            let clean = &d.clean_authors[r][p];
+            assert_ne!(&dirty, clean, "corrupted occurrence must differ");
+            // Still similar at 20% edit rate (usually); check a weak bound.
+            let sim = cleanm_text::levenshtein_similarity(&dirty, clean);
+            assert!(sim > 0.3, "{dirty} vs {clean}: {sim}");
+        }
+    }
+
+    #[test]
+    fn uncorrupted_authors_match_truth() {
+        let d = DblpGen::new(3).publications(100).generate();
+        let corrupted: std::collections::HashSet<(usize, usize)> =
+            d.corrupted.iter().copied().collect();
+        for (r, clean_list) in d.clean_authors.iter().enumerate() {
+            let list = d.table.rows[r].values()[4].as_list().unwrap();
+            for (p, clean) in clean_list.iter().enumerate() {
+                if !corrupted.contains(&(r, p)) {
+                    assert_eq!(list[p].as_str().unwrap(), clean);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_share_title_and_journal() {
+        let d = DblpGen::new(4)
+            .publications(200)
+            .duplicate_fraction(0.1)
+            .generate();
+        assert_eq!(d.duplicate_groups.len(), 20);
+        for g in &d.duplicate_groups {
+            let a = &d.table.rows[g[0]];
+            let b = &d.table.rows[g[1]];
+            assert_eq!(a.values()[1], b.values()[1], "title");
+            assert_eq!(a.values()[2], b.values()[2], "journal");
+            assert_ne!(a.values()[0], b.values()[0], "distinct keys");
+        }
+    }
+
+    #[test]
+    fn scale_up_adds_permuted_titles() {
+        let base = DblpGen::new(5).publications(100).scale_up_factor(0.0).generate();
+        let scaled = DblpGen::new(5).publications(100).scale_up_factor(1.5).generate();
+        assert_eq!(base.table.len(), 100);
+        assert_eq!(scaled.table.len(), 250);
+    }
+
+    #[test]
+    fn flattening_alignment_holds() {
+        // Term validation runs on the flat view; the flat row order must
+        // match the row-major flattening of `clean_authors`.
+        let d = DblpGen::new(6).publications(50).generate();
+        let flat = cleanm_formats::flatten::flatten(&d.table).unwrap();
+        let author_col = flat.schema.index_of("authors").unwrap();
+        let mut flat_truth = Vec::new();
+        for list in &d.clean_authors {
+            for a in list {
+                flat_truth.push(a.clone());
+            }
+        }
+        assert_eq!(flat.len(), flat_truth.len());
+        let corrupted: std::collections::HashSet<(usize, usize)> =
+            d.corrupted.iter().copied().collect();
+        let mut idx = 0;
+        for (r, list) in d.clean_authors.iter().enumerate() {
+            for (p, clean) in list.iter().enumerate() {
+                let got = flat.rows[idx].values()[author_col].as_str().unwrap();
+                if corrupted.contains(&(r, p)) {
+                    assert_ne!(got, clean);
+                } else {
+                    assert_eq!(got, clean);
+                }
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = DblpGen::new(7).publications(100).duplicate_fraction(0.1).generate();
+        let b = DblpGen::new(7).publications(100).duplicate_fraction(0.1).generate();
+        assert_eq!(a.table.rows, b.table.rows);
+        assert_eq!(a.duplicate_groups, b.duplicate_groups);
+    }
+}

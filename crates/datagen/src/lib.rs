@@ -1,0 +1,38 @@
+//! Deterministic workload generators with ground-truth tracking.
+//!
+//! §8 of the paper evaluates on TPC-H (denial constraints, transformations,
+//! customer dedup), DBLP (term validation, dedup over nested data), and the
+//! Microsoft Academic Graph (dedup under heavy skew), plus a dictionary of
+//! author names. None of those multi-gigabyte datasets ship with this
+//! repository, so this crate generates *shape-faithful* stand-ins at laptop
+//! scale:
+//!
+//! * [`tpch`] — `lineitem` and `customer` tables following the paper's noise
+//!   protocol: shuffle, corrupt 10% of a column, draw corrupted values from
+//!   the smallest scale's domain so skew grows with scale factor.
+//! * [`dblp`] — nested publications (title/journal/year/authors) with noisy
+//!   author names and injected duplicates; scale-up by permuting titles and
+//!   sampling authors from the active domain, exactly as §8 describes.
+//! * [`mag`] — a paper/author/affiliation join with Zipf-skewed duplicate
+//!   counts and missing fields.
+//! * [`names`] — the synthetic name/title/word corpus and the dictionary used
+//!   for term validation.
+//! * [`noise`] — typo injection (substitute/delete/insert/transpose) at a
+//!   controlled character-edit rate.
+//! * [`zipf`] — a Zipf sampler for duplicate-count distributions
+//!   (`[1-50]`, `[1-100]` in Figure 8a).
+//!
+//! Every generator takes a `u64` seed and is bit-for-bit reproducible.
+//! Generators return the dirty [`Table`] *and* the
+//! ground truth needed to score repairs (clean values, duplicate groups,
+//! violation keys).
+
+pub mod customer;
+pub mod dblp;
+pub mod mag;
+pub mod names;
+pub mod noise;
+pub mod tpch;
+pub mod zipf;
+
+pub use cleanm_values::{DataType, Field, Row, Schema, Table, Value};

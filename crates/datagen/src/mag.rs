@@ -1,0 +1,251 @@
+//! Microsoft-Academic-Graph-shaped generator.
+//!
+//! §8 builds MAG "by joining the Paper, Author and PaperAuthorAffiliation
+//! datasets" into a 7-column, 33 GB table whose "main issue is the existence
+//! of duplicate publications; the same publication may appear multiple
+//! times, with variations in the title and DOI fields, or with missing
+//! fields", and stresses that MAG is "a real-world, highly skewed dataset".
+//!
+//! The stand-in generates that joined shape directly: papers with Zipf-skewed
+//! per-author paper counts (some authors publish a lot — the join then
+//! concentrates rows on those author ids), duplicates with title/DOI
+//! variations and dropped fields.
+
+use cleanm_values::{DataType, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::noise::{corrupt, pick_dirty_rows};
+use crate::zipf::Zipf;
+
+/// The 7-column joined schema.
+pub fn mag_schema() -> Schema {
+    Schema::of([
+        ("paperid", DataType::Int),
+        ("title", DataType::Str),
+        ("doi", DataType::Str),
+        ("year", DataType::Int),
+        ("authorid", DataType::Int),
+        ("authorname", DataType::Str),
+        ("affiliation", DataType::Str),
+    ])
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct MagGen {
+    seed: u64,
+    papers: usize,
+    authors: usize,
+    duplicate_fraction: f64,
+    /// Restrict generated years to this range; `publications from year 2014`
+    /// is the paper's MAG2014 subset.
+    year_range: (i64, i64),
+}
+
+/// Generated data plus ground truth.
+#[derive(Debug, Clone)]
+pub struct MagData {
+    pub table: Table,
+    /// Row-index groups describing the same publication (original first).
+    pub duplicate_groups: Vec<Vec<usize>>,
+}
+
+impl MagGen {
+    pub fn new(seed: u64) -> Self {
+        MagGen {
+            seed,
+            papers: 10_000,
+            authors: 1_000,
+            duplicate_fraction: 0.10,
+            year_range: (2005, 2016),
+        }
+    }
+
+    pub fn papers(mut self, n: usize) -> Self {
+        self.papers = n;
+        self
+    }
+
+    pub fn authors(mut self, n: usize) -> Self {
+        self.authors = n.max(1);
+        self
+    }
+
+    pub fn duplicate_fraction(mut self, f: f64) -> Self {
+        self.duplicate_fraction = f;
+        self
+    }
+
+    pub fn year_range(mut self, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi);
+        self.year_range = (lo, hi);
+        self
+    }
+
+    pub fn generate(&self) -> MagData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let author_names: Vec<String> = (0..self.authors)
+            .map(|_| names::person_name(&mut rng))
+            .collect();
+        let affiliations: Vec<String> = (0..(self.authors / 20).max(3))
+            .map(|_| format!("{} University", names::person_name(&mut rng).split(' ').next_back().unwrap()))
+            .collect();
+
+        // Zipf over authors: author 1 publishes the most (real-world skew).
+        let author_zipf = Zipf::new(self.authors, 1.0);
+
+        let mut rows: Vec<Row> = Vec::with_capacity(self.papers);
+        for i in 0..self.papers {
+            let author = author_zipf.sample(&mut rng) - 1;
+            let year = rng.gen_range(self.year_range.0..=self.year_range.1);
+            let title_words = rng.gen_range(5..10);
+            let title = names::title(&mut rng, title_words);
+            let doi = format!("10.{}/{}.{}", rng.gen_range(1000..9999), year, i);
+            rows.push(Row::new(vec![
+                Value::Int(i as i64),
+                Value::str(&title),
+                Value::str(&doi),
+                Value::Int(year),
+                Value::Int(author as i64),
+                Value::str(&author_names[author]),
+                Value::str(&affiliations[author % affiliations.len()]),
+            ]));
+        }
+
+        // Duplicates: re-emit with varied title or DOI, or missing fields.
+        let dup_sources = pick_dirty_rows(&mut rng, self.papers, self.duplicate_fraction);
+        let mut duplicate_groups = Vec::with_capacity(dup_sources.len());
+        let mut next_id = self.papers as i64;
+        #[allow(clippy::explicit_counter_loop)] // next_id is an id allocator, not an index
+        for &src in &dup_sources {
+            let dup_index = rows.len();
+            let mut v = rows[src].values().to_vec();
+            v[0] = Value::Int(next_id);
+            next_id += 1;
+            match rng.gen_range(0..3) {
+                0 => {
+                    // Title variation.
+                    let t = v[1].as_str().unwrap().to_string();
+                    v[1] = Value::str(corrupt(&mut rng, &t, 0.05));
+                }
+                1 => {
+                    // DOI variation.
+                    let d = v[2].as_str().unwrap().to_string();
+                    v[2] = Value::str(corrupt(&mut rng, &d, 0.1));
+                }
+                _ => {
+                    // Missing fields.
+                    v[2] = Value::Null;
+                    if rng.gen_bool(0.5) {
+                        v[6] = Value::Null;
+                    }
+                }
+            }
+            rows.push(Row::new(v));
+            duplicate_groups.push(vec![src, dup_index]);
+        }
+
+        rows.shuffle(&mut rng);
+        // Recover groups after the shuffle via paperid -> position.
+        let pos_of: std::collections::HashMap<i64, usize> = rows
+            .iter()
+            .enumerate()
+            .map(|(p, r)| (r.values()[0].as_int().unwrap(), p))
+            .collect();
+        let duplicate_groups = duplicate_groups
+            .into_iter()
+            .map(|g| {
+                g.into_iter()
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>();
+        // Re-map from original indices to shuffled positions using paperid:
+        // original index i had paperid i for base rows; duplicates got fresh
+        // sequential ids starting at `papers`, appended in group order.
+        let mut groups_by_pos = Vec::with_capacity(duplicate_groups.len());
+        let mut dup_id = self.papers as i64;
+        #[allow(clippy::explicit_counter_loop)] // dup_id mirrors the allocation order above
+        for g in &duplicate_groups {
+            let src_pos = pos_of[&(g[0] as i64)];
+            let dup_pos = pos_of[&dup_id];
+            dup_id += 1;
+            groups_by_pos.push(vec![src_pos, dup_pos]);
+        }
+
+        MagData {
+            table: Table::new(mag_schema(), rows),
+            duplicate_groups: groups_by_pos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = MagGen::new(1).papers(500).authors(100).generate();
+        let b = MagGen::new(1).papers(500).authors(100).generate();
+        assert_eq!(a.table.rows, b.table.rows);
+        a.table.validate().unwrap();
+        assert_eq!(a.table.len(), 500 + a.duplicate_groups.len());
+    }
+
+    #[test]
+    fn author_distribution_is_skewed() {
+        let d = MagGen::new(2).papers(5000).authors(200).generate();
+        let mut freq: HashMap<i64, usize> = HashMap::new();
+        for r in &d.table.rows {
+            *freq.entry(r.values()[4].as_int().unwrap()).or_default() += 1;
+        }
+        let max = *freq.values().max().unwrap();
+        let mean = d.table.len() / freq.len();
+        assert!(
+            max > mean * 5,
+            "top author should dominate: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn duplicate_groups_describe_same_publication() {
+        let d = MagGen::new(3).papers(1000).duplicate_fraction(0.2).generate();
+        assert_eq!(d.duplicate_groups.len(), 200);
+        for g in &d.duplicate_groups {
+            let a = &d.table.rows[g[0]];
+            let b = &d.table.rows[g[1]];
+            // Same author + year (the dedup blocking key of §8.3).
+            assert_eq!(a.values()[4], b.values()[4], "authorid");
+            assert_eq!(a.values()[3], b.values()[3], "year");
+            // And either a similar title, or a varied/missing DOI.
+            let ta = a.values()[1].as_str().unwrap();
+            let tb = b.values()[1].as_str().unwrap();
+            let sim = cleanm_text::levenshtein_similarity(ta, tb);
+            assert!(sim > 0.6, "titles should stay similar: {sim}");
+        }
+    }
+
+    #[test]
+    fn year_subset_generation() {
+        let d = MagGen::new(4).papers(300).year_range(2014, 2014).generate();
+        for r in &d.table.rows {
+            assert_eq!(r.values()[3].as_int().unwrap(), 2014);
+        }
+    }
+
+    #[test]
+    fn some_duplicates_have_missing_fields() {
+        let d = MagGen::new(5).papers(2000).duplicate_fraction(0.2).generate();
+        let nulls = d
+            .table
+            .rows
+            .iter()
+            .filter(|r| r.values()[2].is_null())
+            .count();
+        assert!(nulls > 0, "missing-DOI duplicates expected");
+    }
+}

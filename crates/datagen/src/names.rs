@@ -1,0 +1,164 @@
+//! Synthetic names, titles, and the term-validation dictionary.
+//!
+//! Names are built from syllable pools, giving strings whose length
+//! distribution (≈ 8–16 characters) matches what the paper reports for DBLP
+//! author names (average 12.8), which matters because token-filtering cost
+//! depends on string length.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FIRST_SYL: &[&str] = &[
+    "an", "bel", "car", "dan", "el", "fei", "gus", "hai", "in", "jor", "kat", "len", "mar",
+    "nor", "ol", "pet", "qi", "ros", "sam", "tan", "ul", "vic", "wen", "xia", "yan", "zor",
+];
+const LAST_SYL: &[&str] = &[
+    "berg", "chen", "dorf", "ev", "feld", "gard", "hoff", "idis", "jans", "kov", "lund",
+    "mann", "nov", "opol", "pou", "quist", "rath", "son", "stein", "tov", "ulos", "vich",
+    "wald", "xu", "yama", "zadeh",
+];
+const TITLE_WORDS: &[&str] = &[
+    "adaptive", "analysis", "approach", "data", "distributed", "efficient", "engine",
+    "evaluation", "fast", "framework", "graph", "incremental", "indexing", "join", "language",
+    "learning", "management", "model", "optimization", "parallel", "processing", "query",
+    "scalable", "scaleout", "stream", "system", "towards", "transactional", "unified",
+    "workload",
+];
+const JOURNALS: &[&str] = &[
+    "vldb", "sigmod", "icde", "tods", "tkde", "edbt", "cidr", "pvldb", "kdd", "socc",
+];
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// One deterministic synthetic person name ("First Lastname").
+pub fn person_name(rng: &mut StdRng) -> String {
+    let first_len = rng.gen_range(1..=2);
+    let last_len = rng.gen_range(2..=3);
+    let mut first = String::new();
+    for _ in 0..first_len {
+        first.push_str(FIRST_SYL[rng.gen_range(0..FIRST_SYL.len())]);
+    }
+    let mut last = String::new();
+    for _ in 0..last_len {
+        last.push_str(LAST_SYL[rng.gen_range(0..LAST_SYL.len())]);
+    }
+    format!("{} {}", capitalize(&first), capitalize(&last))
+}
+
+/// A pool of `n` *distinct* person names — the term-validation dictionary
+/// (the paper uses 200k real author names; size is configurable here).
+pub fn dictionary(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0usize;
+    while out.len() < n {
+        let name = person_name(&mut rng);
+        if seen.insert(name.clone()) {
+            out.push(name);
+        }
+        guard += 1;
+        assert!(
+            guard < n * 1000 + 10_000,
+            "name space exhausted before reaching {n} distinct names"
+        );
+    }
+    out
+}
+
+/// A publication title of `words` words.
+pub fn title(rng: &mut StdRng, words: usize) -> String {
+    let mut parts = Vec::with_capacity(words);
+    for _ in 0..words {
+        parts.push(TITLE_WORDS[rng.gen_range(0..TITLE_WORDS.len())]);
+    }
+    capitalize(&parts.join(" "))
+}
+
+/// Permute the words of an existing title — §8's DBLP scale-up constructs
+/// "new publications by permuting the words of existing titles".
+pub fn permute_title(rng: &mut StdRng, original: &str) -> String {
+    let mut words: Vec<&str> = original.split(' ').collect();
+    // Fisher–Yates.
+    for i in (1..words.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        words.swap(i, j);
+    }
+    words.join(" ")
+}
+
+/// A journal/venue name.
+pub fn journal(rng: &mut StdRng) -> String {
+    JOURNALS[rng.gen_range(0..JOURNALS.len())].to_string()
+}
+
+/// A street address: `"<number> <Name> St"`.
+pub fn address(rng: &mut StdRng) -> String {
+    format!(
+        "{} {} St",
+        rng.gen_range(1..10_000),
+        person_name(rng).split(' ').next_back().unwrap()
+    )
+}
+
+/// A phone number with a 3-digit prefix determined by `nation` so the clean
+/// data satisfies `address → prefix(phone)` through `address → nation`.
+pub fn phone(rng: &mut StdRng, nation: i64) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        100 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(0..10_000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_is_distinct_and_deterministic() {
+        let d1 = dictionary(500, 42);
+        let d2 = dictionary(500, 42);
+        assert_eq!(d1, d2);
+        let set: std::collections::HashSet<_> = d1.iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn name_lengths_are_dblp_like() {
+        let d = dictionary(1000, 7);
+        let avg: f64 = d.iter().map(|n| n.len() as f64).sum::<f64>() / d.len() as f64;
+        assert!((8.0..18.0).contains(&avg), "avg name length {avg}");
+    }
+
+    #[test]
+    fn permute_title_preserves_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = title(&mut rng, 6);
+        let p = permute_title(&mut rng, &t);
+        let mut a: Vec<&str> = t.split(' ').collect();
+        let mut b: Vec<&str> = p.split(' ').collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn phone_prefix_tracks_nation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = phone(&mut rng, 7);
+        assert!(p.starts_with("107-"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(dictionary(50, 1), dictionary(50, 2));
+    }
+}

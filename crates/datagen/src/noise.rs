@@ -1,0 +1,141 @@
+//! Typo injection at a controlled character-edit rate.
+//!
+//! §8: "We add noise to 10% of the author names by a factor of 20%" —
+//! i.e. a *row* noise fraction selects which values get dirtied, and a
+//! *character* edit rate controls how dirty each one becomes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One of the four classic edit operations applied during corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EditOp {
+    Substitute,
+    Delete,
+    Insert,
+    Transpose,
+}
+
+const ALPHABET: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+];
+
+/// Corrupt `s` so that roughly `edit_rate` of its characters are touched
+/// (at least one edit, so the output provably differs for non-empty input).
+pub fn corrupt(rng: &mut StdRng, s: &str, edit_rate: f64) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return String::new();
+    }
+    let edits = ((chars.len() as f64 * edit_rate).round() as usize).max(1);
+    let mut out = chars;
+    for _ in 0..edits {
+        if out.is_empty() {
+            out.push(ALPHABET[rng.gen_range(0..ALPHABET.len())]);
+            continue;
+        }
+        let op = match rng.gen_range(0..4) {
+            0 => EditOp::Substitute,
+            1 => EditOp::Delete,
+            2 => EditOp::Insert,
+            _ => EditOp::Transpose,
+        };
+        let i = rng.gen_range(0..out.len());
+        match op {
+            EditOp::Substitute => {
+                out[i] = ALPHABET[rng.gen_range(0..ALPHABET.len())];
+            }
+            EditOp::Delete => {
+                out.remove(i);
+            }
+            EditOp::Insert => {
+                out.insert(i, ALPHABET[rng.gen_range(0..ALPHABET.len())]);
+            }
+            EditOp::Transpose => {
+                if i + 1 < out.len() {
+                    out.swap(i, i + 1);
+                } else if out.len() >= 2 {
+                    let l = out.len();
+                    out.swap(l - 2, l - 1);
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Decide which row indices get corrupted: a deterministic sample of
+/// `fraction` of `n` rows.
+pub fn pick_dirty_rows(rng: &mut StdRng, n: usize, fraction: f64) -> Vec<usize> {
+    let target = (n as f64 * fraction).round() as usize;
+    let mut picked: Vec<usize> = (0..n).collect();
+    // Partial Fisher–Yates: the first `target` entries are the sample.
+    for i in 0..target.min(n) {
+        let j = rng.gen_range(i..n);
+        picked.swap(i, j);
+    }
+    picked.truncate(target.min(n));
+    picked.sort_unstable();
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanm_text::levenshtein;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corrupt_changes_string() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in ["anderson", "li", "a"] {
+            let c = corrupt(&mut rng, s, 0.2);
+            assert_ne!(c, s, "corruption must change `{s}`");
+        }
+        assert_eq!(corrupt(&mut rng, "", 0.5), "");
+    }
+
+    #[test]
+    fn edit_rate_scales_distance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = "abcdefghijklmnopqrst"; // 20 chars
+        let mut d_low = 0usize;
+        let mut d_high = 0usize;
+        for _ in 0..50 {
+            d_low += levenshtein(s, &corrupt(&mut rng, s, 0.1));
+            d_high += levenshtein(s, &corrupt(&mut rng, s, 0.4));
+        }
+        assert!(
+            d_high > d_low,
+            "40% edits ({d_high}) should beat 10% edits ({d_low})"
+        );
+    }
+
+    #[test]
+    fn corrupted_stays_similar_at_low_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = "marlund stein";
+        let avg: f64 = (0..100)
+            .map(|_| {
+                let c = corrupt(&mut rng, s, 0.2);
+                cleanm_text::levenshtein_similarity(s, &c)
+            })
+            .sum::<f64>()
+            / 100.0;
+        assert!(avg > 0.7, "20% noise should stay fairly similar: {avg}");
+    }
+
+    #[test]
+    fn pick_dirty_rows_fraction_and_determinism() {
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let a = pick_dirty_rows(&mut r1, 1000, 0.1);
+        let b = pick_dirty_rows(&mut r2, 1000, 0.1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        assert!(pick_dirty_rows(&mut r1, 10, 0.0).is_empty());
+        assert_eq!(pick_dirty_rows(&mut r1, 10, 1.0).len(), 10);
+    }
+}

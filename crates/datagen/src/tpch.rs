@@ -1,0 +1,349 @@
+//! TPC-H-shaped `lineitem` generator with the paper's noise protocol.
+//!
+//! §8: the denial-constraint experiments use scale factors 15–70 of the
+//! `lineitem` table (90M–420M records), shuffled, with noise added to 10% of
+//! the entries of one column, where "we pick the tuples to edit from the
+//! domain of the SF15 version, so that we increase the skew as we increase
+//! the dataset size." The experiments check:
+//!
+//! * rule φ (FD): `orderkey, linenumber → suppkey`
+//! * rule ψ (DC): `¬(t1.price < t2.price ∧ t1.discount > t2.discount ∧
+//!   t1.price < X)`
+//!
+//! This generator reproduces the protocol at laptop scale: pass `rows` (the
+//! paper's 90M–420M becomes e.g. 90k–420k) and the same `base_rows` for all
+//! scales so the corrupted-key domain is fixed and skew grows with size.
+
+use cleanm_values::{DataType, Row, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::noise::pick_dirty_rows;
+
+/// Column layout of the generated lineitem table.
+pub fn lineitem_schema() -> Schema {
+    Schema::of([
+        ("orderkey", DataType::Int),
+        ("partkey", DataType::Int),
+        ("suppkey", DataType::Int),
+        ("linenumber", DataType::Int),
+        ("quantity", DataType::Float),
+        ("extendedprice", DataType::Float),
+        ("discount", DataType::Float),
+        ("tax", DataType::Float),
+        ("shipdate", DataType::Str),
+        ("receiptdate", DataType::Str),
+    ])
+}
+
+/// Which column the 10% noise edits (the paper produces one dataset per
+/// choice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoiseColumn {
+    /// Corrupt `orderkey` by re-drawing it from the base-domain — creates FD
+    /// violations for rule φ and grows key skew with scale.
+    OrderKey,
+    /// Corrupt `discount` — creates DC violations for rule ψ.
+    Discount,
+    /// No corruption (clean baseline).
+    None,
+}
+
+/// Generator configuration (builder style).
+#[derive(Debug, Clone)]
+pub struct LineitemGen {
+    seed: u64,
+    rows: usize,
+    /// Domain size for corrupted keys: the SF15-equivalent row count. Keep
+    /// it constant across scales so skew grows with `rows`, per §8.
+    base_rows: usize,
+    noise_column: NoiseColumn,
+    noise_fraction: f64,
+    /// Fraction of quantity values blanked to NULL (for the fill-missing
+    /// transformation of Table 4). 0 by default.
+    missing_quantity_fraction: f64,
+}
+
+/// Generated data plus ground truth.
+#[derive(Debug, Clone)]
+pub struct LineitemData {
+    pub table: Table,
+    /// Row indices whose noise column was corrupted.
+    pub corrupted_rows: Vec<usize>,
+}
+
+const LINES_PER_ORDER: usize = 4;
+
+impl LineitemGen {
+    pub fn new(seed: u64) -> Self {
+        LineitemGen {
+            seed,
+            rows: 10_000,
+            base_rows: 10_000,
+            noise_column: NoiseColumn::OrderKey,
+            noise_fraction: 0.10,
+            missing_quantity_fraction: 0.0,
+        }
+    }
+
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    pub fn base_rows(mut self, base_rows: usize) -> Self {
+        self.base_rows = base_rows;
+        self
+    }
+
+    pub fn noise_column(mut self, c: NoiseColumn) -> Self {
+        self.noise_column = c;
+        self
+    }
+
+    pub fn noise_fraction(mut self, f: f64) -> Self {
+        self.noise_fraction = f;
+        self
+    }
+
+    pub fn missing_quantity_fraction(mut self, f: f64) -> Self {
+        self.missing_quantity_fraction = f;
+        self
+    }
+
+    /// Produce the shuffled, noised table.
+    pub fn generate(&self) -> LineitemData {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rows: Vec<Row> = Vec::with_capacity(self.rows);
+
+        for i in 0..self.rows {
+            let orderkey = (i / LINES_PER_ORDER) as i64;
+            let linenumber = (i % LINES_PER_ORDER) as i64 + 1;
+            // Clean data satisfies φ: suppkey is a function of the pair.
+            let suppkey = fd_suppkey(orderkey, linenumber);
+            let partkey = rng.gen_range(0..200_000) as i64;
+            let quantity = rng.gen_range(1..=50) as f64;
+            let extendedprice = (quantity * rng.gen_range(900.0..=10_500.0)).round() / 100.0;
+            // Clean data satisfies ψ: discount is monotone in price, so no
+            // pair has (p1 < p2 && d1 > d2). Violations come from noise.
+            let discount = (extendedprice / 6_000.0).min(0.10);
+            let tax = f64::from(rng.gen_range(0..=8)) / 100.0;
+            let ship_day = rng.gen_range(0..2_500u32);
+            let receipt_day = ship_day + rng.gen_range(1..30u32);
+            rows.push(Row::new(vec![
+                Value::Int(orderkey),
+                Value::Int(partkey),
+                Value::Int(suppkey),
+                Value::Int(linenumber),
+                Value::Float(quantity),
+                Value::Float(extendedprice),
+                Value::Float((discount * 100.0).round() / 100.0),
+                Value::Float(tax),
+                Value::str(date_string(ship_day)),
+                Value::str(date_string(receipt_day)),
+            ]));
+        }
+
+        // §8: "We shuffle the order of the tuples".
+        rows.shuffle(&mut rng);
+
+        // Noise: corrupted values drawn from the *base* domain.
+        let dirty = pick_dirty_rows(&mut rng, rows.len(), self.noise_fraction);
+        let base_orders = (self.base_rows / LINES_PER_ORDER).max(1) as i64;
+        for &i in &dirty {
+            let values = rows[i].values().to_vec();
+            let mut values = values;
+            match self.noise_column {
+                NoiseColumn::OrderKey => {
+                    // Re-draw orderkey from the base domain: at larger scales
+                    // many rows collapse onto few keys -> skew + φ violations.
+                    values[0] = Value::Int(rng.gen_range(0..base_orders));
+                }
+                NoiseColumn::Discount => {
+                    // Out-of-pattern discount -> ψ violations.
+                    values[6] = Value::Float(f64::from(rng.gen_range(0..=10)) / 100.0);
+                }
+                NoiseColumn::None => {}
+            }
+            rows[i] = Row::new(values);
+        }
+
+        // Optional missing values for the transformation experiments.
+        if self.missing_quantity_fraction > 0.0 {
+            let missing = pick_dirty_rows(&mut rng, rows.len(), self.missing_quantity_fraction);
+            for &i in &missing {
+                let mut values = rows[i].values().to_vec();
+                values[4] = Value::Null;
+                rows[i] = Row::new(values);
+            }
+        }
+
+        LineitemData {
+            table: Table::new(lineitem_schema(), rows),
+            corrupted_rows: if self.noise_column == NoiseColumn::None {
+                Vec::new()
+            } else {
+                dirty
+            },
+        }
+    }
+}
+
+/// The functional dependency the clean data satisfies.
+fn fd_suppkey(orderkey: i64, linenumber: i64) -> i64 {
+    (orderkey.wrapping_mul(31).wrapping_add(linenumber * 7)) % 10_000
+}
+
+/// Render a day offset as `YYYY-MM-DD` (30-day months keep this simple and
+/// deterministic — the transformation experiment only needs to *split* it).
+pub fn date_string(day_offset: u32) -> String {
+    let year = 1992 + day_offset / 360;
+    let month = (day_offset % 360) / 30 + 1;
+    let day = (day_offset % 30) + 1;
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn clean_data_satisfies_fd() {
+        let data = LineitemGen::new(1)
+            .rows(2000)
+            .noise_column(NoiseColumn::None)
+            .generate();
+        let mut map: HashMap<(i64, i64), i64> = HashMap::new();
+        for row in &data.table.rows {
+            let ok = row.values()[0].as_int().unwrap();
+            let ln = row.values()[3].as_int().unwrap();
+            let sk = row.values()[2].as_int().unwrap();
+            if let Some(prev) = map.insert((ok, ln), sk) {
+                assert_eq!(prev, sk, "clean data must satisfy φ");
+            }
+        }
+        assert!(data.corrupted_rows.is_empty());
+    }
+
+    #[test]
+    fn orderkey_noise_creates_fd_violations() {
+        let data = LineitemGen::new(2).rows(4000).generate();
+        assert_eq!(data.corrupted_rows.len(), 400);
+        let mut map: HashMap<(i64, i64), HashSet<i64>> = HashMap::new();
+        for row in &data.table.rows {
+            let ok = row.values()[0].as_int().unwrap();
+            let ln = row.values()[3].as_int().unwrap();
+            let sk = row.values()[2].as_int().unwrap();
+            map.entry((ok, ln)).or_default().insert(sk);
+        }
+        let violating = map.values().filter(|s| s.len() > 1).count();
+        assert!(violating > 0, "noise must create φ violations");
+    }
+
+    #[test]
+    fn skew_grows_with_scale_under_fixed_base() {
+        // With base_rows fixed, a larger dataset concentrates more corrupted
+        // rows on the same key domain.
+        let count_max_key = |rows: usize| {
+            let data = LineitemGen::new(3).rows(rows).base_rows(4000).generate();
+            let mut freq: HashMap<i64, usize> = HashMap::new();
+            for row in &data.table.rows {
+                *freq.entry(row.values()[0].as_int().unwrap()).or_default() += 1;
+            }
+            *freq.values().max().unwrap()
+        };
+        let small = count_max_key(4000);
+        let large = count_max_key(16_000);
+        assert!(
+            large > small,
+            "hot key should grow with scale: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn clean_data_satisfies_dc_psi() {
+        let data = LineitemGen::new(4)
+            .rows(500)
+            .noise_column(NoiseColumn::None)
+            .generate();
+        let rows = &data.table.rows;
+        for a in rows {
+            for b in rows {
+                let (p1, d1) = (
+                    a.values()[5].as_float().unwrap(),
+                    a.values()[6].as_float().unwrap(),
+                );
+                let (p2, d2) = (
+                    b.values()[5].as_float().unwrap(),
+                    b.values()[6].as_float().unwrap(),
+                );
+                assert!(
+                    !(p1 < p2 && d1 > d2 + 1e-9),
+                    "clean data must satisfy ψ: ({p1},{d1}) vs ({p2},{d2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn discount_noise_creates_dc_violations() {
+        let data = LineitemGen::new(5)
+            .rows(1000)
+            .noise_column(NoiseColumn::Discount)
+            .generate();
+        let rows = &data.table.rows;
+        let mut found = false;
+        'outer: for a in rows {
+            for b in rows {
+                let (p1, d1) = (
+                    a.values()[5].as_float().unwrap(),
+                    a.values()[6].as_float().unwrap(),
+                );
+                let (p2, d2) = (
+                    b.values()[5].as_float().unwrap(),
+                    b.values()[6].as_float().unwrap(),
+                );
+                if p1 < p2 && d1 > d2 + 1e-9 {
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "discount noise must create ψ violations");
+    }
+
+    #[test]
+    fn missing_quantities_injected() {
+        let data = LineitemGen::new(6)
+            .rows(1000)
+            .missing_quantity_fraction(0.05)
+            .generate();
+        let nulls = data
+            .table
+            .rows
+            .iter()
+            .filter(|r| r.values()[4].is_null())
+            .count();
+        assert_eq!(nulls, 50);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = LineitemGen::new(7).rows(500).generate();
+        let b = LineitemGen::new(7).rows(500).generate();
+        assert_eq!(a.table.rows, b.table.rows);
+    }
+
+    #[test]
+    fn schema_and_dates_valid() {
+        let data = LineitemGen::new(8).rows(100).generate();
+        data.table.validate().unwrap();
+        assert_eq!(date_string(0), "1992-01-01");
+        assert_eq!(date_string(360), "1993-01-01");
+        let d = data.table.rows[0].values()[8].as_str().unwrap();
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+    }
+}

@@ -1,0 +1,97 @@
+//! Zipf-distributed sampling.
+//!
+//! Figure 8a's customer workload draws "the number of duplicates for each
+//! record … using Zipf's distribution" over `[1-50]` and `[1-100]`; the MAG
+//! stand-in uses the same sampler for its skewed value distributions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(`n`, `s`) sampler over `1..=n` using an inverse-CDF table:
+/// `P(k) ∝ 1 / k^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one value in `1..=n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn small_values_dominate() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ones = 0;
+        let mut top_half = 0;
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            if k == 1 {
+                ones += 1;
+            }
+            if k > 50 {
+                top_half += 1;
+            }
+        }
+        assert!(ones > 1500, "P(1) ≈ 0.19 for n=100: got {ones}");
+        assert!(top_half < 1500, "tail should be rare: got {top_half}");
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z1 = Zipf::new(100, 0.5);
+        let z2 = Zipf::new(100, 2.0);
+        let mean = |z: &Zipf, rng: &mut StdRng| {
+            (0..5000).map(|_| z.sample(rng)).sum::<usize>() as f64 / 5000.0
+        };
+        assert!(mean(&z1, &mut rng) > mean(&z2, &mut rng));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let z = Zipf::new(10, 1.0);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let va: Vec<usize> = (0..100).map(|_| z.sample(&mut a)).collect();
+        let vb: Vec<usize> = (0..100).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

@@ -1,0 +1,185 @@
+//! Execution context: cluster shape, metrics, work budget.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{ExecError, ExecResult};
+use crate::metrics::ExecMetrics;
+
+/// Shared context for a "cluster": how many worker threads, how many
+/// partitions new datasets get, the metric counters, and the work budget.
+///
+/// A context is cheap to share (`Arc`) and every [`crate::Dataset`] carries
+/// one; operations on datasets from different contexts panic, matching the
+/// Spark rule that RDDs belong to one `SparkContext`.
+#[derive(Debug)]
+pub struct ExecContext {
+    workers: usize,
+    default_partitions: usize,
+    metrics: ExecMetrics,
+    /// Remaining work units (comparisons). Saturating; `u64::MAX` = unlimited.
+    budget_remaining: AtomicU64,
+    budget_limited: bool,
+    /// Simulated network cost per shuffled record, in nanoseconds. A real
+    /// cluster pays serialization + wire time per record moved; a
+    /// single-machine simulator pays nothing, which would hide exactly the
+    /// cost the paper's `aggregateByKey` optimization removes. When
+    /// non-zero, shuffles spin for `records × cost` to model it. Default 0
+    /// (off) so unit tests measure pure compute.
+    network_ns_per_record: AtomicU64,
+}
+
+impl ExecContext {
+    /// A context with `workers` threads and `partitions` partitions per
+    /// dataset, unlimited budget.
+    pub fn new(workers: usize, partitions: usize) -> Arc<Self> {
+        assert!(workers > 0 && partitions > 0);
+        Arc::new(ExecContext {
+            workers,
+            default_partitions: partitions,
+            metrics: ExecMetrics::default(),
+            budget_remaining: AtomicU64::new(u64::MAX),
+            budget_limited: false,
+            network_ns_per_record: AtomicU64::new(0),
+        })
+    }
+
+    /// A context whose expensive operators may consume at most `budget`
+    /// work units (one unit ≈ one pairwise comparison or one materialized
+    /// cartesian pair) before failing with [`ExecError::BudgetExceeded`].
+    pub fn with_budget(workers: usize, partitions: usize, budget: u64) -> Arc<Self> {
+        assert!(workers > 0 && partitions > 0);
+        Arc::new(ExecContext {
+            workers,
+            default_partitions: partitions,
+            metrics: ExecMetrics::default(),
+            budget_remaining: AtomicU64::new(budget),
+            budget_limited: true,
+            network_ns_per_record: AtomicU64::new(0),
+        })
+    }
+
+    /// Sensible local default: one worker per available core, 2 partitions
+    /// per worker.
+    pub fn local() -> Arc<Self> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ExecContext::new(workers, workers * 2)
+    }
+
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub fn default_partitions(&self) -> usize {
+        self.default_partitions
+    }
+
+    pub fn metrics(&self) -> &ExecMetrics {
+        &self.metrics
+    }
+
+    /// Remaining budget (for reporting). `u64::MAX` when unlimited.
+    pub fn budget_remaining(&self) -> u64 {
+        self.budget_remaining.load(Ordering::Relaxed)
+    }
+
+    /// Reserve `units` of work for `operator`, failing if the budget cannot
+    /// cover them. Expensive operators call this *before* doing the work, so
+    /// a hopeless plan fails fast — the analogue of a job that would run for
+    /// hours being reported as non-terminating.
+    pub fn consume_budget(&self, operator: &'static str, units: u64) -> ExecResult<()> {
+        if !self.budget_limited {
+            return Ok(());
+        }
+        let mut current = self.budget_remaining.load(Ordering::Relaxed);
+        loop {
+            if current < units {
+                return Err(ExecError::BudgetExceeded {
+                    operator,
+                    needed: units,
+                    remaining: current,
+                });
+            }
+            match self.budget_remaining.compare_exchange_weak(
+                current,
+                current - units,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Restore the budget to a fixed value (between benchmark repetitions).
+    pub fn reset_budget(&self, budget: u64) {
+        self.budget_remaining.store(budget, Ordering::Relaxed);
+    }
+
+    /// Enable network-cost simulation: every shuffled record costs `ns`
+    /// nanoseconds of (spun) wall time. 0 disables.
+    pub fn set_network_cost_ns(&self, ns: u64) {
+        self.network_ns_per_record.store(ns, Ordering::Relaxed);
+    }
+
+    /// Account `records` crossing the simulated network: bumps the shuffle
+    /// counter and, when network simulation is on, spins for the modelled
+    /// transfer time. Called by every wide operator.
+    pub fn charge_shuffle(&self, records: u64) {
+        self.metrics.add_shuffled(records);
+        let ns = self.network_ns_per_record.load(Ordering::Relaxed);
+        if ns > 0 && records > 0 {
+            let budget = std::time::Duration::from_nanos(ns.saturating_mul(records));
+            let start = std::time::Instant::now();
+            while start.elapsed() < budget {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_fails() {
+        let ctx = ExecContext::new(2, 4);
+        ctx.consume_budget("t", u64::MAX).unwrap();
+        ctx.consume_budget("t", u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn limited_budget_depletes() {
+        let ctx = ExecContext::with_budget(2, 4, 100);
+        ctx.consume_budget("t", 60).unwrap();
+        ctx.consume_budget("t", 40).unwrap();
+        let err = ctx.consume_budget("t", 1).unwrap_err();
+        assert!(matches!(err, ExecError::BudgetExceeded { remaining: 0, .. }));
+    }
+
+    #[test]
+    fn oversized_request_fails_without_draining() {
+        let ctx = ExecContext::with_budget(1, 1, 50);
+        assert!(ctx.consume_budget("t", 100).is_err());
+        // The failed request did not consume the budget.
+        ctx.consume_budget("t", 50).unwrap();
+    }
+
+    #[test]
+    fn reset_budget_restores() {
+        let ctx = ExecContext::with_budget(1, 1, 10);
+        ctx.consume_budget("t", 10).unwrap();
+        ctx.reset_budget(10);
+        ctx.consume_budget("t", 10).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_panics() {
+        let _ = ExecContext::new(0, 1);
+    }
+}

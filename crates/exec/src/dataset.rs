@@ -1,0 +1,238 @@
+//! The partitioned dataset and its narrow (no-shuffle) operators.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::context::ExecContext;
+use crate::metrics::StageReport;
+use crate::pool::run_partitions;
+
+/// Marker bound for anything storable in a [`Dataset`].
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}
+
+/// Marker bound for shuffle/join keys. `Ord` is required because the
+/// sort-based shuffle needs range partitioning.
+pub trait Key: Data + Hash + Eq + Ord {}
+impl<T: Data + Hash + Eq + Ord> Key for T {}
+
+/// A partitioned collection bound to an [`ExecContext`] — the analogue of an
+/// RDD. Narrow operators run partition-parallel on the context's worker
+/// pool; wide operators (in `shuffle`, `join`, `theta`) move data between
+/// partitions and account for it in the context metrics.
+#[derive(Clone)]
+pub struct Dataset<T> {
+    pub(crate) ctx: Arc<ExecContext>,
+    pub(crate) parts: Vec<Vec<T>>,
+}
+
+impl<T: Data> Dataset<T> {
+    /// Distribute `data` over the context's default partition count by
+    /// contiguous chunks (preserving input order across partitions).
+    pub fn from_vec(ctx: &Arc<ExecContext>, data: Vec<T>) -> Self {
+        let p = ctx.default_partitions();
+        let chunk = data.len().div_ceil(p).max(1);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(p);
+        let mut it = data.into_iter();
+        loop {
+            let part: Vec<T> = it.by_ref().take(chunk).collect();
+            if part.is_empty() {
+                break;
+            }
+            parts.push(part);
+        }
+        while parts.len() < p {
+            parts.push(Vec::new());
+        }
+        Dataset {
+            ctx: Arc::clone(ctx),
+            parts,
+        }
+    }
+
+    /// Wrap pre-partitioned data.
+    pub fn from_partitions(ctx: &Arc<ExecContext>, parts: Vec<Vec<T>>) -> Self {
+        Dataset {
+            ctx: Arc::clone(ctx),
+            parts,
+        }
+    }
+
+    pub fn context(&self) -> &Arc<ExecContext> {
+        &self.ctx
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total record count (cheap: no data movement).
+    pub fn count(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+
+    /// Sizes of the individual partitions — used by tests and by skew
+    /// reports.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.parts.iter().map(|p| p.len()).collect()
+    }
+
+    /// Gather all records to the "driver", preserving partition order.
+    pub fn collect(self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.count());
+        for p in self.parts {
+            out.extend(p);
+        }
+        out
+    }
+
+    /// Element-wise transform (narrow).
+    pub fn map<U: Data>(self, f: impl Fn(T) -> U + Sync) -> Dataset<U> {
+        let ctx = self.ctx;
+        let (parts, _) = run_partitions(&ctx, self.parts, |_, part| {
+            part.into_iter().map(&f).collect::<Vec<U>>()
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Keep records satisfying `pred` (narrow). Per-worker busy time is
+    /// recorded: predicate work (e.g. similarity checks) on a skewed
+    /// partition layout shows up as load imbalance here.
+    pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> Dataset<T> {
+        let ctx = self.ctx;
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
+            part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
+        });
+        ctx.metrics().push_stage(StageReport {
+            operator: "filter",
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// One-to-many transform (narrow) — Spark's `flatMap`, the physical
+    /// translation of the algebra's Unnest. Per-worker busy time is
+    /// recorded (unnesting a skewed group layout is where stragglers form).
+    pub fn flat_map<U: Data>(
+        self,
+        f: impl Fn(T) -> Vec<U> + Sync,
+    ) -> Dataset<U> {
+        let ctx = self.ctx;
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
+            part.into_iter().flat_map(&f).collect::<Vec<U>>()
+        });
+        ctx.metrics().push_stage(StageReport {
+            operator: "flat_map",
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Whole-partition transform (narrow) — Spark's `mapPartitions`, used by
+    /// the Nest translation to apply per-group output/filter functions after
+    /// the shuffle.
+    pub fn map_partitions<U: Data>(
+        self,
+        f: impl Fn(Vec<T>) -> Vec<U> + Sync,
+    ) -> Dataset<U> {
+        let ctx = self.ctx;
+        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| f(part));
+        let records_in: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        ctx.metrics().push_stage(StageReport {
+            operator: "map_partitions",
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Concatenate two datasets (narrow; partitions are appended).
+    pub fn union(mut self, other: Dataset<T>) -> Dataset<T> {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx),
+            "datasets belong to different contexts"
+        );
+        self.parts.extend(other.parts);
+        self
+    }
+}
+
+impl<T: Data + std::fmt::Debug> std::fmt::Debug for Dataset<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("partitions", &self.parts.len())
+            .field("records", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Arc<ExecContext> {
+        ExecContext::new(4, 4)
+    }
+
+    #[test]
+    fn from_vec_balances_chunks() {
+        let ds = Dataset::from_vec(&ctx(), (0..10).collect());
+        assert_eq!(ds.num_partitions(), 4);
+        assert_eq!(ds.count(), 10);
+        assert_eq!(ds.partition_sizes(), vec![3, 3, 3, 1]);
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds: Dataset<i32> = Dataset::from_vec(&ctx(), vec![]);
+        assert_eq!(ds.count(), 0);
+        assert_eq!(ds.num_partitions(), 4); // empty partitions kept
+        assert!(ds.collect().is_empty());
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let ds = Dataset::from_vec(&ctx(), (0..100).collect());
+        let out = ds
+            .map(|x| x * 2)
+            .filter(|x| x % 4 == 0)
+            .flat_map(|x| vec![x, x + 1])
+            .collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn map_partitions_sees_whole_partition() {
+        let ds = Dataset::from_vec(&ctx(), (0..8).collect());
+        let sums = ds.map_partitions(|p| vec![p.iter().sum::<i32>()]).collect();
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums.iter().sum::<i32>(), 28);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let c = ctx();
+        let a = Dataset::from_vec(&c, vec![1, 2]);
+        let b = Dataset::from_vec(&c, vec![3]);
+        let u = a.union(b);
+        assert_eq!(u.count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different contexts")]
+    fn union_across_contexts_panics() {
+        let a = Dataset::from_vec(&ctx(), vec![1]);
+        let b = Dataset::from_vec(&ctx(), vec![2]);
+        let _ = a.union(b);
+    }
+}

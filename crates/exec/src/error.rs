@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors from the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The plan would perform (or has performed) more work than the
+    /// configured budget allows. This is how the harness reports the paper's
+    /// "system is unable to terminate" outcomes deterministically.
+    BudgetExceeded {
+        /// What the operator was doing.
+        operator: &'static str,
+        /// Comparisons/work units the operator needed.
+        needed: u64,
+        /// Budget that remained.
+        remaining: u64,
+    },
+    /// A value-level error surfaced inside an operator closure.
+    Value(String),
+    /// Any other invariant violation.
+    Other(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BudgetExceeded {
+                operator,
+                needed,
+                remaining,
+            } => write!(
+                f,
+                "work budget exceeded in {operator}: needed {needed} units, {remaining} remaining \
+                 (the paper reports this as `unable to terminate`)"
+            ),
+            ExecError::Value(msg) => write!(f, "value error: {msg}"),
+            ExecError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<cleanm_values::Error> for ExecError {
+    fn from(e: cleanm_values::Error) -> Self {
+        ExecError::Value(e.to_string())
+    }
+}
+
+/// Result alias for runtime operations.
+pub type ExecResult<T> = std::result::Result<T, ExecError>;

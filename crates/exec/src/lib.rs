@@ -1,0 +1,40 @@
+//! Scale-out runtime substrate — the repository's stand-in for Spark.
+//!
+//! The paper's third optimization level (§6) is about *physical* choices on a
+//! scale-out engine: how grouping shuffles data (sort-based vs hash-based vs
+//! local-aggregate-then-merge) and how theta joins are executed (cartesian +
+//! filter vs min-max block pruning vs statistics-aware matrix partitioning).
+//! To reproduce those effects without a Spark cluster, this crate implements
+//! a real shared-nothing runtime at laptop scale:
+//!
+//! * a **partitioned dataset** ([`Dataset`]) processed by a pool of worker
+//!   threads, one logical "node" per partition;
+//! * **narrow operators** (`map`, `filter`, `flat_map`, `map_partitions`)
+//!   that never move data;
+//! * **shuffles** that really materialize and move records between
+//!   partitions, with counters: [`Dataset::group_by_key_hash`] (BigDansing's
+//!   strategy), [`Dataset::group_by_key_sorted`] (Spark SQL's sort-based
+//!   aggregation with sampled range partitioning — skew lands on one
+//!   worker), and [`Dataset::aggregate_by_key`] (CleanDB's map-side combine);
+//! * **equi-joins** (hash, left/full outer) and three **theta joins**
+//!   ([`theta::cartesian_filter`], [`theta::minmax_block_join`],
+//!   [`theta::mbucket_join`]);
+//! * **metrics** ([`ExecMetrics`], [`StageReport`]): records shuffled,
+//!   comparisons performed, per-worker busy time (load imbalance), and
+//! * a **work budget** so that plans whose comparison count explodes are
+//!   reported as `BudgetExceeded` — the harness's analogue of the paper's
+//!   ">10h / unable to terminate" entries — instead of melting the laptop.
+
+mod context;
+mod dataset;
+mod error;
+mod join;
+mod metrics;
+mod pool;
+mod shuffle;
+pub mod theta;
+
+pub use context::ExecContext;
+pub use dataset::{Data, Dataset, Key};
+pub use error::{ExecError, ExecResult};
+pub use metrics::{ExecMetrics, MetricsSnapshot, StageReport};

@@ -1,0 +1,155 @@
+//! Runtime metrics: shuffle volume, comparison counts, per-worker load.
+//!
+//! The experiments report not just wall-clock but *why* a strategy wins:
+//! CleanDB's `aggregateByKey` shuffles pre-aggregated groups (few records),
+//! Spark SQL's sort-based shuffle moves every record and concentrates skewed
+//! keys on one node. These counters make that visible and testable.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-stage report, recorded by shuffles and theta joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Operator name, e.g. `"aggregate_by_key"`.
+    pub operator: &'static str,
+    /// Records entering the stage.
+    pub records_in: u64,
+    /// Records physically moved between partitions.
+    pub records_shuffled: u64,
+    /// Busy nanoseconds per worker for the stage's parallel phase.
+    pub worker_busy_ns: Vec<u64>,
+}
+
+impl StageReport {
+    /// Load imbalance: max worker busy time over mean busy time. 1.0 is
+    /// perfectly balanced; large values mean one straggler dominated.
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self.worker_busy_ns.iter().copied().filter(|&b| b > 0).collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let max = *busy.iter().max().unwrap() as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Shared, thread-safe counters for one execution context.
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    records_shuffled: AtomicU64,
+    comparisons: AtomicU64,
+    stages: Mutex<Vec<StageReport>>,
+}
+
+impl ExecMetrics {
+    pub fn add_shuffled(&self, n: u64) {
+        self.records_shuffled.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn add_comparisons(&self, n: u64) {
+        self.comparisons.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn push_stage(&self, report: StageReport) {
+        self.stages.lock().push(report);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            records_shuffled: self.records_shuffled.load(Ordering::Relaxed),
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+            stages: self.stages.lock().clone(),
+        }
+    }
+
+    /// Reset all counters (between benchmark runs).
+    pub fn reset(&self) {
+        self.records_shuffled.store(0, Ordering::Relaxed);
+        self.comparisons.store(0, Ordering::Relaxed);
+        self.stages.lock().clear();
+    }
+}
+
+/// Immutable copy of the counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub records_shuffled: u64,
+    pub comparisons: u64,
+    pub stages: Vec<StageReport>,
+}
+
+impl MetricsSnapshot {
+    /// Worst imbalance across recorded stages.
+    pub fn max_imbalance(&self) -> f64 {
+        self.stages
+            .iter()
+            .map(|s| s.imbalance())
+            .fold(1.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ExecMetrics::default();
+        m.add_shuffled(10);
+        m.add_shuffled(5);
+        m.add_comparisons(7);
+        let s = m.snapshot();
+        assert_eq!(s.records_shuffled, 15);
+        assert_eq!(s.comparisons, 7);
+        m.reset();
+        assert_eq!(m.snapshot().records_shuffled, 0);
+    }
+
+    #[test]
+    fn imbalance_math() {
+        let r = StageReport {
+            operator: "x",
+            records_in: 0,
+            records_shuffled: 0,
+            worker_busy_ns: vec![100, 100, 100, 100],
+        };
+        assert!((r.imbalance() - 1.0).abs() < 1e-9);
+        let skewed = StageReport {
+            worker_busy_ns: vec![400, 100, 100, 100],
+            ..r.clone()
+        };
+        assert!((skewed.imbalance() - 400.0 / 175.0).abs() < 1e-9);
+        let empty = StageReport {
+            worker_busy_ns: vec![],
+            ..r
+        };
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn stage_reports_collect() {
+        let m = ExecMetrics::default();
+        m.push_stage(StageReport {
+            operator: "a",
+            records_in: 1,
+            records_shuffled: 1,
+            worker_busy_ns: vec![1],
+        });
+        m.push_stage(StageReport {
+            operator: "b",
+            records_in: 2,
+            records_shuffled: 2,
+            worker_busy_ns: vec![9, 1],
+        });
+        let s = m.snapshot();
+        assert_eq!(s.stages.len(), 2);
+        assert!(s.max_imbalance() > 1.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Relational flattening of nested tables.
+//!
+//! §8's DBLP experiment compares cleaning the original nested representation
+//! against "flat" variants where a publication with k authors becomes k
+//! rows — "a common practice followed by relational systems". This module
+//! performs that transformation (and the paper's observation that it
+//! *increases* data volume falls out naturally).
+
+use cleanm_values::{DataType, Error, Field, Result, Row, Schema, Table, Value};
+
+/// Flatten every `List`-typed column: the output contains one row per
+/// combination of list elements (cartesian across multiple list columns, as
+/// SQL `UNNEST` would produce). Empty lists and `Null` yield a single row
+/// with `Null` in that column (outer-unnest semantics, so no record is
+/// silently dropped — cleaning must see every entity).
+pub fn flatten(table: &Table) -> Result<Table> {
+    let mut fields = Vec::with_capacity(table.schema.len());
+    let mut list_cols = Vec::new();
+    for (i, f) in table.schema.fields().iter().enumerate() {
+        match &f.dtype {
+            DataType::List(elem) => {
+                list_cols.push(i);
+                fields.push(Field::new(f.name.clone(), (**elem).clone()));
+            }
+            other => fields.push(Field::new(f.name.clone(), other.clone())),
+        }
+    }
+    let schema = Schema::new(fields)?;
+    if list_cols.is_empty() {
+        return Ok(Table::new(schema, table.rows.clone()));
+    }
+
+    let mut rows = Vec::with_capacity(table.rows.len() * 2);
+    for row in &table.rows {
+        expand(row, &list_cols, 0, &mut row.values().to_vec(), &mut rows)?;
+    }
+    Ok(Table::new(schema, rows))
+}
+
+fn expand(
+    row: &Row,
+    list_cols: &[usize],
+    depth: usize,
+    current: &mut Vec<Value>,
+    out: &mut Vec<Row>,
+) -> Result<()> {
+    if depth == list_cols.len() {
+        out.push(Row::new(current.clone()));
+        return Ok(());
+    }
+    let col = list_cols[depth];
+    match row.get(col)? {
+        Value::List(items) if !items.is_empty() => {
+            for item in items.iter() {
+                current[col] = item.clone();
+                expand(row, list_cols, depth + 1, current, out)?;
+            }
+        }
+        // Outer-unnest: keep the record with a Null placeholder.
+        Value::List(_) | Value::Null => {
+            current[col] = Value::Null;
+            expand(row, list_cols, depth + 1, current, out)?;
+        }
+        other => {
+            return Err(Error::Invalid(format!(
+                "column {col} declared as list but holds `{other}`"
+            )))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nested_table() -> Table {
+        let schema = Schema::of([
+            ("title", DataType::Str),
+            ("authors", DataType::List(Box::new(DataType::Str))),
+        ]);
+        Table::new(
+            schema,
+            vec![
+                Row::new(vec![
+                    Value::str("T1"),
+                    Value::list([Value::str("A"), Value::str("B")]),
+                ]),
+                Row::new(vec![Value::str("T2"), Value::list([Value::str("C")])]),
+                Row::new(vec![Value::str("T3"), Value::list([])]),
+            ],
+        )
+    }
+
+    #[test]
+    fn one_row_per_author() {
+        let flat = flatten(&nested_table()).unwrap();
+        assert_eq!(flat.len(), 4); // 2 + 1 + 1(empty -> null)
+        assert_eq!(flat.schema.field("authors").unwrap().dtype, DataType::Str);
+        assert_eq!(flat.rows[0].values(), &[Value::str("T1"), Value::str("A")]);
+        assert_eq!(flat.rows[1].values(), &[Value::str("T1"), Value::str("B")]);
+        assert_eq!(flat.rows[3].values(), &[Value::str("T3"), Value::Null]);
+    }
+
+    #[test]
+    fn flattening_grows_volume() {
+        let nested = nested_table();
+        let flat = flatten(&nested).unwrap();
+        assert!(flat.len() > nested.len());
+    }
+
+    #[test]
+    fn no_lists_is_identity() {
+        let schema = Schema::of([("x", DataType::Int)]);
+        let t = Table::new(schema, vec![Row::new(vec![Value::Int(1)])]);
+        let flat = flatten(&t).unwrap();
+        assert_eq!(flat.rows, t.rows);
+    }
+
+    #[test]
+    fn two_list_columns_cross_product() {
+        let schema = Schema::of([
+            ("a", DataType::List(Box::new(DataType::Int))),
+            ("b", DataType::List(Box::new(DataType::Str))),
+        ]);
+        let t = Table::new(
+            schema,
+            vec![Row::new(vec![
+                Value::list([Value::Int(1), Value::Int(2)]),
+                Value::list([Value::str("x"), Value::str("y")]),
+            ])],
+        );
+        let flat = flatten(&t).unwrap();
+        assert_eq!(flat.len(), 4);
+    }
+
+    #[test]
+    fn type_violation_is_error() {
+        let schema = Schema::of([("a", DataType::List(Box::new(DataType::Int)))]);
+        let t = Table::new(schema, vec![Row::new(vec![Value::Int(3)])]);
+        assert!(flatten(&t).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! String similarity and tokenization substrate.
+//!
+//! Term validation, deduplication, and similarity joins in the paper all
+//! bottom out in (a) a similarity metric between strings and (b) a way to
+//! carve strings into tokens for blocking. This crate implements both from
+//! scratch:
+//!
+//! * [`levenshtein`] / [`levenshtein_bounded`] — edit distance (the paper's
+//!   `LD` metric) with an early-exit banded variant.
+//! * [`jaccard_qgrams`] / [`jaccard_words`] — Jaccard set similarity.
+//! * [`jaro`] / [`jaro_winkler`] — transposition-tolerant similarity.
+//! * [`Metric`] — the runtime-selected metric enum used by CleanM's
+//!   `DEDUP(op, metric, theta, attrs)` clauses.
+//! * [`qgrams`] / [`words`] / [`normalize`] — tokenizers.
+//! * [`reservoir_sample`] / [`fixed_step_sample`] — the sampling primitives
+//!   §4.3 parameterizes the function-composition monoid with (k-means center
+//!   initialization).
+
+mod metric;
+mod sample;
+mod sim;
+mod tokenize;
+
+pub use metric::Metric;
+pub use sample::{fixed_step_sample, reservoir_sample};
+pub use sim::{
+    jaccard_qgrams, jaccard_words, jaro, jaro_winkler, levenshtein, levenshtein_bounded,
+    levenshtein_similarity,
+};
+pub use tokenize::{normalize, qgrams, words};

@@ -1,0 +1,101 @@
+//! The runtime-selectable similarity metric.
+
+use crate::sim::{jaccard_qgrams, jaccard_words, jaro_winkler, levenshtein_similarity};
+
+/// Similarity metric named in a CleanM query (`DEDUP(op, metric, theta, …)`).
+///
+/// All variants compute a similarity in `[0, 1]`. The paper's experiments use
+/// Levenshtein (`LD`); Jaccard and Jaro–Winkler cover the other metrics its
+/// syntax names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Metric {
+    /// Normalized Levenshtein similarity (paper's `LD`).
+    #[default]
+    Levenshtein,
+    /// Jaccard over q-grams of the given length.
+    JaccardQgrams(usize),
+    /// Jaccard over whitespace words.
+    JaccardWords,
+    /// Jaro–Winkler.
+    JaroWinkler,
+}
+
+impl Metric {
+    /// Compute the similarity of two strings under this metric.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        match self {
+            Metric::Levenshtein => levenshtein_similarity(a, b),
+            Metric::JaccardQgrams(q) => jaccard_qgrams(a, b, *q),
+            Metric::JaccardWords => jaccard_words(a, b),
+            Metric::JaroWinkler => jaro_winkler(a, b),
+        }
+    }
+
+    /// True iff similarity reaches the threshold. Uses the bounded
+    /// Levenshtein fast path when applicable.
+    pub fn similar(&self, a: &str, b: &str, theta: f64) -> bool {
+        match self {
+            Metric::Levenshtein => {
+                let la = a.chars().count();
+                let lb = b.chars().count();
+                let denom = la.max(lb);
+                if denom == 0 {
+                    return true;
+                }
+                // sim >= theta  ⇔  dist <= (1 - theta) * denom. The small
+                // epsilon compensates for `1 - theta` not being exactly
+                // representable (e.g. theta = 0.8).
+                let max_dist = ((1.0 - theta) * denom as f64 + 1e-9).floor() as usize;
+                crate::sim::levenshtein_bounded(a, b, max_dist).is_some()
+            }
+            _ => self.similarity(a, b) >= theta,
+        }
+    }
+
+    /// Parse a metric name as it appears in CleanM query text.
+    pub fn parse(name: &str) -> Option<Metric> {
+        match name.to_ascii_lowercase().as_str() {
+            "ld" | "levenshtein" | "edit" => Some(Metric::Levenshtein),
+            "jaccard" => Some(Metric::JaccardQgrams(2)),
+            "jaccard_words" => Some(Metric::JaccardWords),
+            "jw" | "jaro_winkler" | "jarowinkler" => Some(Metric::JaroWinkler),
+            _ => None,
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_agrees_with_similarity() {
+        let pairs = [("smith", "smyth"), ("alice", "bob"), ("", ""), ("aa", "aa")];
+        for m in [
+            Metric::Levenshtein,
+            Metric::JaccardQgrams(2),
+            Metric::JaccardWords,
+            Metric::JaroWinkler,
+        ] {
+            for (a, b) in pairs {
+                for theta in [0.0, 0.5, 0.8, 1.0] {
+                    assert_eq!(
+                        m.similar(a, b, theta),
+                        m.similarity(a, b) >= theta,
+                        "{m:?} {a} {b} {theta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Metric::parse("LD"), Some(Metric::Levenshtein));
+        assert_eq!(Metric::parse("jaccard"), Some(Metric::JaccardQgrams(2)));
+        assert_eq!(Metric::parse("JW"), Some(Metric::JaroWinkler));
+        assert_eq!(Metric::parse("nope"), None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Sampling primitives for center initialization.
+//!
+//! §4.3 of the paper expresses k-means center initialization by
+//! parameterizing the *function composition monoid* with a randomized
+//! extraction — reservoir sampling [Vitter '85] — or a fixed-step extraction
+//! (“take the N/k, 2N/k, …, N-th items”). Both are single-pass and
+//! associative in the sense required there (each step appends specific
+//! elements to a bag), so they can run inside a fold over a distributed
+//! collection.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Single-pass reservoir sample of `k` items (Vitter's Algorithm R),
+/// deterministic for a given `seed`.
+///
+/// Returns fewer than `k` items iff the input has fewer than `k` items.
+pub fn reservoir_sample<T: Clone>(items: impl IntoIterator<Item = T>, k: usize, seed: u64) -> Vec<T> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in items.into_iter().enumerate() {
+        if reservoir.len() < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Fixed-step extraction: the `N/k, 2N/k, …, N`-th items of the input
+/// (1-based), matching the paper's explicit parameterization
+/// `◦{λ(x,i). (if i = N/k, 2N/k, …, N then [x]++y, i−1) | y ← Y}`.
+///
+/// `n` is the total length of the input; if the iterator is shorter, the
+/// positions that exist are returned.
+pub fn fixed_step_sample<T: Clone>(items: impl IntoIterator<Item = T>, k: usize, n: usize) -> Vec<T> {
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    let step = (n / k).max(1);
+    let mut out = Vec::with_capacity(k);
+    for (i, item) in items.into_iter().enumerate() {
+        // 1-based position i+1 at multiples of `step`, up to k items.
+        if (i + 1) % step == 0 && out.len() < k {
+            out.push(item);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed() {
+        let a = reservoir_sample(0..1000, 5, 7);
+        let b = reservoir_sample(0..1000, 5, 7);
+        assert_eq!(a, b);
+        let c = reservoir_sample(0..1000, 5, 8);
+        assert_ne!(a, c); // overwhelmingly likely
+    }
+
+    #[test]
+    fn reservoir_size() {
+        assert_eq!(reservoir_sample(0..100, 10, 1).len(), 10);
+        assert_eq!(reservoir_sample(0..3, 10, 1).len(), 3);
+        assert!(reservoir_sample(0..100, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn reservoir_items_come_from_input() {
+        let sample = reservoir_sample(0..50, 8, 99);
+        assert!(sample.iter().all(|&x| x < 50));
+        let mut dedup = sample.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sample.len(), "no duplicates");
+    }
+
+    #[test]
+    fn fixed_step_positions() {
+        // n=10, k=5 -> positions 2,4,6,8,10 (1-based) -> values 1,3,5,7,9
+        assert_eq!(fixed_step_sample(0..10, 5, 10), vec![1, 3, 5, 7, 9]);
+        // k > n degenerates to step 1: first k available items.
+        assert_eq!(fixed_step_sample(0..3, 5, 3), vec![0, 1, 2]);
+        assert!(fixed_step_sample(0..10, 0, 10).is_empty());
+    }
+}

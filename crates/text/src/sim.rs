@@ -1,0 +1,236 @@
+//! Similarity metrics.
+//!
+//! All similarity functions return values in `[0, 1]` where `1` means
+//! identical; distance functions return raw counts. Implementations operate
+//! on `char` sequences so multi-byte UTF-8 input is handled correctly.
+
+use crate::tokenize::{qgrams, words};
+
+/// Levenshtein edit distance (insertions, deletions, substitutions), using
+/// the classic two-row dynamic program: `O(|a|·|b|)` time, `O(min)` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance with an upper bound: returns `None` as soon as the
+/// distance provably exceeds `max`. This is the hot path of similarity
+/// joins — most candidate pairs are dissimilar and abort after a few rows.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if long.len() - short.len() > max {
+        return None;
+    }
+    if short.is_empty() {
+        return (long.len() <= max).then_some(long.len());
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[short.len()] <= max).then_some(prev[short.len()])
+}
+
+/// Normalized Levenshtein similarity: `1 - dist / max(|a|, |b|)`.
+/// Two empty strings are identical (similarity 1).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / denom as f64
+}
+
+fn jaccard<T: std::hash::Hash + Eq>(
+    a: impl IntoIterator<Item = T>,
+    b: impl IntoIterator<Item = T>,
+) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<T> = a.into_iter().collect();
+    let sb: HashSet<T> = b.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity over q-gram sets.
+pub fn jaccard_qgrams(a: &str, b: &str, q: usize) -> f64 {
+    jaccard(qgrams(a, q), qgrams(b, q))
+}
+
+/// Jaccard similarity over whitespace-delimited word sets.
+pub fn jaccard_words(a: &str, b: &str) -> f64 {
+    jaccard(words(a), words(b))
+}
+
+/// Jaro similarity: match window of `max(|a|,|b|)/2 - 1`, counting matches
+/// and transpositions.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of relative order.
+    let mut b_order: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0usize;
+    let sorted = {
+        let mut s = b_order.clone();
+        s.sort_unstable();
+        s
+    };
+    for (x, y) in b_order.iter_mut().zip(sorted) {
+        if *x != y {
+            transpositions += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `0.1` and prefix
+/// length capped at 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_bound() {
+        let pairs = [("kitten", "sitting"), ("abc", "abd"), ("x", "yyyy")];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            assert_eq!(levenshtein_bounded(a, b, d), Some(d));
+            assert_eq!(levenshtein_bounded(a, b, d + 2), Some(d));
+            if d > 0 {
+                assert_eq!(levenshtein_bounded(a, b, d - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_early_exit_on_length_gap() {
+        assert_eq!(levenshtein_bounded("a", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn similarity_range_and_symmetry() {
+        let s = levenshtein_similarity("smith", "smyth");
+        assert!(s > 0.7 && s < 1.0);
+        assert_eq!(
+            levenshtein_similarity("smith", "smyth"),
+            levenshtein_similarity("smyth", "smith")
+        );
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("ab", "ab"), 1.0);
+    }
+
+    #[test]
+    fn jaccard_qgram_basics() {
+        assert_eq!(jaccard_qgrams("abc", "abc", 2), 1.0);
+        assert_eq!(jaccard_qgrams("abc", "xyz", 2), 0.0);
+        let s = jaccard_qgrams("night", "nacht", 2);
+        assert!(s > 0.0 && s < 0.5, "{s}");
+    }
+
+    #[test]
+    fn jaccard_words_basics() {
+        assert_eq!(jaccard_words("the quick fox", "the quick fox"), 1.0);
+        assert!((jaccard_words("a b c", "a b d") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        assert!((jaro("dixon", "dicksonx") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_boosts_common_prefix() {
+        let jw = jaro_winkler("dwayne", "duane");
+        assert!((jw - 0.84).abs() < 0.01, "{jw}");
+        assert!(jaro_winkler("prefix_a", "prefix_b") > jaro("prefix_a", "prefix_b"));
+    }
+}

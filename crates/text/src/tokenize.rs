@@ -1,0 +1,87 @@
+//! Tokenizers used by the blocking/filtering monoids.
+
+/// Lowercase and strip everything but alphanumerics and single spaces.
+/// Cleaning operators normalize terms before tokenizing or comparing so that
+/// `"J. Smith"` and `"j smith"` block together.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Overlapping q-grams of a string. Strings shorter than `q` yield the whole
+/// string as the single token, so no value ever has zero tokens (token
+/// filtering must place every value in at least one group to keep recall).
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    assert!(q > 0, "q-gram length must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return vec![String::new()];
+    }
+    if chars.len() <= q {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - q)
+        .map(|i| chars[i..i + q].iter().collect())
+        .collect()
+}
+
+/// Whitespace-delimited words.
+pub fn words(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|w| w.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_collapses_noise() {
+        assert_eq!(normalize("J. Smith"), "j smith");
+        assert_eq!(normalize("  A--B  "), "a b");
+        assert_eq!(normalize("ÉCOLE"), "école");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("..."), "");
+    }
+
+    #[test]
+    fn qgrams_basic() {
+        assert_eq!(qgrams("abcd", 2), vec!["ab", "bc", "cd"]);
+        assert_eq!(qgrams("abcd", 3), vec!["abc", "bcd"]);
+        // Short strings yield themselves.
+        assert_eq!(qgrams("ab", 3), vec!["ab"]);
+        assert_eq!(qgrams("", 2), vec![""]);
+    }
+
+    #[test]
+    fn qgrams_count_matches_formula() {
+        let s = "abcdefgh";
+        for q in 1..=4 {
+            assert_eq!(qgrams(s, q).len(), s.len() - q + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn qgrams_zero_panics() {
+        qgrams("abc", 0);
+    }
+
+    #[test]
+    fn words_split() {
+        assert_eq!(words("a  b\tc"), vec!["a", "b", "c"]);
+        assert!(words("   ").is_empty());
+    }
+}

@@ -1,0 +1,46 @@
+use std::fmt;
+
+/// Errors produced across the CleanM workspace when manipulating values,
+/// schemas and rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value had a different runtime type than the operation required.
+    TypeMismatch {
+        /// What the operation needed (e.g. `"string"`).
+        expected: &'static str,
+        /// What it actually found (the [`crate::Value`] variant name).
+        found: &'static str,
+    },
+    /// A field name was not present in a schema or struct value.
+    UnknownField(String),
+    /// A positional index was out of bounds for a row or list.
+    IndexOutOfBounds { index: usize, len: usize },
+    /// A schema was malformed (duplicate field names, empty, ...).
+    InvalidSchema(String),
+    /// Parsing a textual value into a typed value failed.
+    Parse(String),
+    /// Catch-all for other invariant violations; the message says which.
+    Invalid(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Error::UnknownField(name) => write!(f, "unknown field `{name}`"),
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+            Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Error::Parse(msg) => write!(f, "parse error: {msg}"),
+            Error::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;

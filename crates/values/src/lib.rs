@@ -1,0 +1,22 @@
+//! Nested data model for the CleanM reproduction.
+//!
+//! The paper's CleanDB queries heterogeneous data (CSV, JSON, XML, columnar
+//! binary), so the value model must represent both flat relational tuples and
+//! nested collections (e.g. a DBLP publication with a list of authors).
+//!
+//! * [`Value`] — a dynamically typed value with total equality, ordering and
+//!   hashing (floats are compared by canonicalized bits so values can be used
+//!   as grouping keys).
+//! * [`DataType`] / [`Schema`] / [`Field`] — logical types.
+//! * [`Row`] — one record: a boxed slice of values positionally matching a
+//!   schema.
+
+mod error;
+mod row;
+mod types;
+mod value;
+
+pub use error::{Error, Result};
+pub use row::{Row, Table};
+pub use types::{DataType, Field, Schema};
+pub use value::Value;

@@ -1,0 +1,225 @@
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::types::Schema;
+use crate::value::Value;
+
+/// One record: values positionally matching a [`Schema`].
+///
+/// Rows deliberately do not carry their schema — the executing plan knows the
+/// schema of every intermediate relation, and keeping rows lean matters when
+/// millions are shuffled between workers. Values inside are `Arc`-backed, so
+/// `Row::clone` is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Row {
+    values: Arc<[Value]>,
+}
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row {
+            values: values.into(),
+        }
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value at position `i`.
+    pub fn get(&self, i: usize) -> Result<&Value> {
+        self.values.get(i).ok_or(Error::IndexOutOfBounds {
+            index: i,
+            len: self.values.len(),
+        })
+    }
+
+    /// A new row with `other`'s values appended (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.len() + other.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Row::new(values)
+    }
+
+    /// A new row keeping only the given positions, in order (projection).
+    pub fn project(&self, indices: &[usize]) -> Result<Row> {
+        let mut values = Vec::with_capacity(indices.len());
+        for &i in indices {
+            values.push(self.get(i)?.clone());
+        }
+        Ok(Row::new(values))
+    }
+
+    /// A new row with `extra` values appended.
+    pub fn extend(&self, extra: impl IntoIterator<Item = Value>) -> Row {
+        let mut values = self.values.to_vec();
+        values.extend(extra);
+        Row::new(values)
+    }
+
+    /// Package the row as a [`Value::Struct`] using the schema's field names
+    /// (used when nesting rows inside group values).
+    pub fn to_struct(&self, schema: &Schema) -> Value {
+        Value::record(
+            schema
+                .fields()
+                .iter()
+                .zip(self.values.iter())
+                .map(|(f, v)| (f.name.as_str(), v.clone())),
+        )
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A schema plus its rows: the unit a reader produces and the engine
+/// registers as a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        Table { schema, rows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Check every row against the schema: arity and types.
+    pub fn validate(&self) -> Result<()> {
+        for (ri, row) in self.rows.iter().enumerate() {
+            if row.len() != self.schema.len() {
+                return Err(Error::Invalid(format!(
+                    "row {ri} has {} values, schema has {} fields",
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+            for (field, value) in self.schema.fields().iter().zip(row.values()) {
+                if !field.dtype.admits(value) {
+                    return Err(Error::Invalid(format!(
+                        "row {ri}: value `{value}` does not inhabit {} (field `{}`)",
+                        field.dtype, field.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Column values by field name.
+    pub fn column(&self, name: &str) -> Result<Vec<&Value>> {
+        let i = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(|r| &r.values()[i]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn schema() -> Schema {
+        Schema::of([("id", DataType::Int), ("name", DataType::Str)])
+    }
+
+    #[test]
+    fn get_and_bounds() {
+        let r = Row::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(r.get(0).unwrap(), &Value::Int(1));
+        assert!(matches!(
+            r.get(5),
+            Err(Error::IndexOutOfBounds { index: 5, len: 2 })
+        ));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Row::new(vec![Value::Int(1), Value::str("a")]);
+        let b = Row::new(vec![Value::Bool(true)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        let p = c.project(&[2, 0]).unwrap();
+        assert_eq!(p.values(), &[Value::Bool(true), Value::Int(1)]);
+        assert!(c.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn to_struct_uses_field_names() {
+        let r = Row::new(vec![Value::Int(7), Value::str("bob")]);
+        let s = r.to_struct(&schema());
+        assert_eq!(s.field("name").unwrap(), &Value::str("bob"));
+    }
+
+    #[test]
+    fn table_validate_catches_arity_and_type() {
+        let ok = Table::new(schema(), vec![Row::new(vec![Value::Int(1), Value::str("a")])]);
+        ok.validate().unwrap();
+
+        let bad_arity = Table::new(schema(), vec![Row::new(vec![Value::Int(1)])]);
+        assert!(bad_arity.validate().is_err());
+
+        let bad_type = Table::new(
+            schema(),
+            vec![Row::new(vec![Value::str("x"), Value::str("a")])],
+        );
+        assert!(bad_type.validate().is_err());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let t = Table::new(
+            schema(),
+            vec![
+                Row::new(vec![Value::Int(1), Value::str("a")]),
+                Row::new(vec![Value::Int(2), Value::str("b")]),
+            ],
+        );
+        let names = t.column("name").unwrap();
+        assert_eq!(names, vec![&Value::str("a"), &Value::str("b")]);
+        assert!(t.column("zz").is_err());
+    }
+
+    #[test]
+    fn display() {
+        let r = Row::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(r.to_string(), "[1, a]");
+    }
+}

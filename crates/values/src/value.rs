@@ -1,0 +1,467 @@
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// A dynamically typed value.
+///
+/// `Value` is the unit of data everywhere in the workspace: rows are vectors
+/// of values, nested collections are `List`s, and semi-structured records
+/// (JSON/XML) are `Struct`s. Strings and containers are reference-counted so
+/// cloning a value during shuffles is cheap.
+///
+/// Equality, ordering and hashing are **total**: floats are compared via
+/// canonicalized bits (`NaN` equals `NaN` and sorts last), so any value can be
+/// used as a grouping or join key — a requirement for the paper's filter
+/// monoids.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// SQL NULL / missing value.
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float, totally ordered via canonical bits.
+    Float(f64),
+    /// Immutable shared string.
+    Str(Arc<str>),
+    /// Ordered collection of values (JSON array, XML repeated element).
+    List(Arc<[Value]>),
+    /// Named fields (JSON object, XML element). Field order is significant
+    /// and preserved from the source.
+    Struct(Arc<[(Arc<str>, Value)]>),
+}
+
+impl Value {
+    /// Construct a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct a list value.
+    pub fn list(items: impl IntoIterator<Item = Value>) -> Self {
+        Value::List(items.into_iter().collect())
+    }
+
+    /// Construct a struct value from `(name, value)` pairs.
+    pub fn record(fields: impl IntoIterator<Item = (impl AsRef<str>, Value)>) -> Self {
+        Value::Struct(
+            fields
+                .into_iter()
+                .map(|(n, v)| (Arc::from(n.as_ref()), v))
+                .collect(),
+        )
+    }
+
+    /// The variant name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Struct(_) => "struct",
+        }
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a boolean; `Null` is *not* truthy.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::TypeMismatch {
+                expected: "bool",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::TypeMismatch {
+                expected: "int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extract a float, widening integers.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(Error::TypeMismatch {
+                expected: "float",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extract a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::TypeMismatch {
+                expected: "string",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extract the elements of a list.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(items) => Ok(items),
+            other => Err(Error::TypeMismatch {
+                expected: "list",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Extract the fields of a struct.
+    pub fn as_struct(&self) -> Result<&[(Arc<str>, Value)]> {
+        match self {
+            Value::Struct(fields) => Ok(fields),
+            other => Err(Error::TypeMismatch {
+                expected: "struct",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Look up a field by name on a struct value.
+    pub fn field(&self, name: &str) -> Result<&Value> {
+        let fields = self.as_struct()?;
+        fields
+            .iter()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::UnknownField(name.to_string()))
+    }
+
+    /// Render the value as a plain string: the textual content for scalars
+    /// (no quotes), and a JSON-ish rendering for containers. Used when a
+    /// cleaning operator needs "the words of" a value.
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Str(s) => s.to_string(),
+            Value::List(_) | Value::Struct(_) => self.to_string(),
+        }
+    }
+
+    /// Canonical bits for a float: all NaNs collapse to one pattern and
+    /// `-0.0` collapses to `0.0`, so equal-looking floats group together.
+    fn float_key(f: f64) -> u64 {
+        if f.is_nan() {
+            u64::MAX
+        } else if f == 0.0 {
+            // +0.0 and -0.0 share the mapped key of +0.0.
+            1u64 << 63
+        } else {
+            // Map to a lexicographically ordered bit pattern.
+            let bits = f.to_bits();
+            if bits >> 63 == 0 {
+                bits | (1 << 63)
+            } else {
+                !bits
+            }
+        }
+    }
+}
+
+/// Format a float the way the CSV/JSON writers expect: integral floats keep a
+/// trailing `.0` so they round-trip as floats.
+pub(crate) fn format_float(f: f64) -> String {
+    if f.is_finite() && f == f.trunc() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => Value::float_key(*a).cmp(&Value::float_key(*b)),
+            // Numeric cross-type comparison so `1` and `1.0` group together.
+            (Int(a), Float(b)) => Value::float_key(*a as f64).cmp(&Value::float_key(*b)),
+            (Float(a), Int(b)) => Value::float_key(*a).cmp(&Value::float_key(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (List(a), List(b)) => a.iter().cmp(b.iter()),
+            (Struct(a), Struct(b)) => {
+                let by_field = |x: &(Arc<str>, Value), y: &(Arc<str>, Value)| {
+                    x.0.cmp(&y.0).then_with(|| x.1.cmp(&y.1))
+                };
+                let mut ai = a.iter();
+                let mut bi = b.iter();
+                loop {
+                    match (ai.next(), bi.next()) {
+                        (None, None) => return Ordering::Equal,
+                        (None, Some(_)) => return Ordering::Less,
+                        (Some(_), None) => return Ordering::Greater,
+                        (Some(x), Some(y)) => match by_field(x, y) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        },
+                    }
+                }
+            }
+            // Cross-type ordering by variant rank keeps `Ord` total.
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Value {
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+            Value::List(_) => 4,
+            Value::Struct(_) => 5,
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Int and Float hash identically when numerically equal, matching
+            // the cross-type Ord above.
+            Value::Int(i) => {
+                state.write_u8(2);
+                Value::float_key(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                Value::float_key(*f).hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::List(items) => {
+                state.write_u8(4);
+                for v in items.iter() {
+                    v.hash(state);
+                }
+            }
+            Value::Struct(fields) => {
+                state.write_u8(5);
+                for (n, v) in fields.iter() {
+                    n.hash(state);
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{}", format_float(*x)),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Struct(fields) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        assert_eq!(Value::Int(3).as_int().unwrap(), 3);
+        assert_eq!(Value::Float(2.5).as_float().unwrap(), 2.5);
+        assert_eq!(Value::Int(2).as_float().unwrap(), 2.0);
+        assert_eq!(Value::str("x").as_str().unwrap(), "x");
+        assert!(Value::Null.as_int().is_err());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn int_float_numeric_equivalence() {
+        assert_eq!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(hash_of(&Value::Int(1)), hash_of(&Value::Float(1.0)));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Float(0.5) < Value::Int(1));
+    }
+
+    #[test]
+    fn nan_is_total() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, Value::Float(f64::NAN));
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(f64::NAN)));
+        assert!(Value::Float(1e300) < nan);
+    }
+
+    #[test]
+    fn negative_zero_groups_with_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn float_ordering_matches_ieee_on_normals() {
+        let xs = [-3.5, -1.0, 0.0, 0.25, 2.0, 1e10];
+        for w in xs.windows(2) {
+            assert!(
+                Value::Float(w[0]) < Value::Float(w[1]),
+                "{} < {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn struct_field_lookup() {
+        let v = Value::record([("a", Value::Int(1)), ("b", Value::str("x"))]);
+        assert_eq!(v.field("a").unwrap(), &Value::Int(1));
+        assert!(matches!(v.field("zz"), Err(Error::UnknownField(_))));
+    }
+
+    #[test]
+    fn list_ordering_is_lexicographic() {
+        let a = Value::list([Value::Int(1), Value::Int(2)]);
+        let b = Value::list([Value::Int(1), Value::Int(3)]);
+        let c = Value::list([Value::Int(1)]);
+        assert!(a < b);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let v = Value::record([
+            ("name", Value::str("Ann")),
+            ("tags", Value::list([Value::str("x"), Value::str("y")])),
+        ]);
+        assert_eq!(v.to_string(), "{name: Ann, tags: [x, y]}");
+        assert_eq!(Value::Float(3.0).to_string(), "3.0");
+        assert_eq!(Value::Float(3.25).to_string(), "3.25");
+    }
+
+    #[test]
+    fn cross_type_order_is_stable() {
+        assert!(Value::Null < Value::Bool(false));
+        assert!(Value::Bool(true) < Value::Int(0));
+        assert!(Value::Int(9) < Value::str(""));
+        assert!(Value::str("zz") < Value::list([]));
+    }
+
+    #[test]
+    fn to_text_renders_scalars_plainly() {
+        assert_eq!(Value::str("abc").to_text(), "abc");
+        assert_eq!(Value::Int(-4).to_text(), "-4");
+        assert_eq!(Value::Null.to_text(), "");
+    }
+}

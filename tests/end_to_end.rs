@@ -1,0 +1,142 @@
+//! Cross-crate integration: generate → serialize → read back → clean →
+//! score, through the public facade.
+
+use cleanm::core::ops::{Dedup, FdCheck, TermValidation};
+use cleanm::core::quality::{dedup_accuracy, term_validation_accuracy};
+use cleanm::core::{CleanDb, EngineProfile};
+use cleanm::datagen::customer::CustomerGen;
+use cleanm::datagen::dblp::DblpGen;
+use cleanm::datagen::tpch::{LineitemGen, NoiseColumn};
+use cleanm::formats::{colbin, csv, flatten};
+use cleanm::text::Metric;
+use std::collections::HashMap;
+
+#[test]
+fn fd_check_through_csv_roundtrip() {
+    let data = LineitemGen::new(1)
+        .rows(4_000)
+        .noise_column(NoiseColumn::OrderKey)
+        .generate();
+    // Round-trip through CSV before cleaning, as CleanDB reads raw files.
+    let text = csv::write_str(&data.table, &csv::CsvOptions::default());
+    let table = csv::read_str(&text, &data.table.schema, &csv::CsvOptions::default()).unwrap();
+    assert_eq!(table.rows, data.table.rows);
+
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("lineitem", table);
+    let report = FdCheck::columns("lineitem", &["orderkey", "linenumber"], &["suppkey"])
+        .run(&mut db)
+        .unwrap();
+    assert!(report.violations() > 0, "noise must create φ violations");
+}
+
+#[test]
+fn fd_results_agree_between_csv_and_colbin() {
+    let data = LineitemGen::new(2).rows(2_000).generate();
+    let bin = colbin::encode(&data.table).unwrap();
+    let from_bin = colbin::decode(bin).unwrap();
+
+    let run = |table: cleanm::values::Table| {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("lineitem", table);
+        FdCheck::columns("lineitem", &["orderkey", "linenumber"], &["suppkey"])
+            .run(&mut db)
+            .unwrap()
+            .violating_ids
+    };
+    assert_eq!(run(data.table.clone()), run(from_bin));
+}
+
+#[test]
+fn customer_dedup_recall_against_truth() {
+    let data = CustomerGen::new(3)
+        .rows(2_000)
+        .duplicate_fraction(0.10)
+        .max_duplicates(8)
+        .fd_noise_fraction(0.0)
+        .generate();
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", data.table.clone());
+    let (_, pairs) = Dedup::new("customer", "exact", "t.address")
+        .metric(Metric::Levenshtein, 0.7)
+        .similarity_on(&["t.name"])
+        .run(&mut db)
+        .unwrap();
+
+    // Truth groups are custkeys == rowids here only after mapping through
+    // the shuffled table; map custkey -> position.
+    let key_col = data.table.schema.index_of("custkey").unwrap();
+    let mut pos: HashMap<i64, i64> = HashMap::new();
+    for (i, row) in data.table.rows.iter().enumerate() {
+        pos.insert(row.values()[key_col].as_int().unwrap(), i as i64);
+    }
+    let truth: Vec<Vec<i64>> = data
+        .duplicate_groups
+        .iter()
+        .map(|g| g.iter().map(|k| pos[k]).collect())
+        .collect();
+    let acc = dedup_accuracy(&pairs, &truth);
+    assert!(acc.recall > 0.8, "recall {:?}", acc);
+    assert!(acc.precision > 0.5, "precision {:?}", acc);
+}
+
+#[test]
+fn term_validation_beats_90_percent_f_score() {
+    let data = DblpGen::new(4)
+        .publications(400)
+        .dictionary_size(300)
+        .author_noise_fraction(0.10)
+        .edit_rate(0.20)
+        .generate();
+    let flat = flatten::flatten(&data.table).unwrap();
+    let author_col = flat.schema.index_of("authors").unwrap();
+
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("dblp", flat.clone());
+    db.register_dictionary("dict", data.dictionary.clone());
+    let (_, best) = TermValidation::new("dblp", "dict", "token_filtering(2)", "t.authors")
+        .metric(Metric::Levenshtein, 0.70)
+        .run(&mut db)
+        .unwrap();
+
+    let dirty: Vec<String> = flat
+        .rows
+        .iter()
+        .map(|r| r.values()[author_col].to_text())
+        .collect();
+    let clean: Vec<String> = data
+        .clean_authors
+        .iter()
+        .flat_map(|a| a.iter().cloned())
+        .collect();
+    let acc = term_validation_accuracy(&dirty, &clean, &best);
+    // Table 3's headline: tf q=2 reaches ~98.5 F; leave generous slack for
+    // the synthetic corpus.
+    assert!(acc.precision > 0.9, "{acc:?}");
+    assert!(acc.recall > 0.8, "{acc:?}");
+    assert!(acc.f_score > 0.85, "{acc:?}");
+}
+
+#[test]
+fn running_example_reports_are_consistent() {
+    let data = CustomerGen::new(5)
+        .rows(1_500)
+        .duplicate_fraction(0.10)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let dict = cleanm::datagen::names::dictionary(400, 6);
+
+    let query = "SELECT c.name, c.address FROM customer c, dictionary d \
+                 FD(c.address | prefix(c.phone)) \
+                 DEDUP(exact, LD, 0.8, c.address, c.name) \
+                 CLUSTER BY(token_filtering(3), LD, 0.8, c.name)";
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", data.table.clone());
+    db.register_dictionary("dictionary", dict);
+    let report = db.run(query).unwrap();
+    assert_eq!(report.ops.len(), 3);
+    assert!(report.violations() > 0);
+    // FD#0 and DEDUP#1 group on the same key: the rewriter must share.
+    assert!(report.rewrite_stats.shared_nests >= 1);
+    assert!(report.plan_text.contains("Nest"));
+}

@@ -1,0 +1,92 @@
+//! Format substrate integration: the same generated data must survive
+//! round-trips through every format, and flattening must commute with them.
+
+use cleanm::datagen::dblp::DblpGen;
+use cleanm::datagen::tpch::LineitemGen;
+use cleanm::formats::{colbin, csv, flatten, json, xml};
+use proptest::prelude::*;
+
+#[test]
+fn lineitem_survives_all_flat_formats() {
+    let table = LineitemGen::new(21).rows(500).generate().table;
+
+    let text = csv::write_str(&table, &csv::CsvOptions::default());
+    let from_csv = csv::read_str(&text, &table.schema, &csv::CsvOptions::default()).unwrap();
+    assert_eq!(from_csv.rows, table.rows, "CSV");
+
+    let from_bin = colbin::decode(colbin::encode(&table).unwrap()).unwrap();
+    assert_eq!(from_bin.rows, table.rows, "colbin");
+
+    let jsonl = json::write_table(&table);
+    let from_json = json::read_table(&jsonl, &table.schema).unwrap();
+    assert_eq!(from_json.rows, table.rows, "JSON");
+}
+
+#[test]
+fn nested_dblp_survives_nested_formats() {
+    let table = DblpGen::new(22).publications(200).generate().table;
+
+    let jsonl = json::write_table(&table);
+    let from_json = json::read_table(&jsonl, &table.schema).unwrap();
+    assert_eq!(from_json.rows, table.rows, "JSON nested");
+
+    let from_bin = colbin::decode(colbin::encode(&table).unwrap()).unwrap();
+    assert_eq!(from_bin.rows, table.rows, "colbin nested");
+
+    let xml_text = xml::write_table(&table, "dblp", "pub");
+    let from_xml = xml::read_table(&xml_text, &table.schema).unwrap();
+    assert_eq!(from_xml.rows, table.rows, "XML nested");
+}
+
+#[test]
+fn flatten_commutes_with_serialization() {
+    let nested = DblpGen::new(23).publications(150).generate().table;
+    // flatten(read(write(nested))) == read(write(flatten(nested)))
+    let via_nested = {
+        let jsonl = json::write_table(&nested);
+        let back = json::read_table(&jsonl, &nested.schema).unwrap();
+        flatten::flatten(&back).unwrap()
+    };
+    let via_flat = {
+        let flat = flatten::flatten(&nested).unwrap();
+        let text = csv::write_str(&flat, &csv::CsvOptions::default());
+        csv::read_str(&text, &flat.schema, &csv::CsvOptions::default()).unwrap()
+    };
+    assert_eq!(via_nested.rows, via_flat.rows);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary strings (quotes, commas, newlines, unicode) survive CSV.
+    #[test]
+    fn csv_cell_roundtrip(cells in proptest::collection::vec(".*", 1..5)) {
+        use cleanm::values::{DataType, Row, Schema, Table, Value};
+        let fields: Vec<(String, DataType)> = (0..cells.len())
+            .map(|i| (format!("c{i}"), DataType::Str))
+            .collect();
+        let schema = Schema::new(
+            fields
+                .iter()
+                .map(|(n, t)| cleanm::values::Field::new(n.clone(), t.clone()))
+                .collect(),
+        )
+        .unwrap();
+        let table = Table::new(
+            schema.clone(),
+            vec![Row::new(cells.iter().map(Value::str).collect())],
+        );
+        let text = csv::write_str(&table, &csv::CsvOptions::default());
+        let back = csv::read_str(&text, &schema, &csv::CsvOptions::default()).unwrap();
+        prop_assert_eq!(back.rows, table.rows);
+    }
+
+    /// Arbitrary strings survive JSON.
+    #[test]
+    fn json_string_roundtrip(s in ".*") {
+        use cleanm::values::Value;
+        let v = Value::record([("s", Value::str(&s))]);
+        let text = json::to_string(&v);
+        prop_assert_eq!(json::parse(&text).unwrap(), v);
+    }
+}

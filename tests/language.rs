@@ -1,0 +1,169 @@
+//! Language-surface integration tests: the full SQL+cleaning grammar
+//! executed end-to-end through the engine.
+
+use cleanm::core::{CleanDb, EngineProfile};
+use cleanm::values::{DataType, Row, Schema, Table, Value};
+
+fn orders_table() -> Table {
+    let schema = Schema::of([
+        ("region", DataType::Str),
+        ("amount", DataType::Float),
+        ("status", DataType::Str),
+    ]);
+    let rows = vec![
+        ("east", 10.0, "open"),
+        ("east", 20.0, "closed"),
+        ("west", 5.0, "open"),
+        ("west", 15.0, "open"),
+        ("west", 40.0, "closed"),
+        ("north", 100.0, "open"),
+    ]
+    .into_iter()
+    .map(|(r, a, s)| Row::new(vec![Value::str(r), Value::Float(a), Value::str(s)]))
+    .collect();
+    Table::new(schema, rows)
+}
+
+fn db() -> CleanDb {
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("orders", orders_table());
+    db
+}
+
+fn rows_of(report: &cleanm::core::CleaningReport) -> &[Value] {
+    report.ops[0].output.as_slice()
+}
+
+#[test]
+fn select_projection_and_where() {
+    let report = db()
+        .run("SELECT o.region AS r, o.amount FROM orders o WHERE o.amount > 12")
+        .unwrap();
+    let out = rows_of(&report);
+    assert_eq!(out.len(), 4, "20, 15, 40, 100 qualify");
+    for row in out {
+        assert!(row.field("r").is_ok());
+        assert!(row.field("amount").unwrap().as_float().unwrap() > 12.0);
+    }
+}
+
+#[test]
+fn select_distinct() {
+    let report = db().run("SELECT DISTINCT o.region FROM orders o").unwrap();
+    assert_eq!(rows_of(&report).len(), 3);
+}
+
+#[test]
+fn group_by_with_aggregates() {
+    let report = db()
+        .run(
+            "SELECT o.region, count(*) AS n, sum(o.amount) AS total, \
+             avg(o.amount) AS mean, max(o.amount) AS biggest \
+             FROM orders o GROUP BY o.region",
+        )
+        .unwrap();
+    let out = rows_of(&report);
+    assert_eq!(out.len(), 3);
+    let west = out
+        .iter()
+        .find(|r| r.field("region").unwrap() == &Value::str("west"))
+        .expect("west group");
+    assert_eq!(west.field("n").unwrap(), &Value::Int(3));
+    assert_eq!(west.field("total").unwrap(), &Value::Float(60.0));
+    assert_eq!(west.field("mean").unwrap(), &Value::Float(20.0));
+    assert_eq!(west.field("biggest").unwrap(), &Value::Float(40.0));
+}
+
+#[test]
+fn group_by_having_filters_groups() {
+    let report = db()
+        .run(
+            "SELECT o.region, count(*) AS n FROM orders o \
+             GROUP BY o.region HAVING count(*) > 1",
+        )
+        .unwrap();
+    let out = rows_of(&report);
+    assert_eq!(out.len(), 2, "north (1 row) is filtered out: {out:?}");
+}
+
+#[test]
+fn group_by_where_composes() {
+    let report = db()
+        .run(
+            "SELECT o.region, count(*) AS n FROM orders o \
+             WHERE o.status = 'open' GROUP BY o.region",
+        )
+        .unwrap();
+    let out = rows_of(&report);
+    let west = out
+        .iter()
+        .find(|r| r.field("region").unwrap() == &Value::str("west"))
+        .unwrap();
+    assert_eq!(west.field("n").unwrap(), &Value::Int(2));
+}
+
+#[test]
+fn bare_column_outside_group_by_is_rejected() {
+    let err = db()
+        .run("SELECT o.status FROM orders o GROUP BY o.region")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("GROUP BY"),
+        "must explain the SQL rule: {err}"
+    );
+}
+
+#[test]
+fn string_functions_in_projection() {
+    let report = db()
+        .run("SELECT lower(o.region) AS l, length(o.region) AS n FROM orders o WHERE o.region = 'east'")
+        .unwrap();
+    let out = rows_of(&report);
+    assert_eq!(out[0].field("l").unwrap(), &Value::str("east"));
+    assert_eq!(out[0].field("n").unwrap(), &Value::Int(4));
+}
+
+#[test]
+fn multiple_cleaning_ops_any_order() {
+    // Listing 1 allows the operators in arbitrary order and multiplicity.
+    let mut db = db();
+    let r1 = db
+        .run(
+            "SELECT * FROM orders o \
+             DEDUP(exact, LD, 0.7, o.region, o.status) \
+             FD(o.region | o.status)",
+        )
+        .unwrap();
+    let r2 = db
+        .run(
+            "SELECT * FROM orders o \
+             FD(o.region | o.status) \
+             DEDUP(exact, LD, 0.7, o.region, o.status)",
+        )
+        .unwrap();
+    assert_eq!(r1.violating_ids, r2.violating_ids);
+    assert!(r1.violations() > 0);
+}
+
+#[test]
+fn group_by_with_cleaning_ops_is_rejected() {
+    let err = db()
+        .run("SELECT o.region FROM orders o GROUP BY o.region FD(o.region | o.status)")
+        .unwrap_err();
+    assert!(err.to_string().contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn syntax_errors_are_reported_not_panicked() {
+    let cases = [
+        "SELECT",
+        "SELECT * FROM orders o FD()",
+        "SELECT * FROM orders o DEDUP()",
+        "SELECT * FROM orders o CLUSTER BY(tf)",
+        "SELECT * FROM orders o WHERE o.amount >",
+        "SELECT * FROM orders o GROUP BY",
+    ];
+    for sql in cases {
+        assert!(db().run(sql).is_err(), "should fail: {sql}");
+    }
+}

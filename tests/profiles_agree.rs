@@ -1,0 +1,132 @@
+//! Engine profiles are *physical* policies: every profile must produce the
+//! same logical results. These tests pin that invariant across operator
+//! families and datasets.
+
+use cleanm::core::ops::Dedup;
+use cleanm::core::{CleanDb, EngineProfile};
+use cleanm::datagen::customer::CustomerGen;
+use cleanm::datagen::mag::MagGen;
+use cleanm::datagen::tpch::{LineitemGen, NoiseColumn};
+use cleanm::text::Metric;
+
+fn profiles() -> Vec<EngineProfile> {
+    vec![
+        EngineProfile::clean_db(),
+        EngineProfile::spark_sql_like(),
+        EngineProfile::big_dansing_like(),
+    ]
+}
+
+#[test]
+fn fd_violations_identical_across_profiles() {
+    let data = LineitemGen::new(11)
+        .rows(3_000)
+        .noise_column(NoiseColumn::OrderKey)
+        .generate();
+    let mut results = Vec::new();
+    for profile in profiles() {
+        let mut db = CleanDb::new(profile);
+        db.register("lineitem", data.table.clone());
+        let report = db
+            .run("SELECT * FROM lineitem t FD(t.orderkey, t.linenumber | t.suppkey)")
+            .unwrap();
+        results.push(report.violating_ids);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    assert!(!results[0].is_empty());
+}
+
+#[test]
+fn dedup_pairs_identical_across_profiles() {
+    let data = CustomerGen::new(12)
+        .rows(1_200)
+        .duplicate_fraction(0.15)
+        .fd_noise_fraction(0.0)
+        .generate();
+    let mut results = Vec::new();
+    for profile in profiles() {
+        let mut db = CleanDb::new(profile);
+        db.register("customer", data.table.clone());
+        let (_, pairs) = Dedup::new("customer", "exact", "t.address")
+            .metric(Metric::Levenshtein, 0.7)
+            .similarity_on(&["t.name"])
+            .run(&mut db)
+            .unwrap();
+        results.push(pairs);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+    assert!(!results[0].is_empty());
+}
+
+#[test]
+fn skewed_mag_dedup_identical_across_profiles() {
+    let data = MagGen::new(13).papers(1_500).authors(40).generate();
+    let mut results = Vec::new();
+    for profile in [EngineProfile::clean_db(), EngineProfile::spark_sql_like()] {
+        let mut db = CleanDb::new(profile);
+        db.register("mag", data.table.clone());
+        let (_, pairs) = Dedup::new("mag", "exact", "concat(t.year, t.authorid)")
+            .metric(Metric::Levenshtein, 0.8)
+            .similarity_on(&["t.title"])
+            .run(&mut db)
+            .unwrap();
+        results.push(pairs);
+    }
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn token_filtering_dedup_identical_across_profiles() {
+    // Multi-key blocking is the stress case for grouping strategies: the
+    // same pair can surface in several blocks on different nodes.
+    let data = CustomerGen::new(14)
+        .rows(600)
+        .duplicate_fraction(0.2)
+        .fd_noise_fraction(0.0)
+        .generate();
+    let mut results = Vec::new();
+    for profile in profiles() {
+        let mut db = CleanDb::new(profile);
+        db.register("customer", data.table.clone());
+        let (_, pairs) = Dedup::new("customer", "token_filtering(3)", "t.name")
+            .metric(Metric::Levenshtein, 0.8)
+            .run(&mut db)
+            .unwrap();
+        results.push(pairs);
+    }
+    assert_eq!(results[0], results[1]);
+    assert_eq!(results[1], results[2]);
+}
+
+#[test]
+fn cleandb_shuffles_no_more_than_baselines() {
+    let data = CustomerGen::new(15)
+        .rows(3_000)
+        .duplicate_fraction(0.10)
+        .max_duplicates(40)
+        .fd_noise_fraction(0.0)
+        .generate();
+    let mut shuffled = Vec::new();
+    for profile in profiles() {
+        let mut db = CleanDb::new(profile);
+        db.register("customer", data.table.clone());
+        let report = db
+            .run("SELECT * FROM customer c DEDUP(exact, LD, 0.7, c.address, c.name)")
+            .unwrap();
+        shuffled.push((report.profile.clone(), report.metrics.records_shuffled));
+    }
+    let get = |name: &str| {
+        shuffled
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap()
+    };
+    assert!(
+        get("CleanDB") <= get("SparkSQL"),
+        "local aggregation must not shuffle more: {shuffled:?}"
+    );
+    assert!(get("CleanDB") <= get("BigDansing"), "{shuffled:?}");
+}
