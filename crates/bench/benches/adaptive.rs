@@ -1,0 +1,100 @@
+//! Cost-based planning ablation: `EngineProfile::adaptive()` against the
+//! three fixed profiles on a skewed (Zipf MAG) and a uniform (customer)
+//! grouping workload. The adaptive profile should track the best fixed
+//! profile on both shapes — no fixed profile wins both — and its per-node
+//! strategy decisions are printed so wins are attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_bench::harness::{budgeted_session, Scale};
+use cleanm_core::physical::EngineProfile;
+use cleanm_datagen::customer::CustomerGen;
+use cleanm_datagen::mag::MagGen;
+use cleanm_values::Table;
+
+fn profiles() -> Vec<EngineProfile> {
+    vec![
+        EngineProfile::clean_db(),
+        EngineProfile::spark_sql_like(),
+        EngineProfile::big_dansing_like(),
+        EngineProfile::adaptive(),
+    ]
+}
+
+/// Grouping-dominated workload on Zipf-skewed keys: an FD check groups the
+/// MAG table by `authorid`, whose top author dominates (real-world skew).
+/// Per-row work is cheap, so the nest strategy's shuffle behavior — not
+/// similarity compute — is what the clock measures.
+fn skewed_workload(scale: Scale) -> (Table, &'static str) {
+    let papers = match scale {
+        Scale::Quick => 20_000,
+        Scale::Full => 100_000,
+    };
+    let data = MagGen::new(31).papers(papers).authors(50).generate();
+    (
+        data.table,
+        "SELECT * FROM mag t FD(t.authorid, t.affiliation)",
+    )
+}
+
+fn uniform_workload(scale: Scale) -> (Table, &'static str) {
+    let rows = match scale {
+        Scale::Quick => 3_000,
+        Scale::Full => 15_000,
+    };
+    let data = CustomerGen::new(32)
+        .rows(rows)
+        .duplicate_fraction(0.1)
+        .fd_noise_fraction(0.05)
+        .generate();
+    (
+        data.table,
+        "SELECT * FROM customer c FD(c.address, c.nationkey) \
+         DEDUP(exact, LD, 0.8, c.address, c.name)",
+    )
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let scale = Scale::from_env();
+    let mut group = c.benchmark_group("adaptive");
+    group.sample_size(10);
+
+    for (label, (table, sql), table_name) in [
+        ("skewed_mag", skewed_workload(scale), "mag"),
+        ("uniform_customer", uniform_workload(scale), "customer"),
+    ] {
+        // One attributable run per profile first: print the strategy
+        // decisions so bench wins can be traced to planner choices.
+        for profile in profiles() {
+            let mut db = budgeted_session(profile.clone(), u64::MAX);
+            db.register(table_name, table.clone());
+            let report = db.run(sql).expect("bench query");
+            println!(
+                "[{label}] {}: {} violations, {} records shuffled",
+                profile.name,
+                report.violations(),
+                report.metrics.records_shuffled
+            );
+            for d in &report.decisions {
+                println!("[{label}] {}:   {d}", profile.name);
+            }
+        }
+        for profile in profiles() {
+            // One session per profile, reused across iterations: the
+            // adaptive profile's statistics catalog is collected once (on
+            // the warmup iteration) and amortized, as in a real session
+            // serving many queries.
+            let mut db = budgeted_session(profile.clone(), u64::MAX);
+            db.register(table_name, table.clone());
+            group.bench_with_input(
+                BenchmarkId::new(label, &profile.name),
+                &profile.name.clone(),
+                move |b, _| b.iter(|| db.run(sql).expect("bench query").violations()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

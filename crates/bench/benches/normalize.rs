@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cleanm_core::calculus::{normalize, BinOp, CalcExpr, MonoidKind, Qual};
 use cleanm_core::calculus::desugar_query;
+use cleanm_core::calculus::{normalize, BinOp, CalcExpr, MonoidKind, Qual};
 use cleanm_core::lang::parse_query;
 
 /// A deliberately messy comprehension: nested generators, binds, an if head
@@ -25,14 +25,22 @@ fn messy_comprehension(depth: usize) -> CalcExpr {
     CalcExpr::comp(
         MonoidKind::Sum,
         CalcExpr::If(
-            Box::new(CalcExpr::bin(BinOp::Lt, CalcExpr::var("y"), CalcExpr::int(50))),
+            Box::new(CalcExpr::bin(
+                BinOp::Lt,
+                CalcExpr::var("y"),
+                CalcExpr::int(50),
+            )),
             Box::new(CalcExpr::var("y")),
             Box::new(CalcExpr::int(0)),
         ),
         vec![
             Qual::Gen("y".into(), inner),
             Qual::Gen("z".into(), CalcExpr::TableRef("u".into())),
-            Qual::Pred(CalcExpr::bin(BinOp::Gt, CalcExpr::var("y"), CalcExpr::int(1))),
+            Qual::Pred(CalcExpr::bin(
+                BinOp::Gt,
+                CalcExpr::var("y"),
+                CalcExpr::int(1),
+            )),
         ],
     )
 }

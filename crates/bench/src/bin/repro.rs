@@ -14,8 +14,8 @@ fn main() {
     let scale = Scale::from_env();
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let known = [
-        "table3", "fig3", "fig4", "fig5", "table4", "fig6", "table5", "fig7", "fig8a",
-        "fig8b", "ablation", "all",
+        "table3", "fig3", "fig4", "fig5", "table4", "fig6", "table5", "fig7", "fig8a", "fig8b",
+        "ablation", "all",
     ];
     if !known.contains(&arg.as_str()) {
         eprintln!("unknown experiment `{arg}`; one of {known:?}");
@@ -68,7 +68,11 @@ fn ablation(scale: Scale) {
             row.strategy,
             row.comparisons,
             row.recall * 100.0,
-            if row.total.is_zero() { "-".to_string() } else { fmt_duration(row.total) },
+            if row.total.is_zero() {
+                "-".to_string()
+            } else {
+                fmt_duration(row.total)
+            },
         );
     }
     println!();
@@ -78,7 +82,14 @@ fn table3_fig3(scale: Scale) {
     println!("## Table 3 — term validation accuracy (DBLP) + Figure 3 — runtime split");
     println!(
         "{:<12} {:>10} {:>10} {:>10} | {:>10} {:>10} {:>10} | {:>12}",
-        "config", "grouping", "similarity", "total", "precision", "recall", "F-score", "comparisons"
+        "config",
+        "grouping",
+        "similarity",
+        "total",
+        "precision",
+        "recall",
+        "F-score",
+        "comparisons"
     );
     for row in exp::table3_fig3(scale) {
         println!(
@@ -127,7 +138,9 @@ fn fig5(scale: Scale) {
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8}",
             row.system,
-            row.fd1.map(fmt_duration).unwrap_or_else(|| "unsupported".into()),
+            row.fd1
+                .map(fmt_duration)
+                .unwrap_or_else(|| "unsupported".into()),
             fmt_duration(row.fd2),
             fmt_duration(row.dedup),
             fmt_duration(row.separate_total),

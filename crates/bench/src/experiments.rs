@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use cleanm_core::ops::{
-    apply_transforms, Dedup, DcOutcome, FdCheck, InequalityDc, TermValidation, Transform,
+    apply_transforms, DcOutcome, Dedup, FdCheck, InequalityDc, TermValidation, Transform,
     TransformMode,
 };
 use cleanm_core::physical::EngineProfile;
@@ -203,15 +203,18 @@ pub fn fig5(scale: Scale) -> Vec<UnifiedRow> {
         };
         let (fd2, _) = timed(&mut db, fd2_sql);
         let (dedup, _) = timed(&mut db, dedup_sql);
-        let separate_total =
-            fd1.unwrap_or(Duration::ZERO) + fd2 + dedup;
+        let separate_total = fd1.unwrap_or(Duration::ZERO) + fd2 + dedup;
 
         // BigDansing "can only apply one operation at a time".
         let (combined, combined_violations, shared_nests) = if big_dansing {
             (None, 0, 0)
         } else {
             let (d, report) = timed(&mut db, combined_sql);
-            (Some(d), report.violations(), report.rewrite_stats.shared_nests)
+            (
+                Some(d),
+                report.violations(),
+                report.rewrite_stats.shared_nests,
+            )
         };
         rows.push(UnifiedRow {
             system: profile.name.clone(),
@@ -370,13 +373,10 @@ pub fn fig6(scale: Scale) -> Vec<FdScaleRow> {
                 let mut db = session(profile.clone());
                 db.register("lineitem", table);
                 let clean_start = Instant::now();
-                let report = FdCheck::columns(
-                    "lineitem",
-                    &["orderkey", "linenumber"],
-                    &["suppkey"],
-                )
-                .run(&mut db)
-                .expect("fd");
+                let report =
+                    FdCheck::columns("lineitem", &["orderkey", "linenumber"], &["suppkey"])
+                        .run(&mut db)
+                        .expect("fd");
                 rows.push(FdScaleRow {
                     sf,
                     format: format.to_string(),
@@ -779,7 +779,10 @@ mod tests {
         assert_eq!(rows.len(), 3);
         let cleandb = rows.iter().find(|r| r.system == "CleanDB").unwrap();
         assert!(cleandb.combined.is_some());
-        assert!(cleandb.shared_nests >= 1, "FD1/FD2/dedup share the address grouping");
+        assert!(
+            cleandb.shared_nests >= 1,
+            "FD1/FD2/dedup share the address grouping"
+        );
         let bd = rows.iter().find(|r| r.system == "BigDansing").unwrap();
         assert!(bd.fd1.is_none(), "BigDansing cannot run derived-value FDs");
         assert!(bd.combined.is_none());

@@ -30,10 +30,16 @@ impl Scale {
             Scale::Quick => 15_000,
             Scale::Full => 3_000,
         };
-        [(15u32, 90_000_000usize), (30, 180_000_000), (45, 270_000_000), (60, 360_000_000), (70, 420_000_000)]
-            .into_iter()
-            .map(|(sf, rows)| (sf, rows / divisor))
-            .collect()
+        [
+            (15u32, 90_000_000usize),
+            (30, 180_000_000),
+            (45, 270_000_000),
+            (60, 360_000_000),
+            (70, 420_000_000),
+        ]
+        .into_iter()
+        .map(|(sf, rows)| (sf, rows / divisor))
+        .collect()
     }
 
     /// DBLP publication counts for the term-validation experiments.

@@ -35,10 +35,7 @@ pub fn unit(blocker: &dyn Blocker, term: &str) -> GroupMap {
 
 /// Fold a collection of terms into a full group map (the comprehension
 /// `for (d <- data) yield filter(d.term, algo)` of §4.4).
-pub fn group_all<'a>(
-    blocker: &dyn Blocker,
-    terms: impl IntoIterator<Item = &'a str>,
-) -> GroupMap {
+pub fn group_all<'a>(blocker: &dyn Blocker, terms: impl IntoIterator<Item = &'a str>) -> GroupMap {
     let mut acc = GroupMap::new();
     for term in terms {
         acc = merge_groups(acc, unit(blocker, term));

@@ -76,11 +76,7 @@ impl KMeansBlocker {
     /// Indices of the assigned centers for a term.
     pub fn assign(&self, term: &str) -> Vec<usize> {
         let norm = normalize(term);
-        let distances: Vec<usize> = self
-            .centers
-            .iter()
-            .map(|c| levenshtein(&norm, c))
-            .collect();
+        let distances: Vec<usize> = self.centers.iter().map(|c| levenshtein(&norm, c)).collect();
         let min = *distances.iter().min().expect("non-empty centers");
         distances
             .iter()
@@ -180,9 +176,15 @@ mod tests {
 
     fn corpus() -> Vec<String> {
         [
-            "anderson", "andersen", "anderssen", // cluster A
-            "zhang", "zhong", "zheng", // cluster Z
-            "miller", "muller", "moeller", // cluster M
+            "anderson",
+            "andersen",
+            "anderssen", // cluster A
+            "zhang",
+            "zhong",
+            "zheng", // cluster Z
+            "miller",
+            "muller",
+            "moeller", // cluster M
         ]
         .iter()
         .map(|s| s.to_string())
@@ -192,7 +194,11 @@ mod tests {
     #[test]
     fn select_centers_reservoir_and_fixed() {
         let c = corpus();
-        let r = select_centers(c.iter().map(|s| s.as_str()), 3, CenterInit::Reservoir { seed: 1 });
+        let r = select_centers(
+            c.iter().map(|s| s.as_str()),
+            3,
+            CenterInit::Reservoir { seed: 1 },
+        );
         assert_eq!(r.len(), 3);
         let f = select_centers(c.iter().map(|s| s.as_str()), 3, CenterInit::FixedStep);
         assert_eq!(f.len(), 3);
@@ -212,10 +218,8 @@ mod tests {
 
     #[test]
     fn assignment_groups_similar_words() {
-        let blocker = KMeansBlocker::new(
-            vec!["anderson".into(), "zhang".into(), "miller".into()],
-            0,
-        );
+        let blocker =
+            KMeansBlocker::new(vec!["anderson".into(), "zhang".into(), "miller".into()], 0);
         let a1 = blocker.keys("andersen");
         let a2 = blocker.keys("anderssen");
         assert_eq!(a1, a2);
@@ -239,18 +243,10 @@ mod tests {
         // With more centers, the average group a word lands in is smaller —
         // the effect behind Figure 3's k sweep.
         let c = corpus();
-        let b5 = KMeansBlocker::from_corpus(
-            c.iter().map(|s| s.as_str()),
-            2,
-            CenterInit::FixedStep,
-            0,
-        );
-        let b9 = KMeansBlocker::from_corpus(
-            c.iter().map(|s| s.as_str()),
-            9,
-            CenterInit::FixedStep,
-            0,
-        );
+        let b5 =
+            KMeansBlocker::from_corpus(c.iter().map(|s| s.as_str()), 2, CenterInit::FixedStep, 0);
+        let b9 =
+            KMeansBlocker::from_corpus(c.iter().map(|s| s.as_str()), 9, CenterInit::FixedStep, 0);
         assert!(b9.k() > b5.k());
     }
 

@@ -64,9 +64,9 @@ pub fn lower_op(comp: &CalcExpr) -> Result<Arc<Alg>> {
                     }
                 }
                 CalcExpr::Proj(base, field) if field == "partition" => {
-                    let input = plan.take().ok_or_else(|| {
-                        Error::Invalid("unnest before any input".to_string())
-                    })?;
+                    let input = plan
+                        .take()
+                        .ok_or_else(|| Error::Invalid("unnest before any input".to_string()))?;
                     plan = Some(Arc::new(Alg::Unnest {
                         input,
                         path: CalcExpr::Proj(base.clone(), field.clone()),
@@ -82,9 +82,7 @@ pub fn lower_op(comp: &CalcExpr) -> Result<Arc<Alg>> {
             Qual::Pred(p) => {
                 // A key-equality predicate consumes the pending right side
                 // as an equi-join.
-                if let (Some(right), CalcExpr::BinOp(BinOp::Eq, lk, rk)) =
-                    (&pending_right, p)
-                {
+                if let (Some(right), CalcExpr::BinOp(BinOp::Eq, lk, rk)) = (&pending_right, p) {
                     let left = plan.take().ok_or_else(|| {
                         Error::Invalid("join predicate before any input".to_string())
                     })?;
@@ -97,9 +95,9 @@ pub fn lower_op(comp: &CalcExpr) -> Result<Arc<Alg>> {
                     pending_right = None;
                     continue;
                 }
-                let input = plan.take().ok_or_else(|| {
-                    Error::Invalid("predicate before any input".to_string())
-                })?;
+                let input = plan
+                    .take()
+                    .ok_or_else(|| Error::Invalid("predicate before any input".to_string()))?;
                 plan = Some(Arc::new(Alg::Select {
                     input,
                     pred: p.clone(),
@@ -215,8 +213,7 @@ mod tests {
 
     #[test]
     fn dedup_lowers_with_double_unnest() {
-        let plan =
-            lower_sql("SELECT * FROM customer c DEDUP(token_filtering, LD, 0.8, c.name)");
+        let plan = lower_sql("SELECT * FROM customer c DEDUP(token_filtering, LD, 0.8, c.name)");
         let text = plan.explain();
         assert_eq!(text.matches("Unnest").count(), 2, "{text}");
         assert!(text.contains("Nest[token_filtering(q=3)]"), "{text}");
@@ -237,17 +234,13 @@ mod tests {
 
     #[test]
     fn where_clause_pushes_into_grouping_scan() {
-        let plan = lower_sql(
-            "SELECT * FROM customer c WHERE c.nationkey = 1 FD(c.address, c.phone)",
-        );
+        let plan =
+            lower_sql("SELECT * FROM customer c WHERE c.nationkey = 1 FD(c.address, c.phone)");
         let text = plan.explain();
         // The WHERE select sits *below* the Nest (filter pushdown into the
         // grouping input, not above the groups).
         let nest_line = text.lines().position(|l| l.contains("Nest")).unwrap();
-        let where_line = text
-            .lines()
-            .position(|l| l.contains("nationkey"))
-            .unwrap();
+        let where_line = text.lines().position(|l| l.contains("nationkey")).unwrap();
         assert!(where_line > nest_line, "{text}");
     }
 
@@ -277,9 +270,9 @@ mod tests {
     fn find_nest_algo(plan: &Alg) -> Option<FilterAlgo> {
         match plan {
             Alg::Nest { algo, .. } => Some(algo.clone()),
-            Alg::Select { input, .. }
-            | Alg::Unnest { input, .. }
-            | Alg::Reduce { input, .. } => find_nest_algo(input),
+            Alg::Select { input, .. } | Alg::Unnest { input, .. } | Alg::Reduce { input, .. } => {
+                find_nest_algo(input)
+            }
             Alg::Join { left, .. } | Alg::ThetaJoin { left, .. } => find_nest_algo(left),
             Alg::Scan { .. } => None,
         }

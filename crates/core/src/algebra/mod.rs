@@ -8,10 +8,12 @@
 //! coalesces the two grouping passes of FD and DEDUP into one, and how the
 //! "Overall Plan" scans the dataset once.
 
+pub mod cardinality;
 pub mod lower;
 pub mod plan;
 pub mod rewrite;
 
+pub use cardinality::{estimate, CardEstimate, StatsCatalog};
 pub use lower::lower_op;
 pub use plan::{Alg, HintKind, ThetaHint};
 pub use rewrite::{rewrite_shared, RewriteStats};

@@ -137,12 +137,18 @@ impl Alg {
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            Alg::ThetaJoin { left, right, pred, .. } => {
+            Alg::ThetaJoin {
+                left, right, pred, ..
+            } => {
                 out.push_str(&format!("{pad}ThetaJoin on {pred}\n"));
                 left.explain_into(out, depth + 1);
                 right.explain_into(out, depth + 1);
             }
-            Alg::Reduce { input, monoid, head } => {
+            Alg::Reduce {
+                input,
+                monoid,
+                head,
+            } => {
                 out.push_str(&format!("{pad}Reduce[{monoid:?}] {head}\n"));
                 input.explain_into(out, depth + 1);
             }
@@ -181,7 +187,9 @@ impl Alg {
                 Arc::as_ptr(left),
                 Arc::as_ptr(right)
             ),
-            Alg::ThetaJoin { left, right, pred, .. } => format!(
+            Alg::ThetaJoin {
+                left, right, pred, ..
+            } => format!(
                 "theta:{:p}:{:p}:{pred}",
                 Arc::as_ptr(left),
                 Arc::as_ptr(right)

@@ -74,12 +74,10 @@ pub fn expr_to_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> Result<CalcE
                     .find(|(a, _)| a.as_deref() == Some(alias.as_str()))
                     .map(|(_, v)| *v)
                     .ok_or_else(|| Error::Invalid(format!("unknown alias `{alias}`")))?,
-                None => {
-                    row_vars
-                        .first()
-                        .map(|(_, v)| *v)
-                        .ok_or_else(|| Error::Invalid("no row in scope".to_string()))?
-                }
+                None => row_vars
+                    .first()
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| Error::Invalid("no row in scope".to_string()))?,
             };
             Ok(CalcExpr::proj(CalcExpr::var(var), name))
         }
@@ -134,9 +132,7 @@ pub fn expr_to_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> Result<CalcE
                         })?],
                     ));
                 }
-                other => {
-                    return Err(Error::Invalid(format!("unknown function `{other}`")))
-                }
+                other => return Err(Error::Invalid(format!("unknown function `{other}`"))),
             };
             Ok(CalcExpr::call(func, calc_args))
         }
@@ -153,7 +149,10 @@ fn grouping_comp(
     item: CalcExpr,
     where_pred: Option<CalcExpr>,
 ) -> CalcExpr {
-    let mut quals = vec![Qual::Gen(row_var.to_string(), CalcExpr::TableRef(table.into()))];
+    let mut quals = vec![Qual::Gen(
+        row_var.to_string(),
+        CalcExpr::TableRef(table.into()),
+    )];
     if let Some(p) = where_pred {
         quals.push(Qual::Pred(p));
     }
@@ -335,14 +334,8 @@ pub fn desugar_query(q: &Query, seed: u64) -> Result<DesugaredQuery> {
                     ]),
                     vec![
                         Qual::Gen("g".into(), groups),
-                        Qual::Gen(
-                            "p1".into(),
-                            CalcExpr::proj(CalcExpr::var("g"), "partition"),
-                        ),
-                        Qual::Gen(
-                            "p2".into(),
-                            CalcExpr::proj(CalcExpr::var("g"), "partition"),
-                        ),
+                        Qual::Gen("p1".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
+                        Qual::Gen("p2".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
                         Qual::Pred(CalcExpr::bin(
                             BinOp::Lt,
                             CalcExpr::proj(CalcExpr::var("p1"), ROWID_FIELD),
@@ -404,14 +397,8 @@ pub fn desugar_query(q: &Query, seed: u64) -> Result<DesugaredQuery> {
                             CalcExpr::proj(CalcExpr::var("g1"), "key"),
                             CalcExpr::proj(CalcExpr::var("g2"), "key"),
                         )),
-                        Qual::Gen(
-                            "t".into(),
-                            CalcExpr::proj(CalcExpr::var("g1"), "partition"),
-                        ),
-                        Qual::Gen(
-                            "w".into(),
-                            CalcExpr::proj(CalcExpr::var("g2"), "partition"),
-                        ),
+                        Qual::Gen("t".into(), CalcExpr::proj(CalcExpr::var("g1"), "partition")),
+                        Qual::Gen("w".into(), CalcExpr::proj(CalcExpr::var("g2"), "partition")),
                         Qual::Pred(CalcExpr::call(
                             Func::Similar(*metric, *theta),
                             vec![CalcExpr::var("t"), CalcExpr::var("w")],
@@ -436,8 +423,7 @@ pub fn desugar_query(q: &Query, seed: u64) -> Result<DesugaredQuery> {
         };
         let comp = if q.group_by.is_empty() {
             let head = select_head(q, &row_vars)?;
-            let mut quals =
-                vec![Qual::Gen(d.to_string(), CalcExpr::TableRef(table.clone()))];
+            let mut quals = vec![Qual::Gen(d.to_string(), CalcExpr::TableRef(table.clone()))];
             if let Some(p) = where_pred {
                 quals.push(Qual::Pred(p));
             }
@@ -549,10 +535,7 @@ fn grouped_expr(
                 "sum" => over_partition(MonoidKind::Sum, arg),
                 "min" => over_partition(MonoidKind::Min, arg),
                 "max" => over_partition(MonoidKind::Max, arg),
-                "avg" => CalcExpr::call(
-                    Func::Avg,
-                    vec![over_partition(MonoidKind::Bag, arg)],
-                ),
+                "avg" => CalcExpr::call(Func::Avg, vec![over_partition(MonoidKind::Bag, arg)]),
                 _ => CalcExpr::call(
                     Func::CountDistinct,
                     vec![over_partition(MonoidKind::Bag, arg)],
@@ -674,10 +657,8 @@ mod tests {
 
     #[test]
     fn dedup_comprehension_finds_similar_pairs() {
-        let q = parse_query(
-            "SELECT * FROM customer c DEDUP(exact, LD, 0.8, c.address, c.name)",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * FROM customer c DEDUP(exact, LD, 0.8, c.address, c.name)")
+            .unwrap();
         let dq = desugar_query(&q, 1).unwrap();
         assert_eq!(dq.ops[0].kind, OpKind::Dedup);
         let data = Value::list([
@@ -698,8 +679,7 @@ mod tests {
     #[test]
     fn dedup_pairs_are_asymmetric() {
         // No (x, x) self pairs and no (b, a) mirror of (a, b).
-        let q =
-            parse_query("SELECT * FROM t DEDUP(token_filtering(2), LD, 0.8, t.name)").unwrap();
+        let q = parse_query("SELECT * FROM t DEDUP(token_filtering(2), LD, 0.8, t.name)").unwrap();
         let dq = desugar_query(&q, 1).unwrap();
         let data = Value::list([row(0, "x", 1, "1", "smith"), row(1, "x", 1, "1", "smyth")]);
         let mut ctx = EvalCtx::new().with_table("t", data);
@@ -725,9 +705,10 @@ mod tests {
         .unwrap();
         let dq = desugar_query(&q, 1).unwrap();
         assert_eq!(dq.ops[0].kind, OpKind::TermValidation);
-        let data = Value::list([
-            Value::record([(ROWID_FIELD, Value::Int(0)), ("name", Value::str("andersen"))]),
-        ]);
+        let data = Value::list([Value::record([
+            (ROWID_FIELD, Value::Int(0)),
+            ("name", Value::str("andersen")),
+        ])]);
         let dict = Value::list([
             Value::record([("term", Value::str("anderson"))]),
             Value::record([("term", Value::str("zhang"))]),
@@ -750,10 +731,7 @@ mod tests {
         let dq = desugar_query(&q, 1).unwrap();
         assert_eq!(dq.ops.len(), 1);
         assert_eq!(dq.ops[0].kind, OpKind::Select);
-        let data = Value::list([
-            row(0, "a", 1, "1", "ann"),
-            row(1, "b", 2, "2", "bob"),
-        ]);
+        let data = Value::list([row(0, "a", 1, "1", "ann"), row(1, "b", 2, "2", "bob")]);
         let ctx = EvalCtx::new().with_table("customer", data);
         let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
         let rows = v.as_list().unwrap();

@@ -13,8 +13,8 @@ use std::sync::Arc;
 use cleanm_cluster::Blocker;
 use cleanm_values::{Error, Result, Value};
 
-use super::expr::{BinOp, CalcExpr, Comprehension, FilterAlgo, Func, MonoidKind, Qual};
 use super::expr::make_blocker;
+use super::expr::{BinOp, CalcExpr, Comprehension, FilterAlgo, Func, MonoidKind, Qual};
 
 /// Evaluation context: the table catalog, pre-built blockers, and a
 /// comparison counter (similarity calls are the unit of §8's cost model).
@@ -310,11 +310,7 @@ fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
             let p = match s.find('-') {
                 Some(i) => &s[..i],
                 None => {
-                    let end = s
-                        .char_indices()
-                        .nth(3)
-                        .map(|(i, _)| i)
-                        .unwrap_or(s.len());
+                    let end = s.char_indices().nth(3).map(|(i, _)| i).unwrap_or(s.len());
                     &s[..end]
                 }
             };
@@ -372,7 +368,9 @@ fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
         Func::BlockKeys(algo) => {
             let term = arg(0)?.to_text();
             let blocker = ctx.blocker(algo)?;
-            Ok(Value::list(blocker.keys(&term).into_iter().map(Value::from)))
+            Ok(Value::list(
+                blocker.keys(&term).into_iter().map(Value::from),
+            ))
         }
         Func::Split(sep) => {
             let v = arg(0)?;
@@ -479,10 +477,7 @@ fn monoid_unit(m: &MonoidKind, head: Value) -> Result<Value> {
                 scalar => vec![scalar],
             };
             Ok(Value::list(keys.into_iter().map(|k| {
-                Value::record([
-                    ("key", k),
-                    ("partition", Value::list([item.clone()])),
-                ])
+                Value::record([("key", k), ("partition", Value::list([item.clone()]))])
             })))
         }
         _ => Ok(head),
@@ -495,7 +490,11 @@ pub fn merge_values(m: &MonoidKind, l: Value, r: Value) -> Result<Value> {
         MonoidKind::Sum => eval_binop(BinOp::Add, &l, &r).map(|v| {
             if v.is_null() {
                 // Null is not Sum's identity; treat as 0 contribution.
-                if l.is_null() { r } else { l }
+                if l.is_null() {
+                    r
+                } else {
+                    l
+                }
             } else {
                 v
             }
@@ -599,7 +598,11 @@ mod tests {
             CalcExpr::var("x"),
             vec![
                 Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
-                Qual::Pred(CalcExpr::bin(BinOp::Lt, CalcExpr::var("x"), CalcExpr::int(5))),
+                Qual::Pred(CalcExpr::bin(
+                    BinOp::Lt,
+                    CalcExpr::var("x"),
+                    CalcExpr::int(5),
+                )),
             ],
         );
         assert_eq!(eval(&e, &vec![], &ctx).unwrap(), Value::Int(3));
@@ -685,20 +688,14 @@ mod tests {
         assert_eq!(groups.len(), 2);
         // Sorted by key: false group first.
         assert_eq!(groups[0].field("key").unwrap(), &Value::Bool(false));
-        assert_eq!(
-            groups[0].field("partition").unwrap(),
-            &nums(&[3, 4])
-        );
+        assert_eq!(groups[0].field("partition").unwrap(), &nums(&[3, 4]));
         assert_eq!(groups[1].field("partition").unwrap(), &nums(&[1, 2]));
     }
 
     #[test]
     fn multi_key_filter_expands() {
         // An item with a list key lands in several groups (token filtering).
-        let ctx = EvalCtx::new().with_table(
-            "t",
-            Value::list([Value::str("ab")]),
-        );
+        let ctx = EvalCtx::new().with_table("t", Value::list([Value::str("ab")]));
         let mut ctx = ctx;
         let head = CalcExpr::record(vec![
             (
@@ -743,11 +740,7 @@ mod tests {
             Value::Int(5)
         );
         assert_eq!(
-            call(
-                Func::CountDistinct,
-                vec![CalcExpr::Const(nums(&[1, 1, 2]))]
-            )
-            .unwrap(),
+            call(Func::CountDistinct, vec![CalcExpr::Const(nums(&[1, 1, 2]))]).unwrap(),
             Value::Int(2)
         );
         assert_eq!(
@@ -755,11 +748,7 @@ mod tests {
             Value::Float(2.0)
         );
         assert_eq!(
-            call(
-                Func::Split("-".into()),
-                vec![CalcExpr::str("a-b-c")]
-            )
-            .unwrap(),
+            call(Func::Split("-".into()), vec![CalcExpr::str("a-b-c")]).unwrap(),
             Value::list([Value::str("a"), Value::str("b"), Value::str("c")])
         );
         assert_eq!(

@@ -242,6 +242,51 @@ impl CalcExpr {
         )
     }
 
+    /// Visit every *direct* child expression. The match is exhaustive with
+    /// no wildcard arm, so adding a `CalcExpr` variant forces this one place
+    /// to be updated — and every tree walker built on it (table-reference
+    /// collection, column extraction, similarity detection, …) stays
+    /// complete for free.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a CalcExpr)) {
+        match self {
+            CalcExpr::Const(_) | CalcExpr::Var(_) | CalcExpr::TableRef(_) => {}
+            CalcExpr::Record(fields) => fields.iter().for_each(|(_, e)| f(e)),
+            CalcExpr::Proj(e, _) | CalcExpr::Not(e) | CalcExpr::Exists(e) => f(e),
+            CalcExpr::BinOp(_, l, r) | CalcExpr::Merge(_, l, r) => {
+                f(l);
+                f(r);
+            }
+            CalcExpr::If(c, t, e) => {
+                f(c);
+                f(t);
+                f(e);
+            }
+            CalcExpr::Call(_, args) => args.iter().for_each(&mut *f),
+            CalcExpr::Comp(c) => {
+                f(&c.head);
+                for q in &c.quals {
+                    match q {
+                        Qual::Gen(_, e) | Qual::Bind(_, e) | Qual::Pred(e) => f(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Does any node in the tree (including `self`) satisfy `pred`?
+    pub fn any_node(&self, pred: &mut impl FnMut(&CalcExpr) -> bool) -> bool {
+        if pred(self) {
+            return true;
+        }
+        let mut found = false;
+        self.for_each_child(&mut |child| {
+            if !found && child.any_node(pred) {
+                found = true;
+            }
+        });
+        found
+    }
+
     /// Number of nodes — used by the normalizer's fuel bound and by tests.
     pub fn size(&self) -> usize {
         match self {

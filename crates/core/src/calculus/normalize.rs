@@ -134,9 +134,7 @@ fn simplify_static(expr: CalcExpr, stats: &mut NormalizeStats) -> CalcExpr {
     match expr {
         // Constant folding of scalar binops.
         CalcExpr::BinOp(op, l, r) => match (&*l, &*r) {
-            (CalcExpr::Const(a), CalcExpr::Const(b))
-                if !matches!(op, BinOp::And | BinOp::Or) =>
-            {
+            (CalcExpr::Const(a), CalcExpr::Const(b)) if !matches!(op, BinOp::And | BinOp::Or) => {
                 match eval_binop(op, a, b) {
                     Ok(v) => {
                         stats.simplifications += 1;
@@ -236,9 +234,10 @@ fn simplify_static(expr: CalcExpr, stats: &mut NormalizeStats) -> CalcExpr {
 
 fn rewrite_comp(c: Comprehension, stats: &mut NormalizeStats) -> CalcExpr {
     // 1. A statically false predicate annihilates the comprehension.
-    if c.quals.iter().any(|q| {
-        matches!(q, Qual::Pred(CalcExpr::Const(Value::Bool(false))))
-    }) {
+    if c.quals
+        .iter()
+        .any(|q| matches!(q, Qual::Pred(CalcExpr::Const(Value::Bool(false)))))
+    {
         stats.simplifications += 1;
         return CalcExpr::Const(c.monoid.zero());
     }
@@ -253,9 +252,10 @@ fn rewrite_comp(c: Comprehension, stats: &mut NormalizeStats) -> CalcExpr {
         stats.simplifications += before - quals.len();
     }
     // 3. A generator over a statically empty collection annihilates.
-    if quals.iter().any(|q| {
-        matches!(q, Qual::Gen(_, CalcExpr::Const(Value::List(items))) if items.is_empty())
-    }) {
+    if quals
+        .iter()
+        .any(|q| matches!(q, Qual::Gen(_, CalcExpr::Const(Value::List(items))) if items.is_empty()))
+    {
         stats.simplifications += 1;
         return CalcExpr::Const(c.monoid.zero());
     }
@@ -267,10 +267,7 @@ fn rewrite_comp(c: Comprehension, stats: &mut NormalizeStats) -> CalcExpr {
     if let Some(pos) = quals.iter().position(|q| {
         if let Qual::Bind(_, e) = q {
             let e_free = free_vars(e);
-            let later = quals
-                .iter()
-                .skip_while(|q2| !std::ptr::eq(*q2, q))
-                .skip(1);
+            let later = quals.iter().skip_while(|q2| !std::ptr::eq(*q2, q)).skip(1);
             !later
                 .filter_map(|q2| match q2 {
                     Qual::Gen(b, _) | Qual::Bind(b, _) => Some(b),
@@ -537,7 +534,10 @@ mod tests {
         }
         // Semantics preserved.
         let ctx = EvalCtx::new().with_table("t", nums(&[1, 2, 3]));
-        assert_eq!(eval(&e, &vec![], &ctx).unwrap(), eval(&n, &vec![], &ctx).unwrap());
+        assert_eq!(
+            eval(&e, &vec![], &ctx).unwrap(),
+            eval(&n, &vec![], &ctx).unwrap()
+        );
     }
 
     #[test]
@@ -546,7 +546,11 @@ mod tests {
         let e = CalcExpr::comp(
             MonoidKind::Bag,
             CalcExpr::If(
-                Box::new(CalcExpr::bin(BinOp::Lt, CalcExpr::var("x"), CalcExpr::int(2))),
+                Box::new(CalcExpr::bin(
+                    BinOp::Lt,
+                    CalcExpr::var("x"),
+                    CalcExpr::int(2),
+                )),
                 Box::new(CalcExpr::int(0)),
                 Box::new(CalcExpr::int(1)),
             ),
@@ -575,7 +579,11 @@ mod tests {
             CalcExpr::var("y"),
             vec![
                 Qual::Gen("y".into(), CalcExpr::TableRef("u".into())),
-                Qual::Pred(CalcExpr::bin(BinOp::Eq, CalcExpr::var("y"), CalcExpr::var("x"))),
+                Qual::Pred(CalcExpr::bin(
+                    BinOp::Eq,
+                    CalcExpr::var("y"),
+                    CalcExpr::var("x"),
+                )),
             ],
         );
         let e = CalcExpr::comp(
@@ -627,7 +635,11 @@ mod tests {
             vec![
                 Qual::Gen("x".into(), CalcExpr::TableRef("t".into())),
                 Qual::Gen("y".into(), CalcExpr::TableRef("u".into())),
-                Qual::Pred(CalcExpr::bin(BinOp::Gt, CalcExpr::var("x"), CalcExpr::int(1))),
+                Qual::Pred(CalcExpr::bin(
+                    BinOp::Gt,
+                    CalcExpr::var("x"),
+                    CalcExpr::int(1),
+                )),
             ],
             CalcExpr::bin(BinOp::Add, CalcExpr::var("x"), CalcExpr::var("y")),
         );
@@ -655,7 +667,11 @@ mod tests {
         // if true then a else b ⇒ a; 1 + 2 ⇒ 3; pred false annihilates.
         let e = CalcExpr::If(
             Box::new(CalcExpr::boolean(true)),
-            Box::new(CalcExpr::bin(BinOp::Add, CalcExpr::int(1), CalcExpr::int(2))),
+            Box::new(CalcExpr::bin(
+                BinOp::Add,
+                CalcExpr::int(1),
+                CalcExpr::int(2),
+            )),
             Box::new(CalcExpr::int(0)),
         );
         let (n, _) = normalize(&e);
@@ -699,7 +715,11 @@ mod tests {
         let e = sum_comp(
             vec![
                 Qual::Gen("y".into(), inner),
-                Qual::Pred(CalcExpr::bin(BinOp::Gt, CalcExpr::var("y"), CalcExpr::int(0))),
+                Qual::Pred(CalcExpr::bin(
+                    BinOp::Gt,
+                    CalcExpr::var("y"),
+                    CalcExpr::int(0),
+                )),
             ],
             CalcExpr::var("y"),
         );

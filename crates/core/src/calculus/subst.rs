@@ -220,7 +220,10 @@ mod tests {
         let out = substitute(&c, "xs", &CalcExpr::TableRef("t".into()));
         match out {
             CalcExpr::Comp(c2) => {
-                assert_eq!(c2.quals[0], Qual::Gen("x".into(), CalcExpr::TableRef("t".into())));
+                assert_eq!(
+                    c2.quals[0],
+                    Qual::Gen("x".into(), CalcExpr::TableRef("t".into()))
+                );
             }
             other => panic!("{other:?}"),
         }

@@ -1,14 +1,17 @@
 //! Query results: what a cleaning run found and what it cost.
 
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cleanm_exec::MetricsSnapshot;
+use cleanm_stats::TableStats;
 use cleanm_values::Value;
 
 use crate::algebra::RewriteStats;
 use crate::calculus::desugar::OpKind;
 use crate::calculus::NormalizeStats;
-use crate::physical::PhaseTimings;
+use crate::physical::{PhaseTimings, PlanDecision};
 
 /// One operator's output.
 #[derive(Debug, Clone)]
@@ -48,6 +51,13 @@ pub struct CleaningReport {
     pub metrics: MetricsSnapshot,
     /// EXPLAIN text of the executed (possibly shared) plans.
     pub plan_text: String,
+    /// Physical-strategy decision per Nest/ThetaJoin node, in execution
+    /// order — under `EngineProfile::adaptive()` each carries the statistics
+    /// that drove it; under fixed profiles the reason is `"fixed profile"`.
+    pub decisions: Vec<PlanDecision>,
+    /// The statistics catalog entries consulted for this query (empty for
+    /// non-adaptive profiles).
+    pub table_stats: HashMap<String, Arc<TableStats>>,
 }
 
 impl CleaningReport {
@@ -90,6 +100,9 @@ impl CleaningReport {
             self.metrics.records_shuffled,
             self.metrics.comparisons,
         ));
+        for d in &self.decisions {
+            out.push_str(&format!("  strategy: {d}\n"));
+        }
         out
     }
 }
@@ -116,8 +129,16 @@ mod tests {
             total: Duration::from_millis(9),
             metrics: MetricsSnapshot::default(),
             plan_text: String::new(),
+            decisions: vec![PlanDecision {
+                operator: "nest",
+                node: "d.address".into(),
+                strategy: "LocalAggregate".into(),
+                reason: "fixed profile".into(),
+            }],
+            table_stats: HashMap::new(),
         };
         let s = report.summary();
+        assert!(s.contains("LocalAggregate"));
         assert!(s.contains("CleanDB"));
         assert!(s.contains("2 violating entities"));
         assert!(s.contains("FD#0"));

@@ -6,11 +6,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cleanm_exec::{ExecContext, ExecError};
+use cleanm_stats::{collect_table_stats, StatsConfig, TableStats};
 use cleanm_values::{Table, Value};
 
 use crate::algebra::{lower_op, rewrite_shared, Alg, RewriteStats};
 use crate::calculus::desugar::{desugar_query, DesugaredOp, OpKind, ROWID_FIELD};
-use crate::calculus::{normalize, CalcExpr, EvalCtx, Func, NormalizeStats, Qual};
+use crate::calculus::{normalize, CalcExpr, EvalCtx, Func, NormalizeStats};
 use crate::lang::{parse_query, Query};
 use crate::physical::{EngineProfile, Executor};
 
@@ -56,6 +57,10 @@ pub struct CleanDb {
     /// Dictionary tables (registered via [`CleanDb::register_dictionary`]):
     /// their terms also serve as the k-means center corpus, as in §8.1.
     dictionaries: HashMap<String, Arc<Vec<String>>>,
+    /// Lazily collected per-table statistics (one single-pass collection per
+    /// table; invalidated on re-registration).
+    stats: HashMap<String, Arc<TableStats>>,
+    stats_config: StatsConfig,
     seed: u64,
 }
 
@@ -73,8 +78,17 @@ impl CleanDb {
             profile,
             tables: HashMap::new(),
             dictionaries: HashMap::new(),
+            stats: HashMap::new(),
+            stats_config: StatsConfig::default(),
             seed: 42,
         }
+    }
+
+    /// Override the statistics-collection knobs (sketch sizes, histogram
+    /// resolution) for subsequently collected tables.
+    pub fn set_stats_config(&mut self, config: StatsConfig) {
+        self.stats_config = config;
+        self.stats.clear();
     }
 
     /// Seed for randomized blockers (k-means center sampling).
@@ -106,11 +120,13 @@ impl CleanDb {
             })
             .collect();
         self.tables.insert(name.to_string(), Arc::new(rows));
+        self.stats.remove(name);
     }
 
     /// Register rows that are already structs (must contain `__rowid`).
     pub fn register_values(&mut self, name: &str, rows: Vec<Value>) {
         self.tables.insert(name.to_string(), Arc::new(rows));
+        self.stats.remove(name);
     }
 
     /// Register a dictionary for term validation: a single-column table
@@ -120,19 +136,33 @@ impl CleanDb {
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                Value::record([
-                    (ROWID_FIELD, Value::Int(i as i64)),
-                    ("term", Value::str(t)),
-                ])
+                Value::record([(ROWID_FIELD, Value::Int(i as i64)), ("term", Value::str(t))])
             })
             .collect();
         self.tables.insert(name.to_string(), Arc::new(rows));
-        self.dictionaries
-            .insert(name.to_string(), Arc::new(terms));
+        self.stats.remove(name);
+        self.dictionaries.insert(name.to_string(), Arc::new(terms));
     }
 
     pub fn table_rows(&self, name: &str) -> Option<&Arc<Vec<Value>>> {
         self.tables.get(name)
+    }
+
+    /// Statistics for a registered table, collected on first request in a
+    /// single `summarize_partitions` pass and cached until the table is
+    /// re-registered.
+    pub fn table_stats(&mut self, name: &str) -> Option<Arc<TableStats>> {
+        if let Some(s) = self.stats.get(name) {
+            return Some(Arc::clone(s));
+        }
+        let rows = self.tables.get(name)?;
+        let collected = Arc::new(collect_table_stats(
+            &self.ctx,
+            Arc::clone(rows),
+            self.stats_config,
+        ));
+        self.stats.insert(name.to_string(), Arc::clone(&collected));
+        Some(collected)
     }
 
     /// Crate-internal catalog access for operators that build algebra plans
@@ -189,6 +219,18 @@ impl CleanDb {
             .map(|(p, op)| format!("-- {}\n{}", op.label, p.explain()))
             .collect();
 
+        // Statistics catalog (adaptive profiles only): collect once per
+        // referenced table — a single summarize_partitions pass each —
+        // before the executor makes its per-node strategy decisions.
+        let query_stats: HashMap<String, Arc<TableStats>> = if self.profile.adaptive {
+            referenced_tables(&normalized)
+                .into_iter()
+                .filter_map(|t| self.table_stats(&t).map(|s| (t, s)))
+                .collect()
+        } else {
+            HashMap::new()
+        };
+
         // Level 3: physical execution.
         let eval_ctx = self.build_eval_ctx(&normalized);
         let mut executor = Executor::new(
@@ -197,6 +239,7 @@ impl CleanDb {
             &self.tables,
             Arc::clone(&eval_ctx),
         );
+        executor.set_stats(query_stats.clone());
         executor.register_plans(&plans);
         let mut ops: Vec<OpResult> = Vec::with_capacity(plans.len());
         for (plan, op) in plans.iter().zip(&normalized) {
@@ -210,6 +253,7 @@ impl CleanDb {
             });
         }
         let timings = executor.timings.clone();
+        let decisions = executor.decisions.clone();
         // Expression-level similarity checks are counted in the evaluation
         // context; fold them into the runtime metrics so reports see one
         // comparison total.
@@ -230,6 +274,8 @@ impl CleanDb {
             total: started.elapsed(),
             metrics: self.ctx.metrics().snapshot(),
             plan_text,
+            decisions,
+            table_stats: query_stats,
         })
     }
 
@@ -302,16 +348,12 @@ impl CleanDb {
             use cleanm_exec::Dataset;
             let mut iter = per_op_ids.into_iter();
             let first = iter.next().unwrap();
-            let mut acc: Dataset<(i64, bool)> = Dataset::from_vec(
-                &self.ctx,
-                first.into_iter().map(|id| (id, true)).collect(),
-            );
+            let mut acc: Dataset<(i64, bool)> =
+                Dataset::from_vec(&self.ctx, first.into_iter().map(|id| (id, true)).collect());
             for ids in iter {
                 let right: Dataset<(i64, bool)> =
                     Dataset::from_vec(&self.ctx, ids.into_iter().map(|id| (id, true)).collect());
-                acc = acc
-                    .full_outer_join(right)
-                    .map(|(id, _, _)| (id, true));
+                acc = acc.full_outer_join(right).map(|(id, _, _)| (id, true));
             }
             let mut out: Vec<i64> = acc.collect().into_iter().map(|(id, _)| id).collect();
             out.sort_unstable();
@@ -319,6 +361,24 @@ impl CleanDb {
             Ok(out)
         }
     }
+}
+
+/// Every base table a set of desugared operators reads — the tables whose
+/// statistics the adaptive planner needs.
+fn referenced_tables(ops: &[DesugaredOp]) -> Vec<String> {
+    fn walk(e: &CalcExpr, out: &mut HashSet<String>) {
+        if let CalcExpr::TableRef(t) = e {
+            out.insert(t.clone());
+        }
+        e.for_each_child(&mut |child| walk(child, out));
+    }
+    let mut set = HashSet::new();
+    for op in ops {
+        walk(&op.comp, &mut set);
+    }
+    let mut out: Vec<String> = set.into_iter().collect();
+    out.sort();
+    out
 }
 
 /// Pull every `__rowid` out of a (possibly nested) output value.
@@ -366,24 +426,8 @@ fn collect_repairs(ops: &[OpResult]) -> Vec<Repair> {
 /// Helper for ops modules: does a desugared op contain a `BlockKeys` over a
 /// given algorithm? (Used in tests.)
 pub fn op_uses_blocker(op: &DesugaredOp) -> bool {
-    fn walk(e: &CalcExpr) -> bool {
-        match e {
-            CalcExpr::Call(Func::BlockKeys(_), _) => true,
-            CalcExpr::Call(_, args) => args.iter().any(walk),
-            CalcExpr::BinOp(_, l, r) | CalcExpr::Merge(_, l, r) => walk(l) || walk(r),
-            CalcExpr::Not(x) | CalcExpr::Exists(x) | CalcExpr::Proj(x, _) => walk(x),
-            CalcExpr::If(c, t, f) => walk(c) || walk(t) || walk(f),
-            CalcExpr::Record(fs) => fs.iter().any(|(_, x)| walk(x)),
-            CalcExpr::Comp(c) => {
-                walk(&c.head)
-                    || c.quals.iter().any(|q| match q {
-                        Qual::Gen(_, x) | Qual::Bind(_, x) | Qual::Pred(x) => walk(x),
-                    })
-            }
-            _ => false,
-        }
-    }
-    walk(&op.comp)
+    op.comp
+        .any_node(&mut |e| matches!(e, CalcExpr::Call(Func::BlockKeys(_), _)))
 }
 
 #[cfg(test)]
@@ -498,6 +542,52 @@ mod tests {
         let mut db = CleanDb::new(EngineProfile::clean_db());
         let err = db.run("SELECT * FROM nope n FD(n.a, n.b)").unwrap_err();
         assert!(matches!(err, EngineError::Exec(_)), "{err}");
+    }
+
+    #[test]
+    fn adaptive_session_collects_stats_and_reports_decisions() {
+        let mut db = CleanDb::new(EngineProfile::adaptive());
+        db.register("customer", customer_table());
+        let report = db
+            .run("SELECT * FROM customer c FD(c.address, c.nationkey)")
+            .unwrap();
+        // Same logical result as the fixed profiles.
+        assert_eq!(report.violating_ids, vec![0, 1]);
+        // The stats catalog was collected for the referenced table and
+        // surfaced in the report.
+        let stats = report.table_stats.get("customer").expect("customer stats");
+        assert_eq!(stats.rows(), 3);
+        assert!(stats.column("address").is_some());
+        // Per-node decisions are recorded with stat-driven reasons.
+        assert!(!report.decisions.is_empty());
+        assert!(report.decisions.iter().all(|d| d.reason != "fixed profile"));
+        // A second query reuses the cached stats (no second collection).
+        let again = db
+            .run("SELECT * FROM customer c FD(c.address, c.nationkey)")
+            .unwrap();
+        let stat_stages = again
+            .metrics
+            .stages
+            .iter()
+            .filter(|s| s.operator == "summarize_partitions")
+            .count();
+        assert_eq!(stat_stages, 0, "stats cached across queries");
+    }
+
+    #[test]
+    fn fixed_profiles_skip_stats_collection() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        let report = db
+            .run("SELECT * FROM customer c FD(c.address, c.nationkey)")
+            .unwrap();
+        assert!(report.table_stats.is_empty());
+        assert!(report
+            .metrics
+            .stages
+            .iter()
+            .all(|s| s.operator != "summarize_partitions"));
+        assert!(report.decisions.iter().all(|d| d.reason == "fixed profile"));
     }
 
     #[test]

@@ -133,7 +133,10 @@ mod tests {
             clean_ops: vec![],
         };
         assert_eq!(q.resolve_alias(Some("c")).unwrap().name, "customer");
-        assert_eq!(q.resolve_alias(Some("dictionary")).unwrap().name, "dictionary");
+        assert_eq!(
+            q.resolve_alias(Some("dictionary")).unwrap().name,
+            "dictionary"
+        );
         assert_eq!(q.resolve_alias(None).unwrap().name, "customer");
         assert!(q.resolve_alias(Some("zz")).is_none());
         assert_eq!(q.auxiliary_table().unwrap().name, "dictionary");

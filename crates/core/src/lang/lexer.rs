@@ -32,14 +32,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             i += 1;
             continue;
         }
-        if c.is_ascii_digit()
-            || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
         {
             let start = i;
             let mut saw_dot = false;
-            while i < chars.len()
-                && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot))
-            {
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot)) {
                 if chars[i] == '.' {
                     saw_dot = true;
                 }
@@ -47,13 +44,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             let text: String = chars[start..i].iter().collect();
             if saw_dot {
-                tokens.push(Token::Float(text.parse().map_err(|_| {
-                    Error::Parse(format!("bad number `{text}`"))
-                })?));
+                tokens.push(Token::Float(
+                    text.parse()
+                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
+                ));
             } else {
-                tokens.push(Token::Int(text.parse().map_err(|_| {
-                    Error::Parse(format!("bad number `{text}`"))
-                })?));
+                tokens.push(Token::Int(
+                    text.parse()
+                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
+                ));
             }
             continue;
         }

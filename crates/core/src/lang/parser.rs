@@ -81,7 +81,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -544,8 +546,7 @@ mod tests {
 
     #[test]
     fn parameterized_blockers() {
-        let q = parse_query("SELECT * FROM t DEDUP(token_filtering(2), LD, 0.9, name)")
-            .unwrap();
+        let q = parse_query("SELECT * FROM t DEDUP(token_filtering(2), LD, 0.9, name)").unwrap();
         match &q.clean_ops[0] {
             CleanOp::Dedup { op, theta, .. } => {
                 assert_eq!(*op, BlockSpec::TokenFiltering { q: 2 });

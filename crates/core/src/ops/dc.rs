@@ -255,7 +255,9 @@ mod tests {
             db.register("lineitem", lineitem(n as i64 - 1));
             db
         };
-        let clean = psi(60.0).run(&mut make_db(EngineProfile::clean_db())).unwrap();
+        let clean = psi(60.0)
+            .run(&mut make_db(EngineProfile::clean_db()))
+            .unwrap();
         assert!(clean.completed(), "{clean:?}");
         let spark = psi(60.0)
             .run(&mut make_db(EngineProfile::spark_sql_like()))

@@ -87,11 +87,7 @@ enum ResolvedTransform {
     FillMissing { index: usize, average: f64 },
 }
 
-fn resolve(
-    ctx: &Arc<ExecContext>,
-    table: &Table,
-    t: &Transform,
-) -> Result<ResolvedTransform> {
+fn resolve(ctx: &Arc<ExecContext>, table: &Table, t: &Transform) -> Result<ResolvedTransform> {
     match t {
         Transform::SplitDate { column } => {
             let index = table.schema.index_of(column)?;
@@ -137,11 +133,7 @@ fn resolve(
 }
 
 /// One full-table pass applying every resolved transform to each row.
-fn run_pass(
-    ctx: &Arc<ExecContext>,
-    table: &Table,
-    specs: &[ResolvedTransform],
-) -> Result<Table> {
+fn run_pass(ctx: &Arc<ExecContext>, table: &Table, specs: &[ResolvedTransform]) -> Result<Table> {
     // Output schema: date columns expand into y/m/d ints, in place.
     let mut fields: Vec<Field> = Vec::new();
     for (i, f) in table.schema.fields().iter().enumerate() {
@@ -184,8 +176,10 @@ fn run_pass(
                     out.push(y);
                     out.push(m);
                     out.push(d);
-                } else if let Some((_, avg)) =
-                    fills.iter().find(|(fi, _)| *fi == i).filter(|_| v.is_null())
+                } else if let Some((_, avg)) = fills
+                    .iter()
+                    .find(|(fi, _)| *fi == i)
+                    .filter(|_| v.is_null())
                 {
                     out.push(Value::Float(*avg));
                 } else {
@@ -337,10 +331,8 @@ mod tests {
                 column: "quantity".into(),
             },
         ];
-        let sep = apply_transforms(&ctx(), &table(), &transforms, TransformMode::Separate)
-            .unwrap();
-        let fused =
-            apply_transforms(&ctx(), &table(), &transforms, TransformMode::Fused).unwrap();
+        let sep = apply_transforms(&ctx(), &table(), &transforms, TransformMode::Separate).unwrap();
+        let fused = apply_transforms(&ctx(), &table(), &transforms, TransformMode::Fused).unwrap();
         assert_eq!(sep.table, fused.table);
         assert_eq!(sep.passes, 2);
         assert_eq!(fused.passes, 1);
@@ -395,9 +387,9 @@ mod tests {
             schema,
             vec![
                 Row::new(vec![Value::str("GVA")]),
-                Row::new(vec![Value::str("gva")]),  // exact after normalize
+                Row::new(vec![Value::str("gva")]), // exact after normalize
                 Row::new(vec![Value::str("ZRHH")]), // similar to ZRH
-                Row::new(vec![Value::str("XXX")]),  // no mapping
+                Row::new(vec![Value::str("XXX")]), // no mapping
                 Row::new(vec![Value::Null]),
             ],
         );

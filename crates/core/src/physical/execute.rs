@@ -26,6 +26,7 @@ use parking_lot::Mutex;
 use cleanm_exec::{theta, Dataset, ExecContext, ExecError, ExecResult};
 use cleanm_values::Value;
 
+use crate::algebra::cardinality::{self, StatsCatalog};
 use crate::algebra::plan::Alg;
 use crate::calculus::eval::{eval, merge_values, truthy, EvalCtx};
 use crate::calculus::{CalcExpr, Func, MonoidKind};
@@ -34,6 +35,47 @@ use super::profile::{EngineProfile, NestStrategy, ThetaStrategy};
 
 /// A row in flight: the comprehension environment (variable → value).
 pub type RowEnv = Vec<(String, Value)>;
+
+/// Skew threshold: if the most frequent grouping-key value may cover more
+/// than this share of the rows, a sort/range shuffle would pin one worker.
+const SKEW_TOP_SHARE: f64 = 0.25;
+/// Group-collapse threshold: local aggregation wins whenever groups collapse
+/// at all; only near-unique keys (avg group below this) make the map-side
+/// combine pass pure overhead. Measured on the uniform-customer workload:
+/// at avg group 1.2 LocalAggregate still beats HashShuffle by ~20%.
+const LOCAL_AGG_MIN_GROUP_SIZE: f64 = 1.1;
+/// Below this estimated comparison count a cartesian product's low constant
+/// overhead beats both pruning operators.
+const SMALL_CARTESIAN_WORK: f64 = 50_000.0;
+/// M-Bucket's setup cost relative to input size: bucketing both sides,
+/// shuffling them, and assigning matrix cells costs a few passes over
+/// `|L| + |R|` records. Cartesian is preferred when the comparisons pruning
+/// would save are worth less than this.
+const MBUCKET_SETUP_FACTOR: f64 = 8.0;
+
+/// One recorded physical-strategy decision, attributable to a plan node —
+/// how the adaptive planner explains itself in reports and benches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanDecision {
+    /// Which operator family the decision was for (`"nest"` / `"theta"`).
+    pub operator: &'static str,
+    /// Short rendering of the node (grouping key or join predicate).
+    pub node: String,
+    /// The strategy chosen, e.g. `"LocalAggregate"`.
+    pub strategy: String,
+    /// Why: the statistics that drove the choice, or `"fixed profile"`.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PlanDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {} -> {} ({})",
+            self.operator, self.node, self.strategy, self.reason
+        )
+    }
+}
 
 /// Wall-time attribution per operator family.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -70,6 +112,14 @@ pub struct Executor<'a> {
     shared_nodes: std::collections::HashSet<usize>,
     errors: Arc<Mutex<Vec<String>>>,
     pub timings: PhaseTimings,
+    /// Per-table statistics for adaptive strategy selection (empty unless
+    /// the session collected them).
+    stats: StatsCatalog,
+    /// `var → table` bindings of all registered plans' scans, so mid-plan
+    /// key expressions resolve to catalog columns.
+    scan_vars: HashMap<String, String>,
+    /// Strategy decisions made while executing, in plan order.
+    pub decisions: Vec<PlanDecision>,
 }
 
 impl<'a> Executor<'a> {
@@ -88,7 +138,15 @@ impl<'a> Executor<'a> {
             shared_nodes: std::collections::HashSet::new(),
             errors: Arc::new(Mutex::new(Vec::new())),
             timings: PhaseTimings::default(),
+            stats: StatsCatalog::new(),
+            scan_vars: HashMap::new(),
+            decisions: Vec::new(),
         }
+    }
+
+    /// Provide table statistics for adaptive strategy selection.
+    pub fn set_stats(&mut self, stats: StatsCatalog) {
+        self.stats = stats;
     }
 
     /// Inspect the full set of plans this executor will run and record the
@@ -117,6 +175,7 @@ impl<'a> Executor<'a> {
         }
         for plan in plans {
             visit(plan, &mut counts);
+            cardinality::scan_bindings(plan, &mut self.scan_vars);
         }
         self.shared_nodes = counts
             .into_iter()
@@ -165,8 +224,8 @@ impl<'a> Executor<'a> {
             prim => {
                 let mut acc = prim.zero();
                 for v in outputs {
-                    acc = merge_values(prim, acc, v)
-                        .map_err(|e| ExecError::Value(e.to_string()))?;
+                    acc =
+                        merge_values(prim, acc, v).map_err(|e| ExecError::Value(e.to_string()))?;
                 }
                 vec![acc]
             }
@@ -204,9 +263,10 @@ impl<'a> Executor<'a> {
         match &**plan {
             Alg::Scan { table, var } => {
                 let start = Instant::now();
-                let rows = self.tables.get(table).ok_or_else(|| {
-                    ExecError::Other(format!("unknown table `{table}`"))
-                })?;
+                let rows = self
+                    .tables
+                    .get(table)
+                    .ok_or_else(|| ExecError::Other(format!("unknown table `{table}`")))?;
                 let envs: Vec<RowEnv> = rows
                     .iter()
                     .map(|r| vec![(var.clone(), r.clone())])
@@ -340,9 +400,151 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Column statistics for a key expression, resolved through the plans'
+    /// scan bindings.
+    fn key_column_stats(&self, key: &CalcExpr) -> Option<&cleanm_stats::ColumnStats> {
+        // For composite keys, use the first resolvable column (skew and
+        // distinct-count reads on composites go through
+        // `cardinality::group_count`, which sees every component).
+        let cols = cardinality::columns_in(key);
+        cols.iter()
+            .find_map(|(var, field)| self.stats.get(self.scan_vars.get(var)?)?.column(field))
+    }
+
+    /// Cost-based Nest strategy: group cardinality and skew decide how the
+    /// grouping shuffles (§6 "handling data skew", made data-dependent).
+    fn choose_nest(&self, key: &CalcExpr, input_rows: f64) -> (NestStrategy, String) {
+        let Some(col) = self.key_column_stats(key) else {
+            return (
+                self.profile.nest,
+                "no column statistics; profile default".to_string(),
+            );
+        };
+        let (distinct, _) = cardinality::group_count(key, input_rows, &self.scan_vars, &self.stats);
+        let avg_group = input_rows / distinct.max(1.0);
+        if avg_group < LOCAL_AGG_MIN_GROUP_SIZE {
+            // Nearly-unique composite keys: even if one component is skewed,
+            // the composite groups are singletons, so local aggregation buys
+            // nothing — hashing every record costs the same shuffle without
+            // the combine pass.
+            (
+                NestStrategy::HashShuffle,
+                format!(
+                    "≈{distinct:.0} groups over {input_rows:.0} rows: keys nearly unique, combine futile"
+                ),
+            )
+        } else if col.top_share() > SKEW_TOP_SHARE {
+            // A heavy key would land whole on one range partition: combine
+            // it where it sits instead of shipping it to a single worker.
+            (
+                NestStrategy::LocalAggregate,
+                format!(
+                    "skewed: top key ≤{:.0}% of rows (> {:.0}% threshold)",
+                    col.top_share() * 100.0,
+                    SKEW_TOP_SHARE * 100.0
+                ),
+            )
+        } else {
+            // Groups collapse meaningfully: map-side combine cuts shuffle
+            // volume by the group size factor.
+            (
+                NestStrategy::LocalAggregate,
+                format!("≈{distinct:.0} groups, avg size {avg_group:.1}: map-side combine pays"),
+            )
+        }
+    }
+
+    /// Cost-based theta strategy from histograms (§6 "handling theta joins",
+    /// fed by the statistics catalog instead of blind sampling). Compares
+    /// the two strategies whose cost the catalog can actually predict:
+    ///
+    /// * cartesian: `|L|·|R|` comparisons, no setup;
+    /// * M-Bucket: `frac·|L|·|R|` comparisons (the histogram pair-pruning
+    ///   estimate) plus a bucketing pass over both inputs.
+    ///
+    /// Min-max block pruning is *not* selectable from column statistics:
+    /// its effectiveness depends on whether the physical partitioning
+    /// aligns with the key, which histograms cannot see — and a wrong pick
+    /// degenerates to the full product. It remains reachable as the
+    /// profile-default fallback when no histograms exist.
+    fn choose_theta(
+        &self,
+        hint: &crate::algebra::plan::ThetaHint,
+        left_rows: f64,
+        right_rows: f64,
+    ) -> (ThetaStrategy, Option<Vec<f64>>, String) {
+        let full_work = left_rows * right_rows;
+        if full_work <= SMALL_CARTESIAN_WORK {
+            return (
+                ThetaStrategy::CartesianFilter,
+                None,
+                format!("tiny input ({full_work:.0} pairs): cartesian overhead-free"),
+            );
+        }
+        let lh = self
+            .key_column_stats(&hint.left_key)
+            .and_then(|c| c.histogram());
+        let rh = self
+            .key_column_stats(&hint.right_key)
+            .and_then(|c| c.histogram());
+        match (lh, rh) {
+            (Some(lh), Some(rh)) => {
+                let frac = lh.fraction_pairs(&rh, |l, r| hint.kind.compatible(l, r));
+                // Cartesian wins when the comparisons M-Bucket would prune
+                // are worth less than its bucketing/shuffle setup (a few
+                // passes over both inputs).
+                let pruned_work = (1.0 - frac) * full_work;
+                let mbucket_overhead = MBUCKET_SETUP_FACTOR * (left_rows + right_rows);
+                if pruned_work <= mbucket_overhead {
+                    return (
+                        ThetaStrategy::CartesianFilter,
+                        None,
+                        format!(
+                            "histograms: only {:.0}% of matrix prunable — less than \
+                             M-Bucket setup (~{mbucket_overhead:.0} units); cartesian",
+                            (1.0 - frac) * 100.0
+                        ),
+                    );
+                }
+                // Feed the M-Bucket matrix the real equi-depth boundaries of
+                // both sides instead of letting it re-sample blindly.
+                let mut bounds = lh.boundaries();
+                bounds.extend(rh.boundaries());
+                (
+                    ThetaStrategy::MBucket,
+                    Some(bounds),
+                    format!(
+                        "histograms: {:.0}% of matrix survives pruning; M-Bucket on real quantiles",
+                        frac * 100.0
+                    ),
+                )
+            }
+            _ => (
+                self.profile.theta,
+                None,
+                "no histograms for join keys; profile default".to_string(),
+            ),
+        }
+    }
+
+    fn record_decision(
+        &mut self,
+        operator: &'static str,
+        node: String,
+        strategy: String,
+        reason: String,
+    ) {
+        self.decisions.push(PlanDecision {
+            operator,
+            node,
+            strategy,
+            reason,
+        });
+    }
+
     /// The Nest translation of Table 2, by profile strategy.
     fn exec_nest(
-        &self,
+        &mut self,
         ds: Dataset<RowEnv>,
         key: &CalcExpr,
         item: &CalcExpr,
@@ -370,15 +572,25 @@ impl<'a> Executor<'a> {
                 }
             };
             match k {
-                Value::List(keys) => keys
-                    .iter()
-                    .map(|kk| (kk.clone(), it.clone()))
-                    .collect(),
+                Value::List(keys) => keys.iter().map(|kk| (kk.clone(), it.clone())).collect(),
                 scalar => vec![(scalar, it)],
             }
         });
         self.check_errors()?;
-        let grouped: Dataset<(Value, Vec<Value>)> = match self.profile.nest {
+        let strategy = if self.profile.adaptive {
+            let (strategy, reason) = self.choose_nest(key, pairs.count() as f64);
+            self.record_decision("nest", key.to_string(), format!("{strategy:?}"), reason);
+            strategy
+        } else {
+            self.record_decision(
+                "nest",
+                key.to_string(),
+                format!("{:?}", self.profile.nest),
+                "fixed profile".to_string(),
+            );
+            self.profile.nest
+        };
+        let grouped: Dataset<(Value, Vec<Value>)> = match strategy {
             NestStrategy::LocalAggregate => pairs.group_by_key_local(),
             NestStrategy::SortShuffle => pairs.group_by_key_sorted(),
             NestStrategy::HashShuffle => pairs.group_by_key_hash(),
@@ -395,12 +607,26 @@ impl<'a> Executor<'a> {
 
     /// The theta-join translation of §6, by profile strategy.
     fn exec_theta(
-        &self,
+        &mut self,
         lds: Dataset<RowEnv>,
         rds: Dataset<RowEnv>,
         pred: &CalcExpr,
         hint: &crate::algebra::plan::ThetaHint,
     ) -> ExecResult<Dataset<RowEnv>> {
+        let (strategy, bounds) = if self.profile.adaptive {
+            let (strategy, bounds, reason) =
+                self.choose_theta(hint, lds.count() as f64, rds.count() as f64);
+            self.record_decision("theta", pred.to_string(), format!("{strategy:?}"), reason);
+            (strategy, bounds)
+        } else {
+            self.record_decision(
+                "theta",
+                pred.to_string(),
+                format!("{:?}", self.profile.theta),
+                "fixed profile".to_string(),
+            );
+            (self.profile.theta, None)
+        };
         let eval_ctx = Arc::clone(&self.eval_ctx);
         let pred_cl = pred.clone();
         let predicate = {
@@ -408,7 +634,9 @@ impl<'a> Executor<'a> {
             move |l: &RowEnv, r: &RowEnv| {
                 let mut env = l.clone();
                 env.extend(r.iter().cloned());
-                eval(&pred_cl, &env, &eval_ctx).map(|v| truthy(&v)).unwrap_or(false)
+                eval(&pred_cl, &env, &eval_ctx)
+                    .map(|v| truthy(&v))
+                    .unwrap_or(false)
             }
         };
         let key_fn = |expr: &CalcExpr| {
@@ -424,9 +652,9 @@ impl<'a> Executor<'a> {
         let kind = hint.kind;
         let compat = move |l: (f64, f64), r: (f64, f64)| kind.compatible(l, r);
 
-        let joined: Dataset<(RowEnv, RowEnv)> = match self.profile.theta {
-            ThetaStrategy::CartesianFilter => theta::cartesian_filter(lds, rds, predicate)?,
-            ThetaStrategy::MinMaxBlocks => theta::minmax_block_join(
+        let joined: Dataset<(RowEnv, RowEnv)> = match (strategy, bounds) {
+            (ThetaStrategy::CartesianFilter, _) => theta::cartesian_filter(lds, rds, predicate)?,
+            (ThetaStrategy::MinMaxBlocks, _) => theta::minmax_block_join(
                 lds,
                 rds,
                 key_fn(&hint.left_key),
@@ -434,7 +662,16 @@ impl<'a> Executor<'a> {
                 compat,
                 predicate,
             )?,
-            ThetaStrategy::MBucket => theta::mbucket_join(
+            (ThetaStrategy::MBucket, Some(bounds)) => theta::mbucket_join_with_bounds(
+                lds,
+                rds,
+                key_fn(&hint.left_key),
+                key_fn(&hint.right_key),
+                compat,
+                predicate,
+                bounds,
+            )?,
+            (ThetaStrategy::MBucket, None) => theta::mbucket_join(
                 lds,
                 rds,
                 key_fn(&hint.left_key),
@@ -453,27 +690,12 @@ impl<'a> Executor<'a> {
 
 /// Does the expression contain a similarity call? (Phase attribution.)
 fn expr_has_similarity(e: &CalcExpr) -> bool {
-    match e {
-        CalcExpr::Call(Func::Similar(..) | Func::Similarity(..), _) => true,
-        CalcExpr::Call(_, args) => args.iter().any(expr_has_similarity),
-        CalcExpr::BinOp(_, l, r) | CalcExpr::Merge(_, l, r) => {
-            expr_has_similarity(l) || expr_has_similarity(r)
-        }
-        CalcExpr::Not(x) | CalcExpr::Exists(x) | CalcExpr::Proj(x, _) => expr_has_similarity(x),
-        CalcExpr::If(c, t, f) => {
-            expr_has_similarity(c) || expr_has_similarity(t) || expr_has_similarity(f)
-        }
-        CalcExpr::Record(fields) => fields.iter().any(|(_, x)| expr_has_similarity(x)),
-        CalcExpr::Comp(c) => {
-            expr_has_similarity(&c.head)
-                || c.quals.iter().any(|q| match q {
-                    crate::calculus::Qual::Gen(_, x)
-                    | crate::calculus::Qual::Bind(_, x)
-                    | crate::calculus::Qual::Pred(x) => expr_has_similarity(x),
-                })
-        }
-        CalcExpr::Const(_) | CalcExpr::Var(_) | CalcExpr::TableRef(_) => false,
-    }
+    e.any_node(&mut |n| {
+        matches!(
+            n,
+            CalcExpr::Call(Func::Similar(..) | Func::Similarity(..), _)
+        )
+    })
 }
 
 #[cfg(test)]
@@ -630,7 +852,7 @@ mod tests {
     #[test]
     fn theta_join_via_plan() {
         // Manual ThetaJoin plan: pairs (l, r) with l.nationkey < r.nationkey.
-        use crate::algebra::plan::{ThetaHint, HintKind};
+        use crate::algebra::plan::{HintKind, ThetaHint};
         let scan_l = Arc::new(Alg::Scan {
             table: "customer".into(),
             var: "t1".into(),
@@ -670,11 +892,227 @@ mod tests {
             EngineProfile::big_dansing_like(),
         ] {
             let ctx = ExecContext::new(2, 4);
-            let mut ex =
-                Executor::new(ctx, profile.clone(), &tables, Arc::new(EvalCtx::new()));
+            let mut ex = Executor::new(ctx, profile.clone(), &tables, Arc::new(EvalCtx::new()));
             let out = ex.run_reduce(&plan).unwrap();
             assert_eq!(out.len(), 9, "{}", profile.name);
         }
+    }
+
+    fn stats_for(tables: &HashMap<String, Arc<Vec<Value>>>) -> StatsCatalog {
+        let ctx = ExecContext::new(2, 4);
+        tables
+            .iter()
+            .map(|(name, rows)| {
+                (
+                    name.clone(),
+                    Arc::new(cleanm_stats::collect_table_stats(
+                        &ctx,
+                        Arc::clone(rows),
+                        cleanm_stats::StatsConfig::default(),
+                    )),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adaptive_profile_records_stat_driven_decisions() {
+        let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+        let q = parse_query(sql).unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let plan = lower_op(&dq.ops[0].comp).unwrap();
+        let tables = catalog();
+        let mut eval_ctx = EvalCtx::new();
+        eval_ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(ctx, EngineProfile::adaptive(), &tables, Arc::new(eval_ctx));
+        ex.set_stats(stats_for(&tables));
+        ex.register_plans(std::slice::from_ref(&plan));
+        let out = ex.run_reduce(&plan).unwrap();
+        assert_eq!(out.len(), 1, "same result as fixed profiles");
+        let nest: Vec<_> = ex
+            .decisions
+            .iter()
+            .filter(|d| d.operator == "nest")
+            .collect();
+        assert!(!nest.is_empty(), "nest decision must be recorded");
+        assert_ne!(nest[0].reason, "fixed profile", "decision must cite stats");
+    }
+
+    #[test]
+    fn adaptive_avoids_sort_shuffle_on_skewed_keys() {
+        // 90% of rows share one address: top_share is high, so the planner
+        // must not pick SortShuffle (the one-hot-worker pathology).
+        let mut tables = HashMap::new();
+        let rows: Vec<Value> = (0..1000)
+            .map(|i| {
+                row(
+                    i,
+                    if i % 10 == 0 { "rare st" } else { "main st" },
+                    i % 25,
+                    "name",
+                )
+            })
+            .collect();
+        tables.insert("customer".to_string(), Arc::new(rows));
+        let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+        let q = parse_query(sql).unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let plan = lower_op(&dq.ops[0].comp).unwrap();
+        let mut eval_ctx = EvalCtx::new();
+        eval_ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(ctx, EngineProfile::adaptive(), &tables, Arc::new(eval_ctx));
+        ex.set_stats(stats_for(&tables));
+        ex.register_plans(std::slice::from_ref(&plan));
+        ex.run_reduce(&plan).unwrap();
+        let nest = ex
+            .decisions
+            .iter()
+            .find(|d| d.operator == "nest")
+            .expect("nest decision");
+        assert_eq!(nest.strategy, "LocalAggregate", "{nest}");
+        assert!(nest.reason.contains("skew"), "{nest}");
+    }
+
+    #[test]
+    fn adaptive_theta_uses_histogram_bounds() {
+        use crate::algebra::plan::{HintKind, ThetaHint};
+        let tables = catalog();
+        let pred = CalcExpr::bin(
+            BinOp::Lt,
+            CalcExpr::proj(CalcExpr::var("t1"), "nationkey"),
+            CalcExpr::proj(CalcExpr::var("t2"), "nationkey"),
+        );
+        let plan = Arc::new(Alg::Reduce {
+            input: Arc::new(Alg::ThetaJoin {
+                left: Arc::new(Alg::Scan {
+                    table: "customer".into(),
+                    var: "t1".into(),
+                }),
+                right: Arc::new(Alg::Scan {
+                    table: "customer".into(),
+                    var: "t2".into(),
+                }),
+                pred: pred.clone(),
+                hint: ThetaHint {
+                    left_key: CalcExpr::proj(CalcExpr::var("t1"), "nationkey"),
+                    right_key: CalcExpr::proj(CalcExpr::var("t2"), "nationkey"),
+                    kind: HintKind::LeftLessThanRight,
+                },
+            }),
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::record(vec![(
+                "l",
+                CalcExpr::proj(CalcExpr::var("t1"), crate::calculus::desugar::ROWID_FIELD),
+            )]),
+        });
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(
+            ctx,
+            EngineProfile::adaptive(),
+            &tables,
+            Arc::new(EvalCtx::new()),
+        );
+        ex.set_stats(stats_for(&tables));
+        ex.register_plans(std::slice::from_ref(&plan));
+        let out = ex.run_reduce(&plan).unwrap();
+        assert_eq!(out.len(), 9, "same pairs as the fixed profiles");
+        let theta = ex
+            .decisions
+            .iter()
+            .find(|d| d.operator == "theta")
+            .expect("theta decision");
+        // 5 rows × 5 rows = 25 pairs: under the small-work threshold, so the
+        // cost model must pick the overhead-free cartesian product.
+        assert_eq!(theta.strategy, "CartesianFilter", "{theta}");
+        assert!(theta.reason.contains("tiny input"), "{theta}");
+    }
+
+    #[test]
+    fn adaptive_theta_cost_model_picks_by_prunable_work() {
+        use crate::algebra::plan::{HintKind, ThetaHint};
+        // 300×300 rows = 90k pairs: above the tiny-input threshold, so the
+        // histogram cost model decides.
+        let mut tables = HashMap::new();
+        let rows: Vec<Value> = (0..300).map(|i| row(i, "a st", i % 100, "n")).collect();
+        tables.insert("customer".to_string(), Arc::new(rows));
+        let stats = stats_for(&tables);
+        let hint = |kind| ThetaHint {
+            left_key: CalcExpr::proj(CalcExpr::var("t1"), "nationkey"),
+            right_key: CalcExpr::proj(CalcExpr::var("t2"), "nationkey"),
+            kind,
+        };
+        let executor_with = |tables| {
+            let ctx = ExecContext::new(2, 4);
+            let mut ex = Executor::new(
+                ctx,
+                EngineProfile::adaptive(),
+                tables,
+                Arc::new(EvalCtx::new()),
+            );
+            ex.set_stats(stats.clone());
+            ex.scan_vars.insert("t1".into(), "customer".into());
+            ex.scan_vars.insert("t2".into(), "customer".into());
+            ex
+        };
+        let ex = executor_with(&tables);
+        // HintKind::Any: nothing is prunable (frac = 1.0) — paying M-Bucket
+        // setup buys zero saved comparisons, so cartesian wins.
+        let (s, bounds, reason) = ex.choose_theta(&hint(HintKind::Any), 300.0, 300.0);
+        assert_eq!(s, ThetaStrategy::CartesianFilter, "{reason}");
+        assert!(bounds.is_none());
+        assert!(reason.contains("prunable"), "{reason}");
+        // LeftLessThanRight on a uniform key: ~half the matrix is prunable,
+        // far more than the setup cost — M-Bucket with histogram bounds.
+        let (s, bounds, reason) = ex.choose_theta(&hint(HintKind::LeftLessThanRight), 300.0, 300.0);
+        assert_eq!(s, ThetaStrategy::MBucket, "{reason}");
+        assert!(bounds.is_some());
+    }
+
+    #[test]
+    fn adaptive_nest_prefers_hash_for_near_unique_composite_keys() {
+        // Composite key (address, __rowid): address is heavily skewed but
+        // __rowid is unique, so composite groups are singletons — the skew
+        // signal must not force a futile map-side combine.
+        let mut tables = HashMap::new();
+        let rows: Vec<Value> = (0..1000).map(|i| row(i, "main st", 1, "n")).collect();
+        tables.insert("customer".to_string(), Arc::new(rows));
+        let stats = stats_for(&tables);
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(
+            ctx,
+            EngineProfile::adaptive(),
+            &tables,
+            Arc::new(EvalCtx::new()),
+        );
+        ex.set_stats(stats);
+        ex.scan_vars.insert("c".into(), "customer".into());
+        let key = CalcExpr::record(vec![
+            ("a", CalcExpr::proj(CalcExpr::var("c"), "address")),
+            ("r", CalcExpr::proj(CalcExpr::var("c"), ROWID_FIELD)),
+        ]);
+        let (s, reason) = ex.choose_nest(&key, 1000.0);
+        assert_eq!(s, NestStrategy::HashShuffle, "{reason}");
+        assert!(reason.contains("nearly unique"), "{reason}");
+    }
+
+    #[test]
+    fn adaptive_without_stats_falls_back_to_profile_defaults() {
+        let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+        let q = parse_query(sql).unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let plan = lower_op(&dq.ops[0].comp).unwrap();
+        let tables = catalog();
+        let mut eval_ctx = EvalCtx::new();
+        eval_ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(ctx, EngineProfile::adaptive(), &tables, Arc::new(eval_ctx));
+        ex.register_plans(std::slice::from_ref(&plan));
+        let out = ex.run_reduce(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        let nest = ex.decisions.iter().find(|d| d.operator == "nest").unwrap();
+        assert!(nest.reason.contains("no column statistics"), "{nest}");
     }
 
     #[test]

@@ -11,5 +11,5 @@
 pub mod execute;
 pub mod profile;
 
-pub use execute::{Executor, PhaseTimings, RowEnv};
+pub use execute::{Executor, PhaseTimings, PlanDecision, RowEnv};
 pub use profile::{EngineProfile, NestStrategy, ThetaStrategy};

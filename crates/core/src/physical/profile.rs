@@ -27,7 +27,8 @@ pub enum ThetaStrategy {
 }
 
 /// A complete physical policy. Construct via [`EngineProfile::clean_db`],
-/// [`EngineProfile::spark_sql_like`], or [`EngineProfile::big_dansing_like`].
+/// [`EngineProfile::spark_sql_like`], [`EngineProfile::big_dansing_like`],
+/// or [`EngineProfile::adaptive`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineProfile {
     pub name: String,
@@ -43,6 +44,12 @@ pub struct EngineProfile {
     /// (§6), i.e. the filter stays above the product; BigDansing treats the
     /// DC as a black-box pairwise UDF.
     pub push_selective_filters: bool,
+    /// Cost-based mode: `nest`/`theta` above are only *defaults*, and the
+    /// executor re-decides the strategy per plan node from the session's
+    /// [`cleanm_stats::TableStats`] (group cardinality and skew for Nest,
+    /// histogram pair-pruning estimates for ThetaJoin). Decisions are
+    /// recorded per node in the report.
+    pub adaptive: bool,
 }
 
 impl EngineProfile {
@@ -54,6 +61,7 @@ impl EngineProfile {
             theta: ThetaStrategy::MBucket,
             share_plans: true,
             push_selective_filters: true,
+            adaptive: false,
         }
     }
 
@@ -65,6 +73,7 @@ impl EngineProfile {
             theta: ThetaStrategy::CartesianFilter,
             share_plans: false,
             push_selective_filters: false,
+            adaptive: false,
         }
     }
 
@@ -76,6 +85,23 @@ impl EngineProfile {
             theta: ThetaStrategy::MinMaxBlocks,
             share_plans: false,
             push_selective_filters: false,
+            adaptive: false,
+        }
+    }
+
+    /// Cost-based profile: all cross-operator rewrites on (like
+    /// [`EngineProfile::clean_db`]), but physical strategies are chosen per
+    /// node from collected table statistics instead of being fixed. The
+    /// `nest`/`theta` fields hold the fallback used when no statistics cover
+    /// a node (e.g. a grouping key that is not a simple column).
+    pub fn adaptive() -> Self {
+        EngineProfile {
+            name: "Adaptive".to_string(),
+            nest: NestStrategy::LocalAggregate,
+            theta: ThetaStrategy::MBucket,
+            share_plans: true,
+            push_selective_filters: true,
+            adaptive: true,
         }
     }
 }

@@ -39,8 +39,7 @@ pub fn select_best_repairs(repairs: &[Repair], metric: Metric) -> HashMap<String
     for r in repairs {
         let sim = metric.similarity(&r.term, &r.suggestion);
         match best.get(&r.term) {
-            Some((s, cand))
-                if *s > sim || (*s == sim && cand <= &r.suggestion) => {}
+            Some((s, cand)) if *s > sim || (*s == sim && cand <= &r.suggestion) => {}
             _ => {
                 best.insert(r.term.clone(), (sim, r.suggestion.clone()));
             }

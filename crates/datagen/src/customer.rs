@@ -218,10 +218,7 @@ mod tests {
 
     #[test]
     fn zipf_duplicates_are_skewed() {
-        let data = CustomerGen::new(3)
-            .rows(2000)
-            .max_duplicates(50)
-            .generate();
+        let data = CustomerGen::new(3).rows(2000).max_duplicates(50).generate();
         let sizes: Vec<usize> = data.duplicate_groups.iter().map(|g| g.len() - 1).collect();
         // Under Zipf(50, 1), k=1 is the single most likely duplicate count…
         let mut freq = std::collections::HashMap::new();
@@ -239,7 +236,10 @@ mod tests {
 
     #[test]
     fn fd_violations_recorded() {
-        let data = CustomerGen::new(4).rows(1000).fd_noise_fraction(0.05).generate();
+        let data = CustomerGen::new(4)
+            .rows(1000)
+            .fd_noise_fraction(0.05)
+            .generate();
         assert_eq!(data.fd_violating_addresses.len(), 50);
         // Each recorded address has >1 nationkey in the data.
         let mut by_addr: HashMap<&str, HashSet<i64>> = HashMap::new();

@@ -156,11 +156,8 @@ impl DblpGen {
 
         // Author-name noise on a fraction of all author occurrences.
         let occurrence_count: usize = authors.iter().map(|a| a.len()).sum();
-        let dirty_occurrences = pick_dirty_rows(
-            &mut rng,
-            occurrence_count,
-            self.author_noise_fraction,
-        );
+        let dirty_occurrences =
+            pick_dirty_rows(&mut rng, occurrence_count, self.author_noise_fraction);
         let mut corrupted = Vec::with_capacity(dirty_occurrences.len());
         {
             // Map flat occurrence index -> (row, position).
@@ -228,7 +225,10 @@ mod tests {
 
     #[test]
     fn base_generation_shape() {
-        let d = DblpGen::new(1).publications(200).dictionary_size(100).generate();
+        let d = DblpGen::new(1)
+            .publications(200)
+            .dictionary_size(100)
+            .generate();
         assert_eq!(d.table.len(), 200);
         d.table.validate().unwrap();
         assert_eq!(d.dictionary.len(), 100);
@@ -290,8 +290,14 @@ mod tests {
 
     #[test]
     fn scale_up_adds_permuted_titles() {
-        let base = DblpGen::new(5).publications(100).scale_up_factor(0.0).generate();
-        let scaled = DblpGen::new(5).publications(100).scale_up_factor(1.5).generate();
+        let base = DblpGen::new(5)
+            .publications(100)
+            .scale_up_factor(0.0)
+            .generate();
+        let scaled = DblpGen::new(5)
+            .publications(100)
+            .scale_up_factor(1.5)
+            .generate();
         assert_eq!(base.table.len(), 100);
         assert_eq!(scaled.table.len(), 250);
     }
@@ -328,8 +334,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = DblpGen::new(7).publications(100).duplicate_fraction(0.1).generate();
-        let b = DblpGen::new(7).publications(100).duplicate_fraction(0.1).generate();
+        let a = DblpGen::new(7)
+            .publications(100)
+            .duplicate_fraction(0.1)
+            .generate();
+        let b = DblpGen::new(7)
+            .publications(100)
+            .duplicate_fraction(0.1)
+            .generate();
         assert_eq!(a.table.rows, b.table.rows);
         assert_eq!(a.duplicate_groups, b.duplicate_groups);
     }

@@ -91,7 +91,12 @@ impl MagGen {
             .map(|_| names::person_name(&mut rng))
             .collect();
         let affiliations: Vec<String> = (0..(self.authors / 20).max(3))
-            .map(|_| format!("{} University", names::person_name(&mut rng).split(' ').next_back().unwrap()))
+            .map(|_| {
+                format!(
+                    "{} University",
+                    names::person_name(&mut rng).split(' ').next_back().unwrap()
+                )
+            })
             .collect();
 
         // Zipf over authors: author 1 publishes the most (real-world skew).
@@ -157,10 +162,7 @@ impl MagGen {
             .collect();
         let duplicate_groups = duplicate_groups
             .into_iter()
-            .map(|g| {
-                g.into_iter()
-                    .collect::<Vec<_>>()
-            })
+            .map(|g| g.into_iter().collect::<Vec<_>>())
             .collect::<Vec<_>>();
         // Re-map from original indices to shuffled positions using paperid:
         // original index i had paperid i for base rows; duplicates got fresh
@@ -213,7 +215,10 @@ mod tests {
 
     #[test]
     fn duplicate_groups_describe_same_publication() {
-        let d = MagGen::new(3).papers(1000).duplicate_fraction(0.2).generate();
+        let d = MagGen::new(3)
+            .papers(1000)
+            .duplicate_fraction(0.2)
+            .generate();
         assert_eq!(d.duplicate_groups.len(), 200);
         for g in &d.duplicate_groups {
             let a = &d.table.rows[g[0]];
@@ -239,7 +244,10 @@ mod tests {
 
     #[test]
     fn some_duplicates_have_missing_fields() {
-        let d = MagGen::new(5).papers(2000).duplicate_fraction(0.2).generate();
+        let d = MagGen::new(5)
+            .papers(2000)
+            .duplicate_fraction(0.2)
+            .generate();
         let nulls = d
             .table
             .rows

@@ -9,19 +9,44 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const FIRST_SYL: &[&str] = &[
-    "an", "bel", "car", "dan", "el", "fei", "gus", "hai", "in", "jor", "kat", "len", "mar",
-    "nor", "ol", "pet", "qi", "ros", "sam", "tan", "ul", "vic", "wen", "xia", "yan", "zor",
+    "an", "bel", "car", "dan", "el", "fei", "gus", "hai", "in", "jor", "kat", "len", "mar", "nor",
+    "ol", "pet", "qi", "ros", "sam", "tan", "ul", "vic", "wen", "xia", "yan", "zor",
 ];
 const LAST_SYL: &[&str] = &[
-    "berg", "chen", "dorf", "ev", "feld", "gard", "hoff", "idis", "jans", "kov", "lund",
-    "mann", "nov", "opol", "pou", "quist", "rath", "son", "stein", "tov", "ulos", "vich",
-    "wald", "xu", "yama", "zadeh",
+    "berg", "chen", "dorf", "ev", "feld", "gard", "hoff", "idis", "jans", "kov", "lund", "mann",
+    "nov", "opol", "pou", "quist", "rath", "son", "stein", "tov", "ulos", "vich", "wald", "xu",
+    "yama", "zadeh",
 ];
 const TITLE_WORDS: &[&str] = &[
-    "adaptive", "analysis", "approach", "data", "distributed", "efficient", "engine",
-    "evaluation", "fast", "framework", "graph", "incremental", "indexing", "join", "language",
-    "learning", "management", "model", "optimization", "parallel", "processing", "query",
-    "scalable", "scaleout", "stream", "system", "towards", "transactional", "unified",
+    "adaptive",
+    "analysis",
+    "approach",
+    "data",
+    "distributed",
+    "efficient",
+    "engine",
+    "evaluation",
+    "fast",
+    "framework",
+    "graph",
+    "incremental",
+    "indexing",
+    "join",
+    "language",
+    "learning",
+    "management",
+    "model",
+    "optimization",
+    "parallel",
+    "processing",
+    "query",
+    "scalable",
+    "scaleout",
+    "stream",
+    "system",
+    "towards",
+    "transactional",
+    "unified",
     "workload",
 ];
 const JOURNALS: &[&str] = &[

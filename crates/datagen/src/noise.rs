@@ -17,8 +17,8 @@ enum EditOp {
 }
 
 const ALPHABET: &[char] = &[
-    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
-    's', 't', 'u', 'v', 'w', 'x', 'y', 'z',
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r', 's',
+    't', 'u', 'v', 'w', 'x', 'y', 'z',
 ];
 
 /// Corrupt `s` so that roughly `edit_rate` of its characters are touched
@@ -62,7 +62,26 @@ pub fn corrupt(rng: &mut StdRng, s: &str, edit_rate: f64) -> String {
             }
         }
     }
+    // Edits can cancel out (a substitute may redraw the same character, two
+    // transposes may undo each other); force a real change in that case so
+    // the "at least one edit" guarantee holds.
+    if out == chars_of(s) {
+        if out.is_empty() {
+            out.push(ALPHABET[rng.gen_range(0..ALPHABET.len())]);
+        } else {
+            let old = out[0];
+            out[0] = ALPHABET
+                .iter()
+                .copied()
+                .find(|&c| c != old)
+                .expect("alphabet has more than one letter");
+        }
+    }
     out.into_iter().collect()
+}
+
+fn chars_of(s: &str) -> Vec<char> {
+    s.chars().collect()
 }
 
 /// Decide which row indices get corrupted: a deterministic sample of

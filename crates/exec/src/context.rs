@@ -158,7 +158,10 @@ mod tests {
         ctx.consume_budget("t", 60).unwrap();
         ctx.consume_budget("t", 40).unwrap();
         let err = ctx.consume_budget("t", 1).unwrap_err();
-        assert!(matches!(err, ExecError::BudgetExceeded { remaining: 0, .. }));
+        assert!(matches!(
+            err,
+            ExecError::BudgetExceeded { remaining: 0, .. }
+        ));
     }
 
     #[test]

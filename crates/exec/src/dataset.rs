@@ -116,10 +116,7 @@ impl<T: Data> Dataset<T> {
     /// One-to-many transform (narrow) — Spark's `flatMap`, the physical
     /// translation of the algebra's Unnest. Per-worker busy time is
     /// recorded (unnesting a skewed group layout is where stragglers form).
-    pub fn flat_map<U: Data>(
-        self,
-        f: impl Fn(T) -> Vec<U> + Sync,
-    ) -> Dataset<U> {
+    pub fn flat_map<U: Data>(self, f: impl Fn(T) -> Vec<U> + Sync) -> Dataset<U> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
@@ -137,10 +134,7 @@ impl<T: Data> Dataset<T> {
     /// Whole-partition transform (narrow) — Spark's `mapPartitions`, used by
     /// the Nest translation to apply per-group output/filter functions after
     /// the shuffle.
-    pub fn map_partitions<U: Data>(
-        self,
-        f: impl Fn(Vec<T>) -> Vec<U> + Sync,
-    ) -> Dataset<U> {
+    pub fn map_partitions<U: Data>(self, f: impl Fn(Vec<T>) -> Vec<U> + Sync) -> Dataset<U> {
         let ctx = self.ctx;
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| f(part));
         let records_in: u64 = parts.iter().map(|p| p.len() as u64).sum();
@@ -153,6 +147,26 @@ impl<T: Data> Dataset<T> {
         Dataset { ctx, parts }
     }
 
+    /// One-pass per-partition summarization: apply `f` to each whole
+    /// partition in parallel and return one summary per partition, in
+    /// partition order. This is the statistics-collection hook: a mergeable
+    /// summary (a monoid) is computed where the data sits and only the
+    /// per-partition partials travel to the driver, so the pass is charged
+    /// one shuffled record per partition — nothing else moves.
+    pub fn summarize_partitions<A: Data>(&self, f: impl Fn(&[T]) -> A + Sync) -> Vec<A> {
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
+        let (partials, busy) = run_partitions(&self.ctx, refs, |_, part| f(part));
+        self.ctx.charge_shuffle(partials.len() as u64);
+        self.ctx.metrics().push_stage(StageReport {
+            operator: "summarize_partitions",
+            records_in,
+            records_shuffled: partials.len() as u64,
+            worker_busy_ns: busy,
+        });
+        partials
+    }
+
     /// Concatenate two datasets (narrow; partitions are appended).
     pub fn union(mut self, other: Dataset<T>) -> Dataset<T> {
         assert!(
@@ -161,6 +175,61 @@ impl<T: Data> Dataset<T> {
         );
         self.parts.extend(other.parts);
         self
+    }
+}
+
+/// [`Dataset::summarize_partitions`] over *borrowed* rows: chunks `rows`
+/// into the context's default partition count in place (same contiguous
+/// layout as [`Dataset::from_vec`]) and folds each chunk in parallel —
+/// zero copies of the data, same stage accounting. This is the entry point
+/// for statistics collection over rows already materialized elsewhere
+/// (e.g. a session catalog holding `Arc<Vec<Value>>`).
+pub fn summarize_rows<T: Sync, A: Data>(
+    ctx: &Arc<ExecContext>,
+    rows: &[T],
+    f: impl Fn(&[T]) -> A + Sync,
+) -> Vec<A> {
+    let p = ctx.default_partitions();
+    let chunk = rows.len().div_ceil(p).max(1);
+    let mut refs: Vec<&[T]> = rows.chunks(chunk).collect();
+    while refs.len() < p {
+        refs.push(&[]);
+    }
+    let (partials, busy) = run_partitions(ctx, refs, |_, part| f(part));
+    ctx.charge_shuffle(partials.len() as u64);
+    ctx.metrics().push_stage(StageReport {
+        operator: "summarize_partitions",
+        records_in: rows.len() as u64,
+        records_shuffled: partials.len() as u64,
+        worker_busy_ns: busy,
+    });
+    partials
+}
+
+#[cfg(test)]
+mod summarize_rows_tests {
+    use super::*;
+
+    #[test]
+    fn borrowed_summaries_match_dataset_path() {
+        let ctx = ExecContext::new(4, 8);
+        let rows: Vec<u64> = (0..1000).collect();
+        let partials = summarize_rows(&ctx, &rows, |part| part.iter().sum::<u64>());
+        assert_eq!(partials.len(), 8);
+        assert_eq!(partials.iter().sum::<u64>(), 999 * 1000 / 2);
+        let stage = ctx.metrics().snapshot().stages.pop().unwrap();
+        assert_eq!(stage.operator, "summarize_partitions");
+        assert_eq!(stage.records_in, 1000);
+        assert_eq!(stage.records_shuffled, 8);
+    }
+
+    #[test]
+    fn empty_rows_still_yield_one_partial_per_partition() {
+        let ctx = ExecContext::new(2, 4);
+        let rows: Vec<u64> = vec![];
+        let partials = summarize_rows(&ctx, &rows, |part| part.len());
+        assert_eq!(partials.len(), 4);
+        assert!(partials.iter().all(|&n| n == 0));
     }
 }
 

@@ -62,10 +62,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
     }
 
     /// Hash left outer equi-join: unmatched left rows appear with `None`.
-    pub fn left_outer_join<W: Data>(
-        self,
-        right: Dataset<(K, W)>,
-    ) -> Dataset<(K, V, Option<W>)> {
+    pub fn left_outer_join<W: Data>(self, right: Dataset<(K, W)>) -> Dataset<(K, V, Option<W>)> {
         let (l, r) = co_partition(self, right);
         let ctx = l.ctx.clone();
         let zipped: ZippedParts<K, V, W> = l.parts.into_iter().zip(r.parts).collect();

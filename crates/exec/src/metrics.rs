@@ -25,7 +25,12 @@ impl StageReport {
     /// Load imbalance: max worker busy time over mean busy time. 1.0 is
     /// perfectly balanced; large values mean one straggler dominated.
     pub fn imbalance(&self) -> f64 {
-        let busy: Vec<u64> = self.worker_busy_ns.iter().copied().filter(|&b| b > 0).collect();
+        let busy: Vec<u64> = self
+            .worker_busy_ns
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
         if busy.is_empty() {
             return 1.0;
         }

@@ -31,8 +31,7 @@ where
     let n = parts.len();
     let workers = ctx.workers().min(n.max(1));
     // Move partitions into claimable slots.
-    let slots: Vec<Mutex<Option<P>>> =
-        parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let slots: Vec<Mutex<Option<P>>> = parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let busy: Vec<Mutex<u64>> = (0..workers).map(|_| Mutex::new(0)).collect();
@@ -48,14 +47,14 @@ where
             *busy[0].lock() = start.elapsed().as_nanos() as u64;
         }
     } else {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for w in 0..workers {
                 let slots = &slots;
                 let results = &results;
                 let next = &next;
                 let busy = &busy;
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local_busy = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -71,8 +70,7 @@ where
                     *busy[w].lock() = local_busy;
                 });
             }
-        })
-        .expect("worker panicked");
+        });
     }
 
     let out: Vec<R> = results
@@ -120,7 +118,9 @@ mod tests {
         parts[0] = vec![1u64; 200_000];
         let (_, busy) = run_partitions(&ctx, parts, |_, p| {
             // Busy-ish loop proportional to partition size.
-            p.iter().map(|x| x.wrapping_mul(31).wrapping_add(7)).sum::<u64>()
+            p.iter()
+                .map(|x| x.wrapping_mul(31).wrapping_add(7))
+                .sum::<u64>()
         });
         let max = *busy.iter().max().unwrap();
         let min = *busy.iter().filter(|&&b| b > 0).min().unwrap_or(&max);

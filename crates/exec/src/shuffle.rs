@@ -117,9 +117,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             .filter_map(|i| sample.get(i * sample.len() / n).cloned())
             .collect();
 
-        let shuffled = scatter(self.parts, n, |(k, _)| {
-            bounds.partition_point(|b| b <= k)
-        });
+        let shuffled = scatter(self.parts, n, |(k, _)| bounds.partition_point(|b| b <= k));
         let (parts, busy) = run_partitions(&ctx, shuffled, |_, mut part| {
             // External-sort stand-in: in-memory sort of the whole partition.
             part.sort_by(|(a, _), (b, _)| a.cmp(b));
@@ -265,7 +263,9 @@ mod tests {
         let data: Vec<(u32, u64)> = (0..10_000).map(|i| (i % 10, 1u64)).collect();
 
         let c1 = ExecContext::new(4, 4);
-        let _ = Dataset::from_vec(&c1, data.clone()).group_by_key_hash().collect();
+        let _ = Dataset::from_vec(&c1, data.clone())
+            .group_by_key_hash()
+            .collect();
         let hash_shuffled = c1.metrics().snapshot().records_shuffled;
 
         let c2 = ExecContext::new(4, 4);
@@ -303,14 +303,13 @@ mod tests {
         let heavy_part_size = grouped
             .parts
             .iter()
-            .map(|p| {
-                p.iter()
-                    .map(|(_, vs)| vs.len())
-                    .sum::<usize>()
-            })
+            .map(|p| p.iter().map(|(_, vs)| vs.len()).sum::<usize>())
             .max()
             .unwrap();
-        assert!(heavy_part_size >= 900, "heavy key must stay whole: {heavy_part_size}");
+        assert!(
+            heavy_part_size >= 900,
+            "heavy key must stay whole: {heavy_part_size}"
+        );
     }
 
     #[test]

@@ -250,7 +250,9 @@ pub fn decode(bytes: Bytes) -> Result<Table> {
     }
     let version = r.u8()?;
     if version != VERSION {
-        return Err(Error::Parse(format!("unsupported colbin version {version}")));
+        return Err(Error::Parse(format!(
+            "unsupported colbin version {version}"
+        )));
     }
     let schema = decode_schema(&mut r)?;
     let row_count = r.u64()? as usize;
@@ -335,9 +337,9 @@ fn decode_column(r: &mut Reader, rows: usize, dtype: &DataType) -> Result<Vec<Va
             }
             for _ in 0..present_count {
                 let code = r.u32()? as usize;
-                let s = dict.get(code).ok_or_else(|| {
-                    Error::Parse(format!("dictionary code {code} out of range"))
-                })?;
+                let s = dict
+                    .get(code)
+                    .ok_or_else(|| Error::Parse(format!("dictionary code {code} out of range")))?;
                 present.push(Value::Str(Arc::clone(s)));
             }
         }
@@ -355,9 +357,10 @@ fn decode_column(r: &mut Reader, rows: usize, dtype: &DataType) -> Result<Vec<Va
     let mut it = present.into_iter();
     for i in 0..rows {
         if is_present(i) {
-            out.push(it.next().ok_or_else(|| {
-                Error::Parse("column shorter than bitmap".to_string())
-            })?);
+            out.push(
+                it.next()
+                    .ok_or_else(|| Error::Parse("column shorter than bitmap".to_string()))?,
+            );
         } else {
             out.push(Value::Null);
         }

@@ -49,9 +49,7 @@ pub fn parse_records(text: &str, delimiter: char) -> Result<Vec<Vec<String>>> {
                     if field.is_empty() {
                         in_quotes = true;
                     } else {
-                        return Err(Error::Parse(
-                            "quote inside unquoted field".to_string(),
-                        ));
+                        return Err(Error::Parse("quote inside unquoted field".to_string()));
                     }
                 }
                 '\r' => {
@@ -86,8 +84,7 @@ pub fn read_str(text: &str, schema: &Schema, options: &CsvOptions) -> Result<Tab
     if options.has_header {
         match records.next() {
             Some(header) => {
-                let expected: Vec<&str> =
-                    schema.fields().iter().map(|f| f.name.as_str()).collect();
+                let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
                 let got: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
                 if expected != got {
                     return Err(Error::Parse(format!(
@@ -146,8 +143,10 @@ pub fn write_str(table: &Table, options: &CsvOptions) -> String {
 }
 
 fn write_cell(out: &mut String, cell: &str, delimiter: char) {
-    let needs_quotes =
-        cell.contains(delimiter) || cell.contains('"') || cell.contains('\n') || cell.contains('\r');
+    let needs_quotes = cell.contains(delimiter)
+        || cell.contains('"')
+        || cell.contains('\n')
+        || cell.contains('\r');
     if needs_quotes {
         out.push('"');
         for c in cell.chars() {

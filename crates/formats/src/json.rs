@@ -86,7 +86,10 @@ impl<'a> Parser<'a> {
             self.pos += kw.len();
             Ok(value)
         } else {
-            Err(Error::Parse(format!("invalid keyword at byte {}", self.pos)))
+            Err(Error::Parse(format!(
+                "invalid keyword at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -191,9 +194,8 @@ impl<'a> Parser<'a> {
                                 if self.text[self.pos..].starts_with("\\u") {
                                     self.pos += 2;
                                     let low = self.parse_hex4()?;
-                                    let combined = 0x10000
-                                        + ((code - 0xD800) << 10)
-                                        + (low - 0xDC00);
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                     char::from_u32(combined)
                                 } else {
                                     None
@@ -230,8 +232,7 @@ impl<'a> Parser<'a> {
         }
         let hex = &self.text[self.pos..self.pos + 4];
         self.pos += 4;
-        u32::from_str_radix(hex, 16)
-            .map_err(|_| Error::Parse(format!("invalid hex `{hex}`")))
+        u32::from_str_radix(hex, 16).map_err(|_| Error::Parse(format!("invalid hex `{hex}`")))
     }
 
     fn parse_number(&mut self) -> Result<Value> {
@@ -428,10 +429,7 @@ mod tests {
 
     #[test]
     fn parse_escapes_and_unicode() {
-        assert_eq!(
-            parse(r#""a\n\"b\"é""#).unwrap(),
-            Value::str("a\n\"b\"é")
-        );
+        assert_eq!(parse(r#""a\n\"b\"é""#).unwrap(), Value::str("a\n\"b\"é"));
         // Surrogate pair: U+1F600
         assert_eq!(parse(r#""😀""#).unwrap(), Value::str("😀"));
     }

@@ -87,10 +87,7 @@ impl<'a> XmlParser<'a> {
 
     fn parse_element(&mut self) -> Result<Element> {
         if self.bytes.get(self.pos) != Some(&b'<') {
-            return Err(Error::Parse(format!(
-                "expected `<` at byte {}",
-                self.pos
-            )));
+            return Err(Error::Parse(format!("expected `<` at byte {}", self.pos)));
         }
         self.pos += 1;
         let tag = self.parse_name()?;
@@ -131,9 +128,7 @@ impl<'a> XmlParser<'a> {
                     let quote = match self.bytes.get(self.pos) {
                         Some(&q @ (b'"' | b'\'')) => q,
                         _ => {
-                            return Err(Error::Parse(
-                                "attribute value must be quoted".to_string(),
-                            ))
+                            return Err(Error::Parse("attribute value must be quoted".to_string()))
                         }
                     };
                     self.pos += 1;
@@ -148,9 +143,7 @@ impl<'a> XmlParser<'a> {
                     self.pos += 1;
                     attributes.push((name, unescape(raw)?));
                 }
-                None => {
-                    return Err(Error::Parse("unexpected end inside tag".to_string()))
-                }
+                None => return Err(Error::Parse("unexpected end inside tag".to_string())),
             }
         }
 
@@ -163,9 +156,9 @@ impl<'a> XmlParser<'a> {
                 return Err(Error::Parse(format!("unclosed element `{tag}`")));
             }
             if let Some(stripped) = rest.strip_prefix("</") {
-                let end = stripped.find('>').ok_or_else(|| {
-                    Error::Parse("malformed closing tag".to_string())
-                })?;
+                let end = stripped
+                    .find('>')
+                    .ok_or_else(|| Error::Parse("malformed closing tag".to_string()))?;
                 let closing = stripped[..end].trim();
                 if closing != tag {
                     return Err(Error::Parse(format!(
@@ -240,17 +233,19 @@ fn unescape(s: &str) -> Result<String> {
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
                 let code = u32::from_str_radix(&entity[2..], 16)
                     .map_err(|_| Error::Parse(format!("bad entity `&{entity};`")))?;
-                out.push(char::from_u32(code).ok_or_else(|| {
-                    Error::Parse(format!("bad codepoint in `&{entity};`"))
-                })?);
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::Parse(format!("bad codepoint in `&{entity};`")))?,
+                );
             }
             _ if entity.starts_with('#') => {
                 let code = entity[1..]
                     .parse::<u32>()
                     .map_err(|_| Error::Parse(format!("bad entity `&{entity};`")))?;
-                out.push(char::from_u32(code).ok_or_else(|| {
-                    Error::Parse(format!("bad codepoint in `&{entity};`"))
-                })?);
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| Error::Parse(format!("bad codepoint in `&{entity};`")))?,
+                );
             }
             _ => return Err(Error::Parse(format!("unknown entity `&{entity};`"))),
         }
@@ -411,8 +406,7 @@ mod tests {
 
     #[test]
     fn parse_nested_and_attributes() {
-        let el = parse(r#"<pub key="42"><title>X &amp; Y</title><year>2017</year></pub>"#)
-            .unwrap();
+        let el = parse(r#"<pub key="42"><title>X &amp; Y</title><year>2017</year></pub>"#).unwrap();
         assert_eq!(el.attributes, vec![("key".to_string(), "42".to_string())]);
         assert_eq!(el.children.len(), 2);
         assert_eq!(el.children[0].text, "X & Y");
@@ -443,8 +437,7 @@ mod tests {
 
     #[test]
     fn repeated_children_become_lists() {
-        let el =
-            parse("<pub><author>A</author><author>B</author><title>T</title></pub>").unwrap();
+        let el = parse("<pub><author>A</author><author>B</author><title>T</title></pub>").unwrap();
         let v = element_to_value(&el);
         assert_eq!(
             v.field("author").unwrap(),

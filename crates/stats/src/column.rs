@@ -1,0 +1,222 @@
+//! Per-column statistics: the product monoid of all the sketches.
+
+use cleanm_values::Value;
+
+use crate::heavy::HeavyHitters;
+use crate::histogram::EquiDepthHistogram;
+use crate::hll::Hll;
+use crate::reservoir::Reservoir;
+use crate::StatsConfig;
+
+/// Streaming summary of one column. Every part is mergeable, so
+/// `ColumnStats` itself is: `merge(stats(A), stats(B))` describes `A ∪ B`.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    config: StatsConfig,
+    /// Total observations, including nulls.
+    count: u64,
+    nulls: u64,
+    /// Observations with a numeric (int/float) value.
+    numeric: u64,
+    min: Option<Value>,
+    max: Option<Value>,
+    distinct: Hll,
+    sample: Reservoir<f64>,
+    heavy: HeavyHitters<Value>,
+}
+
+impl ColumnStats {
+    pub fn new(config: StatsConfig) -> Self {
+        ColumnStats {
+            config,
+            count: 0,
+            nulls: 0,
+            numeric: 0,
+            min: None,
+            max: None,
+            distinct: Hll::new(config.hll_precision),
+            sample: Reservoir::new(config.sample_capacity),
+            heavy: HeavyHitters::new(config.heavy_capacity),
+        }
+    }
+
+    /// Fold one value into the summary.
+    pub fn observe(&mut self, v: &Value) {
+        self.count += 1;
+        if v.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        match &self.min {
+            Some(m) if v >= m => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v <= m => {}
+            _ => self.max = Some(v.clone()),
+        }
+        self.distinct.observe(v);
+        self.heavy.observe(v);
+        if let Ok(x) = v.as_float() {
+            self.numeric += 1;
+            self.sample.observe(x);
+        }
+    }
+
+    /// Monoid merge. Panics on mismatched configuration.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.config, other.config, "mismatched stats configs");
+        self.count += other.count;
+        self.nulls += other.nulls;
+        self.numeric += other.numeric;
+        if let Some(om) = &other.min {
+            match &self.min {
+                Some(m) if m <= om => {}
+                _ => self.min = Some(om.clone()),
+            }
+        }
+        if let Some(om) = &other.max {
+            match &self.max {
+                Some(m) if m >= om => {}
+                _ => self.max = Some(om.clone()),
+            }
+        }
+        self.distinct.merge(&other.distinct);
+        self.sample.merge(&other.sample);
+        self.heavy.merge(&other.heavy);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn nulls(&self) -> u64 {
+        self.nulls
+    }
+
+    pub fn null_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.count as f64
+        }
+    }
+
+    /// Is the column (mostly) numeric? Histograms only exist for these.
+    pub fn is_numeric(&self) -> bool {
+        let non_null = self.count - self.nulls;
+        non_null > 0 && self.numeric * 2 > non_null
+    }
+
+    pub fn min(&self) -> Option<&Value> {
+        self.min.as_ref()
+    }
+
+    pub fn max(&self) -> Option<&Value> {
+        self.max.as_ref()
+    }
+
+    /// Estimated distinct-value count (HyperLogLog).
+    pub fn distinct_estimate(&self) -> f64 {
+        self.distinct.estimate()
+    }
+
+    /// Upper bound on the share of rows held by the most frequent value —
+    /// the skew signal. 0.0 for an empty column.
+    pub fn top_share(&self) -> f64 {
+        self.heavy.top_share_upper_bound()
+    }
+
+    /// Guaranteed (lower-bound) share of the most frequent value.
+    pub fn top_share_lower_bound(&self) -> f64 {
+        self.heavy.top_share_lower_bound()
+    }
+
+    /// Heavy-hitter candidates, heaviest first (lower-bound counts).
+    pub fn heavy_hitters(&self) -> Vec<(Value, u64)> {
+        self.heavy.candidates()
+    }
+
+    /// Cut an equi-depth histogram at the configured resolution from the
+    /// numeric sample. `None` when the column has no numeric values.
+    pub fn histogram(&self) -> Option<EquiDepthHistogram> {
+        self.histogram_with(self.config.histogram_buckets)
+    }
+
+    /// Cut an equi-depth histogram with an explicit bucket count.
+    pub fn histogram_with(&self, buckets: usize) -> Option<EquiDepthHistogram> {
+        if !self.is_numeric() {
+            return None;
+        }
+        EquiDepthHistogram::from_sample(self.sample.items(), buckets, self.sample.seen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_min_max_nulls_exactly() {
+        let mut c = ColumnStats::new(StatsConfig::default());
+        for i in 0..100 {
+            c.observe(&Value::Int(i));
+        }
+        c.observe(&Value::Null);
+        assert_eq!(c.count(), 101);
+        assert_eq!(c.nulls(), 1);
+        assert_eq!(c.min(), Some(&Value::Int(0)));
+        assert_eq!(c.max(), Some(&Value::Int(99)));
+        assert!((c.null_fraction() - 1.0 / 101.0).abs() < 1e-12);
+        assert!(c.is_numeric());
+        let d = c.distinct_estimate();
+        assert!((d - 100.0).abs() < 10.0, "{d}");
+    }
+
+    #[test]
+    fn string_columns_have_no_histogram() {
+        let mut c = ColumnStats::new(StatsConfig::default());
+        c.observe(&Value::str("a"));
+        c.observe(&Value::str("b"));
+        assert!(!c.is_numeric());
+        assert!(c.histogram().is_none());
+        assert_eq!(c.min(), Some(&Value::str("a")));
+    }
+
+    #[test]
+    fn merge_matches_single_pass_on_exact_parts() {
+        let mut a = ColumnStats::new(StatsConfig::default());
+        let mut b = ColumnStats::new(StatsConfig::default());
+        let mut whole = ColumnStats::new(StatsConfig::default());
+        for i in 0..1000i64 {
+            let v = if i % 50 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 123)
+            };
+            if i < 500 {
+                a.observe(&v);
+            } else {
+                b.observe(&v);
+            }
+            whole.observe(&v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.nulls(), whole.nulls());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        // HLL merge is exact at the register level.
+        assert_eq!(a.distinct_estimate(), whole.distinct_estimate());
+    }
+
+    #[test]
+    fn skew_is_visible_in_top_share() {
+        let mut c = ColumnStats::new(StatsConfig::default());
+        for i in 0..1000i64 {
+            c.observe(&Value::Int(if i % 5 != 0 { 7 } else { i }));
+        }
+        assert!(c.top_share() > 0.5, "{}", c.top_share());
+        assert!(c.top_share_lower_bound() > 0.5);
+    }
+}

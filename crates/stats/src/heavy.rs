@@ -1,0 +1,179 @@
+//! Misra–Gries heavy hitters: which keys dominate a column.
+//!
+//! The planner uses this for skew detection: a grouping key whose top value
+//! covers a large share of the rows will overload one worker under a
+//! sort/range shuffle (the §8 pathology), so the planner steers to
+//! local aggregation instead.
+//!
+//! Merge law: counter maps are summed, then re-truncated to capacity by
+//! subtracting the (k+1)-th largest count — the standard mergeable-summaries
+//! construction. Counts are *lower bounds*; [`HeavyHitters::error_bound`]
+//! bounds the undercount, so `count ≤ true frequency ≤ count + error_bound`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A Misra–Gries summary over keys of type `K`.
+#[derive(Debug, Clone)]
+pub struct HeavyHitters<K: Eq + Hash + Clone> {
+    capacity: usize,
+    counters: HashMap<K, u64>,
+    /// Total observations folded in.
+    total: u64,
+    /// Accumulated decrement per surviving counter (undercount bound).
+    err: u64,
+}
+
+impl<K: Eq + Hash + Clone> HeavyHitters<K> {
+    /// An empty summary holding at most `capacity` counters.
+    pub fn new(capacity: usize) -> Self {
+        HeavyHitters {
+            capacity: capacity.max(1),
+            counters: HashMap::new(),
+            total: 0,
+            err: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Undercount bound: every key's true frequency is at most
+    /// `count + error_bound()`.
+    pub fn error_bound(&self) -> u64 {
+        self.err
+    }
+
+    /// Record one observation of `key`.
+    pub fn observe(&mut self, key: &K) {
+        self.total += 1;
+        if let Some(c) = self.counters.get_mut(key) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key.clone(), 1);
+            return;
+        }
+        // Decrement-all step: every counter loses one; zeros are evicted.
+        self.err += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Monoid merge: sum counters, then truncate back to capacity.
+    pub fn merge(&mut self, other: &Self) {
+        self.total += other.total;
+        self.err += other.err;
+        for (k, c) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += *c;
+        }
+        if self.counters.len() > self.capacity {
+            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let cut = counts[self.capacity]; // (k+1)-th largest
+            self.err += cut;
+            self.counters.retain(|_, c| {
+                *c = c.saturating_sub(cut);
+                *c > 0
+            });
+        }
+    }
+
+    /// Surviving (key, lower-bound count) pairs, heaviest first.
+    pub fn candidates(&self) -> Vec<(K, u64)> {
+        let mut out: Vec<(K, u64)> = self.counters.iter().map(|(k, c)| (k.clone(), *c)).collect();
+        out.sort_unstable_by_key(|c| std::cmp::Reverse(c.1));
+        out
+    }
+
+    /// Upper bound on the share of observations held by the single most
+    /// frequent key: `(top_count + err) / total`. 0.0 when empty.
+    pub fn top_share_upper_bound(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top = self.counters.values().copied().max().unwrap_or(0);
+        ((top + self.err) as f64 / self.total as f64).min(1.0)
+    }
+
+    /// Lower bound on the top key's share (guaranteed skew). 0.0 when empty.
+    pub fn top_share_lower_bound(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let top = self.counters.values().copied().max().unwrap_or(0);
+        top as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_dominant_key() {
+        let mut hh = HeavyHitters::new(4);
+        for i in 0..1_000u32 {
+            let k = if i % 10 != 0 { 42 } else { i };
+            hh.observe(&k);
+        }
+        let top = hh.candidates();
+        assert_eq!(top[0].0, 42);
+        assert!(hh.top_share_lower_bound() > 0.5);
+        assert!(hh.top_share_upper_bound() <= 1.0);
+    }
+
+    #[test]
+    fn counts_are_lower_bounds_within_error() {
+        let mut hh = HeavyHitters::new(8);
+        for i in 0..10_000u32 {
+            hh.observe(&(i % 100)); // uniform: every key 100 times
+        }
+        for (_, c) in hh.candidates() {
+            assert!(c <= 100);
+            assert!(c + hh.error_bound() >= 100);
+        }
+    }
+
+    #[test]
+    fn merge_preserves_bounds() {
+        let mut a = HeavyHitters::new(4);
+        let mut b = HeavyHitters::new(4);
+        let mut whole = HeavyHitters::new(4);
+        for i in 0..2_000u32 {
+            let k = if i % 4 == 0 { 7 } else { i % 37 };
+            if i < 1_000 {
+                a.observe(&k);
+            } else {
+                b.observe(&k);
+            }
+            whole.observe(&k);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), whole.total());
+        // True frequency of key 7 is 500; merged bound must cover it.
+        let c7 = a
+            .candidates()
+            .into_iter()
+            .find(|(k, _)| *k == 7)
+            .map(|(_, c)| c)
+            .unwrap_or(0);
+        assert!(c7 <= 500);
+        assert!(c7 + a.error_bound() >= 500);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let hh: HeavyHitters<u32> = HeavyHitters::new(4);
+        assert_eq!(hh.top_share_upper_bound(), 0.0);
+        assert!(hh.candidates().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! HyperLogLog distinct-count sketch.
+//!
+//! Merge law: registers are combined by pairwise `max`, which is
+//! associative, commutative, and idempotent — so
+//! `merge(hll(A), hll(B)) == hll(A ∪ B)` holds *exactly* at the register
+//! level (not just in expectation), and the estimate of a merged sketch is
+//! identical to the estimate of a single-pass sketch over the union.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// A HyperLogLog sketch with `2^precision` one-byte registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hll {
+    precision: u8,
+    registers: Vec<u8>,
+}
+
+/// Deterministic 64-bit hash (std `DefaultHasher` with its fixed keys).
+fn hash64<T: Hash>(v: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl Hll {
+    /// An empty sketch. `precision` is clamped to 4..=16.
+    pub fn new(precision: u8) -> Self {
+        let p = precision.clamp(4, 16);
+        Hll {
+            precision: p,
+            registers: vec![0u8; 1 << p],
+        }
+    }
+
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Record one observation.
+    pub fn observe<T: Hash>(&mut self, value: &T) {
+        self.observe_hash(hash64(value));
+    }
+
+    /// Record a pre-hashed observation.
+    pub fn observe_hash(&mut self, h: u64) {
+        let p = self.precision as u32;
+        let idx = (h >> (64 - p)) as usize;
+        // Rank of the first set bit in the remaining 64-p bits (1-based).
+        let rest = h << p;
+        let rank = if rest == 0 {
+            (64 - p + 1) as u8
+        } else {
+            (rest.leading_zeros() + 1) as u8
+        };
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Monoid merge: register-wise max. Panics on mismatched precision.
+    pub fn merge(&mut self, other: &Hll) {
+        assert_eq!(
+            self.precision, other.precision,
+            "cannot merge HLL sketches of different precision"
+        );
+        for (r, o) in self.registers.iter_mut().zip(&other.registers) {
+            if *o > *r {
+                *r = *o;
+            }
+        }
+    }
+
+    /// Estimated distinct count, with linear-counting correction for the
+    /// small-cardinality regime.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            n => 0.7213 / (1.0 + 1.079 / n as f64),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+        if raw <= 2.5 * m && zeros > 0 {
+            m * (m / zeros as f64).ln()
+        } else {
+            raw
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimates_zero() {
+        assert_eq!(Hll::new(12).estimate(), 0.0);
+    }
+
+    #[test]
+    fn estimate_within_a_few_percent() {
+        let mut h = Hll::new(12);
+        for i in 0..50_000u64 {
+            h.observe(&i);
+        }
+        let e = h.estimate();
+        assert!((e - 50_000.0).abs() / 50_000.0 < 0.05, "{e}");
+    }
+
+    #[test]
+    fn small_cardinalities_are_near_exact() {
+        let mut h = Hll::new(12);
+        for i in 0..100u64 {
+            h.observe(&i);
+            h.observe(&i); // duplicates must not inflate
+        }
+        let e = h.estimate();
+        assert!((e - 100.0).abs() < 5.0, "{e}");
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mut a = Hll::new(10);
+        let mut b = Hll::new(10);
+        let mut whole = Hll::new(10);
+        for i in 0..5_000u64 {
+            if i % 2 == 0 {
+                a.observe(&i);
+            } else {
+                b.observe(&i);
+            }
+            whole.observe(&i);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole, "register-wise max is exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "different precision")]
+    fn mismatched_precision_panics() {
+        Hll::new(10).merge(&Hll::new(12));
+    }
+}

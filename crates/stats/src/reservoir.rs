@@ -1,0 +1,198 @@
+//! Mergeable reservoir sample.
+//!
+//! A fixed-capacity uniform sample of a stream, with a *weighted* merge: when
+//! two reservoirs representing streams of `n₁` and `n₂` rows are combined,
+//! each output slot is drawn from either side with probability proportional
+//! to its stream size, without replacement. The merge is deterministic (the
+//! RNG is a seeded xorshift whose state is part of the summary), so repeated
+//! runs produce identical statistics — matching the repo-wide determinism
+//! rule.
+//!
+//! The merge is associative *in distribution*, not bit-for-bit; downstream
+//! consumers ([`crate::EquiDepthHistogram`]) only rely on the sample being a
+//! uniform subset, which the law tests check via bucket-bound invariants.
+
+/// Deterministic xorshift64* step.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// A uniform sample of at most `capacity` items from a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir<T: Clone> {
+    capacity: usize,
+    /// Rows observed (the represented stream size, not the sample size).
+    seen: u64,
+    items: Vec<T>,
+    rng: u64,
+}
+
+impl<T: Clone> Reservoir<T> {
+    /// An empty reservoir. The seed only de-correlates tie-breaking between
+    /// columns; any value is fine.
+    pub fn new(capacity: usize) -> Self {
+        Reservoir {
+            capacity: capacity.max(1),
+            seen: 0,
+            items: Vec::new(),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stream size this reservoir represents.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (unordered).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Algorithm R: keep each of the first `capacity` items, then replace a
+    /// random slot with probability `capacity / seen`.
+    pub fn observe(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+            return;
+        }
+        let j = (xorshift(&mut self.rng) % self.seen) as usize;
+        if j < self.capacity {
+            self.items[j] = item;
+        }
+    }
+
+    /// Weighted merge without replacement: fill up to `capacity` slots,
+    /// picking the next item from `self` or `other` with probability
+    /// proportional to the remaining represented stream sizes.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.capacity, other.capacity,
+            "cannot merge reservoirs of different capacity"
+        );
+        if other.seen == 0 {
+            return;
+        }
+        if self.seen == 0 {
+            self.seen = other.seen;
+            self.items = other.items.clone();
+            return;
+        }
+        let total = self.seen + other.seen;
+        if self.items.len() + other.items.len() <= self.capacity {
+            self.items.extend(other.items.iter().cloned());
+            self.seen = total;
+            return;
+        }
+        let mut a = std::mem::take(&mut self.items);
+        let mut b = other.items.clone();
+        // Per-item weight of each side: stream rows represented per sample item.
+        let wa = self.seen as f64 / a.len() as f64;
+        let wb = other.seen as f64 / b.len() as f64;
+        let mut out = Vec::with_capacity(self.capacity);
+        while out.len() < self.capacity && (!a.is_empty() || !b.is_empty()) {
+            let ra = wa * a.len() as f64;
+            let rb = wb * b.len() as f64;
+            let pick_a = if b.is_empty() {
+                true
+            } else if a.is_empty() {
+                false
+            } else {
+                let r = (xorshift(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                r * (ra + rb) < ra
+            };
+            let src = if pick_a { &mut a } else { &mut b };
+            let i = (xorshift(&mut self.rng) as usize) % src.len();
+            out.push(src.swap_remove(i));
+        }
+        self.items = out;
+        self.seen = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_stays_at_capacity() {
+        let mut r = Reservoir::new(10);
+        for i in 0..100 {
+            r.observe(i);
+        }
+        assert_eq!(r.items().len(), 10);
+        assert_eq!(r.seen(), 100);
+        for &x in r.items() {
+            assert!((0..100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn small_streams_are_kept_exactly() {
+        let mut r = Reservoir::new(10);
+        for i in 0..5 {
+            r.observe(i);
+        }
+        let mut items = r.items().to_vec();
+        items.sort_unstable();
+        assert_eq!(items, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Sample 64 of 0..10_000 many times; mean of means should be near
+        // the stream mean. Deterministic (fixed seeds), so no flakiness.
+        let mut r = Reservoir::new(256);
+        for i in 0..10_000u64 {
+            r.observe(i as f64);
+        }
+        let mean: f64 = r.items().iter().sum::<f64>() / r.items().len() as f64;
+        assert!((mean - 5_000.0).abs() < 900.0, "{mean}");
+    }
+
+    #[test]
+    fn merge_respects_weights() {
+        // Left stream is 9x larger: merged sample should be dominated by it.
+        let mut a = Reservoir::new(200);
+        let mut b = Reservoir::new(200);
+        for i in 0..9_000 {
+            a.observe(0u8);
+            let _ = i;
+        }
+        for _ in 0..1_000 {
+            b.observe(1u8);
+        }
+        a.merge(&b);
+        assert_eq!(a.seen(), 10_000);
+        assert_eq!(a.items().len(), 200);
+        let ones = a.items().iter().filter(|&&x| x == 1).count();
+        // Expected ~20; allow generous slack.
+        assert!(ones < 80, "{ones}");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Reservoir::new(4);
+        for i in 0..3 {
+            a.observe(i);
+        }
+        let before = a.clone();
+        a.merge(&Reservoir::new(4));
+        assert_eq!(a, before);
+
+        let mut empty = Reservoir::new(4);
+        empty.merge(&before);
+        assert_eq!(empty.seen(), before.seen());
+        assert_eq!(empty.items().len(), before.items().len());
+    }
+}

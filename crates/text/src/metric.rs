@@ -7,8 +7,7 @@ use crate::sim::{jaccard_qgrams, jaccard_words, jaro_winkler, levenshtein_simila
 /// All variants compute a similarity in `[0, 1]`. The paper's experiments use
 /// Levenshtein (`LD`); Jaccard and Jaro–Winkler cover the other metrics its
 /// syntax names.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Metric {
     /// Normalized Levenshtein similarity (paper's `LD`).
     #[default]
@@ -64,7 +63,6 @@ impl Metric {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

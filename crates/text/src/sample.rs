@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 /// deterministic for a given `seed`.
 ///
 /// Returns fewer than `k` items iff the input has fewer than `k` items.
-pub fn reservoir_sample<T: Clone>(items: impl IntoIterator<Item = T>, k: usize, seed: u64) -> Vec<T> {
+pub fn reservoir_sample<T: Clone>(
+    items: impl IntoIterator<Item = T>,
+    k: usize,
+    seed: u64,
+) -> Vec<T> {
     if k == 0 {
         return Vec::new();
     }
@@ -40,7 +44,11 @@ pub fn reservoir_sample<T: Clone>(items: impl IntoIterator<Item = T>, k: usize, 
 ///
 /// `n` is the total length of the input; if the iterator is shorter, the
 /// positions that exist are returned.
-pub fn fixed_step_sample<T: Clone>(items: impl IntoIterator<Item = T>, k: usize, n: usize) -> Vec<T> {
+pub fn fixed_step_sample<T: Clone>(
+    items: impl IntoIterator<Item = T>,
+    k: usize,
+    n: usize,
+) -> Vec<T> {
     if k == 0 || n == 0 {
         return Vec::new();
     }

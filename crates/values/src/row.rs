@@ -190,7 +190,10 @@ mod tests {
 
     #[test]
     fn table_validate_catches_arity_and_type() {
-        let ok = Table::new(schema(), vec![Row::new(vec![Value::Int(1), Value::str("a")])]);
+        let ok = Table::new(
+            schema(),
+            vec![Row::new(vec![Value::Int(1), Value::str("a")])],
+        );
         ok.validate().unwrap();
 
         let bad_arity = Table::new(schema(), vec![Row::new(vec![Value::Int(1)])]);

@@ -27,9 +27,7 @@ impl DataType {
             (DataType::Int, Value::Int(_)) => true,
             (DataType::Float, Value::Float(_) | Value::Int(_)) => true,
             (DataType::Str, Value::Str(_)) => true,
-            (DataType::List(elem), Value::List(items)) => {
-                items.iter().all(|v| elem.admits(v))
-            }
+            (DataType::List(elem), Value::List(items)) => items.iter().all(|v| elem.admits(v)),
             (DataType::Struct(fields), Value::Struct(vals)) => {
                 fields.len() == vals.len()
                     && fields
@@ -133,13 +131,8 @@ impl Schema {
     /// Shorthand for building a schema from `(name, type)` pairs; panics on
     /// duplicates — intended for statically known schemas in tests/examples.
     pub fn of(pairs: impl IntoIterator<Item = (&'static str, DataType)>) -> Self {
-        Schema::new(
-            pairs
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
-        .expect("static schema must be valid")
+        Schema::new(pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect())
+            .expect("static schema must be valid")
     }
 
     pub fn fields(&self) -> &[Field] {

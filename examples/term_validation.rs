@@ -41,7 +41,12 @@ fn main() {
         .flat_map(|a| a.iter().cloned())
         .collect();
 
-    for block_op in ["token_filtering(2)", "token_filtering(3)", "kmeans(5)", "kmeans(20)"] {
+    for block_op in [
+        "token_filtering(2)",
+        "token_filtering(3)",
+        "kmeans(5)",
+        "kmeans(20)",
+    ] {
         let mut db = CleanDb::new(EngineProfile::clean_db());
         db.register("dblp", flat.clone());
         db.register_dictionary("dict", data.dictionary.clone());

@@ -1,0 +1,256 @@
+//! Minimal `bytes` stand-in: [`Bytes`] / [`BytesMut`] plus the [`Buf`] /
+//! [`BufMut`] trait methods the `colbin` format uses. `Bytes` shares its
+//! backing buffer via `Arc` and reads advance a cursor, like the real crate.
+
+use std::sync::Arc;
+
+/// Cheaply cloneable, immutable byte buffer with a read cursor.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
+    /// Zero-copy sub-range view (relative to the current cursor).
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "Bytes::slice out of range"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    fn slice_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "Bytes: slice out of range");
+        let out = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        out
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+/// Read-side trait: cursor-advancing little-endian accessors.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32_le(&mut self) -> u32;
+    fn get_u64_le(&mut self) -> u64;
+    fn get_i64_le(&mut self) -> i64;
+    fn get_f64_le(&mut self) -> f64;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        self.slice_to(len)
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.as_ref()[0];
+        self.start += 1;
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let raw: [u8; 4] = self.as_ref()[..4].try_into().unwrap();
+        self.start += 4;
+        u32::from_le_bytes(raw)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let raw: [u8; 8] = self.as_ref()[..8].try_into().unwrap();
+        self.start += 8;
+        u64::from_le_bytes(raw)
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Write-side trait: appending little-endian writers.
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_u64_le(v as u64);
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(42);
+        w.put_i64_le(-42);
+        w.put_f64_le(1.5);
+        w.put_slice(b"end");
+        let mut b = w.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), 42);
+        assert_eq!(b.get_i64_le(), -42);
+        assert_eq!(b.get_f64_le(), 1.5);
+        let tail = b.copy_to_bytes(3);
+        assert_eq!(tail.as_ref(), b"end");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn copy_to_bytes_shares_backing() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4]);
+        let head = b.copy_to_bytes(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Minimal `serde` stand-in: marker traits plus no-op derives, enough for
+//! `#[derive(Serialize, Deserialize)]` annotations to compile offline.
+
+/// Marker trait; the real serde's serialization machinery is not shimmed.
+pub trait Serialize {}
+
+/// Marker trait; the real serde's deserialization machinery is not shimmed.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

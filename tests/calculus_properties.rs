@@ -2,9 +2,7 @@
 //! semantics on randomly generated comprehensions, and the distributed
 //! executor must agree with the reference evaluator.
 
-use cleanm::core::calculus::{
-    eval, normalize, BinOp, CalcExpr, EvalCtx, MonoidKind, Qual,
-};
+use cleanm::core::calculus::{eval, normalize, BinOp, CalcExpr, EvalCtx, MonoidKind, Qual};
 use cleanm::values::Value;
 use proptest::prelude::*;
 
@@ -64,11 +62,7 @@ fn comprehension() -> impl Strategy<Value = CalcExpr> {
                 vec![
                     Qual::Gen("x".into(), source),
                     Qual::Gen("y".into(), CalcExpr::TableRef("u".into())),
-                    Qual::Pred(CalcExpr::bin(
-                        BinOp::Le,
-                        pred_lhs,
-                        CalcExpr::int(8),
-                    )),
+                    Qual::Pred(CalcExpr::bin(BinOp::Le, pred_lhs, CalcExpr::int(8))),
                 ],
             )
         })
