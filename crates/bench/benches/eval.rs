@@ -1,0 +1,50 @@
+//! Interpreted vs compiled expression evaluation — the hot path every
+//! filter, group key, unnest, theta predicate, and transform goes through.
+//!
+//! The headline comparison (also what `repro eval` writes to
+//! `BENCH_eval.json`): full passes over a ≥100k-row customer-like table,
+//! evaluating a filter predicate and a composite grouping key with the
+//! tree-walking reference evaluator vs `Program::eval_batch`. The compiled
+//! batch path must beat the interpreter by ≥ 2x on these shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cleanm_bench::experiments::{eval_compile, eval_workloads};
+use cleanm_bench::Scale;
+
+fn bench_eval(c: &mut Criterion) {
+    let scale = Scale::from_env();
+
+    // Headline rows/sec + speedup, printed once so CI logs carry the
+    // trajectory even when bench medians drift.
+    for row in eval_compile(scale) {
+        println!(
+            "[eval] {:<10} {:>8} rows: interpreted {:>12.0} rows/s, compiled {:>12.0} rows/s, speedup {:.2}x",
+            row.workload,
+            row.rows,
+            row.interpreted_rows_per_sec,
+            row.compiled_rows_per_sec,
+            row.speedup()
+        );
+    }
+
+    let mut group = c.benchmark_group("eval");
+    group.sample_size(10);
+    for w in eval_workloads(scale) {
+        let program = w.compile();
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", w.name),
+            &w.name.to_string(),
+            |b, _| b.iter(|| w.run_interpreted()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("compiled_batch", w.name),
+            &w.name.to_string(),
+            |b, _| b.iter(|| w.run_compiled(&program)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! `repro` — regenerate every table and figure of the CleanM paper.
 //!
 //! ```text
-//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|all]
+//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|eval|all]
 //! ```
 //!
 //! Set `CLEANM_SCALE=full` for the larger workloads (default: quick).
+//! `eval` additionally writes `BENCH_eval.json` (interpreted vs compiled
+//! rows/sec per workload) so the perf trajectory is trackable across PRs.
 
 use cleanm_bench::experiments as exp;
 use cleanm_bench::{fmt_duration, Scale};
@@ -15,7 +17,7 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let known = [
         "table3", "fig3", "fig4", "fig5", "table4", "fig6", "table5", "fig7", "fig8a", "fig8b",
-        "ablation", "all",
+        "ablation", "eval", "all",
     ];
     if !known.contains(&arg.as_str()) {
         eprintln!("unknown experiment `{arg}`; one of {known:?}");
@@ -54,6 +56,50 @@ fn main() {
     if want("ablation") {
         ablation(scale);
     }
+    if want("eval") {
+        eval_bench(scale);
+    }
+}
+
+fn eval_bench(scale: Scale) {
+    println!("## Eval — interpreted vs compiled expression evaluation");
+    println!(
+        "{:<14} {:>10} {:>18} {:>18} {:>9}",
+        "workload", "rows", "interpreted r/s", "compiled r/s", "speedup"
+    );
+    let rows = exp::eval_compile(scale);
+    for r in &rows {
+        println!(
+            "{:<14} {:>10} {:>18.0} {:>18.0} {:>8.2}x",
+            r.workload,
+            r.rows,
+            r.interpreted_rows_per_sec,
+            r.compiled_rows_per_sec,
+            r.speedup()
+        );
+    }
+    // Machine-readable trajectory for future PRs (no serde_json in the
+    // offline build — the format is flat enough to emit by hand).
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"rows\": {}, \
+             \"interpreted_rows_per_sec\": {:.1}, \
+             \"compiled_rows_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.workload,
+            r.rows,
+            r.interpreted_rows_per_sec,
+            r.compiled_rows_per_sec,
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    match std::fs::write("BENCH_eval.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_eval.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_eval.json: {e}"),
+    }
+    println!();
 }
 
 fn ablation(scale: Scale) {

@@ -745,6 +745,337 @@ pub fn ablation_blocking(scale: Scale) -> Vec<AblationRow> {
     rows
 }
 
+// ====================================================================
+// Compiled evaluation — interpreted vs compiled expression hot paths
+// (benches/eval.rs and repro's BENCH_eval.json trajectory).
+// ====================================================================
+
+/// One expression workload for the interpreted-vs-compiled comparison: a
+/// row set plus the expression pipeline a physical operator evaluates per
+/// row. The first expression acts as the filter (falsy rows skip the
+/// rest); any further expressions are the map work of the operator (group
+/// key, item) evaluated on surviving rows.
+pub struct EvalWorkload {
+    pub name: &'static str,
+    pub rows: Vec<Vec<(String, cleanm_values::Value)>>,
+    pub exprs: Vec<cleanm_core::calculus::CalcExpr>,
+    pub ctx: cleanm_core::calculus::EvalCtx,
+    /// The scope (environment layout) the expression compiles against.
+    pub scope: Vec<String>,
+    /// `> 0`: evaluate as a `(left, right)` environment pair split at this
+    /// index — the theta-join predicate shape, where the executor's old
+    /// path cloned and merged both environments per candidate pair while
+    /// the compiled program addresses the pair in place.
+    pub pair_split: usize,
+    /// Materialize the per-row outputs, as the executor's map-shaped
+    /// operators do (grouping keys, transforms). Predicate workloads only
+    /// count truthy rows, as `filter` does — both engines get the same
+    /// treatment either way.
+    pub materialize: bool,
+}
+
+impl EvalWorkload {
+    /// Compile every pipeline expression against the workload's scope.
+    pub fn compile(&self) -> Vec<cleanm_core::calculus::Program> {
+        self.exprs
+            .iter()
+            .map(|e| {
+                cleanm_core::calculus::Program::compile(e, &self.scope, &self.ctx)
+                    .expect("workload expression compiles")
+            })
+            .collect()
+    }
+
+    /// One interpreted pass over every row; returns a checksum so the work
+    /// cannot be optimized away. Pair workloads merge the environments per
+    /// evaluation, exactly as the pre-compilation executor did.
+    pub fn run_interpreted(&self) -> usize {
+        use cleanm_core::calculus::eval;
+        let mut live = 0usize;
+        let mut outputs = self
+            .materialize
+            .then(|| Vec::with_capacity(self.rows.len()));
+        for env in &self.rows {
+            let merged;
+            let env: &Vec<(String, cleanm_values::Value)> = if self.pair_split > 0 {
+                let (l, r) = env.split_at(self.pair_split);
+                let mut m = l.to_vec();
+                m.extend(r.iter().cloned());
+                merged = m;
+                &merged
+            } else {
+                env
+            };
+            let first = eval(&self.exprs[0], env, &self.ctx).expect("workload evaluates");
+            if first.is_null() || first == cleanm_values::Value::Bool(false) {
+                continue;
+            }
+            live += 1;
+            for e in &self.exprs[1..] {
+                let v = eval(e, env, &self.ctx).expect("workload evaluates");
+                if let Some(out) = &mut outputs {
+                    out.push(v);
+                }
+            }
+            if self.exprs.len() == 1 {
+                if let Some(out) = &mut outputs {
+                    out.push(first);
+                }
+            }
+        }
+        live
+    }
+
+    /// One compiled pass over every row: the batch entry point for
+    /// single-expression materializing workloads, the shared-scratch
+    /// per-row entry points otherwise.
+    pub fn run_compiled(&self, programs: &[cleanm_core::calculus::Program]) -> usize {
+        let keep =
+            |v: &cleanm_values::Value| !v.is_null() && *v != cleanm_values::Value::Bool(false);
+        if self.materialize && programs.len() == 1 && self.pair_split == 0 {
+            return programs[0]
+                .eval_batch(&self.rows, &self.ctx)
+                .expect("compiled batch")
+                .iter()
+                .filter(|v| keep(v))
+                .count();
+        }
+        let mut scratch = Vec::new();
+        let mut live = 0usize;
+        let mut outputs = self
+            .materialize
+            .then(|| Vec::with_capacity(self.rows.len()));
+        for env in &self.rows {
+            let eval_one = |p: &cleanm_core::calculus::Program,
+                            scratch: &mut Vec<cleanm_values::Value>| {
+                if self.pair_split > 0 {
+                    let (l, r) = env.split_at(self.pair_split);
+                    p.eval_pair(l, r, &self.ctx, scratch)
+                } else {
+                    p.eval_with(env, &self.ctx, scratch)
+                }
+            };
+            let first = eval_one(&programs[0], &mut scratch).expect("workload evaluates");
+            if first.is_null() || first == cleanm_values::Value::Bool(false) {
+                continue;
+            }
+            live += 1;
+            for p in &programs[1..] {
+                let v = eval_one(p, &mut scratch).expect("workload evaluates");
+                if let Some(out) = &mut outputs {
+                    out.push(v);
+                }
+            }
+            if programs.len() == 1 {
+                if let Some(out) = &mut outputs {
+                    out.push(first);
+                }
+            }
+        }
+        live
+    }
+}
+
+/// The eval-bench workloads over a customer-like table (≥ 100k rows even
+/// at quick scale; rows are TPC-H-wide so field-name scans cost what they
+/// cost in real plans):
+///
+/// * `filter` — a DC-style numeric Select predicate;
+/// * `group_key` — an FD/DEDUP-style composite grouping key with a
+///   banding conditional;
+/// * `transform` — the paper's `prefix(phone)` / `lower(name)` shapes
+///   (string-allocation-bound: both engines pay the same builtin work, so
+///   the expected gain is smaller);
+/// * `theta_pred` — an inequality-DC predicate over a row pair.
+pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
+    use cleanm_core::calculus::{BinOp, CalcExpr, EvalCtx, Func};
+    use cleanm_values::Value;
+
+    let n = match scale {
+        Scale::Quick => 120_000usize,
+        Scale::Full => 400_000,
+    };
+    let make_row = |i: usize| {
+        Value::record([
+            ("__rowid", Value::Int(i as i64)),
+            ("acctbal", Value::Float(((i * 37) % 10_000) as f64 / 10.0)),
+            ("address", Value::str(format!("{} Main St", i % 997))),
+            ("comment", Value::str("no comment")),
+            ("creditlimit", Value::Int(((i * 53) % 900) as i64)),
+            ("mktsegment", Value::str("BUILDING")),
+            ("name", Value::str(format!("customer-{:06}", i * 7919 % n))),
+            ("nationkey", Value::Int((i % 25) as i64)),
+            ("phone", Value::str(format!("{:03}-{:07}", i % 500, i))),
+        ])
+    };
+    let rows: Vec<Vec<(String, Value)>> = (0..n)
+        .map(|i| vec![("c".to_string(), make_row(i))])
+        .collect();
+    let col = |var: &str, f: &str| CalcExpr::proj(CalcExpr::var(var), f);
+
+    // A Select predicate in denial-constraint shape (the paper's rules
+    // carry several atoms): projections, arithmetic, comparisons, and
+    // short-circuit logic.
+    let atom = |op, l, r| CalcExpr::bin(op, l, r);
+    let conj = |a, b| CalcExpr::bin(BinOp::And, a, b);
+    let filter = CalcExpr::bin(
+        BinOp::Or,
+        conj(
+            conj(
+                atom(BinOp::Lt, col("c", "nationkey"), CalcExpr::int(13)),
+                atom(
+                    BinOp::Gt,
+                    CalcExpr::bin(BinOp::Mul, col("c", "acctbal"), CalcExpr::float(1.5)),
+                    col("c", "creditlimit"),
+                ),
+            ),
+            atom(
+                BinOp::Ne,
+                col("c", "mktsegment"),
+                CalcExpr::str("MACHINERY"),
+            ),
+        ),
+        conj(
+            conj(
+                atom(BinOp::Ge, col("c", "nationkey"), CalcExpr::int(20)),
+                atom(
+                    BinOp::Le,
+                    CalcExpr::bin(BinOp::Add, col("c", "acctbal"), CalcExpr::int(250)),
+                    col("c", "creditlimit"),
+                ),
+            ),
+            atom(BinOp::Gt, col("c", "__rowid"), CalcExpr::int(1000)),
+        ),
+    );
+    // A Nest grouping key: the composite record of column projections that
+    // `tuple_key` desugars FD / DEDUP keys into.
+    let group_key = CalcExpr::record(vec![
+        ("k0", col("c", "address")),
+        ("k1", col("c", "nationkey")),
+        ("k2", col("c", "name")),
+        ("k3", col("c", "mktsegment")),
+        ("k4", col("c", "creditlimit")),
+    ]);
+    // The paper's running-example transforms (string-function bound).
+    let transform = CalcExpr::record(vec![
+        (
+            "area",
+            CalcExpr::call(Func::Prefix, vec![col("c", "phone")]),
+        ),
+        ("name", CalcExpr::call(Func::Lower, vec![col("c", "name")])),
+    ]);
+    // An inequality-DC theta predicate over a (t1, t2) pair.
+    let theta_pred = CalcExpr::bin(
+        BinOp::And,
+        CalcExpr::bin(BinOp::Lt, col("t1", "acctbal"), col("t2", "acctbal")),
+        CalcExpr::bin(BinOp::Ge, col("t1", "nationkey"), col("t2", "nationkey")),
+    );
+    let pair_rows: Vec<Vec<(String, Value)>> = (0..n)
+        .map(|i| {
+            vec![
+                ("t1".to_string(), make_row(i)),
+                ("t2".to_string(), make_row((i * 31 + 7) % n)),
+            ]
+        })
+        .collect();
+
+    let scope_c = vec!["c".to_string()];
+    vec![
+        EvalWorkload {
+            name: "filter",
+            rows: rows.clone(),
+            exprs: vec![filter.clone()],
+            ctx: EvalCtx::new(),
+            scope: scope_c.clone(),
+            pair_split: 0,
+            materialize: false,
+        },
+        EvalWorkload {
+            name: "group_key",
+            rows: rows.clone(),
+            exprs: vec![group_key.clone()],
+            ctx: EvalCtx::new(),
+            scope: scope_c.clone(),
+            pair_split: 0,
+            materialize: true,
+        },
+        // The acceptance workload: a full FD-style operator pipeline per
+        // row — filter predicate, then grouping key + item on survivors —
+        // the per-row work a Select→Nest plan performs.
+        EvalWorkload {
+            name: "filter_group",
+            rows: rows.clone(),
+            exprs: vec![filter, group_key, CalcExpr::var("c")],
+            ctx: EvalCtx::new(),
+            scope: scope_c.clone(),
+            pair_split: 0,
+            materialize: true,
+        },
+        EvalWorkload {
+            name: "transform",
+            rows,
+            exprs: vec![transform],
+            ctx: EvalCtx::new(),
+            scope: scope_c,
+            pair_split: 0,
+            materialize: true,
+        },
+        EvalWorkload {
+            name: "theta_pred",
+            rows: pair_rows,
+            exprs: vec![theta_pred],
+            ctx: EvalCtx::new(),
+            scope: vec!["t1".to_string(), "t2".to_string()],
+            pair_split: 1,
+            materialize: false,
+        },
+    ]
+}
+
+/// One interpreted-vs-compiled measurement (a row of `BENCH_eval.json`).
+#[derive(Debug, Clone)]
+pub struct EvalRow {
+    pub workload: String,
+    pub rows: usize,
+    pub interpreted_rows_per_sec: f64,
+    pub compiled_rows_per_sec: f64,
+}
+
+impl EvalRow {
+    pub fn speedup(&self) -> f64 {
+        self.compiled_rows_per_sec / self.interpreted_rows_per_sec.max(1e-9)
+    }
+}
+
+/// Measure every eval workload: five interleaved full passes per engine
+/// (interleaving cancels machine drift), best pass counts.
+pub fn eval_compile(scale: Scale) -> Vec<EvalRow> {
+    let mut out = Vec::new();
+    for w in eval_workloads(scale) {
+        let program = w.compile();
+        let check_i = w.run_interpreted(); // warmup + checksum
+        let check_c = w.run_compiled(&program);
+        assert_eq!(check_i, check_c, "engines disagree on {}", w.name);
+        let timed = |f: &dyn Fn() -> usize| -> f64 {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        };
+        let (mut interp, mut compiled) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            interp = interp.min(timed(&|| w.run_interpreted()));
+            compiled = compiled.min(timed(&|| w.run_compiled(&program)));
+        }
+        out.push(EvalRow {
+            workload: w.name.to_string(),
+            rows: w.rows.len(),
+            interpreted_rows_per_sec: w.rows.len() as f64 / interp.max(1e-9),
+            compiled_rows_per_sec: w.rows.len() as f64 / compiled.max(1e-9),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,6 +1137,17 @@ mod tests {
                     row.sf
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn eval_workloads_agree_across_engines() {
+        // Full-size equivalence is pinned by tests/compiled_eval.rs; here a
+        // cheap smoke over the bench workload shapes.
+        for mut w in eval_workloads(Scale::Quick) {
+            let program = w.compile();
+            w.rows.truncate(200);
+            assert_eq!(w.run_interpreted(), w.run_compiled(&program), "{}", w.name);
         }
     }
 

@@ -260,7 +260,11 @@ pub fn group_count(
 }
 
 /// Fraction of the |L|×|R| comparison matrix that survives range pruning
-/// under `kind`, from both key columns' equi-depth histograms.
+/// under `kind`, from both key columns' equi-depth histograms — numeric
+/// histograms for number columns, prefix-key histograms for text columns
+/// (widened by the key resolution so prefix collisions stay sound).
+/// `None` when the sides' histograms live in different key domains (one
+/// numeric, one prefix-key): those are not comparable.
 pub fn theta_pair_fraction(
     kind: HintKind,
     left_key: &CalcExpr,
@@ -268,9 +272,12 @@ pub fn theta_pair_fraction(
     vars: &HashMap<String, String>,
     stats: &StatsCatalog,
 ) -> Option<f64> {
-    let lh = col_stats(left_key, vars, stats)?.histogram()?;
-    let rh = col_stats(right_key, vars, stats)?.histogram()?;
-    Some(lh.fraction_pairs(&rh, |l, r| kind.compatible(l, r)))
+    let (lh, l_text) = col_stats(left_key, vars, stats)?.pruning_histogram()?;
+    let (rh, r_text) = col_stats(right_key, vars, stats)?.pruning_histogram()?;
+    if l_text != r_text {
+        return None;
+    }
+    Some(lh.fraction_pairs(&rh, kind.compat_fn(super::plan::theta_widen(l_text))))
 }
 
 /// Resolve the `var → table` bindings of a plan's scans (used by the

@@ -32,6 +32,28 @@ impl HintKind {
             HintKind::Any => true,
         }
     }
+
+    /// [`HintKind::compatible`] with both range maxes widened by `widen`
+    /// before the check — the sound form for prefix-key (string) domains,
+    /// where distinct values can collide onto one key
+    /// ([`cleanm_stats::STRING_KEY_RESOLUTION`]). Widening only ever
+    /// weakens pruning, never unsoundly strengthens it. This is the single
+    /// place the widening rule lives; the executor, the cost model, and
+    /// the cardinality estimator all build their checks from it.
+    pub fn compat_fn(self, widen: f64) -> impl Fn((f64, f64), (f64, f64)) -> bool + Copy {
+        move |l: (f64, f64), r: (f64, f64)| self.compatible((l.0, l.1 + widen), (r.0, r.1 + widen))
+    }
+}
+
+/// The widening a theta-pruning check needs for the given key domain:
+/// zero for exact numeric keys, one key-resolution step for prefix-key
+/// (string) domains.
+pub fn theta_widen(text: bool) -> f64 {
+    if text {
+        cleanm_stats::STRING_KEY_RESOLUTION
+    } else {
+        0.0
+    }
 }
 
 /// A nested-relational-algebra operator. Plans form a DAG via `Arc` — after

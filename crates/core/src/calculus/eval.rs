@@ -6,6 +6,7 @@
 //! uses it to evaluate row-level and group-level expressions inside
 //! distributed operators.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -75,6 +76,17 @@ impl EvalCtx {
             ))
         })
     }
+
+    /// An already-prepared blocker, if any — the compiler pre-binds these so
+    /// compiled programs skip the string-keyed map lookup per call.
+    pub(crate) fn prepared_blocker(&self, algo: &FilterAlgo) -> Option<Arc<dyn Blocker>> {
+        self.blockers.get(&algo.to_string()).cloned()
+    }
+
+    /// A registered table, if any — the compiler pre-binds table references.
+    pub(crate) fn table(&self, name: &str) -> Option<&Value> {
+        self.tables.get(name)
+    }
 }
 
 fn collect_filter_algos(expr: &CalcExpr, out: &mut Vec<FilterAlgo>) {
@@ -125,19 +137,42 @@ fn collect_filter_algos(expr: &CalcExpr, out: &mut Vec<FilterAlgo>) {
 /// shallow, so linear scan beats hashing).
 pub type Env = Vec<(String, Value)>;
 
-fn lookup(env: &Env, name: &str) -> Result<Value> {
+fn lookup<'a>(env: &'a Env, name: &str) -> Result<&'a Value> {
     env.iter()
         .rev()
         .find(|(n, _)| n == name)
-        .map(|(_, v)| v.clone())
+        .map(|(_, v)| v)
         .ok_or_else(|| Error::Invalid(format!("unbound variable `{name}`")))
+}
+
+/// Evaluate the borrowable fragment of an expression — `Const`, `Var`, and
+/// `Proj` chains over them — without cloning: the result stays a reference
+/// into the environment (or the expression tree) and is cloned only where a
+/// caller actually needs ownership. Everything else falls through to
+/// [`eval`].
+fn eval_ref<'a>(expr: &'a CalcExpr, env: &'a Env, ctx: &EvalCtx) -> Result<Cow<'a, Value>> {
+    match expr {
+        CalcExpr::Const(v) => Ok(Cow::Borrowed(v)),
+        CalcExpr::Var(n) => lookup(env, n).map(Cow::Borrowed),
+        CalcExpr::Proj(e, field) => {
+            let base = eval_ref(e, env, ctx)?;
+            if base.is_null() {
+                return Ok(Cow::Owned(Value::Null));
+            }
+            match base {
+                Cow::Borrowed(b) => b.field(field).map(Cow::Borrowed),
+                Cow::Owned(o) => o.field(field).cloned().map(Cow::Owned),
+            }
+        }
+        other => eval(other, env, ctx).map(Cow::Owned),
+    }
 }
 
 /// Evaluate an expression under an environment.
 pub fn eval(expr: &CalcExpr, env: &Env, ctx: &EvalCtx) -> Result<Value> {
     match expr {
         CalcExpr::Const(v) => Ok(v.clone()),
-        CalcExpr::Var(n) => lookup(env, n),
+        CalcExpr::Var(n) => lookup(env, n).cloned(),
         CalcExpr::TableRef(t) => ctx
             .tables
             .get(t)
@@ -150,37 +185,31 @@ pub fn eval(expr: &CalcExpr, env: &Env, ctx: &EvalCtx) -> Result<Value> {
             }
             Ok(Value::record(out))
         }
-        CalcExpr::Proj(e, field) => {
-            let v = eval(e, env, ctx)?;
-            if v.is_null() {
-                return Ok(Value::Null);
-            }
-            v.field(field).cloned()
-        }
+        CalcExpr::Proj(..) => eval_ref(expr, env, ctx).map(Cow::into_owned),
         CalcExpr::BinOp(op, l, r) => {
-            let lv = eval(l, env, ctx)?;
+            let lv = eval_ref(l, env, ctx)?;
             // Short-circuit logic.
             match op {
                 BinOp::And => {
                     if !truthy(&lv) {
                         return Ok(Value::Bool(false));
                     }
-                    return Ok(Value::Bool(truthy(&eval(r, env, ctx)?)));
+                    return Ok(Value::Bool(truthy(&*eval_ref(r, env, ctx)?)));
                 }
                 BinOp::Or => {
                     if truthy(&lv) {
                         return Ok(Value::Bool(true));
                     }
-                    return Ok(Value::Bool(truthy(&eval(r, env, ctx)?)));
+                    return Ok(Value::Bool(truthy(&*eval_ref(r, env, ctx)?)));
                 }
                 _ => {}
             }
-            let rv = eval(r, env, ctx)?;
+            let rv = eval_ref(r, env, ctx)?;
             eval_binop(*op, &lv, &rv)
         }
-        CalcExpr::Not(e) => Ok(Value::Bool(!truthy(&eval(e, env, ctx)?))),
+        CalcExpr::Not(e) => Ok(Value::Bool(!truthy(&*eval_ref(e, env, ctx)?))),
         CalcExpr::If(c, t, e) => {
-            if truthy(&eval(c, env, ctx)?) {
+            if truthy(&*eval_ref(c, env, ctx)?) {
                 eval(t, env, ctx)
             } else {
                 eval(e, env, ctx)
@@ -194,7 +223,7 @@ pub fn eval(expr: &CalcExpr, env: &Env, ctx: &EvalCtx) -> Result<Value> {
             eval_func(f, &vals, ctx)
         }
         CalcExpr::Exists(e) => {
-            let v = eval(e, env, ctx)?;
+            let v = eval_ref(e, env, ctx)?;
             Ok(Value::Bool(!v.as_list()?.is_empty()))
         }
         CalcExpr::Comp(c) => eval_comp(c, env, ctx),
@@ -229,8 +258,50 @@ fn numeric_pair(l: &Value, r: &Value) -> Option<(f64, f64)> {
     Some((lf, rf))
 }
 
+#[inline]
+fn float_cmp(op: BinOp, a: f64, b: f64) -> bool {
+    use BinOp::*;
+    match op {
+        Eq => a == b,
+        Ne => a != b,
+        Lt => a < b,
+        Le => a <= b,
+        Gt => a > b,
+        Ge => a >= b,
+        _ => unreachable!("comparison op"),
+    }
+}
+
+#[inline]
 pub(crate) fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     use BinOp::*;
+    // Fast paths for the dominant scalar comparisons; NaNs fall through to
+    // the canonicalizing total order below.
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) if op.is_comparison() => {
+            return Ok(Value::Bool(match op {
+                Eq => a == b,
+                Ne => a != b,
+                Lt => a < b,
+                Le => a <= b,
+                Gt => a > b,
+                Ge => a >= b,
+                _ => unreachable!(),
+            }));
+        }
+        (Value::Float(a), Value::Float(b)) if op.is_comparison() && !a.is_nan() && !b.is_nan() => {
+            return Ok(Value::Bool(float_cmp(op, *a, *b)));
+        }
+        // Mixed numeric comparisons widen exactly like the canonical
+        // cross-type ordering (`i as f64`).
+        (Value::Int(a), Value::Float(b)) if op.is_comparison() && !b.is_nan() => {
+            return Ok(Value::Bool(float_cmp(op, *a as f64, *b)));
+        }
+        (Value::Float(a), Value::Int(b)) if op.is_comparison() && !a.is_nan() => {
+            return Ok(Value::Bool(float_cmp(op, *a, *b as f64)));
+        }
+        _ => {}
+    }
     if matches!(op, Add | Sub | Mul | Div) {
         if l.is_null() || r.is_null() {
             return Ok(Value::Null);
@@ -295,7 +366,16 @@ pub(crate) fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     }))
 }
 
-fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
+/// The textual content of a value without allocating for the common
+/// `Value::Str` case.
+fn text_of(v: &Value) -> Cow<'_, str> {
+    match v {
+        Value::Str(s) => Cow::Borrowed(s),
+        other => Cow::Owned(other.to_text()),
+    }
+}
+
+pub(crate) fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
     let arg = |i: usize| -> Result<&Value> {
         args.get(i)
             .ok_or_else(|| Error::Invalid(format!("{f:?}: missing argument {i}")))
@@ -306,7 +386,7 @@ fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
             if v.is_null() {
                 return Ok(Value::Null);
             }
-            let s = v.to_text();
+            let s = text_of(v);
             let p = match s.find('-') {
                 Some(i) => &s[..i],
                 None => {
@@ -316,7 +396,7 @@ fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
             };
             Ok(Value::str(p))
         }
-        Func::Lower => Ok(Value::str(arg(0)?.to_text().to_lowercase())),
+        Func::Lower => Ok(Value::str(text_of(arg(0)?).to_lowercase())),
         Func::Length => match arg(0)? {
             Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
             Value::List(items) => Ok(Value::Int(items.len() as i64)),
@@ -355,18 +435,18 @@ fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
         }
         Func::Similar(metric, theta) => {
             ctx.comparisons.fetch_add(1, Ordering::Relaxed);
-            let a = arg(0)?.to_text();
-            let b = arg(1)?.to_text();
+            let a = text_of(arg(0)?);
+            let b = text_of(arg(1)?);
             Ok(Value::Bool(metric.similar(&a, &b, *theta)))
         }
         Func::Similarity(metric) => {
             ctx.comparisons.fetch_add(1, Ordering::Relaxed);
-            let a = arg(0)?.to_text();
-            let b = arg(1)?.to_text();
+            let a = text_of(arg(0)?);
+            let b = text_of(arg(1)?);
             Ok(Value::Float(metric.similarity(&a, &b)))
         }
         Func::BlockKeys(algo) => {
-            let term = arg(0)?.to_text();
+            let term = text_of(arg(0)?);
             let blocker = ctx.blocker(algo)?;
             Ok(Value::list(
                 blocker.keys(&term).into_iter().map(Value::from),
@@ -377,7 +457,7 @@ fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
             if v.is_null() {
                 return Ok(Value::Null);
             }
-            let s = v.to_text();
+            let s = text_of(v);
             Ok(Value::list(s.split(sep.as_str()).map(Value::from)))
         }
         Func::Concat => {
@@ -435,8 +515,8 @@ fn eval_quals(
     }
     match &quals[i] {
         Qual::Gen(v, e) => {
-            let coll = eval(e, env, ctx)?;
-            let items = match &coll {
+            let coll = eval_ref(e, env, ctx)?;
+            let items = match coll.as_ref() {
                 Value::Null => return Ok(()), // generating over NULL yields nothing
                 other => other.as_list()?.to_vec(),
             };
@@ -448,7 +528,7 @@ fn eval_quals(
             Ok(())
         }
         Qual::Pred(e) => {
-            if truthy(&eval(e, env, ctx)?) {
+            if truthy(&*eval_ref(e, env, ctx)?) {
                 eval_quals(quals, i + 1, env, ctx, emit)
             } else {
                 Ok(())

@@ -11,16 +11,22 @@
 //! * [`eval`](mod@eval) — a reference evaluator (single-node semantics; the oracle the
 //!   property tests compare the normalizer and the distributed engine
 //!   against);
+//! * [`compile`](mod@compile) — ahead-of-time lowering of expressions to flat,
+//!   slot-resolved [`Program`]s evaluated by a non-recursive register
+//!   machine (the hot-path twin of the reference evaluator; comprehensions
+//!   fall back to interpreter islands);
 //! * [`normalize`](mod@normalize) — the §4.2 rewrites, applied bottom-up to fixpoint;
 //! * [`desugar`] — the Monoid Rewriter: CleanM AST → comprehensions, per
 //!   the semantics given in §4.4.
 
+pub mod compile;
 pub mod desugar;
 pub mod eval;
 pub mod expr;
 pub mod normalize;
 pub mod subst;
 
+pub use compile::Program;
 pub use desugar::desugar_query;
 pub use eval::{eval, EvalCtx};
 pub use expr::{BinOp, CalcExpr, Comprehension, FilterAlgo, Func, MonoidKind, Qual};

@@ -27,11 +27,12 @@ use cleanm_exec::{theta, Dataset, ExecContext, ExecError, ExecResult};
 use cleanm_values::Value;
 
 use crate::algebra::cardinality::{self, StatsCatalog};
-use crate::algebra::plan::Alg;
-use crate::calculus::eval::{eval, merge_values, truthy, EvalCtx};
+use crate::algebra::plan::{theta_widen, Alg};
+use crate::calculus::eval::{merge_values, truthy, EvalCtx};
 use crate::calculus::{CalcExpr, Func, MonoidKind};
 
 use super::profile::{EngineProfile, NestStrategy, ThetaStrategy};
+use super::program::{env_layout, RowExpr};
 
 /// A row in flight: the comprehension environment (variable → value).
 pub type RowEnv = Vec<(String, Value)>;
@@ -120,6 +121,10 @@ pub struct Executor<'a> {
     scan_vars: HashMap<String, String>,
     /// Strategy decisions made while executing, in plan order.
     pub decisions: Vec<PlanDecision>,
+    /// Plan-node expressions compiled to slot-resolved programs (hot path).
+    pub compiled_exprs: usize,
+    /// Plan-node expressions that fell back to the tree interpreter.
+    pub interpreted_exprs: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -141,7 +146,22 @@ impl<'a> Executor<'a> {
             stats: StatsCatalog::new(),
             scan_vars: HashMap::new(),
             decisions: Vec::new(),
+            compiled_exprs: 0,
+            interpreted_exprs: 0,
         }
+    }
+
+    /// Compile a plan-node expression against its environment layout once,
+    /// counting the outcome. Per-partition evaluation then runs the flat
+    /// program; uncompilable expressions keep interpreted semantics.
+    fn row_expr(&mut self, expr: &CalcExpr, scope: &[String]) -> Arc<RowExpr> {
+        let rx = RowExpr::compile(expr, scope, &self.eval_ctx);
+        if rx.is_compiled() {
+            self.compiled_exprs += 1;
+        } else {
+            self.interpreted_exprs += 1;
+        }
+        Arc::new(rx)
     }
 
     /// Provide table statistics for adaptive strategy selection.
@@ -200,16 +220,20 @@ impl<'a> Executor<'a> {
         };
         let ds = self.run(input)?;
         let start = Instant::now();
+        let head_rx = self.row_expr(head, &env_layout(input));
         let eval_ctx = Arc::clone(&self.eval_ctx);
         let errors = Arc::clone(&self.errors);
-        let head_cl = head.clone();
         let outputs: Vec<Value> = ds
-            .map(move |env| match eval(&head_cl, &env, &eval_ctx) {
-                Ok(v) => v,
-                Err(e) => {
-                    errors.lock().push(e.to_string());
-                    Value::Null
-                }
+            .transform_partitions("map_partitions", move |part| {
+                part.iter()
+                    .map(|env| match head_rx.eval_env(env, &eval_ctx) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            Value::Null
+                        }
+                    })
+                    .collect()
             })
             .collect();
         self.check_errors()?;
@@ -278,15 +302,17 @@ impl<'a> Executor<'a> {
             Alg::Select { input, pred } => {
                 let ds = self.run(input)?;
                 let start = Instant::now();
+                let pred_rx = self.row_expr(pred, &env_layout(input));
                 let eval_ctx = Arc::clone(&self.eval_ctx);
                 let errors = Arc::clone(&self.errors);
-                let pred_cl = pred.clone();
-                let out = ds.filter(move |env| match eval(&pred_cl, env, &eval_ctx) {
-                    Ok(v) => truthy(&v),
-                    Err(e) => {
-                        errors.lock().push(e.to_string());
-                        false
-                    }
+                let out = ds.filter_partitions(move |part| {
+                    part.retain(|env| match pred_rx.eval_env(env, &eval_ctx) {
+                        Ok(v) => truthy(&v),
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            false
+                        }
+                    });
                 });
                 self.check_errors()?;
                 if expr_has_similarity(pred) {
@@ -299,35 +325,35 @@ impl<'a> Executor<'a> {
             Alg::Unnest { input, path, var } => {
                 let ds = self.run(input)?;
                 let start = Instant::now();
+                let path_rx = self.row_expr(path, &env_layout(input));
                 let eval_ctx = Arc::clone(&self.eval_ctx);
                 let errors = Arc::clone(&self.errors);
-                let path_cl = path.clone();
                 let var_cl = var.clone();
-                let out = ds.flat_map(move |env| {
-                    let coll = match eval(&path_cl, &env, &eval_ctx) {
-                        Ok(v) => v,
-                        Err(e) => {
-                            errors.lock().push(e.to_string());
-                            return Vec::new();
-                        }
-                    };
-                    match coll {
-                        Value::List(items) => items
-                            .iter()
-                            .map(|item| {
+                let out = ds.transform_partitions("flat_map", move |part| {
+                    let mut out = Vec::with_capacity(part.len());
+                    for env in part {
+                        let coll = match path_rx.eval_env(&env, &eval_ctx) {
+                            Ok(v) => v,
+                            Err(e) => {
+                                errors.lock().push(e.to_string());
+                                continue;
+                            }
+                        };
+                        match coll {
+                            Value::List(items) => out.extend(items.iter().map(|item| {
                                 let mut e = env.clone();
                                 e.push((var_cl.clone(), item.clone()));
                                 e
-                            })
-                            .collect(),
-                        Value::Null => Vec::new(),
-                        other => {
-                            errors
-                                .lock()
-                                .push(format!("unnest over non-list `{other}`"));
-                            Vec::new()
+                            })),
+                            Value::Null => {}
+                            other => {
+                                errors
+                                    .lock()
+                                    .push(format!("unnest over non-list `{other}`"));
+                            }
                         }
                     }
+                    out
                 });
                 self.check_errors()?;
                 self.timings.similarity += start.elapsed();
@@ -342,7 +368,8 @@ impl<'a> Executor<'a> {
             } => {
                 let ds = self.run(input)?;
                 let start = Instant::now();
-                let out = self.exec_nest(ds, key, item, group_var)?;
+                let scope = env_layout(input);
+                let out = self.exec_nest(ds, key, item, group_var, &scope)?;
                 self.timings.grouping += start.elapsed();
                 Ok(out)
             }
@@ -355,23 +382,28 @@ impl<'a> Executor<'a> {
                 let lds = self.run(left)?;
                 let rds = self.run(right)?;
                 let start = Instant::now();
-                let keyed = |ds: Dataset<RowEnv>, key_expr: &CalcExpr| {
+                let lkey_rx = self.row_expr(left_key, &env_layout(left));
+                let rkey_rx = self.row_expr(right_key, &env_layout(right));
+                let keyed = |ds: Dataset<RowEnv>, key_rx: Arc<RowExpr>| {
                     let eval_ctx = Arc::clone(&self.eval_ctx);
                     let errors = Arc::clone(&self.errors);
-                    let key_cl = key_expr.clone();
-                    ds.map(move |env| {
-                        let k = match eval(&key_cl, &env, &eval_ctx) {
-                            Ok(v) => v,
-                            Err(e) => {
-                                errors.lock().push(e.to_string());
-                                Value::Null
-                            }
-                        };
-                        (k, env)
+                    ds.transform_partitions("map_partitions", move |part| {
+                        part.into_iter()
+                            .map(|env| {
+                                let k = match key_rx.eval_env(&env, &eval_ctx) {
+                                    Ok(v) => v,
+                                    Err(e) => {
+                                        errors.lock().push(e.to_string());
+                                        Value::Null
+                                    }
+                                };
+                                (k, env)
+                            })
+                            .collect()
                     })
                 };
-                let lk = keyed(lds, left_key);
-                let rk = keyed(rds, right_key);
+                let lk = keyed(lds, lkey_rx);
+                let rk = keyed(rds, rkey_rx);
                 self.check_errors()?;
                 let joined = lk.join_hash(rk);
                 let out = joined.map(|(_, mut lenv, renv)| {
@@ -390,7 +422,9 @@ impl<'a> Executor<'a> {
                 let lds = self.run(left)?;
                 let rds = self.run(right)?;
                 let start = Instant::now();
-                let out = self.exec_theta(lds, rds, pred, hint)?;
+                let scope_l = env_layout(left);
+                let scope_r = env_layout(right);
+                let out = self.exec_theta(lds, rds, pred, hint, &scope_l, &scope_r)?;
                 self.timings.similarity += start.elapsed();
                 Ok(out)
             }
@@ -483,13 +517,22 @@ impl<'a> Executor<'a> {
         }
         let lh = self
             .key_column_stats(&hint.left_key)
-            .and_then(|c| c.histogram());
+            .and_then(|c| c.pruning_histogram());
         let rh = self
             .key_column_stats(&hint.right_key)
-            .and_then(|c| c.histogram());
+            .and_then(|c| c.pruning_histogram());
         match (lh, rh) {
-            (Some(lh), Some(rh)) => {
-                let frac = lh.fraction_pairs(&rh, |l, r| hint.kind.compatible(l, r));
+            // Histograms over different key domains (one numeric, one
+            // prefix-key) cannot be compared — treated as no histograms.
+            (Some((lh, l_text)), Some((rh, r_text))) if l_text == r_text => {
+                // String histograms hold prefix keys: widen ranges by the
+                // key resolution so prefix collisions cannot prune a cell a
+                // real string pair could land in.
+                let frac = lh.fraction_pairs(
+                    &rh,
+                    hint.kind
+                        .compat_fn(crate::algebra::plan::theta_widen(l_text)),
+                );
                 // Cartesian wins when the comparisons M-Bucket would prune
                 // are worth less than its bucketing/shuffle setup (a few
                 // passes over both inputs).
@@ -549,32 +592,37 @@ impl<'a> Executor<'a> {
         key: &CalcExpr,
         item: &CalcExpr,
         group_var: &str,
+        scope: &[String],
     ) -> ExecResult<Dataset<RowEnv>> {
+        let key_rx = self.row_expr(key, scope);
+        let item_rx = self.row_expr(item, scope);
         let eval_ctx = Arc::clone(&self.eval_ctx);
         let errors = Arc::clone(&self.errors);
-        let key_cl = key.clone();
-        let item_cl = item.clone();
         // Emit (block key, item) pairs; a list key multi-assigns (token
         // filtering / k-means with delta).
-        let pairs: Dataset<(Value, Value)> = ds.flat_map(move |env| {
-            let k = match eval(&key_cl, &env, &eval_ctx) {
-                Ok(v) => v,
-                Err(e) => {
-                    errors.lock().push(e.to_string());
-                    return Vec::new();
+        let pairs: Dataset<(Value, Value)> = ds.transform_partitions("flat_map", move |part| {
+            let mut out = Vec::with_capacity(part.len());
+            for env in part {
+                let k = match key_rx.eval_env(&env, &eval_ctx) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        errors.lock().push(e.to_string());
+                        continue;
+                    }
+                };
+                let it = match item_rx.eval_env(&env, &eval_ctx) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        errors.lock().push(e.to_string());
+                        continue;
+                    }
+                };
+                match k {
+                    Value::List(keys) => out.extend(keys.iter().map(|kk| (kk.clone(), it.clone()))),
+                    scalar => out.push((scalar, it)),
                 }
-            };
-            let it = match eval(&item_cl, &env, &eval_ctx) {
-                Ok(v) => v,
-                Err(e) => {
-                    errors.lock().push(e.to_string());
-                    return Vec::new();
-                }
-            };
-            match k {
-                Value::List(keys) => keys.iter().map(|kk| (kk.clone(), it.clone())).collect(),
-                scalar => vec![(scalar, it)],
             }
+            out
         });
         self.check_errors()?;
         let strategy = if self.profile.adaptive {
@@ -612,8 +660,10 @@ impl<'a> Executor<'a> {
         rds: Dataset<RowEnv>,
         pred: &CalcExpr,
         hint: &crate::algebra::plan::ThetaHint,
+        scope_l: &[String],
+        scope_r: &[String],
     ) -> ExecResult<Dataset<RowEnv>> {
-        let (strategy, bounds) = if self.profile.adaptive {
+        let (mut strategy, bounds) = if self.profile.adaptive {
             let (strategy, bounds, reason) =
                 self.choose_theta(hint, lds.count() as f64, rds.count() as f64);
             self.record_decision("theta", pred.to_string(), format!("{strategy:?}"), reason);
@@ -627,46 +677,109 @@ impl<'a> Executor<'a> {
             );
             (self.profile.theta, None)
         };
+        // The predicate is compiled against the concatenated layout and
+        // evaluated pair-wise — no merged environment is materialized per
+        // candidate pair (previously two clones per comparison).
+        let mut scope_both = scope_l.to_vec();
+        scope_both.extend(scope_r.iter().cloned());
+        let pred_rx = self.row_expr(pred, &scope_both);
+        let lkey_rx = self.row_expr(&hint.left_key, scope_l);
+        let rkey_rx = self.row_expr(&hint.right_key, scope_r);
         let eval_ctx = Arc::clone(&self.eval_ctx);
-        let pred_cl = pred.clone();
         let predicate = {
             let eval_ctx = Arc::clone(&eval_ctx);
             move |l: &RowEnv, r: &RowEnv| {
-                let mut env = l.clone();
-                env.extend(r.iter().cloned());
-                eval(&pred_cl, &env, &eval_ctx)
+                pred_rx
+                    .eval_pair(l, r, &eval_ctx)
                     .map(|v| truthy(&v))
                     .unwrap_or(false)
             }
         };
-        let key_fn = |expr: &CalcExpr| {
+        // Classify the key domains before any pruning strategy runs. Text
+        // keys map through the order-preserving prefix key so range pruning
+        // works on string predicates, with the cell check widened by one
+        // key-resolution step against prefix collisions (see
+        // `cleanm_stats::string_key`). Bare-column keys with collected
+        // statistics settle the domain from the exact string/numeric
+        // observation counts (a filtered subset of a zero-string column
+        // still has zero strings); everything else is classified by a
+        // parallel probe over every key value — a sampled sniff could miss
+        // strings deep in a partition and silently disable the widening.
+        // Mixed numeric/text keys have no common pruning domain — those
+        // joins fall back to the always-correct cartesian path, which
+        // prunes nothing and skips classification entirely.
+        let (mut l_text, mut r_text) = (false, false);
+        if strategy != ThetaStrategy::CartesianFilter {
+            let ((l_text2, l_num), (r_text2, r_num)) = {
+                let classify =
+                    |ds: &Dataset<RowEnv>, rx: &Arc<RowExpr>, key: &CalcExpr| -> (bool, bool) {
+                        if cardinality::column_of(key).is_some() {
+                            if let Some(col) = self.key_column_stats(key) {
+                                return (col.string_count() > 0, col.numeric_count() > 0);
+                            }
+                        }
+                        let flags = ds.probe_partitions(|part| {
+                            let (mut text, mut numeric) = (false, false);
+                            for env in part {
+                                match rx.eval_env(env, &eval_ctx) {
+                                    Ok(Value::Str(_)) => text = true,
+                                    Ok(Value::Int(_) | Value::Float(_)) => numeric = true,
+                                    _ => {}
+                                }
+                                if text && numeric {
+                                    break; // known mixed: stop scanning
+                                }
+                            }
+                            (text, numeric)
+                        });
+                        flags
+                            .into_iter()
+                            .fold((false, false), |(t, n), (pt, pn)| (t || pt, n || pn))
+                    };
+                (
+                    classify(&lds, &lkey_rx, &hint.left_key),
+                    classify(&rds, &rkey_rx, &hint.right_key),
+                )
+            };
+            (l_text, r_text) = (l_text2, r_text2);
+            let mixed = (l_text && l_num) || (r_text && r_num) || (l_text != r_text);
+            if mixed {
+                strategy = ThetaStrategy::CartesianFilter;
+                self.record_decision(
+                    "theta",
+                    pred.to_string(),
+                    format!("{strategy:?}"),
+                    "mixed numeric/text join keys: no common pruning domain".to_string(),
+                );
+            }
+        }
+        let key_fn = |rx: Arc<RowExpr>| {
             let eval_ctx = Arc::clone(&eval_ctx);
-            let e = expr.clone();
             move |env: &RowEnv| -> f64 {
-                eval(&e, env, &eval_ctx)
-                    .ok()
-                    .and_then(|v| v.as_float().ok())
-                    .unwrap_or(f64::NAN)
+                match rx.eval_env(env, &eval_ctx) {
+                    Ok(Value::Str(s)) => cleanm_stats::string_key(&s),
+                    Ok(v) => v.as_float().unwrap_or(f64::NAN),
+                    Err(_) => f64::NAN,
+                }
             }
         };
-        let kind = hint.kind;
-        let compat = move |l: (f64, f64), r: (f64, f64)| kind.compatible(l, r);
+        let compat = hint.kind.compat_fn(theta_widen(l_text || r_text));
 
         let joined: Dataset<(RowEnv, RowEnv)> = match (strategy, bounds) {
             (ThetaStrategy::CartesianFilter, _) => theta::cartesian_filter(lds, rds, predicate)?,
             (ThetaStrategy::MinMaxBlocks, _) => theta::minmax_block_join(
                 lds,
                 rds,
-                key_fn(&hint.left_key),
-                key_fn(&hint.right_key),
+                key_fn(lkey_rx),
+                key_fn(rkey_rx),
                 compat,
                 predicate,
             )?,
             (ThetaStrategy::MBucket, Some(bounds)) => theta::mbucket_join_with_bounds(
                 lds,
                 rds,
-                key_fn(&hint.left_key),
-                key_fn(&hint.right_key),
+                key_fn(lkey_rx),
+                key_fn(rkey_rx),
                 compat,
                 predicate,
                 bounds,
@@ -674,8 +787,8 @@ impl<'a> Executor<'a> {
             (ThetaStrategy::MBucket, None) => theta::mbucket_join(
                 lds,
                 rds,
-                key_fn(&hint.left_key),
-                key_fn(&hint.right_key),
+                key_fn(lkey_rx),
+                key_fn(rkey_rx),
                 compat,
                 predicate,
                 None,
@@ -1113,6 +1226,274 @@ mod tests {
         assert_eq!(out.len(), 1);
         let nest = ex.decisions.iter().find(|d| d.operator == "nest").unwrap();
         assert!(nest.reason.contains("no column statistics"), "{nest}");
+    }
+
+    #[test]
+    fn hot_path_expressions_run_compiled() {
+        // Every expression of the quickstart FD+DEDUP plan lowers to a
+        // slot-resolved program — nothing silently falls back.
+        let q = parse_query(
+            "SELECT * FROM customer c \
+             FD(c.address, c.nationkey) \
+             DEDUP(token_filtering(2), LD, 0.7, c.name)",
+        )
+        .unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let plans: Vec<Arc<Alg>> = dq
+            .ops
+            .iter()
+            .map(|op| lower_op(&op.comp).unwrap())
+            .collect();
+        let tables = catalog();
+        let mut eval_ctx = EvalCtx::new();
+        for op in &dq.ops {
+            eval_ctx.prepare_blockers(&op.comp, &[]);
+        }
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(ctx, EngineProfile::clean_db(), &tables, Arc::new(eval_ctx));
+        ex.register_plans(&plans);
+        for p in &plans {
+            ex.run_reduce(p).unwrap();
+        }
+        assert!(ex.compiled_exprs > 0, "compiled path must engage");
+        assert_eq!(
+            ex.interpreted_exprs, 0,
+            "no interpreter fallback on the quickstart plans"
+        );
+    }
+
+    #[test]
+    fn string_keyed_theta_join_prunes_soundly() {
+        // Theta join on a *string* key: prefix-key pruning must not drop
+        // pairs, whichever strategy runs.
+        use crate::algebra::plan::{HintKind, ThetaHint};
+        let mut tables = HashMap::new();
+        let rows: Vec<Value> = (0..60)
+            .map(|i| row(i, "a st", 1, &format!("n{:02}", i)))
+            .collect();
+        tables.insert("customer".to_string(), Arc::new(rows));
+        let pred = CalcExpr::bin(
+            BinOp::Lt,
+            CalcExpr::proj(CalcExpr::var("t1"), "name"),
+            CalcExpr::proj(CalcExpr::var("t2"), "name"),
+        );
+        let plan = Arc::new(Alg::Reduce {
+            input: Arc::new(Alg::ThetaJoin {
+                left: Arc::new(Alg::Scan {
+                    table: "customer".into(),
+                    var: "t1".into(),
+                }),
+                right: Arc::new(Alg::Scan {
+                    table: "customer".into(),
+                    var: "t2".into(),
+                }),
+                pred: pred.clone(),
+                hint: ThetaHint {
+                    left_key: CalcExpr::proj(CalcExpr::var("t1"), "name"),
+                    right_key: CalcExpr::proj(CalcExpr::var("t2"), "name"),
+                    kind: HintKind::LeftLessThanRight,
+                },
+            }),
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::record(vec![
+                ("l", CalcExpr::proj(CalcExpr::var("t1"), ROWID_FIELD)),
+                ("r", CalcExpr::proj(CalcExpr::var("t2"), ROWID_FIELD)),
+            ]),
+        });
+        // 60 distinct names: l.name < r.name holds for 60*59/2 pairs.
+        let expected = 60 * 59 / 2;
+        for profile in [
+            EngineProfile::clean_db(),
+            EngineProfile::spark_sql_like(),
+            EngineProfile::big_dansing_like(),
+            EngineProfile::adaptive(),
+        ] {
+            let ctx = ExecContext::new(2, 4);
+            let mut ex = Executor::new(ctx, profile.clone(), &tables, Arc::new(EvalCtx::new()));
+            if profile.adaptive {
+                ex.set_stats(stats_for(&tables));
+            }
+            ex.register_plans(std::slice::from_ref(&plan));
+            let out = ex.run_reduce(&plan).unwrap();
+            assert_eq!(out.len(), expected, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn string_theta_join_survives_null_first_key() {
+        // Regression: the widening must not be disabled by an
+        // unrepresentative first row — here the first key value is NULL
+        // while the rest are strings sharing a 6-byte prefix (all collide
+        // onto one prefix key, so unwidened Lt pruning would drop every
+        // block).
+        use crate::algebra::plan::{HintKind, ThetaHint};
+        let mut tables = HashMap::new();
+        let mut rows = vec![Value::record([
+            (ROWID_FIELD, Value::Int(0)),
+            ("name", Value::Null),
+        ])];
+        rows.extend((1..40).map(|i| {
+            Value::record([
+                (ROWID_FIELD, Value::Int(i)),
+                ("name", Value::str(format!("prefix{:03}", i))),
+            ])
+        }));
+        tables.insert("customer".to_string(), Arc::new(rows));
+        let pred = CalcExpr::bin(
+            BinOp::Lt,
+            CalcExpr::proj(CalcExpr::var("t1"), "name"),
+            CalcExpr::proj(CalcExpr::var("t2"), "name"),
+        );
+        let plan = Arc::new(Alg::Reduce {
+            input: Arc::new(Alg::ThetaJoin {
+                left: Arc::new(Alg::Scan {
+                    table: "customer".into(),
+                    var: "t1".into(),
+                }),
+                right: Arc::new(Alg::Scan {
+                    table: "customer".into(),
+                    var: "t2".into(),
+                }),
+                pred: pred.clone(),
+                hint: ThetaHint {
+                    left_key: CalcExpr::proj(CalcExpr::var("t1"), "name"),
+                    right_key: CalcExpr::proj(CalcExpr::var("t2"), "name"),
+                    kind: HintKind::LeftLessThanRight,
+                },
+            }),
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::proj(CalcExpr::var("t1"), ROWID_FIELD),
+        });
+        // 39 distinct non-null names: 39*38/2 Lt pairs; NULL compares false.
+        let expected = 39 * 38 / 2;
+        for profile in [EngineProfile::big_dansing_like(), EngineProfile::clean_db()] {
+            let ctx = ExecContext::new(2, 4);
+            let mut ex = Executor::new(ctx, profile.clone(), &tables, Arc::new(EvalCtx::new()));
+            let out = ex.run_reduce(&plan).unwrap();
+            assert_eq!(out.len(), expected, "{}", profile.name);
+        }
+    }
+
+    #[test]
+    fn mixed_type_theta_keys_force_cartesian() {
+        // Numeric and string keys have no common pruning domain (and
+        // Value's cross-type order ranks every number below every string):
+        // pruning strategies must be overridden to the cartesian path.
+        use crate::algebra::plan::{HintKind, ThetaHint};
+        let mut tables = HashMap::new();
+        let rows: Vec<Value> = (0..30)
+            .map(|i| {
+                Value::record([
+                    (ROWID_FIELD, Value::Int(i)),
+                    (
+                        "k",
+                        // Large ints (above the 48-bit string-key range)
+                        // first, strings only deep in the partitions — a
+                        // windowed sniff would miss them.
+                        if i < 15 {
+                            Value::Int((1 << 50) + i)
+                        } else {
+                            Value::str(format!("s{:02}", i))
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        // Reference count under Value's total order: int < string always.
+        let mut expected = 0;
+        for a in 0..30i64 {
+            for b in 0..30i64 {
+                let va = if a < 15 {
+                    Value::Int((1 << 50) + a)
+                } else {
+                    Value::str(format!("s{:02}", a))
+                };
+                let vb = if b < 15 {
+                    Value::Int((1 << 50) + b)
+                } else {
+                    Value::str(format!("s{:02}", b))
+                };
+                if va < vb {
+                    expected += 1;
+                }
+            }
+        }
+        tables.insert("t".to_string(), Arc::new(rows));
+        let pred = CalcExpr::bin(
+            BinOp::Lt,
+            CalcExpr::proj(CalcExpr::var("t1"), "k"),
+            CalcExpr::proj(CalcExpr::var("t2"), "k"),
+        );
+        let plan = Arc::new(Alg::Reduce {
+            input: Arc::new(Alg::ThetaJoin {
+                left: Arc::new(Alg::Scan {
+                    table: "t".into(),
+                    var: "t1".into(),
+                }),
+                right: Arc::new(Alg::Scan {
+                    table: "t".into(),
+                    var: "t2".into(),
+                }),
+                pred: pred.clone(),
+                hint: ThetaHint {
+                    left_key: CalcExpr::proj(CalcExpr::var("t1"), "k"),
+                    right_key: CalcExpr::proj(CalcExpr::var("t2"), "k"),
+                    kind: HintKind::LeftLessThanRight,
+                },
+            }),
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::proj(CalcExpr::var("t1"), ROWID_FIELD),
+        });
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(
+            ctx,
+            EngineProfile::big_dansing_like(),
+            &tables,
+            Arc::new(EvalCtx::new()),
+        );
+        let out = ex.run_reduce(&plan).unwrap();
+        assert_eq!(out.len(), expected);
+        assert!(
+            ex.decisions
+                .iter()
+                .any(|d| d.reason.contains("mixed numeric/text")),
+            "{:?}",
+            ex.decisions
+        );
+    }
+
+    #[test]
+    fn adaptive_theta_reads_string_histograms() {
+        // Text join keys + enough rows to clear the tiny-input threshold:
+        // the cost model must consult the *string* histograms rather than
+        // falling back to "no histograms".
+        let mut tables = HashMap::new();
+        let rows: Vec<Value> = (0..300)
+            .map(|i| row(i, "a st", 1, &format!("name-{:04}", i)))
+            .collect();
+        tables.insert("customer".to_string(), Arc::new(rows));
+        let stats = stats_for(&tables);
+        let ctx = ExecContext::new(2, 4);
+        let mut ex = Executor::new(
+            ctx,
+            EngineProfile::adaptive(),
+            &tables,
+            Arc::new(EvalCtx::new()),
+        );
+        ex.set_stats(stats);
+        ex.scan_vars.insert("t1".into(), "customer".into());
+        ex.scan_vars.insert("t2".into(), "customer".into());
+        use crate::algebra::plan::{HintKind, ThetaHint};
+        let hint = ThetaHint {
+            left_key: CalcExpr::proj(CalcExpr::var("t1"), "name"),
+            right_key: CalcExpr::proj(CalcExpr::var("t2"), "name"),
+            kind: HintKind::LeftLessThanRight,
+        };
+        let (_, _, reason) = ex.choose_theta(&hint, 300.0, 300.0);
+        assert!(
+            !reason.contains("no histograms"),
+            "string histograms must feed the cost model: {reason}"
+        );
     }
 
     #[test]

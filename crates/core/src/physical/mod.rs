@@ -10,6 +10,8 @@
 
 pub mod execute;
 pub mod profile;
+pub mod program;
 
 pub use execute::{Executor, PhaseTimings, PlanDecision, RowEnv};
 pub use profile::{EngineProfile, NestStrategy, ThetaStrategy};
+pub use program::{env_layout, RowExpr};

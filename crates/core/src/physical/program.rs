@@ -1,0 +1,178 @@
+//! Compiled row-expression evaluation for the physical executor.
+//!
+//! The executor knows, statically per plan node, the exact layout of the
+//! row environments flowing through it ([`env_layout`] mirrors how each
+//! operator constructs its `RowEnv`s). That is what makes ahead-of-time
+//! compilation safe: every plan-node expression is lowered **once** via
+//! [`Program::compile`] against that layout, and partitions are then
+//! evaluated by the flat register machine with a per-worker reusable
+//! scratch stack — no string-keyed environment scans, no per-row
+//! environment allocation, no `Value` clones beyond the leaves.
+//!
+//! [`RowExpr`] packages a compiled program with the tree-walking
+//! interpreter as reference fallback: expressions the compiler cannot
+//! lower (unknown tables, variables outside the layout) keep the exact
+//! interpreted semantics, and `Executor` counts both outcomes so tests can
+//! pin that the hot paths really run compiled.
+
+use std::cell::RefCell;
+
+use cleanm_values::{Result, Value};
+
+use crate::algebra::plan::Alg;
+use crate::calculus::compile::Program;
+use crate::calculus::eval::{eval, EvalCtx};
+use crate::calculus::CalcExpr;
+
+use super::execute::RowEnv;
+
+thread_local! {
+    /// Per-worker scratch stack shared by every compiled evaluation on this
+    /// thread: the batch entry points clear it between rows, so the inner
+    /// loop performs no stack allocation at all.
+    static SCRATCH: RefCell<Vec<Value>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A row-level expression as the executor runs it: compiled to a
+/// slot-resolved [`Program`] when the expression lowers cleanly, with the
+/// tree-walking interpreter kept as the reference fallback.
+pub struct RowExpr {
+    program: Option<Program>,
+    expr: CalcExpr,
+}
+
+impl RowExpr {
+    /// Compile `expr` against the plan node's environment layout `scope`.
+    /// Compilation failure is not an error — the interpreter remains the
+    /// semantics of record.
+    pub fn compile(expr: &CalcExpr, scope: &[String], ctx: &EvalCtx) -> RowExpr {
+        RowExpr {
+            program: Program::compile(expr, scope, ctx).ok(),
+            expr: expr.clone(),
+        }
+    }
+
+    /// Did compilation succeed (vs. interpreter fallback)?
+    pub fn is_compiled(&self) -> bool {
+        self.program.is_some()
+    }
+
+    /// Evaluate one row environment.
+    pub fn eval_env(&self, env: &RowEnv, ctx: &EvalCtx) -> Result<Value> {
+        match &self.program {
+            Some(p) if p.scope_len() == env.len() => {
+                SCRATCH.with(|s| p.eval_with(env, ctx, &mut s.borrow_mut()))
+            }
+            _ => eval(&self.expr, env, ctx),
+        }
+    }
+
+    /// Evaluate over a concatenated `(left, right)` environment pair
+    /// without materializing the merged environment — the theta-join inner
+    /// loop, which previously cloned both sides per candidate pair.
+    pub fn eval_pair(&self, left: &RowEnv, right: &RowEnv, ctx: &EvalCtx) -> Result<Value> {
+        match &self.program {
+            Some(p) if p.scope_len() == left.len() + right.len() => {
+                SCRATCH.with(|s| p.eval_pair(left, right, ctx, &mut s.borrow_mut()))
+            }
+            _ => {
+                let mut env = left.clone();
+                env.extend(right.iter().cloned());
+                eval(&self.expr, &env, ctx)
+            }
+        }
+    }
+}
+
+/// The ordered variable names of the row environments `plan` produces.
+/// This mirrors exactly how the executor constructs `RowEnv`s: `Scan`
+/// binds its variable, `Select` passes through, `Unnest` appends its
+/// variable, `Nest` rebinds to the group variable, and both joins
+/// concatenate left-then-right.
+pub fn env_layout(plan: &Alg) -> Vec<String> {
+    match plan {
+        Alg::Scan { var, .. } => vec![var.clone()],
+        Alg::Select { input, .. } | Alg::Reduce { input, .. } => env_layout(input),
+        Alg::Unnest { input, var, .. } => {
+            let mut layout = env_layout(input);
+            layout.push(var.clone());
+            layout
+        }
+        Alg::Nest { group_var, .. } => vec![group_var.clone()],
+        Alg::Join { left, right, .. } | Alg::ThetaJoin { left, right, .. } => {
+            let mut layout = env_layout(left);
+            layout.extend(env_layout(right));
+            layout
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::BinOp;
+    use std::sync::Arc;
+
+    #[test]
+    fn env_layout_mirrors_operator_construction() {
+        let scan = Arc::new(Alg::Scan {
+            table: "t".into(),
+            var: "c".into(),
+        });
+        let select = Arc::new(Alg::Select {
+            input: Arc::clone(&scan),
+            pred: CalcExpr::boolean(true),
+        });
+        let unnest = Arc::new(Alg::Unnest {
+            input: Arc::clone(&select),
+            path: CalcExpr::var("c"),
+            var: "e".into(),
+        });
+        assert_eq!(env_layout(&unnest), vec!["c".to_string(), "e".to_string()]);
+        let nest = Arc::new(Alg::Nest {
+            input: Arc::clone(&unnest),
+            algo: crate::calculus::FilterAlgo::Exact,
+            key: CalcExpr::var("e"),
+            item: CalcExpr::var("e"),
+            group_var: "g".into(),
+        });
+        assert_eq!(env_layout(&nest), vec!["g".to_string()]);
+        let join = Alg::ThetaJoin {
+            left: Arc::clone(&scan),
+            right: Arc::new(Alg::Scan {
+                table: "t".into(),
+                var: "d".into(),
+            }),
+            pred: CalcExpr::boolean(true),
+            hint: crate::algebra::plan::ThetaHint {
+                left_key: CalcExpr::var("c"),
+                right_key: CalcExpr::var("d"),
+                kind: crate::algebra::plan::HintKind::Any,
+            },
+        };
+        assert_eq!(env_layout(&join), vec!["c".to_string(), "d".to_string()]);
+    }
+
+    #[test]
+    fn row_expr_falls_back_when_uncompilable() {
+        let ctx = EvalCtx::new();
+        // References a table the context does not know: compile fails, the
+        // interpreter fallback reports the same runtime error.
+        let expr = CalcExpr::Exists(Box::new(CalcExpr::TableRef("missing".into())));
+        let rx = RowExpr::compile(&expr, &[], &ctx);
+        assert!(!rx.is_compiled());
+        assert!(rx.eval_env(&Vec::new(), &ctx).is_err());
+    }
+
+    #[test]
+    fn row_expr_pair_matches_merged_eval() {
+        let ctx = EvalCtx::new();
+        let scope = vec!["a".to_string(), "b".to_string()];
+        let expr = CalcExpr::bin(BinOp::Lt, CalcExpr::var("a"), CalcExpr::var("b"));
+        let rx = RowExpr::compile(&expr, &scope, &ctx);
+        assert!(rx.is_compiled());
+        let l = vec![("a".to_string(), Value::Int(1))];
+        let r = vec![("b".to_string(), Value::Int(2))];
+        assert_eq!(rx.eval_pair(&l, &r, &ctx).unwrap(), Value::Bool(true));
+    }
+}

@@ -113,6 +113,49 @@ impl<T: Data> Dataset<T> {
         Dataset { ctx, parts }
     }
 
+    /// Partition-at-a-time filtering (narrow): `f` retains the surviving
+    /// records of each partition in place. This is the batch entry point
+    /// compiled row programs use — one scratch allocation per partition
+    /// instead of per record — and it reports the same `filter` stage as
+    /// [`Dataset::filter`].
+    pub fn filter_partitions(self, f: impl Fn(&mut Vec<T>) + Sync) -> Dataset<T> {
+        let ctx = self.ctx;
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let (parts, busy) = run_partitions(&ctx, self.parts, |_, mut part| {
+            f(&mut part);
+            part
+        });
+        ctx.metrics().push_stage(StageReport {
+            operator: "filter",
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Partition-at-a-time transform (narrow) with an explicit stage label:
+    /// the batched analogue of [`Dataset::map`] / [`Dataset::flat_map`],
+    /// letting callers that evaluate compiled programs over whole
+    /// partitions keep the metrics attribution of the per-record operator
+    /// they replace.
+    pub fn transform_partitions<U: Data>(
+        self,
+        label: &'static str,
+        f: impl Fn(Vec<T>) -> Vec<U> + Sync,
+    ) -> Dataset<U> {
+        let ctx = self.ctx;
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| f(part));
+        ctx.metrics().push_stage(StageReport {
+            operator: label,
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
     /// One-to-many transform (narrow) — Spark's `flatMap`, the physical
     /// translation of the algebra's Unnest. Per-worker busy time is
     /// recorded (unnesting a skewed group layout is where stragglers form).
@@ -135,16 +178,18 @@ impl<T: Data> Dataset<T> {
     /// the Nest translation to apply per-group output/filter functions after
     /// the shuffle.
     pub fn map_partitions<U: Data>(self, f: impl Fn(Vec<T>) -> Vec<U> + Sync) -> Dataset<U> {
-        let ctx = self.ctx;
-        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| f(part));
-        let records_in: u64 = parts.iter().map(|p| p.len() as u64).sum();
-        ctx.metrics().push_stage(StageReport {
-            operator: "map_partitions",
-            records_in,
-            records_shuffled: 0,
-            worker_busy_ns: busy,
-        });
-        Dataset { ctx, parts }
+        self.transform_partitions("map_partitions", f)
+    }
+
+    /// Fold each whole partition with `f` on the worker pool and return the
+    /// per-partition results — a metrics-silent analytical peek (no stage
+    /// report, no shuffle accounting) for planner-side checks such as key
+    /// type classification. For accounted statistics collection use
+    /// [`Dataset::summarize_partitions`] instead.
+    pub fn probe_partitions<A: Data>(&self, f: impl Fn(&[T]) -> A + Sync) -> Vec<A> {
+        let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
+        let (partials, _busy) = run_partitions(&self.ctx, refs, |_, part| f(part));
+        partials
     }
 
     /// One-pass per-partition summarization: apply `f` to each whole
@@ -204,6 +249,77 @@ pub fn summarize_rows<T: Sync, A: Data>(
         worker_busy_ns: busy,
     });
     partials
+}
+
+/// Merge per-partition partials **tree-wise on the worker pool**: each
+/// round pairs partials up and merges every pair in parallel, so the merge
+/// depth is `⌈log₂ n⌉` rounds instead of a driver-sequential chain of
+/// `n - 1` merges. `merge` must be associative (the partials are monoid
+/// values). Returns `None` for an empty input.
+///
+/// No stage or shuffle is charged: the partials were already accounted for
+/// by the collection pass that produced them, and the merges run where the
+/// pool's workers sit.
+pub fn merge_tree<A: Data>(
+    ctx: &Arc<ExecContext>,
+    mut partials: Vec<A>,
+    merge: impl Fn(A, A) -> A + Sync,
+) -> Option<A> {
+    while partials.len() > 1 {
+        let mut pairs: Vec<Vec<A>> = Vec::with_capacity(partials.len().div_ceil(2));
+        let mut it = partials.into_iter();
+        while let Some(first) = it.next() {
+            match it.next() {
+                Some(second) => pairs.push(vec![first, second]),
+                None => pairs.push(vec![first]),
+            }
+        }
+        let (merged, _busy) = run_partitions(ctx, pairs, |_, pair| {
+            let mut it = pair.into_iter();
+            let first = it.next().expect("non-empty pair");
+            match it.next() {
+                Some(second) => merge(first, second),
+                None => first,
+            }
+        });
+        partials = merged;
+    }
+    partials.into_iter().next()
+}
+
+#[cfg(test)]
+mod merge_tree_tests {
+    use super::*;
+
+    #[test]
+    fn tree_merge_equals_sequential_fold() {
+        let ctx = ExecContext::new(4, 8);
+        for n in [0usize, 1, 2, 3, 7, 8, 33] {
+            let partials: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64]).collect();
+            let merged = merge_tree(&ctx, partials.clone(), |mut a, b| {
+                a.extend(b);
+                a
+            });
+            match n {
+                0 => assert!(merged.is_none()),
+                _ => {
+                    let mut got = merged.unwrap();
+                    got.sort_unstable();
+                    let want: Vec<u64> = (0..n as u64).collect();
+                    assert_eq!(got, want, "n = {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_merge_moves_no_records() {
+        let ctx = ExecContext::new(2, 4);
+        let before = ctx.metrics().snapshot().records_shuffled;
+        let out = merge_tree(&ctx, vec![1u64, 2, 3, 4, 5], |a, b| a + b);
+        assert_eq!(out, Some(15));
+        assert_eq!(ctx.metrics().snapshot().records_shuffled, before);
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::heavy::HeavyHitters;
 use crate::histogram::EquiDepthHistogram;
 use crate::hll::Hll;
 use crate::reservoir::Reservoir;
+use crate::strkey::string_key;
 use crate::StatsConfig;
 
 /// Streaming summary of one column. Every part is mergeable, so
@@ -18,10 +19,15 @@ pub struct ColumnStats {
     nulls: u64,
     /// Observations with a numeric (int/float) value.
     numeric: u64,
+    /// Observations with a string value.
+    strings: u64,
     min: Option<Value>,
     max: Option<Value>,
     distinct: Hll,
     sample: Reservoir<f64>,
+    /// Reservoir of order-preserving prefix keys of the string projection —
+    /// the sample behind string histograms (text theta pruning).
+    str_sample: Reservoir<f64>,
     heavy: HeavyHitters<Value>,
 }
 
@@ -32,10 +38,12 @@ impl ColumnStats {
             count: 0,
             nulls: 0,
             numeric: 0,
+            strings: 0,
             min: None,
             max: None,
             distinct: Hll::new(config.hll_precision),
             sample: Reservoir::new(config.sample_capacity),
+            str_sample: Reservoir::new(config.sample_capacity),
             heavy: HeavyHitters::new(config.heavy_capacity),
         }
     }
@@ -60,6 +68,9 @@ impl ColumnStats {
         if let Ok(x) = v.as_float() {
             self.numeric += 1;
             self.sample.observe(x);
+        } else if let Value::Str(s) = v {
+            self.strings += 1;
+            self.str_sample.observe(string_key(s));
         }
     }
 
@@ -69,6 +80,7 @@ impl ColumnStats {
         self.count += other.count;
         self.nulls += other.nulls;
         self.numeric += other.numeric;
+        self.strings += other.strings;
         if let Some(om) = &other.min {
             match &self.min {
                 Some(m) if m <= om => {}
@@ -83,6 +95,7 @@ impl ColumnStats {
         }
         self.distinct.merge(&other.distinct);
         self.sample.merge(&other.sample);
+        self.str_sample.merge(&other.str_sample);
         self.heavy.merge(&other.heavy);
     }
 
@@ -150,6 +163,48 @@ impl ColumnStats {
         }
         EquiDepthHistogram::from_sample(self.sample.items(), buckets, self.sample.seen())
     }
+
+    /// Exact number of numeric (int/float) observations.
+    pub fn numeric_count(&self) -> u64 {
+        self.numeric
+    }
+
+    /// Exact number of string observations.
+    pub fn string_count(&self) -> u64 {
+        self.strings
+    }
+
+    /// Is the column (mostly) text? String histograms only exist for these.
+    pub fn is_textual(&self) -> bool {
+        let non_null = self.count - self.nulls;
+        non_null > 0 && self.strings * 2 > non_null
+    }
+
+    /// Equi-depth histogram over the **prefix keys** of a text column
+    /// ([`crate::string_key`]) — the statistic behind theta pruning on
+    /// string predicates. `None` when the column is not (mostly) text.
+    pub fn string_histogram(&self) -> Option<EquiDepthHistogram> {
+        if !self.is_textual() {
+            return None;
+        }
+        EquiDepthHistogram::from_sample(
+            self.str_sample.items(),
+            self.config.histogram_buckets,
+            self.str_sample.seen(),
+        )
+    }
+
+    /// The histogram usable for theta-join pruning, with a flag saying
+    /// whether its keys are string prefix keys (`true`) — in which case
+    /// range comparisons must widen by
+    /// [`crate::STRING_KEY_RESOLUTION`] to stay sound under prefix
+    /// collisions — or exact numeric values (`false`).
+    pub fn pruning_histogram(&self) -> Option<(EquiDepthHistogram, bool)> {
+        if let Some(h) = self.histogram() {
+            return Some((h, false));
+        }
+        self.string_histogram().map(|h| (h, true))
+    }
 }
 
 #[cfg(test)]
@@ -174,13 +229,61 @@ mod tests {
     }
 
     #[test]
-    fn string_columns_have_no_histogram() {
+    fn string_columns_have_no_numeric_histogram() {
         let mut c = ColumnStats::new(StatsConfig::default());
         c.observe(&Value::str("a"));
         c.observe(&Value::str("b"));
         assert!(!c.is_numeric());
+        assert!(c.is_textual());
         assert!(c.histogram().is_none());
         assert_eq!(c.min(), Some(&Value::str("a")));
+    }
+
+    #[test]
+    fn text_columns_cut_string_histograms() {
+        let mut c = ColumnStats::new(StatsConfig::default());
+        for i in 0..500 {
+            c.observe(&Value::str(format!("name-{:04}", i)));
+        }
+        let (h, textual) = c.pruning_histogram().expect("string histogram");
+        assert!(textual);
+        assert_eq!(h.rows(), 500);
+        // Keys are monotone in string order, so quantile boundaries are too.
+        let b = h.boundaries();
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        // The histogram covers the whole key range.
+        let (lo, hi) = h.range();
+        assert!(lo <= crate::string_key("name-0000"));
+        assert!(hi >= crate::string_key("name-0499"));
+        // A numeric column still reports a numeric pruning histogram.
+        let mut n = ColumnStats::new(StatsConfig::default());
+        for i in 0..100 {
+            n.observe(&Value::Int(i));
+        }
+        let (_, textual) = n.pruning_histogram().unwrap();
+        assert!(!textual);
+    }
+
+    #[test]
+    fn string_sample_merge_matches_single_pass() {
+        let mut a = ColumnStats::new(StatsConfig::default());
+        let mut b = ColumnStats::new(StatsConfig::default());
+        let mut whole = ColumnStats::new(StatsConfig::default());
+        for i in 0..400 {
+            let v = Value::str(format!("w{i:03}"));
+            if i % 2 == 0 {
+                a.observe(&v);
+            } else {
+                b.observe(&v);
+            }
+            whole.observe(&v);
+        }
+        a.merge(&b);
+        assert!(a.is_textual());
+        let (ha, _) = a.pruning_histogram().unwrap();
+        let (hw, _) = whole.pruning_histogram().unwrap();
+        assert_eq!(ha.rows(), hw.rows());
+        assert_eq!(ha.range(), hw.range());
     }
 
     #[test]

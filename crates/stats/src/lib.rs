@@ -30,6 +30,7 @@ mod heavy;
 mod histogram;
 mod hll;
 mod reservoir;
+mod strkey;
 mod table;
 
 pub use column::ColumnStats;
@@ -37,6 +38,7 @@ pub use heavy::HeavyHitters;
 pub use histogram::{Bucket, EquiDepthHistogram};
 pub use hll::Hll;
 pub use reservoir::Reservoir;
+pub use strkey::{string_key, STRING_KEY_BYTES, STRING_KEY_RESOLUTION};
 pub use table::{collect_table_stats, TableStats};
 
 /// Tuning knobs for statistics collection. The defaults keep a per-column

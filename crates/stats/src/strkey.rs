@@ -1,0 +1,71 @@
+//! Order-preserving numeric keys for strings.
+//!
+//! The histogram / theta-join machinery works over `f64` keys. To let
+//! equi-depth histograms (and therefore M-Bucket matrix pruning) cover
+//! *text* columns, strings are mapped to the integer formed by their first
+//! [`STRING_KEY_BYTES`] bytes, big-endian — a monotone embedding of the
+//! lexicographic byte order into `f64`:
+//!
+//! * `a <= b` (bytewise) implies `string_key(a) <= string_key(b)`, so range
+//!   pruning over keys never misorders strings;
+//! * 6 bytes = 48 bits fit exactly in an `f64` mantissa, so consecutive
+//!   keys differ by at least [`STRING_KEY_RESOLUTION`] — which is the
+//!   widening slack pruning must allow, because **distinct strings sharing
+//!   a 6-byte prefix collide onto the same key**. A sound pruning predicate
+//!   over string-key ranges therefore treats range endpoints as inclusive
+//!   up to one resolution step (see the executor's theta pruning).
+
+/// Bytes of prefix folded into the key (48 bits, exact in an `f64`).
+pub const STRING_KEY_BYTES: usize = 6;
+
+/// Minimum spacing between keys of strings that differ within the prefix.
+/// Pruning predicates over string-key ranges must widen by this much to
+/// stay sound under prefix collisions.
+pub const STRING_KEY_RESOLUTION: f64 = 1.0;
+
+/// The order-preserving key of `s` (see module docs).
+pub fn string_key(s: &str) -> f64 {
+    let mut k: u64 = 0;
+    let bytes = s.as_bytes();
+    for i in 0..STRING_KEY_BYTES {
+        k = (k << 8) | u64::from(bytes.get(i).copied().unwrap_or(0));
+    }
+    k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_is_monotone_in_byte_order() {
+        let mut words = vec![
+            "", "a", "ab", "abc", "abcdef", "abcdefg", "b", "ba", "zz", "éclair", "zebra",
+            "aardvark", "Zebra", "  ", "0", "9",
+        ];
+        words.sort_unstable();
+        for w in words.windows(2) {
+            assert!(
+                string_key(w[0]) <= string_key(w[1]),
+                "{:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_short_strings_get_distinct_keys() {
+        assert!(string_key("anna") < string_key("annb"));
+        assert!(string_key("a") < string_key("aa"));
+    }
+
+    #[test]
+    fn prefix_collisions_are_within_resolution() {
+        // Strings sharing the first 6 bytes collide exactly.
+        assert_eq!(string_key("abcdefXXX"), string_key("abcdefYYY"));
+        // Strings differing in byte 6 are at least one resolution apart.
+        let d = string_key("abcdf") - string_key("abcde");
+        assert!(d >= STRING_KEY_RESOLUTION);
+    }
+}

@@ -104,8 +104,11 @@ impl TableStats {
 /// Collect [`TableStats`] over a table's rows in **one pass** on the exec
 /// substrate: each partition folds its rows into a partial `TableStats`
 /// where they sit ([`cleanm_exec::summarize_rows`], which chunks the shared
-/// row vector in place — no copies), and only the per-partition partials
-/// are moved and merged on the driver. No other shuffle occurs.
+/// row vector in place — no copies). The per-partition partials are then
+/// merged **tree-wise on the worker pool** ([`cleanm_exec::merge_tree`],
+/// `⌈log₂ p⌉` parallel rounds) rather than sequentially on the driver, so
+/// the merge no longer serializes behind one thread as partition counts
+/// grow. No shuffle beyond the one-partial-per-partition movement occurs.
 pub fn collect_table_stats(
     ctx: &Arc<ExecContext>,
     rows: Arc<Vec<Value>>,
@@ -113,11 +116,11 @@ pub fn collect_table_stats(
 ) -> TableStats {
     let partials =
         cleanm_exec::summarize_rows(ctx, &rows, move |part| TableStats::of_rows(part, config));
-    let mut acc = TableStats::new(config);
-    for p in &partials {
-        acc.merge(p);
-    }
-    acc
+    cleanm_exec::merge_tree(ctx, partials, |mut a, b| {
+        a.merge(&b);
+        a
+    })
+    .unwrap_or_else(|| TableStats::new(config))
 }
 
 #[cfg(test)]
