@@ -1,0 +1,71 @@
+//! Incremental cleaning vs batch re-runs: the cost of re-validating after
+//! a 1% append through a standing query (retained FD/DEDUP/DC state),
+//! against a from-scratch run on the concatenated data, plus the plan
+//! cache serving repeated queries.
+//!
+//! The headline table (also what `repro incr` writes to `BENCH_incr.json`)
+//! must show incremental re-cleaning ≥ 5x faster than the full re-run with
+//! byte-identical violation/repair reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cleanm_bench::experiments::incr_append;
+use cleanm_bench::Scale;
+use cleanm_core::{CleanDb, EngineProfile};
+use cleanm_datagen::customer::CustomerGen;
+
+fn bench_incr(c: &mut Criterion) {
+    let scale = Scale::from_env();
+
+    // Headline: one timed append-vs-rerun pass per workload, printed so CI
+    // logs carry the trajectory even when bench medians drift.
+    for row in incr_append(scale) {
+        println!(
+            "[incr] {:<10} {:>8} rows (+{:>5}): full {:>9.2}ms, incremental {:>9.2}ms, \
+             speedup {:>6.2}x, identical={}, plan_cache_hit={}",
+            row.workload,
+            row.rows,
+            row.delta_rows,
+            row.full_ms,
+            row.incremental_ms,
+            row.speedup(),
+            row.identical,
+            row.plan_cache_hit,
+        );
+    }
+
+    // Criterion medians for the two plan-cache paths: first-run planning
+    // vs cached repeats of the same query.
+    let rows = match scale {
+        Scale::Quick => 4_000,
+        Scale::Full => 20_000,
+    };
+    let data = CustomerGen::new(99)
+        .rows(rows)
+        .duplicate_fraction(0.05)
+        .generate();
+    let sql = "SELECT * FROM customer c FD(c.address | c.nationkey)";
+    let mut group = c.benchmark_group("incr");
+    group.sample_size(10);
+    group.bench_function("run_cold_plan", |b| {
+        b.iter(|| {
+            let mut db = CleanDb::new(EngineProfile::clean_db());
+            db.register("customer", data.table.clone());
+            db.run(sql).expect("run")
+        })
+    });
+    let mut warm = CleanDb::new(EngineProfile::clean_db());
+    warm.register("customer", data.table.clone());
+    warm.run(sql).expect("seed plan cache");
+    group.bench_function("run_cached_plan", |b| {
+        b.iter(|| {
+            let report = warm.run(sql).expect("run");
+            assert!(report.plan_cache.hit);
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incr);
+criterion_main!(benches);

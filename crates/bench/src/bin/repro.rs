@@ -1,12 +1,14 @@
 //! `repro` — regenerate every table and figure of the CleanM paper.
 //!
 //! ```text
-//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|eval|all]
+//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|eval|incr|all]
 //! ```
 //!
 //! Set `CLEANM_SCALE=full` for the larger workloads (default: quick).
 //! `eval` additionally writes `BENCH_eval.json` (interpreted vs compiled
-//! rows/sec per workload) so the perf trajectory is trackable across PRs.
+//! rows/sec per workload) and `incr` writes `BENCH_incr.json` (incremental
+//! re-clean after a 1% append vs full re-run) so the perf trajectory is
+//! trackable across PRs.
 
 use cleanm_bench::experiments as exp;
 use cleanm_bench::{fmt_duration, Scale};
@@ -17,7 +19,7 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let known = [
         "table3", "fig3", "fig4", "fig5", "table4", "fig6", "table5", "fig7", "fig8a", "fig8b",
-        "ablation", "eval", "all",
+        "ablation", "eval", "incr", "all",
     ];
     if !known.contains(&arg.as_str()) {
         eprintln!("unknown experiment `{arg}`; one of {known:?}");
@@ -59,6 +61,75 @@ fn main() {
     if want("eval") {
         eval_bench(scale);
     }
+    if want("incr") {
+        incr_bench(scale);
+    }
+}
+
+fn incr_bench(scale: Scale) {
+    println!("## Incr — re-clean after a 1% append: standing query vs full re-run");
+    println!(
+        "{:<10} {:>10} {:>8} {:>12} {:>12} {:>9} {:>10} {:>11}",
+        "workload", "rows", "delta", "full", "incremental", "speedup", "identical", "plan cache"
+    );
+    let rows = exp::incr_append(scale);
+    for r in &rows {
+        println!(
+            "{:<10} {:>10} {:>8} {:>10.2}ms {:>10.2}ms {:>8.2}x {:>10} {:>11}",
+            r.workload,
+            r.rows,
+            r.delta_rows,
+            r.full_ms,
+            r.incremental_ms,
+            r.speedup(),
+            r.identical,
+            if r.workload == "dc_psi" {
+                "n/a"
+            } else if r.plan_cache_hit {
+                "hit"
+            } else {
+                "MISS"
+            },
+        );
+    }
+    // Acceptance gates: identical reports everywhere, a plan-cache hit on
+    // the repeated SQL queries, and ≥5x on at least the FD workload.
+    assert!(rows.iter().all(|r| r.identical), "reports diverged");
+    assert!(
+        rows.iter()
+            .filter(|r| r.workload != "dc_psi")
+            .all(|r| r.plan_cache_hit),
+        "repeated query missed the plan cache"
+    );
+    let fd = rows.iter().find(|r| r.workload == "fd").expect("fd row");
+    assert!(
+        fd.speedup() >= 5.0,
+        "incremental FD re-clean must be ≥5x a full re-run, got {:.2}x",
+        fd.speedup()
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"rows\": {}, \"delta_rows\": {}, \
+             \"full_ms\": {:.3}, \"incremental_ms\": {:.3}, \"speedup\": {:.3}, \
+             \"identical\": {}, \"plan_cache_hit\": {}}}{}\n",
+            r.workload,
+            r.rows,
+            r.delta_rows,
+            r.full_ms,
+            r.incremental_ms,
+            r.speedup(),
+            r.identical,
+            r.plan_cache_hit,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    match std::fs::write("BENCH_incr.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_incr.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_incr.json: {e}"),
+    }
+    println!();
 }
 
 fn eval_bench(scale: Scale) {

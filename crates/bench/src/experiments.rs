@@ -16,6 +16,9 @@ use cleanm_datagen::tpch::{LineitemGen, NoiseColumn};
 use cleanm_formats::{colbin, csv, flatten, json};
 use cleanm_text::Metric;
 
+use cleanm_core::CleaningReport;
+use cleanm_incr::IncrementalSession;
+
 use crate::harness::{all_profiles, budgeted_session, local_context, session, Scale};
 
 pub const SEED: u64 = 20170801;
@@ -1076,6 +1079,210 @@ pub fn eval_compile(scale: Scale) -> Vec<EvalRow> {
     out
 }
 
+// ====================================================================
+// Incremental cleaning — re-clean cost after a 1% append vs a full
+// re-run (benches/incr.rs and repro's BENCH_incr.json trajectory).
+// ====================================================================
+
+/// One incremental-vs-batch measurement (a row of `BENCH_incr.json`).
+#[derive(Debug, Clone)]
+pub struct IncrRow {
+    pub workload: String,
+    /// Total rows after the append.
+    pub rows: usize,
+    pub delta_rows: usize,
+    pub full_ms: f64,
+    pub incremental_ms: f64,
+    /// Violation/repair reports byte-identical between the two paths.
+    pub identical: bool,
+    /// A repeated query on the batch session hit the plan cache.
+    pub plan_cache_hit: bool,
+}
+
+impl IncrRow {
+    pub fn speedup(&self) -> f64 {
+        self.full_ms / self.incremental_ms.max(1e-9)
+    }
+}
+
+/// The violation/repair outcome of a report as comparable bytes: the
+/// (sorted) violating ids plus the sorted repair pairs.
+fn report_fingerprint(report: &CleaningReport) -> String {
+    let mut repairs: Vec<(String, String)> = report
+        .repairs
+        .iter()
+        .map(|r| (r.term.clone(), r.suggestion.clone()))
+        .collect();
+    repairs.sort();
+    format!("{:?}|{repairs:?}", report.violating_ids)
+}
+
+/// Split a generated table into a ~99% base and ~1% append delta.
+fn split_one_percent(table: cleanm_values::Table) -> (cleanm_values::Table, cleanm_values::Table) {
+    let n = table.rows.len();
+    let cut = n - (n / 100).max(1);
+    let mut base_rows = table.rows;
+    let delta_rows = base_rows.split_off(cut);
+    (
+        cleanm_values::Table::new(table.schema.clone(), base_rows),
+        cleanm_values::Table::new(table.schema, delta_rows),
+    )
+}
+
+/// Install `sql` as a standing query over the base table, append the delta
+/// and refresh (timed), then run the same query from scratch over the
+/// concatenated table (timed), asserting identical violation/repair
+/// reports and a plan-cache hit on the repeat.
+fn run_incr_workload(
+    workload: &str,
+    table_name: &str,
+    table: cleanm_values::Table,
+    sql: &str,
+) -> IncrRow {
+    let (base, delta) = split_one_percent(table);
+    let delta_rows = delta.rows.len();
+    let rows = base.rows.len() + delta_rows;
+
+    // Incremental path: standing query installed once, then append+refresh.
+    let mut db = session(EngineProfile::clean_db());
+    db.set_seed(SEED);
+    let mut full_table = base.clone();
+    db.register(table_name, base);
+    let mut incr = IncrementalSession::new(db);
+    let (id, _) = incr.install(sql).expect("install standing query");
+    let start = Instant::now();
+    incr.append(table_name, delta.clone()).expect("append");
+    let incr_report = incr.refresh(id).expect("refresh");
+    let incremental_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        incr_report
+            .incremental
+            .as_ref()
+            .map(|i| i.fallback_ops)
+            .unwrap_or(usize::MAX),
+        0,
+        "{workload}: all ops must revalidate from state"
+    );
+
+    // Batch path: a fresh session re-cleans the concatenated table.
+    full_table.rows.extend(delta.rows);
+    let mut full_db = session(EngineProfile::clean_db());
+    full_db.set_seed(SEED);
+    full_db.register(table_name, full_table);
+    let start = Instant::now();
+    let full_report = full_db.run(sql).expect("full re-run");
+    let full_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    // The same query again: planning must be served from the plan cache.
+    let repeat = full_db.run(sql).expect("repeat run");
+
+    IncrRow {
+        workload: workload.to_string(),
+        rows,
+        delta_rows,
+        full_ms,
+        incremental_ms,
+        identical: report_fingerprint(&incr_report) == report_fingerprint(&full_report),
+        plan_cache_hit: repeat.plan_cache.hit && repeat.plan_cache.hits > 0,
+    }
+}
+
+/// The incremental-cleaning workloads: an FD check over a wide customer
+/// table, the unified FD+DEDUP query of §8.2, and a standing inequality
+/// DC over lineitem (join-key-domain indexes).
+pub fn incr_append(scale: Scale) -> Vec<IncrRow> {
+    let mut out = Vec::new();
+
+    // FD over a large customer table: grouping dominates the batch cost.
+    let fd_rows = match scale {
+        Scale::Quick => 40_000,
+        Scale::Full => 160_000,
+    };
+    let fd_data = CustomerGen::new(SEED)
+        .rows(fd_rows)
+        .duplicate_fraction(0.0)
+        .fd_noise_fraction(0.02)
+        .generate();
+    out.push(run_incr_workload(
+        "fd",
+        "customer",
+        fd_data.table,
+        "SELECT * FROM customer c FD(c.address | c.nationkey)",
+    ));
+
+    // The unified query: FD + dedup with similarity work inside blocks.
+    let dedup_data = CustomerGen::new(SEED ^ 7)
+        .rows(scale.customer_rows() * 2)
+        .duplicate_fraction(0.10)
+        .max_duplicates(50)
+        .fd_noise_fraction(0.02)
+        .generate();
+    out.push(run_incr_workload(
+        "fd_dedup",
+        "customer",
+        dedup_data.table,
+        "SELECT * FROM customer c \
+         FD(c.address | c.nationkey) \
+         DEDUP(exact, LD, 0.8, c.address, c.name)",
+    ));
+
+    // A standing inequality DC: delta rows probe the sorted key domain
+    // instead of re-running the theta self-join.
+    let dc_rows = scale.lineitem_scales()[0].1;
+    let dc_data = LineitemGen::new(SEED)
+        .rows(dc_rows)
+        .noise_column(NoiseColumn::Discount)
+        .generate();
+    let mut prices: Vec<f64> = dc_data
+        .table
+        .rows
+        .iter()
+        .map(|r| r.values()[5].as_float().unwrap())
+        .collect();
+    prices.sort_by(f64::total_cmp);
+    let cap = prices[(prices.len() / 100).max(8).min(prices.len() - 1)];
+    let (base, delta) = split_one_percent(dc_data.table);
+    let delta_rows = delta.rows.len();
+    let rows = base.rows.len() + delta_rows;
+    let dc = InequalityDc::rule_psi("lineitem", cap);
+
+    let mut db = session(EngineProfile::clean_db());
+    let mut full_table = base.clone();
+    db.register("lineitem", base);
+    let mut incr = IncrementalSession::new(db);
+    let (dc_id, _) = incr.install_dc(&dc).expect("install dc");
+    let start = Instant::now();
+    incr.append("lineitem", delta.clone()).expect("append");
+    let incr_outcome = incr.refresh_dc(dc_id).expect("refresh dc");
+    let incremental_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    full_table.rows.extend(delta.rows);
+    let mut full_db = session(EngineProfile::clean_db());
+    full_db.register("lineitem", full_table);
+    let start = Instant::now();
+    let full_outcome = dc.run(&mut full_db).expect("full dc");
+    let full_ms = start.elapsed().as_secs_f64() * 1e3;
+    let identical = match (&incr_outcome, &full_outcome) {
+        (
+            DcOutcome::Completed { violations: a, .. },
+            DcOutcome::Completed { violations: b, .. },
+        ) => a == b,
+        _ => false,
+    };
+    out.push(IncrRow {
+        workload: "dc_psi".to_string(),
+        rows,
+        delta_rows,
+        full_ms,
+        incremental_ms,
+        identical,
+        // The DC path builds plans directly and never consults the plan
+        // cache; the cache-hit acceptance is carried by the SQL workloads.
+        plan_cache_hit: false,
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1137,6 +1344,27 @@ mod tests {
                     row.sf
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn incr_append_matches_batch_and_hits_plan_cache() {
+        // Small-but-real scale: correctness (identical reports, cache
+        // hits) asserted here; the ≥5x speedup claim is repro's at full
+        // workload size.
+        for row in incr_append(Scale::Quick) {
+            assert!(row.identical, "{}: reports diverged", row.workload);
+            assert!(row.delta_rows > 0 && row.delta_rows * 50 <= row.rows);
+            if row.workload != "dc_psi" {
+                assert!(row.plan_cache_hit, "{}: repeat must hit", row.workload);
+            }
+            assert!(
+                row.speedup() > 1.0,
+                "{}: incremental slower than batch ({:.2}ms vs {:.2}ms)",
+                row.workload,
+                row.incremental_ms,
+                row.full_ms
+            );
         }
     }
 

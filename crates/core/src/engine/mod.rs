@@ -9,6 +9,10 @@
 
 pub mod report;
 pub mod session;
+pub mod storage;
 
-pub use report::{CleaningReport, OpResult, Repair};
-pub use session::{CleanDb, EngineError};
+pub use report::{CleaningReport, IncrementalInfo, OpResult, PlanCacheStats, Repair};
+pub use session::{
+    collect_repairs, collect_rowids, combine_local_violations, CleanDb, EngineError, PlannedQuery,
+};
+pub use storage::StoredTable;

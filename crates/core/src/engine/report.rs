@@ -25,10 +25,35 @@ pub struct OpResult {
 }
 
 /// A suggested repair from term validation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Repair {
     pub term: String,
     pub suggestion: String,
+}
+
+/// Plan-cache accounting for one run: whether *this* run was served from
+/// the cache, plus the session-cumulative hit/miss counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// This run skipped planning (and, on the text fast path, parsing).
+    pub hit: bool,
+    /// Session-wide cache hits so far, including this run.
+    pub hits: u64,
+    /// Session-wide cache misses so far, including this run.
+    pub misses: u64,
+}
+
+/// How an incremental refresh produced this report (absent on batch runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IncrementalInfo {
+    /// Newly ingested rows this refresh validated.
+    pub delta_rows: usize,
+    /// Operators revalidated purely from retained state (delta-vs-delta
+    /// plus delta-vs-history; old rows were not rescanned).
+    pub incremental_ops: usize,
+    /// Operators whose state could not be maintained and fell back to a
+    /// full re-run.
+    pub fallback_ops: usize,
 }
 
 /// The result of running one CleanM query.
@@ -58,6 +83,11 @@ pub struct CleaningReport {
     /// The statistics catalog entries consulted for this query (empty for
     /// non-adaptive profiles).
     pub table_stats: HashMap<String, Arc<TableStats>>,
+    /// Plan-cache accounting (hit/miss for this run + session counters).
+    pub plan_cache: PlanCacheStats,
+    /// Present when an incremental session produced this report from
+    /// retained operator state rather than a full pass.
+    pub incremental: Option<IncrementalInfo>,
 }
 
 impl CleaningReport {
@@ -103,6 +133,18 @@ impl CleaningReport {
         for d in &self.decisions {
             out.push_str(&format!("  strategy: {d}\n"));
         }
+        if self.plan_cache.hit {
+            out.push_str(&format!(
+                "  plan cache: hit (session {}h/{}m)\n",
+                self.plan_cache.hits, self.plan_cache.misses
+            ));
+        }
+        if let Some(inc) = &self.incremental {
+            out.push_str(&format!(
+                "  incremental: {} delta rows, {} ops from state, {} fallbacks\n",
+                inc.delta_rows, inc.incremental_ops, inc.fallback_ops
+            ));
+        }
         out
     }
 }
@@ -136,6 +178,8 @@ mod tests {
                 reason: "fixed profile".into(),
             }],
             table_stats: HashMap::new(),
+            plan_cache: PlanCacheStats::default(),
+            incremental: None,
         };
         let s = report.summary();
         assert!(s.contains("LocalAggregate"));

@@ -1,4 +1,17 @@
-//! The CleanDb session: register tables, run CleanM queries.
+//! The CleanDb session: register/append tables, run CleanM queries.
+//!
+//! Beyond the batch pipeline (parse → desugar → normalize → lower → execute)
+//! the session maintains two cross-run structures:
+//!
+//! * an **append-aware catalog** ([`StoredTable`]): `append` adds row
+//!   batches as new partitions instead of replacing the table, bumps the
+//!   table's stats epoch, and tops up cached [`TableStats`] by summarizing
+//!   only the new batches and monoid-merging them in;
+//! * a **plan cache** keyed by the *normalized calculus* of a query plus
+//!   the stats epochs of every table it touches: repeated (or syntactically
+//!   different but calculus-identical) queries skip lowering, sharing
+//!   rewrites, blocker preparation, and expression compilation entirely,
+//!   with hits/misses surfaced in the [`CleaningReport`].
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -6,16 +19,17 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cleanm_exec::{ExecContext, ExecError};
-use cleanm_stats::{collect_table_stats, StatsConfig, TableStats};
-use cleanm_values::{Table, Value};
+use cleanm_stats::{collect_batch_stats, StatsConfig, TableStats};
+use cleanm_values::{intern, intern_all, Table, Value};
 
 use crate::algebra::{lower_op, rewrite_shared, Alg, RewriteStats};
 use crate::calculus::desugar::{desugar_query, DesugaredOp, OpKind, ROWID_FIELD};
 use crate::calculus::{normalize, CalcExpr, EvalCtx, Func, NormalizeStats};
 use crate::lang::{parse_query, Query};
-use crate::physical::{EngineProfile, Executor};
+use crate::physical::{EngineProfile, Executor, ProgramCache};
 
-use super::report::{CleaningReport, OpResult, Repair};
+use super::report::{CleaningReport, OpResult, PlanCacheStats, Repair};
+use super::storage::StoredTable;
 
 /// Engine-level errors.
 #[derive(Debug)]
@@ -48,20 +62,116 @@ impl From<ExecError> for EngineError {
     }
 }
 
+/// A fully planned query, cached across runs: the normalized operator
+/// comprehensions, their (possibly shared) algebra plans, the prepared
+/// evaluation context (blockers), and the compiled row programs the
+/// executor fills in on first execution.
+pub struct PlannedQuery {
+    ops: Vec<DesugaredOp>,
+    plans: Vec<Arc<Alg>>,
+    plan_text: String,
+    normalize_stats: NormalizeStats,
+    rewrite_stats: RewriteStats,
+    eval_ctx: Arc<EvalCtx>,
+    programs: Arc<ProgramCache>,
+    /// Tables whose statistics the adaptive planner consults.
+    stat_tables: Vec<String>,
+    /// Epoch guard: every table (and dictionary) whose state the plan was
+    /// built against, with its epoch at plan time (`None` = absent then).
+    guard: Vec<(String, Option<u64>)>,
+    dict_gen: u64,
+    /// Set when the plan's k-means blockers were seeded from a *sampled*
+    /// corpus (no dictionary registered): the corpus drew from every table
+    /// in the catalog, so the entry is only valid while the whole catalog
+    /// is at this epoch counter.
+    sampled_corpus_epoch: Option<u64>,
+}
+
+impl PlannedQuery {
+    pub fn ops(&self) -> &[DesugaredOp] {
+        &self.ops
+    }
+
+    pub fn plans(&self) -> &[Arc<Alg>] {
+        &self.plans
+    }
+
+    pub fn plan_text(&self) -> &str {
+        &self.plan_text
+    }
+
+    /// The evaluation context (tables/blockers) the plans were compiled
+    /// against — incremental consumers compile their own delta programs
+    /// against the same context so blocking keys match the batch run.
+    pub fn eval_ctx(&self) -> &Arc<EvalCtx> {
+        &self.eval_ctx
+    }
+
+    /// Dictionary generation this plan's blockers were built against.
+    pub fn dict_gen(&self) -> u64 {
+        self.dict_gen
+    }
+
+    /// Were this plan's k-means centers sampled from the catalog (no
+    /// dictionary registered at plan time)? Such blockers change whenever
+    /// the catalog does, so incremental state built on them cannot survive
+    /// appends.
+    pub fn corpus_sampled(&self) -> bool {
+        self.sampled_corpus_epoch.is_some()
+    }
+}
+
+/// Bounded plan cache: normalized-calculus key → planned query, plus a raw
+/// query-text alias that skips parsing for exact repeats.
+struct PlanCache {
+    by_calc: HashMap<String, Arc<PlannedQuery>>,
+    by_text: HashMap<String, String>,
+    hits: u64,
+    misses: u64,
+}
+
+const PLAN_CACHE_CAP: usize = 128;
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            by_calc: HashMap::new(),
+            by_text: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+/// Cached per-table statistics plus the cursor needed to maintain them
+/// incrementally: how many batches the summary has absorbed, and which
+/// registration lineage they belong to.
+struct CachedStats {
+    stats: Arc<TableStats>,
+    batches_seen: usize,
+    lineage: u64,
+}
+
 /// A CleanDB session: a catalog of registered tables plus the engine
 /// profile and runtime context queries execute under.
 pub struct CleanDb {
     ctx: Arc<ExecContext>,
     profile: EngineProfile,
-    tables: HashMap<String, Arc<Vec<Value>>>,
+    tables: HashMap<String, StoredTable>,
     /// Dictionary tables (registered via [`CleanDb::register_dictionary`]):
     /// their terms also serve as the k-means center corpus, as in §8.1.
     dictionaries: HashMap<String, Arc<Vec<String>>>,
-    /// Lazily collected per-table statistics (one single-pass collection per
-    /// table; invalidated on re-registration).
-    stats: HashMap<String, Arc<TableStats>>,
+    /// Per-table statistics, maintained incrementally across appends.
+    stats: HashMap<String, CachedStats>,
     stats_config: StatsConfig,
     seed: u64,
+    /// Session-global epoch counter: every catalog mutation takes the next
+    /// value, so epochs never repeat across re-registrations.
+    epoch_counter: u64,
+    /// Bumped on dictionary registration (dictionaries feed blocker corpora
+    /// even when a query does not reference them by name).
+    dict_gen: u64,
+    plan_cache: PlanCache,
 }
 
 impl CleanDb {
@@ -81,6 +191,9 @@ impl CleanDb {
             stats: HashMap::new(),
             stats_config: StatsConfig::default(),
             seed: 42,
+            epoch_counter: 0,
+            dict_gen: 0,
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -104,84 +217,220 @@ impl CleanDb {
         &self.ctx
     }
 
+    /// Generation counter for dictionary registrations: blocker corpora
+    /// come from dictionaries, so cached plans (and incremental state built
+    /// on them) are only valid while this stays put.
+    pub fn dictionaries_generation(&self) -> u64 {
+        self.dict_gen
+    }
+
+    /// Session-cumulative plan-cache counters `(hits, misses)`.
+    pub fn plan_cache_counters(&self) -> (u64, u64) {
+        (self.plan_cache.hits, self.plan_cache.misses)
+    }
+
+    fn next_epoch(&mut self) -> u64 {
+        self.epoch_counter += 1;
+        self.epoch_counter
+    }
+
     /// Register a relational table. Rows become structs carrying a hidden
-    /// `__rowid` identity used for pair enumeration and violation reporting.
+    /// `__rowid` identity used for pair enumeration and violation
+    /// reporting; field names are interned so a million-row registration
+    /// shares one allocation per column name.
     pub fn register(&mut self, name: &str, table: Table) {
-        let rows: Vec<Value> = table
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, row)| {
-                let mut fields: Vec<(&str, Value)> = vec![(ROWID_FIELD, Value::Int(i as i64))];
-                for (f, v) in table.schema.fields().iter().zip(row.values()) {
-                    fields.push((f.name.as_str(), v.clone()));
-                }
-                Value::record(fields)
-            })
-            .collect();
-        self.tables.insert(name.to_string(), Arc::new(rows));
-        self.stats.remove(name);
+        let rows = rows_to_structs(&table, 0);
+        self.register_values(name, rows);
     }
 
     /// Register rows that are already structs (must contain `__rowid`).
     pub fn register_values(&mut self, name: &str, rows: Vec<Value>) {
-        self.tables.insert(name.to_string(), Arc::new(rows));
+        let epoch = self.next_epoch();
+        self.tables
+            .insert(name.to_string(), StoredTable::new(rows, epoch));
         self.stats.remove(name);
+    }
+
+    /// Append a batch of rows to a registered table as **new partitions**:
+    /// history batches are untouched, the table's stats epoch is bumped,
+    /// and any cached [`TableStats`] are maintained by summarizing only the
+    /// new rows and monoid-merging them into the cached entry. Row ids
+    /// continue from the current row count.
+    pub fn append(&mut self, name: &str, table: Table) -> Result<(), EngineError> {
+        let start = self
+            .tables
+            .get(name)
+            .ok_or_else(|| unknown_table(name))?
+            .len();
+        let rows = rows_to_structs(&table, start as i64);
+        self.append_values(name, rows)
+    }
+
+    /// [`CleanDb::append`] for rows that are already structs (must contain
+    /// `__rowid`; ids must continue the table's sequence for pair
+    /// enumeration to stay symmetric-free).
+    pub fn append_values(&mut self, name: &str, rows: Vec<Value>) -> Result<(), EngineError> {
+        let epoch = self.next_epoch();
+        let stored = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| unknown_table(name))?;
+        stored.append(rows, epoch);
+        // Eagerly top up cached statistics from the new partitions only.
+        if self.stats.contains_key(name) {
+            let _ = self.table_stats(name);
+        }
+        Ok(())
     }
 
     /// Register a dictionary for term validation: a single-column table
     /// exposing each entry under `term`.
     pub fn register_dictionary(&mut self, name: &str, terms: Vec<String>) {
+        let rowid_name = intern(ROWID_FIELD);
+        let term_name = intern("term");
         let rows: Vec<Value> = terms
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                Value::record([(ROWID_FIELD, Value::Int(i as i64)), ("term", Value::str(t))])
+                Value::Struct(
+                    vec![
+                        (Arc::clone(&rowid_name), Value::Int(i as i64)),
+                        (Arc::clone(&term_name), Value::str(t)),
+                    ]
+                    .into(),
+                )
             })
             .collect();
-        self.tables.insert(name.to_string(), Arc::new(rows));
-        self.stats.remove(name);
+        self.register_values(name, rows);
         self.dictionaries.insert(name.to_string(), Arc::new(terms));
+        self.dict_gen += 1;
     }
 
-    pub fn table_rows(&self, name: &str) -> Option<&Arc<Vec<Value>>> {
+    /// The stored table (batches + epochs), if registered.
+    pub fn table(&self, name: &str) -> Option<&StoredTable> {
         self.tables.get(name)
     }
 
-    /// Statistics for a registered table, collected on first request in a
-    /// single `summarize_partitions` pass and cached until the table is
-    /// re-registered.
+    /// All rows of a table as one contiguous shared vector (concatenated
+    /// lazily after appends).
+    pub fn table_rows(&self, name: &str) -> Option<Arc<Vec<Value>>> {
+        self.tables.get(name).map(|t| t.merged_rows())
+    }
+
+    /// Statistics for a registered table. First request collects them in a
+    /// single accounted pass; after appends only the **new** batches are
+    /// summarized and merged into the cached summary (the monoid property
+    /// makes the result identical to recollecting from scratch).
     pub fn table_stats(&mut self, name: &str) -> Option<Arc<TableStats>> {
-        if let Some(s) = self.stats.get(name) {
-            return Some(Arc::clone(s));
-        }
-        let rows = self.tables.get(name)?;
-        let collected = Arc::new(collect_table_stats(
-            &self.ctx,
-            Arc::clone(rows),
-            self.stats_config,
-        ));
-        self.stats.insert(name.to_string(), Arc::clone(&collected));
-        Some(collected)
+        let stored = self.tables.get(name)?;
+        let total_batches = stored.batches().len();
+        let (mut base, seen) = match self.stats.get(name) {
+            Some(c) if c.lineage == stored.created() && c.batches_seen == total_batches => {
+                return Some(Arc::clone(&c.stats));
+            }
+            Some(c) if c.lineage == stored.created() && c.batches_seen < total_batches => {
+                ((*c.stats).clone(), c.batches_seen)
+            }
+            _ => (TableStats::new(self.stats_config), 0),
+        };
+        let fresh = collect_batch_stats(&self.ctx, &stored.batches()[seen..], self.stats_config);
+        base.merge(&fresh);
+        let stats = Arc::new(base);
+        self.stats.insert(
+            name.to_string(),
+            CachedStats {
+                stats: Arc::clone(&stats),
+                batches_seen: total_batches,
+                lineage: stored.created(),
+            },
+        );
+        Some(stats)
     }
 
     /// Crate-internal catalog access for operators that build algebra plans
     /// directly (denial constraints).
-    pub(crate) fn tables_internal(&self) -> &HashMap<String, Arc<Vec<Value>>> {
+    pub(crate) fn tables_internal(&self) -> &HashMap<String, StoredTable> {
         &self.tables
     }
 
-    /// Parse and execute a CleanM query.
+    /// Parse and execute a CleanM query. An exact textual repeat whose
+    /// tables are at the same epochs skips parsing and planning entirely
+    /// (plan-cache fast path).
     pub fn run(&mut self, sql: &str) -> Result<CleaningReport, EngineError> {
+        if let Some(entry) = self.lookup_text(sql) {
+            return self.execute_planned(&entry, true);
+        }
         let query = parse_query(sql)?;
-        self.run_query(&query)
+        self.run_query_internal(Some(sql), &query)
     }
 
-    /// Execute a parsed query through the full three-level pipeline.
+    /// Execute a parsed query through the full three-level pipeline (or the
+    /// plan cache, when its normalized calculus was planned before).
     pub fn run_query(&mut self, query: &Query) -> Result<CleaningReport, EngineError> {
-        let started = Instant::now();
-        self.ctx.metrics().reset();
+        self.run_query_internal(None, query)
+    }
 
+    /// The cached plan for a query text, if present and still valid — the
+    /// hook incremental sessions use to reuse a run's plans and context.
+    pub fn cached_plan(&self, sql: &str) -> Option<Arc<PlannedQuery>> {
+        let calc_key = self.plan_cache.by_text.get(&self.text_key(sql))?;
+        let entry = self.plan_cache.by_calc.get(calc_key)?;
+        self.entry_valid(entry).then(|| Arc::clone(entry))
+    }
+
+    fn text_key(&self, sql: &str) -> String {
+        format!("{}\u{1f}{}\u{1f}{sql}", self.profile.name, self.seed)
+    }
+
+    fn calc_key(&self, ops: &[DesugaredOp]) -> String {
+        use std::fmt::Write;
+        let mut key = format!("{}\u{1f}{}", self.profile.name, self.seed);
+        for op in ops {
+            let _ = write!(key, "\u{1f}{:?} {}", op.kind, op.comp);
+        }
+        key
+    }
+
+    /// Is a cached plan still safe to run? Every table it was planned
+    /// against must be at the same epoch (appends and re-registrations both
+    /// move epochs), no dictionary may have been (re)registered since
+    /// (dictionaries feed blocker corpora), and a plan whose k-means
+    /// corpus was *sampled from the catalog* requires the whole catalog
+    /// untouched.
+    fn entry_valid(&self, entry: &PlannedQuery) -> bool {
+        entry.dict_gen == self.dict_gen
+            && entry
+                .sampled_corpus_epoch
+                .map(|e| e == self.epoch_counter)
+                .unwrap_or(true)
+            && entry
+                .guard
+                .iter()
+                .all(|(t, e)| self.tables.get(t).map(StoredTable::epoch) == *e)
+    }
+
+    fn lookup_text(&mut self, sql: &str) -> Option<Arc<PlannedQuery>> {
+        let calc_key = self.plan_cache.by_text.get(&self.text_key(sql))?.clone();
+        self.lookup_calc(&calc_key)
+    }
+
+    fn lookup_calc(&mut self, calc_key: &str) -> Option<Arc<PlannedQuery>> {
+        match self.plan_cache.by_calc.get(calc_key) {
+            Some(entry) if self.entry_valid(entry) => Some(Arc::clone(entry)),
+            Some(_) => {
+                // Stale (an epoch moved): drop it; the caller re-plans.
+                self.plan_cache.by_calc.remove(calc_key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn run_query_internal(
+        &mut self,
+        text: Option<&str>,
+        query: &Query,
+    ) -> Result<CleaningReport, EngineError> {
         // Level 1a: Monoid Rewriter (desugar).
         let dq = desugar_query(query, self.seed)?;
 
@@ -203,6 +452,16 @@ impl CleanDb {
             });
         }
 
+        // Plan-cache lookup on the normalized calculus: a hit skips
+        // lowering, sharing rewrites, blocker prep, and compilation.
+        let calc_key = self.calc_key(&normalized);
+        if let Some(entry) = self.lookup_calc(&calc_key) {
+            if let Some(sql) = text {
+                self.remember_text_alias(sql, &calc_key);
+            }
+            return self.execute_planned(&entry, true);
+        }
+
         // Level 2: lowering + sharing rewrite.
         let mut plans: Vec<Arc<Alg>> = Vec::with_capacity(normalized.len());
         for op in &normalized {
@@ -219,30 +478,104 @@ impl CleanDb {
             .map(|(p, op)| format!("-- {}\n{}", op.label, p.explain()))
             .collect();
 
-        // Statistics catalog (adaptive profiles only): collect once per
-        // referenced table — a single summarize_partitions pass each —
-        // before the executor makes its per-node strategy decisions.
+        let stat_tables = referenced_tables(&normalized);
+        let mut guard_names: HashSet<String> = stat_tables.iter().cloned().collect();
+        guard_names.extend(self.dictionaries.keys().cloned());
+        let mut guard: Vec<(String, Option<u64>)> = guard_names
+            .into_iter()
+            .map(|t| {
+                let e = self.tables.get(&t).map(StoredTable::epoch);
+                (t, e)
+            })
+            .collect();
+        guard.sort();
+
+        // K-means blockers with no registered dictionary sample their
+        // center corpus from the whole catalog: such plans depend on every
+        // table, not just the referenced ones.
+        let sampled_corpus_epoch = (self.dictionaries.is_empty()
+            && normalized.iter().any(uses_kmeans_blocker))
+        .then_some(self.epoch_counter);
+
+        let eval_ctx = self.build_eval_ctx(&normalized);
+        let entry = Arc::new(PlannedQuery {
+            ops: normalized,
+            plans,
+            plan_text,
+            normalize_stats,
+            rewrite_stats,
+            eval_ctx,
+            programs: Arc::new(ProgramCache::new()),
+            stat_tables,
+            guard,
+            dict_gen: self.dict_gen,
+            sampled_corpus_epoch,
+        });
+        if self.plan_cache.by_calc.len() >= PLAN_CACHE_CAP {
+            self.plan_cache.by_calc.clear();
+            self.plan_cache.by_text.clear();
+        }
+        self.plan_cache
+            .by_calc
+            .insert(calc_key.clone(), Arc::clone(&entry));
+        if let Some(sql) = text {
+            self.remember_text_alias(sql, &calc_key);
+        }
+        self.execute_planned(&entry, false)
+    }
+
+    /// Record a raw-text alias for a cached calculus key, keeping the
+    /// alias map bounded (textually unique but calculus-identical queries
+    /// would otherwise grow it forever — hit path included).
+    fn remember_text_alias(&mut self, sql: &str, calc_key: &str) {
+        if self.plan_cache.by_text.len() >= 4 * PLAN_CACHE_CAP {
+            self.plan_cache.by_text.clear();
+        }
+        let tk = self.text_key(sql);
+        self.plan_cache.by_text.insert(tk, calc_key.to_string());
+    }
+
+    /// Level 3: physical execution of a planned query.
+    fn execute_planned(
+        &mut self,
+        entry: &Arc<PlannedQuery>,
+        hit: bool,
+    ) -> Result<CleaningReport, EngineError> {
+        let started = Instant::now();
+        self.ctx.metrics().reset();
+        if hit {
+            self.plan_cache.hits += 1;
+        } else {
+            self.plan_cache.misses += 1;
+        }
+
+        // Statistics catalog (adaptive profiles only): collected once per
+        // referenced table and maintained incrementally across appends.
         let query_stats: HashMap<String, Arc<TableStats>> = if self.profile.adaptive {
-            referenced_tables(&normalized)
-                .into_iter()
-                .filter_map(|t| self.table_stats(&t).map(|s| (t, s)))
+            entry
+                .stat_tables
+                .iter()
+                .filter_map(|t| self.table_stats(t).map(|s| (t.clone(), s)))
                 .collect()
         } else {
             HashMap::new()
         };
 
-        // Level 3: physical execution.
-        let eval_ctx = self.build_eval_ctx(&normalized);
+        // Cached entries accumulate comparison counts across runs; charge
+        // only this run's delta into the metrics.
+        let comparisons_before = entry.eval_ctx.comparisons();
+
         let mut executor = Executor::new(
             Arc::clone(&self.ctx),
             self.profile.clone(),
             &self.tables,
-            Arc::clone(&eval_ctx),
+            Arc::clone(&entry.eval_ctx),
         );
         executor.set_stats(query_stats.clone());
-        executor.register_plans(&plans);
-        let mut ops: Vec<OpResult> = Vec::with_capacity(plans.len());
-        for (plan, op) in plans.iter().zip(&normalized) {
+        executor.set_program_cache(Arc::clone(&entry.programs));
+        executor.register_plans(&entry.plans);
+        let mut ops: Vec<OpResult> = Vec::with_capacity(entry.plans.len());
+        for (plan, op) in entry.plans.iter().zip(&entry.ops) {
             let op_start = Instant::now();
             let output = executor.run_reduce(plan)?;
             ops.push(OpResult {
@@ -254,10 +587,9 @@ impl CleanDb {
         }
         let timings = executor.timings.clone();
         let decisions = executor.decisions.clone();
-        // Expression-level similarity checks are counted in the evaluation
-        // context; fold them into the runtime metrics so reports see one
-        // comparison total.
-        self.ctx.metrics().add_comparisons(eval_ctx.comparisons());
+        self.ctx
+            .metrics()
+            .add_comparisons(entry.eval_ctx.comparisons() - comparisons_before);
 
         // Combine per-operator violations (§4.4 outer-join semantics).
         let violating_ids = self.combine_violations(&ops)?;
@@ -268,14 +600,20 @@ impl CleanDb {
             ops,
             violating_ids,
             repairs,
-            normalize_stats,
-            rewrite_stats,
+            normalize_stats: entry.normalize_stats.clone(),
+            rewrite_stats: entry.rewrite_stats.clone(),
             timings,
             total: started.elapsed(),
             metrics: self.ctx.metrics().snapshot(),
-            plan_text,
+            plan_text: entry.plan_text.clone(),
             decisions,
             table_stats: query_stats,
+            plan_cache: PlanCacheStats {
+                hit,
+                hits: self.plan_cache.hits,
+                misses: self.plan_cache.misses,
+            },
+            incremental: None,
         })
     }
 
@@ -298,8 +636,9 @@ impl CleanDb {
     /// Fallback k-means corpus: sampled string values from the catalog.
     fn sample_string_corpus(&self, limit: usize) -> Vec<String> {
         let mut out = Vec::new();
-        for rows in self.tables.values() {
-            for row in rows.iter().step_by((rows.len() / 512).max(1)) {
+        for stored in self.tables.values() {
+            let step = (stored.len() / 512).max(1);
+            for row in stored.iter_rows().step_by(step) {
                 if let Ok(fields) = row.as_struct() {
                     for (name, v) in fields {
                         if name.as_ref() != ROWID_FIELD {
@@ -336,13 +675,7 @@ impl CleanDb {
             return Ok(Vec::new());
         }
         if self.profile.share_plans || per_op_ids.len() == 1 {
-            let mut set: HashSet<i64> = HashSet::new();
-            for ids in per_op_ids {
-                set.extend(ids);
-            }
-            let mut out: Vec<i64> = set.into_iter().collect();
-            out.sort_unstable();
-            Ok(out)
+            Ok(combine_local_violations(ops))
         } else {
             // Distributed recombination via chained full outer joins.
             use cleanm_exec::Dataset;
@@ -361,6 +694,36 @@ impl CleanDb {
             Ok(out)
         }
     }
+}
+
+/// Build the engine's row structs (hidden `__rowid` + schema columns) for a
+/// table, ids starting at `start_id`. Field names are interned once per
+/// call, so each row clones shared pointers instead of allocating names.
+fn rows_to_structs(table: &Table, start_id: i64) -> Vec<Value> {
+    let mut names: Vec<Arc<str>> = Vec::with_capacity(table.schema.len() + 1);
+    names.push(intern(ROWID_FIELD));
+    names.extend(intern_all(
+        table.schema.fields().iter().map(|f| f.name.as_str()),
+    ));
+    table
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut fields: Vec<(Arc<str>, Value)> = Vec::with_capacity(names.len());
+            fields.push((Arc::clone(&names[0]), Value::Int(start_id + i as i64)));
+            for (n, v) in names[1..].iter().zip(row.values()) {
+                fields.push((Arc::clone(n), v.clone()));
+            }
+            Value::Struct(fields.into())
+        })
+        .collect()
+}
+
+fn unknown_table(name: &str) -> EngineError {
+    EngineError::Plan(cleanm_values::Error::Invalid(format!(
+        "cannot append to unknown table `{name}`"
+    )))
 }
 
 /// Every base table a set of desugared operators reads — the tables whose
@@ -382,7 +745,7 @@ fn referenced_tables(ops: &[DesugaredOp]) -> Vec<String> {
 }
 
 /// Pull every `__rowid` out of a (possibly nested) output value.
-fn collect_rowids(v: &Value, out: &mut Vec<i64>) {
+pub fn collect_rowids(v: &Value, out: &mut Vec<i64>) {
     match v {
         Value::Struct(fields) => {
             for (name, inner) in fields.iter() {
@@ -404,8 +767,29 @@ fn collect_rowids(v: &Value, out: &mut Vec<i64>) {
     }
 }
 
+/// The local-union combination of per-operator violating ids (the path
+/// shared plans take): distinct row ids over all non-Select outputs,
+/// sorted. Exposed for incremental sessions, which assemble reports from
+/// retained operator state.
+pub fn combine_local_violations(ops: &[OpResult]) -> Vec<i64> {
+    let mut set: HashSet<i64> = HashSet::new();
+    for op in ops {
+        if matches!(op.kind, OpKind::Select) {
+            continue;
+        }
+        let mut ids = Vec::new();
+        for v in &op.output {
+            collect_rowids(v, &mut ids);
+        }
+        set.extend(ids);
+    }
+    let mut out: Vec<i64> = set.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
 /// Extract (term, repair) pairs from term-validation outputs.
-fn collect_repairs(ops: &[OpResult]) -> Vec<Repair> {
+pub fn collect_repairs(ops: &[OpResult]) -> Vec<Repair> {
     let mut out = Vec::new();
     for op in ops {
         if op.kind != OpKind::TermValidation {
@@ -428,6 +812,18 @@ fn collect_repairs(ops: &[OpResult]) -> Vec<Repair> {
 pub fn op_uses_blocker(op: &DesugaredOp) -> bool {
     op.comp
         .any_node(&mut |e| matches!(e, CalcExpr::Call(Func::BlockKeys(_), _)))
+}
+
+/// Does an op block via k-means (the one blocker whose behavior depends on
+/// the center corpus)?
+fn uses_kmeans_blocker(op: &DesugaredOp) -> bool {
+    use crate::calculus::FilterAlgo;
+    op.comp.any_node(&mut |e| {
+        matches!(
+            e,
+            CalcExpr::Call(Func::BlockKeys(FilterAlgo::KMeans { .. }), _)
+        )
+    })
 }
 
 #[cfg(test)]
@@ -463,6 +859,24 @@ mod tests {
             ]),
         ];
         Table::new(schema, rows)
+    }
+
+    fn extra_rows() -> Table {
+        let schema = Schema::of([
+            ("name", DataType::Str),
+            ("address", DataType::Str),
+            ("nationkey", DataType::Int),
+            ("phone", DataType::Str),
+        ]);
+        Table::new(
+            schema,
+            vec![Row::new(vec![
+                Value::str("miller"),
+                Value::str("b st"),
+                Value::Int(9), // makes `b st` violate too
+                Value::str("104-444"),
+            ])],
+        )
     }
 
     #[test]
@@ -600,5 +1014,130 @@ mod tests {
                 .violating_ids
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn append_extends_table_and_continues_rowids() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        let epoch_before = db.table("customer").unwrap().epoch();
+        db.append("customer", extra_rows()).unwrap();
+        let stored = db.table("customer").unwrap();
+        assert_eq!(stored.batches().len(), 2);
+        assert_eq!(stored.len(), 4);
+        assert!(stored.epoch() > epoch_before);
+        let last = stored.batches()[1][0].field(ROWID_FIELD).unwrap();
+        assert_eq!(last, &Value::Int(3), "row ids continue the sequence");
+        // The appended row makes `b st` an FD violation as well.
+        let report = db
+            .run("SELECT * FROM customer c FD(c.address, c.nationkey)")
+            .unwrap();
+        assert_eq!(report.violating_ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn append_to_unknown_table_is_plan_error() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        assert!(matches!(
+            db.append("nope", customer_table()),
+            Err(EngineError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn append_maintains_stats_from_new_partitions_only() {
+        let mut db = CleanDb::new(EngineProfile::adaptive());
+        db.register("customer", customer_table());
+        let s0 = db.table_stats("customer").unwrap();
+        assert_eq!(s0.rows(), 3);
+        db.context().metrics().reset();
+        db.append("customer", extra_rows()).unwrap();
+        let s1 = db.table_stats("customer").unwrap();
+        assert_eq!(s1.rows(), 4, "merged summary covers old + new rows");
+        assert_eq!(
+            s1.column("nationkey").unwrap().max(),
+            Some(&Value::Int(9)),
+            "new batch observed"
+        );
+        // Only the delta was summarized: one stage, one row in.
+        let snap = db.context().metrics().snapshot();
+        let stages: Vec<_> = snap
+            .stages
+            .iter()
+            .filter(|s| s.operator == "summarize_partitions")
+            .collect();
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].records_in, 1, "history not rescanned");
+        // Identical to collecting from scratch (monoid law end-to-end).
+        let mut fresh = CleanDb::new(EngineProfile::adaptive());
+        let mut all = customer_table();
+        all.rows.extend(extra_rows().rows);
+        fresh.register("customer", all);
+        let sf = fresh.table_stats("customer").unwrap();
+        assert_eq!(s1.rows(), sf.rows());
+        assert_eq!(
+            s1.column("nationkey").unwrap().min(),
+            sf.column("nationkey").unwrap().min()
+        );
+        assert_eq!(
+            s1.column("nationkey").unwrap().max(),
+            sf.column("nationkey").unwrap().max()
+        );
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_invalidates_on_epoch_change() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+        let first = db.run(sql).unwrap();
+        assert!(!first.plan_cache.hit);
+        assert_eq!(first.plan_cache.misses, 1);
+        let second = db.run(sql).unwrap();
+        assert!(second.plan_cache.hit, "identical text must hit");
+        assert_eq!(second.plan_cache.hits, 1);
+        assert_eq!(second.violating_ids, first.violating_ids);
+        // A calculus-identical but textually different query also hits.
+        let third = db
+            .run("SELECT  *  FROM customer c FD(c.address, c.nationkey)")
+            .unwrap();
+        assert!(third.plan_cache.hit, "normalized-calculus key must hit");
+        // An append moves the epoch: the cached plan is stale.
+        db.append("customer", extra_rows()).unwrap();
+        let fourth = db.run(sql).unwrap();
+        assert!(!fourth.plan_cache.hit, "epoch change must invalidate");
+        assert_eq!(fourth.violating_ids, vec![0, 1, 2, 3]);
+        // ... and the re-planned entry serves subsequent repeats again.
+        let fifth = db.run(sql).unwrap();
+        assert!(fifth.plan_cache.hit);
+        assert_eq!(fifth.violating_ids, fourth.violating_ids);
+    }
+
+    #[test]
+    fn cached_plan_is_exposed_after_a_run() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+        assert!(db.cached_plan(sql).is_none());
+        db.run(sql).unwrap();
+        let entry = db.cached_plan(sql).expect("entry cached");
+        assert_eq!(entry.ops().len(), 1);
+        assert_eq!(entry.plans().len(), 1);
+        // Appending invalidates the exposed handle's validity check.
+        db.append("customer", extra_rows()).unwrap();
+        assert!(db.cached_plan(sql).is_none());
+    }
+
+    #[test]
+    fn field_names_are_interned_across_rows_and_batches() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("customer", customer_table());
+        db.append("customer", extra_rows()).unwrap();
+        let stored = db.table("customer").unwrap();
+        let first = stored.batches()[0][0].as_struct().unwrap();
+        let appended = stored.batches()[1][0].as_struct().unwrap();
+        for ((n0, _), (n1, _)) in first.iter().zip(appended.iter()) {
+            assert!(Arc::ptr_eq(n0, n1), "field `{n0}` not shared");
+        }
     }
 }

@@ -1,0 +1,138 @@
+//! Partitioned table storage for the session catalog.
+//!
+//! A registered table is no longer one monolithic row vector: it is a list
+//! of **append batches** (the initial registration plus every
+//! [`crate::engine::CleanDb::append`] since), each an immutable shared
+//! vector of row structs. Appending a batch therefore never touches
+//! history — existing batches keep their `Arc`s, statistics summarize only
+//! the new rows, and incremental consumers (standing queries) read the
+//! batches past their cursor as the delta.
+//!
+//! Two counters identify a table's state:
+//!
+//! * `epoch` — bumped on *every* mutation (registration or append). The
+//!   plan cache keys on it: a cached plan whose tables' epochs all still
+//!   match is guaranteed to see the environment it was compiled for.
+//! * `created` — the epoch at registration. It identifies the *lineage*:
+//!   an append keeps `created` while a re-registration starts a new one,
+//!   which is how incremental state (stats, standing queries) tells "new
+//!   rows arrived" from "the table was replaced".
+
+use std::sync::{Arc, OnceLock};
+
+use cleanm_values::Value;
+
+/// One catalog entry: row batches in arrival order plus its epochs.
+#[derive(Debug)]
+pub struct StoredTable {
+    batches: Vec<Arc<Vec<Value>>>,
+    epoch: u64,
+    created: u64,
+    /// Lazily concatenated whole-table view for consumers that need one
+    /// contiguous vector; rebuilt on demand after an append.
+    merged: OnceLock<Arc<Vec<Value>>>,
+}
+
+impl StoredTable {
+    /// A freshly registered table: one batch, a new lineage.
+    pub fn new(rows: Vec<Value>, epoch: u64) -> Self {
+        StoredTable {
+            batches: vec![Arc::new(rows)],
+            epoch,
+            created: epoch,
+            merged: OnceLock::new(),
+        }
+    }
+
+    /// Test/embedding convenience: a table at epoch 0.
+    pub fn from_rows(rows: Vec<Value>) -> Self {
+        StoredTable::new(rows, 0)
+    }
+
+    /// Add `rows` as a new batch (new partitions; history untouched).
+    pub fn append(&mut self, rows: Vec<Value>, epoch: u64) {
+        self.batches.push(Arc::new(rows));
+        self.epoch = epoch;
+        self.merged = OnceLock::new();
+    }
+
+    /// The append batches, in arrival order.
+    pub fn batches(&self) -> &[Arc<Vec<Value>>] {
+        &self.batches
+    }
+
+    /// Epoch of the last mutation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Epoch of the registration that started this lineage.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Total row count across batches.
+    pub fn len(&self) -> usize {
+        self.batches.iter().map(|b| b.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All rows, oldest batch first.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &Value> {
+        self.batches.iter().flat_map(|b| b.iter())
+    }
+
+    /// One contiguous shared vector of all rows. Free while the table has a
+    /// single batch (the batch `Arc` is returned directly); after appends
+    /// the concatenation is built once and cached until the next mutation.
+    pub fn merged_rows(&self) -> Arc<Vec<Value>> {
+        if self.batches.len() == 1 {
+            return Arc::clone(&self.batches[0]);
+        }
+        Arc::clone(
+            self.merged
+                .get_or_init(|| Arc::new(self.iter_rows().cloned().collect())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: i64) -> Value {
+        Value::record([("__rowid", Value::Int(id))])
+    }
+
+    #[test]
+    fn append_preserves_history_batches() {
+        let mut t = StoredTable::new(vec![row(0), row(1)], 3);
+        let first_batch = Arc::clone(&t.batches()[0]);
+        t.append(vec![row(2)], 4);
+        assert_eq!(t.batches().len(), 2);
+        assert!(Arc::ptr_eq(&t.batches()[0], &first_batch), "history moved");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.epoch(), 4);
+        assert_eq!(t.created(), 3, "appends keep the lineage");
+    }
+
+    #[test]
+    fn merged_rows_single_batch_is_zero_copy() {
+        let t = StoredTable::from_rows(vec![row(0)]);
+        assert!(Arc::ptr_eq(&t.merged_rows(), &t.batches()[0]));
+    }
+
+    #[test]
+    fn merged_rows_concatenates_and_caches() {
+        let mut t = StoredTable::from_rows(vec![row(0)]);
+        t.append(vec![row(1), row(2)], 1);
+        let merged = t.merged_rows();
+        assert_eq!(merged.len(), 3);
+        assert!(Arc::ptr_eq(&merged, &t.merged_rows()), "cached");
+        t.append(vec![row(3)], 2);
+        assert_eq!(t.merged_rows().len(), 4, "cache invalidated on append");
+    }
+}

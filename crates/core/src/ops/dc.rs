@@ -156,7 +156,10 @@ impl InequalityDc {
     }
 }
 
-fn dedup_pairs(outputs: &[Value]) -> usize {
+/// Count the distinct `(t1, t2)` row-id pairs in a DC plan's output — the
+/// violation unit Table 5 reports (exposed for incremental DC maintainers,
+/// which must count new pairs the same way).
+pub fn dedup_pairs(outputs: &[Value]) -> usize {
     let mut pairs: Vec<(i64, i64)> = outputs
         .iter()
         .filter_map(|v| {
@@ -174,7 +177,7 @@ fn dedup_pairs(outputs: &[Value]) -> usize {
 // keep the borrow local.
 fn db_tables(
     db: &CleanDb,
-) -> Result<&std::collections::HashMap<String, Arc<Vec<Value>>>, EngineError> {
+) -> Result<&std::collections::HashMap<String, crate::engine::StoredTable>, EngineError> {
     Ok(db.tables_internal())
 }
 

@@ -12,7 +12,30 @@ pub mod termval;
 pub mod transform;
 
 pub use dc::{DcOutcome, InequalityDc};
-pub use dedup::Dedup;
-pub use fd::FdCheck;
-pub use termval::TermValidation;
+pub use dedup::{Dedup, DedupPlanShape};
+pub use fd::{FdCheck, FdPlanShape};
+pub use termval::{TermValidation, TermvalPlanShape};
 pub use transform::{apply_transforms, semantic_map, Transform, TransformMode, TransformReport};
+
+use crate::algebra::plan::Alg;
+use crate::calculus::CalcExpr;
+
+/// Unwrap a stack of `Select`s down to its `Scan`, collecting the filter
+/// predicates (outermost first). This is the `WHERE`-over-one-table input
+/// shape every cleaning operator's grouping lowers to; shape matchers use
+/// it to recover `(table, row_var, filters)` from a cached plan.
+pub(crate) fn scan_with_filters(mut plan: &Alg) -> Option<(String, String, Vec<CalcExpr>)> {
+    let mut filters = Vec::new();
+    loop {
+        match plan {
+            Alg::Select { input, pred } => {
+                filters.push(pred.clone());
+                plan = input;
+            }
+            Alg::Scan { table, var } => {
+                return Some((table.clone(), var.clone(), filters));
+            }
+            _ => return None,
+        }
+    }
+}

@@ -30,9 +30,10 @@ use crate::algebra::cardinality::{self, StatsCatalog};
 use crate::algebra::plan::{theta_widen, Alg};
 use crate::calculus::eval::{merge_values, truthy, EvalCtx};
 use crate::calculus::{CalcExpr, Func, MonoidKind};
+use crate::engine::storage::StoredTable;
 
 use super::profile::{EngineProfile, NestStrategy, ThetaStrategy};
-use super::program::{env_layout, RowExpr};
+use super::program::{env_layout, ProgramCache, RowExpr};
 
 /// A row in flight: the comprehension environment (variable → value).
 pub type RowEnv = Vec<(String, Value)>;
@@ -104,8 +105,11 @@ impl PhaseTimings {
 pub struct Executor<'a> {
     ctx: Arc<ExecContext>,
     profile: EngineProfile,
-    tables: &'a HashMap<String, Arc<Vec<Value>>>,
+    tables: &'a HashMap<String, StoredTable>,
     eval_ctx: Arc<EvalCtx>,
+    /// Compiled programs shared across runs of a cached plan (set by the
+    /// session's plan cache; `None` compiles per run as before).
+    program_cache: Option<Arc<ProgramCache>>,
     cache: HashMap<usize, Dataset<RowEnv>>,
     /// Plan nodes referenced more than once across the registered plans —
     /// the only ones worth materializing into the cache (caching a node
@@ -131,7 +135,7 @@ impl<'a> Executor<'a> {
     pub fn new(
         ctx: Arc<ExecContext>,
         profile: EngineProfile,
-        tables: &'a HashMap<String, Arc<Vec<Value>>>,
+        tables: &'a HashMap<String, StoredTable>,
         eval_ctx: Arc<EvalCtx>,
     ) -> Self {
         Executor {
@@ -139,6 +143,7 @@ impl<'a> Executor<'a> {
             profile,
             tables,
             eval_ctx,
+            program_cache: None,
             cache: HashMap::new(),
             shared_nodes: std::collections::HashSet::new(),
             errors: Arc::new(Mutex::new(Vec::new())),
@@ -153,15 +158,26 @@ impl<'a> Executor<'a> {
 
     /// Compile a plan-node expression against its environment layout once,
     /// counting the outcome. Per-partition evaluation then runs the flat
-    /// program; uncompilable expressions keep interpreted semantics.
+    /// program; uncompilable expressions keep interpreted semantics. With a
+    /// program cache attached (cached plans), compilation happens once per
+    /// *plan lifetime* rather than once per run.
     fn row_expr(&mut self, expr: &CalcExpr, scope: &[String]) -> Arc<RowExpr> {
-        let rx = RowExpr::compile(expr, scope, &self.eval_ctx);
+        let rx = match &self.program_cache {
+            Some(cache) => cache.get_or_compile(expr, scope, &self.eval_ctx),
+            None => Arc::new(RowExpr::compile(expr, scope, &self.eval_ctx)),
+        };
         if rx.is_compiled() {
             self.compiled_exprs += 1;
         } else {
             self.interpreted_exprs += 1;
         }
-        Arc::new(rx)
+        rx
+    }
+
+    /// Attach a cross-run compiled-program cache (plan-cache entries own
+    /// one per planned query).
+    pub fn set_program_cache(&mut self, cache: Arc<ProgramCache>) {
+        self.program_cache = Some(cache);
     }
 
     /// Provide table statistics for adaptive strategy selection.
@@ -287,14 +303,16 @@ impl<'a> Executor<'a> {
         match &**plan {
             Alg::Scan { table, var } => {
                 let start = Instant::now();
-                let rows = self
+                let stored = self
                     .tables
                     .get(table)
                     .ok_or_else(|| ExecError::Other(format!("unknown table `{table}`")))?;
-                let envs: Vec<RowEnv> = rows
-                    .iter()
-                    .map(|r| vec![(var.clone(), r.clone())])
-                    .collect();
+                // Batches scan in arrival order: appended partitions simply
+                // extend the row stream, history never moves.
+                let mut envs: Vec<RowEnv> = Vec::with_capacity(stored.len());
+                for batch in stored.batches() {
+                    envs.extend(batch.iter().map(|r| vec![(var.clone(), r.clone())]));
+                }
                 let ds = Dataset::from_vec(&self.ctx, envs);
                 self.timings.scan += start.elapsed();
                 Ok(ds)
@@ -663,7 +681,7 @@ impl<'a> Executor<'a> {
         scope_l: &[String],
         scope_r: &[String],
     ) -> ExecResult<Dataset<RowEnv>> {
-        let (mut strategy, bounds) = if self.profile.adaptive {
+        let (strategy, bounds) = if self.profile.adaptive {
             let (strategy, bounds, reason) =
                 self.choose_theta(hint, lds.count() as f64, rds.count() as f64);
             self.record_decision("theta", pred.to_string(), format!("{strategy:?}"), reason);
@@ -686,119 +704,126 @@ impl<'a> Executor<'a> {
         let lkey_rx = self.row_expr(&hint.left_key, scope_l);
         let rkey_rx = self.row_expr(&hint.right_key, scope_r);
         let eval_ctx = Arc::clone(&self.eval_ctx);
-        let predicate = {
-            let eval_ctx = Arc::clone(&eval_ctx);
-            move |l: &RowEnv, r: &RowEnv| {
+
+        // The cartesian path needs no key domain and no key values: run it
+        // directly (it prunes nothing, so it is always correct).
+        if strategy == ThetaStrategy::CartesianFilter {
+            let predicate = move |l: &RowEnv, r: &RowEnv| {
                 pred_rx
                     .eval_pair(l, r, &eval_ctx)
                     .map(|v| truthy(&v))
                     .unwrap_or(false)
-            }
-        };
-        // Classify the key domains before any pruning strategy runs. Text
-        // keys map through the order-preserving prefix key so range pruning
-        // works on string predicates, with the cell check widened by one
-        // key-resolution step against prefix collisions (see
-        // `cleanm_stats::string_key`). Bare-column keys with collected
-        // statistics settle the domain from the exact string/numeric
-        // observation counts (a filtered subset of a zero-string column
-        // still has zero strings); everything else is classified by a
-        // parallel probe over every key value — a sampled sniff could miss
-        // strings deep in a partition and silently disable the widening.
-        // Mixed numeric/text keys have no common pruning domain — those
-        // joins fall back to the always-correct cartesian path, which
-        // prunes nothing and skips classification entirely.
-        let (mut l_text, mut r_text) = (false, false);
-        if strategy != ThetaStrategy::CartesianFilter {
-            let ((l_text2, l_num), (r_text2, r_num)) = {
-                let classify =
-                    |ds: &Dataset<RowEnv>, rx: &Arc<RowExpr>, key: &CalcExpr| -> (bool, bool) {
-                        if cardinality::column_of(key).is_some() {
-                            if let Some(col) = self.key_column_stats(key) {
-                                return (col.string_count() > 0, col.numeric_count() > 0);
-                            }
-                        }
-                        let flags = ds.probe_partitions(|part| {
-                            let (mut text, mut numeric) = (false, false);
-                            for env in part {
-                                match rx.eval_env(env, &eval_ctx) {
-                                    Ok(Value::Str(_)) => text = true,
-                                    Ok(Value::Int(_) | Value::Float(_)) => numeric = true,
-                                    _ => {}
-                                }
-                                if text && numeric {
-                                    break; // known mixed: stop scanning
-                                }
-                            }
-                            (text, numeric)
-                        });
-                        flags
-                            .into_iter()
-                            .fold((false, false), |(t, n), (pt, pn)| (t || pt, n || pn))
-                    };
-                (
-                    classify(&lds, &lkey_rx, &hint.left_key),
-                    classify(&rds, &rkey_rx, &hint.right_key),
-                )
             };
-            (l_text, r_text) = (l_text2, r_text2);
-            let mixed = (l_text && l_num) || (r_text && r_num) || (l_text != r_text);
-            if mixed {
-                strategy = ThetaStrategy::CartesianFilter;
-                self.record_decision(
-                    "theta",
-                    pred.to_string(),
-                    format!("{strategy:?}"),
-                    "mixed numeric/text join keys: no common pruning domain".to_string(),
-                );
-            }
+            let joined = theta::cartesian_filter(lds, rds, predicate)?;
+            return Ok(joined.map(|(mut l, r)| {
+                l.extend(r);
+                l
+            }));
         }
-        let key_fn = |rx: Arc<RowExpr>| {
-            let eval_ctx = Arc::clone(&eval_ctx);
-            move |env: &RowEnv| -> f64 {
-                match rx.eval_env(env, &eval_ctx) {
-                    Ok(Value::Str(s)) => cleanm_stats::string_key(&s),
-                    Ok(v) => v.as_float().unwrap_or(f64::NAN),
-                    Err(_) => f64::NAN,
-                }
-            }
-        };
-        let compat = hint.kind.compat_fn(theta_widen(l_text || r_text));
 
-        let joined: Dataset<(RowEnv, RowEnv)> = match (strategy, bounds) {
-            (ThetaStrategy::CartesianFilter, _) => theta::cartesian_filter(lds, rds, predicate)?,
-            (ThetaStrategy::MinMaxBlocks, _) => theta::minmax_block_join(
-                lds,
-                rds,
-                key_fn(lkey_rx),
-                key_fn(rkey_rx),
-                compat,
-                predicate,
-            )?,
-            (ThetaStrategy::MBucket, Some(bounds)) => theta::mbucket_join_with_bounds(
-                lds,
-                rds,
-                key_fn(lkey_rx),
-                key_fn(rkey_rx),
-                compat,
-                predicate,
-                bounds,
-            )?,
-            (ThetaStrategy::MBucket, None) => theta::mbucket_join(
-                lds,
-                rds,
-                key_fn(lkey_rx),
-                key_fn(rkey_rx),
-                compat,
-                predicate,
-                None,
-            )?,
+        // Pruning strategies need each row's mapped join key *and* the key
+        // domain classification. One keys-plus-flags probe per side
+        // computes both together: text keys map through the
+        // order-preserving prefix key (`cleanm_stats::string_key`), numeric
+        // keys widen to f64, and the text/numeric flags fall out of the
+        // same evaluation — previously a separate classification pass
+        // evaluated every join key once and the pruning join evaluated it
+        // all over again. The probe sees every key value (a sampled sniff
+        // could miss strings deep in a partition and silently disable the
+        // collision widening), and the evaluated keys are zipped back onto
+        // the rows so the join never re-evaluates them.
+        let (l_keys, l_text, l_num) = keys_and_flags(&lds, &lkey_rx, &eval_ctx);
+        let (r_keys, r_text, r_num) = keys_and_flags(&rds, &rkey_rx, &eval_ctx);
+        let mixed = (l_text && l_num) || (r_text && r_num) || (l_text != r_text);
+        if mixed {
+            // Mixed numeric/text keys have no common pruning domain — fall
+            // back to the always-correct cartesian path.
+            self.record_decision(
+                "theta",
+                pred.to_string(),
+                format!("{:?}", ThetaStrategy::CartesianFilter),
+                "mixed numeric/text join keys: no common pruning domain".to_string(),
+            );
+            let predicate = move |l: &RowEnv, r: &RowEnv| {
+                pred_rx
+                    .eval_pair(l, r, &eval_ctx)
+                    .map(|v| truthy(&v))
+                    .unwrap_or(false)
+            };
+            let joined = theta::cartesian_filter(lds, rds, predicate)?;
+            return Ok(joined.map(|(mut l, r)| {
+                l.extend(r);
+                l
+            }));
+        }
+
+        let compat = hint.kind.compat_fn(theta_widen(l_text || r_text));
+        let lk = lds.zip_parts(l_keys);
+        let rk = rds.zip_parts(r_keys);
+        let predicate = move |l: &(f64, RowEnv), r: &(f64, RowEnv)| {
+            pred_rx
+                .eval_pair(&l.1, &r.1, &eval_ctx)
+                .map(|v| truthy(&v))
+                .unwrap_or(false)
         };
-        Ok(joined.map(|(mut l, r)| {
+        let key_of = |t: &(f64, RowEnv)| t.0;
+
+        let joined: Dataset<((f64, RowEnv), (f64, RowEnv))> = match (strategy, bounds) {
+            (ThetaStrategy::MinMaxBlocks, _) => {
+                theta::minmax_block_join(lk, rk, key_of, key_of, compat, predicate)?
+            }
+            (ThetaStrategy::MBucket, Some(bounds)) => {
+                theta::mbucket_join_with_bounds(lk, rk, key_of, key_of, compat, predicate, bounds)?
+            }
+            (ThetaStrategy::MBucket, None) => {
+                theta::mbucket_join(lk, rk, key_of, key_of, compat, predicate, None)?
+            }
+            (ThetaStrategy::CartesianFilter, _) => unreachable!("handled above"),
+        };
+        Ok(joined.map(|((_, mut l), (_, r))| {
             l.extend(r);
             l
         }))
     }
+}
+
+/// One probe pass over a theta side: every row's mapped f64 join key (in
+/// partition structure, ready for [`Dataset::zip_parts`]) plus whether any
+/// key evaluated to text / to a number.
+fn keys_and_flags(
+    ds: &Dataset<RowEnv>,
+    rx: &Arc<RowExpr>,
+    eval_ctx: &Arc<EvalCtx>,
+) -> (Vec<Vec<f64>>, bool, bool) {
+    let parts = ds.probe_partitions(|part| {
+        let mut keys = Vec::with_capacity(part.len());
+        let (mut text, mut numeric) = (false, false);
+        for env in part {
+            let key = match rx.eval_env(env, eval_ctx) {
+                Ok(Value::Str(s)) => {
+                    text = true;
+                    cleanm_stats::string_key(&s)
+                }
+                Ok(v) => {
+                    if matches!(v, Value::Int(_) | Value::Float(_)) {
+                        numeric = true;
+                    }
+                    v.as_float().unwrap_or(f64::NAN)
+                }
+                Err(_) => f64::NAN,
+            };
+            keys.push(key);
+        }
+        (keys, text, numeric)
+    });
+    let mut key_parts = Vec::with_capacity(parts.len());
+    let (mut text, mut numeric) = (false, false);
+    for (keys, t, n) in parts {
+        key_parts.push(keys);
+        text |= t;
+        numeric |= n;
+    }
+    (key_parts, text, numeric)
 }
 
 /// Does the expression contain a similarity call? (Phase attribution.)
@@ -828,11 +853,11 @@ mod tests {
         ])
     }
 
-    fn catalog() -> HashMap<String, Arc<Vec<Value>>> {
+    fn catalog() -> HashMap<String, StoredTable> {
         let mut t = HashMap::new();
         t.insert(
             "customer".to_string(),
-            Arc::new(vec![
+            StoredTable::from_rows(vec![
                 row(0, "a st", 1, "anderson"),
                 row(1, "a st", 2, "andersen"),
                 row(2, "b st", 3, "zhang"),
@@ -1011,16 +1036,16 @@ mod tests {
         }
     }
 
-    fn stats_for(tables: &HashMap<String, Arc<Vec<Value>>>) -> StatsCatalog {
+    fn stats_for(tables: &HashMap<String, StoredTable>) -> StatsCatalog {
         let ctx = ExecContext::new(2, 4);
         tables
             .iter()
-            .map(|(name, rows)| {
+            .map(|(name, stored)| {
                 (
                     name.clone(),
                     Arc::new(cleanm_stats::collect_table_stats(
                         &ctx,
-                        Arc::clone(rows),
+                        stored.merged_rows(),
                         cleanm_stats::StatsConfig::default(),
                     )),
                 )
@@ -1067,7 +1092,7 @@ mod tests {
                 )
             })
             .collect();
-        tables.insert("customer".to_string(), Arc::new(rows));
+        tables.insert("customer".to_string(), StoredTable::from_rows(rows));
         let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
         let q = parse_query(sql).unwrap();
         let dq = desugar_query(&q, 1).unwrap();
@@ -1149,7 +1174,7 @@ mod tests {
         // histogram cost model decides.
         let mut tables = HashMap::new();
         let rows: Vec<Value> = (0..300).map(|i| row(i, "a st", i % 100, "n")).collect();
-        tables.insert("customer".to_string(), Arc::new(rows));
+        tables.insert("customer".to_string(), StoredTable::from_rows(rows));
         let stats = stats_for(&tables);
         let hint = |kind| ThetaHint {
             left_key: CalcExpr::proj(CalcExpr::var("t1"), "nationkey"),
@@ -1190,7 +1215,7 @@ mod tests {
         // signal must not force a futile map-side combine.
         let mut tables = HashMap::new();
         let rows: Vec<Value> = (0..1000).map(|i| row(i, "main st", 1, "n")).collect();
-        tables.insert("customer".to_string(), Arc::new(rows));
+        tables.insert("customer".to_string(), StoredTable::from_rows(rows));
         let stats = stats_for(&tables);
         let ctx = ExecContext::new(2, 4);
         let mut ex = Executor::new(
@@ -1271,7 +1296,7 @@ mod tests {
         let rows: Vec<Value> = (0..60)
             .map(|i| row(i, "a st", 1, &format!("n{:02}", i)))
             .collect();
-        tables.insert("customer".to_string(), Arc::new(rows));
+        tables.insert("customer".to_string(), StoredTable::from_rows(rows));
         let pred = CalcExpr::bin(
             BinOp::Lt,
             CalcExpr::proj(CalcExpr::var("t1"), "name"),
@@ -1338,7 +1363,7 @@ mod tests {
                 ("name", Value::str(format!("prefix{:03}", i))),
             ])
         }));
-        tables.insert("customer".to_string(), Arc::new(rows));
+        tables.insert("customer".to_string(), StoredTable::from_rows(rows));
         let pred = CalcExpr::bin(
             BinOp::Lt,
             CalcExpr::proj(CalcExpr::var("t1"), "name"),
@@ -1418,7 +1443,7 @@ mod tests {
                 }
             }
         }
-        tables.insert("t".to_string(), Arc::new(rows));
+        tables.insert("t".to_string(), StoredTable::from_rows(rows));
         let pred = CalcExpr::bin(
             BinOp::Lt,
             CalcExpr::proj(CalcExpr::var("t1"), "k"),
@@ -1471,7 +1496,7 @@ mod tests {
         let rows: Vec<Value> = (0..300)
             .map(|i| row(i, "a st", 1, &format!("name-{:04}", i)))
             .collect();
-        tables.insert("customer".to_string(), Arc::new(rows));
+        tables.insert("customer".to_string(), StoredTable::from_rows(rows));
         let stats = stats_for(&tables);
         let ctx = ExecContext::new(2, 4);
         let mut ex = Executor::new(

@@ -14,4 +14,4 @@ pub mod program;
 
 pub use execute::{Executor, PhaseTimings, PlanDecision, RowEnv};
 pub use profile::{EngineProfile, NestStrategy, ThetaStrategy};
-pub use program::{env_layout, RowExpr};
+pub use program::{env_layout, ProgramCache, RowExpr};

@@ -16,6 +16,10 @@
 //! pin that the hot paths really run compiled.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 use cleanm_values::{Result, Value};
 
@@ -81,6 +85,45 @@ impl RowExpr {
                 eval(&self.expr, &env, ctx)
             }
         }
+    }
+}
+
+/// Compiled row programs shared **across executor runs** of one cached
+/// plan. Keyed by the expression's rendering plus its environment layout —
+/// stable identities for a given plan — so a plan-cache hit reuses every
+/// program the first execution compiled instead of re-lowering them.
+/// All entries are compiled against the same [`EvalCtx`] (the cached
+/// plan's), which is what makes reuse sound.
+#[derive(Default)]
+pub struct ProgramCache {
+    programs: Mutex<HashMap<(String, String), Arc<RowExpr>>>,
+}
+
+impl ProgramCache {
+    pub fn new() -> Self {
+        ProgramCache::default()
+    }
+
+    /// Number of cached programs (diagnostics).
+    pub fn len(&self) -> usize {
+        self.programs.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The cached program for `(expr, scope)`, compiling and inserting it
+    /// on first request.
+    pub fn get_or_compile(&self, expr: &CalcExpr, scope: &[String], ctx: &EvalCtx) -> Arc<RowExpr> {
+        let key = (expr.to_string(), scope.join("\u{1f}"));
+        let mut map = self.programs.lock();
+        if let Some(rx) = map.get(&key) {
+            return Arc::clone(rx);
+        }
+        let rx = Arc::new(RowExpr::compile(expr, scope, ctx));
+        map.insert(key, Arc::clone(&rx));
+        rx
     }
 }
 

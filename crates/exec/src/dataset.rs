@@ -212,6 +212,33 @@ impl<T: Data> Dataset<T> {
         partials
     }
 
+    /// Zip each partition with a parallel vector of per-record companions
+    /// (narrow, in place). `companions` must mirror the dataset's partition
+    /// structure exactly — this is the hand-back half of a
+    /// [`Dataset::probe_partitions`] pass that computed something per record
+    /// (e.g. evaluated join keys), letting downstream operators reuse the
+    /// probe's work instead of re-evaluating it.
+    pub fn zip_parts<U: Data>(self, companions: Vec<Vec<U>>) -> Dataset<(U, T)> {
+        assert_eq!(
+            self.parts.len(),
+            companions.len(),
+            "companion partition count mismatch"
+        );
+        let parts: Vec<Vec<(U, T)>> = self
+            .parts
+            .into_iter()
+            .zip(companions)
+            .map(|(part, comp)| {
+                assert_eq!(part.len(), comp.len(), "companion record count mismatch");
+                comp.into_iter().zip(part).collect()
+            })
+            .collect();
+        Dataset {
+            ctx: self.ctx,
+            parts,
+        }
+    }
+
     /// Concatenate two datasets (narrow; partitions are appended).
     pub fn union(mut self, other: Dataset<T>) -> Dataset<T> {
         assert!(
@@ -245,6 +272,39 @@ pub fn summarize_rows<T: Sync, A: Data>(
     ctx.metrics().push_stage(StageReport {
         operator: "summarize_partitions",
         records_in: rows.len() as u64,
+        records_shuffled: partials.len() as u64,
+        worker_busy_ns: busy,
+    });
+    partials
+}
+
+/// [`summarize_rows`] over **several borrowed row batches in one accounted
+/// pass**: each batch is chunked independently (so batch boundaries — e.g.
+/// append deltas — never straddle a partition) and all chunks fold on the
+/// worker pool together. One `summarize_partitions` stage is charged for
+/// the whole call, seeing exactly the rows of the given batches — the entry
+/// point for *incremental* statistics maintenance, where only the
+/// newly-appended batches of a table are summarized.
+pub fn summarize_batches<T: Sync, A: Data>(
+    ctx: &Arc<ExecContext>,
+    batches: &[&[T]],
+    f: impl Fn(&[T]) -> A + Sync,
+) -> Vec<A> {
+    let total: usize = batches.iter().map(|b| b.len()).sum();
+    let p = ctx.default_partitions();
+    let chunk = total.div_ceil(p).max(1);
+    let mut refs: Vec<&[T]> = Vec::with_capacity(p);
+    for batch in batches {
+        refs.extend(batch.chunks(chunk));
+    }
+    while refs.len() < p {
+        refs.push(&[]);
+    }
+    let (partials, busy) = run_partitions(ctx, refs, |_, part| f(part));
+    ctx.charge_shuffle(partials.len() as u64);
+    ctx.metrics().push_stage(StageReport {
+        operator: "summarize_partitions",
+        records_in: total as u64,
         records_shuffled: partials.len() as u64,
         worker_busy_ns: busy,
     });

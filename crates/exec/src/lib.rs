@@ -35,6 +35,6 @@ mod shuffle;
 pub mod theta;
 
 pub use context::ExecContext;
-pub use dataset::{merge_tree, summarize_rows, Data, Dataset, Key};
+pub use dataset::{merge_tree, summarize_batches, summarize_rows, Data, Dataset, Key};
 pub use error::{ExecError, ExecResult};
 pub use metrics::{ExecMetrics, MetricsSnapshot, StageReport};

@@ -1,0 +1,232 @@
+//! Standing denial constraints: delta-driven re-validation of an
+//! [`InequalityDc`] using retained **join-key domain indexes**.
+//!
+//! The batch DC is a theta self-join: every refresh would re-enumerate the
+//! (pruned) `|T|²` matrix. The standing form keeps both sides indexed by
+//! the numeric join key, sorted:
+//!
+//! * the full table as the `t2` side;
+//! * the σ-filtered rows (the selective single-tuple predicate) as `t1`.
+//!
+//! A delta batch Δ then only enumerates `σ(Δ) × (H ∪ Δ)` and `σ(H) × Δ`
+//! — disjoint by the `t1` side, so every new violating pair is counted
+//! exactly once — and under a `LeftLessThanRight` hint each probe binary-
+//! searches its candidate range in the sorted index instead of scanning.
+
+use std::cmp::Ordering;
+use std::time::Instant;
+
+use cleanm_core::algebra::HintKind;
+use cleanm_core::calculus::desugar::ROWID_FIELD;
+use cleanm_core::calculus::{eval::truthy, EvalCtx};
+use cleanm_core::engine::EngineError;
+use cleanm_core::ops::{DcOutcome, InequalityDc};
+use cleanm_core::physical::RowExpr;
+use cleanm_core::CleanDb;
+use cleanm_values::Value;
+
+use crate::session::Cursor;
+
+/// Retained state for one installed denial constraint.
+pub struct StandingDc {
+    filter_rx: Option<RowExpr>,
+    pred_rx: RowExpr,
+    lkey_rx: RowExpr,
+    rkey_rx: RowExpr,
+    prunable: bool,
+    /// Every row as the `t2` side, sorted by join key.
+    right_index: Vec<(f64, Value)>,
+    /// σ-filtered rows as the `t1` side, sorted by join key.
+    left_index: Vec<(f64, Value)>,
+    violations: usize,
+    comparisons: u64,
+    pub(crate) cursor: Cursor,
+    pub(crate) table: String,
+}
+
+impl StandingDc {
+    /// Build the state from the table's current rows plus the batch
+    /// baseline violation count.
+    pub(crate) fn install(
+        dc: &InequalityDc,
+        db: &mut CleanDb,
+    ) -> Result<(StandingDc, DcOutcome), EngineError> {
+        let baseline = dc.run(db)?;
+        let DcOutcome::Completed { violations, .. } = baseline else {
+            return Err(EngineError::Exec(cleanm_exec::ExecError::Other(
+                "cannot install a DC whose baseline exceeds the work budget".to_string(),
+            )));
+        };
+        let ctx = EvalCtx::new();
+        let t1 = vec!["t1".to_string()];
+        let t2 = vec!["t2".to_string()];
+        let pair = vec!["t1".to_string(), "t2".to_string()];
+        let stored = db.table(&dc.table).ok_or_else(|| {
+            EngineError::Exec(cleanm_exec::ExecError::Other(format!(
+                "unknown table `{}`",
+                dc.table
+            )))
+        })?;
+        let cursor = Cursor {
+            lineage: stored.created(),
+            batches_seen: stored.batches().len(),
+        };
+        let batches: Vec<_> = stored.batches().to_vec();
+        let mut state = StandingDc {
+            filter_rx: dc
+                .selective_filter
+                .as_ref()
+                .map(|f| RowExpr::compile(f, &t1, &ctx)),
+            pred_rx: RowExpr::compile(&dc.pair_pred, &pair, &ctx),
+            lkey_rx: RowExpr::compile(&dc.hint.left_key, &t1, &ctx),
+            rkey_rx: RowExpr::compile(&dc.hint.right_key, &t2, &ctx),
+            prunable: matches!(dc.hint.kind, HintKind::LeftLessThanRight),
+            right_index: Vec::new(),
+            left_index: Vec::new(),
+            violations,
+            comparisons: 0,
+            cursor,
+            table: dc.table.clone(),
+        };
+        for batch in &batches {
+            state.index(batch, &ctx);
+        }
+        state.sort_indexes();
+        Ok((state, baseline))
+    }
+
+    /// Add rows to both key indexes, unsorted (no comparisons). Callers
+    /// must [`StandingDc::sort_indexes`] before probing — appending then
+    /// sorting once is O(n log n) where per-row sorted insertion would be
+    /// O(n²) over an install.
+    fn index(&mut self, rows: &[Value], ctx: &EvalCtx) {
+        for row in rows {
+            let rk = key_of(&self.rkey_rx, "t2", row, ctx);
+            if rk.is_nan() {
+                self.prunable = false;
+            }
+            self.right_index.push((rk, row.clone()));
+            if self.passes_filter(row, ctx) {
+                let lk = key_of(&self.lkey_rx, "t1", row, ctx);
+                if lk.is_nan() {
+                    self.prunable = false;
+                }
+                self.left_index.push((lk, row.clone()));
+            }
+        }
+    }
+
+    /// Restore the sorted-by-key invariant after [`StandingDc::index`].
+    fn sort_indexes(&mut self) {
+        self.right_index.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.left_index.sort_by(|a, b| a.0.total_cmp(&b.0));
+    }
+
+    fn passes_filter(&self, row: &Value, ctx: &EvalCtx) -> bool {
+        let Some(f) = &self.filter_rx else {
+            return true;
+        };
+        let env = vec![("t1".to_string(), row.clone())];
+        f.eval_env(&env, ctx).map(|v| truthy(&v)).unwrap_or(false)
+    }
+
+    fn pair_violates(&mut self, t1: &Value, t2: &Value, ctx: &EvalCtx) -> bool {
+        self.comparisons += 1;
+        let l = vec![("t1".to_string(), t1.clone())];
+        let r = vec![("t2".to_string(), t2.clone())];
+        self.pred_rx
+            .eval_pair(&l, &r, ctx)
+            .map(|v| truthy(&v))
+            .unwrap_or(false)
+    }
+
+    /// The accumulated violation count.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Re-validate after appends: count the new violating pairs involving
+    /// at least one delta row, add them to the running total.
+    pub(crate) fn refresh(&mut self, delta: &[Value]) -> DcOutcome {
+        let start = Instant::now();
+        let ctx = EvalCtx::new();
+        // Index the delta first: the right index then holds H ∪ Δ, so
+        // Δ-vs-Δ pairs fall out of pass (1) below.
+        self.index(delta, &ctx);
+        self.sort_indexes();
+
+        // (1) σ(Δ) × (H ∪ Δ): each filtered delta row probes the full
+        // right index.
+        let mut new_pairs = 0usize;
+        for row in delta {
+            if !self.passes_filter(row, &ctx) {
+                continue;
+            }
+            let lk = key_of(&self.lkey_rx, "t1", row, &ctx);
+            for i in self.right_candidates(lk) {
+                let t2 = self.right_index[i].1.clone();
+                if self.pair_violates(row, &t2, &ctx) {
+                    new_pairs += 1;
+                }
+            }
+        }
+        // (2) σ(H) × Δ: each delta row as t2 probes the *historic* left
+        // index (delta-left pairs were already counted in (1)).
+        let delta_set: std::collections::HashSet<i64> = delta
+            .iter()
+            .filter_map(|r| r.field(ROWID_FIELD).ok().and_then(|v| v.as_int().ok()))
+            .collect();
+        for row in delta {
+            let rk = key_of(&self.rkey_rx, "t2", row, &ctx);
+            for i in self.left_candidates(rk) {
+                let t1 = self.left_index[i].1.clone();
+                let t1_id = t1.field(ROWID_FIELD).ok().and_then(|v| v.as_int().ok());
+                if t1_id.map(|id| delta_set.contains(&id)).unwrap_or(false) {
+                    continue; // a delta row: pair already counted in (1)
+                }
+                if self.pair_violates(&t1, row, &ctx) {
+                    new_pairs += 1;
+                }
+            }
+        }
+        self.violations += new_pairs;
+        DcOutcome::Completed {
+            violations: self.violations,
+            duration: start.elapsed(),
+            comparisons: self.comparisons,
+        }
+    }
+
+    /// Candidate `t2` indices for a left key under the hint: with
+    /// `LeftLessThanRight`, only keys strictly greater can satisfy the
+    /// predicate; otherwise the whole index.
+    fn right_candidates(&self, lk: f64) -> std::ops::Range<usize> {
+        if !self.prunable || lk.is_nan() {
+            return 0..self.right_index.len();
+        }
+        let start = self
+            .right_index
+            .partition_point(|(k, _)| k.total_cmp(&lk) != Ordering::Greater);
+        start..self.right_index.len()
+    }
+
+    /// Candidate `t1` indices for a right key: with `LeftLessThanRight`,
+    /// only keys strictly smaller.
+    fn left_candidates(&self, rk: f64) -> std::ops::Range<usize> {
+        if !self.prunable || rk.is_nan() {
+            return 0..self.left_index.len();
+        }
+        let end = self
+            .left_index
+            .partition_point(|(k, _)| k.total_cmp(&rk) == Ordering::Less);
+        0..end
+    }
+}
+
+fn key_of(rx: &RowExpr, var: &str, row: &Value, ctx: &EvalCtx) -> f64 {
+    let env = vec![(var.to_string(), row.clone())];
+    rx.eval_env(&env, ctx)
+        .ok()
+        .and_then(|v| v.as_float().ok())
+        .unwrap_or(f64::NAN)
+}

@@ -1,0 +1,29 @@
+//! # cleanm-incr — incremental cleaning service
+//!
+//! CleanM's batch engine re-parses, re-plans, and rescans everything per
+//! run. This crate turns violation detection into inference over *changes*:
+//!
+//! * **Append ingestion** — [`CleanDb::append`](cleanm_core::CleanDb)
+//!   (re-exported session) adds row batches as new partitions, bumps the
+//!   table's stats epoch, and maintains `TableStats` by summarizing only
+//!   the new batches (the stats monoid absorbs deltas without
+//!   recollection).
+//! * **Standing queries** — [`IncrementalSession::install`] plans and
+//!   compiles a query once (via the session plan cache) and retains
+//!   per-operator state: FD group maps, DEDUP blocking indexes, CLUSTER BY
+//!   dictionary indexes, DC join-key domains. Each appended batch is then
+//!   validated delta-vs-delta and delta-vs-history, producing a
+//!   [`CleaningReport`](cleanm_core::CleaningReport) with the same
+//!   violations and repairs as a from-scratch run — without rescanning old
+//!   rows. Operators whose state cannot be maintained fall back to a full
+//!   re-run, counted in `report.incremental`.
+//! * **Plan cache** — repeated or calculus-identical queries skip
+//!   parse/normalize/plan/compile entirely; hits and misses are surfaced
+//!   in every report's `plan_cache` field.
+
+mod dc;
+mod session;
+mod state;
+
+pub use dc::StandingDc;
+pub use session::{DcId, IncrementalSession, QueryId};

@@ -1,0 +1,449 @@
+//! The incremental session: standing queries over an append-aware
+//! [`CleanDb`].
+//!
+//! [`IncrementalSession::install`] runs a CleanM query once (seeding the
+//! session plan cache), grabs the cached plan, recognizes each operator's
+//! shape, and builds the per-operator state of [`crate::state`]. From then
+//! on, [`IncrementalSession::refresh`] validates only the rows appended
+//! since the last refresh — delta-vs-delta and delta-vs-history — and
+//! assembles a [`CleaningReport`] whose violations and repairs are
+//! identical to a from-scratch run over the concatenated data. Operators
+//! whose state cannot be maintained (unrecognized shapes, a re-registered
+//! table, a changed dictionary) fall back to a full re-run, counted in
+//! `report.incremental`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cleanm_core::calculus::desugar::OpKind;
+use cleanm_core::engine::{
+    collect_repairs, combine_local_violations, EngineError, IncrementalInfo, PlanCacheStats,
+    PlannedQuery,
+};
+use cleanm_core::ops::{DcOutcome, DedupPlanShape, FdPlanShape, InequalityDc, TermvalPlanShape};
+use cleanm_core::{CleanDb, CleaningReport};
+use cleanm_values::{Table, Value};
+
+use crate::dc::StandingDc;
+use crate::state::{DedupState, FdState, OpState, SelectState, TermvalState};
+
+/// Handle to an installed standing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryId(usize);
+
+/// Handle to an installed standing denial constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DcId(usize);
+
+/// Where a standing structure stands relative to a table's batch list.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Cursor {
+    /// `StoredTable::created` of the lineage the state was built on.
+    pub(crate) lineage: u64,
+    /// Batches already absorbed.
+    pub(crate) batches_seen: usize,
+}
+
+struct InstalledOp {
+    label: String,
+    kind: OpKind,
+    /// Tables whose deltas this op absorbs, in shape order (base table
+    /// first, CLUSTER BY's dictionary second; empty for fallbacks).
+    tables: Vec<String>,
+    state: OpState,
+}
+
+struct Standing {
+    sql: String,
+    entry: Option<Arc<PlannedQuery>>,
+    ops: Vec<InstalledOp>,
+    /// Every table the query depends on (base tables + dictionary sides).
+    cursors: HashMap<String, Cursor>,
+    dict_gen: u64,
+}
+
+/// An append-driven cleaning service wrapping a [`CleanDb`].
+pub struct IncrementalSession {
+    db: CleanDb,
+    queries: Vec<Standing>,
+    dcs: Vec<StandingDc>,
+}
+
+impl IncrementalSession {
+    pub fn new(db: CleanDb) -> Self {
+        IncrementalSession {
+            db,
+            queries: Vec::new(),
+            dcs: Vec::new(),
+        }
+    }
+
+    /// The underlying session (registration, configuration, ad-hoc runs).
+    pub fn db(&mut self) -> &mut CleanDb {
+        &mut self.db
+    }
+
+    /// Append a batch to a registered table (new partitions; stats epochs
+    /// bump; standing queries pick the rows up on their next refresh).
+    pub fn append(&mut self, name: &str, table: Table) -> Result<(), EngineError> {
+        self.db.append(name, table)
+    }
+
+    /// Install a standing query: one full run (plans + compiles once,
+    /// seeding the plan cache), then per-operator state built from the
+    /// current table contents. Returns the handle and the baseline report.
+    pub fn install(&mut self, sql: &str) -> Result<(QueryId, CleaningReport), EngineError> {
+        let report = self.db.run(sql)?;
+        let standing = self.build_standing(sql, &report)?;
+        self.queries.push(standing);
+        Ok((QueryId(self.queries.len() - 1), report))
+    }
+
+    /// Install a standing denial constraint (join-key domain index).
+    pub fn install_dc(&mut self, dc: &InequalityDc) -> Result<(DcId, DcOutcome), EngineError> {
+        let (state, baseline) = StandingDc::install(dc, &mut self.db)?;
+        self.dcs.push(state);
+        Ok((DcId(self.dcs.len() - 1), baseline))
+    }
+
+    /// Re-validate a standing DC against the rows appended since the last
+    /// refresh (or install).
+    pub fn refresh_dc(&mut self, id: DcId) -> Result<DcOutcome, EngineError> {
+        let state = &self.dcs[id.0];
+        let stored = self.db.table(&state.table);
+        let rebuild = match stored {
+            Some(s) => s.created() != state.cursor.lineage,
+            None => true,
+        };
+        if rebuild {
+            return Err(EngineError::Exec(cleanm_exec::ExecError::Other(format!(
+                "table `{}` was re-registered; reinstall the standing DC",
+                state.table
+            ))));
+        }
+        let stored = stored.expect("checked above");
+        let delta: Vec<Value> = stored.batches()[state.cursor.batches_seen..]
+            .iter()
+            .flat_map(|b| b.iter().cloned())
+            .collect();
+        let batches_now = stored.batches().len();
+        let state = &mut self.dcs[id.0];
+        let outcome = state.refresh(&delta);
+        state.cursor.batches_seen = batches_now;
+        Ok(outcome)
+    }
+
+    /// Re-validate a standing query against the rows appended since the
+    /// last refresh. The report's violations/repairs equal a from-scratch
+    /// run on the concatenated data; `report.incremental` records how many
+    /// operators ran from retained state vs fell back.
+    pub fn refresh(&mut self, id: QueryId) -> Result<CleaningReport, EngineError> {
+        let started = Instant::now();
+        // Each refresh reports its own runtime metrics, not a running
+        // accumulation since the last batch run.
+        self.db.context().metrics().reset();
+        // Invalidation sweep: a re-registered table or a dictionary change
+        // invalidates retained state wholesale — rebuild via a full run.
+        let needs_rebuild = {
+            let q = &self.queries[id.0];
+            q.entry.is_none()
+                || q.dict_gen != self.db.dictionaries_generation()
+                || q.cursors.iter().any(|(t, cur)| match self.db.table(t) {
+                    Some(s) => s.created() != cur.lineage || s.batches().len() < cur.batches_seen,
+                    None => true,
+                })
+        };
+        if needs_rebuild {
+            return self.reinstall(id);
+        }
+
+        // Gather the delta batches per tracked table.
+        let (deltas, new_cursors, delta_rows) = {
+            let q = &self.queries[id.0];
+            let mut deltas: HashMap<String, Vec<Value>> = HashMap::new();
+            let mut new_cursors = q.cursors.clone();
+            let mut delta_rows = 0usize;
+            for (t, cur) in &q.cursors {
+                let stored = self.db.table(t).expect("checked above");
+                let rows: Vec<Value> = stored.batches()[cur.batches_seen..]
+                    .iter()
+                    .flat_map(|b| b.iter().cloned())
+                    .collect();
+                delta_rows += rows.len();
+                new_cursors.get_mut(t).expect("tracked").batches_seen = stored.batches().len();
+                deltas.insert(t.clone(), rows);
+            }
+            (deltas, new_cursors, delta_rows)
+        };
+
+        // Fallback ops re-run the whole query once; their outputs come from
+        // that run while maintainable ops still absorb their deltas.
+        let sql = self.queries[id.0].sql.clone();
+        let has_fallback = self.queries[id.0]
+            .ops
+            .iter()
+            .any(|op| op.state.is_fallback());
+        let full_report = if has_fallback {
+            Some(self.db.run(&sql)?)
+        } else {
+            None
+        };
+
+        let entry = self.queries[id.0]
+            .entry
+            .clone()
+            .expect("rebuild handled entry-less queries");
+        let eval_ctx = Arc::clone(entry.eval_ctx());
+        let comparisons_before = eval_ctx.comparisons();
+
+        let q = &mut self.queries[id.0];
+        let mut ops = Vec::with_capacity(q.ops.len());
+        let (mut incremental_ops, mut fallback_ops) = (0usize, 0usize);
+        let mut absorb_error = false;
+        for op in &mut q.ops {
+            let op_start = Instant::now();
+            let output = if op.state.is_fallback() {
+                fallback_ops += 1;
+                full_report
+                    .as_ref()
+                    .and_then(|r| r.op_output(&op.label))
+                    .map(|o| o.to_vec())
+                    .unwrap_or_default()
+            } else {
+                incremental_ops += 1;
+                if op
+                    .state
+                    .absorb_deltas(&op.tables, &deltas, &eval_ctx)
+                    .is_err()
+                {
+                    // A delta row failed to evaluate. Earlier ops may have
+                    // absorbed this delta already, so retained state is no
+                    // longer trustworthy: rebuild from a full run, which
+                    // reports the same evaluation error the batch engine
+                    // would (or succeeds if only our state was stale).
+                    absorb_error = true;
+                    break;
+                }
+                op.state.output()
+            };
+            ops.push(cleanm_core::engine::OpResult {
+                label: op.label.clone(),
+                kind: op.kind,
+                output,
+                duration: op_start.elapsed(),
+            });
+        }
+        if absorb_error {
+            // Poison the standing state first: even if the rebuild's full
+            // run errors, the next refresh reinstalls instead of absorbing
+            // the same delta into half-updated state again.
+            self.queries[id.0].entry = None;
+            return self.reinstall(id);
+        }
+        q.cursors = new_cursors;
+
+        self.db
+            .context()
+            .metrics()
+            .add_comparisons(eval_ctx.comparisons() - comparisons_before);
+        let violating_ids = combine_local_violations(&ops);
+        let repairs = collect_repairs(&ops);
+        let (hits, misses) = self.db.plan_cache_counters();
+        Ok(CleaningReport {
+            profile: self.db.profile().name.clone(),
+            ops,
+            violating_ids,
+            repairs,
+            normalize_stats: Default::default(),
+            rewrite_stats: Default::default(),
+            timings: Default::default(),
+            total: started.elapsed(),
+            metrics: self.db.context().metrics().snapshot(),
+            plan_text: entry.plan_text().to_string(),
+            decisions: Vec::new(),
+            table_stats: HashMap::new(),
+            plan_cache: PlanCacheStats {
+                hit: false,
+                hits,
+                misses,
+            },
+            incremental: Some(IncrementalInfo {
+                delta_rows,
+                incremental_ops,
+                fallback_ops,
+            }),
+        })
+    }
+
+    /// Full rebuild of a standing query: one batch run, fresh state. Used
+    /// when retained state is invalid (replaced table, changed dictionary).
+    fn reinstall(&mut self, id: QueryId) -> Result<CleaningReport, EngineError> {
+        let sql = self.queries[id.0].sql.clone();
+        let mut report = self.db.run(&sql)?;
+        let standing = self.build_standing(&sql, &report)?;
+        let fallback_ops = report.ops.len();
+        self.queries[id.0] = standing;
+        report.incremental = Some(IncrementalInfo {
+            delta_rows: 0,
+            incremental_ops: 0,
+            fallback_ops,
+        });
+        Ok(report)
+    }
+
+    /// Recognize the plan shapes of a just-run query and build retained
+    /// state from the tables' current contents (indexes only — pair work
+    /// already happened in the batch run whose outputs seed the state).
+    fn build_standing(
+        &mut self,
+        sql: &str,
+        report: &CleaningReport,
+    ) -> Result<Standing, EngineError> {
+        let entry = self.db.cached_plan(sql);
+        let mut ops = Vec::new();
+        let mut cursors: HashMap<String, Cursor> = HashMap::new();
+        if let Some(entry) = &entry {
+            let eval_ctx = Arc::clone(entry.eval_ctx());
+            let corpus_sampled = entry.corpus_sampled();
+            for (plan, dop) in entry.plans().iter().zip(entry.ops()) {
+                let baseline = report
+                    .op_output(&dop.label)
+                    .map(|o| o.to_vec())
+                    .unwrap_or_default();
+                let (state, tables) =
+                    self.build_state(plan, dop.kind, &eval_ctx, baseline, corpus_sampled)?;
+                for t in &tables {
+                    if let Some(stored) = self.db.table(t) {
+                        cursors.insert(
+                            t.clone(),
+                            Cursor {
+                                lineage: stored.created(),
+                                batches_seen: stored.batches().len(),
+                            },
+                        );
+                    }
+                }
+                ops.push(InstalledOp {
+                    label: dop.label.clone(),
+                    kind: dop.kind,
+                    tables,
+                    state,
+                });
+            }
+        } else {
+            // Plan cache unavailable (evicted): every op falls back.
+            for op in &report.ops {
+                ops.push(InstalledOp {
+                    label: op.label.clone(),
+                    kind: op.kind,
+                    tables: Vec::new(),
+                    state: OpState::Fallback,
+                });
+            }
+        }
+        Ok(Standing {
+            sql: sql.to_string(),
+            entry,
+            ops,
+            cursors,
+            dict_gen: self.db.dictionaries_generation(),
+        })
+    }
+
+    /// Build one operator's state; returns the tables it depends on (the
+    /// op's base table first). `corpus_sampled` marks plans whose k-means
+    /// centers came from a catalog sample: those blockers re-sample on any
+    /// catalog change, so k-means ops cannot keep state and fall back.
+    fn build_state(
+        &self,
+        plan: &cleanm_core::algebra::Alg,
+        kind: OpKind,
+        eval_ctx: &cleanm_core::calculus::EvalCtx,
+        baseline_output: Vec<Value>,
+        corpus_sampled: bool,
+    ) -> Result<(OpState, Vec<String>), EngineError> {
+        use cleanm_core::calculus::FilterAlgo;
+        let exec_err = |e: cleanm_values::Error| {
+            EngineError::Exec(cleanm_exec::ExecError::Value(e.to_string()))
+        };
+        let all_rows = |table: &str| -> Vec<Value> {
+            self.db
+                .table(table)
+                .map(|s| s.iter_rows().cloned().collect())
+                .unwrap_or_default()
+        };
+        let unstable_blocker =
+            |algo: &FilterAlgo| corpus_sampled && matches!(algo, FilterAlgo::KMeans { .. });
+        match kind {
+            OpKind::Fd => {
+                let Some(shape) = FdPlanShape::from_plan(plan) else {
+                    return Ok((OpState::Fallback, Vec::new()));
+                };
+                let mut state = FdState::new(&shape, eval_ctx);
+                state
+                    .absorb(&all_rows(&shape.table), eval_ctx)
+                    .map_err(exec_err)?;
+                Ok((OpState::Fd(Box::new(state)), vec![shape.table]))
+            }
+            OpKind::Dedup => {
+                let Some(shape) = DedupPlanShape::from_plan(plan) else {
+                    return Ok((OpState::Fallback, Vec::new()));
+                };
+                if unstable_blocker(&shape.algo) {
+                    return Ok((OpState::Fallback, Vec::new()));
+                }
+                let mut state = DedupState::new(&shape, eval_ctx);
+                state
+                    .index_only(&all_rows(&shape.table), eval_ctx)
+                    .map_err(exec_err)?;
+                state.seed_outputs(baseline_output);
+                Ok((OpState::Dedup(Box::new(state)), vec![shape.table]))
+            }
+            OpKind::TermValidation => {
+                let Some(shape) = TermvalPlanShape::from_plan(plan) else {
+                    return Ok((OpState::Fallback, Vec::new()));
+                };
+                if unstable_blocker(&shape.algo) {
+                    return Ok((OpState::Fallback, Vec::new()));
+                }
+                let mut state = TermvalState::new(&shape, eval_ctx);
+                state
+                    .index_only(
+                        &all_rows(&shape.data.table),
+                        &all_rows(&shape.dict.table),
+                        eval_ctx,
+                    )
+                    .map_err(exec_err)?;
+                state.seed_outputs(baseline_output);
+                Ok((
+                    OpState::Termval(Box::new(state)),
+                    vec![shape.data.table.clone(), shape.dict.table.clone()],
+                ))
+            }
+            OpKind::Select => {
+                let Some(mut state) = SelectState::from_plan(plan, eval_ctx) else {
+                    return Ok((OpState::Fallback, Vec::new()));
+                };
+                state.seed_outputs(baseline_output);
+                let table = scan_table(plan);
+                Ok((
+                    OpState::Select(Box::new(state)),
+                    table.into_iter().collect(),
+                ))
+            }
+        }
+    }
+}
+
+/// The single base table a filtered-scan plan reads, if that is its shape.
+fn scan_table(plan: &cleanm_core::algebra::Alg) -> Option<String> {
+    use cleanm_core::algebra::Alg;
+    match plan {
+        Alg::Scan { table, .. } => Some(table.clone()),
+        Alg::Select { input, .. } | Alg::Reduce { input, .. } | Alg::Unnest { input, .. } => {
+            scan_table(input)
+        }
+        _ => None,
+    }
+}

@@ -1,0 +1,545 @@
+//! Differential tests: incremental ≡ batch.
+//!
+//! Interleave `append` + standing-query refreshes and assert every report
+//! matches a from-scratch run over the concatenated data — violating ids,
+//! repairs, and per-operator outputs (canonicalized: group partitions are
+//! order-free multisets). Fallback paths (unsupported shapes, dictionary
+//! changes) are exercised too.
+
+use cleanm_core::engine::CleaningReport;
+use cleanm_core::ops::InequalityDc;
+use cleanm_core::{CleanDb, EngineProfile};
+use cleanm_incr::IncrementalSession;
+use cleanm_values::{DataType, Row, Schema, Table, Value};
+use proptest::prelude::*;
+
+const NAMES: [&str; 6] = ["anderson", "andersen", "zhang", "zheng", "miller", "mellor"];
+const ADDRS: [&str; 4] = ["a st", "b st", "c st", "d st"];
+
+#[derive(Debug, Clone)]
+struct RowSpec {
+    name: usize,
+    addr: usize,
+    nation: i64,
+}
+
+fn row_spec() -> impl Strategy<Value = RowSpec> {
+    (0usize..NAMES.len(), 0usize..ADDRS.len(), 0i64..3).prop_map(|(name, addr, nation)| RowSpec {
+        name,
+        addr,
+        nation,
+    })
+}
+
+fn schema() -> Schema {
+    Schema::of([
+        ("name", DataType::Str),
+        ("address", DataType::Str),
+        ("nationkey", DataType::Int),
+    ])
+}
+
+fn make_table(rows: &[RowSpec]) -> Table {
+    Table::new(
+        schema(),
+        rows.iter()
+            .map(|r| {
+                Row::new(vec![
+                    Value::str(NAMES[r.name]),
+                    Value::str(ADDRS[r.addr]),
+                    Value::Int(r.nation),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Deep-sort every list inside a value so member order is canonical.
+fn deep_sort(v: &Value) -> Value {
+    match v {
+        Value::List(items) => {
+            let mut xs: Vec<Value> = items.iter().map(deep_sort).collect();
+            xs.sort();
+            Value::list(xs)
+        }
+        Value::Struct(fields) => Value::Struct(
+            fields
+                .iter()
+                .map(|(n, x)| (n.clone(), deep_sort(x)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// The observable cleaning result, order-canonicalized: violating ids,
+/// sorted `(term, repair)` pairs, and per-op canonical outputs.
+type Canonical = (Vec<i64>, Vec<(String, String)>, Vec<(String, Vec<Value>)>);
+
+fn canonical(report: &CleaningReport) -> Canonical {
+    let mut repairs: Vec<(String, String)> = report
+        .repairs
+        .iter()
+        .map(|r| (r.term.clone(), r.suggestion.clone()))
+        .collect();
+    repairs.sort();
+    let ops = report
+        .ops
+        .iter()
+        .map(|op| {
+            let mut out: Vec<Value> = op.output.iter().map(deep_sort).collect();
+            out.sort();
+            (op.label.clone(), out)
+        })
+        .collect();
+    (report.violating_ids.clone(), repairs, ops)
+}
+
+/// Run `sql` from scratch over the concatenation of all batches.
+fn batch_run(sql: &str, batches: &[Vec<RowSpec>], dict: Option<&[&str]>) -> CleaningReport {
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    let all: Vec<RowSpec> = batches.iter().flatten().cloned().collect();
+    db.register("customer", make_table(&all));
+    if let Some(terms) = dict {
+        db.register_dictionary("dict", terms.iter().map(|t| t.to_string()).collect());
+    }
+    db.run(sql).expect("batch run")
+}
+
+/// Drive an incremental session through the batches, asserting equivalence
+/// after every refresh.
+fn check_incremental(sql: &str, batches: &[Vec<RowSpec>], dict: Option<&[&str]>) {
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", make_table(&batches[0]));
+    if let Some(terms) = dict {
+        db.register_dictionary("dict", terms.iter().map(|t| t.to_string()).collect());
+    }
+    let mut session = IncrementalSession::new(db);
+    let (id, baseline) = session.install(sql).expect("install");
+    let expected0 = batch_run(sql, &batches[..1], dict);
+    assert_eq!(canonical(&baseline), canonical(&expected0), "baseline");
+
+    for upto in 1..batches.len() {
+        session
+            .append("customer", make_table(&batches[upto]))
+            .expect("append");
+        let got = session.refresh(id).expect("refresh");
+        let want = batch_run(sql, &batches[..=upto], dict);
+        assert_eq!(
+            canonical(&got),
+            canonical(&want),
+            "after batch {upto} of {sql}"
+        );
+        let info = got.incremental.expect("incremental info present");
+        assert_eq!(info.delta_rows, batches[upto].len());
+        assert_eq!(
+            info.fallback_ops, 0,
+            "supported shapes must not fall back: {sql}"
+        );
+    }
+}
+
+fn batches_strategy() -> impl Strategy<Value = Vec<Vec<RowSpec>>> {
+    (
+        proptest::collection::vec(row_spec(), 1..20),
+        proptest::collection::vec(proptest::collection::vec(row_spec(), 1..8), 1..3),
+    )
+        .prop_map(|(first, mut rest)| {
+            let mut all = vec![first];
+            all.append(&mut rest);
+            all
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fd_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT * FROM customer c FD(c.address, c.nationkey)",
+            &batches,
+            None,
+        );
+    }
+
+    #[test]
+    fn dedup_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT * FROM customer c DEDUP(exact, LD, 0.7, c.address, c.name)",
+            &batches,
+            None,
+        );
+    }
+
+    #[test]
+    fn multikey_dedup_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT * FROM customer c DEDUP(token_filtering(2), LD, 0.7, c.name)",
+            &batches,
+            None,
+        );
+    }
+
+    #[test]
+    fn unified_query_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT * FROM customer c \
+             FD(c.address, c.nationkey) \
+             DEDUP(exact, LD, 0.7, c.address, c.name)",
+            &batches,
+            None,
+        );
+    }
+
+    #[test]
+    fn filtered_select_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT c.name AS n FROM customer c WHERE c.nationkey = 1",
+            &batches,
+            None,
+        );
+    }
+
+    #[test]
+    fn termval_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT * FROM customer c, dict w CLUSTER BY(token_filtering(2), LD, 0.7, c.name)",
+            &batches,
+            Some(&["anderson", "zhang", "miller"]),
+        );
+    }
+
+    #[test]
+    fn fd_with_where_incremental_equals_batch(batches in batches_strategy()) {
+        check_incremental(
+            "SELECT * FROM customer c WHERE c.nationkey < 2 FD(c.address, c.name)",
+            &batches,
+            None,
+        );
+    }
+}
+
+#[test]
+fn unsupported_shapes_fall_back_and_stay_correct() {
+    // GROUP BY lowers to a Nest-shaped select: no incremental state.
+    let sql = "SELECT c.address AS a, count(*) AS n FROM customer c GROUP BY c.address";
+    let batches = vec![
+        vec![
+            RowSpec {
+                name: 0,
+                addr: 0,
+                nation: 1,
+            },
+            RowSpec {
+                name: 1,
+                addr: 0,
+                nation: 2,
+            },
+        ],
+        vec![RowSpec {
+            name: 2,
+            addr: 1,
+            nation: 1,
+        }],
+    ];
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", make_table(&batches[0]));
+    let mut session = IncrementalSession::new(db);
+    let (id, _) = session.install(sql).expect("install");
+    session
+        .append("customer", make_table(&batches[1]))
+        .expect("append");
+    let got = session.refresh(id).expect("refresh");
+    let info = got.incremental.clone().expect("incremental info");
+    assert_eq!(info.fallback_ops, 1, "GROUP BY op must fall back");
+    assert_eq!(info.incremental_ops, 0);
+    let want = batch_run(sql, &batches, None);
+    assert_eq!(canonical(&got), canonical(&want));
+}
+
+#[test]
+fn catalog_sampled_kmeans_blocking_falls_back_to_stay_correct() {
+    // With no dictionary, k-means centers are sampled from the catalog and
+    // re-sample whenever it changes — retained block indexes would
+    // diverge from a from-scratch run, so such ops must fall back.
+    let sql = "SELECT * FROM customer c DEDUP(kmeans(3), LD, 0.7, c.name)";
+    let batches = vec![
+        (0..10)
+            .map(|i| RowSpec {
+                name: i % NAMES.len(),
+                addr: i % ADDRS.len(),
+                nation: 0,
+            })
+            .collect::<Vec<_>>(),
+        vec![RowSpec {
+            name: 1,
+            addr: 2,
+            nation: 1,
+        }],
+    ];
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", make_table(&batches[0]));
+    let mut session = IncrementalSession::new(db);
+    let (id, _) = session.install(sql).expect("install");
+    session
+        .append("customer", make_table(&batches[1]))
+        .expect("append");
+    let got = session.refresh(id).expect("refresh");
+    let info = got.incremental.clone().expect("incremental info");
+    assert!(
+        info.fallback_ops > 0,
+        "catalog-sampled k-means must not keep state"
+    );
+    let want = batch_run(sql, &batches, None);
+    assert_eq!(canonical(&got), canonical(&want));
+}
+
+#[test]
+fn dictionary_table_appends_are_revalidated_incrementally() {
+    // Appending rows to the dictionary *table* (same lineage, dict_gen
+    // unchanged) must compare the new entries against all existing data
+    // terms — not be silently dropped.
+    let sql = "SELECT * FROM customer c, dict w CLUSTER BY(token_filtering(2), LD, 0.7, c.name)";
+    let first = vec![RowSpec {
+        name: 1, // "andersen"
+        addr: 0,
+        nation: 0,
+    }];
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", make_table(&first));
+    db.register_dictionary("dict", vec!["zhang".into()]);
+    let mut session = IncrementalSession::new(db);
+    let (id, baseline) = session.install(sql).expect("install");
+    assert!(baseline.repairs.is_empty(), "{:?}", baseline.repairs);
+
+    // New dictionary rows arrive as an append to the dict table.
+    let dict_schema = Schema::of([("term", DataType::Str)]);
+    session
+        .db()
+        .append(
+            "dict",
+            Table::new(dict_schema, vec![Row::new(vec![Value::str("anderson")])]),
+        )
+        .expect("append dict rows");
+    let got = session.refresh(id).expect("refresh");
+    let info = got.incremental.clone().expect("incremental info");
+    assert_eq!(info.fallback_ops, 0, "dict appends are maintainable");
+    assert_eq!(info.delta_rows, 1);
+    assert!(
+        got.repairs
+            .iter()
+            .any(|r| r.term == "andersen" && r.suggestion == "anderson"),
+        "new dictionary entry must validate existing terms: {:?}",
+        got.repairs
+    );
+    // And it matches a from-scratch run over the same final state.
+    let mut fresh = CleanDb::new(EngineProfile::clean_db());
+    fresh.register("customer", make_table(&first));
+    fresh.register_dictionary("dict", vec!["zhang".into()]);
+    fresh
+        .append(
+            "dict",
+            Table::new(
+                Schema::of([("term", DataType::Str)]),
+                vec![Row::new(vec![Value::str("anderson")])],
+            ),
+        )
+        .expect("append");
+    let want = fresh.run(sql).expect("batch");
+    assert_eq!(canonical(&got), canonical(&want));
+}
+
+#[test]
+fn refresh_metrics_do_not_accumulate_across_refreshes() {
+    let sql = "SELECT * FROM customer c DEDUP(exact, LD, 0.7, c.address, c.name)";
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register(
+        "customer",
+        make_table(&[
+            RowSpec {
+                name: 0,
+                addr: 0,
+                nation: 0,
+            },
+            RowSpec {
+                name: 1,
+                addr: 0,
+                nation: 0,
+            },
+        ]),
+    );
+    let mut session = IncrementalSession::new(db);
+    let (id, _) = session.install(sql).expect("install");
+    session
+        .append(
+            "customer",
+            make_table(&[RowSpec {
+                name: 0,
+                addr: 0,
+                nation: 0,
+            }]),
+        )
+        .expect("append");
+    let first = session.refresh(id).expect("refresh");
+    // A refresh with no new rows does no comparison work — and must not
+    // re-report the previous refresh's (or the install run's) counters.
+    let idle = session.refresh(id).expect("idle refresh");
+    assert_eq!(idle.metrics.comparisons, 0, "{:?}", idle.metrics);
+    assert!(first.metrics.comparisons > 0);
+}
+
+#[test]
+fn dictionary_change_forces_full_rebuild() {
+    let sql = "SELECT * FROM customer c, dict w CLUSTER BY(token_filtering(2), LD, 0.7, c.name)";
+    let first = vec![RowSpec {
+        name: 1,
+        addr: 0,
+        nation: 0,
+    }];
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", make_table(&first));
+    db.register_dictionary("dict", vec!["anderson".into()]);
+    let mut session = IncrementalSession::new(db);
+    let (id, baseline) = session.install(sql).expect("install");
+    assert!(baseline
+        .repairs
+        .iter()
+        .any(|r| r.term == "andersen" && r.suggestion == "anderson"));
+
+    // Re-registering the dictionary invalidates the standing state: the
+    // next refresh is a counted full rebuild against the new terms.
+    session
+        .db()
+        .register_dictionary("dict", vec!["zhang".into()]);
+    let got = session.refresh(id).expect("refresh");
+    let info = got.incremental.clone().expect("incremental info");
+    assert!(info.fallback_ops > 0, "dictionary change must fall back");
+    assert!(
+        !got.repairs.iter().any(|r| r.suggestion == "anderson"),
+        "stale dictionary state must not leak: {:?}",
+        got.repairs
+    );
+
+    // And the rebuilt state keeps validating appends incrementally.
+    session
+        .append(
+            "customer",
+            make_table(&[RowSpec {
+                name: 3,
+                addr: 0,
+                nation: 0,
+            }]),
+        )
+        .expect("append");
+    let again = session.refresh(id).expect("refresh");
+    assert_eq!(again.incremental.unwrap().fallback_ops, 0);
+    assert!(again
+        .repairs
+        .iter()
+        .any(|r| r.term == "zheng" && r.suggestion == "zhang"));
+}
+
+#[test]
+fn table_replacement_forces_full_rebuild() {
+    let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register(
+        "customer",
+        make_table(&[
+            RowSpec {
+                name: 0,
+                addr: 0,
+                nation: 0,
+            },
+            RowSpec {
+                name: 1,
+                addr: 0,
+                nation: 1,
+            },
+        ]),
+    );
+    let mut session = IncrementalSession::new(db);
+    let (id, baseline) = session.install(sql).expect("install");
+    assert_eq!(baseline.violating_ids, vec![0, 1]);
+
+    // Replace the table wholesale: retained groups are garbage now.
+    session.db().register(
+        "customer",
+        make_table(&[RowSpec {
+            name: 2,
+            addr: 1,
+            nation: 2,
+        }]),
+    );
+    let got = session.refresh(id).expect("refresh");
+    assert!(got.incremental.unwrap().fallback_ops > 0);
+    assert!(got.violating_ids.is_empty(), "{:?}", got.violating_ids);
+}
+
+#[test]
+fn standing_dc_counts_new_pairs_like_batch() {
+    let schema = Schema::of([
+        ("extendedprice", DataType::Float),
+        ("discount", DataType::Float),
+    ]);
+    let make = |rows: &[(f64, f64)]| {
+        Table::new(
+            schema.clone(),
+            rows.iter()
+                .map(|&(p, d)| Row::new(vec![Value::Float(p), Value::Float(d)]))
+                .collect(),
+        )
+    };
+    let base: Vec<(f64, f64)> = (0..40)
+        .map(|i| (100.0 + i as f64, i as f64 / 40.0))
+        .collect();
+    let delta: Vec<(f64, f64)> = vec![(50.0, 0.99), (120.5, 0.01)];
+
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("lineitem", make(&base));
+    let mut session = IncrementalSession::new(db);
+    let dc = InequalityDc::rule_psi("lineitem", 130.0);
+    let (id, baseline) = session.install_dc(&dc).expect("install dc");
+    session.append("lineitem", make(&delta)).expect("append");
+    let refreshed = session.refresh_dc(id).expect("refresh dc");
+
+    // Reference: batch run over the concatenated table.
+    let mut all = base.clone();
+    all.extend(delta.iter().cloned());
+    let mut fresh = CleanDb::new(EngineProfile::clean_db());
+    fresh.register("lineitem", make(&all));
+    let want = dc.run(&mut fresh).expect("batch dc");
+    let (got_v, want_v) = match (&refreshed, &want) {
+        (
+            cleanm_core::ops::DcOutcome::Completed { violations: g, .. },
+            cleanm_core::ops::DcOutcome::Completed { violations: w, .. },
+        ) => (*g, *w),
+        other => panic!("unexpected outcomes: {other:?}"),
+    };
+    assert_eq!(got_v, want_v, "incremental DC total must match batch");
+    if let cleanm_core::ops::DcOutcome::Completed { violations, .. } = baseline {
+        assert!(got_v >= violations, "totals accumulate");
+    }
+}
+
+#[test]
+fn repeated_install_hits_plan_cache() {
+    let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register(
+        "customer",
+        make_table(&[RowSpec {
+            name: 0,
+            addr: 0,
+            nation: 0,
+        }]),
+    );
+    let mut session = IncrementalSession::new(db);
+    let (_, first) = session.install(sql).expect("install");
+    assert!(!first.plan_cache.hit);
+    // The same query text again (e.g. a second tenant): planning skipped.
+    let again = session.db().run(sql).expect("re-run");
+    assert!(again.plan_cache.hit);
+    assert!(again.plan_cache.hits >= 1);
+}

@@ -39,7 +39,7 @@ pub use histogram::{Bucket, EquiDepthHistogram};
 pub use hll::Hll;
 pub use reservoir::Reservoir;
 pub use strkey::{string_key, STRING_KEY_BYTES, STRING_KEY_RESOLUTION};
-pub use table::{collect_table_stats, TableStats};
+pub use table::{collect_batch_stats, collect_table_stats, TableStats};
 
 /// Tuning knobs for statistics collection. The defaults keep a per-column
 /// summary around a few KiB regardless of table size.

@@ -123,6 +123,28 @@ pub fn collect_table_stats(
     .unwrap_or_else(|| TableStats::new(config))
 }
 
+/// [`collect_table_stats`] over a table stored as **append batches**: one
+/// accounted pass over exactly the given batches (history batches that were
+/// already summarized are simply not passed in), merged tree-wise. Because
+/// `TableStats` is a monoid, summarizing only a table's *new* batches and
+/// merging the result into the cached entry yields the same statistics as
+/// recollecting from scratch — the incremental-maintenance property the
+/// append path relies on.
+pub fn collect_batch_stats(
+    ctx: &Arc<ExecContext>,
+    batches: &[Arc<Vec<Value>>],
+    config: StatsConfig,
+) -> TableStats {
+    let refs: Vec<&[Value]> = batches.iter().map(|b| b.as_slice()).collect();
+    let partials =
+        cleanm_exec::summarize_batches(ctx, &refs, move |part| TableStats::of_rows(part, config));
+    cleanm_exec::merge_tree(ctx, partials, |mut a, b| {
+        a.merge(&b);
+        a
+    })
+    .unwrap_or_else(|| TableStats::new(config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

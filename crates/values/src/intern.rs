@@ -1,0 +1,69 @@
+//! A process-wide symbol table for row field names.
+//!
+//! Every registered row is a [`Value::Struct`](crate::Value) whose field
+//! names repeat for every row of a table; allocating a fresh `Arc<str>` per
+//! row per field made registration and the string/transform builtins
+//! allocation-bound. [`intern`] returns one shared `Arc<str>` per distinct
+//! name, so building a million-row table clones a handful of pointers
+//! instead of allocating a million short strings.
+//!
+//! The table only ever holds *field names* (schema columns, operator output
+//! fields like `key` / `partition` / `left` / `right`), a small closed set —
+//! it is deliberately unbounded, and callers must not intern data values.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn table() -> &'static Mutex<HashSet<Arc<str>>> {
+    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+/// The canonical shared `Arc<str>` for a field name.
+pub fn intern(name: &str) -> Arc<str> {
+    let mut set = table().lock().expect("intern table poisoned");
+    if let Some(existing) = set.get(name) {
+        return Arc::clone(existing);
+    }
+    let fresh: Arc<str> = Arc::from(name);
+    set.insert(Arc::clone(&fresh));
+    fresh
+}
+
+/// Intern every name in a schema-like list at once (one lock acquisition).
+pub fn intern_all<'a>(names: impl IntoIterator<Item = &'a str>) -> Vec<Arc<str>> {
+    let mut set = table().lock().expect("intern table poisoned");
+    names
+        .into_iter()
+        .map(|name| {
+            if let Some(existing) = set.get(name) {
+                Arc::clone(existing)
+            } else {
+                let fresh: Arc<str> = Arc::from(name);
+                set.insert(Arc::clone(&fresh));
+                fresh
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_one_allocation() {
+        let a = intern("nationkey");
+        let b = intern("nationkey");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.as_ref(), "nationkey");
+    }
+
+    #[test]
+    fn intern_all_matches_single_interning() {
+        let batch = intern_all(["alpha_field", "beta_field"]);
+        assert_eq!(batch.len(), 2);
+        assert!(Arc::ptr_eq(&batch[0], &intern("alpha_field")));
+        assert!(Arc::ptr_eq(&batch[1], &intern("beta_field")));
+    }
+}

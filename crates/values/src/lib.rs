@@ -12,11 +12,13 @@
 //!   schema.
 
 mod error;
+mod intern;
 mod row;
 mod types;
 mod value;
 
 pub use error::{Error, Result};
+pub use intern::{intern, intern_all};
 pub use row::{Row, Table};
 pub use types::{DataType, Field, Schema};
 pub use value::Value;

@@ -68,15 +68,12 @@ impl Row {
     }
 
     /// Package the row as a [`Value::Struct`] using the schema's field names
-    /// (used when nesting rows inside group values).
+    /// (used when nesting rows inside group values). Field names go through
+    /// the process-wide intern table so repeated conversion of a table's
+    /// rows shares one allocation per column name.
     pub fn to_struct(&self, schema: &Schema) -> Value {
-        Value::record(
-            schema
-                .fields()
-                .iter()
-                .zip(self.values.iter())
-                .map(|(f, v)| (f.name.as_str(), v.clone())),
-        )
+        let names = crate::intern::intern_all(schema.fields().iter().map(|f| f.name.as_str()));
+        Value::Struct(names.into_iter().zip(self.values.iter().cloned()).collect())
     }
 }
 

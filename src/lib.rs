@@ -20,6 +20,9 @@
 //!   algebra and its rewriter, physical planning under three engine
 //!   profiles, and the cleaning operators (FD, DC, DEDUP, CLUSTER BY,
 //!   transformations).
+//! * [`incr`] — the incremental cleaning service: append ingestion with
+//!   monoid-maintained statistics, standing queries with delta-driven
+//!   re-validation, and the session plan cache.
 //!
 //! ## Quickstart
 //!
@@ -49,5 +52,6 @@ pub use cleanm_core as core;
 pub use cleanm_datagen as datagen;
 pub use cleanm_exec as exec;
 pub use cleanm_formats as formats;
+pub use cleanm_incr as incr;
 pub use cleanm_text as text;
 pub use cleanm_values as values;
