@@ -1,15 +1,18 @@
 //! Interpreted vs compiled expression evaluation — the hot path every
-//! filter, group key, unnest, theta predicate, and transform goes through.
+//! filter, group key, unnest, theta predicate, and transform goes through
+//! — plus the operator-fusion comparison: one-pass filter+consume
+//! (`Dataset::filter_fold` / `filter_transform`) vs the operator-at-a-time
+//! pipeline, both running the same compiled programs.
 //!
-//! The headline comparison (also what `repro eval` writes to
-//! `BENCH_eval.json`): full passes over a ≥100k-row customer-like table,
-//! evaluating a filter predicate and a composite grouping key with the
-//! tree-walking reference evaluator vs `Program::eval_batch`. The compiled
-//! batch path must beat the interpreter by ≥ 2x on these shapes.
+//! The headline comparisons (also what `repro eval` writes to
+//! `BENCH_eval.json`): full passes over a ≥100k-row customer-like table.
+//! The compiled batch path must beat the interpreter by ≥ 2x on the
+//! filter/group shapes, and the fused filter+aggregate pipeline must beat
+//! the unfused compiled pipeline by ≥ 1.5x.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use cleanm_bench::experiments::{eval_compile, eval_workloads};
+use cleanm_bench::experiments::{eval_compile, eval_workloads, fused_pipeline};
 use cleanm_bench::Scale;
 
 fn bench_eval(c: &mut Criterion) {
@@ -24,6 +27,16 @@ fn bench_eval(c: &mut Criterion) {
             row.rows,
             row.interpreted_rows_per_sec,
             row.compiled_rows_per_sec,
+            row.speedup()
+        );
+    }
+    for row in fused_pipeline(scale) {
+        println!(
+            "[fused] {:<18} {:>8} rows: unfused {:>12.0} rows/s, fused {:>12.0} rows/s, speedup {:.2}x",
+            row.workload,
+            row.rows,
+            row.unfused_rows_per_sec,
+            row.fused_rows_per_sec,
             row.speedup()
         );
     }

@@ -753,6 +753,31 @@ pub fn ablation_blocking(scale: Scale) -> Vec<AblationRow> {
 // (benches/eval.rs and repro's BENCH_eval.json trajectory).
 // ====================================================================
 
+/// Row count for the eval / fusion micro-benches.
+fn eval_rows(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 120_000,
+        Scale::Full => 400_000,
+    }
+}
+
+/// One TPC-H-wide customer-like row for the eval / fusion benches (wide
+/// enough that field-name scans cost what they cost in real plans).
+fn customer_env_row(i: usize, n: usize) -> cleanm_values::Value {
+    use cleanm_values::Value;
+    Value::record([
+        ("__rowid", Value::Int(i as i64)),
+        ("acctbal", Value::Float(((i * 37) % 10_000) as f64 / 10.0)),
+        ("address", Value::str(format!("{} Main St", i % 997))),
+        ("comment", Value::str("no comment")),
+        ("creditlimit", Value::Int(((i * 53) % 900) as i64)),
+        ("mktsegment", Value::str("BUILDING")),
+        ("name", Value::str(format!("customer-{:06}", i * 7919 % n))),
+        ("nationkey", Value::Int((i % 25) as i64)),
+        ("phone", Value::str(format!("{:03}-{:07}", i % 500, i))),
+    ])
+}
+
 /// One expression workload for the interpreted-vs-compiled comparison: a
 /// row set plus the expression pipeline a physical operator evaluates per
 /// row. The first expression acts as the filter (falsy rows skip the
@@ -894,23 +919,8 @@ pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
     use cleanm_core::calculus::{BinOp, CalcExpr, EvalCtx, Func};
     use cleanm_values::Value;
 
-    let n = match scale {
-        Scale::Quick => 120_000usize,
-        Scale::Full => 400_000,
-    };
-    let make_row = |i: usize| {
-        Value::record([
-            ("__rowid", Value::Int(i as i64)),
-            ("acctbal", Value::Float(((i * 37) % 10_000) as f64 / 10.0)),
-            ("address", Value::str(format!("{} Main St", i % 997))),
-            ("comment", Value::str("no comment")),
-            ("creditlimit", Value::Int(((i * 53) % 900) as i64)),
-            ("mktsegment", Value::str("BUILDING")),
-            ("name", Value::str(format!("customer-{:06}", i * 7919 % n))),
-            ("nationkey", Value::Int((i % 25) as i64)),
-            ("phone", Value::str(format!("{:03}-{:07}", i % 500, i))),
-        ])
-    };
+    let n = eval_rows(scale);
+    let make_row = |i: usize| customer_env_row(i, n);
     let rows: Vec<Vec<(String, Value)>> = (0..n)
         .map(|i| vec![("c".to_string(), make_row(i))])
         .collect();
@@ -967,6 +977,29 @@ pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
         ),
         ("name", CalcExpr::call(Func::Lower, vec![col("c", "name")])),
     ]);
+    // A transform-heavy record: every string builtin the zero-copy work
+    // targets, over mostly already-clean text (the case cleaning pipelines
+    // actually meet — `lower` of lowercase names, `trim` of trimmed
+    // addresses — where the old builtins still allocated per call).
+    let transform_heavy = CalcExpr::record(vec![
+        (
+            "area",
+            CalcExpr::call(Func::Prefix, vec![col("c", "phone")]),
+        ),
+        ("name", CalcExpr::call(Func::Lower, vec![col("c", "name")])),
+        (
+            "segment",
+            CalcExpr::call(Func::Upper, vec![col("c", "mktsegment")]),
+        ),
+        (
+            "address",
+            CalcExpr::call(Func::Trim, vec![col("c", "address")]),
+        ),
+        (
+            "comment",
+            CalcExpr::call(Func::Lower, vec![col("c", "comment")]),
+        ),
+    ]);
     // An inequality-DC theta predicate over a (t1, t2) pair.
     let theta_pred = CalcExpr::bin(
         BinOp::And,
@@ -1016,8 +1049,17 @@ pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
         },
         EvalWorkload {
             name: "transform",
-            rows,
+            rows: rows.clone(),
             exprs: vec![transform],
+            ctx: EvalCtx::new(),
+            scope: scope_c.clone(),
+            pair_split: 0,
+            materialize: true,
+        },
+        EvalWorkload {
+            name: "transform_heavy",
+            rows,
+            exprs: vec![transform_heavy],
             ctx: EvalCtx::new(),
             scope: scope_c,
             pair_split: 0,
@@ -1077,6 +1119,221 @@ pub fn eval_compile(scale: Scale) -> Vec<EvalRow> {
         });
     }
     out
+}
+
+// ====================================================================
+// Operator fusion — one-pass filter+consume (`filter_fold` /
+// `filter_transform`) vs the operator-at-a-time pipeline the executor
+// ran before fusion, over the same partitioned data with the same
+// compiled programs (benches/eval.rs and the `fused` section of
+// BENCH_eval.json).
+// ====================================================================
+
+/// One fused-vs-unfused pipeline measurement (a row of `BENCH_eval.json`'s
+/// `fused` section).
+#[derive(Debug, Clone)]
+pub struct FusedRow {
+    pub workload: String,
+    pub rows: usize,
+    pub unfused_rows_per_sec: f64,
+    pub fused_rows_per_sec: f64,
+}
+
+impl FusedRow {
+    pub fn speedup(&self) -> f64 {
+        self.fused_rows_per_sec / self.unfused_rows_per_sec.max(1e-9)
+    }
+}
+
+/// Measure the Select-fusion win on the two pipeline shapes it targets,
+/// driving the *real* `Dataset` partition drivers with the *real* compiled
+/// row programs on the worker pool — only the dataset construction (the
+/// scan, identical either way) sits outside the timed region:
+///
+/// * `fused_filter_agg` — Select → Reduce(Sum). Unfused: a filter pass,
+///   a head-evaluation pass materializing every surviving value, a
+///   collect, and a driver-sequential monoid merge (the executor's
+///   pre-fusion translation). Fused: one `filter_fold` pass per
+///   partition, partials merged at the driver.
+/// * `fused_filter_group` — Select → Nest. Unfused: a filter pass, then
+///   the pair-emission pass, then the local-aggregate grouping. Fused:
+///   pair emission filters in the same sweep.
+pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
+    use cleanm_core::calculus::eval::{merge_values, truthy, EvalCtx};
+    use cleanm_core::calculus::{BinOp, CalcExpr, MonoidKind};
+    use cleanm_core::physical::RowExpr;
+    use cleanm_exec::Dataset;
+    use cleanm_values::Value;
+
+    type Env = Vec<(String, Value)>;
+
+    let n = eval_rows(scale);
+    let envs: Vec<Env> = (0..n)
+        .map(|i| vec![("c".to_string(), customer_env_row(i, n))])
+        .collect();
+    let ctx = local_context();
+    let eval_ctx = EvalCtx::new();
+    let scope = vec!["c".to_string()];
+    let col = |f: &str| CalcExpr::proj(CalcExpr::var("c"), f);
+
+    // A chain of three mostly-passing validity filters — the stacked-
+    // Select shape real cleaning plans carry (DEDUP's similarity + rowid
+    // predicates, WHERE + pushed-down rule atoms). Unfused, each costs a
+    // full pass over the surviving rows; fused, the chain runs inside the
+    // consumer's single sweep.
+    let pred_exprs = [
+        CalcExpr::bin(BinOp::Lt, col("nationkey"), CalcExpr::int(24)),
+        CalcExpr::bin(BinOp::Ge, col("acctbal"), CalcExpr::float(50.0)),
+        CalcExpr::bin(BinOp::Ge, col("creditlimit"), CalcExpr::int(50)),
+    ];
+    let preds: Vec<RowExpr> = pred_exprs
+        .iter()
+        .map(|e| {
+            let rx = RowExpr::compile(e, &scope, &eval_ctx);
+            assert!(rx.is_compiled());
+            rx
+        })
+        .collect();
+    // The fused execution conjoins the chain into one program (a single
+    // natively short-circuiting predicate tree), as the executor does.
+    let conj_expr = pred_exprs
+        .iter()
+        .skip(1)
+        .fold(pred_exprs[0].clone(), |acc, p| {
+            CalcExpr::bin(BinOp::And, acc, p.clone())
+        });
+    let conj = RowExpr::compile(&conj_expr, &scope, &eval_ctx);
+    assert!(conj.is_compiled());
+    // …and for a scalar reduce the chain and the head compile into ONE
+    // guarded program per row (`if pred then head else null`), as
+    // `Executor::run_reduce` does.
+    let guarded_expr = CalcExpr::If(
+        Box::new(conj_expr.clone()),
+        Box::new(col("acctbal")),
+        Box::new(CalcExpr::Const(Value::Null)),
+    );
+    let guarded = RowExpr::compile(&guarded_expr, &scope, &eval_ctx);
+    assert!(guarded.is_compiled());
+    let head = RowExpr::compile(&col("acctbal"), &scope, &eval_ctx);
+    let key_expr = CalcExpr::record(vec![("k0", col("address")), ("k1", col("nationkey"))]);
+    let key = RowExpr::compile(&key_expr, &scope, &eval_ctx);
+
+    let pred_keep = |rx: &RowExpr, env: &Env| {
+        rx.eval_env(env, &eval_ctx)
+            .map(|v| truthy(&v))
+            .unwrap_or(false)
+    };
+    let keep = |env: &Env| pred_keep(&conj, env);
+    let sum = MonoidKind::Sum;
+    let fold_sum = |acc: Value, v: Value| merge_values(&sum, acc, v).expect("sum merges");
+
+    // Each measurement rebuilds the dataset outside the timed region
+    // (the scan is identical under both executions), times the pipeline,
+    // and keeps the best of seven interleaved passes per engine.
+    let measure = |run_unfused: &dyn Fn(Dataset<Env>) -> Value,
+                   run_fused: &dyn Fn(Dataset<Env>) -> Value,
+                   workload: &str|
+     -> FusedRow {
+        let make_ds = || Dataset::from_vec(&ctx, envs.clone());
+        // Checksum: identical up to float-summation order (per-partition
+        // folds associate differently than a sequential driver merge).
+        let (a, b) = (run_unfused(make_ds()), run_fused(make_ds()));
+        match (&a, &b) {
+            (Value::Float(x), Value::Float(y)) => assert!(
+                (x - y).abs() <= 1e-9 * x.abs().max(y.abs()),
+                "pipelines disagree on {workload}: {x} vs {y}"
+            ),
+            _ => assert_eq!(a, b, "pipelines disagree on {workload}"),
+        }
+        let timed = |run: &dyn Fn(Dataset<Env>) -> Value| -> f64 {
+            let ds = make_ds();
+            let start = Instant::now();
+            std::hint::black_box(run(ds));
+            start.elapsed().as_secs_f64()
+        };
+        let (mut unfused, mut fused) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..7 {
+            unfused = unfused.min(timed(run_unfused));
+            fused = fused.min(timed(run_fused));
+        }
+        FusedRow {
+            workload: workload.to_string(),
+            rows: n,
+            unfused_rows_per_sec: n as f64 / unfused.max(1e-9),
+            fused_rows_per_sec: n as f64 / fused.max(1e-9),
+        }
+    };
+
+    // Each unfused Select of the chain is its own filter pass over the
+    // surviving rows — exactly the executor's operator-at-a-time
+    // translation before fusion.
+    let filter_chain = |mut ds: Dataset<Env>| -> Dataset<Env> {
+        for rx in &preds {
+            ds = ds.filter_partitions(|part| part.retain(|env| pred_keep(rx, env)));
+        }
+        ds
+    };
+
+    // --- Select chain → Reduce(Sum) ---
+    let unfused_agg = |ds: Dataset<Env>| -> Value {
+        let outputs: Vec<Value> = filter_chain(ds)
+            .filter_transform(
+                "map_partitions",
+                |_| true,
+                |env, out: &mut Vec<Value>| {
+                    out.push(head.eval_env(&env, &eval_ctx).expect("head evaluates"))
+                },
+            )
+            .collect();
+        outputs.into_iter().fold(sum.zero(), fold_sum)
+    };
+    // The fused fold inlines the hot merge cases (a filtered row's Null is
+    // the identity; two floats add directly), as the executor's fused
+    // scalar-reduce loop does — merge_values stays the fallback.
+    let fused_add = |acc: Value, v: Value| -> Value {
+        match (&acc, &v) {
+            (Value::Float(a), Value::Float(b)) => Value::Float(a + b),
+            (_, Value::Null) => acc,
+            _ => merge_values(&sum, acc, v).expect("sum merges"),
+        }
+    };
+    let fused_agg = |ds: Dataset<Env>| -> Value {
+        let partials = ds.filter_fold(
+            "fused_filter_fold",
+            || sum.zero(),
+            |_| true,
+            |acc, env| {
+                fused_add(
+                    acc,
+                    guarded
+                        .eval_env(&env, &eval_ctx)
+                        .expect("guarded evaluates"),
+                )
+            },
+        );
+        partials.into_iter().fold(sum.zero(), fold_sum)
+    };
+    let agg = measure(&unfused_agg, &fused_agg, "fused_filter_agg");
+
+    // --- Select chain → Nest (group survivors by a composite key) ---
+    let emit_pair = |env: Env, out: &mut Vec<(Value, Value)>| {
+        let k = key.eval_env(&env, &eval_ctx).expect("key evaluates");
+        let item = env.into_iter().next().expect("row var").1;
+        out.push((k, item));
+    };
+    let finish = |pairs: Dataset<(Value, Value)>| -> Value {
+        let grouped = pairs.group_by_key_local();
+        Value::Int(grouped.count() as i64)
+    };
+    let unfused_group = |ds: Dataset<Env>| -> Value {
+        finish(filter_chain(ds).filter_transform("flat_map", |_| true, emit_pair))
+    };
+    let fused_group = |ds: Dataset<Env>| -> Value {
+        finish(ds.filter_transform("fused_filter_flat_map", keep, emit_pair))
+    };
+    let group = measure(&unfused_group, &fused_group, "fused_filter_group");
+
+    vec![agg, group]
 }
 
 // ====================================================================

@@ -56,7 +56,7 @@ pub struct ExactKey;
 
 impl Blocker for ExactKey {
     fn keys(&self, term: &str) -> Vec<String> {
-        vec![normalize(term)]
+        vec![normalize(term).into_owned()]
     }
 
     fn describe(&self) -> String {

@@ -22,7 +22,7 @@ pub struct Dendrogram {
 /// `max_distance` (single linkage). `O(n³)` worst case — intended for the
 /// modest group sizes blocking produces, not whole datasets.
 pub fn hierarchical_cluster(terms: &[String], max_distance: usize) -> Dendrogram {
-    let normalized: Vec<String> = terms.iter().map(|t| normalize(t)).collect();
+    let normalized: Vec<String> = terms.iter().map(|t| normalize(t).into_owned()).collect();
     let n = normalized.len();
     let mut clusters: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
     let mut merges = Vec::new();

@@ -24,7 +24,10 @@ pub fn select_centers<'a>(
     k: usize,
     init: CenterInit,
 ) -> Vec<String> {
-    let normalized: Vec<String> = corpus.into_iter().map(normalize).collect();
+    let normalized: Vec<String> = corpus
+        .into_iter()
+        .map(|t| normalize(t).into_owned())
+        .collect();
     let mut centers = match init {
         CenterInit::Reservoir { seed } => reservoir_sample(normalized.iter().cloned(), k, seed),
         CenterInit::FixedStep => {
@@ -118,7 +121,7 @@ pub fn kmeans_multipass(
     if terms.is_empty() || k == 0 {
         return Vec::new();
     }
-    let normalized: Vec<String> = terms.iter().map(|t| normalize(t)).collect();
+    let normalized: Vec<String> = terms.iter().map(|t| normalize(t).into_owned()).collect();
     let mut centers = select_centers(
         normalized.iter().map(|s| s.as_str()),
         k,

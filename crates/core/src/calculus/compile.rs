@@ -1,11 +1,11 @@
 //! Compilation of calculus expressions to flat, slot-resolved programs.
 //!
-//! The reference evaluator ([`super::eval`]) re-interprets the `CalcExpr`
+//! The reference evaluator ([`super::eval()`]) re-interprets the `CalcExpr`
 //! tree for every row: each variable reference scans the string-keyed
 //! environment, each struct access scans field names, and every node costs
 //! a recursive call. This module is the paper's third-level code-generation
 //! idea (§6: cleaning queries should run at hand-written-loop speed) in
-//! ahead-of-time form: [`compile`] lowers an expression against a known
+//! ahead-of-time form: [`Program::compile`] lowers an expression against a known
 //! *scope* (the ordered variable names of the row environment, which the
 //! physical planner knows statically per plan node) into a [`Program`] — a
 //! flat instruction sequence over a value stack in which
@@ -85,6 +85,17 @@ pub enum Instr {
     /// by native short-circuit without touching the value stack. A whole
     /// denial-constraint predicate collapses to one of these.
     Pred(BoolExpr),
+    /// Guarded projection: evaluate `cond` natively and resolve only the
+    /// taken branch — the fused form of `if c then t else e` with a
+    /// predicate-tree condition and addressable branches. A Select chain
+    /// fused into a scalar Reduce compiles to a single one of these per
+    /// row (`if pred then head else null`, `null` being the monoid's
+    /// fold identity).
+    IfFused {
+        cond: BoolExpr,
+        then: Operand,
+        els: Operand,
+    },
     /// Pop; if truthiness equals `when`, push `Bool(when)` and jump to
     /// `target` — the short-circuit of `and` (`when: false`) / `or`
     /// (`when: true`).
@@ -95,6 +106,11 @@ pub enum Instr {
     Jump(usize),
     /// Pop `argc` arguments (in call order), push the builtin's result.
     Call { func: Func, argc: usize },
+    /// Single-argument builtin over an addressable operand — the dominant
+    /// transform shape (`lower(c.name)`, `prefix(c.phone)`): the argument
+    /// is resolved by reference and borrowed straight into the builtin,
+    /// no stack traffic and no argument clone.
+    CallFused { func: Func, arg: Operand },
     /// Pop the term, push the pre-bound blocker's keys as a string list.
     BlockKeys(Arc<dyn Blocker>),
     /// Interpreter island: evaluate `expr` with the reference evaluator
@@ -153,7 +169,11 @@ fn fused_binop(op: BinOp, lhs: &Operand, rhs: &Operand, slots: &Slots<'_>) -> Re
 /// A fused boolean tree over addressable operands. Evaluation short-circuits
 /// exactly like the interpreter — `and` / `or` do not evaluate (and so do
 /// not raise errors from) a right side the left side decides — but returns
-/// a bare `bool` with no value-stack traffic.
+/// a bare `bool` with no value-stack traffic. `and` / `or` chains are
+/// flattened into contiguous [`BoolExpr::AllOf`] / [`BoolExpr::AnyOf`]
+/// lists at compile time: a denial-constraint conjunction (or a fused
+/// Select chain) evaluates as one tight loop over a slice instead of a
+/// recursive descent through boxed nodes.
 pub enum BoolExpr {
     Cmp {
         op: BinOp,
@@ -161,16 +181,54 @@ pub enum BoolExpr {
         rhs: Operand,
     },
     Not(Box<BoolExpr>),
-    And(Box<BoolExpr>, Box<BoolExpr>),
-    Or(Box<BoolExpr>, Box<BoolExpr>),
+    /// Conjunction list in evaluation order (left-to-right short-circuit).
+    AllOf(Box<[BoolExpr]>),
+    /// Disjunction list in evaluation order (left-to-right short-circuit).
+    AnyOf(Box<[BoolExpr]>),
+    /// Conjunction whose atoms are all plain comparisons — the flattened
+    /// fast form of a fused Select chain or a denial-constraint
+    /// conjunction: one tight loop over contiguous triples, no per-atom
+    /// enum dispatch.
+    AllCmp(Box<[(BinOp, Operand, Operand)]>),
 }
 
 fn eval_bool(e: &BoolExpr, slots: &Slots<'_>) -> Result<bool> {
+    // Comparison leaves inside a flattened chain evaluate inline — no
+    // recursive call per atom.
+    #[inline(always)]
+    fn leaf(e: &BoolExpr, slots: &Slots<'_>) -> Result<bool> {
+        match e {
+            BoolExpr::Cmp { op, lhs, rhs } => Ok(truthy(&fused_binop(*op, lhs, rhs, slots)?)),
+            other => eval_bool(other, slots),
+        }
+    }
     match e {
         BoolExpr::Cmp { op, lhs, rhs } => Ok(truthy(&fused_binop(*op, lhs, rhs, slots)?)),
         BoolExpr::Not(inner) => Ok(!eval_bool(inner, slots)?),
-        BoolExpr::And(l, r) => Ok(eval_bool(l, slots)? && eval_bool(r, slots)?),
-        BoolExpr::Or(l, r) => Ok(eval_bool(l, slots)? || eval_bool(r, slots)?),
+        BoolExpr::AllOf(xs) => {
+            for x in xs.iter() {
+                if !leaf(x, slots)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        BoolExpr::AnyOf(xs) => {
+            for x in xs.iter() {
+                if leaf(x, slots)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        BoolExpr::AllCmp(cmps) => {
+            for (op, lhs, rhs) in cmps.iter() {
+                if !truthy(&fused_binop(*op, lhs, rhs, slots)?) {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
     }
 }
 
@@ -204,7 +262,7 @@ fn build_record(names: &Arc<[Arc<str>]>, ops: &[Operand], slots: &Slots<'_>) -> 
     }
 }
 
-#[inline]
+#[inline(always)]
 fn operand_ref<'v>(op: &'v Operand, slots: &Slots<'v>) -> Result<&'v Value> {
     match op {
         Operand::Const(v) => Ok(v),
@@ -373,6 +431,14 @@ impl Program {
             match single {
                 Instr::Pred(p) => return Ok(Value::Bool(eval_bool(p, &slots)?)),
                 Instr::BinFused { op, lhs, rhs } => return fused_binop(*op, lhs, rhs, &slots),
+                Instr::IfFused { cond, then, els } => {
+                    let branch = if eval_bool(cond, &slots)? { then } else { els };
+                    return operand_val(branch, &slots).map(std::borrow::Cow::into_owned);
+                }
+                Instr::CallFused { func, arg } => {
+                    let v = operand_val(arg, &slots)?;
+                    return eval_func(func, std::slice::from_ref(v.as_ref()), ctx);
+                }
                 Instr::Const(v) => return Ok(v.clone()),
                 Instr::Slot(i) => return Ok(slots.get(*i as usize).clone()),
                 Instr::SlotField { slot, field, hint } => {
@@ -432,6 +498,10 @@ impl Program {
                 Instr::Pred(p) => {
                     stack.push(Value::Bool(eval_bool(p, &slots)?));
                 }
+                Instr::IfFused { cond, then, els } => {
+                    let branch = if eval_bool(cond, &slots)? { then } else { els };
+                    stack.push(operand_val(branch, &slots)?.into_owned());
+                }
                 Instr::ShortCircuit { when, target } => {
                     let v = stack.pop().expect("short-circuit operand");
                     if truthy(&v) == *when {
@@ -458,6 +528,10 @@ impl Program {
                     let v = eval_func(func, &stack[at..], ctx)?;
                     stack.truncate(at);
                     stack.push(v);
+                }
+                Instr::CallFused { func, arg } => {
+                    let v = operand_val(arg, &slots)?;
+                    stack.push(eval_func(func, std::slice::from_ref(v.as_ref()), ctx)?);
                 }
                 Instr::BlockKeys(blocker) => {
                     let term = stack.pop().expect("block_keys term");
@@ -565,11 +639,45 @@ impl Compiler<'_> {
             }
             CalcExpr::BinOp(op @ (BinOp::And | BinOp::Or), l, r) => {
                 match (self.try_bool_expr(l)?, self.try_bool_expr(r)?) {
-                    (Some(a), Some(b)) => Some(if *op == BinOp::And {
-                        BoolExpr::And(Box::new(a), Box::new(b))
-                    } else {
-                        BoolExpr::Or(Box::new(a), Box::new(b))
-                    }),
+                    (Some(a), Some(b)) => {
+                        // Flatten nested chains of the same connective into
+                        // one contiguous list, preserving left-to-right
+                        // evaluation order (and therefore short-circuit and
+                        // error semantics).
+                        let and = *op == BinOp::And;
+                        let mut xs: Vec<BoolExpr> = Vec::new();
+                        for side in [a, b] {
+                            match side {
+                                BoolExpr::AllOf(inner) if and => xs.extend(inner.into_vec()),
+                                BoolExpr::AllCmp(inner) if and => xs.extend(
+                                    inner
+                                        .into_vec()
+                                        .into_iter()
+                                        .map(|(op, lhs, rhs)| BoolExpr::Cmp { op, lhs, rhs }),
+                                ),
+                                BoolExpr::AnyOf(inner) if !and => xs.extend(inner.into_vec()),
+                                other => xs.push(other),
+                            }
+                        }
+                        Some(if and {
+                            // An all-comparison conjunction tightens
+                            // further into the triple-list form.
+                            if xs.iter().all(|x| matches!(x, BoolExpr::Cmp { .. })) {
+                                BoolExpr::AllCmp(
+                                    xs.into_iter()
+                                        .map(|x| match x {
+                                            BoolExpr::Cmp { op, lhs, rhs } => (op, lhs, rhs),
+                                            _ => unreachable!("checked above"),
+                                        })
+                                        .collect(),
+                                )
+                            } else {
+                                BoolExpr::AllOf(xs.into_boxed_slice())
+                            }
+                        } else {
+                            BoolExpr::AnyOf(xs.into_boxed_slice())
+                        })
+                    }
                     _ => None,
                 }
             }
@@ -731,6 +839,24 @@ impl Compiler<'_> {
                 self.push_instr(Instr::Not, 0);
             }
             CalcExpr::If(c, t, els) => {
+                // A predicate-tree condition with addressable branches
+                // fuses into one guarded-projection instruction: only the
+                // taken branch is resolved, matching the interpreter.
+                if let Some(cond) = self.try_bool_expr(c)? {
+                    if let (Some(then_op), Some(else_op)) =
+                        (self.try_operand_deep(t)?, self.try_operand_deep(els)?)
+                    {
+                        self.push_instr(
+                            Instr::IfFused {
+                                cond,
+                                then: then_op,
+                                els: else_op,
+                            },
+                            1,
+                        );
+                        return Ok(());
+                    }
+                }
                 self.emit(c)?;
                 let cond_patch = self.instrs.len();
                 self.push_instr(Instr::JumpIfFalse(0), -1);
@@ -751,6 +877,23 @@ impl Compiler<'_> {
                 }
             }
             CalcExpr::Call(f, args) => {
+                // A single addressable argument fuses call and load into
+                // one instruction (blocker calls keep their pre-bound
+                // instruction below).
+                if let [arg] = args.as_slice() {
+                    if !matches!(f, Func::BlockKeys(_)) {
+                        if let Some(op) = self.try_operand_deep(arg)? {
+                            self.push_instr(
+                                Instr::CallFused {
+                                    func: f.clone(),
+                                    arg: op,
+                                },
+                                1,
+                            );
+                            return Ok(());
+                        }
+                    }
+                }
                 for a in args {
                     self.emit(a)?;
                 }

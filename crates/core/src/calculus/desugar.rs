@@ -110,6 +110,8 @@ pub fn expr_to_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> Result<CalcE
             let func = match name.to_lowercase().as_str() {
                 "prefix" => Func::Prefix,
                 "lower" => Func::Lower,
+                "upper" => Func::Upper,
+                "trim" => Func::Trim,
                 "length" => Func::Length,
                 "count" => Func::Count,
                 "count_distinct" => Func::CountDistinct,

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cleanm_cluster::Blocker;
-use cleanm_values::{Error, Result, Value};
+use cleanm_values::{Error, Result, StrView, Value};
 
 use super::expr::make_blocker;
 use super::expr::{BinOp, CalcExpr, Comprehension, FilterAlgo, Func, MonoidKind, Qual};
@@ -375,6 +375,40 @@ fn text_of(v: &Value) -> Cow<'_, str> {
     }
 }
 
+/// End byte offset of the `prefix()` builtin's slice: the text before the
+/// first `-`, or the first three characters.
+fn prefix_end(s: &str) -> usize {
+    match s.find('-') {
+        Some(i) => i,
+        None => s.char_indices().nth(3).map(|(i, _)| i).unwrap_or(s.len()),
+    }
+}
+
+/// Is `s` its own lowercase? ASCII fast path, exact Unicode fallback (a
+/// titlecase letter like `ǅ` is not `is_uppercase` yet still folds).
+fn lowercase_is_identity(s: &str) -> bool {
+    if s.is_ascii() {
+        !s.bytes().any(|b| b.is_ascii_uppercase())
+    } else {
+        s.chars().all(|c| {
+            let mut lower = c.to_lowercase();
+            lower.next() == Some(c) && lower.next().is_none()
+        })
+    }
+}
+
+/// Is `s` its own uppercase?
+fn uppercase_is_identity(s: &str) -> bool {
+    if s.is_ascii() {
+        !s.bytes().any(|b| b.is_ascii_lowercase())
+    } else {
+        s.chars().all(|c| {
+            let mut upper = c.to_uppercase();
+            upper.next() == Some(c) && upper.next().is_none()
+        })
+    }
+}
+
 pub(crate) fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value> {
     let arg = |i: usize| -> Result<&Value> {
         args.get(i)
@@ -386,17 +420,46 @@ pub(crate) fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value
             if v.is_null() {
                 return Ok(Value::Null);
             }
-            let s = text_of(v);
-            let p = match s.find('-') {
-                Some(i) => &s[..i],
-                None => {
-                    let end = s.char_indices().nth(3).map(|(i, _)| i).unwrap_or(s.len());
-                    &s[..end]
+            // Zero-copy: slice the shared source in place; a prefix that
+            // covers the whole string materializes as a refcount bump.
+            match v {
+                Value::Str(s) => Ok(StrView::slice(s, 0, prefix_end(s)).into_value()),
+                other => {
+                    let s = other.to_text();
+                    let end = prefix_end(&s);
+                    Ok(Value::str(&s[..end]))
                 }
-            };
-            Ok(Value::str(p))
+            }
         }
-        Func::Lower => Ok(Value::str(text_of(arg(0)?).to_lowercase())),
+        // Case folding propagates NULL like the other string builtins and
+        // only allocates when it changes bytes: an already-folded shared
+        // string is returned by refcount bump.
+        Func::Lower => match arg(0)? {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) if lowercase_is_identity(s) => Ok(Value::Str(Arc::clone(s))),
+            other => Ok(Value::str(text_of(other).to_lowercase())),
+        },
+        Func::Upper => match arg(0)? {
+            Value::Null => Ok(Value::Null),
+            Value::Str(s) if uppercase_is_identity(s) => Ok(Value::Str(Arc::clone(s))),
+            other => Ok(Value::str(text_of(other).to_uppercase())),
+        },
+        Func::Trim => {
+            let v = arg(0)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            match v {
+                Value::Str(s) => {
+                    // An offset view over the shared source: already-trimmed
+                    // strings (the whole source) materialize without copying.
+                    let trimmed = s.trim();
+                    let start = trimmed.as_ptr() as usize - s.as_ptr() as usize;
+                    Ok(StrView::slice(s, start, start + trimmed.len()).into_value())
+                }
+                other => Ok(Value::str(other.to_text().trim())),
+            }
+        }
         Func::Length => match arg(0)? {
             Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
             Value::List(items) => Ok(Value::Int(items.len() as i64)),
@@ -457,13 +520,27 @@ pub(crate) fn eval_func(f: &Func, args: &[Value], ctx: &EvalCtx) -> Result<Value
             if v.is_null() {
                 return Ok(Value::Null);
             }
+            // No separator present → the single token *is* the input:
+            // share it instead of copying it.
+            if let Value::Str(s) = v {
+                if !s.contains(sep.as_str()) {
+                    return Ok(Value::list([Value::Str(Arc::clone(s))]));
+                }
+            }
             let s = text_of(v);
             Ok(Value::list(s.split(sep.as_str()).map(Value::from)))
         }
         Func::Concat => {
+            // Concatenating one string is the identity: share it.
+            if let [Value::Str(s)] = args {
+                return Ok(Value::Str(Arc::clone(s)));
+            }
             let mut out = String::new();
             for v in args {
-                out.push_str(&v.to_text());
+                match v {
+                    Value::Str(s) => out.push_str(s),
+                    other => out.push_str(&other.to_text()),
+                }
             }
             Ok(Value::str(out))
         }

@@ -130,6 +130,10 @@ pub enum Func {
     Prefix,
     /// `lower(s)`.
     Lower,
+    /// `upper(s)`.
+    Upper,
+    /// `trim(s)` — strip leading/trailing whitespace.
+    Trim,
     /// `length(x)` — string chars or collection size.
     Length,
     /// `count(coll)`.

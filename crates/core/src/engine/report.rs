@@ -43,6 +43,24 @@ pub struct PlanCacheStats {
     pub misses: u64,
 }
 
+/// How the executor evaluated this run's plan-node expressions: the
+/// compilation and operator-fusion outcomes, per run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExprStats {
+    /// Plan-node expressions lowered to slot-resolved [`Program`]s and run
+    /// by the flat register machine.
+    ///
+    /// [`Program`]: crate::calculus::Program
+    pub compiled: usize,
+    /// Plan-node expressions that fell back to the tree-walking
+    /// interpreter (unknown tables, comprehension islands).
+    pub interpreted: usize,
+    /// `Select` nodes fused into their downstream operator: their filter
+    /// ran inside the consumer's partition sweep and the filtered
+    /// intermediate collection was never materialized.
+    pub fused_selects: usize,
+}
+
 /// How an incremental refresh produced this report (absent on batch runs).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IncrementalInfo {
@@ -83,6 +101,9 @@ pub struct CleaningReport {
     /// The statistics catalog entries consulted for this query (empty for
     /// non-adaptive profiles).
     pub table_stats: HashMap<String, Arc<TableStats>>,
+    /// Expression-evaluation accounting: compiled vs interpreted plan-node
+    /// expressions, plus the `Select` nodes fused into their consumers.
+    pub exprs: ExprStats,
     /// Plan-cache accounting (hit/miss for this run + session counters).
     pub plan_cache: PlanCacheStats,
     /// Present when an incremental session produced this report from
@@ -133,6 +154,14 @@ impl CleaningReport {
         for d in &self.decisions {
             out.push_str(&format!("  strategy: {d}\n"));
         }
+        // Incremental refreshes run their own per-batch programs and do
+        // not fill these counters in — print only when they carry data.
+        if self.exprs != ExprStats::default() {
+            out.push_str(&format!(
+                "  exprs: {} compiled, {} interpreted, {} select(s) fused downstream\n",
+                self.exprs.compiled, self.exprs.interpreted, self.exprs.fused_selects
+            ));
+        }
         if self.plan_cache.hit {
             out.push_str(&format!(
                 "  plan cache: hit (session {}h/{}m)\n",
@@ -178,10 +207,17 @@ mod tests {
                 reason: "fixed profile".into(),
             }],
             table_stats: HashMap::new(),
+            exprs: ExprStats {
+                compiled: 3,
+                interpreted: 0,
+                fused_selects: 1,
+            },
             plan_cache: PlanCacheStats::default(),
             incremental: None,
         };
         let s = report.summary();
+        assert!(s.contains("3 compiled"));
+        assert!(s.contains("1 select(s) fused"));
         assert!(s.contains("LocalAggregate"));
         assert!(s.contains("CleanDB"));
         assert!(s.contains("2 violating entities"));

@@ -28,7 +28,7 @@ use crate::calculus::{normalize, CalcExpr, EvalCtx, Func, NormalizeStats};
 use crate::lang::{parse_query, Query};
 use crate::physical::{EngineProfile, Executor, ProgramCache};
 
-use super::report::{CleaningReport, OpResult, PlanCacheStats, Repair};
+use super::report::{CleaningReport, ExprStats, OpResult, PlanCacheStats, Repair};
 use super::storage::StoredTable;
 
 /// Engine-level errors.
@@ -154,6 +154,26 @@ struct CachedStats {
 
 /// A CleanDB session: a catalog of registered tables plus the engine
 /// profile and runtime context queries execute under.
+///
+/// # Example
+///
+/// ```
+/// use cleanm_core::{CleanDb, EngineProfile};
+/// use cleanm_values::{DataType, Row, Schema, Table, Value};
+///
+/// let schema = Schema::of([("address", DataType::Str), ("nationkey", DataType::Int)]);
+/// let rows = vec![
+///     Row::new(vec![Value::str("a st"), Value::Int(1)]),
+///     Row::new(vec![Value::str("a st"), Value::Int(2)]),
+///     Row::new(vec![Value::str("b st"), Value::Int(3)]),
+/// ];
+/// let mut db = CleanDb::new(EngineProfile::clean_db());
+/// db.register("customer", Table::new(schema, rows));
+///
+/// // One FD check: address → nationkey. The two `a st` rows disagree.
+/// let report = db.run("SELECT * FROM customer c FD(c.address, c.nationkey)").unwrap();
+/// assert_eq!(report.violations(), 2);
+/// ```
 pub struct CleanDb {
     ctx: Arc<ExecContext>,
     profile: EngineProfile,
@@ -587,6 +607,11 @@ impl CleanDb {
         }
         let timings = executor.timings.clone();
         let decisions = executor.decisions.clone();
+        let exprs = ExprStats {
+            compiled: executor.compiled_exprs,
+            interpreted: executor.interpreted_exprs,
+            fused_selects: executor.fused_selects,
+        };
         self.ctx
             .metrics()
             .add_comparisons(entry.eval_ctx.comparisons() - comparisons_before);
@@ -608,6 +633,7 @@ impl CleanDb {
             plan_text: entry.plan_text.clone(),
             decisions,
             table_stats: query_stats,
+            exprs,
             plan_cache: PlanCacheStats {
                 hit,
                 hits: self.plan_cache.hits,

@@ -213,7 +213,7 @@ pub fn semantic_map(
     // sharing a first character bucket (cheap blocking).
     let exact: std::collections::HashMap<String, &String> = mapping
         .iter()
-        .map(|(from, to)| (cleanm_text::normalize(from), to))
+        .map(|(from, to)| (cleanm_text::normalize(from).into_owned(), to))
         .collect();
     let mapping = mapping.to_vec();
 
@@ -225,18 +225,21 @@ pub fn semantic_map(
                 _ => return (row, false),
             };
             let norm = cleanm_text::normalize(&raw);
-            let replacement = exact.get(&norm).map(|to| (*to).clone()).or_else(|| {
-                mapping
-                    .iter()
-                    .map(|(from, to)| (cleanm_text::normalize(from), to))
-                    .filter(|(from, _)| metric.similar(&norm, from, theta))
-                    .max_by(|(a, _), (b, _)| {
-                        metric
-                            .similarity(&norm, a)
-                            .total_cmp(&metric.similarity(&norm, b))
-                    })
-                    .map(|(_, to)| to.clone())
-            });
+            let replacement = exact
+                .get(norm.as_ref())
+                .map(|to| (*to).clone())
+                .or_else(|| {
+                    mapping
+                        .iter()
+                        .map(|(from, to)| (cleanm_text::normalize(from), to))
+                        .filter(|(from, _)| metric.similar(&norm, from, theta))
+                        .max_by(|(a, _), (b, _)| {
+                            metric
+                                .similarity(&norm, a)
+                                .total_cmp(&metric.similarity(&norm, b))
+                        })
+                        .map(|(_, to)| to.clone())
+                });
             match replacement {
                 Some(to) => {
                     let mut values = row.values().to_vec();

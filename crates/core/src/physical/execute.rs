@@ -129,6 +129,10 @@ pub struct Executor<'a> {
     pub compiled_exprs: usize,
     /// Plan-node expressions that fell back to the tree interpreter.
     pub interpreted_exprs: usize,
+    /// `Select` nodes whose standalone filter pass was fused into a
+    /// downstream operator (or into a collapsed filter chain): their
+    /// intermediate filtered collections were never materialized.
+    pub fused_selects: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -153,7 +157,44 @@ impl<'a> Executor<'a> {
             decisions: Vec::new(),
             compiled_exprs: 0,
             interpreted_exprs: 0,
+            fused_selects: 0,
         }
+    }
+
+    /// Peel the chain of fusible `Select` nodes off `plan`: the predicates
+    /// in evaluation order (innermost first — an error the inner filter
+    /// would have hidden stays hidden) plus the producer beneath them.
+    /// `Select` never changes the environment layout, so every peeled
+    /// predicate compiles against the producer's layout. A `Select` is not
+    /// fusible when the profile runs operator-at-a-time, or when the node
+    /// is a shared DAG node — shared results must stay materialized once
+    /// for all their consumers.
+    fn peel_selects<'p>(&self, mut plan: &'p Arc<Alg>) -> (Vec<&'p CalcExpr>, &'p Arc<Alg>) {
+        let mut preds = Vec::new();
+        if self.profile.fuse_selects {
+            while let Alg::Select { input, pred } = &**plan {
+                let key = Arc::as_ptr(plan) as usize;
+                if self.profile.share_plans && self.shared_nodes.contains(&key) {
+                    break;
+                }
+                preds.push(pred);
+                plan = input;
+            }
+        }
+        preds.reverse();
+        (preds, plan)
+    }
+
+    /// Compile a peeled predicate chain against the producer's layout as
+    /// **one** program: the chain conjoins left-to-right in evaluation
+    /// order (`(p1 and p2) and p3`), so the compiler's fused boolean trees
+    /// evaluate the whole chain with native short-circuit in a single
+    /// program entry — `and` preserves exactly the stacked-Select
+    /// semantics (truthiness per stage, inner errors surface, outer
+    /// predicates unreached once an inner one rejects). `None` when the
+    /// chain is empty.
+    fn compile_preds(&mut self, preds: &[&CalcExpr], scope: &[String]) -> Option<Arc<RowExpr>> {
+        conjoin(preds).map(|conj| self.row_expr(&conj, scope))
     }
 
     /// Compile a plan-node expression against its environment layout once,
@@ -221,7 +262,11 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute a full per-operator plan (must be a `Reduce` root) and return
-    /// the reduced output collection.
+    /// the reduced output collection. A fusible `Select` chain feeding the
+    /// Reduce runs *inside* the head-evaluation pass — and for scalar
+    /// monoids the pass folds each partition down to one accumulator on
+    /// the workers ([`Dataset::filter_fold`]), so neither the filtered rows
+    /// nor the per-row head values are ever materialized.
     pub fn run_reduce(&mut self, plan: &Arc<Alg>) -> ExecResult<Vec<Value>> {
         let Alg::Reduce {
             input,
@@ -234,23 +279,102 @@ impl<'a> Executor<'a> {
                 plan.explain()
             )));
         };
-        let ds = self.run(input)?;
+        let (preds, source) = self.peel_selects(input);
+        let nfused = preds.len();
+        // Phase attribution survives fusion: a similarity predicate's cost
+        // books under the similarity phase even when its pass merged into
+        // this consumer's sweep.
+        let similarity = preds.iter().any(|p| expr_has_similarity(p));
+        let ds = self.run(source)?;
         let start = Instant::now();
-        let head_rx = self.row_expr(head, &env_layout(input));
+        let scope = env_layout(source);
+        self.fused_selects += nfused;
         let eval_ctx = Arc::clone(&self.eval_ctx);
         let errors = Arc::clone(&self.errors);
+
+        // Scalar monoids with a fused filter compile the whole pipeline
+        // into **one program per row** — `if pred then head else null`,
+        // `null` being the monoid's fold identity — and fold each
+        // partition down to a single accumulator on the workers: neither
+        // the filtered rows nor the per-row head values are ever
+        // materialized. (`All` is excluded: null is not its identity.)
+        // Float Sum/Prod results can differ from the sequential fold in
+        // the last ulp — per-partition partials associate additions
+        // differently, as in any parallel aggregation.
+        if nfused > 0
+            && matches!(
+                monoid,
+                MonoidKind::Sum
+                    | MonoidKind::Prod
+                    | MonoidKind::Min
+                    | MonoidKind::Max
+                    | MonoidKind::Any
+            )
+        {
+            let guarded = CalcExpr::If(
+                Box::new(conjoin(&preds).expect("nfused > 0")),
+                Box::new(head.clone()),
+                Box::new(CalcExpr::Const(Value::Null)),
+            );
+            let guarded_rx = self.row_expr(&guarded, &scope);
+            let m = monoid.clone();
+            let zero_m = m.clone();
+            let partials = ds.filter_fold(
+                "fused_filter_fold",
+                move || zero_m.zero(),
+                |_| true,
+                move |acc, env: RowEnv| {
+                    let v = match guarded_rx.eval_env(&env, &eval_ctx) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            return acc;
+                        }
+                    };
+                    match merge_scalar(&m, acc, v) {
+                        Ok(acc) => acc,
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            m.zero()
+                        }
+                    }
+                },
+            );
+            self.check_errors()?;
+            let mut acc = monoid.zero();
+            for p in partials {
+                acc = merge_values(monoid, acc, p).map_err(|e| ExecError::Value(e.to_string()))?;
+            }
+            if similarity {
+                self.timings.similarity += start.elapsed();
+            } else {
+                self.timings.other += start.elapsed();
+            }
+            return Ok(vec![acc]);
+        }
+
+        let pred_rxs = self.compile_preds(&preds, &scope);
+        let head_rx = self.row_expr(head, &scope);
+        let label = if nfused > 0 {
+            "fused_filter_map"
+        } else {
+            "map_partitions"
+        };
+        let (pred_ctx, pred_errs) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
         let outputs: Vec<Value> = ds
-            .transform_partitions("map_partitions", move |part| {
-                part.iter()
-                    .map(|env| match head_rx.eval_env(env, &eval_ctx) {
+            .filter_transform(
+                label,
+                move |env: &RowEnv| passes(&pred_rxs, env, &pred_ctx, &pred_errs),
+                move |env, out: &mut Vec<Value>| {
+                    out.push(match head_rx.eval_env(&env, &eval_ctx) {
                         Ok(v) => v,
                         Err(e) => {
                             errors.lock().push(e.to_string());
                             Value::Null
                         }
                     })
-                    .collect()
-            })
+                },
+            )
             .collect();
         self.check_errors()?;
         let result = match monoid {
@@ -270,7 +394,11 @@ impl<'a> Executor<'a> {
                 vec![acc]
             }
         };
-        self.timings.other += start.elapsed();
+        if similarity {
+            self.timings.similarity += start.elapsed();
+        } else {
+            self.timings.other += start.elapsed();
+        }
         Ok(result)
     }
 
@@ -318,22 +446,25 @@ impl<'a> Executor<'a> {
                 Ok(ds)
             }
             Alg::Select { input, pred } => {
-                let ds = self.run(input)?;
+                // Collapse the fusible chain *below* this node into this
+                // node's pass: n stacked Selects (e.g. DEDUP's similarity +
+                // rowid predicates) run as one partition sweep instead of n.
+                let (mut preds, source) = self.peel_selects(input);
+                preds.push(pred); // this node's predicate runs last
+                let chained = preds.len() - 1;
+                let ds = self.run(source)?;
                 let start = Instant::now();
-                let pred_rx = self.row_expr(pred, &env_layout(input));
+                let scope = env_layout(source);
+                let similarity = preds.iter().any(|p| expr_has_similarity(p));
+                let pred_rxs = self.compile_preds(&preds, &scope);
+                self.fused_selects += chained;
                 let eval_ctx = Arc::clone(&self.eval_ctx);
                 let errors = Arc::clone(&self.errors);
                 let out = ds.filter_partitions(move |part| {
-                    part.retain(|env| match pred_rx.eval_env(env, &eval_ctx) {
-                        Ok(v) => truthy(&v),
-                        Err(e) => {
-                            errors.lock().push(e.to_string());
-                            false
-                        }
-                    });
+                    part.retain(|env| passes(&pred_rxs, env, &eval_ctx, &errors));
                 });
                 self.check_errors()?;
-                if expr_has_similarity(pred) {
+                if similarity {
                     self.timings.similarity += start.elapsed();
                 } else {
                     self.timings.other += start.elapsed();
@@ -341,38 +472,43 @@ impl<'a> Executor<'a> {
                 Ok(out)
             }
             Alg::Unnest { input, path, var } => {
-                let ds = self.run(input)?;
+                let (preds, source) = self.peel_selects(input);
+                let nfused = preds.len();
+                let ds = self.run(source)?;
                 let start = Instant::now();
-                let path_rx = self.row_expr(path, &env_layout(input));
+                let scope = env_layout(source);
+                let pred_rxs = self.compile_preds(&preds, &scope);
+                let path_rx = self.row_expr(path, &scope);
+                self.fused_selects += nfused;
                 let eval_ctx = Arc::clone(&self.eval_ctx);
                 let errors = Arc::clone(&self.errors);
                 let var_cl = var.clone();
-                let out = ds.transform_partitions("flat_map", move |part| {
-                    let mut out = Vec::with_capacity(part.len());
-                    for env in part {
-                        let coll = match path_rx.eval_env(&env, &eval_ctx) {
-                            Ok(v) => v,
-                            Err(e) => {
-                                errors.lock().push(e.to_string());
-                                continue;
-                            }
-                        };
-                        match coll {
-                            Value::List(items) => out.extend(items.iter().map(|item| {
-                                let mut e = env.clone();
-                                e.push((var_cl.clone(), item.clone()));
-                                e
-                            })),
-                            Value::Null => {}
-                            other => {
-                                errors
-                                    .lock()
-                                    .push(format!("unnest over non-list `{other}`"));
-                            }
+                let label = if nfused > 0 {
+                    "fused_filter_flat_map"
+                } else {
+                    "flat_map"
+                };
+                let (pred_ctx, pred_errs) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
+                let out = ds.filter_transform(
+                    label,
+                    move |env: &RowEnv| passes(&pred_rxs, env, &pred_ctx, &pred_errs),
+                    move |env, out: &mut Vec<RowEnv>| match path_rx.eval_env(&env, &eval_ctx) {
+                        Ok(Value::List(items)) => out.extend(items.iter().map(|item| {
+                            let mut e = env.clone();
+                            e.push((var_cl.clone(), item.clone()));
+                            e
+                        })),
+                        Ok(Value::Null) => {}
+                        Ok(other) => {
+                            errors
+                                .lock()
+                                .push(format!("unnest over non-list `{other}`"));
                         }
-                    }
-                    out
-                });
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                        }
+                    },
+                );
                 self.check_errors()?;
                 self.timings.similarity += start.elapsed();
                 Ok(out)
@@ -384,12 +520,14 @@ impl<'a> Executor<'a> {
                 group_var,
                 ..
             } => {
-                let ds = self.run(input)?;
-                let start = Instant::now();
-                let scope = env_layout(input);
-                let out = self.exec_nest(ds, key, item, group_var, &scope)?;
-                self.timings.grouping += start.elapsed();
-                Ok(out)
+                let (preds, source) = self.peel_selects(input);
+                let nfused = preds.len();
+                let similarity = preds.iter().any(|p| expr_has_similarity(p));
+                let ds = self.run(source)?;
+                let scope = env_layout(source);
+                let pred_rxs = self.compile_preds(&preds, &scope);
+                self.fused_selects += nfused;
+                self.exec_nest(ds, key, item, group_var, &scope, pred_rxs, similarity)
             }
             Alg::Join {
                 left,
@@ -397,17 +535,32 @@ impl<'a> Executor<'a> {
                 left_key,
                 right_key,
             } => {
-                let lds = self.run(left)?;
-                let rds = self.run(right)?;
+                let (lpreds, lsource) = self.peel_selects(left);
+                let (rpreds, rsource) = self.peel_selects(right);
+                let nfused = lpreds.len() + rpreds.len();
+                let similarity = lpreds.iter().chain(&rpreds).any(|p| expr_has_similarity(p));
+                let lds = self.run(lsource)?;
+                let rds = self.run(rsource)?;
                 let start = Instant::now();
-                let lkey_rx = self.row_expr(left_key, &env_layout(left));
-                let rkey_rx = self.row_expr(right_key, &env_layout(right));
-                let keyed = |ds: Dataset<RowEnv>, key_rx: Arc<RowExpr>| {
-                    let eval_ctx = Arc::clone(&self.eval_ctx);
-                    let errors = Arc::clone(&self.errors);
-                    ds.transform_partitions("map_partitions", move |part| {
-                        part.into_iter()
-                            .map(|env| {
+                let lpred_rxs = self.compile_preds(&lpreds, &env_layout(lsource));
+                let rpred_rxs = self.compile_preds(&rpreds, &env_layout(rsource));
+                let lkey_rx = self.row_expr(left_key, &env_layout(lsource));
+                let rkey_rx = self.row_expr(right_key, &env_layout(rsource));
+                self.fused_selects += nfused;
+                let keyed =
+                    |ds: Dataset<RowEnv>, key_rx: Arc<RowExpr>, pred_rxs: Option<Arc<RowExpr>>| {
+                        let eval_ctx = Arc::clone(&self.eval_ctx);
+                        let errors = Arc::clone(&self.errors);
+                        let (pred_ctx, pred_errs) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
+                        let label = if pred_rxs.is_none() {
+                            "map_partitions"
+                        } else {
+                            "fused_filter_map"
+                        };
+                        ds.filter_transform(
+                            label,
+                            move |env: &RowEnv| passes(&pred_rxs, env, &pred_ctx, &pred_errs),
+                            move |env, out: &mut Vec<(Value, RowEnv)>| {
                                 let k = match key_rx.eval_env(&env, &eval_ctx) {
                                     Ok(v) => v,
                                     Err(e) => {
@@ -415,14 +568,21 @@ impl<'a> Executor<'a> {
                                         Value::Null
                                     }
                                 };
-                                (k, env)
-                            })
-                            .collect()
-                    })
-                };
-                let lk = keyed(lds, lkey_rx);
-                let rk = keyed(rds, rkey_rx);
+                                out.push((k, env));
+                            },
+                        )
+                    };
+                let lk = keyed(lds, lkey_rx, lpred_rxs);
+                let rk = keyed(rds, rkey_rx, rpred_rxs);
                 self.check_errors()?;
+                // Phase split: the keying sweeps carry any fused similarity
+                // predicate's cost; the hash join itself is grouping.
+                if similarity {
+                    self.timings.similarity += start.elapsed();
+                } else {
+                    self.timings.grouping += start.elapsed();
+                }
+                let start = Instant::now();
                 let joined = lk.join_hash(rk);
                 let out = joined.map(|(_, mut lenv, renv)| {
                     lenv.extend(renv);
@@ -437,6 +597,11 @@ impl<'a> Executor<'a> {
                 pred,
                 hint,
             } => {
+                // Theta sides are *not* fused into the join: the pruning
+                // strategies probe each side's materialized key domain
+                // before any pair is formed, so the sides must exist as
+                // datasets. A Select chain on a side still collapses to a
+                // single filter pass via the `Select` arm below.
                 let lds = self.run(left)?;
                 let rds = self.run(right)?;
                 let start = Instant::now();
@@ -603,7 +768,11 @@ impl<'a> Executor<'a> {
         });
     }
 
-    /// The Nest translation of Table 2, by profile strategy.
+    /// The Nest translation of Table 2, by profile strategy. A non-empty
+    /// `pred_rxs` is a fused upstream `Select` chain: the pair-emission
+    /// sweep filters and groups in the same pass, so the filtered
+    /// intermediate collection is never materialized.
+    #[allow(clippy::too_many_arguments)]
     fn exec_nest(
         &mut self,
         ds: Dataset<RowEnv>,
@@ -611,38 +780,55 @@ impl<'a> Executor<'a> {
         item: &CalcExpr,
         group_var: &str,
         scope: &[String],
+        pred_rxs: Option<Arc<RowExpr>>,
+        pred_similarity: bool,
     ) -> ExecResult<Dataset<RowEnv>> {
+        let start = Instant::now();
         let key_rx = self.row_expr(key, scope);
         let item_rx = self.row_expr(item, scope);
         let eval_ctx = Arc::clone(&self.eval_ctx);
         let errors = Arc::clone(&self.errors);
+        let label = if pred_rxs.is_none() {
+            "flat_map"
+        } else {
+            "fused_filter_flat_map"
+        };
+        let (pred_ctx, pred_errs) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
         // Emit (block key, item) pairs; a list key multi-assigns (token
         // filtering / k-means with delta).
-        let pairs: Dataset<(Value, Value)> = ds.transform_partitions("flat_map", move |part| {
-            let mut out = Vec::with_capacity(part.len());
-            for env in part {
+        let pairs: Dataset<(Value, Value)> = ds.filter_transform(
+            label,
+            move |env: &RowEnv| passes(&pred_rxs, env, &pred_ctx, &pred_errs),
+            move |env, out: &mut Vec<(Value, Value)>| {
                 let k = match key_rx.eval_env(&env, &eval_ctx) {
                     Ok(v) => v,
                     Err(e) => {
                         errors.lock().push(e.to_string());
-                        continue;
+                        return;
                     }
                 };
                 let it = match item_rx.eval_env(&env, &eval_ctx) {
                     Ok(v) => v,
                     Err(e) => {
                         errors.lock().push(e.to_string());
-                        continue;
+                        return;
                     }
                 };
                 match k {
                     Value::List(keys) => out.extend(keys.iter().map(|kk| (kk.clone(), it.clone()))),
                     scalar => out.push((scalar, it)),
                 }
-            }
-            out
-        });
+            },
+        );
         self.check_errors()?;
+        // Phase split: the pair-emission sweep carries any fused similarity
+        // predicate's cost; the shuffle/aggregation below is grouping.
+        if pred_similarity {
+            self.timings.similarity += start.elapsed();
+        } else {
+            self.timings.grouping += start.elapsed();
+        }
+        let start = Instant::now();
         let strategy = if self.profile.adaptive {
             let (strategy, reason) = self.choose_nest(key, pairs.count() as f64);
             self.record_decision("nest", key.to_string(), format!("{strategy:?}"), reason);
@@ -663,12 +849,14 @@ impl<'a> Executor<'a> {
         };
         let gv = group_var.to_string();
         // `mapPartitions`-style finishing: wrap each group as {key, partition}.
-        Ok(grouped.map(move |(k, members)| {
+        let out = grouped.map(move |(k, members)| {
             vec![(
                 gv.clone(),
                 Value::record([("key", k), ("partition", Value::list(members))]),
             )]
-        }))
+        });
+        self.timings.grouping += start.elapsed();
+        Ok(out)
     }
 
     /// The theta-join translation of §6, by profile strategy.
@@ -784,6 +972,65 @@ impl<'a> Executor<'a> {
             l.extend(r);
             l
         }))
+    }
+}
+
+/// [`merge_values`] with the dominant numeric cases of the fused fold loop
+/// inlined — a filtered row's `Null` is the identity and two numbers add
+/// without the generic monoid dispatch. Semantics are identical;
+/// `merge_values` remains the fallback (and the reference) for every other
+/// case.
+fn merge_scalar(m: &MonoidKind, acc: Value, v: Value) -> cleanm_values::Result<Value> {
+    if matches!(m, MonoidKind::Sum) {
+        match (&acc, &v) {
+            (Value::Int(a), Value::Int(b)) => return Ok(Value::Int(a.wrapping_add(*b))),
+            (Value::Float(a), Value::Float(b)) => return Ok(Value::Float(a + b)),
+            (Value::Int(a), Value::Float(b)) => return Ok(Value::Float(*a as f64 + b)),
+            (Value::Float(a), Value::Int(b)) => return Ok(Value::Float(a + *b as f64)),
+            (_, Value::Null) => return Ok(acc),
+            _ => {}
+        }
+    } else if v.is_null() && matches!(m, MonoidKind::Prod | MonoidKind::Min | MonoidKind::Max) {
+        // merge_values keeps the non-null side for these monoids.
+        return Ok(acc);
+    }
+    merge_values(m, acc, v)
+}
+
+/// Conjoin a peeled Select chain left-to-right in evaluation order
+/// (`(p1 and p2) and p3`): `and`'s short-circuit preserves exactly the
+/// stacked-Select semantics (truthiness per stage, inner errors surface,
+/// outer predicates unreached once an inner one rejects). `None` when the
+/// chain is empty.
+fn conjoin(preds: &[&CalcExpr]) -> Option<CalcExpr> {
+    let (first, rest) = preds.split_first()?;
+    Some(rest.iter().fold((*first).clone(), |acc, p| {
+        CalcExpr::bin(crate::calculus::BinOp::And, acc, (*p).clone())
+    }))
+}
+
+/// Evaluate a fused predicate chain (conjoined into one program by
+/// [`Executor::compile_preds`], `None` = no filter) over one row
+/// environment. An evaluation error is recorded and drops the row, exactly
+/// as a standalone `Select` pass does (the recorded error fails the query
+/// once the pass completes), and the conjunction's short-circuit preserves
+/// chain order — an error a downstream filter would never have reached
+/// stays unreached.
+fn passes(
+    pred_rx: &Option<Arc<RowExpr>>,
+    env: &RowEnv,
+    eval_ctx: &EvalCtx,
+    errors: &Mutex<Vec<String>>,
+) -> bool {
+    match pred_rx {
+        None => true,
+        Some(rx) => match rx.eval_env(env, eval_ctx) {
+            Ok(v) => truthy(&v),
+            Err(e) => {
+                errors.lock().push(e.to_string());
+                false
+            }
+        },
     }
 }
 
@@ -1285,6 +1532,74 @@ mod tests {
             ex.interpreted_exprs, 0,
             "no interpreter fallback on the quickstart plans"
         );
+    }
+
+    #[test]
+    fn select_chains_fuse_into_consumers() {
+        // FD with a WHERE lowers to Reduce ← Select ← Nest ← Select ← Scan:
+        // under a fusing profile both Selects run inside their consumers'
+        // passes, and the result matches the operator-at-a-time baseline.
+        let sql = "SELECT * FROM customer c WHERE c.nationkey > 0 FD(c.address, c.nationkey)";
+        let q = parse_query(sql).unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let plan = lower_op(&dq.ops[0].comp).unwrap();
+        let tables = catalog();
+        let run_with = |profile: EngineProfile| {
+            let mut eval_ctx = EvalCtx::new();
+            eval_ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+            let ctx = ExecContext::new(2, 4);
+            let mut ex = Executor::new(ctx, profile, &tables, Arc::new(eval_ctx));
+            ex.register_plans(std::slice::from_ref(&plan));
+            let mut out = ex.run_reduce(&plan).unwrap();
+            out.sort();
+            (out, ex.fused_selects)
+        };
+        let (fused_out, fused_count) = run_with(EngineProfile::clean_db());
+        let (unfused_out, unfused_count) = run_with(EngineProfile::spark_sql_like());
+        assert_eq!(fused_out, unfused_out, "fusion must not change results");
+        assert_eq!(fused_count, 2, "both Selects fuse into Reduce and Nest");
+        assert_eq!(unfused_count, 0, "operator-at-a-time profile fuses nothing");
+    }
+
+    #[test]
+    fn fused_scalar_reduce_folds_on_workers() {
+        // Select → Reduce(Sum) with fusion: one fused_filter_fold pass, no
+        // per-row output materialization — and the same sum as unfused.
+        let scan = Arc::new(Alg::Scan {
+            table: "customer".into(),
+            var: "c".into(),
+        });
+        let select = Arc::new(Alg::Select {
+            input: scan,
+            pred: CalcExpr::bin(
+                BinOp::Gt,
+                CalcExpr::proj(CalcExpr::var("c"), "nationkey"),
+                CalcExpr::int(1),
+            ),
+        });
+        let plan = Arc::new(Alg::Reduce {
+            input: select,
+            monoid: MonoidKind::Sum,
+            head: CalcExpr::proj(CalcExpr::var("c"), "nationkey"),
+        });
+        let tables = catalog();
+        let mut results = Vec::new();
+        for profile in [EngineProfile::clean_db(), EngineProfile::spark_sql_like()] {
+            let ctx = ExecContext::new(2, 4);
+            let mut ex = Executor::new(ctx.clone(), profile, &tables, Arc::new(EvalCtx::new()));
+            let out = ex.run_reduce(&plan).unwrap();
+            if ex.fused_selects > 0 {
+                let stages = ctx.metrics().snapshot().stages;
+                assert!(
+                    stages.iter().any(|s| s.operator == "fused_filter_fold"),
+                    "{stages:?}"
+                );
+            }
+            results.push(out);
+        }
+        // nationkeys 1,2,3,3,4 → keys > 1 sum to 12.
+        assert_eq!(results[0], vec![Value::Int(12)]);
+        assert_eq!(results[0], results[1]);
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub struct EngineProfile {
     /// (§6), i.e. the filter stays above the product; BigDansing treats the
     /// DC as a black-box pairwise UDF.
     pub push_selective_filters: bool,
+    /// Fuse `Select` chains into their downstream consumer (Nest pair
+    /// emission, Reduce head evaluation, Join keying, Unnest expansion):
+    /// the executor evaluates filter+consume in **one pass** over each
+    /// partition instead of materializing the filtered intermediate
+    /// collection first — the §5 pipelined-operator fusion the paper's
+    /// code-generating backend performs. Baselines keep the operator-at-a-
+    /// time execution their systems exhibit.
+    pub fuse_selects: bool,
     /// Cost-based mode: `nest`/`theta` above are only *defaults*, and the
     /// executor re-decides the strategy per plan node from the session's
     /// [`cleanm_stats::TableStats`] (group cardinality and skew for Nest,
@@ -61,6 +69,7 @@ impl EngineProfile {
             theta: ThetaStrategy::MBucket,
             share_plans: true,
             push_selective_filters: true,
+            fuse_selects: true,
             adaptive: false,
         }
     }
@@ -73,6 +82,7 @@ impl EngineProfile {
             theta: ThetaStrategy::CartesianFilter,
             share_plans: false,
             push_selective_filters: false,
+            fuse_selects: false,
             adaptive: false,
         }
     }
@@ -85,6 +95,7 @@ impl EngineProfile {
             theta: ThetaStrategy::MinMaxBlocks,
             share_plans: false,
             push_selective_filters: false,
+            fuse_selects: false,
             adaptive: false,
         }
     }
@@ -101,6 +112,7 @@ impl EngineProfile {
             theta: ThetaStrategy::MBucket,
             share_plans: true,
             push_selective_filters: true,
+            fuse_selects: true,
             adaptive: true,
         }
     }

@@ -6,7 +6,7 @@
 //!
 //! * entities: publications with `key`, `title`, `journal`, `year`, and a
 //!   *list* of author names (the nested representation; flatten with
-//!   [`cleanm_formats::flatten`] for the "flat CSV / flat Parquet" variants);
+//!   `cleanm_formats::flatten` for the "flat CSV / flat Parquet" variants);
 //! * author names are drawn from a clean dictionary (the same dictionary
 //!   term validation consults);
 //! * noise: a fraction of author occurrences (default 10%) corrupted at a

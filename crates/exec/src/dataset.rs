@@ -20,6 +20,22 @@ impl<T: Data + Hash + Eq + Ord> Key for T {}
 /// RDD. Narrow operators run partition-parallel on the context's worker
 /// pool; wide operators (in `shuffle`, `join`, `theta`) move data between
 /// partitions and account for it in the context metrics.
+///
+/// # Example
+///
+/// ```
+/// use cleanm_exec::{Dataset, ExecContext};
+///
+/// let ctx = ExecContext::new(2, 4); // 2 workers, 4 partitions
+/// let ds = Dataset::from_vec(&ctx, (0..100i64).collect());
+/// let total: i64 = ds
+///     .filter(|x| x % 2 == 0)
+///     .map(|x| x * 10)
+///     .collect()
+///     .into_iter()
+///     .sum();
+/// assert_eq!(total, 24_500);
+/// ```
 #[derive(Clone)]
 pub struct Dataset<T> {
     pub(crate) ctx: Arc<ExecContext>,
@@ -154,6 +170,73 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
         });
         Dataset { ctx, parts }
+    }
+
+    /// Fused filter+transform (narrow): one pass per partition that drops
+    /// records failing `pred` and lets `emit` push any number of outputs
+    /// per survivor. This is the operator-fusion driver — a `Select`
+    /// feeding a downstream operator runs as a single partition sweep, so
+    /// the filtered intermediate collection is never materialized (no
+    /// retain compaction, no second dispatch, no re-read of survivors).
+    /// One stage is reported under `label` covering both steps.
+    pub fn filter_transform<U: Data>(
+        self,
+        label: &'static str,
+        pred: impl Fn(&T) -> bool + Sync,
+        emit: impl Fn(T, &mut Vec<U>) + Sync,
+    ) -> Dataset<U> {
+        let ctx = self.ctx;
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
+            let mut out = Vec::with_capacity(part.len());
+            for t in part {
+                if pred(&t) {
+                    emit(t, &mut out);
+                }
+            }
+            out
+        });
+        ctx.metrics().push_stage(StageReport {
+            operator: label,
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Fused filter+fold (narrow): one pass per partition that folds the
+    /// records surviving `pred` into a per-partition accumulator, returning
+    /// the partials in partition order. This is the fusion driver for a
+    /// `Select` feeding a primitive-monoid `Reduce`: instead of
+    /// materializing the filtered rows, then their head values, then
+    /// merging them one by one on the driver, each worker folds its own
+    /// partition and only the partials travel. `fold` must be associative
+    /// in the accumulated positions (the accumulator is a monoid value).
+    pub fn filter_fold<A: Data>(
+        self,
+        label: &'static str,
+        zero: impl Fn() -> A + Sync,
+        pred: impl Fn(&T) -> bool + Sync,
+        fold: impl Fn(A, T) -> A + Sync,
+    ) -> Vec<A> {
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let (partials, busy) = run_partitions(&self.ctx, self.parts, |_, part| {
+            let mut acc = zero();
+            for t in part {
+                if pred(&t) {
+                    acc = fold(acc, t);
+                }
+            }
+            acc
+        });
+        self.ctx.metrics().push_stage(StageReport {
+            operator: label,
+            records_in,
+            records_shuffled: 0,
+            worker_busy_ns: busy,
+        });
+        partials
     }
 
     /// One-to-many transform (narrow) — Spark's `flatMap`, the physical
@@ -462,6 +545,46 @@ mod tests {
         let sums = ds.map_partitions(|p| vec![p.iter().sum::<i32>()]).collect();
         assert_eq!(sums.len(), 4);
         assert_eq!(sums.iter().sum::<i32>(), 28);
+    }
+
+    #[test]
+    fn filter_transform_matches_filter_then_flat_map() {
+        let c = ctx();
+        let data: Vec<i32> = (0..100).collect();
+        let separate = Dataset::from_vec(&c, data.clone())
+            .filter(|x| x % 3 == 0)
+            .flat_map(|x| vec![x, -x])
+            .collect();
+        let fused = Dataset::from_vec(&c, data)
+            .filter_transform("fused", |x| x % 3 == 0, |x, out| out.extend([x, -x]))
+            .collect();
+        assert_eq!(separate, fused);
+        let stage = c.metrics().snapshot().stages.pop().unwrap();
+        assert_eq!(stage.operator, "fused");
+        assert_eq!(stage.records_in, 100);
+    }
+
+    #[test]
+    fn filter_fold_matches_filter_then_sum() {
+        let c = ctx();
+        let data: Vec<i64> = (0..1000).collect();
+        let expected: i64 = data.iter().filter(|x| *x % 2 == 0).sum();
+        let partials = Dataset::from_vec(&c, data).filter_fold(
+            "fused_fold",
+            || 0i64,
+            |x| x % 2 == 0,
+            |acc, x| acc + x,
+        );
+        assert_eq!(partials.len(), 4, "one partial per partition");
+        assert_eq!(partials.iter().sum::<i64>(), expected);
+    }
+
+    #[test]
+    fn filter_fold_empty_partitions_yield_zeros() {
+        let c = ctx();
+        let ds: Dataset<i64> = Dataset::from_vec(&c, vec![]);
+        let partials = ds.filter_fold("fused_fold", || 7i64, |_| true, |acc, x| acc + x);
+        assert_eq!(partials, vec![7, 7, 7, 7]);
     }
 
     #[test]

@@ -64,6 +64,36 @@ struct Standing {
 }
 
 /// An append-driven cleaning service wrapping a [`CleanDb`].
+///
+/// # Example
+///
+/// ```
+/// use cleanm_core::{CleanDb, EngineProfile};
+/// use cleanm_incr::IncrementalSession;
+/// use cleanm_values::{DataType, Row, Schema, Table, Value};
+///
+/// let schema = Schema::of([("address", DataType::Str), ("nationkey", DataType::Int)]);
+/// let row = |a: &str, k: i64| Row::new(vec![Value::str(a), Value::Int(k)]);
+///
+/// let mut session = IncrementalSession::new(CleanDb::new(EngineProfile::clean_db()));
+/// session.db().register(
+///     "customer",
+///     Table::new(schema.clone(), vec![row("a st", 1), row("b st", 2)]),
+/// );
+///
+/// // Install once: planned, compiled, and per-operator state retained.
+/// let (id, baseline) = session
+///     .install("SELECT * FROM customer c FD(c.address, c.nationkey)")
+///     .unwrap();
+/// assert_eq!(baseline.violations(), 0);
+///
+/// // An arriving batch contradicts `a st`: the refresh validates only the
+/// // delta against retained state, history is not rescanned.
+/// session.append("customer", Table::new(schema, vec![row("a st", 9)])).unwrap();
+/// let refreshed = session.refresh(id).unwrap();
+/// assert_eq!(refreshed.violations(), 2);
+/// assert_eq!(refreshed.incremental.unwrap().fallback_ops, 0);
+/// ```
 pub struct IncrementalSession {
     db: CleanDb,
     queries: Vec<Standing>,
@@ -263,6 +293,10 @@ impl IncrementalSession {
             plan_text: entry.plan_text().to_string(),
             decisions: Vec::new(),
             table_stats: HashMap::new(),
+            // Expression accounting is not maintained on the incremental
+            // path (its per-batch programs live outside the executor);
+            // summary() omits the line when the counters are empty.
+            exprs: Default::default(),
             plan_cache: PlanCacheStats {
                 hit: false,
                 hits,

@@ -11,6 +11,28 @@ use crate::StatsConfig;
 
 /// Streaming summary of one column. Every part is mergeable, so
 /// `ColumnStats` itself is: `merge(stats(A), stats(B))` describes `A ∪ B`.
+///
+/// # Example
+///
+/// ```
+/// use cleanm_stats::{ColumnStats, StatsConfig};
+/// use cleanm_values::Value;
+///
+/// let mut a = ColumnStats::new(StatsConfig::default());
+/// let mut b = ColumnStats::new(StatsConfig::default());
+/// for i in 0..500 {
+///     a.observe(&Value::Int(i % 50));
+///     b.observe(&Value::Int(i % 50));
+/// }
+/// b.observe(&Value::Null);
+///
+/// // Partials collected on different partitions merge losslessly.
+/// a.merge(&b);
+/// assert_eq!(a.count(), 1_001);
+/// assert_eq!(a.nulls(), 1);
+/// assert_eq!(a.min(), Some(&Value::Int(0)));
+/// assert!((40.0..60.0).contains(&a.distinct_estimate()), "≈50 distinct keys");
+/// ```
 #[derive(Debug, Clone)]
 pub struct ColumnStats {
     config: StatsConfig,
@@ -32,6 +54,7 @@ pub struct ColumnStats {
 }
 
 impl ColumnStats {
+    /// An empty column summary collecting under `config`.
     pub fn new(config: StatsConfig) -> Self {
         ColumnStats {
             config,
@@ -99,14 +122,17 @@ impl ColumnStats {
         self.heavy.merge(&other.heavy);
     }
 
+    /// Number of observed values (nulls included).
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Number of observed NULLs.
     pub fn nulls(&self) -> u64 {
         self.nulls
     }
 
+    /// Fraction of values that are NULL.
     pub fn null_fraction(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -121,10 +147,12 @@ impl ColumnStats {
         non_null > 0 && self.numeric * 2 > non_null
     }
 
+    /// Smallest observed value (total order; `None` before any value).
     pub fn min(&self) -> Option<&Value> {
         self.min.as_ref()
     }
 
+    /// Largest observed value.
     pub fn max(&self) -> Option<&Value> {
         self.max.as_ref()
     }

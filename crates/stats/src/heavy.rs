@@ -35,10 +35,12 @@ impl<K: Eq + Hash + Clone> HeavyHitters<K> {
         }
     }
 
+    /// Maximum number of tracked keys.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Total observations folded in.
     pub fn total(&self) -> u64 {
         self.total
     }

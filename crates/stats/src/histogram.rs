@@ -9,8 +9,11 @@
 /// is closed) holding `fraction` of the rows.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bucket {
+    /// Lower key bound (inclusive).
     pub lo: f64,
+    /// Upper key bound (exclusive; inclusive for the last bucket).
     pub hi: f64,
+    /// Share of the rows falling in this bucket.
     pub fraction: f64,
 }
 
@@ -57,14 +60,17 @@ impl EquiDepthHistogram {
         })
     }
 
+    /// The buckets, in key order.
     pub fn buckets(&self) -> &[Bucket] {
         &self.buckets
     }
 
+    /// Number of rows the histogram summarizes.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// The summarized key range `(min, max)`.
     pub fn range(&self) -> (f64, f64) {
         (self.min, self.max)
     }

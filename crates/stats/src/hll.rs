@@ -33,6 +33,7 @@ impl Hll {
         }
     }
 
+    /// The sketch's precision `p` (it keeps `2^p` registers).
     pub fn precision(&self) -> u8 {
         self.precision
     }

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! # cleanm-stats — mergeable dataset statistics
 //!
 //! The paper frames *queries* as monoid comprehensions; this crate extends

@@ -44,6 +44,7 @@ impl<T: Clone> Reservoir<T> {
         }
     }
 
+    /// Maximum number of retained items.
     pub fn capacity(&self) -> usize {
         self.capacity
     }

@@ -19,6 +19,7 @@ pub struct TableStats {
 }
 
 impl TableStats {
+    /// An empty summary collecting under `config`.
     pub fn new(config: StatsConfig) -> Self {
         TableStats {
             config,
@@ -63,14 +64,17 @@ impl TableStats {
         }
     }
 
+    /// Number of rows folded into the summary.
     pub fn rows(&self) -> u64 {
         self.rows
     }
 
+    /// The summary of one column, if observed.
     pub fn column(&self, name: &str) -> Option<&ColumnStats> {
         self.columns.get(name)
     }
 
+    /// All column summaries, sorted by name.
     pub fn columns(&self) -> impl Iterator<Item = (&str, &ColumnStats)> {
         self.columns.iter().map(|(n, c)| (n.as_str(), c))
     }

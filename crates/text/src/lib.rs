@@ -27,4 +27,4 @@ pub use sim::{
     jaccard_qgrams, jaccard_words, jaro, jaro_winkler, levenshtein, levenshtein_bounded,
     levenshtein_similarity,
 };
-pub use tokenize::{normalize, qgrams, words};
+pub use tokenize::{normalize, qgram_spans, qgrams, word_spans, words};

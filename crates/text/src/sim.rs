@@ -4,7 +4,7 @@
 //! identical; distance functions return raw counts. Implementations operate
 //! on `char` sequences so multi-byte UTF-8 input is handled correctly.
 
-use crate::tokenize::{qgrams, words};
+use crate::tokenize::qgram_spans;
 
 /// Levenshtein edit distance (insertions, deletions, substitutions), using
 /// the classic two-row dynamic program: `O(|a|·|b|)` time, `O(min)` space.
@@ -94,14 +94,20 @@ fn jaccard<T: std::hash::Hash + Eq>(
     inter as f64 / union as f64
 }
 
-/// Jaccard similarity over q-gram sets.
+/// Jaccard similarity over q-gram sets. Tokens are borrowed slices of the
+/// inputs ([`qgram_spans`]) — no per-token allocation on the similarity-
+/// join hot path.
 pub fn jaccard_qgrams(a: &str, b: &str, q: usize) -> f64 {
-    jaccard(qgrams(a, q), qgrams(b, q))
+    jaccard(
+        qgram_spans(a, q).into_iter().map(|(s, e)| &a[s..e]),
+        qgram_spans(b, q).into_iter().map(|(s, e)| &b[s..e]),
+    )
 }
 
-/// Jaccard similarity over whitespace-delimited word sets.
+/// Jaccard similarity over whitespace-delimited word sets (borrowed
+/// slices; no per-token allocation).
 pub fn jaccard_words(a: &str, b: &str) -> f64 {
-    jaccard(words(a), words(b))
+    jaccard(a.split_whitespace(), b.split_whitespace())
 }
 
 /// Jaro similarity: match window of `max(|a|,|b|)/2 - 1`, counting matches

@@ -1,9 +1,24 @@
 //! Tokenizers used by the blocking/filtering monoids.
+//!
+//! The string-returning entry points ([`normalize`], [`qgrams`],
+//! [`words`]) have zero-copy companions: [`normalize`] returns a
+//! [`Cow`] that borrows the input whenever it is already in normal form
+//! (the common case for once-cleaned corpora), and [`word_spans`] /
+//! [`qgram_spans`] return byte-offset views into the source so callers
+//! that only *inspect* tokens never allocate per token.
+
+use std::borrow::Cow;
 
 /// Lowercase and strip everything but alphanumerics and single spaces.
 /// Cleaning operators normalize terms before tokenizing or comparing so that
 /// `"J. Smith"` and `"j smith"` block together.
-pub fn normalize(s: &str) -> String {
+///
+/// Returns [`Cow::Borrowed`] when the input is already normalized — no
+/// allocation, the dominant case when cleaning already-clean data.
+pub fn normalize(s: &str) -> Cow<'_, str> {
+    if is_normalized(s) {
+        return Cow::Borrowed(s);
+    }
     let mut out = String::with_capacity(s.len());
     let mut last_space = true;
     for c in s.chars() {
@@ -18,29 +33,77 @@ pub fn normalize(s: &str) -> String {
     while out.ends_with(' ') {
         out.pop();
     }
-    out
+    Cow::Owned(out)
+}
+
+/// Is `s` already in [`normalize`]'s output form? (Lowercase alphanumerics
+/// separated by single interior spaces.)
+fn is_normalized(s: &str) -> bool {
+    let mut last_space = true; // leading space is not normal form
+    for c in s.chars() {
+        if c == ' ' {
+            if last_space {
+                return false;
+            }
+            last_space = true;
+        } else if c.is_alphanumeric() {
+            // The char must be its own lowercase (exact check: `ǅ`-style
+            // titlecase letters are not `is_uppercase` yet still fold).
+            let mut lower = c.to_lowercase();
+            if lower.next() != Some(c) || lower.next().is_some() {
+                return false;
+            }
+            last_space = false;
+        } else {
+            return false;
+        }
+    }
+    !last_space || s.is_empty() // no trailing space
 }
 
 /// Overlapping q-grams of a string. Strings shorter than `q` yield the whole
 /// string as the single token, so no value ever has zero tokens (token
 /// filtering must place every value in at least one group to keep recall).
 pub fn qgrams(s: &str, q: usize) -> Vec<String> {
-    assert!(q > 0, "q-gram length must be positive");
-    let chars: Vec<char> = s.chars().collect();
-    if chars.is_empty() {
-        return vec![String::new()];
-    }
-    if chars.len() <= q {
-        return vec![chars.iter().collect()];
-    }
-    (0..=chars.len() - q)
-        .map(|i| chars[i..i + q].iter().collect())
+    qgram_spans(s, q)
+        .into_iter()
+        .map(|(start, end)| s[start..end].to_string())
         .collect()
+}
+
+/// Byte-offset `(start, end)` spans of the overlapping q-grams of `s` —
+/// the zero-copy form of [`qgrams`]: each span slices the source in place
+/// (`&s[start..end]`), so inspecting tokens allocates nothing.
+pub fn qgram_spans(s: &str, q: usize) -> Vec<(usize, usize)> {
+    assert!(q > 0, "q-gram length must be positive");
+    // Char boundaries: q-grams are defined over characters, spans over bytes.
+    let bounds: Vec<usize> = s
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(s.len()))
+        .collect();
+    let n = bounds.len() - 1; // number of chars
+    if n <= q {
+        return vec![(0, s.len())];
+    }
+    (0..=n - q).map(|i| (bounds[i], bounds[i + q])).collect()
 }
 
 /// Whitespace-delimited words.
 pub fn words(s: &str) -> Vec<String> {
     s.split_whitespace().map(|w| w.to_string()).collect()
+}
+
+/// Byte-offset `(start, end)` spans of the whitespace-delimited words of
+/// `s` — the zero-copy form of [`words`].
+pub fn word_spans(s: &str) -> Vec<(usize, usize)> {
+    let base = s.as_ptr() as usize;
+    s.split_whitespace()
+        .map(|w| {
+            let start = w.as_ptr() as usize - base;
+            (start, start + w.len())
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -54,6 +117,22 @@ mod tests {
         assert_eq!(normalize("ÉCOLE"), "école");
         assert_eq!(normalize(""), "");
         assert_eq!(normalize("..."), "");
+    }
+
+    #[test]
+    fn normalize_borrows_when_already_normal() {
+        for clean in ["j smith", "abc", "", "a 1 b", "école"] {
+            assert!(
+                matches!(normalize(clean), Cow::Borrowed(_)),
+                "`{clean}` is already normal form"
+            );
+        }
+        for dirty in ["J. Smith", " a", "a ", "a  b", "a-b", "É"] {
+            assert!(
+                matches!(normalize(dirty), Cow::Owned(_)),
+                "`{dirty}` needs normalization"
+            );
+        }
     }
 
     #[test]
@@ -74,6 +153,18 @@ mod tests {
     }
 
     #[test]
+    fn qgram_spans_slice_the_source() {
+        let s = "héllo";
+        for q in 1..=3 {
+            let via_spans: Vec<&str> = qgram_spans(s, q)
+                .into_iter()
+                .map(|(a, b)| &s[a..b])
+                .collect();
+            assert_eq!(via_spans, qgrams(s, q), "q = {q}");
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn qgrams_zero_panics() {
         qgrams("abc", 0);
@@ -83,5 +174,13 @@ mod tests {
     fn words_split() {
         assert_eq!(words("a  b\tc"), vec!["a", "b", "c"]);
         assert!(words("   ").is_empty());
+    }
+
+    #[test]
+    fn word_spans_slice_the_source() {
+        let s = " one\ttwo  three ";
+        let via_spans: Vec<&str> = word_spans(s).into_iter().map(|(a, b)| &s[a..b]).collect();
+        assert_eq!(via_spans, vec!["one", "two", "three"]);
+        assert!(word_spans("   ").is_empty());
     }
 }

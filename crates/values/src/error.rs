@@ -14,7 +14,12 @@ pub enum Error {
     /// A field name was not present in a schema or struct value.
     UnknownField(String),
     /// A positional index was out of bounds for a row or list.
-    IndexOutOfBounds { index: usize, len: usize },
+    IndexOutOfBounds {
+        /// The requested position.
+        index: usize,
+        /// The container's length.
+        len: usize,
+    },
     /// A schema was malformed (duplicate field names, empty, ...).
     InvalidSchema(String),
     /// Parsing a textual value into a typed value failed.

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Nested data model for the CleanM reproduction.
 //!
 //! The paper's CleanDB queries heterogeneous data (CSV, JSON, XML, columnar
@@ -14,11 +16,13 @@
 mod error;
 mod intern;
 mod row;
+mod strview;
 mod types;
 mod value;
 
 pub use error::{Error, Result};
 pub use intern::{intern, intern_all};
 pub use row::{Row, Table};
+pub use strview::StrView;
 pub use types::{DataType, Field, Schema};
 pub use value::Value;

@@ -17,20 +17,24 @@ pub struct Row {
 }
 
 impl Row {
+    /// Build a row from owned values.
     pub fn new(values: Vec<Value>) -> Self {
         Row {
             values: values.into(),
         }
     }
 
+    /// The row's values, in schema order.
     pub fn values(&self) -> &[Value] {
         &self.values
     }
 
+    /// Number of values (the arity).
     pub fn len(&self) -> usize {
         self.values.len()
     }
 
+    /// Is the row zero-arity?
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
@@ -102,19 +106,24 @@ impl fmt::Display for Row {
 /// registers as a table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
+    /// The relation's schema.
     pub schema: Schema,
+    /// The rows, positionally matching [`Table::schema`].
     pub rows: Vec<Row>,
 }
 
 impl Table {
+    /// Pair a schema with its rows (no validation; see [`Table::validate`]).
     pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
         Table { schema, rows }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// Does the table hold no rows?
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }

@@ -7,9 +7,13 @@ use crate::value::Value;
 /// Logical type of a value.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DataType {
+    /// Boolean.
     Bool,
+    /// 64-bit signed integer.
     Int,
+    /// 64-bit float.
     Float,
+    /// UTF-8 string.
     Str,
     /// Homogeneous list with the given element type.
     List(Box<DataType>),
@@ -90,11 +94,14 @@ impl fmt::Display for DataType {
 /// One named, typed column or struct member.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
+    /// Column name (unique within a schema).
     pub name: String,
+    /// The column's logical type.
     pub dtype: DataType,
 }
 
 impl Field {
+    /// Build a named, typed field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
         Field {
             name: name.into(),
@@ -135,14 +142,17 @@ impl Schema {
             .expect("static schema must be valid")
     }
 
+    /// The fields, in schema order.
     pub fn fields(&self) -> &[Field] {
         &self.fields
     }
 
+    /// Number of fields.
     pub fn len(&self) -> usize {
         self.fields.len()
     }
 
+    /// Does the schema have no fields?
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }

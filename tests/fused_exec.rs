@@ -1,0 +1,332 @@
+//! Differential property tests for Select fusion: a plan executed with
+//! `fuse_selects` on (filter evaluated inside the downstream operator's
+//! partition sweep) must produce exactly the results of the
+//! operator-at-a-time execution — across Select→Nest, Select→Reduce
+//! (collection and scalar monoids), Select→Join, Select→ThetaJoin, and
+//! transform-shaped heads, under `Null`/`NaN` predicate values and empty
+//! partitions.
+//!
+//! One documented exception to bit-exactness: `Sum`/`Prod` over *float*
+//! heads. The fused path folds per partition and merges partials, so
+//! float additions associate differently than the unfused driver-
+//! sequential fold — last-ulp differences, as in any parallel aggregation
+//! (the scalar-monoid property below uses an integer head, where both
+//! orders are exact).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cleanm::core::algebra::{Alg, HintKind, ThetaHint};
+use cleanm::core::calculus::{BinOp, CalcExpr, EvalCtx, Func, MonoidKind};
+use cleanm::core::engine::storage::StoredTable;
+use cleanm::core::physical::{EngineProfile, Executor};
+use cleanm::exec::ExecContext;
+use cleanm::values::Value;
+use proptest::prelude::*;
+
+/// Scalar pool for the predicate columns: integers, floats (NaN included),
+/// strings, and NULL — everything a cleaning predicate meets in the wild.
+fn scalar() -> BoxedStrategy<Value> {
+    prop_oneof![
+        (-6i64..6).prop_map(Value::Int),
+        (-2.0f64..2.0).prop_map(Value::Float),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Null),
+        Just(Value::str("a st")),
+        Just(Value::str("b st")),
+    ]
+    .boxed()
+}
+
+/// A random customer-shaped table: `k` drives grouping, `v` and `s` feed
+/// predicates. Sizes start at zero so empty tables (and therefore fully
+/// empty partitions) are always in the mix.
+fn table() -> BoxedStrategy<Vec<Value>> {
+    proptest::collection::vec((scalar(), scalar(), 0i64..4), 0..24)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (v, s, k))| {
+                    Value::record([
+                        ("__rowid", Value::Int(i as i64)),
+                        ("k", Value::Int(k)),
+                        ("v", v),
+                        ("s", s),
+                    ])
+                })
+                .collect()
+        })
+        .boxed()
+}
+
+/// A small predicate grammar over the row variable `var`: comparisons
+/// against int/float/NaN/Null constants plus conjunction/disjunction.
+fn pred(var: &'static str) -> BoxedStrategy<CalcExpr> {
+    let col = move |f: &str| CalcExpr::proj(CalcExpr::var(var), f);
+    let atom = prop_oneof![
+        (0i64..4).prop_map(move |c| CalcExpr::bin(BinOp::Lt, col("k"), CalcExpr::int(c))),
+        (-1.0f64..1.0).prop_map(move |c| CalcExpr::bin(BinOp::Ge, col("v"), CalcExpr::float(c))),
+        Just(CalcExpr::bin(
+            BinOp::Le,
+            col("v"),
+            CalcExpr::float(f64::NAN)
+        )),
+        Just(CalcExpr::bin(
+            BinOp::Ne,
+            col("s"),
+            CalcExpr::Const(Value::Null)
+        )),
+        Just(CalcExpr::bin(BinOp::Eq, col("s"), CalcExpr::str("a st"))),
+    ];
+    let atom = atom.boxed();
+    (atom.clone(), atom, 0u8..3)
+        .prop_map(|(a, b, combine)| match combine {
+            0 => a,
+            1 => CalcExpr::bin(BinOp::And, a, b),
+            _ => CalcExpr::bin(BinOp::Or, a, b),
+        })
+        .boxed()
+}
+
+fn catalog(rows: Vec<Value>) -> HashMap<String, StoredTable> {
+    let mut t = HashMap::new();
+    t.insert("t".to_string(), StoredTable::from_rows(rows));
+    t
+}
+
+/// Stack `preds` as a Select chain over `input` (first predicate innermost).
+fn select_chain(mut input: Arc<Alg>, preds: &[CalcExpr]) -> Arc<Alg> {
+    for p in preds {
+        input = Arc::new(Alg::Select {
+            input,
+            pred: p.clone(),
+        });
+    }
+    input
+}
+
+/// Run `plan` under the profile and return its sorted output plus how many
+/// Select nodes the executor fused away.
+fn run(
+    plan: &Arc<Alg>,
+    tables: &HashMap<String, StoredTable>,
+    profile: EngineProfile,
+) -> (Vec<Value>, usize) {
+    let ctx = ExecContext::new(2, 4);
+    let mut ex = Executor::new(ctx, profile, tables, Arc::new(EvalCtx::new()));
+    ex.register_plans(std::slice::from_ref(plan));
+    let mut out = ex.run_reduce(plan).expect("plan executes");
+    out.sort();
+    (out, ex.fused_selects)
+}
+
+/// The operator-at-a-time twin of the fusing profile: identical policies,
+/// fusion off — so any output difference is attributable to fusion alone.
+fn unfused_profile() -> EngineProfile {
+    let mut p = EngineProfile::clean_db();
+    p.fuse_selects = false;
+    p
+}
+
+/// fused ≡ unfused for a given plan, requiring that fusion engaged
+/// (`expect_fused` Select nodes) when the profile allows it.
+fn assert_fused_matches(
+    plan: &Arc<Alg>,
+    tables: &HashMap<String, StoredTable>,
+    expect_fused: usize,
+) {
+    let (fused_out, fused_n) = run(plan, tables, EngineProfile::clean_db());
+    let (unfused_out, unfused_n) = run(plan, tables, unfused_profile());
+    assert_eq!(fused_out, unfused_out, "fusion changed the results");
+    assert_eq!(fused_n, expect_fused, "fusion did not engage as expected");
+    assert_eq!(unfused_n, 0, "unfused profile must not fuse");
+}
+
+fn scan(var: &str) -> Arc<Alg> {
+    Arc::new(Alg::Scan {
+        table: "t".into(),
+        var: var.into(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Select chain → Reduce(Bag) with a transform-shaped head (the
+    /// `prefix` / `lower` string builtins).
+    #[test]
+    fn select_reduce_transform_fused_matches(
+        rows in table(),
+        p1 in pred("c"),
+        p2 in pred("c"),
+    ) {
+        let tables = catalog(rows);
+        let input = select_chain(scan("c"), &[p1, p2]);
+        let plan = Arc::new(Alg::Reduce {
+            input,
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::record(vec![
+                ("p", CalcExpr::call(Func::Prefix, vec![CalcExpr::proj(CalcExpr::var("c"), "s")])),
+                ("l", CalcExpr::call(Func::Lower, vec![CalcExpr::proj(CalcExpr::var("c"), "s")])),
+            ]),
+        });
+        assert_fused_matches(&plan, &tables, 2);
+    }
+
+    /// Select → Reduce over every scalar monoid (the parallel
+    /// `filter_fold` path) plus Set (dedup finish). Heads are integers:
+    /// exact under any fold association (see the module note on floats).
+    #[test]
+    fn select_reduce_scalar_monoids_fused_match(
+        rows in table(),
+        p in pred("c"),
+    ) {
+        let tables = catalog(rows);
+        for monoid in [
+            MonoidKind::Sum,
+            MonoidKind::Min,
+            MonoidKind::Max,
+            MonoidKind::Any,
+            MonoidKind::All,
+            MonoidKind::Set,
+        ] {
+            let plan = Arc::new(Alg::Reduce {
+                input: select_chain(scan("c"), std::slice::from_ref(&p)),
+                monoid: monoid.clone(),
+                head: match monoid {
+                    MonoidKind::Any | MonoidKind::All => CalcExpr::bin(
+                        BinOp::Gt,
+                        CalcExpr::proj(CalcExpr::var("c"), "k"),
+                        CalcExpr::int(1),
+                    ),
+                    _ => CalcExpr::proj(CalcExpr::var("c"), "k"),
+                },
+            });
+            assert_fused_matches(&plan, &tables, 1);
+        }
+    }
+
+    /// Select → Nest → Reduce: the filter runs inside the pair-emission
+    /// sweep of the grouping.
+    #[test]
+    fn select_nest_fused_matches(rows in table(), p in pred("c")) {
+        let tables = catalog(rows);
+        let nest = Arc::new(Alg::Nest {
+            input: select_chain(scan("c"), std::slice::from_ref(&p)),
+            algo: cleanm::core::calculus::FilterAlgo::Exact,
+            key: CalcExpr::proj(CalcExpr::var("c"), "k"),
+            item: CalcExpr::var("c"),
+            group_var: "g".into(),
+        });
+        let plan = Arc::new(Alg::Reduce {
+            input: nest,
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::var("g"),
+        });
+        assert_fused_matches(&plan, &tables, 1);
+    }
+
+    /// Selects on both sides of an equi-Join: filters run inside the
+    /// keying sweeps.
+    #[test]
+    fn select_join_fused_matches(rows in table(), pl in pred("l"), pr in pred("r")) {
+        let tables = catalog(rows);
+        let join = Arc::new(Alg::Join {
+            left: select_chain(scan("l"), std::slice::from_ref(&pl)),
+            right: select_chain(scan("r"), std::slice::from_ref(&pr)),
+            left_key: CalcExpr::proj(CalcExpr::var("l"), "k"),
+            right_key: CalcExpr::proj(CalcExpr::var("r"), "k"),
+        });
+        let plan = Arc::new(Alg::Reduce {
+            input: join,
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::record(vec![
+                ("a", CalcExpr::proj(CalcExpr::var("l"), "__rowid")),
+                ("b", CalcExpr::proj(CalcExpr::var("r"), "__rowid")),
+            ]),
+        });
+        assert_fused_matches(&plan, &tables, 2);
+    }
+
+    /// Select *chains* on the sides of a ThetaJoin collapse to one filter
+    /// pass per side (the sides themselves must stay materialized for the
+    /// pruning probes).
+    #[test]
+    fn select_theta_chain_collapse_matches(rows in table(), pl in pred("l"), pl2 in pred("l"), pr in pred("r")) {
+        let tables = catalog(rows);
+        let theta_pred = CalcExpr::bin(
+            BinOp::Lt,
+            CalcExpr::proj(CalcExpr::var("l"), "k"),
+            CalcExpr::proj(CalcExpr::var("r"), "k"),
+        );
+        let theta = Arc::new(Alg::ThetaJoin {
+            left: select_chain(scan("l"), &[pl, pl2]),
+            right: select_chain(scan("r"), std::slice::from_ref(&pr)),
+            pred: theta_pred,
+            hint: ThetaHint {
+                left_key: CalcExpr::proj(CalcExpr::var("l"), "k"),
+                right_key: CalcExpr::proj(CalcExpr::var("r"), "k"),
+                kind: HintKind::LeftLessThanRight,
+            },
+        });
+        let plan = Arc::new(Alg::Reduce {
+            input: theta,
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::record(vec![
+                ("a", CalcExpr::proj(CalcExpr::var("l"), "__rowid")),
+                ("b", CalcExpr::proj(CalcExpr::var("r"), "__rowid")),
+            ]),
+        });
+        // The left chain of two collapses into one pass: one Select fused.
+        assert_fused_matches(&plan, &tables, 1);
+    }
+
+    /// Deep Select chains feeding Reduce collapse entirely — and the
+    /// chain order is preserved (inner predicates run first).
+    #[test]
+    fn deep_select_chain_fused_matches(
+        rows in table(),
+        p1 in pred("c"),
+        p2 in pred("c"),
+        p3 in pred("c"),
+    ) {
+        let tables = catalog(rows);
+        let plan = Arc::new(Alg::Reduce {
+            input: select_chain(scan("c"), &[p1, p2, p3]),
+            monoid: MonoidKind::Bag,
+            head: CalcExpr::proj(CalcExpr::var("c"), "__rowid"),
+        });
+        assert_fused_matches(&plan, &tables, 3);
+    }
+}
+
+/// End-to-end differential check through the full session (parse → plan →
+/// execute): WHERE + FD under the fusing profile matches the unfused twin.
+#[test]
+fn session_where_fd_fused_matches_unfused() {
+    use cleanm::core::CleanDb;
+    use cleanm::datagen::customer::CustomerGen;
+
+    let data = CustomerGen::new(7)
+        .rows(800)
+        .duplicate_fraction(0.1)
+        .generate();
+    let sql = "SELECT * FROM customer c WHERE c.nationkey < 20 FD(c.address, c.nationkey)";
+    let mut reports = Vec::new();
+    for profile in [EngineProfile::clean_db(), unfused_profile()] {
+        let mut db = CleanDb::new(profile);
+        db.register("customer", data.table.clone());
+        reports.push(db.run(sql).unwrap());
+    }
+    assert_eq!(reports[0].violating_ids, reports[1].violating_ids);
+    assert!(
+        reports[0].exprs.fused_selects >= 2,
+        "fusing profile must fuse the WHERE and the group filter: {:?}",
+        reports[0].exprs
+    );
+    assert_eq!(reports[1].exprs.fused_selects, 0);
+    assert_eq!(
+        reports[0].exprs.interpreted, 0,
+        "fused predicates still run compiled"
+    );
+}

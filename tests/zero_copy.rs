@@ -1,0 +1,110 @@
+//! Zero-copy guarantees of the string builtins: when an operation is the
+//! identity on its input (already-lowercase `lower`, already-trimmed
+//! `trim`, a `prefix` covering the whole string…), the result must *share*
+//! the input's `Arc<str>` — verified by pointer equality, so no bytes were
+//! copied even when the input allocation is uniquely referenced.
+
+use std::sync::Arc;
+
+use cleanm::core::calculus::{eval, CalcExpr, EvalCtx, Func};
+use cleanm::values::{StrView, Value};
+
+/// Evaluate `func(input)` and return the resulting string `Arc`.
+fn call_str(func: Func, input: &Arc<str>) -> Arc<str> {
+    let ctx = EvalCtx::new();
+    let expr = CalcExpr::call(func, vec![CalcExpr::Const(Value::Str(Arc::clone(input)))]);
+    match eval(&expr, &vec![], &ctx).expect("builtin evaluates") {
+        Value::Str(s) => s,
+        other => panic!("expected a string, got {other:?}"),
+    }
+}
+
+#[test]
+fn lower_on_lowercase_shares_the_input() {
+    let src: Arc<str> = Arc::from("customer-000123");
+    assert_eq!(Arc::strong_count(&src), 1, "uniquely referenced input");
+    let out = call_str(Func::Lower, &src);
+    assert!(Arc::ptr_eq(&out, &src), "identity lower must not clone");
+    // And the non-identity case still folds correctly.
+    let mixed: Arc<str> = Arc::from("CusTomer");
+    assert_eq!(call_str(Func::Lower, &mixed).as_ref(), "customer");
+}
+
+#[test]
+fn upper_on_uppercase_shares_the_input() {
+    let src: Arc<str> = Arc::from("BUILDING-42");
+    let out = call_str(Func::Upper, &src);
+    assert!(Arc::ptr_eq(&out, &src));
+    let mixed: Arc<str> = Arc::from("BuIlDiNg");
+    assert_eq!(call_str(Func::Upper, &mixed).as_ref(), "BUILDING");
+}
+
+#[test]
+fn trim_on_trimmed_shares_the_input() {
+    let src: Arc<str> = Arc::from("no outer spaces");
+    let out = call_str(Func::Trim, &src);
+    assert!(Arc::ptr_eq(&out, &src));
+    let padded: Arc<str> = Arc::from("  padded \t");
+    assert_eq!(call_str(Func::Trim, &padded).as_ref(), "padded");
+}
+
+#[test]
+fn whole_string_prefix_shares_the_input() {
+    // ≤ 3 chars with no dash: the prefix *is* the string.
+    let src: Arc<str> = Arc::from("abc");
+    let out = call_str(Func::Prefix, &src);
+    assert!(Arc::ptr_eq(&out, &src));
+    // A dash still slices (one allocation, correct bytes).
+    let phone: Arc<str> = Arc::from("123-4567");
+    assert_eq!(call_str(Func::Prefix, &phone).as_ref(), "123");
+}
+
+#[test]
+fn split_without_separator_shares_the_input() {
+    let src: Arc<str> = Arc::from("single-token");
+    let ctx = EvalCtx::new();
+    let expr = CalcExpr::call(
+        Func::Split(",".into()),
+        vec![CalcExpr::Const(Value::Str(Arc::clone(&src)))],
+    );
+    match eval(&expr, &vec![], &ctx).unwrap() {
+        Value::List(items) => match &items[..] {
+            [Value::Str(s)] => assert!(Arc::ptr_eq(s, &src)),
+            other => panic!("expected one shared token, got {other:?}"),
+        },
+        other => panic!("expected a list, got {other:?}"),
+    }
+}
+
+#[test]
+fn single_arg_concat_shares_the_input() {
+    let src: Arc<str> = Arc::from("whole");
+    let out = call_str(Func::Concat, &src);
+    assert!(Arc::ptr_eq(&out, &src));
+}
+
+#[test]
+fn strview_materializes_whole_views_by_refcount() {
+    let src: Arc<str> = Arc::from("shared text");
+    let before = Arc::strong_count(&src);
+    match StrView::whole(&src).into_value() {
+        Value::Str(s) => {
+            assert!(Arc::ptr_eq(&s, &src));
+            assert_eq!(Arc::strong_count(&src), before + 1);
+        }
+        other => panic!("expected Str, got {other:?}"),
+    }
+}
+
+#[test]
+fn normalize_borrows_already_normal_text() {
+    use std::borrow::Cow;
+    assert!(matches!(
+        cleanm::text::normalize("already normal"),
+        Cow::Borrowed(_)
+    ));
+    assert!(matches!(
+        cleanm::text::normalize("Not! Normal"),
+        Cow::Owned(_)
+    ));
+}
