@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use cleanm_bench::experiments::{eval_compile, eval_workloads, fused_pipeline};
+use cleanm_bench::experiments::{eval_compile, eval_workloads, fused_pipeline, grouped_fold};
 use cleanm_bench::Scale;
 
 fn bench_eval(c: &mut Criterion) {
@@ -37,6 +37,16 @@ fn bench_eval(c: &mut Criterion) {
             row.rows,
             row.unfused_rows_per_sec,
             row.fused_rows_per_sec,
+            row.speedup()
+        );
+    }
+    for row in grouped_fold(scale) {
+        println!(
+            "[group] {:<18} {:>8} rows: materialized {:>12.0} rows/s, fold {:>12.0} rows/s, speedup {:.2}x",
+            row.workload,
+            row.rows,
+            row.materialized_rows_per_sec,
+            row.fold_rows_per_sec,
             row.speedup()
         );
     }

@@ -1315,25 +1315,186 @@ pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
     };
     let agg = measure(&unfused_agg, &fused_agg, "fused_filter_agg");
 
-    // --- Select chain → Nest (group survivors by a composite key) ---
-    let emit_pair = |env: Env, out: &mut Vec<(Value, Value)>| {
-        let k = key.eval_env(&env, &eval_ctx).expect("key evaluates");
-        let item = env.into_iter().next().expect("row var").1;
-        out.push((k, item));
-    };
-    let finish = |pairs: Dataset<(Value, Value)>| -> Value {
-        let grouped = pairs.group_by_key_local();
-        Value::Int(grouped.count() as i64)
+    // --- Select chain → Nest → per-group count ---
+    // The grouped-consumer pipeline: survivors group by a composite key and
+    // each group reduces to its member count. Unfused, that is the
+    // operator-at-a-time translation — filter passes, a pair-emission pass,
+    // the materializing grouping (every member collected into its group's
+    // `Vec`), then a per-group reduce over the lists. Fused, the whole
+    // pipeline is ONE `group_fold` sweep: the filter chain and the key
+    // program run per row and the count folds straight into the per-key
+    // hash accumulator — no filtered intermediate, no pair collection, no
+    // group lists, and only `(key, count)` partials cross the shuffle.
+    let checksum_counts = |counts: Vec<(Value, i64)>| -> Value {
+        let groups = counts.len() as i64;
+        let total: i64 = counts.iter().map(|(_, n)| n).sum();
+        Value::Int(groups * 1_000_003 + total)
     };
     let unfused_group = |ds: Dataset<Env>| -> Value {
-        finish(filter_chain(ds).filter_transform("flat_map", |_| true, emit_pair))
+        let emit_pair = |env: Env, out: &mut Vec<(Value, Value)>| {
+            let k = key.eval_env(&env, &eval_ctx).expect("key evaluates");
+            let item = env.into_iter().next().expect("row var").1;
+            out.push((k, item));
+        };
+        let grouped = filter_chain(ds)
+            .filter_transform("flat_map", |_| true, emit_pair)
+            .group_by_key_local();
+        checksum_counts(
+            grouped
+                .map(|(k, members)| (k, members.len() as i64))
+                .collect(),
+        )
     };
     let fused_group = |ds: Dataset<Env>| -> Value {
-        finish(ds.filter_transform("fused_filter_flat_map", keep, emit_pair))
+        let counts = ds.group_fold(
+            "group_fold",
+            keep,
+            |env: Env, out: &mut Vec<(Value, i64)>| {
+                let k = key.eval_env(&env, &eval_ctx).expect("key evaluates");
+                out.push((k, 1));
+            },
+            || 0i64,
+            |a, v| *a += v,
+            |a, b| *a += b,
+        );
+        checksum_counts(counts.collect())
     };
     let group = measure(&unfused_group, &fused_group, "fused_filter_group");
 
     vec![agg, group]
+}
+
+// ====================================================================
+// Streaming grouped aggregation — fold-into-hash grouping vs the
+// materializing grouped path, on the same partitioned data (benches/
+// eval.rs and the `group_fold` section of BENCH_eval.json).
+// ====================================================================
+
+/// One materialize-vs-fold grouping measurement (a row of
+/// `BENCH_eval.json`'s `group_fold` section).
+#[derive(Debug, Clone)]
+pub struct GroupFoldRow {
+    pub workload: String,
+    pub rows: usize,
+    pub materialized_rows_per_sec: f64,
+    pub fold_rows_per_sec: f64,
+}
+
+impl GroupFoldRow {
+    pub fn speedup(&self) -> f64 {
+        self.fold_rows_per_sec / self.materialized_rows_per_sec.max(1e-9)
+    }
+}
+
+/// Measure fold-into-hash grouping against materialize-then-reduce on the
+/// two grouped-consumer shapes the executor compiles:
+///
+/// * `group_fold` — a grouped sum (every cleaning aggregate's shape).
+///   Materialized: `group_by_key_local` collects each group's values into
+///   a `Vec`, then a per-group fold reduces it. Fold: each value is
+///   absorbed into its key's accumulator on contact
+///   (`aggregate_by_key_fold`); only `(key, partial)` pairs shuffle.
+/// * `fd_group` — the FD violation shape. Materialized: group every row by
+///   the key, then test `distinct RHS > 1` per group over the member
+///   lists. Fold: a per-partition probe folds cap-2 distinct-RHS sets,
+///   partial maps merge tree-wise on the pool, and only the violating
+///   keys' rows are grouped at all.
+pub fn grouped_fold(scale: Scale) -> Vec<GroupFoldRow> {
+    use cleanm_core::algebra::{lower_op, Alg};
+    use cleanm_core::calculus::{desugar_query, EvalCtx};
+    use cleanm_core::engine::storage::StoredTable;
+    use cleanm_core::lang::parse_query;
+    use cleanm_core::physical::Executor;
+    use cleanm_values::Value;
+    use std::sync::Arc;
+
+    let n = eval_rows(scale);
+
+    // Customer-shaped rows; ~997 addresses, ~1% of them FD-violating
+    // (two distinct nationkeys). `mktsegment` feeds count_distinct.
+    let rows: Vec<Value> = (0..n)
+        .map(|i| {
+            let addr = i % 997;
+            let nation = if addr % 97 == 0 && i % 1009 == addr {
+                1_000 + addr as i64
+            } else {
+                (addr % 25) as i64
+            };
+            Value::record([
+                ("__rowid", Value::Int(i as i64)),
+                ("address", Value::str(format!("{addr} Main St"))),
+                ("nationkey", Value::Int(nation)),
+                (
+                    "mktsegment",
+                    Value::str(["BUILDING", "MACHINERY", "AUTO"][i % 3]),
+                ),
+            ])
+        })
+        .collect();
+    let mut tables = std::collections::HashMap::new();
+    tables.insert("customer".to_string(), StoredTable::from_rows(rows));
+
+    let plan_for = |sql: &str| -> Arc<Alg> {
+        let q = parse_query(sql).expect("parses");
+        let dq = desugar_query(&q, 1).expect("desugars");
+        lower_op(&dq.ops[0].comp).expect("lowers")
+    };
+    // The *same* engine runs both sides — profiles differ only in
+    // `fold_groups`, so the measured gap is materialization itself: the
+    // materializing path collects every group's members into a `Vec` and
+    // reduces the aggregates per group through the interpreter's
+    // comprehension islands; the fold path absorbs each row into per-key
+    // accumulators with compiled slot programs and shuffles partials only.
+    let fold_profile = EngineProfile::clean_db();
+    let materialize_profile = {
+        let mut p = EngineProfile::clean_db();
+        p.fold_groups = false;
+        p
+    };
+    let run_plan = |plan: &Arc<Alg>, profile: &EngineProfile| -> Vec<Value> {
+        let ctx = local_context();
+        let mut ex = Executor::new(ctx, profile.clone(), &tables, Arc::new(EvalCtx::new()));
+        ex.register_plans(std::slice::from_ref(plan));
+        let mut out = ex.run_reduce(plan).expect("plan executes");
+        out.sort();
+        out
+    };
+
+    let measure = |sql: &str, workload: &str| -> GroupFoldRow {
+        let plan = plan_for(sql);
+        let check_m = run_plan(&plan, &materialize_profile);
+        let check_f = run_plan(&plan, &fold_profile);
+        assert_eq!(check_m, check_f, "paths disagree on {workload}");
+        let timed = |profile: &EngineProfile| -> f64 {
+            let start = Instant::now();
+            std::hint::black_box(run_plan(&plan, profile));
+            start.elapsed().as_secs_f64()
+        };
+        let (mut materialized, mut fold) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            materialized = materialized.min(timed(&materialize_profile));
+            fold = fold.min(timed(&fold_profile));
+        }
+        GroupFoldRow {
+            workload: workload.to_string(),
+            rows: n,
+            materialized_rows_per_sec: n as f64 / materialized.max(1e-9),
+            fold_rows_per_sec: n as f64 / fold.max(1e-9),
+        }
+    };
+
+    vec![
+        measure(
+            "SELECT c.address, count(*) AS n, sum(c.nationkey) AS s, \
+             count_distinct(c.mktsegment) AS d \
+             FROM customer c GROUP BY c.address",
+            "group_fold",
+        ),
+        measure(
+            "SELECT * FROM customer c FD(c.address | c.nationkey)",
+            "fd_group",
+        ),
+    ]
 }
 
 // ====================================================================

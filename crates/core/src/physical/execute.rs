@@ -23,8 +23,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use cleanm_exec::{theta, Dataset, ExecContext, ExecError, ExecResult};
-use cleanm_values::Value;
+use cleanm_exec::{merge_tree, theta, Dataset, ExecContext, ExecError, ExecResult};
+use cleanm_values::{FxHashMap, FxHashSet, Value};
 
 use crate::algebra::cardinality::{self, StatsCatalog};
 use crate::algebra::plan::{theta_widen, Alg};
@@ -32,6 +32,7 @@ use crate::calculus::eval::{merge_values, truthy, EvalCtx};
 use crate::calculus::{CalcExpr, Func, MonoidKind};
 use crate::engine::storage::StoredTable;
 
+use super::groupfold::{self, AggFoldShape, GroupAcc};
 use super::profile::{EngineProfile, NestStrategy, ThetaStrategy};
 use super::program::{env_layout, ProgramCache, RowExpr};
 
@@ -268,6 +269,11 @@ impl<'a> Executor<'a> {
     /// the workers ([`Dataset::filter_fold`]), so neither the filtered rows
     /// nor the per-row head values are ever materialized.
     pub fn run_reduce(&mut self, plan: &Arc<Alg>) -> ExecResult<Vec<Value>> {
+        if self.profile.fold_groups {
+            if let Some(outputs) = self.try_group_fold(plan)? {
+                return Ok(outputs);
+            }
+        }
         let Alg::Reduce {
             input,
             monoid,
@@ -400,6 +406,425 @@ impl<'a> Executor<'a> {
             self.timings.other += start.elapsed();
         }
         Ok(result)
+    }
+
+    /// Try the streaming grouped-aggregation path: when every consumer
+    /// above an unshared `Nest` reduces the group purely through monoid
+    /// reductions (grouped aggregates, FD distinct-RHS tests — see
+    /// `groupfold`), rows fold straight into per-key accumulators and the
+    /// `(key, Vec<member>)` group lists are never built. The group-level
+    /// `Select`s and the Reduce itself are consumed structurally; only
+    /// `(key, partial)` pairs cross the shuffle on the combine-friendly
+    /// strategy. Returns `None` — caller keeps the materialized path —
+    /// when the plan does not match, when the `Nest` or an intermediate
+    /// `Select` is a shared DAG node (its materialized result has other
+    /// consumers), or for a non-collection outer monoid.
+    ///
+    /// Semantics note: aggregate member expressions are evaluated for
+    /// *every* row during the fold, so an evaluation error in an aggregate
+    /// the materialized path would only have computed for groups surviving
+    /// an earlier group predicate surfaces eagerly here (as with any fused
+    /// evaluation, errors can only appear earlier, never differently).
+    fn try_group_fold(&mut self, plan: &Arc<Alg>) -> ExecResult<Option<Vec<Value>>> {
+        let Alg::Reduce {
+            input,
+            monoid,
+            head,
+        } = &**plan
+        else {
+            return Ok(None);
+        };
+        if !matches!(monoid, MonoidKind::Bag | MonoidKind::Set) {
+            return Ok(None);
+        }
+        let is_shared = |ex: &Self, node: &Arc<Alg>| {
+            ex.profile.share_plans && ex.shared_nodes.contains(&(Arc::as_ptr(node) as usize))
+        };
+        // Walk the group-level Select chain down to the Nest.
+        let mut group_preds: Vec<&CalcExpr> = Vec::new();
+        let mut cur = input;
+        loop {
+            if is_shared(self, cur) {
+                return Ok(None);
+            }
+            match &**cur {
+                Alg::Select { input, pred } => {
+                    group_preds.push(pred);
+                    cur = input;
+                }
+                Alg::Nest { .. } => break,
+                _ => return Ok(None),
+            }
+        }
+        let Alg::Nest {
+            input: nest_input,
+            key,
+            item,
+            group_var,
+            ..
+        } = &**cur
+        else {
+            unreachable!("loop exits on Nest");
+        };
+        group_preds.reverse(); // evaluation order: innermost Select first
+        let Some(shape) = groupfold::recognize(group_var, item, head, &group_preds) else {
+            return Ok(None);
+        };
+        let outputs = self.exec_group_fold(nest_input, key, item, shape, group_preds.len())?;
+        Ok(Some(match monoid {
+            MonoidKind::Set => {
+                let mut o = outputs;
+                o.sort();
+                o.dedup();
+                o
+            }
+            _ => outputs,
+        }))
+    }
+
+    /// Execute a recognized group-fold shape. A fusible `Select` chain
+    /// below the Nest runs inside the fold sweep (`pred`); the three skew
+    /// strategies keep their meaning with fold-based execution:
+    /// `LocalAggregate` folds map-side and shuffles only partials,
+    /// `HashShuffle` shuffles every pair then folds at the target,
+    /// `SortShuffle` range-partitions, sorts and folds adjacent runs.
+    ///
+    /// Aggregate-head shapes finish per group on the pool. Group-keeping
+    /// shapes (FD) run two phases: fold the per-key accumulators where the
+    /// rows sit, merge those partial maps **tree-wise on the pool**
+    /// ([`merge_tree`]), decide the passing keys, then materialize *only*
+    /// those keys' groups — non-violating rows never shuffle.
+    fn exec_group_fold(
+        &mut self,
+        nest_input: &Arc<Alg>,
+        key: &CalcExpr,
+        item: &CalcExpr,
+        shape: AggFoldShape,
+        group_selects: usize,
+    ) -> ExecResult<Vec<Value>> {
+        let keeps_groups = shape.keeps_groups();
+        let (preds, source) = self.peel_selects(nest_input);
+        let nfused = preds.len();
+        let pred_similarity = preds.iter().any(|p| expr_has_similarity(p));
+        let ds = self.run(source)?;
+        let start = Instant::now();
+        let scope = env_layout(source);
+        let pred_rxs = self.compile_preds(&preds, &scope);
+        let key_rx = self.row_expr(key, &scope);
+        let slot_rxs: Arc<Vec<Arc<RowExpr>>> = Arc::new(
+            shape
+                .slots
+                .iter()
+                .map(|s| self.row_expr(&s.row_expr, &scope))
+                .collect(),
+        );
+        let finish_preds: Vec<Arc<RowExpr>> = shape
+            .preds
+            .iter()
+            .map(|p| self.row_expr(p, &shape.scope))
+            .collect();
+        let finish_head = shape.head.as_ref().map(|h| self.row_expr(h, &shape.scope));
+        // Below-Nest filters fuse into the fold sweep; the group-level
+        // Selects are consumed structurally (their passes never run).
+        self.fused_selects += nfused + group_selects;
+
+        let strategy = if self.profile.adaptive {
+            let (strategy, reason) = self.choose_nest(key, ds.count() as f64);
+            self.record_decision("nest", key.to_string(), format!("{strategy:?}"), reason);
+            strategy
+        } else {
+            self.record_decision(
+                "nest",
+                key.to_string(),
+                format!("{:?}", self.profile.nest),
+                "fixed profile".to_string(),
+            );
+            self.profile.nest
+        };
+        if pred_similarity {
+            self.timings.similarity += start.elapsed();
+        } else {
+            self.timings.grouping += start.elapsed();
+        }
+        let start = Instant::now();
+
+        let slots = Arc::new(shape.slots);
+        let finish_scope = Arc::new(shape.scope);
+        let eval_ctx = Arc::clone(&self.eval_ctx);
+        let errors = Arc::clone(&self.errors);
+
+        // Shared fold machinery over `GroupAcc` accumulators.
+        let init = {
+            let slots = Arc::clone(&slots);
+            move || slots.iter().map(|s| s.zero()).collect::<GroupAcc>()
+        };
+        let fold = {
+            let (slots, errors) = (Arc::clone(&slots), Arc::clone(&errors));
+            move |acc: &mut GroupAcc, vals: Vec<Value>| {
+                for ((slot, a), v) in slots.iter().zip(acc.iter_mut()).zip(vals) {
+                    if let Err(e) = slot.fold(a, v) {
+                        errors.lock().push(e.to_string());
+                    }
+                }
+            }
+        };
+        let merge_accs = {
+            let (slots, errors) = (Arc::clone(&slots), Arc::clone(&errors));
+            move |acc: &mut GroupAcc, other: GroupAcc| {
+                for ((slot, a), b) in slots.iter().zip(acc.iter_mut()).zip(other) {
+                    if let Err(e) = slot.merge(a, b) {
+                        errors.lock().push(e.to_string());
+                    }
+                }
+            }
+        };
+        // Evaluate one row's key and slot values; `None` records the error
+        // and drops the row (the recorded error fails the query afterwards,
+        // exactly as the materialized pair-emission sweep behaves).
+        let row_values = {
+            let (ctx, errors) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
+            let (key_rx, slot_rxs) = (Arc::clone(&key_rx), Arc::clone(&slot_rxs));
+            move |env: &RowEnv| -> Option<(Value, Vec<Value>)> {
+                let k = match key_rx.eval_env(env, &ctx) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        errors.lock().push(e.to_string());
+                        return None;
+                    }
+                };
+                let mut vals = Vec::with_capacity(slot_rxs.len());
+                for rx in slot_rxs.iter() {
+                    match rx.eval_env(env, &ctx) {
+                        Ok(v) => vals.push(v),
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            return None;
+                        }
+                    }
+                }
+                Some((k, vals))
+            }
+        };
+        // The finish environment of one group, in `finish_scope` layout.
+        let finish_env = {
+            let (slots, finish_scope) = (Arc::clone(&slots), Arc::clone(&finish_scope));
+            move |key: Value, accs: GroupAcc| -> RowEnv {
+                let mut env: RowEnv = Vec::with_capacity(1 + slots.len());
+                env.push((finish_scope[0].clone(), key));
+                for ((slot, acc), name) in slots.iter().zip(accs).zip(&finish_scope[1..]) {
+                    env.push((name.clone(), slot.finish(acc)));
+                }
+                env
+            }
+        };
+        let pred = {
+            let (ctx, errs) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
+            let pred_rxs = pred_rxs.clone();
+            move |env: &RowEnv| passes(&pred_rxs, env, &ctx, &errs)
+        };
+
+        if keeps_groups {
+            // ---- Group-keeping (FD) two-phase execution ----
+            // Phase 1: fold per-partition key→accumulator maps where the
+            // rows sit; nothing but the maps' merge moves.
+            let probe = {
+                let row_values = row_values.clone();
+                let (init, fold) = (init.clone(), fold.clone());
+                let pred = pred.clone();
+                move |map: &mut FxHashMap<Value, GroupAcc>, env: &RowEnv| {
+                    if !pred(env) {
+                        return;
+                    }
+                    let Some((k, vals)) = row_values(env) else {
+                        return;
+                    };
+                    let mut fold_one = |kk: Value, vals: Vec<Value>| {
+                        fold(map.entry(kk).or_insert_with(&init), vals);
+                    };
+                    match k {
+                        Value::List(keys) => {
+                            for kk in keys.iter() {
+                                fold_one(kk.clone(), vals.clone());
+                            }
+                        }
+                        scalar => fold_one(scalar, vals),
+                    }
+                }
+            };
+            let partial_maps = ds.fold_partitions("group_fold_probe", FxHashMap::default, probe);
+            let merged = merge_tree(ds.context(), partial_maps, |mut a, b| {
+                for (k, accs) in b {
+                    match a.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            merge_accs(e.get_mut(), accs)
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(accs);
+                        }
+                    }
+                }
+                a
+            })
+            .unwrap_or_default();
+            self.check_errors()?;
+
+            // Decide the passing keys from the folded accumulators.
+            let mut passing: FxHashSet<Value> = FxHashSet::default();
+            for (k, accs) in merged {
+                let env = finish_env(k.clone(), accs);
+                let mut keep = true;
+                for rx in &finish_preds {
+                    match rx.eval_env(&env, &eval_ctx) {
+                        Ok(v) => {
+                            if !truthy(&v) {
+                                keep = false;
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            keep = false;
+                            break;
+                        }
+                    }
+                }
+                if keep {
+                    passing.insert(k);
+                }
+            }
+            self.check_errors()?;
+            if passing.is_empty() {
+                self.book_fold_phase(pred_similarity, start);
+                return Ok(Vec::new());
+            }
+
+            // Phase 2: materialize only the passing keys' groups — the
+            // shuffle sees violating rows alone.
+            let passing = Arc::new(passing);
+            let item_rx = self.row_expr(item, &scope);
+            let emit = {
+                let (ctx, errors) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
+                let key_rx = Arc::clone(&key_rx);
+                move |env: RowEnv, out: &mut Vec<(Value, Value)>| {
+                    let k = match key_rx.eval_env(&env, &ctx) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            return;
+                        }
+                    };
+                    let keys: Vec<Value> = match k {
+                        Value::List(keys) => keys
+                            .iter()
+                            .filter(|kk| passing.contains(kk))
+                            .cloned()
+                            .collect(),
+                        scalar if passing.contains(&scalar) => vec![scalar],
+                        _ => return,
+                    };
+                    if keys.is_empty() {
+                        return;
+                    }
+                    let it = match item_rx.eval_env(&env, &ctx) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            return;
+                        }
+                    };
+                    let mut keys = keys;
+                    let last = keys.pop().expect("non-empty");
+                    for kk in keys {
+                        out.push((kk, it.clone()));
+                    }
+                    out.push((last, it));
+                }
+            };
+            let pairs: Dataset<(Value, Value)> =
+                ds.filter_transform("group_fold_materialize", pred, emit);
+            self.check_errors()?;
+            let grouped: Dataset<(Value, Vec<Value>)> = match strategy {
+                NestStrategy::LocalAggregate => pairs.group_by_key_local(),
+                NestStrategy::SortShuffle => pairs.group_by_key_sorted(),
+                NestStrategy::HashShuffle => pairs.group_by_key_hash(),
+            };
+            let outputs: Vec<Value> = grouped
+                .map(|(k, members)| {
+                    Value::record([("key", k), ("partition", Value::list(members))])
+                })
+                .collect();
+            self.book_fold_phase(pred_similarity, start);
+            return Ok(outputs);
+        }
+
+        // ---- Grouped-aggregate execution: fold, then finish per group ----
+        let emit = {
+            let row_values = row_values.clone();
+            move |env: RowEnv, out: &mut Vec<(Value, Vec<Value>)>| {
+                let Some((k, vals)) = row_values(&env) else {
+                    return;
+                };
+                match k {
+                    Value::List(keys) => {
+                        out.extend(keys.iter().map(|kk| (kk.clone(), vals.clone())))
+                    }
+                    scalar => out.push((scalar, vals)),
+                }
+            }
+        };
+        let grouped: Dataset<(Value, GroupAcc)> = match strategy {
+            NestStrategy::LocalAggregate => {
+                ds.group_fold("group_fold", pred, emit, init, fold, merge_accs)
+            }
+            NestStrategy::HashShuffle => {
+                ds.group_fold_hash("group_fold_hash", pred, emit, init, fold)
+            }
+            NestStrategy::SortShuffle => {
+                ds.group_fold_sorted("group_fold_sorted", pred, emit, init, fold)
+            }
+        };
+        self.check_errors()?;
+        let head_rx = finish_head.expect("aggregate shape has a head");
+        let finish = {
+            let (ctx, errors) = (Arc::clone(&eval_ctx), Arc::clone(&errors));
+            move |(k, accs): (Value, GroupAcc), out: &mut Vec<Value>| {
+                let env = finish_env(k, accs);
+                for rx in &finish_preds {
+                    match rx.eval_env(&env, &ctx) {
+                        Ok(v) => {
+                            if !truthy(&v) {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            errors.lock().push(e.to_string());
+                            return;
+                        }
+                    }
+                }
+                match head_rx.eval_env(&env, &ctx) {
+                    Ok(v) => out.push(v),
+                    Err(e) => errors.lock().push(e.to_string()),
+                }
+            }
+        };
+        let outputs: Vec<Value> = grouped
+            .filter_transform("group_finish", |_| true, finish)
+            .collect();
+        self.check_errors()?;
+        self.book_fold_phase(pred_similarity, start);
+        Ok(outputs)
+    }
+
+    /// Phase attribution for a fold sweep: as in the materialized path, a
+    /// fused similarity predicate's cost books under the similarity phase
+    /// even though its pass merged into the grouping sweep.
+    fn book_fold_phase(&mut self, pred_similarity: bool, start: Instant) {
+        if pred_similarity {
+            self.timings.similarity += start.elapsed();
+        } else {
+            self.timings.grouping += start.elapsed();
+        }
     }
 
     fn check_errors(&self) -> ExecResult<()> {
@@ -980,7 +1405,7 @@ impl<'a> Executor<'a> {
 /// without the generic monoid dispatch. Semantics are identical;
 /// `merge_values` remains the fallback (and the reference) for every other
 /// case.
-fn merge_scalar(m: &MonoidKind, acc: Value, v: Value) -> cleanm_values::Result<Value> {
+pub(crate) fn merge_scalar(m: &MonoidKind, acc: Value, v: Value) -> cleanm_values::Result<Value> {
     if matches!(m, MonoidKind::Sum) {
         match (&acc, &v) {
             (Value::Int(a), Value::Int(b)) => return Ok(Value::Int(a.wrapping_add(*b))),

@@ -1,0 +1,546 @@
+//! Fold-shape analysis for grouped consumers: when everything above a
+//! `Nest` consumes the group variable only through monoid reductions, the
+//! executor can skip `(key, Vec<member>)` materialization entirely and fold
+//! each row straight into per-key accumulators (the streaming grouped
+//! aggregation of the paper's monoid framing — a group *is* a fold).
+//!
+//! Two recognized consumer families:
+//!
+//! * **Grouped aggregates** ([`AggFoldShape`]) — the Reduce head (and any
+//!   HAVING-style Selects between Reduce and Nest) reference the group
+//!   only via `g.key` and aggregate comprehensions over `g.partition`
+//!   (`Sum/Prod/Min/Max/Any/All`, `count_distinct(bag{…})`,
+//!   `avg(bag{…})`). The whole consumer compiles to a fused group-fold
+//!   program: one *key* program and one composed *item* program per
+//!   aggregate slot evaluated per input row, per-key accumulator folds, a
+//!   mergeable partial per key, and a *finish* program that rebuilds the
+//!   head over the accumulated slot values.
+//! * **Group filters** ([`AggFoldShape`] with [`AggFoldShape::keeps_groups`])
+//!   — the head is the group variable itself (the FD shape: violating
+//!   groups are the output) while the predicates are all aggregate-foldable.
+//!   Phase one folds only the tiny accumulators (for FD's
+//!   `count_distinct(…) > 1`, a distinct-RHS set capped at two values) and
+//!   decides which keys pass; phase two materializes only those keys'
+//!   groups — non-violating rows never shuffle.
+//!
+//! DEDUP's pairwise comparison and CLUSTER BY genuinely consume members
+//! (`Unnest` over `g.partition`), so their plans never match and keep the
+//! materialized path.
+
+use cleanm_values::{FxHashSet, Value};
+
+use crate::calculus::eval::merge_values;
+use crate::calculus::subst::{free_vars, substitute};
+use crate::calculus::{CalcExpr, Comprehension, Func, MonoidKind, Qual};
+
+/// The variable the group key is bound to in finish-program scope.
+pub(crate) const KEY_SLOT_VAR: &str = "__gkey";
+
+/// The finish-scope variable of aggregate slot `i`.
+pub(crate) fn agg_slot_var(i: usize) -> String {
+    format!("__agg{i}")
+}
+
+/// What one aggregate slot accumulates.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum AggKind {
+    /// A primitive-monoid fold (`Sum{h(x) | x ← g.partition}` …).
+    Monoid(MonoidKind),
+    /// `count_distinct(bag{h(x) | x ← g.partition})`: the distinct set of
+    /// head values, finished to its size. `cap` bounds the set when every
+    /// consumer only tests `count > k` (the FD shape): beyond `cap`
+    /// distinct values the verdict cannot change, so the accumulator stays
+    /// O(1) per group.
+    CountDistinct { cap: Option<usize> },
+    /// `avg(bag{h(x) | x ← g.partition})`: running (sum, non-null count),
+    /// finished to `sum / n` (NULL for an empty/all-null group) — the
+    /// reference [`Func::Avg`] semantics.
+    Avg,
+}
+
+/// One aggregate reduction a grouped consumer performs per group.
+#[derive(Debug, Clone)]
+pub(crate) struct AggSlot {
+    pub kind: AggKind,
+    /// The aggregate's member-head expression with the member variable
+    /// substituted by the Nest's item expression — i.e. composed down to
+    /// the *producer's* row scope, so folding evaluates one compiled
+    /// program per row with no member environment in between.
+    pub row_expr: CalcExpr,
+}
+
+/// A grouped consumer recognized as fully foldable.
+#[derive(Debug, Clone)]
+pub(crate) struct AggFoldShape {
+    /// The aggregate slots, in discovery order.
+    pub slots: Vec<AggSlot>,
+    /// Group-level predicates (Selects between Reduce and Nest), rewritten
+    /// over the finish scope, in evaluation order.
+    pub preds: Vec<CalcExpr>,
+    /// The Reduce head rewritten over the finish scope; `None` when the
+    /// head is the group variable itself (the output keeps whole groups).
+    pub head: Option<CalcExpr>,
+    /// Finish-program scope: `__gkey` then one `__agg{i}` per slot.
+    pub scope: Vec<String>,
+}
+
+impl AggFoldShape {
+    /// Does the output keep the `{key, partition}` groups themselves
+    /// (two-phase execution: fold first, materialize only passing keys)?
+    pub fn keeps_groups(&self) -> bool {
+        self.head.is_none()
+    }
+}
+
+/// Try to recognize the consumer side of a grouped plan: the Reduce `head`
+/// plus the `preds` of any Selects between Reduce and Nest, all over
+/// `group_var`, with group members produced by the Nest's `item`
+/// expression binding `member uses` through comprehension variables.
+///
+/// Returns `None` when any use of the group variable falls outside the
+/// foldable forms — the caller keeps the materialized path.
+pub(crate) fn recognize(
+    group_var: &str,
+    item: &CalcExpr,
+    head: &CalcExpr,
+    preds: &[&CalcExpr],
+) -> Option<AggFoldShape> {
+    let mut rw = Rewriter {
+        group_var,
+        item,
+        slots: Vec::new(),
+    };
+    let head = match head {
+        // The FD family: the head is the group itself; only the
+        // predicates must fold.
+        CalcExpr::Var(v) if v == group_var => None,
+        other => Some(rw.rewrite(other)?),
+    };
+    let preds: Vec<CalcExpr> = preds.iter().map(|p| rw.rewrite(p)).collect::<Option<_>>()?;
+    if head.is_none() && rw.slots.is_empty() {
+        // A bare `Reduce{g | g ← Nest}` with no group predicate has
+        // nothing to fold — the materialized path is already minimal.
+        return None;
+    }
+    let mut slots = rw.slots;
+    apply_distinct_caps(&mut slots, head.as_ref(), &preds);
+    let mut scope = vec![KEY_SLOT_VAR.to_string()];
+    scope.extend((0..slots.len()).map(agg_slot_var));
+    Some(AggFoldShape {
+        slots,
+        preds,
+        head,
+        scope,
+    })
+}
+
+struct Rewriter<'a> {
+    group_var: &'a str,
+    item: &'a CalcExpr,
+    slots: Vec<AggSlot>,
+}
+
+impl Rewriter<'_> {
+    /// Rewrite `e` over the finish scope, extracting aggregate slots.
+    /// `None` when the group variable is used outside a foldable form.
+    fn rewrite(&mut self, e: &CalcExpr) -> Option<CalcExpr> {
+        // Aggregate forms first: they swallow the `g.partition` reference.
+        if let Some((kind, member_var, member_head)) = self.match_aggregate(e) {
+            let row_expr = compose_member(&member_head, &member_var, self.item)?;
+            // Identical aggregates share one slot (e.g. `sum(x)/count(*)`
+            // next to `HAVING count(*) > 1`).
+            let slot = AggSlot { kind, row_expr };
+            let idx = match self
+                .slots
+                .iter()
+                .position(|s| s.kind == slot.kind && s.row_expr == slot.row_expr)
+            {
+                Some(i) => i,
+                None => {
+                    self.slots.push(slot);
+                    self.slots.len() - 1
+                }
+            };
+            return Some(CalcExpr::Var(agg_slot_var(idx)));
+        }
+        match e {
+            CalcExpr::Proj(base, field)
+                if field == "key" && matches!(&**base, CalcExpr::Var(v) if v == self.group_var) =>
+            {
+                Some(CalcExpr::var(KEY_SLOT_VAR))
+            }
+            // Any other reach into the group (bare `g`, `g.partition`
+            // outside an aggregate) is not foldable.
+            _ if mentions_var(e, self.group_var) => match e {
+                CalcExpr::Record(fields) => Some(CalcExpr::Record(
+                    fields
+                        .iter()
+                        .map(|(n, f)| Some((n.clone(), self.rewrite(f)?)))
+                        .collect::<Option<_>>()?,
+                )),
+                CalcExpr::Proj(base, f) => {
+                    Some(CalcExpr::Proj(Box::new(self.rewrite(base)?), f.clone()))
+                }
+                CalcExpr::BinOp(op, l, r) => Some(CalcExpr::BinOp(
+                    *op,
+                    Box::new(self.rewrite(l)?),
+                    Box::new(self.rewrite(r)?),
+                )),
+                CalcExpr::Not(x) => Some(CalcExpr::Not(Box::new(self.rewrite(x)?))),
+                CalcExpr::If(c, t, f) => Some(CalcExpr::If(
+                    Box::new(self.rewrite(c)?),
+                    Box::new(self.rewrite(t)?),
+                    Box::new(self.rewrite(f)?),
+                )),
+                CalcExpr::Call(func, args) => Some(CalcExpr::Call(
+                    func.clone(),
+                    args.iter()
+                        .map(|a| self.rewrite(a))
+                        .collect::<Option<_>>()?,
+                )),
+                // Vars (= bare g), comprehensions, merges, exists over the
+                // group: give up.
+                _ => None,
+            },
+            // Group-free subtrees pass through untouched.
+            _ => Some(e.clone()),
+        }
+    }
+
+    /// Match one aggregate form over `g.partition`, returning the slot
+    /// kind, the member variable, and the member-head expression.
+    fn match_aggregate(&self, e: &CalcExpr) -> Option<(AggKind, String, CalcExpr)> {
+        match e {
+            CalcExpr::Comp(c) => {
+                let (var, head) = self.partition_comp(c)?;
+                match c.monoid {
+                    MonoidKind::Sum
+                    | MonoidKind::Prod
+                    | MonoidKind::Min
+                    | MonoidKind::Max
+                    | MonoidKind::Any
+                    | MonoidKind::All => Some((AggKind::Monoid(c.monoid.clone()), var, head)),
+                    _ => None,
+                }
+            }
+            CalcExpr::Call(Func::CountDistinct, args) => {
+                let [CalcExpr::Comp(c)] = args.as_slice() else {
+                    return None;
+                };
+                if c.monoid != MonoidKind::Bag {
+                    return None;
+                }
+                let (var, head) = self.partition_comp(c)?;
+                Some((AggKind::CountDistinct { cap: None }, var, head))
+            }
+            CalcExpr::Call(Func::Avg, args) => {
+                let [CalcExpr::Comp(c)] = args.as_slice() else {
+                    return None;
+                };
+                if c.monoid != MonoidKind::Bag {
+                    return None;
+                }
+                let (var, head) = self.partition_comp(c)?;
+                Some((AggKind::Avg, var, head))
+            }
+            _ => None,
+        }
+    }
+
+    /// A comprehension whose single qualifier generates over
+    /// `g.partition`, with a member head referencing only the member
+    /// variable — the shape `⊕{h(x) | x ← g.partition}`.
+    fn partition_comp(&self, c: &Comprehension) -> Option<(String, CalcExpr)> {
+        let [Qual::Gen(var, source)] = c.quals.as_slice() else {
+            return None;
+        };
+        let CalcExpr::Proj(base, field) = source else {
+            return None;
+        };
+        if field != "partition" || !matches!(&**base, CalcExpr::Var(v) if v == self.group_var) {
+            return None;
+        }
+        let head = (*c.head).clone();
+        let mut frees = free_vars(&head);
+        frees.remove(var);
+        if !frees.is_empty() {
+            return None; // head reaches outside the member (e.g. back to g)
+        }
+        Some((var.clone(), head))
+    }
+}
+
+/// Compose a member-head expression down to the producer's row scope by
+/// substituting the Nest's item expression for the member variable.
+fn compose_member(head: &CalcExpr, member_var: &str, item: &CalcExpr) -> Option<CalcExpr> {
+    Some(substitute(head, member_var, item))
+}
+
+fn mentions_var(e: &CalcExpr, var: &str) -> bool {
+    free_vars(e).contains(var)
+}
+
+/// Bound the distinct sets of `count_distinct` slots whose value is only
+/// ever compared as `count > k` (with constant integer `k`): past `k + 1`
+/// distinct values the comparison cannot change, so the accumulator need
+/// not grow further. This is what keeps the FD fold O(1) per group —
+/// `count_distinct(rhs) > 1` caps the set at two values.
+fn apply_distinct_caps(slots: &mut [AggSlot], head: Option<&CalcExpr>, preds: &[CalcExpr]) {
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let AggKind::CountDistinct { cap } = &mut slot.kind else {
+            continue;
+        };
+        let var = agg_slot_var(i);
+        let mut max_k: Option<i64> = Some(-1);
+        let mut scan = |e: &CalcExpr| scan_uses(e, &var, &mut max_k);
+        if let Some(h) = head {
+            scan(h);
+        }
+        for p in preds {
+            scan(p);
+        }
+        if let Some(k) = max_k {
+            if (0..=64).contains(&k) {
+                *cap = Some(k as usize + 1);
+            }
+        }
+    }
+}
+
+/// Walk `e` looking at every use of `var`: a use inside
+/// `var > Const(Int(k))` raises the running bound, any other use clears it
+/// (the exact count is observable, so no cap is sound).
+fn scan_uses(e: &CalcExpr, var: &str, max_k: &mut Option<i64>) {
+    if let CalcExpr::BinOp(crate::calculus::BinOp::Gt, l, r) = e {
+        if let (CalcExpr::Var(v), CalcExpr::Const(Value::Int(k))) = (&**l, &**r) {
+            if v == var {
+                if let Some(m) = max_k {
+                    *m = (*m).max(*k);
+                }
+                return;
+            }
+        }
+    }
+    if let CalcExpr::Var(v) = e {
+        if v == var {
+            *max_k = None; // observed outside the capped comparison
+            return;
+        }
+    }
+    e.for_each_child(&mut |child| scan_uses(child, var, max_k));
+}
+
+// ---------------------------------------------------------------------
+// Accumulators
+// ---------------------------------------------------------------------
+
+/// One group's accumulator vector — `Data`-compatible so it can ride
+/// through the runtime's fold drivers and shuffles.
+pub(crate) type GroupAcc = Vec<SlotAcc>;
+
+/// The running state of one aggregate slot.
+#[derive(Debug, Clone)]
+pub(crate) enum SlotAcc {
+    /// A primitive monoid value (starts at the monoid's zero).
+    Monoid(Value),
+    /// Distinct head values, optionally capped (see
+    /// [`AggKind::CountDistinct`]).
+    Distinct(FxHashSet<Value>),
+    /// Running sum and non-null count for `avg`.
+    Avg { sum: f64, n: u64 },
+}
+
+impl AggSlot {
+    /// The slot's fold identity.
+    pub fn zero(&self) -> SlotAcc {
+        match &self.kind {
+            AggKind::Monoid(m) => SlotAcc::Monoid(m.zero()),
+            AggKind::CountDistinct { .. } => SlotAcc::Distinct(FxHashSet::default()),
+            AggKind::Avg => SlotAcc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    /// Absorb one member's head value.
+    pub fn fold(&self, acc: &mut SlotAcc, v: Value) -> cleanm_values::Result<()> {
+        match (&self.kind, acc) {
+            (AggKind::Monoid(m), SlotAcc::Monoid(a)) => {
+                *a = super::execute::merge_scalar(m, std::mem::take(a), v)?;
+            }
+            (AggKind::CountDistinct { cap }, SlotAcc::Distinct(set)) => {
+                if cap.is_none_or(|c| set.len() < c) {
+                    set.insert(v);
+                }
+            }
+            (AggKind::Avg, SlotAcc::Avg { sum, n }) => {
+                if !v.is_null() {
+                    *sum += v.as_float()?;
+                    *n += 1;
+                }
+            }
+            _ => unreachable!("slot/accumulator kinds diverged"),
+        }
+        Ok(())
+    }
+
+    /// Merge another partial into `acc` (both produced by this slot).
+    pub fn merge(&self, acc: &mut SlotAcc, other: SlotAcc) -> cleanm_values::Result<()> {
+        match (&self.kind, acc, other) {
+            (AggKind::Monoid(m), SlotAcc::Monoid(a), SlotAcc::Monoid(b)) => {
+                *a = merge_values(m, std::mem::take(a), b)?;
+            }
+            (AggKind::CountDistinct { cap }, SlotAcc::Distinct(set), SlotAcc::Distinct(other)) => {
+                for v in other {
+                    if cap.is_none_or(|c| set.len() < c) {
+                        set.insert(v);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            (AggKind::Avg, SlotAcc::Avg { sum, n }, SlotAcc::Avg { sum: s2, n: n2 }) => {
+                *sum += s2;
+                *n += n2;
+            }
+            _ => unreachable!("slot/accumulator kinds diverged"),
+        }
+        Ok(())
+    }
+
+    /// Finish the accumulator into the value the rewritten consumer sees.
+    pub fn finish(&self, acc: SlotAcc) -> Value {
+        match acc {
+            SlotAcc::Monoid(v) => v,
+            SlotAcc::Distinct(set) => Value::Int(set.len() as i64),
+            SlotAcc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calculus::BinOp;
+
+    fn partition_comp(m: MonoidKind, head: CalcExpr) -> CalcExpr {
+        CalcExpr::comp(
+            m,
+            head,
+            vec![Qual::Gen(
+                "x0".into(),
+                CalcExpr::proj(CalcExpr::var("g"), "partition"),
+            )],
+        )
+    }
+
+    fn fd_pred() -> CalcExpr {
+        CalcExpr::bin(
+            BinOp::Gt,
+            CalcExpr::call(
+                Func::CountDistinct,
+                vec![partition_comp(
+                    MonoidKind::Bag,
+                    CalcExpr::proj(CalcExpr::var("x0"), "nationkey"),
+                )],
+            ),
+            CalcExpr::int(1),
+        )
+    }
+
+    #[test]
+    fn fd_consumer_recognized_with_capped_distinct() {
+        let pred = fd_pred();
+        let shape =
+            recognize("g", &CalcExpr::var("d"), &CalcExpr::var("g"), &[&pred]).expect("FD folds");
+        assert!(shape.keeps_groups());
+        assert_eq!(shape.slots.len(), 1);
+        assert_eq!(
+            shape.slots[0].kind,
+            AggKind::CountDistinct { cap: Some(2) },
+            "count_distinct > 1 needs at most two witnesses"
+        );
+        // The member head composed down to the scan variable.
+        assert_eq!(
+            shape.slots[0].row_expr,
+            CalcExpr::proj(CalcExpr::var("d"), "nationkey")
+        );
+    }
+
+    #[test]
+    fn group_by_aggregate_head_recognized() {
+        // SELECT g.key, count(*), avg(x.acctbal) … shapes.
+        let head = CalcExpr::Record(vec![
+            ("addr".into(), CalcExpr::proj(CalcExpr::var("g"), "key")),
+            (
+                "n".into(),
+                partition_comp(MonoidKind::Sum, CalcExpr::int(1)),
+            ),
+            (
+                "bal".into(),
+                CalcExpr::call(
+                    Func::Avg,
+                    vec![partition_comp(
+                        MonoidKind::Bag,
+                        CalcExpr::proj(CalcExpr::var("x0"), "acctbal"),
+                    )],
+                ),
+            ),
+        ]);
+        let shape = recognize("g", &CalcExpr::var("d"), &head, &[]).expect("aggregate head folds");
+        assert!(!shape.keeps_groups());
+        assert_eq!(shape.slots.len(), 2);
+        assert_eq!(shape.scope, vec!["__gkey", "__agg0", "__agg1"]);
+        let rewritten = shape.head.unwrap();
+        let CalcExpr::Record(fields) = rewritten else {
+            panic!("head stays a record");
+        };
+        assert_eq!(fields[0].1, CalcExpr::var(KEY_SLOT_VAR));
+        assert_eq!(fields[1].1, CalcExpr::var("__agg0"));
+    }
+
+    #[test]
+    fn identical_aggregates_share_a_slot() {
+        let count = partition_comp(MonoidKind::Sum, CalcExpr::int(1));
+        let head = CalcExpr::Record(vec![("n".into(), count.clone())]);
+        let having = CalcExpr::bin(BinOp::Gt, count, CalcExpr::int(1));
+        let shape = recognize("g", &CalcExpr::var("d"), &head, &[&having]).unwrap();
+        assert_eq!(shape.slots.len(), 1, "count(*) appears once");
+        // Observed in the head too: the cap must stay off.
+        assert_eq!(shape.slots[0].kind, AggKind::Monoid(MonoidKind::Sum));
+    }
+
+    #[test]
+    fn member_reaching_consumers_are_rejected() {
+        // DEDUP-style: the head carries the group itself inside a record.
+        let head = CalcExpr::Record(vec![("g".into(), CalcExpr::var("g"))]);
+        assert!(recognize("g", &CalcExpr::var("d"), &head, &[]).is_none());
+        // A predicate over the raw partition list.
+        let pred = CalcExpr::call(
+            Func::Count,
+            vec![CalcExpr::proj(CalcExpr::var("g"), "partition")],
+        );
+        assert!(recognize("g", &CalcExpr::var("d"), &CalcExpr::var("g"), &[&pred]).is_none());
+    }
+
+    #[test]
+    fn distinct_cap_cleared_when_count_is_observable() {
+        // The exact distinct count is projected out: no cap is sound.
+        let head = CalcExpr::Record(vec![(
+            "d".into(),
+            CalcExpr::call(
+                Func::CountDistinct,
+                vec![partition_comp(
+                    MonoidKind::Bag,
+                    CalcExpr::proj(CalcExpr::var("x0"), "nationkey"),
+                )],
+            ),
+        )]);
+        let shape = recognize("g", &CalcExpr::var("d"), &head, &[]).unwrap();
+        assert_eq!(shape.slots[0].kind, AggKind::CountDistinct { cap: None });
+    }
+}

@@ -9,6 +9,7 @@
 //! differences are attributable to exactly the paper's claims.
 
 pub mod execute;
+mod groupfold;
 pub mod profile;
 pub mod program;
 

@@ -52,6 +52,17 @@ pub struct EngineProfile {
     /// code-generating backend performs. Baselines keep the operator-at-a-
     /// time execution their systems exhibit.
     pub fuse_selects: bool,
+    /// Compile grouped consumers into streaming fold-into-hash grouping:
+    /// when every use of a Nest's group variable is a monoid reduction
+    /// (counts, sums, min/max, FD distinct-RHS tests), the executor folds
+    /// values straight into per-key accumulators instead of materializing
+    /// `(key, Vec<value>)` groups, and only `(key, partial)` pairs cross
+    /// the shuffle. The §5 monoid-comprehension fusion applied to the wide
+    /// operator; baselines keep the materialize-then-reduce execution their
+    /// systems exhibit. Consumers that genuinely need the members (DEDUP
+    /// pairwise comparison, CLUSTER BY) keep the materialized path either
+    /// way.
+    pub fold_groups: bool,
     /// Cost-based mode: `nest`/`theta` above are only *defaults*, and the
     /// executor re-decides the strategy per plan node from the session's
     /// [`cleanm_stats::TableStats`] (group cardinality and skew for Nest,
@@ -70,6 +81,7 @@ impl EngineProfile {
             share_plans: true,
             push_selective_filters: true,
             fuse_selects: true,
+            fold_groups: true,
             adaptive: false,
         }
     }
@@ -83,6 +95,7 @@ impl EngineProfile {
             share_plans: false,
             push_selective_filters: false,
             fuse_selects: false,
+            fold_groups: false,
             adaptive: false,
         }
     }
@@ -96,6 +109,7 @@ impl EngineProfile {
             share_plans: false,
             push_selective_filters: false,
             fuse_selects: false,
+            fold_groups: false,
             adaptive: false,
         }
     }
@@ -113,6 +127,7 @@ impl EngineProfile {
             share_plans: true,
             push_selective_filters: true,
             fuse_selects: true,
+            fold_groups: true,
             adaptive: true,
         }
     }

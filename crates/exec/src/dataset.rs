@@ -93,6 +93,13 @@ impl<T: Data> Dataset<T> {
         self.parts.iter().map(|p| p.len()).collect()
     }
 
+    /// Gather the partitions themselves, preserving partition structure —
+    /// for callers that assert on the physical layout (shuffle determinism
+    /// tests, skew reports).
+    pub fn collect_partitions(self) -> Vec<Vec<T>> {
+        self.parts
+    }
+
     /// Gather all records to the "driver", preserving partition order.
     pub fn collect(self) -> Vec<T> {
         let mut out = Vec::with_capacity(self.count());
@@ -288,6 +295,40 @@ impl<T: Data> Dataset<T> {
         self.ctx.charge_shuffle(partials.len() as u64);
         self.ctx.metrics().push_stage(StageReport {
             operator: "summarize_partitions",
+            records_in,
+            records_shuffled: partials.len() as u64,
+            worker_busy_ns: busy,
+        });
+        partials
+    }
+
+    /// Fold each partition into one accumulator (borrowed pass, like
+    /// [`Dataset::summarize_partitions`] but with an explicit fold loop and
+    /// stage label): `fold` absorbs every record of a partition into that
+    /// partition's accumulator, and the per-partition partials are returned
+    /// in partition order for the caller to merge (typically tree-wise on
+    /// the pool via [`merge_tree`]). One shuffled record per partition is
+    /// charged — only the partials travel. This is the discovery half of
+    /// two-phase grouped folds (e.g. finding FD-violating keys before
+    /// materializing only their groups).
+    pub fn fold_partitions<A: Data>(
+        &self,
+        label: &'static str,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, &T) + Sync,
+    ) -> Vec<A> {
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
+        let (partials, busy) = run_partitions(&self.ctx, refs, |_, part| {
+            let mut acc = init();
+            for t in part {
+                fold(&mut acc, t);
+            }
+            acc
+        });
+        self.ctx.charge_shuffle(partials.len() as u64);
+        self.ctx.metrics().push_stage(StageReport {
+            operator: label,
             records_in,
             records_shuffled: partials.len() as u64,
             worker_busy_ns: busy,

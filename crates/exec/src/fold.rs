@@ -1,0 +1,566 @@
+//! Streaming grouped aggregation: fold-into-hash grouping drivers.
+//!
+//! The materializing grouping operators in `shuffle` collect every group as
+//! a `(key, Vec<value>)` item list before anything downstream reduces it.
+//! When the downstream consumer is a monoid fold — counts, sums, min/max,
+//! distinct sets — that materialization is pure overhead: the fold can run
+//! *inside* the grouping hash table, so each value is absorbed into a
+//! per-key accumulator the moment it is produced and only `(key, partial)`
+//! pairs ever exist.
+//!
+//! Three drivers mirror the three shuffle strategies of §6:
+//!
+//! * [`Dataset::aggregate_by_key_fold`] / [`Dataset::group_fold`] —
+//!   CleanDB's map-side combine: fold into per-partition tables, shuffle
+//!   only the partials (shuffle volume ≈ distinct keys per partition),
+//!   merge into per-target tables.
+//! * [`Dataset::group_fold_hash`] — BigDansing's hash shuffle: every pair
+//!   moves, then folds into the target partition's table.
+//! * [`Dataset::group_fold_sorted`] — Spark SQL's sort-based aggregation:
+//!   range-partition on sampled keys, sort, fold adjacent equal-key runs.
+//!
+//! Hashing discipline: a key is hashed **exactly once**, at first contact,
+//! with the seeded fast hasher ([`cleanm_values::fx_hash`]). The 64-bit
+//! hash rides next to the key through the map-side table, the shuffle
+//! target computation, and the merge-side table ([`HashedKey`] +
+//! a pass-through hasher) — no re-hash at any hop.
+//!
+//! Merge order is partition order (scatter concatenates source buckets in
+//! input-partition order and the merge folds them in encounter order), so a
+//! fold that is associative-but-not-commutative over values still sees the
+//! same value order as the materializing path's group lists.
+
+use std::hash::{BuildHasher, Hash, Hasher};
+
+use cleanm_values::{fx_hash, HASH_SEED};
+
+use crate::dataset::{Data, Dataset, Key};
+use crate::metrics::StageReport;
+use crate::pool::run_partitions;
+use crate::shuffle::scatter;
+
+/// A grouping key traveling with its pre-computed seeded hash: equality is
+/// by key, hashing replays the carried 64 bits.
+#[derive(Debug, Clone)]
+struct HashedKey<K> {
+    hash: u64,
+    key: K,
+}
+
+impl<K: Hash> HashedKey<K> {
+    #[inline]
+    fn new(key: K) -> HashedKey<K> {
+        HashedKey {
+            hash: fx_hash(HASH_SEED, &key),
+            key,
+        }
+    }
+
+    /// Shuffle target: the carried hash modulo the partition count —
+    /// identical to `shuffle::hash_partition` without re-hashing the key.
+    #[inline]
+    fn target(&self, partitions: usize) -> usize {
+        (self.hash % partitions as u64) as usize
+    }
+}
+
+impl<K: Eq> PartialEq for HashedKey<K> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash && self.key == other.key
+    }
+}
+
+impl<K: Eq> Eq for HashedKey<K> {}
+
+impl<K> Hash for HashedKey<K> {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+/// Pass-through hasher for [`HashedKey`]-keyed tables: `finish` returns the
+/// carried hash verbatim (it was already avalanche-mixed at creation).
+#[derive(Debug, Default, Clone, Copy)]
+struct CarriedHasher {
+    hash: u64,
+}
+
+impl Hasher for CarriedHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("HashedKey hashes via write_u64 only");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = i;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct CarriedBuild;
+
+impl BuildHasher for CarriedBuild {
+    type Hasher = CarriedHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> CarriedHasher {
+        CarriedHasher::default()
+    }
+}
+
+/// The fold-into-hash grouping table: keyed by [`HashedKey`], indexed by
+/// the carried hash.
+type FoldTable<K, A> = std::collections::HashMap<HashedKey<K>, A, CarriedBuild>;
+
+/// Fold `(hk, v)` into `table`, creating the accumulator on first contact.
+#[inline]
+fn fold_into<K: Key, V, A>(
+    table: &mut FoldTable<K, A>,
+    hk: HashedKey<K>,
+    v: V,
+    init: &(impl Fn() -> A + Sync),
+    fold: &(impl Fn(&mut A, V) + Sync),
+) {
+    match table.entry(hk) {
+        std::collections::hash_map::Entry::Occupied(mut e) => fold(e.get_mut(), v),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            let mut acc = init();
+            fold(&mut acc, v);
+            e.insert(acc);
+        }
+    }
+}
+
+/// Merge `(hk, a)` partials into `table` in encounter order.
+#[inline]
+fn merge_into<K: Key, A>(
+    table: &mut FoldTable<K, A>,
+    hk: HashedKey<K>,
+    a: A,
+    merge: &(impl Fn(&mut A, A) + Sync),
+) {
+    match table.entry(hk) {
+        std::collections::hash_map::Entry::Occupied(mut e) => merge(e.get_mut(), a),
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(a);
+        }
+    }
+}
+
+impl<K: Key, V: Data> Dataset<(K, V)> {
+    /// CleanDB-style streaming grouped aggregation: fold each value into a
+    /// per-partition hash table the moment it arrives (`fold` under a
+    /// per-key accumulator from `init`), shuffle only the `(key, partial)`
+    /// pairs, and `merge` partials per target partition. The group's value
+    /// list is never built; shuffle volume is bounded by distinct keys per
+    /// partition; each key is hashed once.
+    ///
+    /// `fold`/`merge` must together form a monoid over the accumulator
+    /// (merge associative, `init()` its identity).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cleanm_exec::{Dataset, ExecContext};
+    ///
+    /// let ctx = ExecContext::new(2, 4);
+    /// let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 3, 1u64)).collect();
+    /// let mut counts = Dataset::from_vec(&ctx, pairs)
+    ///     .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+    ///     .collect();
+    /// counts.sort();
+    /// assert_eq!(counts, vec![(0, 34), (1, 33), (2, 33)]);
+    /// ```
+    pub fn aggregate_by_key_fold<A: Data>(
+        self,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, V) + Sync,
+        merge: impl Fn(&mut A, A) + Sync,
+    ) -> Dataset<(K, A)> {
+        self.group_fold(
+            "aggregate_by_key_fold",
+            |_| true,
+            |pair, out| out.push(pair),
+            init,
+            fold,
+            merge,
+        )
+    }
+}
+
+impl<T: Data> Dataset<T> {
+    /// The fused filter+group+fold sweep (map-side combine strategy): one
+    /// pass per partition that drops records failing `pred`, lets `emit`
+    /// produce any number of `(key, value)` pairs per survivor, and folds
+    /// each pair straight into the partition's hash table. Only
+    /// `(key, partial)` pairs cross the shuffle; `merge` combines partials
+    /// per target. Neither the filtered intermediate, the pair collection,
+    /// nor any group list is materialized.
+    ///
+    /// One stage is reported under `label`, its `records_shuffled` the
+    /// partial count (≈ distinct keys per input partition).
+    pub fn group_fold<K: Key, V: Data, A: Data>(
+        self,
+        label: &'static str,
+        pred: impl Fn(&T) -> bool + Sync,
+        emit: impl Fn(T, &mut Vec<(K, V)>) + Sync,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, V) + Sync,
+        merge: impl Fn(&mut A, A) + Sync,
+    ) -> Dataset<(K, A)> {
+        let ctx = self.ctx;
+        let n = ctx.default_partitions();
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+
+        // Map-side fold: pairs land in the table as they are emitted.
+        let (combined, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
+            let mut table: FoldTable<K, A> = FoldTable::default();
+            let mut pairs: Vec<(K, V)> = Vec::new();
+            for t in part {
+                if !pred(&t) {
+                    continue;
+                }
+                emit(t, &mut pairs);
+                for (k, v) in pairs.drain(..) {
+                    fold_into(&mut table, HashedKey::new(k), v, &init, &fold);
+                }
+            }
+            table.into_iter().collect::<Vec<_>>()
+        });
+
+        // Only the per-partition partials cross the shuffle, routed by
+        // their carried hashes.
+        let partials: u64 = combined.iter().map(|p| p.len() as u64).sum();
+        ctx.charge_shuffle(partials);
+        let shuffled = scatter(combined, n, |(hk, _): &(HashedKey<K>, A)| hk.target(n));
+        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, part| {
+            let mut table: FoldTable<K, A> = FoldTable::default();
+            table.reserve(part.len());
+            for (hk, a) in part {
+                merge_into(&mut table, hk, a, &merge);
+            }
+            table
+                .into_iter()
+                .map(|(hk, a)| (hk.key, a))
+                .collect::<Vec<_>>()
+        });
+        for (b, b2) in busy.iter_mut().zip(busy2) {
+            *b += b2;
+        }
+        ctx.metrics().push_stage(StageReport {
+            operator: label,
+            records_in,
+            records_shuffled: partials,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Fold-based grouping under the **hash-shuffle** strategy
+    /// (BigDansing): every emitted pair is shuffled to its key's target
+    /// partition (each key hashed once, the hash carried through the
+    /// shuffle), then folded into that partition's table. No map-side
+    /// combine — `records_shuffled` is the full pair count — but the group
+    /// lists are still never materialized.
+    pub fn group_fold_hash<K: Key, V: Data, A: Data>(
+        self,
+        label: &'static str,
+        pred: impl Fn(&T) -> bool + Sync,
+        emit: impl Fn(T, &mut Vec<(K, V)>) + Sync,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, V) + Sync,
+    ) -> Dataset<(K, A)> {
+        let ctx = self.ctx;
+        let n = ctx.default_partitions();
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+
+        let (pair_parts, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
+            let mut out: Vec<(HashedKey<K>, V)> = Vec::with_capacity(part.len());
+            let mut pairs: Vec<(K, V)> = Vec::new();
+            for t in part {
+                if !pred(&t) {
+                    continue;
+                }
+                emit(t, &mut pairs);
+                out.extend(pairs.drain(..).map(|(k, v)| (HashedKey::new(k), v)));
+            }
+            out
+        });
+        let moved: u64 = pair_parts.iter().map(|p| p.len() as u64).sum();
+        ctx.charge_shuffle(moved);
+        let shuffled = scatter(pair_parts, n, |(hk, _): &(HashedKey<K>, V)| hk.target(n));
+        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, part| {
+            let mut table: FoldTable<K, A> = FoldTable::default();
+            for (hk, v) in part {
+                fold_into(&mut table, hk, v, &init, &fold);
+            }
+            table
+                .into_iter()
+                .map(|(hk, a)| (hk.key, a))
+                .collect::<Vec<_>>()
+        });
+        for (b, b2) in busy.iter_mut().zip(busy2) {
+            *b += b2;
+        }
+        ctx.metrics().push_stage(StageReport {
+            operator: label,
+            records_in,
+            records_shuffled: moved,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+
+    /// Fold-based grouping under the **sort-shuffle** strategy (Spark SQL):
+    /// emitted pairs are range-partitioned on sampled key quantiles, each
+    /// partition sorts, and adjacent equal-key runs fold into one
+    /// accumulator as the sweep passes them. All pairs move (and a heavy
+    /// key still lands whole on one partition — the skew pathology stays
+    /// observable), but no group list is built and keys are never hashed.
+    pub fn group_fold_sorted<K: Key, V: Data, A: Data>(
+        self,
+        label: &'static str,
+        pred: impl Fn(&T) -> bool + Sync,
+        emit: impl Fn(T, &mut Vec<(K, V)>) + Sync,
+        init: impl Fn() -> A + Sync,
+        fold: impl Fn(&mut A, V) + Sync,
+    ) -> Dataset<(K, A)> {
+        let ctx = self.ctx;
+        let n = ctx.default_partitions();
+        let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+
+        let (pair_parts, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
+            let mut out: Vec<(K, V)> = Vec::with_capacity(part.len());
+            let mut pairs: Vec<(K, V)> = Vec::new();
+            for t in part {
+                if !pred(&t) {
+                    continue;
+                }
+                emit(t, &mut pairs);
+                out.append(&mut pairs);
+            }
+            out
+        });
+        let moved: u64 = pair_parts.iter().map(|p| p.len() as u64).sum();
+        ctx.charge_shuffle(moved);
+
+        // Sample up to ~16 keys per partition for range boundaries (the
+        // same policy as the materializing sort shuffle).
+        let mut sample: Vec<K> = Vec::new();
+        for part in &pair_parts {
+            let stride = (part.len() / 16).max(1);
+            sample.extend(part.iter().step_by(stride).map(|(k, _)| k.clone()));
+        }
+        sample.sort();
+        let bounds: Vec<K> = (1..n)
+            .filter_map(|i| sample.get(i * sample.len() / n).cloned())
+            .collect();
+
+        let shuffled = scatter(pair_parts, n, |(k, _): &(K, V)| {
+            bounds.partition_point(|b| b <= k)
+        });
+        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, mut part| {
+            part.sort_by(|(a, _), (b, _)| a.cmp(b));
+            let mut out: Vec<(K, A)> = Vec::new();
+            for (k, v) in part {
+                match out.last_mut() {
+                    Some((lk, acc)) if *lk == k => fold(acc, v),
+                    _ => {
+                        let mut acc = init();
+                        fold(&mut acc, v);
+                        out.push((k, acc));
+                    }
+                }
+            }
+            out
+        });
+        for (b, b2) in busy.iter_mut().zip(busy2) {
+            *b += b2;
+        }
+        ctx.metrics().push_stage(StageReport {
+            operator: label,
+            records_in,
+            records_shuffled: moved,
+            worker_busy_ns: busy,
+        });
+        Dataset { ctx, parts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn ctx() -> Arc<ExecContext> {
+        ExecContext::new(4, 4)
+    }
+
+    fn pairs() -> Vec<(u32, u64)> {
+        (0..1000).map(|i| (i % 7, i as u64)).collect()
+    }
+
+    fn expected_sums() -> BTreeMap<u32, u64> {
+        let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+        for (k, v) in pairs() {
+            *m.entry(k).or_default() += v;
+        }
+        m
+    }
+
+    #[test]
+    fn fold_matches_materialize_then_reduce() {
+        let c = ctx();
+        let folded: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
+            .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .collect()
+            .into_iter()
+            .collect();
+        let materialized: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
+            .group_by_key_local()
+            .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
+            .collect()
+            .into_iter()
+            .collect();
+        assert_eq!(folded, expected_sums());
+        assert_eq!(folded, materialized);
+    }
+
+    #[test]
+    fn all_three_fold_strategies_agree() {
+        let c = ctx();
+        let emit = |pair: (u32, u64), out: &mut Vec<(u32, u64)>| out.push(pair);
+        let local: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
+            .group_fold(
+                "gf",
+                |_| true,
+                emit,
+                || 0u64,
+                |a, v| *a += v,
+                |a, b| *a += b,
+            )
+            .collect()
+            .into_iter()
+            .collect();
+        let hash: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
+            .group_fold_hash("gfh", |_| true, emit, || 0u64, |a, v| *a += v)
+            .collect()
+            .into_iter()
+            .collect();
+        let sorted: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
+            .group_fold_sorted("gfs", |_| true, emit, || 0u64, |a, v| *a += v)
+            .collect()
+            .into_iter()
+            .collect();
+        assert_eq!(local, expected_sums());
+        assert_eq!(hash, expected_sums());
+        assert_eq!(sorted, expected_sums());
+    }
+
+    #[test]
+    fn fold_shuffles_only_partials() {
+        // 10k records, 10 keys, 4 partitions: at most 40 partials move.
+        let data: Vec<(u32, u64)> = (0..10_000).map(|i| (i % 10, 1u64)).collect();
+        let c = ExecContext::new(4, 4);
+        let out = Dataset::from_vec(&c, data)
+            .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .collect();
+        assert_eq!(out.len(), 10);
+        let snap = c.metrics().snapshot();
+        assert!(snap.records_shuffled <= 4 * 10, "{}", snap.records_shuffled);
+        let stage = snap.stages.last().unwrap();
+        assert_eq!(stage.operator, "aggregate_by_key_fold");
+        assert_eq!(stage.records_in, 10_000);
+        assert!(stage.records_shuffled <= 40);
+    }
+
+    #[test]
+    fn fused_sweep_filters_and_multi_assigns() {
+        // Odd records dropped; each survivor emits under two keys.
+        let c = ctx();
+        let data: Vec<u64> = (0..100).collect();
+        let counts: BTreeMap<u64, u64> = Dataset::from_vec(&c, data)
+            .group_fold(
+                "gf",
+                |x| x % 2 == 0,
+                |x, out| {
+                    out.push((x % 5, 1u64));
+                    out.push((100 + x % 5, 1u64));
+                },
+                || 0u64,
+                |a, v| *a += v,
+                |a, b| *a += b,
+            )
+            .collect()
+            .into_iter()
+            .collect();
+        assert_eq!(counts.len(), 10);
+        assert_eq!(counts.values().sum::<u64>(), 100);
+        assert_eq!(counts[&0], counts[&100]);
+    }
+
+    #[test]
+    fn non_commutative_fold_sees_partition_order() {
+        // Concatenation is associative but not commutative: the fold path
+        // must see values in the same order the materializing path's group
+        // lists hold them (input partition order).
+        let c = ExecContext::new(3, 5);
+        let data: Vec<(u8, String)> = (0..40).map(|i| (0u8, format!("{i:02},"))).collect();
+        let folded = Dataset::from_vec(&c, data.clone())
+            .aggregate_by_key_fold(
+                String::new,
+                |a, v: String| a.push_str(&v),
+                |a, b| a.push_str(&b),
+            )
+            .collect();
+        let materialized = Dataset::from_vec(&c, data)
+            .group_by_key_local()
+            .map(|(k, vs)| (k, vs.concat()))
+            .collect();
+        assert_eq!(folded, materialized);
+    }
+
+    #[test]
+    fn empty_and_single_partition_inputs() {
+        let c = ctx();
+        let empty: Vec<(u32, u64)> = vec![];
+        assert!(Dataset::from_vec(&c, empty)
+            .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .collect()
+            .is_empty());
+        let single = Dataset::from_partitions(&c, vec![vec![(1u32, 2u64), (1, 3)]]);
+        let out = single
+            .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .collect();
+        assert_eq!(out, vec![(1, 5)]);
+    }
+
+    #[test]
+    fn heavy_hitter_key_prefolds_in_place() {
+        // 90% one key: local combine sends ≤ one partial per partition for
+        // it, so the straggler partition the sort shuffle would create
+        // never forms.
+        let data: Vec<(u32, u64)> = (0..1000)
+            .map(|i| if i % 10 == 0 { (i, 1u64) } else { (42, 1) })
+            .collect();
+        let c = ExecContext::new(4, 4);
+        let out: BTreeMap<u32, u64> = Dataset::from_vec(&c, data)
+            .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .collect()
+            .into_iter()
+            .collect();
+        assert_eq!(out[&42], 900);
+        // 100 rare keys + 1 heavy key, ≤ 4 partials each.
+        assert!(c.metrics().snapshot().records_shuffled <= 4 * 101 + 4);
+    }
+}

@@ -16,6 +16,12 @@
 //!   strategy), [`Dataset::group_by_key_sorted`] (Spark SQL's sort-based
 //!   aggregation with sampled range partitioning — skew lands on one
 //!   worker), and [`Dataset::aggregate_by_key`] (CleanDB's map-side combine);
+//! * **streaming grouped aggregation** (`fold`): fold-into-hash variants of
+//!   all three grouping strategies ([`Dataset::aggregate_by_key_fold`],
+//!   [`Dataset::group_fold`], [`Dataset::group_fold_hash`],
+//!   [`Dataset::group_fold_sorted`]) that absorb each value into a monoid
+//!   accumulator instead of materializing `(key, Vec<value>)` groups, with
+//!   keys hashed exactly once by the seeded fast hasher;
 //! * **equi-joins** (hash, left/full outer) and three **theta joins**
 //!   ([`theta::cartesian_filter`], [`theta::minmax_block_join`],
 //!   [`theta::mbucket_join`]);
@@ -28,6 +34,7 @@
 mod context;
 mod dataset;
 mod error;
+mod fold;
 mod join;
 mod metrics;
 mod pool;

@@ -14,35 +14,46 @@
 //!   distinct keys per partition, and heavy keys are pre-reduced where they
 //!   sit.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::time::Instant;
+
+use cleanm_values::{fx_hash, HASH_SEED};
 
 use crate::dataset::{Data, Dataset, Key};
 use crate::metrics::StageReport;
 use crate::pool::run_partitions;
 
-/// Deterministic hash → partition assignment.
-pub(crate) fn hash_partition<K: Hash>(key: &K, partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
+/// Deterministic hash → partition assignment (seeded FxHash; see
+/// [`cleanm_values::fx_hash`]). The assignment is a pure function of the
+/// key bytes and [`HASH_SEED`], so partition layouts are identical across
+/// runs — pinned by the shuffle property tests.
+pub(crate) fn hash_partition<K: Hash + ?Sized>(key: &K, partitions: usize) -> usize {
+    (fx_hash(HASH_SEED, key) % partitions as u64) as usize
 }
 
 /// Scatter rows into `partitions` buckets by an assignment function; the
 /// returned matrix is indexed `[target][..]`. Used by every wide operator.
-fn scatter<T: Data>(
+///
+/// Buckets are pre-sized from the input partition sizes (each target
+/// expects ≈ `len / partitions` records, so the per-row pushes never
+/// reallocate on uniform keys), and a single input partition returns its
+/// local buckets directly — its records are already grouped by target, so
+/// the concatenation copy is skipped entirely.
+pub(crate) fn scatter<T: Data>(
     parts: Vec<Vec<T>>,
     partitions: usize,
     assign: impl Fn(&T) -> usize + Sync,
 ) -> Vec<Vec<T>> {
     // Per input partition, bucket locally (parallel), then concatenate by
     // target — mimicking map-side shuffle files + reduce-side fetch.
-    let buckets: Vec<Vec<Vec<T>>> = parts
+    let mut buckets: Vec<Vec<Vec<T>>> = parts
         .into_iter()
         .map(|part| {
-            let mut local: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+            let per_target = part.len() / partitions + 1;
+            let mut local: Vec<Vec<T>> = (0..partitions)
+                .map(|_| Vec::with_capacity(per_target))
+                .collect();
             for t in part {
                 let target = assign(&t).min(partitions - 1);
                 local[target].push(t);
@@ -50,7 +61,18 @@ fn scatter<T: Data>(
             local
         })
         .collect();
-    let mut out: Vec<Vec<T>> = (0..partitions).map(|_| Vec::new()).collect();
+    if buckets.len() == 1 {
+        return buckets.pop().expect("one local bucket set");
+    }
+    // Each target's total is known before any record moves: reserve once,
+    // append each source bucket without intermediate growth.
+    let mut totals = vec![0usize; partitions];
+    for local in &buckets {
+        for (target, bucket) in local.iter().enumerate() {
+            totals[target] += bucket.len();
+        }
+    }
+    let mut out: Vec<Vec<T>> = totals.iter().map(|&n| Vec::with_capacity(n)).collect();
     for local in buckets {
         for (target, mut bucket) in local.into_iter().enumerate() {
             out[target].append(&mut bucket);

@@ -24,7 +24,7 @@ use std::collections::BTreeMap;
 use cleanm_core::calculus::{eval::truthy, EvalCtx, MonoidKind};
 use cleanm_core::ops::{DedupPlanShape, FdPlanShape, TermvalPlanShape};
 use cleanm_core::physical::RowExpr;
-use cleanm_values::{Result, Value};
+use cleanm_values::{FxHashSet, Result, Value};
 
 /// One compiled predicate/expression pipeline over a single row variable.
 pub(crate) struct RowPipeline {
@@ -120,7 +120,11 @@ fn key_values(key: Value) -> Vec<Value> {
 
 struct FdGroup {
     members: Vec<Value>,
-    rhs_distinct: std::collections::HashSet<Value>,
+    /// Distinct right-hand-side values, over the engine's seeded fast
+    /// hasher — the same accumulator the batch executor's group-fold path
+    /// keeps (uncapped here: appends must be able to push a clean group
+    /// over the violation threshold later).
+    rhs_distinct: FxHashSet<Value>,
 }
 
 pub(crate) struct FdState {
@@ -155,7 +159,7 @@ impl FdState {
             for k in key_values(key) {
                 let group = self.groups.entry(k).or_insert_with(|| FdGroup {
                     members: Vec::new(),
-                    rhs_distinct: std::collections::HashSet::new(),
+                    rhs_distinct: FxHashSet::default(),
                 });
                 group.members.push(row.clone());
                 group.rhs_distinct.insert(rhs.clone());

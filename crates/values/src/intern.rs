@@ -11,12 +11,13 @@
 //! fields like `key` / `partition` / `left` / `right`), a small closed set —
 //! it is deliberately unbounded, and callers must not intern data values.
 
-use std::collections::HashSet;
 use std::sync::{Arc, Mutex, OnceLock};
 
-fn table() -> &'static Mutex<HashSet<Arc<str>>> {
-    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
-    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+use crate::fxhash::FxHashSet;
+
+fn table() -> &'static Mutex<FxHashSet<Arc<str>>> {
+    static TABLE: OnceLock<Mutex<FxHashSet<Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(FxHashSet::default()))
 }
 
 /// The canonical shared `Arc<str>` for a field name.

@@ -14,6 +14,7 @@
 //!   schema.
 
 mod error;
+mod fxhash;
 mod intern;
 mod row;
 mod strview;
@@ -21,6 +22,7 @@ mod types;
 mod value;
 
 pub use error::{Error, Result};
+pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, HASH_SEED};
 pub use intern::{intern, intern_all};
 pub use row::{Row, Table};
 pub use strview::StrView;

@@ -125,6 +125,7 @@ fn run(
 fn unfused_profile() -> EngineProfile {
     let mut p = EngineProfile::clean_db();
     p.fuse_selects = false;
+    p.fold_groups = false; // the operator-at-a-time twin materializes groups
     p
 }
 

@@ -1,0 +1,339 @@
+//! Differential property tests for streaming grouped aggregation: a plan
+//! executed with `fold_groups` on (rows folded straight into per-key monoid
+//! accumulators, no `(key, Vec<member>)` materialization) must produce
+//! exactly the results of the materialize-then-reduce execution — across
+//! every supported aggregate (count, sum, min, max, avg, count_distinct /
+//! the FD distinct-RHS test), under `Null`/`NaN` values, empty tables,
+//! heavy-hitter skewed keys, shuffled schemas, and all three shuffle
+//! strategies.
+//!
+//! Float caveat (documented in ARCHITECTURE.md): `sum`/`avg` over *float*
+//! columns may differ from the materialized fold in the last ulp — the
+//! fold path sums per partition and merges partials, associating float
+//! additions differently. The aggregated columns here are integers, NULLs
+//! and NaNs, where both orders are bit-exact (NaN is absorbing either way).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cleanm::core::algebra::{lower_op, Alg};
+use cleanm::core::calculus::{desugar_query, EvalCtx};
+use cleanm::core::engine::storage::StoredTable;
+use cleanm::core::lang::parse_query;
+use cleanm::core::physical::{EngineProfile, Executor, NestStrategy};
+use cleanm::exec::{ExecContext, MetricsSnapshot};
+use cleanm::values::Value;
+use proptest::prelude::*;
+
+/// Aggregation-column pool: integers, NULL, and NaN — exact under any
+/// fold association (see module docs for the float caveat).
+fn agg_scalar() -> BoxedStrategy<Value> {
+    prop_oneof![
+        (-50i64..50).prop_map(Value::Int),
+        (-8i64..8).prop_map(Value::Int),
+        Just(Value::Null),
+        Just(Value::Float(f64::NAN)),
+    ]
+    .boxed()
+}
+
+/// Grouping-key pool: a few collision-heavy ints and strings plus NULL, so
+/// groups of every size (and NULL-keyed groups) appear.
+fn key_scalar() -> BoxedStrategy<Value> {
+    prop_oneof![
+        (0i64..4).prop_map(Value::Int),
+        Just(Value::str("a st")),
+        Just(Value::str("b st")),
+        Just(Value::Null),
+    ]
+    .boxed()
+}
+
+/// A random table; `shuffled` reverses the field order of every row —
+/// positional assumptions anywhere in the fold pipeline would surface as a
+/// differential failure.
+fn rows(shuffled: bool) -> BoxedStrategy<Vec<Value>> {
+    proptest::collection::vec((key_scalar(), agg_scalar(), agg_scalar()), 0..32)
+        .prop_map(move |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (k, v, w))| {
+                    let mut fields = vec![
+                        ("__rowid", Value::Int(i as i64)),
+                        ("k", k),
+                        ("v", v),
+                        ("w", w),
+                    ];
+                    if shuffled {
+                        fields[1..].reverse();
+                    }
+                    Value::record(fields)
+                })
+                .collect()
+        })
+        .boxed()
+}
+
+fn catalog(rows: Vec<Value>) -> HashMap<String, StoredTable> {
+    let mut t = HashMap::new();
+    t.insert("t".to_string(), StoredTable::from_rows(rows));
+    t
+}
+
+fn fold_profile(nest: NestStrategy) -> EngineProfile {
+    let mut p = EngineProfile::clean_db();
+    p.nest = nest;
+    p
+}
+
+fn materialize_profile(nest: NestStrategy) -> EngineProfile {
+    let mut p = fold_profile(nest);
+    p.fold_groups = false;
+    p
+}
+
+/// Run `sql`'s first operator under `profile`; returns the sorted outputs
+/// and the runtime metrics (stage names prove which path executed).
+fn run_sql(
+    sql: &str,
+    tables: &HashMap<String, StoredTable>,
+    profile: EngineProfile,
+) -> (Vec<Value>, MetricsSnapshot) {
+    let q = parse_query(sql).expect("parses");
+    let dq = desugar_query(&q, 1).expect("desugars");
+    let plan: Arc<Alg> = lower_op(&dq.ops[0].comp).expect("lowers");
+    let ctx = ExecContext::new(2, 4);
+    let mut ex = Executor::new(ctx.clone(), profile, tables, Arc::new(EvalCtx::new()));
+    ex.register_plans(std::slice::from_ref(&plan));
+    let mut out = ex.run_reduce(&plan).expect("executes");
+    out.sort();
+    (out, ctx.metrics().snapshot())
+}
+
+/// fold ≡ materialize for `sql` under every Nest strategy, with the fold
+/// path required to actually engage (a `group_fold*` stage must appear).
+fn assert_fold_matches(sql: &str, table_rows: Vec<Value>) {
+    let tables = catalog(table_rows);
+    for nest in [
+        NestStrategy::LocalAggregate,
+        NestStrategy::HashShuffle,
+        NestStrategy::SortShuffle,
+    ] {
+        let (folded, metrics) = run_sql(sql, &tables, fold_profile(nest));
+        let (materialized, _) = run_sql(sql, &tables, materialize_profile(nest));
+        assert_eq!(
+            folded, materialized,
+            "fold path diverged under {nest:?} for `{sql}`"
+        );
+        assert!(
+            metrics
+                .stages
+                .iter()
+                .any(|s| s.operator.starts_with("group_fold")),
+            "fold path did not engage under {nest:?} for `{sql}`: {:?}",
+            metrics
+                .stages
+                .iter()
+                .map(|s| s.operator)
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+const GROUP_AGG_SQL: &str = "SELECT c.k, count(*) AS n, sum(c.v) AS s, min(c.v) AS mn, \
+     max(c.v) AS mx, avg(c.v) AS a, count_distinct(c.w) AS cd \
+     FROM t c GROUP BY c.k";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every aggregate the grouped SELECT reaches, over random tables
+    /// (empty included) with NULL/NaN values.
+    #[test]
+    fn grouped_aggregates_fold_matches_materialize(rows in rows(false)) {
+        assert_fold_matches(GROUP_AGG_SQL, rows);
+    }
+
+    /// The same aggregates over tables with reversed field order: the
+    /// composed item programs must resolve fields by name, not position.
+    #[test]
+    fn shuffled_schema_fold_matches(rows in rows(true)) {
+        assert_fold_matches(GROUP_AGG_SQL, rows);
+    }
+
+    /// HAVING predicates (group filters over folded aggregates).
+    #[test]
+    fn having_fold_matches(rows in rows(false), cut in 0i64..4) {
+        assert_fold_matches(
+            &format!(
+                "SELECT c.k, count(*) AS n FROM t c GROUP BY c.k HAVING count(*) > {cut}"
+            ),
+            rows,
+        );
+    }
+
+    /// The FD shape — violating groups selected by the distinct-RHS test —
+    /// including a WHERE chain fused below the grouping.
+    #[test]
+    fn fd_fold_matches(rows in rows(false), cut in 0i64..10) {
+        assert_fold_matches("SELECT * FROM t c FD(c.k | c.v)", rows.clone());
+        assert_fold_matches(
+            &format!("SELECT * FROM t c WHERE c.v >= {cut} FD(c.k | c.w)"),
+            rows,
+        );
+    }
+
+    /// Composite FD keys and derived RHS expressions.
+    #[test]
+    fn fd_composite_fold_matches(rows in rows(false)) {
+        assert_fold_matches("SELECT * FROM t c FD(c.k, c.w | c.v)", rows);
+    }
+
+    /// Heavy-hitter skew: ~90% of the rows share one key.
+    #[test]
+    fn skewed_keys_fold_matches(rows in rows(false), heavy in key_scalar()) {
+        let skewed: Vec<Value> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                if i % 10 == 0 {
+                    r.clone()
+                } else {
+                    let mut fields: Vec<(String, Value)> = r
+                        .as_struct()
+                        .unwrap()
+                        .iter()
+                        .map(|(n, v)| (n.to_string(), v.clone()))
+                        .collect();
+                    for (n, v) in &mut fields {
+                        if n == "k" {
+                            *v = heavy.clone();
+                        }
+                    }
+                    Value::record(fields)
+                }
+            })
+            .collect();
+        assert_fold_matches(GROUP_AGG_SQL, skewed.clone());
+        assert_fold_matches("SELECT * FROM t c FD(c.k | c.v)", skewed);
+    }
+}
+
+/// Grouped-aggregate shuffle volume: with the fold path on the combine-
+/// friendly strategy, only `(key, partial)` pairs cross the shuffle — at
+/// most partitions × distinct keys records, independent of row count.
+#[test]
+fn grouped_aggregate_shuffle_volume_is_distinct_keys_per_partition() {
+    let rows: Vec<Value> = (0..8_000)
+        .map(|i| {
+            Value::record([
+                ("__rowid", Value::Int(i)),
+                ("k", Value::Int(i % 10)),
+                ("v", Value::Int(i % 97)),
+            ])
+        })
+        .collect();
+    let tables = catalog(rows);
+    let sql = "SELECT c.k, count(*) AS n, sum(c.v) AS s FROM t c GROUP BY c.k";
+    let (out, metrics) = run_sql(sql, &tables, fold_profile(NestStrategy::LocalAggregate));
+    assert_eq!(out.len(), 10);
+    let stage = metrics
+        .stages
+        .iter()
+        .find(|s| s.operator == "group_fold")
+        .expect("fold stage");
+    assert_eq!(stage.records_in, 8_000);
+    assert!(
+        stage.records_shuffled <= 4 * 10,
+        "shuffle volume must be ~distinct keys per partition, got {}",
+        stage.records_shuffled
+    );
+    // The materialized path moves the same number of *partials*, but each
+    // carries the whole member list; the fold partials are scalars.
+    let (_, mat) = run_sql(sql, &tables, materialize_profile(NestStrategy::HashShuffle));
+    let mat_stage = mat
+        .stages
+        .iter()
+        .find(|s| s.operator == "group_by_key_hash")
+        .expect("materialized stage");
+    assert_eq!(
+        mat_stage.records_shuffled, 8_000,
+        "hash path moves all rows"
+    );
+}
+
+/// FD two-phase execution: the probe moves one partial map per partition
+/// and phase two shuffles only the violating rows.
+#[test]
+fn fd_fold_shuffles_only_violating_groups() {
+    // 4000 rows, 40 keys; exactly two keys violate (two distinct RHS).
+    let rows: Vec<Value> = (0..4_000)
+        .map(|i| {
+            let k = i % 40;
+            let v = if (k == 3 || k == 17) && i % 400 == k {
+                1
+            } else {
+                0
+            };
+            Value::record([
+                ("__rowid", Value::Int(i)),
+                ("k", Value::Int(k)),
+                ("v", Value::Int(v)),
+            ])
+        })
+        .collect();
+    let tables = catalog(rows);
+    let sql = "SELECT * FROM t c FD(c.k | c.v)";
+    let (out, metrics) = run_sql(sql, &tables, fold_profile(NestStrategy::LocalAggregate));
+    assert_eq!(out.len(), 2, "two violating groups");
+    let probe = metrics
+        .stages
+        .iter()
+        .find(|s| s.operator == "group_fold_probe")
+        .expect("probe stage");
+    assert_eq!(probe.records_in, 4_000);
+    assert_eq!(probe.records_shuffled, 4, "one partial map per partition");
+    // Grouping shuffle afterwards: only the two violating keys' partials.
+    let group = metrics
+        .stages
+        .iter()
+        .find(|s| s.operator == "aggregate_by_key")
+        .expect("phase-2 grouping stage");
+    assert!(
+        group.records_shuffled <= 4 * 2,
+        "only violating groups shuffle, got {}",
+        group.records_shuffled
+    );
+    assert_eq!(
+        group.records_in, 200,
+        "only violating rows enter the grouping"
+    );
+}
+
+/// An all-clean FD (no violations) never runs phase two at all.
+#[test]
+fn clean_fd_skips_materialization_entirely() {
+    let rows: Vec<Value> = (0..1_000)
+        .map(|i| {
+            Value::record([
+                ("__rowid", Value::Int(i)),
+                ("k", Value::Int(i % 20)),
+                ("v", Value::Int((i % 20) * 7)),
+            ])
+        })
+        .collect();
+    let tables = catalog(rows);
+    let (out, metrics) = run_sql(
+        "SELECT * FROM t c FD(c.k | c.v)",
+        &tables,
+        fold_profile(NestStrategy::LocalAggregate),
+    );
+    assert!(out.is_empty());
+    assert!(
+        !metrics
+            .stages
+            .iter()
+            .any(|s| s.operator == "group_fold_materialize"),
+        "no violating keys → no phase-2 sweep"
+    );
+}
