@@ -1701,6 +1701,119 @@ pub fn incr_append(scale: Scale) -> Vec<IncrRow> {
     out
 }
 
+// ====================================================================
+// Observability — tracing/profiling overhead on end-to-end cleaning
+// queries, and a sample EXPLAIN ANALYZE artifact.
+// ====================================================================
+
+/// One workload timed with tracing (spans + per-node profiles) off vs on.
+pub struct TraceOverheadRow {
+    pub workload: String,
+    pub rows: usize,
+    pub untraced_ms: f64,
+    pub traced_ms: f64,
+}
+
+impl TraceOverheadRow {
+    /// Fractional slowdown of the traced run (`0.01` = 1% slower).
+    pub fn overhead(&self) -> f64 {
+        self.traced_ms / self.untraced_ms.max(1e-9) - 1.0
+    }
+}
+
+/// Time the eval cleaning workloads with tracing off and on, interleaved
+/// (best of `rounds` per mode, so a noise burst hits both modes equally).
+pub fn trace_overhead(scale: Scale) -> Vec<TraceOverheadRow> {
+    let fd_rows = match scale {
+        Scale::Quick => 40_000,
+        Scale::Full => 160_000,
+    };
+    let fd_data = CustomerGen::new(SEED)
+        .rows(fd_rows)
+        .duplicate_fraction(0.0)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let dedup_data = CustomerGen::new(SEED ^ 7)
+        .rows(scale.customer_rows() * 2)
+        .duplicate_fraction(0.10)
+        .max_duplicates(50)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let workloads = [
+        (
+            "fd",
+            fd_data.table,
+            "SELECT * FROM customer c FD(c.address | c.nationkey)",
+        ),
+        (
+            "fd_dedup",
+            dedup_data.table,
+            "SELECT * FROM customer c \
+             FD(c.address | c.nationkey) \
+             DEDUP(exact, LD, 0.8, c.address, c.name)",
+        ),
+    ];
+    let mut out = Vec::new();
+    for (workload, table, sql) in workloads {
+        let rows = table.rows.len();
+        let mut db = session(EngineProfile::clean_db());
+        db.set_seed(SEED);
+        db.register("customer", table);
+        // Warm-up: populate the plan cache and touch the data once, so
+        // both timed modes run the identical cached-plan path.
+        db.run(sql).expect("warm-up run");
+        let mut best = [f64::INFINITY; 2];
+        for _ in 0..5 {
+            for (slot, traced) in [(0, false), (1, true)] {
+                db.set_tracing(traced);
+                let start = Instant::now();
+                db.run(sql).expect("timed run");
+                best[slot] = best[slot].min(start.elapsed().as_secs_f64() * 1e3);
+                if traced {
+                    // Drain the span log between rounds, as a live
+                    // consumer would.
+                    db.context().tracer().take();
+                }
+            }
+        }
+        out.push(TraceOverheadRow {
+            workload: workload.to_string(),
+            rows,
+            untraced_ms: best[0],
+            traced_ms: best[1],
+        });
+    }
+    out
+}
+
+/// One traced end-to-end run of the unified cleaning query: the per-node
+/// EXPLAIN ANALYZE profiles and the session registry snapshot as one JSON
+/// object (the CI observability artifact).
+pub fn profile_artifact(scale: Scale) -> String {
+    let data = CustomerGen::new(SEED ^ 7)
+        .rows(scale.customer_rows())
+        .duplicate_fraction(0.10)
+        .max_duplicates(50)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let mut db = session(EngineProfile::clean_db());
+    db.set_seed(SEED);
+    db.register("customer", data.table);
+    db.set_tracing(true);
+    let report = db
+        .run(
+            "SELECT * FROM customer c \
+             FD(c.address | c.nationkey) \
+             DEDUP(exact, LD, 0.8, c.address, c.name)",
+        )
+        .expect("traced run");
+    format!(
+        "{{\n\"profiles\": {},\n\"registry\": {}\n}}\n",
+        report.profiles_json(),
+        db.metrics_registry().snapshot_json()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,10 +7,12 @@
 //! [`CleaningReport`] with violations, suggested repairs, per-phase timings,
 //! optimizer statistics, and runtime metrics.
 
+pub mod registry;
 pub mod report;
 pub mod session;
 pub mod storage;
 
+pub use registry::{LatencyTrack, MetricsRegistry};
 pub use report::{CleaningReport, IncrementalInfo, OpResult, PlanCacheStats, Repair};
 pub use session::{
     collect_repairs, collect_rowids, combine_local_violations, CleanDb, EngineError, PlannedQuery,

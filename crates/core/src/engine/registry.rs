@@ -1,0 +1,341 @@
+//! Session-wide metrics: what every query in a [`CleanDb`] session cost,
+//! aggregated across runs.
+//!
+//! A [`CleaningReport`] describes one query; the [`MetricsRegistry`]
+//! answers the questions that only make sense across many — latency
+//! percentiles, cache hit ratios, cumulative shuffle volume, violations by
+//! operator kind. The session feeds it after each batch run (and
+//! incremental sessions feed refresh latencies in), and
+//! [`MetricsRegistry::snapshot_json`] exports the whole thing for
+//! dashboards or the bench harness.
+//!
+//! Latency percentiles reuse the statistics layer's equi-depth histograms
+//! ([`EquiDepthHistogram`]): samples are kept in a bounded buffer (a
+//! deterministic every-other-sample decimation once full, so early *and*
+//! late queries stay represented), cut into equi-depth buckets on demand,
+//! and read back through [`EquiDepthHistogram::quantile`].
+//!
+//! [`CleanDb`]: super::CleanDb
+//! [`CleaningReport`]: super::CleaningReport
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cleanm_stats::EquiDepthHistogram;
+use cleanm_trace::json;
+
+use super::report::CleaningReport;
+
+/// Bounded latency samples with percentile reads.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTrack {
+    /// Retained samples, nanoseconds.
+    samples: Vec<u64>,
+    /// Total observations (including ones decimated out of `samples`).
+    observed: u64,
+    /// Keep every `2^decimations`-th observation once the buffer fills.
+    decimations: u32,
+}
+
+/// Retained-sample cap per latency track. Past it, the track halves itself
+/// (keeping every other sample) and then retains every other incoming
+/// observation — bounded memory, full-session coverage.
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
+impl LatencyTrack {
+    /// Record one latency observation.
+    pub fn observe(&mut self, d: Duration) {
+        self.observed += 1;
+        if self.decimations > 0 && !self.observed.is_multiple_of(1 << self.decimations) {
+            return;
+        }
+        self.samples.push(d.as_nanos() as u64);
+        if self.samples.len() >= LATENCY_SAMPLE_CAP {
+            let mut i = 0;
+            self.samples.retain(|_| {
+                i += 1;
+                i % 2 == 1
+            });
+            self.decimations += 1;
+        }
+    }
+
+    /// Total observations recorded (not just retained samples).
+    pub fn count(&self) -> u64 {
+        self.observed
+    }
+
+    /// The latency at quantile `q ∈ [0, 1]`, or `None` before any
+    /// observation.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let sample: Vec<f64> = self.samples.iter().map(|&n| n as f64).collect();
+        let h = EquiDepthHistogram::from_sample(&sample, 64, self.observed)?;
+        Some(Duration::from_nanos(h.quantile(q) as u64))
+    }
+
+    /// `(p50, p90, p99)`, or `None` before any observation.
+    pub fn percentiles(&self) -> Option<(Duration, Duration, Duration)> {
+        Some((
+            self.quantile(0.5)?,
+            self.quantile(0.9)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
+    fn json(&self) -> String {
+        let pct = |q: f64| {
+            json::num(
+                self.quantile(q)
+                    .map(|d| d.as_secs_f64() * 1e3)
+                    .unwrap_or(f64::NAN),
+            )
+        };
+        format!(
+            "{{\"count\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}}}",
+            self.observed,
+            pct(0.5),
+            pct(0.9),
+            pct(0.99)
+        )
+    }
+}
+
+/// Aggregated session metrics across every query a [`CleanDb`] ran.
+///
+/// [`CleanDb`]: super::CleanDb
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    /// End-to-end batch query latencies.
+    query_latency: LatencyTrack,
+    /// Incremental refresh latencies (fed by incremental sessions).
+    refresh_latency: LatencyTrack,
+    /// Session plan-cache hits observed through reports.
+    plan_cache_hits: u64,
+    /// Session plan-cache misses observed through reports.
+    plan_cache_misses: u64,
+    /// Compiled-program cache hits across all cached plans.
+    program_cache_hits: u64,
+    /// Compiled-program cache misses across all cached plans.
+    program_cache_misses: u64,
+    /// Records physically moved between partitions, all queries.
+    records_shuffled: u64,
+    /// Pairwise similarity comparisons, all queries.
+    comparisons: u64,
+    /// Violating entities found, by operator kind (`"Fd"`, `"Dedup"`, …).
+    violations_by_op: BTreeMap<String, u64>,
+    /// Plan-node expressions run compiled / interpreted, cumulative.
+    compiled_exprs: u64,
+    interpreted_exprs: u64,
+    /// `Select` passes fused into consumers, cumulative.
+    fused_selects: u64,
+}
+
+impl MetricsRegistry {
+    /// Fold one batch query's report in. The session calls this after
+    /// every `run`; `program_delta` is the program-cache `(hits, misses)`
+    /// delta attributable to the run.
+    pub fn record_query(&mut self, report: &CleaningReport, program_delta: (u64, u64)) {
+        self.query_latency.observe(report.total);
+        if report.plan_cache.hit {
+            self.plan_cache_hits += 1;
+        } else {
+            self.plan_cache_misses += 1;
+        }
+        self.program_cache_hits += program_delta.0;
+        self.program_cache_misses += program_delta.1;
+        self.records_shuffled += report.metrics.records_shuffled;
+        self.comparisons += report.metrics.comparisons;
+        self.compiled_exprs += report.exprs.compiled as u64;
+        self.interpreted_exprs += report.exprs.interpreted as u64;
+        self.fused_selects += report.exprs.fused_selects as u64;
+        for op in &report.ops {
+            let mut ids = Vec::new();
+            for v in &op.output {
+                super::session::collect_rowids(v, &mut ids);
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            *self
+                .violations_by_op
+                .entry(format!("{:?}", op.kind))
+                .or_insert(0) += ids.len() as u64;
+        }
+    }
+
+    /// Record one incremental refresh latency (standing-query
+    /// re-validation after an append).
+    pub fn record_refresh(&mut self, wall: Duration) {
+        self.refresh_latency.observe(wall);
+    }
+
+    /// Batch-query latency distribution.
+    pub fn query_latency(&self) -> &LatencyTrack {
+        &self.query_latency
+    }
+
+    /// Incremental-refresh latency distribution.
+    pub fn refresh_latency(&self) -> &LatencyTrack {
+        &self.refresh_latency
+    }
+
+    /// Plan-cache hit ratio over the session, or `None` before any query.
+    pub fn plan_cache_hit_ratio(&self) -> Option<f64> {
+        ratio(self.plan_cache_hits, self.plan_cache_misses)
+    }
+
+    /// Compiled-program cache hit ratio over the session.
+    pub fn program_cache_hit_ratio(&self) -> Option<f64> {
+        ratio(self.program_cache_hits, self.program_cache_misses)
+    }
+
+    /// Records physically moved between partitions, all queries.
+    pub fn records_shuffled(&self) -> u64 {
+        self.records_shuffled
+    }
+
+    /// Violating entities found per operator kind.
+    pub fn violations_by_op(&self) -> &BTreeMap<String, u64> {
+        &self.violations_by_op
+    }
+
+    /// Machine-readable snapshot of everything the registry tracks.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!(
+            "\"query_latency\": {}, \"refresh_latency\": {}",
+            self.query_latency.json(),
+            self.refresh_latency.json()
+        ));
+        out.push_str(&format!(
+            ", \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_ratio\": {}}}",
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            json::num(self.plan_cache_hit_ratio().unwrap_or(f64::NAN))
+        ));
+        out.push_str(&format!(
+            ", \"program_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_ratio\": {}}}",
+            self.program_cache_hits,
+            self.program_cache_misses,
+            json::num(self.program_cache_hit_ratio().unwrap_or(f64::NAN))
+        ));
+        out.push_str(&format!(
+            ", \"records_shuffled\": {}, \"comparisons\": {}",
+            self.records_shuffled, self.comparisons
+        ));
+        out.push_str(&format!(
+            ", \"exprs\": {{\"compiled\": {}, \"interpreted\": {}, \"fused_selects\": {}}}",
+            self.compiled_exprs, self.interpreted_exprs, self.fused_selects
+        ));
+        out.push_str(", \"violations_by_op\": {");
+        for (i, (k, v)) in self.violations_by_op.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json::string(k)));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable one-screen summary.
+    pub fn summary(&self) -> String {
+        let fmt_track = |name: &str, t: &LatencyTrack| match t.percentiles() {
+            Some((p50, p90, p99)) => format!(
+                "  {name}: {} observed, p50 {:.3}ms, p90 {:.3}ms, p99 {:.3}ms\n",
+                t.count(),
+                p50.as_secs_f64() * 1e3,
+                p90.as_secs_f64() * 1e3,
+                p99.as_secs_f64() * 1e3
+            ),
+            None => format!("  {name}: none\n"),
+        };
+        let fmt_ratio = |r: Option<f64>| match r {
+            Some(r) => format!("{:.0}%", r * 100.0),
+            None => "n/a".to_string(),
+        };
+        let mut out = String::from("session metrics:\n");
+        out.push_str(&fmt_track("queries", &self.query_latency));
+        out.push_str(&fmt_track("refreshes", &self.refresh_latency));
+        out.push_str(&format!(
+            "  plan cache: {} hits / {} misses ({}); program cache: {} hits / {} misses ({})\n",
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            fmt_ratio(self.plan_cache_hit_ratio()),
+            self.program_cache_hits,
+            self.program_cache_misses,
+            fmt_ratio(self.program_cache_hit_ratio()),
+        ));
+        out.push_str(&format!(
+            "  shuffled {} records, {} comparisons; exprs {} compiled / {} interpreted, {} fused\n",
+            self.records_shuffled,
+            self.comparisons,
+            self.compiled_exprs,
+            self.interpreted_exprs,
+            self.fused_selects
+        ));
+        for (op, n) in &self.violations_by_op {
+            out.push_str(&format!("  violations[{op}]: {n}\n"));
+        }
+        out
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_track_percentiles_are_ordered() {
+        let mut t = LatencyTrack::default();
+        for ms in 1..=100u64 {
+            t.observe(Duration::from_millis(ms));
+        }
+        let (p50, p90, p99) = t.percentiles().unwrap();
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= Duration::from_millis(30) && p50 <= Duration::from_millis(70));
+        assert_eq!(t.count(), 100);
+    }
+
+    #[test]
+    fn latency_track_stays_bounded_under_decimation() {
+        let mut t = LatencyTrack::default();
+        for i in 0..20_000u64 {
+            t.observe(Duration::from_micros(i));
+        }
+        assert_eq!(t.count(), 20_000);
+        assert!(t.samples.len() < LATENCY_SAMPLE_CAP);
+        // Early and late observations both survive decimation.
+        assert!(t.samples.iter().any(|&n| n < 1_000_000));
+        assert!(t.samples.iter().any(|&n| n > 15_000_000_000 / 1000));
+        let (p50, _, p99) = t.percentiles().unwrap();
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn empty_registry_snapshot_is_well_formed() {
+        let r = MetricsRegistry::default();
+        let js = r.snapshot_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"hit_ratio\": null"));
+        assert!(r.plan_cache_hit_ratio().is_none());
+        assert!(r.query_latency().percentiles().is_none());
+        assert!(r.summary().contains("queries: none"));
+    }
+
+    #[test]
+    fn refresh_latencies_track_separately() {
+        let mut r = MetricsRegistry::default();
+        r.record_refresh(Duration::from_millis(2));
+        r.record_refresh(Duration::from_millis(4));
+        assert_eq!(r.refresh_latency().count(), 2);
+        assert_eq!(r.query_latency().count(), 0);
+        assert!(r
+            .snapshot_json()
+            .contains("\"refresh_latency\": {\"count\": 2"));
+    }
+}

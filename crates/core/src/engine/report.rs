@@ -11,7 +11,7 @@ use cleanm_values::Value;
 use crate::algebra::RewriteStats;
 use crate::calculus::desugar::OpKind;
 use crate::calculus::NormalizeStats;
-use crate::physical::{PhaseTimings, PlanDecision};
+use crate::physical::{PhaseTimings, PlanDecision, QueryProfile};
 
 /// One operator's output.
 #[derive(Debug, Clone)]
@@ -31,20 +31,28 @@ pub struct Repair {
     pub suggestion: String,
 }
 
-/// Plan-cache accounting for one run: whether *this* run was served from
-/// the cache, plus the session-cumulative hit/miss counters.
+/// Plan-cache accounting for one run. Scoping is mixed by design and each
+/// field says which it is: `hit` describes **this query alone**, while
+/// `hits`/`misses` are **session-cumulative** counters (they include this
+/// run and every run before it in the same `CleanDb` session — two reports
+/// from one session overlap in these fields).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
-    /// This run skipped planning (and, on the text fast path, parsing).
+    /// Per-query: this run skipped planning (and, on the text fast path,
+    /// parsing).
     pub hit: bool,
-    /// Session-wide cache hits so far, including this run.
+    /// Session-cumulative: cache hits so far, including this run.
     pub hits: u64,
-    /// Session-wide cache misses so far, including this run.
+    /// Session-cumulative: cache misses so far, including this run.
     pub misses: u64,
 }
 
 /// How the executor evaluated this run's plan-node expressions: the
-/// compilation and operator-fusion outcomes, per run.
+/// compilation and operator-fusion outcomes.
+///
+/// All counters are **per-query**: a fresh executor counts from zero each
+/// run, so summing reports sums disjoint work (session-cumulative totals
+/// live in the session's metrics registry instead).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExprStats {
     /// Plan-node expressions lowered to slot-resolved [`Program`]s and run
@@ -109,6 +117,14 @@ pub struct CleaningReport {
     /// Present when an incremental session produced this report from
     /// retained operator state rather than a full pass.
     pub incremental: Option<IncrementalInfo>,
+    /// Per-operator execution profiles (EXPLAIN ANALYZE trees), one per
+    /// cleaning operator in plan order. Empty unless the session ran with
+    /// tracing enabled ([`CleanDb::set_tracing`]) or via
+    /// [`CleanDb::explain`].
+    ///
+    /// [`CleanDb::set_tracing`]: super::CleanDb::set_tracing
+    /// [`CleanDb::explain`]: super::CleanDb::explain
+    pub profiles: Vec<QueryProfile>,
 }
 
 impl CleaningReport {
@@ -123,6 +139,27 @@ impl CleaningReport {
             .iter()
             .find(|o| o.label == label)
             .map(|o| o.output.as_slice())
+    }
+
+    /// The EXPLAIN ANALYZE rendering of this run's execution: one tree per
+    /// cleaning operator with per-node rows, timings, shuffle volume, and
+    /// compiled/fused flags. Empty string unless the run was traced (see
+    /// [`CleaningReport::profiles`]).
+    pub fn profile_tree(&self) -> String {
+        self.profiles.iter().map(QueryProfile::render).collect()
+    }
+
+    /// The profiles as one JSON array (machine-readable EXPLAIN ANALYZE).
+    pub fn profiles_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, p) in self.profiles.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&p.to_json());
+        }
+        out.push(']');
+        out
     }
 
     /// Human-readable summary (used by examples and the repro harness).
@@ -158,14 +195,18 @@ impl CleaningReport {
         // not fill these counters in — print only when they carry data.
         if self.exprs != ExprStats::default() {
             out.push_str(&format!(
-                "  exprs: {} compiled, {} interpreted, {} select(s) fused downstream\n",
+                "  exprs (this query): {} compiled, {} interpreted, {} select(s) fused downstream\n",
                 self.exprs.compiled, self.exprs.interpreted, self.exprs.fused_selects
             ));
         }
-        if self.plan_cache.hit {
+        // `hit` is per-query; the counters are session-cumulative — label
+        // both so two reports from one session are not misread as disjoint.
+        if self.plan_cache.hits + self.plan_cache.misses > 0 {
             out.push_str(&format!(
-                "  plan cache: hit (session {}h/{}m)\n",
-                self.plan_cache.hits, self.plan_cache.misses
+                "  plan cache: {} this query (session-cumulative: {} hits / {} misses)\n",
+                if self.plan_cache.hit { "hit" } else { "miss" },
+                self.plan_cache.hits,
+                self.plan_cache.misses
             ));
         }
         if let Some(inc) = &self.incremental {
@@ -212,8 +253,13 @@ mod tests {
                 interpreted: 0,
                 fused_selects: 1,
             },
-            plan_cache: PlanCacheStats::default(),
+            plan_cache: PlanCacheStats {
+                hit: false,
+                hits: 2,
+                misses: 3,
+            },
             incremental: None,
+            profiles: Vec::new(),
         };
         let s = report.summary();
         assert!(s.contains("3 compiled"));
@@ -222,8 +268,14 @@ mod tests {
         assert!(s.contains("CleanDB"));
         assert!(s.contains("2 violating entities"));
         assert!(s.contains("FD#0"));
+        // Scoping is spelled out: per-query outcome vs session counters.
+        assert!(s.contains("exprs (this query)"));
+        assert!(s.contains("miss this query (session-cumulative: 2 hits / 3 misses)"));
         assert_eq!(report.violations(), 2);
         assert!(report.op_output("FD#0").is_some());
         assert!(report.op_output("nope").is_none());
+        // Untraced runs carry no profiles and render empty.
+        assert!(report.profile_tree().is_empty());
+        assert_eq!(report.profiles_json(), "[]");
     }
 }

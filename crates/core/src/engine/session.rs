@@ -26,8 +26,9 @@ use crate::algebra::{lower_op, rewrite_shared, Alg, RewriteStats};
 use crate::calculus::desugar::{desugar_query, DesugaredOp, OpKind, ROWID_FIELD};
 use crate::calculus::{normalize, CalcExpr, EvalCtx, Func, NormalizeStats};
 use crate::lang::{parse_query, Query};
-use crate::physical::{EngineProfile, Executor, ProgramCache};
+use crate::physical::{EngineProfile, Executor, ProgramCache, QueryProfile};
 
+use super::registry::MetricsRegistry;
 use super::report::{CleaningReport, ExprStats, OpResult, PlanCacheStats, Repair};
 use super::storage::StoredTable;
 
@@ -192,6 +193,9 @@ pub struct CleanDb {
     /// even when a query does not reference them by name).
     dict_gen: u64,
     plan_cache: PlanCache,
+    /// Session-wide aggregates across queries (latency percentiles, cache
+    /// hit ratios, shuffle totals) — fed after every run.
+    registry: MetricsRegistry,
 }
 
 impl CleanDb {
@@ -214,7 +218,51 @@ impl CleanDb {
             epoch_counter: 0,
             dict_gen: 0,
             plan_cache: PlanCache::new(),
+            registry: MetricsRegistry::default(),
         }
+    }
+
+    /// Turn end-to-end tracing on or off for this session. On, every run
+    /// records layer spans (parse → normalize → plan → execute) into the
+    /// context's [`Tracer`](cleanm_trace::Tracer) and attaches per-operator
+    /// [`QueryProfile`] trees to its report ([`CleaningReport::profiles`],
+    /// rendered by [`CleaningReport::profile_tree`]). Off (the default),
+    /// the only cost left on the query path is one atomic load per
+    /// instrumented site.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.ctx.tracer().set_enabled(on);
+    }
+
+    /// Is tracing currently enabled for this session?
+    pub fn tracing(&self) -> bool {
+        self.ctx.tracer().is_enabled()
+    }
+
+    /// The session-wide metrics registry: latency percentiles, cache hit
+    /// ratios, shuffle totals, and violation counts aggregated across every
+    /// query this session ran.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Record an incremental-refresh latency into the session registry
+    /// (called by incremental sessions that wrap this one).
+    pub fn record_refresh_latency(&mut self, wall: std::time::Duration) {
+        self.registry.record_refresh(wall);
+    }
+
+    /// Run a query with tracing forced on and return its EXPLAIN
+    /// ANALYZE-style rendering: one profile tree per cleaning operator with
+    /// measured rows, timings, shuffle volume, imbalance, and
+    /// compiled/fused flags per node. The session's tracing flag is
+    /// restored afterwards; the query's results land in the plan cache and
+    /// registry exactly as a normal [`CleanDb::run`] would.
+    pub fn explain(&mut self, sql: &str) -> Result<String, EngineError> {
+        let was = self.tracing();
+        self.set_tracing(true);
+        let result = self.run(sql);
+        self.set_tracing(was);
+        Ok(result?.profile_tree())
     }
 
     /// Override the statistics-collection knobs (sketch sizes, histogram
@@ -378,9 +426,14 @@ impl CleanDb {
     /// (plan-cache fast path).
     pub fn run(&mut self, sql: &str) -> Result<CleaningReport, EngineError> {
         if let Some(entry) = self.lookup_text(sql) {
+            self.ctx
+                .tracer()
+                .event("plan_cache_text_hit", "parse + plan skipped");
             return self.execute_planned(&entry, true);
         }
+        let t = Instant::now();
         let query = parse_query(sql)?;
+        self.ctx.tracer().record_complete("parse", t.elapsed());
         self.run_query_internal(Some(sql), &query)
     }
 
@@ -452,9 +505,12 @@ impl CleanDb {
         query: &Query,
     ) -> Result<CleaningReport, EngineError> {
         // Level 1a: Monoid Rewriter (desugar).
+        let t = Instant::now();
         let dq = desugar_query(query, self.seed)?;
+        self.ctx.tracer().record_complete("desugar", t.elapsed());
 
         // Level 1b: Monoid Optimizer (normalization).
+        let t = Instant::now();
         let mut normalize_stats = NormalizeStats::default();
         let mut normalized: Vec<DesugaredOp> = Vec::with_capacity(dq.ops.len());
         for op in &dq.ops {
@@ -472,10 +528,15 @@ impl CleanDb {
             });
         }
 
+        self.ctx.tracer().record_complete("normalize", t.elapsed());
+
         // Plan-cache lookup on the normalized calculus: a hit skips
         // lowering, sharing rewrites, blocker prep, and compilation.
         let calc_key = self.calc_key(&normalized);
         if let Some(entry) = self.lookup_calc(&calc_key) {
+            self.ctx
+                .tracer()
+                .event("plan_cache_calc_hit", "lowering + blocker prep skipped");
             if let Some(sql) = text {
                 self.remember_text_alias(sql, &calc_key);
             }
@@ -483,6 +544,7 @@ impl CleanDb {
         }
 
         // Level 2: lowering + sharing rewrite.
+        let t = Instant::now();
         let mut plans: Vec<Arc<Alg>> = Vec::with_capacity(normalized.len());
         for op in &normalized {
             plans.push(lower_op(&op.comp)?);
@@ -541,6 +603,7 @@ impl CleanDb {
         if let Some(sql) = text {
             self.remember_text_alias(sql, &calc_key);
         }
+        self.ctx.tracer().record_complete("plan", t.elapsed());
         self.execute_planned(&entry, false)
     }
 
@@ -584,6 +647,8 @@ impl CleanDb {
         // Cached entries accumulate comparison counts across runs; charge
         // only this run's delta into the metrics.
         let comparisons_before = entry.eval_ctx.comparisons();
+        let traced = self.ctx.tracer().is_enabled();
+        let programs_before = entry.programs.counters();
 
         let mut executor = Executor::new(
             Arc::clone(&self.ctx),
@@ -594,10 +659,22 @@ impl CleanDb {
         executor.set_stats(query_stats.clone());
         executor.set_program_cache(Arc::clone(&entry.programs));
         executor.register_plans(&entry.plans);
+        executor.set_profiling(traced);
         let mut ops: Vec<OpResult> = Vec::with_capacity(entry.plans.len());
+        let mut profiles: Vec<QueryProfile> =
+            Vec::with_capacity(if traced { entry.plans.len() } else { 0 });
+        let exec_span = self.ctx.tracer().span("execute");
         for (plan, op) in entry.plans.iter().zip(&entry.ops) {
             let op_start = Instant::now();
             let output = executor.run_reduce(plan)?;
+            if traced {
+                if let Some(root) = executor.take_profile_root() {
+                    profiles.push(QueryProfile {
+                        op: op.label.clone(),
+                        root,
+                    });
+                }
+            }
             ops.push(OpResult {
                 label: op.label.clone(),
                 kind: op.kind,
@@ -605,6 +682,7 @@ impl CleanDb {
                 duration: op_start.elapsed(),
             });
         }
+        drop(exec_span);
         let timings = executor.timings.clone();
         let decisions = executor.decisions.clone();
         let exprs = ExprStats {
@@ -620,7 +698,7 @@ impl CleanDb {
         let violating_ids = self.combine_violations(&ops)?;
         let repairs = collect_repairs(&ops);
 
-        Ok(CleaningReport {
+        let report = CleaningReport {
             profile: self.profile.name.clone(),
             ops,
             violating_ids,
@@ -640,7 +718,17 @@ impl CleanDb {
                 misses: self.plan_cache.misses,
             },
             incremental: None,
-        })
+            profiles,
+        };
+        let programs_after = entry.programs.counters();
+        self.registry.record_query(
+            &report,
+            (
+                programs_after.0 - programs_before.0,
+                programs_after.1 - programs_before.1,
+            ),
+        );
+        Ok(report)
     }
 
     /// Build the evaluation context: tables (for any residual reference

@@ -38,5 +38,5 @@ pub mod ops;
 pub mod physical;
 pub mod quality;
 
-pub use engine::{CleanDb, CleaningReport};
-pub use physical::EngineProfile;
+pub use engine::{CleanDb, CleaningReport, MetricsRegistry};
+pub use physical::{EngineProfile, ProfileNode, QueryProfile};

@@ -35,6 +35,7 @@ use crate::engine::storage::StoredTable;
 use super::groupfold::{self, AggFoldShape, GroupAcc};
 use super::profile::{EngineProfile, NestStrategy, ThetaStrategy};
 use super::program::{env_layout, ProgramCache, RowExpr};
+use super::qprofile::{clip, ProfileNode};
 
 /// A row in flight: the comprehension environment (variable → value).
 pub type RowEnv = Vec<(String, Value)>;
@@ -134,6 +135,27 @@ pub struct Executor<'a> {
     /// downstream operator (or into a collapsed filter chain): their
     /// intermediate filtered collections were never materialized.
     pub fused_selects: usize,
+    /// When set, every executed plan node is wrapped in a profiling frame
+    /// and assembled into a [`ProfileNode`] tree (EXPLAIN ANALYZE).
+    profiling: bool,
+    /// Stack of child collectors: the top entry receives nodes whose parent
+    /// frame is still open; the bottom entry collects completed plan roots.
+    prof_children: Vec<Vec<ProfileNode>>,
+    /// Set by the group-fold path so the `run_reduce` profiling wrapper can
+    /// label its root `GroupFold` (fold-into-accumulators) rather than
+    /// `Reduce` (materialize-then-reduce). Holds the grouping key rendering.
+    last_fold_key: Option<String>,
+}
+
+/// Per-node profiling bookkeeping captured at node entry; resolved into a
+/// [`ProfileNode`] at exit by diffing against the executor's counters.
+struct ProfFrame {
+    start: Instant,
+    stage_lo: usize,
+    decision_lo: usize,
+    compiled_lo: usize,
+    interpreted_lo: usize,
+    fused_lo: usize,
 }
 
 impl<'a> Executor<'a> {
@@ -159,7 +181,134 @@ impl<'a> Executor<'a> {
             compiled_exprs: 0,
             interpreted_exprs: 0,
             fused_selects: 0,
+            profiling: false,
+            prof_children: Vec::new(),
+            last_fold_key: None,
         }
+    }
+
+    /// Turn per-node profiling on or off. When on, each `run_reduce` call
+    /// leaves a completed [`ProfileNode`] tree retrievable via
+    /// [`Executor::take_profile_root`]. Off by default: the disabled cost
+    /// is a single branch per plan node.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+        self.prof_children.clear();
+        if on {
+            self.prof_children.push(Vec::new());
+        }
+    }
+
+    /// Take the profile tree of the most recently completed `run_reduce`
+    /// call. `None` when profiling is off or no plan completed since the
+    /// last take.
+    pub fn take_profile_root(&mut self) -> Option<ProfileNode> {
+        self.prof_children.first_mut().and_then(Vec::pop)
+    }
+
+    /// Open a profiling frame: snapshot every counter the node's execution
+    /// will advance, and push a collector for its children.
+    fn begin_node(&mut self) -> ProfFrame {
+        self.prof_children.push(Vec::new());
+        ProfFrame {
+            start: Instant::now(),
+            stage_lo: self.ctx.metrics().stage_count(),
+            decision_lo: self.decisions.len(),
+            compiled_lo: self.compiled_exprs,
+            interpreted_lo: self.interpreted_exprs,
+            fused_lo: self.fused_selects,
+        }
+    }
+
+    /// Close a profiling frame into a [`ProfileNode`] and hand it to the
+    /// parent frame. Attribution works by delta ranges: everything recorded
+    /// between entry and exit belongs to this subtree, and whatever the
+    /// children's own ranges claim is subtracted to leave this node's share.
+    fn end_node(
+        &mut self,
+        frame: ProfFrame,
+        op: String,
+        detail: String,
+        rows_out: u64,
+        mut flags: Vec<String>,
+    ) {
+        let children = self.prof_children.pop().expect("unbalanced profile frame");
+        let stage_hi = self.ctx.metrics().stage_count();
+        let decision_hi = self.decisions.len();
+        let claimed =
+            |i: usize, ranges: &[(usize, usize)]| ranges.iter().any(|&(a, b)| i >= a && i < b);
+
+        let mut node = ProfileNode {
+            op,
+            detail,
+            rows_out,
+            wall_ns: frame.start.elapsed().as_nanos() as u64,
+            stage_range: (frame.stage_lo, stage_hi),
+            decision_range: (frame.decision_lo, decision_hi),
+            ..ProfileNode::default()
+        };
+
+        // Exec stages in this subtree's range not claimed by a child
+        // subtree ran for this node: fold in their shuffle volume, busy
+        // time, and balance.
+        let child_stages: Vec<_> = children.iter().map(|c| c.stage_range).collect();
+        let reports = self.ctx.metrics().stages_since(frame.stage_lo);
+        for i in frame.stage_lo..stage_hi {
+            if claimed(i, &child_stages) {
+                continue;
+            }
+            let Some(r) = reports.get(i - frame.stage_lo) else {
+                continue;
+            };
+            node.busy_ns += r.worker_busy_ns.iter().sum::<u64>();
+            node.shuffled += r.records_shuffled;
+            node.max_imbalance = node.max_imbalance.max(r.imbalance());
+            node.idle_fraction = node.idle_fraction.max(r.idle_fraction());
+            node.stage_ops.push(r.operator.to_string());
+        }
+
+        let child_decisions: Vec<_> = children.iter().map(|c| c.decision_range).collect();
+        for i in frame.decision_lo..decision_hi {
+            if claimed(i, &child_decisions) {
+                continue;
+            }
+            let d = &self.decisions[i];
+            node.strategies
+                .push(format!("{} ({})", d.strategy, d.reason));
+        }
+
+        // Expression counters: the subtree delta minus what the children's
+        // subtrees already account for is this node's own contribution.
+        let mut compiled = self.compiled_exprs - frame.compiled_lo;
+        let mut interpreted = self.interpreted_exprs - frame.interpreted_lo;
+        let mut fused = self.fused_selects - frame.fused_lo;
+        for c in &children {
+            let (cc, ci, cf) = c.subtree_exprs();
+            compiled = compiled.saturating_sub(cc);
+            interpreted = interpreted.saturating_sub(ci);
+            fused = fused.saturating_sub(cf);
+        }
+        node.compiled_exprs = compiled;
+        node.interpreted_exprs = interpreted;
+        node.fused_selects = fused;
+
+        node.rows_in = if children.is_empty() {
+            rows_out
+        } else {
+            children.iter().map(|c| c.rows_out).sum()
+        };
+        node.flags.append(&mut flags);
+        node.children = children;
+        self.prof_children
+            .last_mut()
+            .expect("profiling root collector")
+            .push(node);
+    }
+
+    /// Discard an open frame after an execution error, keeping the frame
+    /// stack balanced for the next plan.
+    fn abort_node(&mut self) {
+        self.prof_children.pop();
     }
 
     /// Peel the chain of fusible `Select` nodes off `plan`: the predicates
@@ -268,7 +417,38 @@ impl<'a> Executor<'a> {
     /// monoids the pass folds each partition down to one accumulator on
     /// the workers ([`Dataset::filter_fold`]), so neither the filtered rows
     /// nor the per-row head values are ever materialized.
+    ///
+    /// With profiling on, the whole per-operator execution becomes the
+    /// root [`ProfileNode`]: `GroupFold` when the streaming grouped path
+    /// consumed the Nest+Reduce, `Reduce[monoid]` otherwise.
     pub fn run_reduce(&mut self, plan: &Arc<Alg>) -> ExecResult<Vec<Value>> {
+        if !self.profiling {
+            return self.run_reduce_inner(plan);
+        }
+        self.last_fold_key = None;
+        let frame = self.begin_node();
+        let result = self.run_reduce_inner(plan);
+        match &result {
+            Ok(outputs) => {
+                let (op, detail, flags) = match self.last_fold_key.take() {
+                    Some(key) => (
+                        "GroupFold".to_string(),
+                        key,
+                        vec!["fold-groups".to_string()],
+                    ),
+                    None => {
+                        let (op, detail) = plan_label(plan);
+                        (op, detail, Vec::new())
+                    }
+                };
+                self.end_node(frame, op, detail, outputs.len() as u64, flags);
+            }
+            Err(_) => self.abort_node(),
+        }
+        result
+    }
+
+    fn run_reduce_inner(&mut self, plan: &Arc<Alg>) -> ExecResult<Vec<Value>> {
         if self.profile.fold_groups {
             if let Some(outputs) = self.try_group_fold(plan)? {
                 return Ok(outputs);
@@ -503,6 +683,9 @@ impl<'a> Executor<'a> {
         group_selects: usize,
     ) -> ExecResult<Vec<Value>> {
         let keeps_groups = shape.keeps_groups();
+        if self.profiling {
+            self.last_fold_key = Some(clip(format!("by {key}")));
+        }
         let (preds, source) = self.peel_selects(nest_input);
         let nfused = preds.len();
         let pred_similarity = preds.iter().any(|p| expr_has_similarity(p));
@@ -842,14 +1025,61 @@ impl<'a> Executor<'a> {
         let memoize = self.profile.share_plans && self.shared_nodes.contains(&key);
         if memoize {
             if let Some(cached) = self.cache.get(&key) {
-                return Ok(cached.clone());
+                let cached = cached.clone();
+                if self.profiling {
+                    // A reuse of a memoized DAG node: a zero-cost leaf in
+                    // the tree (its compute was profiled at the first
+                    // consumer, flagged `shared`).
+                    let (op, detail) = plan_label(plan);
+                    let rows = cached.count() as u64;
+                    let lo = self.ctx.metrics().stage_count();
+                    let dlo = self.decisions.len();
+                    self.prof_children
+                        .last_mut()
+                        .expect("profiling root collector")
+                        .push(ProfileNode {
+                            op,
+                            detail,
+                            rows_in: rows,
+                            rows_out: rows,
+                            flags: vec!["cached".to_string()],
+                            stage_range: (lo, lo),
+                            decision_range: (dlo, dlo),
+                            ..ProfileNode::default()
+                        });
+                }
+                return Ok(cached);
             }
         }
-        let result = self.run_uncached(plan)?;
-        if memoize {
-            self.cache.insert(key, result.clone());
+        if !self.profiling {
+            let result = self.run_uncached(plan)?;
+            if memoize {
+                self.cache.insert(key, result.clone());
+            }
+            return Ok(result);
         }
-        Ok(result)
+        let frame = self.begin_node();
+        match self.run_uncached(plan) {
+            Ok(result) => {
+                let (op, detail) = plan_label(plan);
+                let mut flags = Vec::new();
+                if memoize {
+                    flags.push("shared".to_string());
+                }
+                if matches!(&**plan, Alg::Nest { .. }) {
+                    flags.push("materialize-groups".to_string());
+                }
+                self.end_node(frame, op, detail, result.count() as u64, flags);
+                if memoize {
+                    self.cache.insert(key, result.clone());
+                }
+                Ok(result)
+            }
+            Err(e) => {
+                self.abort_node();
+                Err(e)
+            }
+        }
     }
 
     fn run_uncached(&mut self, plan: &Arc<Alg>) -> ExecResult<Dataset<RowEnv>> {
@@ -1420,6 +1650,28 @@ pub(crate) fn merge_scalar(m: &MonoidKind, acc: Value, v: Value) -> cleanm_value
         return Ok(acc);
     }
     merge_values(m, acc, v)
+}
+
+/// Operator label and defining-expression detail of a plan node, as shown
+/// in profile trees. `Select` details render the node's own predicate; a
+/// collapsed chain's extra predicates show up in the node's fused count.
+fn plan_label(plan: &Alg) -> (String, String) {
+    match plan {
+        Alg::Scan { table, var } => ("Scan".to_string(), clip(format!("{table} as {var}"))),
+        Alg::Select { pred, .. } => ("Select".to_string(), clip(pred)),
+        Alg::Unnest { path, var, .. } => ("Unnest".to_string(), clip(format!("{path} as {var}"))),
+        Alg::Nest { key, .. } => ("Nest".to_string(), clip(format!("by {key}"))),
+        Alg::Join {
+            left_key,
+            right_key,
+            ..
+        } => (
+            "Join".to_string(),
+            clip(format!("{left_key} = {right_key}")),
+        ),
+        Alg::ThetaJoin { pred, .. } => ("ThetaJoin".to_string(), clip(pred)),
+        Alg::Reduce { monoid, head, .. } => (format!("Reduce[{monoid:?}]"), clip(head)),
+    }
 }
 
 /// Conjoin a peeled Select chain left-to-right in evaluation order

@@ -12,7 +12,9 @@ pub mod execute;
 mod groupfold;
 pub mod profile;
 pub mod program;
+pub mod qprofile;
 
 pub use execute::{Executor, PhaseTimings, PlanDecision, RowEnv};
 pub use profile::{EngineProfile, NestStrategy, ThetaStrategy};
 pub use program::{env_layout, ProgramCache, RowExpr};
+pub use qprofile::{ProfileNode, QueryProfile};

@@ -97,6 +97,8 @@ impl RowExpr {
 #[derive(Default)]
 pub struct ProgramCache {
     programs: Mutex<HashMap<(String, String), Arc<RowExpr>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
 }
 
 impl ProgramCache {
@@ -113,14 +115,26 @@ impl ProgramCache {
         self.len() == 0
     }
 
+    /// Lifetime `(hits, misses)` of [`get_or_compile`] lookups — the
+    /// program-cache hit ratio the session metrics registry reports.
+    ///
+    /// [`get_or_compile`]: ProgramCache::get_or_compile
+    pub fn counters(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
     /// The cached program for `(expr, scope)`, compiling and inserting it
     /// on first request.
     pub fn get_or_compile(&self, expr: &CalcExpr, scope: &[String], ctx: &EvalCtx) -> Arc<RowExpr> {
+        use std::sync::atomic::Ordering::Relaxed;
         let key = (expr.to_string(), scope.join("\u{1f}"));
         let mut map = self.programs.lock();
         if let Some(rx) = map.get(&key) {
+            self.hits.fetch_add(1, Relaxed);
             return Arc::clone(rx);
         }
+        self.misses.fetch_add(1, Relaxed);
         let rx = Arc::new(RowExpr::compile(expr, scope, ctx));
         map.insert(key, Arc::clone(&rx));
         rx

@@ -1,10 +1,13 @@
-//! Execution context: cluster shape, metrics, work budget.
+//! Execution context: cluster shape, metrics, work budget, tracer.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use cleanm_trace::Tracer;
 
 use crate::error::{ExecError, ExecResult};
-use crate::metrics::ExecMetrics;
+use crate::metrics::{ExecMetrics, StageReport};
 
 /// Shared context for a "cluster": how many worker threads, how many
 /// partitions new datasets get, the metric counters, and the work budget.
@@ -27,6 +30,10 @@ pub struct ExecContext {
     /// non-zero, shuffles spin for `records × cost` to model it. Default 0
     /// (off) so unit tests measure pure compute.
     network_ns_per_record: AtomicU64,
+    /// Span tracer shared by every layer running on this context. Disabled
+    /// by default: instrumented sites pay one atomic load until a session
+    /// enables it (`CleanDb::set_tracing` / `explain`).
+    tracer: Arc<Tracer>,
 }
 
 impl ExecContext {
@@ -41,6 +48,7 @@ impl ExecContext {
             budget_remaining: AtomicU64::new(u64::MAX),
             budget_limited: false,
             network_ns_per_record: AtomicU64::new(0),
+            tracer: Arc::new(Tracer::new()),
         })
     }
 
@@ -56,6 +64,7 @@ impl ExecContext {
             budget_remaining: AtomicU64::new(budget),
             budget_limited: true,
             network_ns_per_record: AtomicU64::new(0),
+            tracer: Arc::new(Tracer::new()),
         })
     }
 
@@ -78,6 +87,24 @@ impl ExecContext {
 
     pub fn metrics(&self) -> &ExecMetrics {
         &self.metrics
+    }
+
+    /// The context's span tracer. Disabled by default; shared so sessions,
+    /// the incremental service, and the drivers all record into one log.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Record a finished stage: pushes the [`StageReport`] onto the metric
+    /// counters and, when tracing is enabled, emits an exec-layer span named
+    /// after the operator with the stage's wall time. Every dataset driver
+    /// reports through here so the trace and the metrics stay in lockstep.
+    pub fn record_stage(&self, report: StageReport) {
+        if self.tracer.is_enabled() {
+            self.tracer
+                .record_complete(report.operator, Duration::from_nanos(report.wall_ns));
+        }
+        self.metrics.push_stage(report);
     }
 
     /// Remaining budget (for reporting). `u64::MAX` when unlimited.

@@ -2,6 +2,7 @@
 
 use std::hash::Hash;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::context::ExecContext;
 use crate::metrics::StageReport;
@@ -124,14 +125,16 @@ impl<T: Data> Dataset<T> {
     pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> Dataset<T> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
             part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "filter",
             records_in,
             records_shuffled: 0,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -144,15 +147,17 @@ impl<T: Data> Dataset<T> {
     pub fn filter_partitions(self, f: impl Fn(&mut Vec<T>) + Sync) -> Dataset<T> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, mut part| {
             f(&mut part);
             part
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "filter",
             records_in,
             records_shuffled: 0,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -169,12 +174,14 @@ impl<T: Data> Dataset<T> {
     ) -> Dataset<U> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| f(part));
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: 0,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -194,6 +201,7 @@ impl<T: Data> Dataset<T> {
     ) -> Dataset<U> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
             let mut out = Vec::with_capacity(part.len());
             for t in part {
@@ -203,11 +211,12 @@ impl<T: Data> Dataset<T> {
             }
             out
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: 0,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -228,6 +237,7 @@ impl<T: Data> Dataset<T> {
         fold: impl Fn(A, T) -> A + Sync,
     ) -> Vec<A> {
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         let (partials, busy) = run_partitions(&self.ctx, self.parts, |_, part| {
             let mut acc = zero();
             for t in part {
@@ -237,11 +247,12 @@ impl<T: Data> Dataset<T> {
             }
             acc
         });
-        self.ctx.metrics().push_stage(StageReport {
+        self.ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: 0,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         partials
     }
@@ -252,14 +263,16 @@ impl<T: Data> Dataset<T> {
     pub fn flat_map<U: Data>(self, f: impl Fn(T) -> Vec<U> + Sync) -> Dataset<U> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
             part.into_iter().flat_map(&f).collect::<Vec<U>>()
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "flat_map",
             records_in,
             records_shuffled: 0,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -291,13 +304,15 @@ impl<T: Data> Dataset<T> {
     pub fn summarize_partitions<A: Data>(&self, f: impl Fn(&[T]) -> A + Sync) -> Vec<A> {
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
+        let start = Instant::now();
         let (partials, busy) = run_partitions(&self.ctx, refs, |_, part| f(part));
         self.ctx.charge_shuffle(partials.len() as u64);
-        self.ctx.metrics().push_stage(StageReport {
+        self.ctx.record_stage(StageReport {
             operator: "summarize_partitions",
             records_in,
             records_shuffled: partials.len() as u64,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         partials
     }
@@ -319,6 +334,7 @@ impl<T: Data> Dataset<T> {
     ) -> Vec<A> {
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
+        let start = Instant::now();
         let (partials, busy) = run_partitions(&self.ctx, refs, |_, part| {
             let mut acc = init();
             for t in part {
@@ -327,11 +343,12 @@ impl<T: Data> Dataset<T> {
             acc
         });
         self.ctx.charge_shuffle(partials.len() as u64);
-        self.ctx.metrics().push_stage(StageReport {
+        self.ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: partials.len() as u64,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         partials
     }
@@ -391,13 +408,15 @@ pub fn summarize_rows<T: Sync, A: Data>(
     while refs.len() < p {
         refs.push(&[]);
     }
+    let start = Instant::now();
     let (partials, busy) = run_partitions(ctx, refs, |_, part| f(part));
     ctx.charge_shuffle(partials.len() as u64);
-    ctx.metrics().push_stage(StageReport {
+    ctx.record_stage(StageReport {
         operator: "summarize_partitions",
         records_in: rows.len() as u64,
         records_shuffled: partials.len() as u64,
         worker_busy_ns: busy,
+        wall_ns: start.elapsed().as_nanos() as u64,
     });
     partials
 }
@@ -424,13 +443,15 @@ pub fn summarize_batches<T: Sync, A: Data>(
     while refs.len() < p {
         refs.push(&[]);
     }
+    let start = Instant::now();
     let (partials, busy) = run_partitions(ctx, refs, |_, part| f(part));
     ctx.charge_shuffle(partials.len() as u64);
-    ctx.metrics().push_stage(StageReport {
+    ctx.record_stage(StageReport {
         operator: "summarize_partitions",
         records_in: total as u64,
         records_shuffled: partials.len() as u64,
         worker_busy_ns: busy,
+        wall_ns: start.elapsed().as_nanos() as u64,
     });
     partials
 }

@@ -31,6 +31,7 @@
 //! same value order as the materializing path's group lists.
 
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::time::Instant;
 
 use cleanm_values::{fx_hash, HASH_SEED};
 
@@ -219,6 +220,7 @@ impl<T: Data> Dataset<T> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
 
         // Map-side fold: pairs land in the table as they are emitted.
         let (combined, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
@@ -255,11 +257,12 @@ impl<T: Data> Dataset<T> {
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: partials,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -281,6 +284,7 @@ impl<T: Data> Dataset<T> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
 
         let (pair_parts, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
             let mut out: Vec<(HashedKey<K>, V)> = Vec::with_capacity(part.len());
@@ -310,11 +314,12 @@ impl<T: Data> Dataset<T> {
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: moved,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -336,6 +341,7 @@ impl<T: Data> Dataset<T> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
 
         let (pair_parts, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
             let mut out: Vec<(K, V)> = Vec::with_capacity(part.len());
@@ -385,11 +391,12 @@ impl<T: Data> Dataset<T> {
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: label,
             records_in,
             records_shuffled: moved,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }

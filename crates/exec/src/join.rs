@@ -6,6 +6,7 @@
 //! combine per-operator violation sets (§5, "overall plan").
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use crate::dataset::{Data, Dataset, Key};
 use crate::metrics::StageReport;
@@ -32,6 +33,7 @@ fn co_partition<K: Key, V: Data, W: Data>(
 impl<K: Key, V: Data> Dataset<(K, V)> {
     /// Hash inner equi-join.
     pub fn join_hash<W: Data>(self, right: Dataset<(K, W)>) -> Dataset<(K, V, W)> {
+        let start = Instant::now();
         let (l, r) = co_partition(self, right);
         let ctx = l.ctx.clone();
         let records_in: u64 = (l.count() + r.count()) as u64;
@@ -52,11 +54,12 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             }
             out
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "join_hash",
             records_in,
             records_shuffled: records_in,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }

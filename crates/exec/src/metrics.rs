@@ -19,11 +19,18 @@ pub struct StageReport {
     pub records_shuffled: u64,
     /// Busy nanoseconds per worker for the stage's parallel phase.
     pub worker_busy_ns: Vec<u64>,
+    /// Wall-clock nanoseconds for the whole stage (partitioning, the
+    /// parallel phase, and the merge). 0 when the driver did not measure.
+    pub wall_ns: u64,
 }
 
 impl StageReport {
-    /// Load imbalance: max worker busy time over mean busy time. 1.0 is
-    /// perfectly balanced; large values mean one straggler dominated.
+    /// Load imbalance: max worker busy time over mean busy time **among
+    /// workers that did any work**. 1.0 is perfectly balanced; large values
+    /// mean one straggler dominated. Because idle (zero-busy) workers are
+    /// excluded from the mean, this metric understates skew when most
+    /// workers never got a partition — pair it with [`Self::idle_fraction`],
+    /// which counts them.
     pub fn imbalance(&self) -> f64 {
         let busy: Vec<u64> = self
             .worker_busy_ns
@@ -41,6 +48,21 @@ impl StageReport {
         } else {
             max / mean
         }
+    }
+
+    /// Fraction of the stage's total worker-time capacity
+    /// (`workers × wall_ns`) that was spent idle: `1 − Σbusy / (w × wall)`.
+    /// Unlike [`Self::imbalance`] this counts workers that recorded *zero*
+    /// work, so a stage where one straggler ran alone while three workers
+    /// idled reports ≈0.75 here even though max/mean-of-nonzero is 1.0.
+    /// Returns 0.0 when the stage was not timed or had no workers.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.wall_ns == 0 || self.worker_busy_ns.is_empty() {
+            return 0.0;
+        }
+        let capacity = self.wall_ns as f64 * self.worker_busy_ns.len() as f64;
+        let busy: f64 = self.worker_busy_ns.iter().map(|&b| b as f64).sum();
+        (1.0 - busy / capacity).clamp(0.0, 1.0)
     }
 }
 
@@ -63,6 +85,19 @@ impl ExecMetrics {
 
     pub fn push_stage(&self, report: StageReport) {
         self.stages.lock().push(report);
+    }
+
+    /// Number of stages recorded so far. Paired with [`Self::stages_since`],
+    /// this lets the executor attribute stage reports to the plan node that
+    /// produced them without cloning the whole snapshot per node.
+    pub fn stage_count(&self) -> usize {
+        self.stages.lock().len()
+    }
+
+    /// Copy of the stages recorded at index `lo` and later.
+    pub fn stages_since(&self, lo: usize) -> Vec<StageReport> {
+        let stages = self.stages.lock();
+        stages.get(lo..).map(<[_]>::to_vec).unwrap_or_default()
     }
 
     /// A point-in-time copy of all counters.
@@ -124,6 +159,7 @@ mod tests {
             records_in: 0,
             records_shuffled: 0,
             worker_busy_ns: vec![100, 100, 100, 100],
+            wall_ns: 0,
         };
         assert!((r.imbalance() - 1.0).abs() < 1e-9);
         let skewed = StageReport {
@@ -146,15 +182,51 @@ mod tests {
             records_in: 1,
             records_shuffled: 1,
             worker_busy_ns: vec![1],
+            wall_ns: 0,
         });
         m.push_stage(StageReport {
             operator: "b",
             records_in: 2,
             records_shuffled: 2,
             worker_busy_ns: vec![9, 1],
+            wall_ns: 0,
         });
         let s = m.snapshot();
         assert_eq!(s.stages.len(), 2);
         assert!(s.max_imbalance() > 1.5);
+        assert_eq!(m.stage_count(), 2);
+        let tail = m.stages_since(1);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].operator, "b");
+        assert!(m.stages_since(5).is_empty());
+    }
+
+    #[test]
+    fn idle_fraction_counts_zero_busy_workers() {
+        // One straggler ran for the whole stage while three workers idled:
+        // max/mean over *non-zero* workers reports a perfectly balanced 1.0,
+        // which is exactly the blind spot idle_fraction() closes.
+        let straggler = StageReport {
+            operator: "x",
+            records_in: 0,
+            records_shuffled: 0,
+            worker_busy_ns: vec![1_000, 0, 0, 0],
+            wall_ns: 1_000,
+        };
+        assert!((straggler.imbalance() - 1.0).abs() < 1e-9);
+        assert!((straggler.idle_fraction() - 0.75).abs() < 1e-9);
+
+        let balanced = StageReport {
+            worker_busy_ns: vec![1_000, 1_000, 1_000, 1_000],
+            ..straggler.clone()
+        };
+        assert!(balanced.idle_fraction() < 1e-9);
+
+        // Untimed stages (wall_ns = 0) report no idleness rather than junk.
+        let untimed = StageReport {
+            wall_ns: 0,
+            ..straggler
+        };
+        assert_eq!(untimed.idle_fraction(), 0.0);
     }
 }

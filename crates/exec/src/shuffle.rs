@@ -100,6 +100,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         ctx.charge_shuffle(records);
 
         let shuffled = scatter(self.parts, n, |(k, _)| hash_partition(k, n));
@@ -110,11 +111,12 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             }
             groups.into_iter().collect::<Vec<_>>()
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "group_by_key_hash",
             records_in: records,
             records_shuffled: records,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -126,6 +128,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
+        let start = Instant::now();
         ctx.charge_shuffle(records);
 
         // Sample up to ~16 keys per partition for range boundaries.
@@ -152,11 +155,12 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             }
             out
         });
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "group_by_key_sorted",
             records_in: records,
             records_shuffled: records,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }
@@ -183,7 +187,6 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             }
             local.into_iter().collect::<Vec<(K, A)>>()
         });
-        let _ = start;
 
         // Only partials cross partitions.
         let partials: u64 = combined.iter().map(|p| p.len() as u64).sum();
@@ -207,11 +210,12 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
-        ctx.metrics().push_stage(StageReport {
+        ctx.record_stage(StageReport {
             operator: "aggregate_by_key",
             records_in: records,
             records_shuffled: partials,
             worker_busy_ns: busy,
+            wall_ns: start.elapsed().as_nanos() as u64,
         });
         Dataset { ctx, parts }
     }

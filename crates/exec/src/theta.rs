@@ -24,6 +24,7 @@ use crate::error::ExecResult;
 use crate::metrics::StageReport;
 use crate::pool::run_partitions;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Full cross product + filter. Work = `|L| × |R|` comparisons, consumed
 /// from the budget before any work happens.
@@ -33,6 +34,7 @@ pub fn cartesian_filter<T: Data, U: Data>(
     pred: impl Fn(&T, &U) -> bool + Sync,
 ) -> ExecResult<Dataset<(T, U)>> {
     let ctx = left.ctx.clone();
+    let start = Instant::now();
     let ln = left.count() as u64;
     let rn = right.count() as u64;
     ctx.consume_budget("cartesian_filter", ln.saturating_mul(rn))?;
@@ -52,11 +54,12 @@ pub fn cartesian_filter<T: Data, U: Data>(
         }
         out
     });
-    ctx.metrics().push_stage(StageReport {
+    ctx.record_stage(StageReport {
         operator: "cartesian_filter",
         records_in: ln + rn,
         records_shuffled: rn,
         worker_busy_ns: busy,
+        wall_ns: start.elapsed().as_nanos() as u64,
     });
     Ok(Dataset { ctx, parts })
 }
@@ -79,6 +82,7 @@ pub fn minmax_block_join<T: Data, U: Data>(
     pred: impl Fn(&T, &U) -> bool + Sync,
 ) -> ExecResult<Dataset<(T, U)>> {
     let ctx = left.ctx.clone();
+    let start = Instant::now();
     let ln = left.count() as u64;
     let rn = right.count() as u64;
 
@@ -144,11 +148,12 @@ pub fn minmax_block_join<T: Data, U: Data>(
         }
         out
     });
-    ctx.metrics().push_stage(StageReport {
+    ctx.record_stage(StageReport {
         operator: "minmax_block_join",
         records_in: ln + rn,
         records_shuffled: shuffle_volume,
         worker_busy_ns: busy,
+        wall_ns: start.elapsed().as_nanos() as u64,
     });
     Ok(Dataset { ctx, parts })
 }
@@ -215,6 +220,7 @@ pub fn mbucket_join_with_bounds<T: Data, U: Data>(
     mut bounds: Vec<f64>,
 ) -> ExecResult<Dataset<(T, U)>> {
     let ctx = left.ctx.clone();
+    let start = Instant::now();
     let ln = left.count() as u64;
     let rn = right.count() as u64;
     bounds.retain(|b| b.is_finite());
@@ -309,11 +315,12 @@ pub fn mbucket_join_with_bounds<T: Data, U: Data>(
         }
         out
     });
-    ctx.metrics().push_stage(StageReport {
+    ctx.record_stage(StageReport {
         operator: "mbucket_join",
         records_in: ln + rn,
         records_shuffled: ln + rn,
         worker_busy_ns: busy,
+        wall_ns: start.elapsed().as_nanos() as u64,
     });
     Ok(Dataset { ctx, parts })
 }

@@ -170,22 +170,35 @@ impl IncrementalSession {
     /// operators ran from retained state vs fell back.
     pub fn refresh(&mut self, id: QueryId) -> Result<CleaningReport, EngineError> {
         let started = Instant::now();
+        let tracer = Arc::clone(self.db.context().tracer());
+        let _refresh_span = tracer.span("refresh");
         // Each refresh reports its own runtime metrics, not a running
         // accumulation since the last batch run.
         self.db.context().metrics().reset();
         // Invalidation sweep: a re-registered table or a dictionary change
         // invalidates retained state wholesale — rebuild via a full run.
-        let needs_rebuild = {
+        // The specific reason becomes a tracer event so a fleet of standing
+        // queries can be audited for *why* refreshes stopped being cheap.
+        let rebuild_reason = {
             let q = &self.queries[id.0];
-            q.entry.is_none()
-                || q.dict_gen != self.db.dictionaries_generation()
-                || q.cursors.iter().any(|(t, cur)| match self.db.table(t) {
-                    Some(s) => s.created() != cur.lineage || s.batches().len() < cur.batches_seen,
-                    None => true,
-                })
+            if q.entry.is_none() {
+                Some("no cached plan (evicted or poisoned); full re-run")
+            } else if q.dict_gen != self.db.dictionaries_generation() {
+                Some("dictionary (re)registered; blockers stale; full re-run")
+            } else if q.cursors.iter().any(|(t, cur)| match self.db.table(t) {
+                Some(s) => s.created() != cur.lineage || s.batches().len() < cur.batches_seen,
+                None => true,
+            }) {
+                Some("a table was re-registered or dropped; full re-run")
+            } else {
+                None
+            }
         };
-        if needs_rebuild {
-            return self.reinstall(id);
+        if let Some(reason) = rebuild_reason {
+            tracer.event("refresh_fallback", reason);
+            let report = self.reinstall(id)?;
+            self.db.record_refresh_latency(report.total);
+            return Ok(report);
         }
 
         // Gather the delta batches per tracked table.
@@ -210,11 +223,16 @@ impl IncrementalSession {
         // Fallback ops re-run the whole query once; their outputs come from
         // that run while maintainable ops still absorb their deltas.
         let sql = self.queries[id.0].sql.clone();
-        let has_fallback = self.queries[id.0]
+        let n_fallback = self.queries[id.0]
             .ops
             .iter()
-            .any(|op| op.state.is_fallback());
-        let full_report = if has_fallback {
+            .filter(|op| op.state.is_fallback())
+            .count();
+        let full_report = if n_fallback > 0 {
+            tracer.event(
+                "refresh_fallback",
+                format!("{n_fallback} op(s) without maintainable state; one full run serves them"),
+            );
             Some(self.db.run(&sql)?)
         } else {
             None
@@ -268,8 +286,14 @@ impl IncrementalSession {
             // Poison the standing state first: even if the rebuild's full
             // run errors, the next refresh reinstalls instead of absorbing
             // the same delta into half-updated state again.
+            tracer.event(
+                "refresh_fallback",
+                "delta row failed to evaluate; retained state untrustworthy; rebuilding",
+            );
             self.queries[id.0].entry = None;
-            return self.reinstall(id);
+            let report = self.reinstall(id)?;
+            self.db.record_refresh_latency(report.total);
+            return Ok(report);
         }
         q.cursors = new_cursors;
 
@@ -280,7 +304,7 @@ impl IncrementalSession {
         let violating_ids = combine_local_violations(&ops);
         let repairs = collect_repairs(&ops);
         let (hits, misses) = self.db.plan_cache_counters();
-        Ok(CleaningReport {
+        let report = CleaningReport {
             profile: self.db.profile().name.clone(),
             ops,
             violating_ids,
@@ -307,7 +331,14 @@ impl IncrementalSession {
                 incremental_ops,
                 fallback_ops,
             }),
-        })
+            // The incremental path drives exec datasets directly rather
+            // than through the plan executor, so no per-node tree exists;
+            // refresh cost shows up in the registry's refresh latencies
+            // and in the tracer's `refresh` span instead.
+            profiles: Vec::new(),
+        };
+        self.db.record_refresh_latency(report.total);
+        Ok(report)
     }
 
     /// Full rebuild of a standing query: one batch run, fresh state. Used

@@ -543,3 +543,44 @@ fn repeated_install_hits_plan_cache() {
     assert!(again.plan_cache.hit);
     assert!(again.plan_cache.hits >= 1);
 }
+
+#[test]
+fn refreshes_feed_the_session_registry_and_trace() {
+    let sql = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register(
+        "customer",
+        make_table(&[RowSpec {
+            name: 0,
+            addr: 0,
+            nation: 0,
+        }]),
+    );
+    db.set_tracing(true);
+    let mut session = IncrementalSession::new(db);
+    let (id, _) = session.install(sql).expect("install");
+    session.db().context().tracer().take(); // drop install-time spans
+    for nation in 1..3 {
+        session
+            .append(
+                "customer",
+                make_table(&[RowSpec {
+                    name: 0,
+                    addr: 0,
+                    nation,
+                }]),
+            )
+            .expect("append");
+        session.refresh(id).expect("refresh");
+    }
+    // Each refresh recorded its wall time in the session-wide registry,
+    // separately from batch-query latencies (install ran exactly one).
+    let reg = session.db().metrics_registry();
+    assert_eq!(reg.refresh_latency().count(), 2);
+    assert_eq!(reg.query_latency().count(), 1);
+    assert!(reg.refresh_latency().percentiles().is_some());
+    // And the tracer saw one `refresh` span per refresh.
+    let log = session.db().context().tracer().take();
+    let refreshes = log.spans.iter().filter(|s| s.name == "refresh").count();
+    assert_eq!(refreshes, 2, "{:?}", log.render());
+}

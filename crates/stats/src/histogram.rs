@@ -110,6 +110,29 @@ impl EquiDepthHistogram {
         (self.selectivity_lt(hi) - self.selectivity_lt(lo)).clamp(0.0, 1.0)
     }
 
+    /// The key at quantile `q ∈ [0, 1]` — the inverse of
+    /// [`selectivity_lt`], interpolated linearly inside the covering
+    /// bucket. `q = 0.5` is the estimated median; `q ≥ 1` returns the max.
+    /// This is what turns a latency histogram into p50/p90/p99 figures.
+    ///
+    /// [`selectivity_lt`]: EquiDepthHistogram::selectivity_lt
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for b in &self.buckets {
+            if acc + b.fraction >= q {
+                let within = if b.fraction > 0.0 {
+                    (q - acc) / b.fraction
+                } else {
+                    0.0
+                };
+                return b.lo + (b.hi - b.lo) * within.clamp(0.0, 1.0);
+            }
+            acc += b.fraction;
+        }
+        self.max
+    }
+
     /// Estimated fraction of *(left row, right row)* pairs whose bucket
     /// ranges could satisfy a theta predicate, given `compatible` over
     /// `(left (min,max), right (min,max))` ranges — the same contract the
@@ -188,6 +211,29 @@ mod tests {
     fn empty_sample_yields_none() {
         assert!(EquiDepthHistogram::from_sample(&[], 8, 0).is_none());
         assert!(EquiDepthHistogram::from_sample(&[f64::NAN], 8, 1).is_none());
+    }
+
+    #[test]
+    fn quantile_inverts_selectivity() {
+        let h = EquiDepthHistogram::from_sample(&uniform(1000), 16, 1000).unwrap();
+        assert!(
+            (h.quantile(0.5) - 500.0).abs() < 50.0,
+            "{}",
+            h.quantile(0.5)
+        );
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 999.0);
+        assert_eq!(h.quantile(7.0), 999.0, "clamped above");
+        // Monotone in q.
+        let qs = [0.1, 0.25, 0.5, 0.9, 0.99];
+        for w in qs.windows(2) {
+            assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+        // Round-trip within one bucket of resolution.
+        for q in qs {
+            let s = h.selectivity_lt(h.quantile(q));
+            assert!((s - q).abs() < 0.1, "q={q} s={s}");
+        }
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Minimal JSON emission helpers.
+//!
+//! The workspace's offline `serde` shim is a no-op marker trait, so every
+//! crate that exports JSON writes it by hand. These helpers centralize the
+//! two fiddly parts — string escaping and float formatting — so the profile
+//! and registry exports in `cleanm-core` don't each reinvent them.
+
+/// Escape `s` for inclusion inside a JSON string literal (no surrounding
+/// quotes). Handles quotes, backslashes, and control characters.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A quoted, escaped JSON string literal for `s`.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// A finite JSON number for `x` (3 decimal places); non-finite values become
+/// `null`, which raw `format!("{x}")` would not (JSON has no `NaN`/`inf`).
+pub fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(string("x"), "\"x\"");
+    }
+
+    #[test]
+    fn num_handles_non_finite() {
+        assert_eq!(num(1.5), "1.500");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

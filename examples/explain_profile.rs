@@ -1,0 +1,70 @@
+//! EXPLAIN ANALYZE for cleaning queries: run the unified query traced,
+//! print the per-node execution profile of every operator, then the
+//! session-wide metrics registry after a few more queries.
+//!
+//! ```sh
+//! cargo run --release --example explain_profile
+//! ```
+
+use cleanm::core::{CleanDb, EngineProfile};
+use cleanm::datagen::customer::CustomerGen;
+use cleanm::datagen::names;
+
+fn main() {
+    let data = CustomerGen::new(2017)
+        .rows(3_000)
+        .duplicate_fraction(0.10)
+        .max_duplicates(15)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let dictionary = names::dictionary(800, 99);
+
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", data.table);
+    db.register_dictionary("dictionary", dictionary);
+
+    let query = "SELECT c.name, c.address FROM customer c, dictionary d \
+                 FD(c.address | prefix(c.phone)) \
+                 DEDUP(exact, LD, 0.8, c.address, c.name) \
+                 CLUSTER BY(token_filtering(3), LD, 0.8, c.name)";
+
+    // `explain` forces tracing for one run and renders the executed plan:
+    // per node, rows in/out, wall and worker-busy time, shuffle volume,
+    // load imbalance, compiled/fused expression counts, and flags such as
+    // `shared` / `cached` (plan-DAG reuse) or `fold-groups` (streaming
+    // grouped aggregation).
+    println!("EXPLAIN ANALYZE:\n  {query}\n");
+    match db.explain(query) {
+        Ok(tree) => println!("{tree}"),
+        Err(e) => {
+            println!("failed: {e}");
+            return;
+        }
+    }
+
+    // Keep tracing on for the rest of the session: every report now
+    // carries `profiles` (the same trees, also exportable as JSON via
+    // `CleaningReport::profiles_json`).
+    db.set_tracing(true);
+    let report = db.run(query).expect("traced run");
+    println!(
+        "second run: {} profiles, plan cache {}\n",
+        report.profiles.len(),
+        if report.plan_cache.hit { "hit" } else { "miss" }
+    );
+
+    // A couple more queries so the registry has a distribution to report.
+    for _ in 0..3 {
+        db.run("SELECT * FROM customer c FD(c.address | c.nationkey)")
+            .expect("fd run");
+    }
+
+    // The session registry aggregates across every query: latency
+    // percentiles, cache hit ratios, shuffle volume, violations by
+    // operator kind. `snapshot_json` exports the same data for dashboards.
+    println!("{}", db.metrics_registry().summary());
+    println!(
+        "registry snapshot (JSON):\n{}",
+        db.metrics_registry().snapshot_json()
+    );
+}

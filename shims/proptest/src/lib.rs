@@ -375,10 +375,9 @@ fn parse_pattern(pat: &str) -> Vec<Quantified> {
 /// Character pool for `.`: printable ASCII plus CSV/JSON stress characters
 /// and a few multibyte code points.
 const ANY_CHARS: &[char] = &[
-    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n',
-    '"', '\'', ',', ';', ':', '.', '-', '_', '/', '\\', '(', ')', '[', ']',
-    '{', '}', '<', '>', '|', '&', '#', '%', '@', '!', '?', '*', '+', '=',
-    'é', 'ß', 'λ', '中', '🦀',
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '"', '\'', ',', ';',
+    ':', '.', '-', '_', '/', '\\', '(', ')', '[', ']', '{', '}', '<', '>', '|', '&', '#', '%', '@',
+    '!', '?', '*', '+', '=', 'é', 'ß', 'λ', '中', '🦀',
 ];
 
 fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
@@ -388,7 +387,8 @@ fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
         Atom::Class(ranges) => {
             let (lo, hi) = ranges[rng.below(ranges.len())];
             let (lo, hi) = (lo as u32, (hi as u32).max(lo as u32));
-            char::from_u32(lo + rng.below((hi - lo + 1) as usize) as u32).unwrap_or(lo as u8 as char)
+            char::from_u32(lo + rng.below((hi - lo + 1) as usize) as u32)
+                .unwrap_or(lo as u8 as char)
         }
     }
 }
@@ -423,12 +423,12 @@ macro_rules! tuple_strategy {
     };
 }
 
-tuple_strategy!(A/a);
-tuple_strategy!(A/a, B/b);
-tuple_strategy!(A/a, B/b, C/c);
-tuple_strategy!(A/a, B/b, C/c, D/d);
-tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
-tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+tuple_strategy!(A / a);
+tuple_strategy!(A / a, B / b);
+tuple_strategy!(A / a, B / b, C / c);
+tuple_strategy!(A / a, B / b, C / c, D / d);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
 
 // ---- collections -----------------------------------------------------------
 
@@ -510,7 +510,9 @@ macro_rules! prop_assert_ne {
         if *l == *r {
             return ::core::result::Result::Err($crate::TestCaseError(format!(
                 "assert_ne failed at {}:{}: both {:?}",
-                file!(), line!(), l
+                file!(),
+                line!(),
+                l
             )));
         }
     }};
