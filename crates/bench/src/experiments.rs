@@ -915,23 +915,20 @@ impl EvalWorkload {
 ///   (string-allocation-bound: both engines pay the same builtin work, so
 ///   the expected gain is smaller);
 /// * `theta_pred` — an inequality-DC predicate over a row pair.
-pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
-    use cleanm_core::calculus::{BinOp, CalcExpr, EvalCtx, Func};
-    use cleanm_values::Value;
+fn bench_col(var: &str, f: &str) -> cleanm_core::calculus::CalcExpr {
+    use cleanm_core::calculus::CalcExpr;
+    CalcExpr::proj(CalcExpr::var(var), f)
+}
 
-    let n = eval_rows(scale);
-    let make_row = |i: usize| customer_env_row(i, n);
-    let rows: Vec<Vec<(String, Value)>> = (0..n)
-        .map(|i| vec![("c".to_string(), make_row(i))])
-        .collect();
-    let col = |var: &str, f: &str| CalcExpr::proj(CalcExpr::var(var), f);
-
-    // A Select predicate in denial-constraint shape (the paper's rules
-    // carry several atoms): projections, arithmetic, comparisons, and
-    // short-circuit logic.
+/// A Select predicate in denial-constraint shape (the paper's rules
+/// carry several atoms): projections, arithmetic, comparisons, and
+/// short-circuit logic.
+fn bench_filter_expr() -> cleanm_core::calculus::CalcExpr {
+    use cleanm_core::calculus::{BinOp, CalcExpr};
+    let col = bench_col;
     let atom = |op, l, r| CalcExpr::bin(op, l, r);
     let conj = |a, b| CalcExpr::bin(BinOp::And, a, b);
-    let filter = CalcExpr::bin(
+    CalcExpr::bin(
         BinOp::Or,
         conj(
             conj(
@@ -959,24 +956,74 @@ pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
             ),
             atom(BinOp::Gt, col("c", "__rowid"), CalcExpr::int(1000)),
         ),
-    );
-    // A Nest grouping key: the composite record of column projections that
-    // `tuple_key` desugars FD / DEDUP keys into.
-    let group_key = CalcExpr::record(vec![
+    )
+}
+
+/// A Nest grouping key: the composite record of column projections that
+/// `tuple_key` desugars FD / DEDUP keys into.
+fn bench_group_key_expr() -> cleanm_core::calculus::CalcExpr {
+    use cleanm_core::calculus::CalcExpr;
+    let col = bench_col;
+    CalcExpr::record(vec![
         ("k0", col("c", "address")),
         ("k1", col("c", "nationkey")),
         ("k2", col("c", "name")),
         ("k3", col("c", "mktsegment")),
         ("k4", col("c", "creditlimit")),
-    ]);
-    // The paper's running-example transforms (string-function bound).
-    let transform = CalcExpr::record(vec![
+    ])
+}
+
+/// The FD grouping key — `FD(address | nationkey)` desugars to grouping
+/// on this record. Unlike [`bench_group_key_expr`] (which keys on the
+/// near-unique `name` to stress per-row key *materialization*), this is
+/// the shape grouping actually meets: many rows per group.
+fn bench_fd_key_expr() -> cleanm_core::calculus::CalcExpr {
+    use cleanm_core::calculus::CalcExpr;
+    let col = bench_col;
+    CalcExpr::record(vec![
+        ("k0", col("c", "address")),
+        ("k1", col("c", "nationkey")),
+    ])
+}
+
+/// The paper's running-example transforms (string-function bound).
+fn bench_transform_expr() -> cleanm_core::calculus::CalcExpr {
+    use cleanm_core::calculus::{CalcExpr, Func};
+    let col = bench_col;
+    CalcExpr::record(vec![
         (
             "area",
             CalcExpr::call(Func::Prefix, vec![col("c", "phone")]),
         ),
         ("name", CalcExpr::call(Func::Lower, vec![col("c", "name")])),
-    ]);
+    ])
+}
+
+/// An inequality-DC theta predicate over a (t1, t2) pair.
+fn bench_theta_expr() -> cleanm_core::calculus::CalcExpr {
+    use cleanm_core::calculus::{BinOp, CalcExpr};
+    let col = bench_col;
+    CalcExpr::bin(
+        BinOp::And,
+        CalcExpr::bin(BinOp::Lt, col("t1", "acctbal"), col("t2", "acctbal")),
+        CalcExpr::bin(BinOp::Ge, col("t1", "nationkey"), col("t2", "nationkey")),
+    )
+}
+
+pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
+    use cleanm_core::calculus::{CalcExpr, EvalCtx, Func};
+    use cleanm_values::Value;
+
+    let n = eval_rows(scale);
+    let make_row = |i: usize| customer_env_row(i, n);
+    let rows: Vec<Vec<(String, Value)>> = (0..n)
+        .map(|i| vec![("c".to_string(), make_row(i))])
+        .collect();
+    let col = bench_col;
+
+    let filter = bench_filter_expr();
+    let group_key = bench_group_key_expr();
+    let transform = bench_transform_expr();
     // A transform-heavy record: every string builtin the zero-copy work
     // targets, over mostly already-clean text (the case cleaning pipelines
     // actually meet — `lower` of lowercase names, `trim` of trimmed
@@ -1000,12 +1047,7 @@ pub fn eval_workloads(scale: Scale) -> Vec<EvalWorkload> {
             CalcExpr::call(Func::Lower, vec![col("c", "comment")]),
         ),
     ]);
-    // An inequality-DC theta predicate over a (t1, t2) pair.
-    let theta_pred = CalcExpr::bin(
-        BinOp::And,
-        CalcExpr::bin(BinOp::Lt, col("t1", "acctbal"), col("t2", "acctbal")),
-        CalcExpr::bin(BinOp::Ge, col("t1", "nationkey"), col("t2", "nationkey")),
-    );
+    let theta_pred = bench_theta_expr();
     let pair_rows: Vec<Vec<(String, Value)>> = (0..n)
         .map(|i| {
             vec![
@@ -1118,6 +1160,231 @@ pub fn eval_compile(scale: Scale) -> Vec<EvalRow> {
             compiled_rows_per_sec: w.rows.len() as f64 / compiled.max(1e-9),
         });
     }
+    out
+}
+
+// ====================================================================
+// Columnar execution — whole-column kernel sweeps over typed
+// `ColumnBatch`es vs the compiled row-at-a-time loops above, same
+// expressions, same data (the `columnar` section of BENCH_eval.json).
+// ====================================================================
+
+/// One compiled-row-vs-columnar-kernel measurement (a row of
+/// `BENCH_eval.json`'s `columnar` section).
+#[derive(Debug, Clone)]
+pub struct ColumnarRow {
+    pub workload: String,
+    pub rows: usize,
+    pub row_rows_per_sec: f64,
+    pub columnar_rows_per_sec: f64,
+}
+
+impl ColumnarRow {
+    pub fn speedup(&self) -> f64 {
+        self.columnar_rows_per_sec / self.row_rows_per_sec.max(1e-9)
+    }
+}
+
+/// Measure the columnar kernels against the compiled row loops they
+/// replace, on the four hot operator shapes — the filter predicate
+/// ([`kernel::PredKernel`] refining a selection vector), the composite
+/// grouping key ([`kernel::GroupKeyKernel`] hashing raw cells), the
+/// string-builtin transform ([`kernel::MapKernel`] producing output
+/// columns), and the theta-pair predicate — over the same customer rows
+/// and the very same compiled [`Program`]s. Both engines see prebuilt
+/// inputs (envs for the row loop, `ColumnBatch`es for the kernels — the
+/// scan produces both for free); outputs are cross-checked outside the
+/// timed region. Five interleaved passes per engine, best pass counts.
+///
+/// [`kernel::PredKernel`]: cleanm_core::physical::kernel::PredKernel
+/// [`kernel::GroupKeyKernel`]: cleanm_core::physical::kernel::GroupKeyKernel
+/// [`kernel::MapKernel`]: cleanm_core::physical::kernel::MapKernel
+/// [`Program`]: cleanm_core::calculus::Program
+pub fn columnar_eval(scale: Scale) -> Vec<ColumnarRow> {
+    use cleanm_core::calculus::eval::EvalCtx;
+    use cleanm_core::calculus::Program;
+    use cleanm_core::physical::kernel::{GroupKeyKernel, MapKernel, PredKernel};
+    use cleanm_values::{sel_all, ColumnBatch, FxHashMap, Value};
+
+    type Env = Vec<(String, Value)>;
+
+    let n = eval_rows(scale);
+    let structs: Vec<Value> = (0..n).map(|i| customer_env_row(i, n)).collect();
+    let envs: Vec<Env> = structs
+        .iter()
+        .map(|s| vec![("c".to_string(), s.clone())])
+        .collect();
+    let batch = ColumnBatch::from_rows(&structs).expect("uniform customer layout");
+    let ctx = EvalCtx::new();
+    let scope = vec!["c".to_string()];
+    let keep = |v: &Value| !v.is_null() && *v != Value::Bool(false);
+
+    fn timed(f: &mut dyn FnMut() -> usize) -> f64 {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        start.elapsed().as_secs_f64()
+    }
+
+    let mut out: Vec<ColumnarRow> = Vec::new();
+    let mut push = |name: &str, row: &mut dyn FnMut() -> usize, col: &mut dyn FnMut() -> usize| {
+        let (check_r, check_c) = (row(), col()); // warmup + checksum
+        assert_eq!(check_r, check_c, "row vs columnar disagree on {name}");
+        let (mut rt, mut ct) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..5 {
+            rt = rt.min(timed(row));
+            ct = ct.min(timed(col));
+        }
+        out.push(ColumnarRow {
+            workload: name.to_string(),
+            rows: n,
+            row_rows_per_sec: n as f64 / rt.max(1e-9),
+            columnar_rows_per_sec: n as f64 / ct.max(1e-9),
+        });
+    };
+
+    // filter: compiled per-row predicate vs selection-vector refinement.
+    {
+        let prog = Program::compile(&bench_filter_expr(), &scope, &ctx).expect("compiles");
+        let kernel = PredKernel::compile(&prog, &[&batch]).expect("filter predicate vectorizes");
+        // Cross-check the exact survivor set once, outside the timing.
+        let mut scratch = Vec::new();
+        let want: Vec<u32> = (0..n)
+            .filter(|&i| keep(&prog.eval_with(&envs[i], &ctx, &mut scratch).unwrap()))
+            .map(|i| i as u32)
+            .collect();
+        let mut sel = sel_all(n);
+        assert!(kernel.filter(&[&batch], &mut sel));
+        assert_eq!(sel, want, "filter kernel drifted from the row loop");
+        push(
+            "filter",
+            &mut || {
+                let mut scratch = Vec::new();
+                envs.iter()
+                    .filter(|env| keep(&prog.eval_with(env, &ctx, &mut scratch).unwrap()))
+                    .count()
+            },
+            &mut || {
+                let mut sel = sel_all(n);
+                kernel.filter(&[&batch], &mut sel);
+                sel.len()
+            },
+        );
+    }
+
+    // group_key: per-row key materialization + hash grouping vs the
+    // raw-cell grouping kernel (one key Value per distinct group), on the
+    // FD grouping key (clustered — many rows per group).
+    {
+        let prog = Program::compile(&bench_fd_key_expr(), &scope, &ctx).expect("compiles");
+        let kernel = GroupKeyKernel::compile(&prog, &batch).expect("tuple key vectorizes");
+        let sel = sel_all(n);
+        let mut scratch = Vec::new();
+        let mut want: FxHashMap<Value, u64> = FxHashMap::default();
+        for env in &envs {
+            *want
+                .entry(prog.eval_with(env, &ctx, &mut scratch).unwrap())
+                .or_insert(0) += 1;
+        }
+        for (k, c) in kernel.group_counts(&batch, &sel).unwrap() {
+            assert_eq!(want.get(&k), Some(&c), "group kernel drifted on {k}");
+        }
+        push(
+            "group_key",
+            &mut || {
+                let mut scratch = Vec::new();
+                let mut groups: FxHashMap<Value, u64> = FxHashMap::default();
+                for env in &envs {
+                    *groups
+                        .entry(prog.eval_with(env, &ctx, &mut scratch).unwrap())
+                        .or_insert(0) += 1;
+                }
+                groups.len()
+            },
+            &mut || kernel.group_counts(&batch, &sel).unwrap().len(),
+        );
+    }
+
+    // transform: per-row record materialization vs output-column builtins.
+    {
+        let prog = Program::compile(&bench_transform_expr(), &scope, &ctx).expect("compiles");
+        let kernel = MapKernel::compile(&prog, &batch).expect("builtin transform vectorizes");
+        let sel = sel_all(n);
+        let mut scratch = Vec::new();
+        let applied = kernel.apply(&batch, &sel).unwrap();
+        for (i, env) in envs.iter().enumerate().step_by(89) {
+            assert_eq!(
+                applied.row(i),
+                prog.eval_with(env, &ctx, &mut scratch).unwrap(),
+                "transform kernel drifted at row {i}"
+            );
+        }
+        push(
+            "transform",
+            &mut || {
+                let mut scratch = Vec::new();
+                let out: Vec<Value> = envs
+                    .iter()
+                    .map(|env| prog.eval_with(env, &ctx, &mut scratch).unwrap())
+                    .collect();
+                out.len()
+            },
+            &mut || kernel.apply(&batch, &sel).unwrap().len(),
+        );
+    }
+
+    // theta_pred: compiled pair evaluation vs the two-slot kernel sweep.
+    {
+        let rhs: Vec<Value> = (0..n)
+            .map(|i| customer_env_row((i * 31 + 7) % n, n))
+            .collect();
+        let rb = ColumnBatch::from_rows(&rhs).expect("uniform customer layout");
+        let l_envs: Vec<Env> = structs
+            .iter()
+            .map(|s| vec![("t1".to_string(), s.clone())])
+            .collect();
+        let r_envs: Vec<Env> = rhs
+            .iter()
+            .map(|s| vec![("t2".to_string(), s.clone())])
+            .collect();
+        let pair_scope = vec!["t1".to_string(), "t2".to_string()];
+        let prog = Program::compile(&bench_theta_expr(), &pair_scope, &ctx).expect("compiles");
+        let kernel = PredKernel::compile(&prog, &[&batch, &rb]).expect("pair predicate vectorizes");
+        let mut scratch = Vec::new();
+        let want: Vec<u32> = (0..n)
+            .filter(|&i| {
+                keep(
+                    &prog
+                        .eval_pair(&l_envs[i], &r_envs[i], &ctx, &mut scratch)
+                        .unwrap(),
+                )
+            })
+            .map(|i| i as u32)
+            .collect();
+        let mut sel = sel_all(n);
+        assert!(kernel.filter(&[&batch, &rb], &mut sel));
+        assert_eq!(sel, want, "theta kernel drifted from eval_pair");
+        push(
+            "theta_pred",
+            &mut || {
+                let mut scratch = Vec::new();
+                (0..n)
+                    .filter(|&i| {
+                        keep(
+                            &prog
+                                .eval_pair(&l_envs[i], &r_envs[i], &ctx, &mut scratch)
+                                .unwrap(),
+                        )
+                    })
+                    .count()
+            },
+            &mut || {
+                let mut sel = sel_all(n);
+                kernel.filter(&[&batch, &rb], &mut sel);
+                sel.len()
+            },
+        );
+    }
+
     out
 }
 

@@ -374,6 +374,14 @@ impl Program {
         self.instrs.is_empty()
     }
 
+    /// The instruction sequence — read by the columnar kernel compiler
+    /// ([`crate::physical::kernel`]) to recognize vectorizable program
+    /// shapes (a single fused predicate tree, a fused record build, a
+    /// builtin-per-field projection).
+    pub(crate) fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
     /// Evaluate against one row environment, reusing `scratch` as the value
     /// stack. The environment must have the compiled scope's layout.
     pub fn eval_with(

@@ -377,7 +377,7 @@ fn text_of(v: &Value) -> Cow<'_, str> {
 
 /// End byte offset of the `prefix()` builtin's slice: the text before the
 /// first `-`, or the first three characters.
-fn prefix_end(s: &str) -> usize {
+pub(crate) fn prefix_end(s: &str) -> usize {
     match s.find('-') {
         Some(i) => i,
         None => s.char_indices().nth(3).map(|(i, _)| i).unwrap_or(s.len()),
@@ -386,7 +386,7 @@ fn prefix_end(s: &str) -> usize {
 
 /// Is `s` its own lowercase? ASCII fast path, exact Unicode fallback (a
 /// titlecase letter like `ǅ` is not `is_uppercase` yet still folds).
-fn lowercase_is_identity(s: &str) -> bool {
+pub(crate) fn lowercase_is_identity(s: &str) -> bool {
     if s.is_ascii() {
         !s.bytes().any(|b| b.is_ascii_uppercase())
     } else {
@@ -398,7 +398,7 @@ fn lowercase_is_identity(s: &str) -> bool {
 }
 
 /// Is `s` its own uppercase?
-fn uppercase_is_identity(s: &str) -> bool {
+pub(crate) fn uppercase_is_identity(s: &str) -> bool {
     if s.is_ascii() {
         !s.bytes().any(|b| b.is_ascii_lowercase())
     } else {

@@ -128,6 +128,9 @@ pub struct MetricsRegistry {
     interpreted_exprs: u64,
     /// `Select` passes fused into consumers, cumulative.
     fused_selects: u64,
+    /// Rows processed by columnar kernels instead of row-at-a-time
+    /// evaluation, cumulative.
+    rows_vectorized: u64,
 }
 
 impl MetricsRegistry {
@@ -148,6 +151,7 @@ impl MetricsRegistry {
         self.compiled_exprs += report.exprs.compiled as u64;
         self.interpreted_exprs += report.exprs.interpreted as u64;
         self.fused_selects += report.exprs.fused_selects as u64;
+        self.rows_vectorized += report.exprs.vectorized_rows;
         for op in &report.ops {
             let mut ids = Vec::new();
             for v in &op.output {
@@ -223,8 +227,9 @@ impl MetricsRegistry {
             self.records_shuffled, self.comparisons
         ));
         out.push_str(&format!(
-            ", \"exprs\": {{\"compiled\": {}, \"interpreted\": {}, \"fused_selects\": {}}}",
-            self.compiled_exprs, self.interpreted_exprs, self.fused_selects
+            ", \"exprs\": {{\"compiled\": {}, \"interpreted\": {}, \"fused_selects\": {}, \
+             \"rows_vectorized\": {}}}",
+            self.compiled_exprs, self.interpreted_exprs, self.fused_selects, self.rows_vectorized
         ));
         out.push_str(", \"violations_by_op\": {");
         for (i, (k, v)) in self.violations_by_op.iter().enumerate() {
@@ -266,12 +271,14 @@ impl MetricsRegistry {
             fmt_ratio(self.program_cache_hit_ratio()),
         ));
         out.push_str(&format!(
-            "  shuffled {} records, {} comparisons; exprs {} compiled / {} interpreted, {} fused\n",
+            "  shuffled {} records, {} comparisons; exprs {} compiled / {} interpreted, {} fused; \
+             {} rows vectorized\n",
             self.records_shuffled,
             self.comparisons,
             self.compiled_exprs,
             self.interpreted_exprs,
-            self.fused_selects
+            self.fused_selects,
+            self.rows_vectorized
         ));
         for (op, n) in &self.violations_by_op {
             out.push_str(&format!("  violations[{op}]: {n}\n"));

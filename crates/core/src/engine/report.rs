@@ -67,6 +67,9 @@ pub struct ExprStats {
     /// ran inside the consumer's partition sweep and the filtered
     /// intermediate collection was never materialized.
     pub fused_selects: usize,
+    /// Rows processed by columnar kernels (whole-column sweeps over typed
+    /// batches) instead of row-at-a-time program evaluation.
+    pub vectorized_rows: u64,
 }
 
 /// How an incremental refresh produced this report (absent on batch runs).
@@ -198,6 +201,12 @@ impl CleaningReport {
                 "  exprs (this query): {} compiled, {} interpreted, {} select(s) fused downstream\n",
                 self.exprs.compiled, self.exprs.interpreted, self.exprs.fused_selects
             ));
+            if self.exprs.vectorized_rows > 0 {
+                out.push_str(&format!(
+                    "  vectorized: {} rows through columnar kernels\n",
+                    self.exprs.vectorized_rows
+                ));
+            }
         }
         // `hit` is per-query; the counters are session-cumulative — label
         // both so two reports from one session are not misread as disjoint.
@@ -252,6 +261,7 @@ mod tests {
                 compiled: 3,
                 interpreted: 0,
                 fused_selects: 1,
+                vectorized_rows: 0,
             },
             plan_cache: PlanCacheStats {
                 hit: false,

@@ -20,7 +20,7 @@ use std::time::Instant;
 
 use cleanm_exec::{ExecContext, ExecError};
 use cleanm_stats::{collect_batch_stats, StatsConfig, TableStats};
-use cleanm_values::{intern, intern_all, Table, Value};
+use cleanm_values::{intern, intern_all, Column, ColumnBatch, Table, Value};
 
 use crate::algebra::{lower_op, rewrite_shared, Alg, RewriteStats};
 use crate::calculus::desugar::{desugar_query, DesugaredOp, OpKind, ROWID_FIELD};
@@ -309,6 +309,32 @@ impl CleanDb {
     pub fn register(&mut self, name: &str, table: Table) {
         let rows = rows_to_structs(&table, 0);
         self.register_values(name, rows);
+    }
+
+    /// Register a table directly from a typed [`ColumnBatch`] — the
+    /// column-first ingest path (`cleanm_formats::colbin::decode_columnar`,
+    /// `cleanm_formats::csv::read_str_columnar`). The batch, extended with
+    /// the `__rowid` column, pre-seeds the table's columnar cache so
+    /// vectorized scans skip the row→column pivot entirely; row structs for
+    /// the row-at-a-time operators are materialized from the same columns,
+    /// so both views are cell-identical.
+    pub fn register_columnar(&mut self, name: &str, batch: ColumnBatch) {
+        let mut names: Vec<Arc<str>> = Vec::with_capacity(batch.names().len() + 1);
+        names.push(intern(ROWID_FIELD));
+        names.extend(batch.names().iter().cloned());
+        let mut cols: Vec<Column> = Vec::with_capacity(names.len());
+        cols.push(Column::Int {
+            data: (0..batch.len() as i64).collect(),
+            nulls: None,
+        });
+        cols.extend(batch.columns().iter().cloned());
+        let stored = ColumnBatch::from_columns(names, cols)
+            .expect("__rowid column has the batch's row count");
+        let rows: Vec<Value> = (0..stored.len()).map(|i| stored.row(i)).collect();
+        self.register_values(name, rows);
+        if let Some(t) = self.tables.get(name) {
+            t.set_columnar(0, Arc::new(stored));
+        }
     }
 
     /// Register rows that are already structs (must contain `__rowid`).
@@ -689,6 +715,7 @@ impl CleanDb {
             compiled: executor.compiled_exprs,
             interpreted: executor.interpreted_exprs,
             fused_selects: executor.fused_selects,
+            vectorized_rows: executor.vectorized_rows,
         };
         self.ctx
             .metrics()

@@ -18,9 +18,9 @@
 //!   which is how incremental state (stats, standing queries) tells "new
 //!   rows arrived" from "the table was replaced".
 
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use cleanm_values::Value;
+use cleanm_values::{ColumnBatch, FxHashMap, Value};
 
 /// One catalog entry: row batches in arrival order plus its epochs.
 #[derive(Debug)]
@@ -31,6 +31,12 @@ pub struct StoredTable {
     /// Lazily concatenated whole-table view for consumers that need one
     /// contiguous vector; rebuilt on demand after an append.
     merged: OnceLock<Arc<Vec<Value>>>,
+    /// Lazily columnarized batches, keyed by batch index (`None` caches
+    /// "does not columnarize" — ragged/mixed-shape rows). Batch indices are
+    /// stable across appends (appends only push), so entries never go
+    /// stale; registration via [`StoredTable::set_columnar`] pre-seeds an
+    /// entry when the ingest path already decoded column-first.
+    columnar: Mutex<FxHashMap<usize, Option<Arc<ColumnBatch>>>>,
 }
 
 impl StoredTable {
@@ -41,6 +47,7 @@ impl StoredTable {
             epoch,
             created: epoch,
             merged: OnceLock::new(),
+            columnar: Mutex::new(FxHashMap::default()),
         }
     }
 
@@ -59,6 +66,37 @@ impl StoredTable {
     /// The append batches, in arrival order.
     pub fn batches(&self) -> &[Arc<Vec<Value>>] {
         &self.batches
+    }
+
+    /// The columnar view of batch `idx`, built on first request and cached
+    /// (`None` when the batch's rows are not a uniform struct shape — the
+    /// vectorized executor then keeps the row path). Thread-safe: the
+    /// pivot runs outside the lock, so concurrent first requests may race
+    /// to build but settle on one cached value.
+    pub fn columnar_batch(&self, idx: usize) -> Option<Arc<ColumnBatch>> {
+        if let Some(cached) = self.columnar.lock().unwrap().get(&idx) {
+            return cached.clone();
+        }
+        let built = ColumnBatch::from_rows(self.batches.get(idx)?).map(Arc::new);
+        self.columnar
+            .lock()
+            .unwrap()
+            .entry(idx)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Seed the columnar cache for batch `idx` with an already-decoded
+    /// column batch (column-first ingest paths). Ignored unless the batch
+    /// exists and the row counts agree.
+    pub fn set_columnar(&self, idx: usize, batch: Arc<ColumnBatch>) {
+        if self
+            .batches
+            .get(idx)
+            .is_some_and(|b| b.len() == batch.len())
+        {
+            self.columnar.lock().unwrap().insert(idx, Some(batch));
+        }
     }
 
     /// Epoch of the last mutation.

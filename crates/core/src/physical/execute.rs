@@ -23,8 +23,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use cleanm_exec::{merge_tree, theta, Dataset, ExecContext, ExecError, ExecResult};
-use cleanm_values::{FxHashMap, FxHashSet, Value};
+use cleanm_exec::{
+    merge_tree, produce_partitions, theta, Dataset, ExecContext, ExecError, ExecResult,
+};
+use cleanm_values::{ColumnBatch, FxHashMap, FxHashSet, Value};
 
 use crate::algebra::cardinality::{self, StatsCatalog};
 use crate::algebra::plan::{theta_widen, Alg};
@@ -33,6 +35,7 @@ use crate::calculus::{CalcExpr, Func, MonoidKind};
 use crate::engine::storage::StoredTable;
 
 use super::groupfold::{self, AggFoldShape, GroupAcc};
+use super::kernel::PredKernel;
 use super::profile::{EngineProfile, NestStrategy, ThetaStrategy};
 use super::program::{env_layout, ProgramCache, RowExpr};
 use super::qprofile::{clip, ProfileNode};
@@ -135,6 +138,13 @@ pub struct Executor<'a> {
     /// downstream operator (or into a collapsed filter chain): their
     /// intermediate filtered collections were never materialized.
     pub fused_selects: usize,
+    /// Rows processed by columnar kernels instead of row-at-a-time
+    /// evaluation (whole-column predicate sweeps over typed batches).
+    pub vectorized_rows: u64,
+    /// Input-row count for the profile node being closed, set by paths
+    /// that consume a table directly (the vectorized scan+filter has no
+    /// `Scan` child to sum rows from). Taken by `end_node`.
+    override_rows_in: Option<u64>,
     /// When set, every executed plan node is wrapped in a profiling frame
     /// and assembled into a [`ProfileNode`] tree (EXPLAIN ANALYZE).
     profiling: bool,
@@ -156,6 +166,7 @@ struct ProfFrame {
     compiled_lo: usize,
     interpreted_lo: usize,
     fused_lo: usize,
+    vectorized_lo: u64,
 }
 
 impl<'a> Executor<'a> {
@@ -181,6 +192,8 @@ impl<'a> Executor<'a> {
             compiled_exprs: 0,
             interpreted_exprs: 0,
             fused_selects: 0,
+            vectorized_rows: 0,
+            override_rows_in: None,
             profiling: false,
             prof_children: Vec::new(),
             last_fold_key: None,
@@ -217,6 +230,7 @@ impl<'a> Executor<'a> {
             compiled_lo: self.compiled_exprs,
             interpreted_lo: self.interpreted_exprs,
             fused_lo: self.fused_selects,
+            vectorized_lo: self.vectorized_rows,
         }
     }
 
@@ -282,17 +296,25 @@ impl<'a> Executor<'a> {
         let mut compiled = self.compiled_exprs - frame.compiled_lo;
         let mut interpreted = self.interpreted_exprs - frame.interpreted_lo;
         let mut fused = self.fused_selects - frame.fused_lo;
+        let mut vectorized = self.vectorized_rows - frame.vectorized_lo;
         for c in &children {
             let (cc, ci, cf) = c.subtree_exprs();
             compiled = compiled.saturating_sub(cc);
             interpreted = interpreted.saturating_sub(ci);
             fused = fused.saturating_sub(cf);
+            vectorized = vectorized.saturating_sub(c.subtree_vectorized());
         }
         node.compiled_exprs = compiled;
         node.interpreted_exprs = interpreted;
         node.fused_selects = fused;
+        node.vectorized_rows = vectorized;
+        if vectorized > 0 {
+            node.flags.push("vectorized".to_string());
+        }
 
-        node.rows_in = if children.is_empty() {
+        node.rows_in = if let Some(rows_in) = self.override_rows_in.take() {
+            rows_in
+        } else if children.is_empty() {
             rows_out
         } else {
             children.iter().map(|c| c.rows_out).sum()
@@ -345,6 +367,121 @@ impl<'a> Executor<'a> {
     /// chain is empty.
     fn compile_preds(&mut self, preds: &[&CalcExpr], scope: &[String]) -> Option<Arc<RowExpr>> {
         conjoin(preds).map(|conj| self.row_expr(&conj, scope))
+    }
+
+    /// The vectorized Select: when the source is a plain (non-shared)
+    /// `Scan` and the compiled predicate re-lowers into a columnar kernel
+    /// against every stored batch's typed columns, the scan+filter runs as
+    /// whole-column sweeps — no row environments are materialized for
+    /// non-survivors. Survivor rows land in exactly the partitions the row
+    /// path would have produced (same contiguous-chunk layout), so every
+    /// downstream operator sees an identical dataset. `None` (fall back to
+    /// the row path) when the profile doesn't vectorize, the scan is a
+    /// shared DAG node, the predicate didn't compile, or any batch fails
+    /// to columnarize or to lower.
+    fn try_columnar_select(
+        &mut self,
+        source: &Arc<Alg>,
+        pred_rxs: &Option<Arc<RowExpr>>,
+    ) -> Option<Dataset<RowEnv>> {
+        if !self.profile.vectorize {
+            return None;
+        }
+        let Alg::Scan { table, var } = &**source else {
+            return None;
+        };
+        let key = Arc::as_ptr(source) as usize;
+        if self.profile.share_plans && self.shared_nodes.contains(&key) {
+            // A shared scan must stay materialized once for all consumers.
+            return None;
+        }
+        let program = pred_rxs.as_ref()?.program()?;
+        if program.scope_len() != 1 {
+            return None;
+        }
+        let stored = self.tables.get(table.as_str())?;
+
+        // Columnarize every batch and lower the predicate against each
+        // batch's concrete schema (appends may differ in column order).
+        let nbatches = stored.batches().len();
+        let mut cols: Vec<Arc<ColumnBatch>> = Vec::with_capacity(nbatches);
+        let mut kernels: Vec<PredKernel> = Vec::with_capacity(nbatches);
+        for idx in 0..nbatches {
+            let cb = stored.columnar_batch(idx)?;
+            kernels.push(PredKernel::compile(program, &[&cb])?);
+            cols.push(cb);
+        }
+
+        // Replicate the row path's partition layout: the concatenated
+        // stream split into contiguous chunks of `total.div_ceil(p)`.
+        let total = stored.len();
+        let p = self.ctx.default_partitions();
+        let chunk = total.div_ceil(p).max(1);
+        let mut tasks: Vec<Vec<(usize, u32, u32)>> = Vec::with_capacity(p);
+        for k in 0..total.div_ceil(chunk) {
+            let (glo, ghi) = (k * chunk, ((k + 1) * chunk).min(total));
+            let mut spans = Vec::new();
+            let mut off = 0usize;
+            for (bi, b) in stored.batches().iter().enumerate() {
+                let (lo, hi) = (glo.max(off), ghi.min(off + b.len()));
+                if lo < hi {
+                    spans.push((bi, (lo - off) as u32, (hi - off) as u32));
+                }
+                off += b.len();
+            }
+            tasks.push(spans);
+        }
+        while tasks.len() < p {
+            tasks.push(Vec::new());
+        }
+
+        self.vectorized_rows += total as u64;
+        if self.profiling {
+            self.override_rows_in = Some(total as u64);
+        }
+        let var = var.clone();
+        // Survivor environments hold the *stored* row values (cheap Arc
+        // clones, the very same values the row path emits); the columns
+        // only drive the predicate sweep.
+        let rows: Vec<Arc<Vec<Value>>> = stored.batches().to_vec();
+        let out = produce_partitions(&self.ctx, "filter", total as u64, tasks, move |spans| {
+            let mut envs: Vec<RowEnv> = Vec::new();
+            for (bi, lo, hi) in spans {
+                let cb = &cols[bi];
+                let mut sel: Vec<u32> = (lo..hi).collect();
+                // Binding cannot fail: the kernel compiled against this
+                // very batch and stored batches are immutable.
+                assert!(
+                    kernels[bi].filter(&[cb], &mut sel),
+                    "columnar kernel bound against a drifted batch schema"
+                );
+                envs.reserve(sel.len());
+                for i in sel {
+                    envs.push(vec![(var.clone(), rows[bi][i as usize].clone())]);
+                }
+            }
+            envs
+        });
+        Some(out)
+    }
+
+    /// Materialize `source` with a peeled predicate chain already applied
+    /// when it vectorizes: every fused consumer (Reduce, Nest, GroupFold,
+    /// Unnest, Join keying) funnels through here, so a `WHERE` chain over a
+    /// plain scan sweeps columnar kernels no matter which operator fused
+    /// it. On kernel success the predicates come back as `None` — the
+    /// caller's own sweep has nothing left to test; otherwise the source
+    /// runs row-at-a-time and the compiled predicates return unchanged for
+    /// the caller's fused pass.
+    fn run_filtered(
+        &mut self,
+        source: &Arc<Alg>,
+        pred_rxs: Option<Arc<RowExpr>>,
+    ) -> ExecResult<(Dataset<RowEnv>, Option<Arc<RowExpr>>)> {
+        if let Some(ds) = self.try_columnar_select(source, &pred_rxs) {
+            return Ok((ds, None));
+        }
+        Ok((self.run(source)?, pred_rxs))
     }
 
     /// Compile a plan-node expression against its environment layout once,
@@ -471,10 +608,7 @@ impl<'a> Executor<'a> {
         // books under the similarity phase even when its pass merged into
         // this consumer's sweep.
         let similarity = preds.iter().any(|p| expr_has_similarity(p));
-        let ds = self.run(source)?;
-        let start = Instant::now();
         let scope = env_layout(source);
-        self.fused_selects += nfused;
         let eval_ctx = Arc::clone(&self.eval_ctx);
         let errors = Arc::clone(&self.errors);
 
@@ -497,6 +631,9 @@ impl<'a> Executor<'a> {
                     | MonoidKind::Any
             )
         {
+            let ds = self.run(source)?;
+            let start = Instant::now();
+            self.fused_selects += nfused;
             let guarded = CalcExpr::If(
                 Box::new(conjoin(&preds).expect("nfused > 0")),
                 Box::new(head.clone()),
@@ -540,8 +677,11 @@ impl<'a> Executor<'a> {
         }
 
         let pred_rxs = self.compile_preds(&preds, &scope);
+        let (ds, pred_rxs) = self.run_filtered(source, pred_rxs)?;
+        let start = Instant::now();
+        self.fused_selects += nfused;
         let head_rx = self.row_expr(head, &scope);
-        let label = if nfused > 0 {
+        let label = if pred_rxs.is_some() {
             "fused_filter_map"
         } else {
             "map_partitions"
@@ -689,10 +829,10 @@ impl<'a> Executor<'a> {
         let (preds, source) = self.peel_selects(nest_input);
         let nfused = preds.len();
         let pred_similarity = preds.iter().any(|p| expr_has_similarity(p));
-        let ds = self.run(source)?;
-        let start = Instant::now();
         let scope = env_layout(source);
         let pred_rxs = self.compile_preds(&preds, &scope);
+        let (ds, pred_rxs) = self.run_filtered(source, pred_rxs)?;
+        let start = Instant::now();
         let key_rx = self.row_expr(key, &scope);
         let slot_rxs: Arc<Vec<Arc<RowExpr>>> = Arc::new(
             shape
@@ -1107,11 +1247,21 @@ impl<'a> Executor<'a> {
                 let (mut preds, source) = self.peel_selects(input);
                 preds.push(pred); // this node's predicate runs last
                 let chained = preds.len() - 1;
-                let ds = self.run(source)?;
-                let start = Instant::now();
                 let scope = env_layout(source);
                 let similarity = preds.iter().any(|p| expr_has_similarity(p));
                 let pred_rxs = self.compile_preds(&preds, &scope);
+                // Columnar fast path: a compiled predicate directly over a
+                // (non-shared) scan can skip row materialization entirely —
+                // the stored table columnarizes into typed batches and the
+                // predicate re-lowers into a whole-column kernel sweep.
+                let col_start = Instant::now();
+                if let Some(out) = self.try_columnar_select(source, &pred_rxs) {
+                    self.fused_selects += chained;
+                    self.timings.other += col_start.elapsed();
+                    return Ok(out);
+                }
+                let ds = self.run(source)?;
+                let start = Instant::now();
                 self.fused_selects += chained;
                 let eval_ctx = Arc::clone(&self.eval_ctx);
                 let errors = Arc::clone(&self.errors);
@@ -1129,16 +1279,16 @@ impl<'a> Executor<'a> {
             Alg::Unnest { input, path, var } => {
                 let (preds, source) = self.peel_selects(input);
                 let nfused = preds.len();
-                let ds = self.run(source)?;
-                let start = Instant::now();
                 let scope = env_layout(source);
                 let pred_rxs = self.compile_preds(&preds, &scope);
+                let (ds, pred_rxs) = self.run_filtered(source, pred_rxs)?;
+                let start = Instant::now();
                 let path_rx = self.row_expr(path, &scope);
                 self.fused_selects += nfused;
                 let eval_ctx = Arc::clone(&self.eval_ctx);
                 let errors = Arc::clone(&self.errors);
                 let var_cl = var.clone();
-                let label = if nfused > 0 {
+                let label = if pred_rxs.is_some() {
                     "fused_filter_flat_map"
                 } else {
                     "flat_map"
@@ -1178,9 +1328,9 @@ impl<'a> Executor<'a> {
                 let (preds, source) = self.peel_selects(input);
                 let nfused = preds.len();
                 let similarity = preds.iter().any(|p| expr_has_similarity(p));
-                let ds = self.run(source)?;
                 let scope = env_layout(source);
                 let pred_rxs = self.compile_preds(&preds, &scope);
+                let (ds, pred_rxs) = self.run_filtered(source, pred_rxs)?;
                 self.fused_selects += nfused;
                 self.exec_nest(ds, key, item, group_var, &scope, pred_rxs, similarity)
             }
@@ -1194,11 +1344,11 @@ impl<'a> Executor<'a> {
                 let (rpreds, rsource) = self.peel_selects(right);
                 let nfused = lpreds.len() + rpreds.len();
                 let similarity = lpreds.iter().chain(&rpreds).any(|p| expr_has_similarity(p));
-                let lds = self.run(lsource)?;
-                let rds = self.run(rsource)?;
-                let start = Instant::now();
                 let lpred_rxs = self.compile_preds(&lpreds, &env_layout(lsource));
                 let rpred_rxs = self.compile_preds(&rpreds, &env_layout(rsource));
+                let (lds, lpred_rxs) = self.run_filtered(lsource, lpred_rxs)?;
+                let (rds, rpred_rxs) = self.run_filtered(rsource, rpred_rxs)?;
+                let start = Instant::now();
                 let lkey_rx = self.row_expr(left_key, &env_layout(lsource));
                 let rkey_rx = self.row_expr(right_key, &env_layout(rsource));
                 self.fused_selects += nfused;

@@ -10,6 +10,7 @@
 
 pub mod execute;
 mod groupfold;
+pub mod kernel;
 pub mod profile;
 pub mod program;
 pub mod qprofile;

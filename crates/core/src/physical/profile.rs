@@ -63,6 +63,16 @@ pub struct EngineProfile {
     /// pairwise comparison, CLUSTER BY) keep the materialized path either
     /// way.
     pub fold_groups: bool,
+    /// Execute eligible plan nodes column-at-a-time: scans decode into
+    /// typed column batches and compiled predicates / projections /
+    /// grouping keys re-lower into whole-column kernels
+    /// ([`crate::physical::kernel`]) that sweep `i64`/`f64`/`Arc<str>`
+    /// slices behind a selection vector. Nodes whose programs do not
+    /// vectorize (interpreter islands, mixed-type columns) fall back to
+    /// the row path — semantics are identical either way (pinned by the
+    /// `columnar_agree` differential tests). Baselines keep the row-at-a-
+    /// time Volcano-style execution their systems exhibit.
+    pub vectorize: bool,
     /// Cost-based mode: `nest`/`theta` above are only *defaults*, and the
     /// executor re-decides the strategy per plan node from the session's
     /// [`cleanm_stats::TableStats`] (group cardinality and skew for Nest,
@@ -82,6 +92,7 @@ impl EngineProfile {
             push_selective_filters: true,
             fuse_selects: true,
             fold_groups: true,
+            vectorize: true,
             adaptive: false,
         }
     }
@@ -96,6 +107,7 @@ impl EngineProfile {
             push_selective_filters: false,
             fuse_selects: false,
             fold_groups: false,
+            vectorize: false,
             adaptive: false,
         }
     }
@@ -110,6 +122,7 @@ impl EngineProfile {
             push_selective_filters: false,
             fuse_selects: false,
             fold_groups: false,
+            vectorize: false,
             adaptive: false,
         }
     }
@@ -128,6 +141,7 @@ impl EngineProfile {
             push_selective_filters: true,
             fuse_selects: true,
             fold_groups: true,
+            vectorize: true,
             adaptive: true,
         }
     }

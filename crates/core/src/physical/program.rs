@@ -61,6 +61,13 @@ impl RowExpr {
         self.program.is_some()
     }
 
+    /// The compiled program, when compilation succeeded — handed to the
+    /// columnar kernel compiler ([`crate::physical::kernel`]) to try a
+    /// second lowering against a concrete column batch.
+    pub(crate) fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+
     /// Evaluate one row environment.
     pub fn eval_env(&self, env: &RowEnv, ctx: &EvalCtx) -> Result<Value> {
         match &self.program {

@@ -52,9 +52,13 @@ pub struct ProfileNode {
     pub interpreted_exprs: usize,
     /// `Select` passes fused into this node's sweep (never materialized).
     pub fused_selects: usize,
+    /// Rows this node processed through columnar kernels (whole-column
+    /// sweeps over typed batches) instead of row-at-a-time evaluation.
+    pub vectorized_rows: u64,
     /// Execution flags: `cached` (reused a memoized result), `shared`
     /// (materialized for multiple consumers), `fold-groups` (streaming
-    /// grouped aggregation), `materialize-groups` (group lists built).
+    /// grouped aggregation), `materialize-groups` (group lists built),
+    /// `vectorized` (columnar kernel sweep).
     pub flags: Vec<String>,
     /// Adaptive strategy decisions made at this node, as
     /// `"Strategy (reason)"` strings.
@@ -96,6 +100,16 @@ impl ProfileNode {
             t.2 += s.2;
         }
         t
+    }
+
+    /// Vectorized-row total over the subtree.
+    pub fn subtree_vectorized(&self) -> u64 {
+        self.vectorized_rows
+            + self
+                .children
+                .iter()
+                .map(ProfileNode::subtree_vectorized)
+                .sum::<u64>()
     }
 
     /// Shuffled-record total over the subtree.
@@ -162,6 +176,9 @@ impl ProfileNode {
             }
             out.push_str(&format!("  exprs[{}]", parts.join(", ")));
         }
+        if self.vectorized_rows > 0 {
+            out.push_str(&format!("  vec {}", self.vectorized_rows));
+        }
         let mut tags: Vec<String> = self.flags.clone();
         tags.extend(self.strategies.iter().cloned());
         if !tags.is_empty() {
@@ -190,7 +207,7 @@ impl ProfileNode {
              \"wall_ns\": {}, \"busy_ns\": {}, \"shuffled\": {}, \
              \"max_imbalance\": {}, \"idle_fraction\": {}, \
              \"compiled_exprs\": {}, \"interpreted_exprs\": {}, \
-             \"fused_selects\": {}",
+             \"fused_selects\": {}, \"vectorized_rows\": {}",
             json::string(&self.op),
             json::string(&self.detail),
             self.rows_in,
@@ -203,6 +220,7 @@ impl ProfileNode {
             self.compiled_exprs,
             self.interpreted_exprs,
             self.fused_selects,
+            self.vectorized_rows,
         );
         let str_list = |items: &[String]| {
             items

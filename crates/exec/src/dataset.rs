@@ -391,6 +391,37 @@ impl<T: Data> Dataset<T> {
     }
 }
 
+/// Build a [`Dataset`] by running one task per output partition on the
+/// worker pool, with explicit stage accounting. This is the entry point
+/// for *column-first* operators that never materialize an input row
+/// dataset: the caller describes each output partition (e.g. "rows
+/// `lo..hi` of this column batch, filtered by this kernel"), the tasks run
+/// partition-parallel, and one stage is recorded under `label` with the
+/// caller-declared `records_in` — so a vectorized scan+filter reports the
+/// same `filter` stage shape (input rows, per-worker busy time, skew) as
+/// the row path it replaces.
+pub fn produce_partitions<S: Send, T: Data>(
+    ctx: &Arc<ExecContext>,
+    label: &'static str,
+    records_in: u64,
+    tasks: Vec<S>,
+    f: impl Fn(S) -> Vec<T> + Sync,
+) -> Dataset<T> {
+    let start = Instant::now();
+    let (parts, busy) = run_partitions(ctx, tasks, |_, task| f(task));
+    ctx.record_stage(StageReport {
+        operator: label,
+        records_in,
+        records_shuffled: 0,
+        worker_busy_ns: busy,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    });
+    Dataset {
+        ctx: Arc::clone(ctx),
+        parts,
+    }
+}
+
 /// [`Dataset::summarize_partitions`] over *borrowed* rows: chunks `rows`
 /// into the context's default partition count in place (same contiguous
 /// layout as [`Dataset::from_vec`]) and folds each chunk in parallel —

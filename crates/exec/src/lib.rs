@@ -42,6 +42,8 @@ mod shuffle;
 pub mod theta;
 
 pub use context::ExecContext;
-pub use dataset::{merge_tree, summarize_batches, summarize_rows, Data, Dataset, Key};
+pub use dataset::{
+    merge_tree, produce_partitions, summarize_batches, summarize_rows, Data, Dataset, Key,
+};
 pub use error::{ExecError, ExecResult};
 pub use metrics::{ExecMetrics, MetricsSnapshot, StageReport};

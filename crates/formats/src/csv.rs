@@ -1,6 +1,8 @@
 //! CSV reading and writing (RFC-4180 quoting rules).
 
-use cleanm_values::{Error, Result, Row, Schema, Table, Value};
+use cleanm_values::{
+    intern_all, ColumnBatch, ColumnBuilder, Error, Result, Row, Schema, Table, Value,
+};
 
 /// Options for the CSV reader/writer.
 #[derive(Debug, Clone)]
@@ -111,6 +113,52 @@ pub fn read_str(text: &str, schema: &Schema, options: &CsvOptions) -> Result<Tab
         rows.push(Row::new(values));
     }
     Ok(Table::new(schema.clone(), rows))
+}
+
+/// Read a CSV document **column-first** into a typed [`ColumnBatch`]:
+/// parsed cells go straight into per-column builders (`i64`/`f64`/
+/// `Arc<str>` vectors plus null bitmaps) with no intermediate `Vec<Row>`.
+/// Header validation, cell parsing, and arity checks are identical to
+/// [`read_str`], and so is the result: `batch.row(i)` equals
+/// `table.rows[i].to_struct(schema)`.
+pub fn read_str_columnar(text: &str, schema: &Schema, options: &CsvOptions) -> Result<ColumnBatch> {
+    let mut records = parse_records(text, options.delimiter)?.into_iter();
+    let names = intern_all(schema.fields().iter().map(|f| f.name.as_str()));
+    let mut builders: Vec<ColumnBuilder> =
+        (0..schema.len()).map(|_| ColumnBuilder::new()).collect();
+    if options.has_header {
+        match records.next() {
+            Some(header) => {
+                let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+                let got: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+                if expected != got {
+                    return Err(Error::Parse(format!(
+                        "header mismatch: expected {expected:?}, got {got:?}"
+                    )));
+                }
+            }
+            None => {
+                let cols = builders.into_iter().map(ColumnBuilder::finish).collect();
+                return ColumnBatch::from_columns(names, cols);
+            }
+        }
+    }
+    for (line_no, record) in records.enumerate() {
+        if record.len() != schema.len() {
+            return Err(Error::Parse(format!(
+                "record {line_no}: {} fields, schema has {}",
+                record.len(),
+                schema.len()
+            )));
+        }
+        for ((cell, field), builder) in record.iter().zip(schema.fields()).zip(&mut builders) {
+            builder.push(field.dtype.parse(cell)?);
+        }
+    }
+    ColumnBatch::from_columns(
+        names,
+        builders.into_iter().map(ColumnBuilder::finish).collect(),
+    )
 }
 
 /// Serialize a table to CSV text.
@@ -262,6 +310,33 @@ mod tests {
     #[test]
     fn unterminated_quote_is_error() {
         assert!(parse_records("\"abc\n", ',').is_err());
+    }
+
+    #[test]
+    fn columnar_matches_row_ingest() {
+        // Mixed nulls, quoting, negative floats: the columnar reader must
+        // produce row-for-row the same structs as the row reader.
+        let text = "id,name,score\n1,\"a,b\",2.5\n2,,\n,ann,-1.25\n";
+        let t = read_str(text, &schema(), &CsvOptions::default()).unwrap();
+        let batch = read_str_columnar(text, &schema(), &CsvOptions::default()).unwrap();
+        assert_eq!(batch.len(), t.len());
+        for (i, row) in t.rows.iter().enumerate() {
+            assert_eq!(batch.row(i), row.to_struct(&schema()));
+        }
+    }
+
+    #[test]
+    fn columnar_empty_and_errors_match_row_ingest() {
+        let opts = CsvOptions::default();
+        // Header-only text: zero rows, full column set.
+        let batch = read_str_columnar("id,name,score\n", &schema(), &opts).unwrap();
+        assert!(batch.is_empty());
+        assert_eq!(batch.names().len(), 3);
+        // Empty text with has_header: also zero rows.
+        assert!(read_str_columnar("", &schema(), &opts).unwrap().is_empty());
+        // Same failures as the row reader.
+        assert!(read_str_columnar("x,y,z\n1,a,1.0\n", &schema(), &opts).is_err());
+        assert!(read_str_columnar("id,name,score\n1,a\n", &schema(), &opts).is_err());
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! Typed columnar batches: the vectorized storage the physical layer
+//! executes over.
+//!
+//! A [`ColumnBatch`] holds one partition of rows column-wise: per-field
+//! vectors of `i64` / `f64` / `bool` / shared `Arc<str>` with a null
+//! bitmap, falling back to boxed [`Value`]s for mixed-type or nested
+//! columns. The batch is a *view discipline*, not a new data model — every
+//! cell reconstructs to exactly the [`Value`] it was built from
+//! ([`ColumnBatch::row`] is byte-identical to the source row), so the
+//! row-at-a-time interpreter remains the semantics of record and columnar
+//! kernels are pinned against it by differential tests.
+//!
+//! Selection vectors ([`SelVec`]) carry "which rows survive" between
+//! kernels as plain row indices: a predicate sweep refines the selection
+//! in place and downstream operators gather only the survivors.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// A selection vector: ascending row indices into a [`ColumnBatch`].
+pub type SelVec = Vec<u32>;
+
+/// The identity selection over `len` rows.
+pub fn sel_all(len: usize) -> SelVec {
+    (0..len as u32).collect()
+}
+
+/// A null bitmap over one column: bit set ⇒ the slot is NULL (the typed
+/// data vector holds a default at that slot).
+#[derive(Debug, Clone, Default)]
+pub struct NullMask {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl NullMask {
+    /// An all-valid mask for `len` slots.
+    pub fn new(len: usize) -> Self {
+        NullMask {
+            bits: vec![0u64; len.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    /// Mark slot `i` as NULL, growing the bitmap if needed.
+    pub fn set_null(&mut self, i: usize) {
+        if i / 64 >= self.bits.len() {
+            self.bits.resize(i / 64 + 1, 0);
+        }
+        let w = &mut self.bits[i / 64];
+        let bit = 1u64 << (i % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// Is slot `i` NULL? Slots past the bitmap's end are valid (the bitmap
+    /// only grows to cover the highest NULL ever set).
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self.bits.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        self.count
+    }
+}
+
+/// One typed column of a [`ColumnBatch`]. Typed variants keep a default at
+/// NULL slots; [`Column::Val`] is the generic fallback for mixed-type or
+/// nested (list/struct) columns.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// 64-bit integers.
+    Int {
+        /// Cell values (`0` at NULL slots).
+        data: Vec<i64>,
+        /// NULL positions, when any.
+        nulls: Option<NullMask>,
+    },
+    /// 64-bit floats.
+    Float {
+        /// Cell values (`0.0` at NULL slots).
+        data: Vec<f64>,
+        /// NULL positions, when any.
+        nulls: Option<NullMask>,
+    },
+    /// Booleans.
+    Bool {
+        /// Cell values (`false` at NULL slots).
+        data: Vec<bool>,
+        /// NULL positions, when any.
+        nulls: Option<NullMask>,
+    },
+    /// Shared strings — cells are refcounted, so gathers and identity
+    /// transforms never copy bytes.
+    Str {
+        /// Cell values (a shared empty string at NULL slots).
+        data: Vec<Arc<str>>,
+        /// NULL positions, when any.
+        nulls: Option<NullMask>,
+    },
+    /// Generic fallback: boxed values, evaluated row-at-a-time.
+    Val(Vec<Value>),
+}
+
+impl Column {
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Bool { data, .. } => data.len(),
+            Column::Str { data, .. } => data.len(),
+            Column::Val(data) => data.len(),
+        }
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is cell `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int { nulls, .. }
+            | Column::Float { nulls, .. }
+            | Column::Bool { nulls, .. }
+            | Column::Str { nulls, .. } => nulls.as_ref().is_some_and(|m| m.is_null(i)),
+            Column::Val(data) => data[i].is_null(),
+        }
+    }
+
+    /// Reconstruct cell `i` as the exact [`Value`] it was built from.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int { data, .. } => Value::Int(data[i]),
+            Column::Float { data, .. } => Value::Float(data[i]),
+            Column::Bool { data, .. } => Value::Bool(data[i]),
+            Column::Str { data, .. } => Value::Str(Arc::clone(&data[i])),
+            Column::Val(data) => data[i].clone(),
+        }
+    }
+
+    /// Build a typed column from owned values (used by format decoders
+    /// that already produced one `Vec<Value>` per column). Falls back to
+    /// [`Column::Val`] for mixed-type or nested content.
+    pub fn from_values(values: Vec<Value>) -> Column {
+        let mut b = ColumnBuilder::new();
+        for v in values {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// Gather the cells selected by `sel` into a new column, preserving
+    /// selection order. String cells gather by refcount bump.
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        fn mask<T: Clone>(data: &[T], nulls: &Option<NullMask>, sel: &[u32]) -> Option<NullMask> {
+            let m = nulls.as_ref()?;
+            let mut out = NullMask::new(sel.len());
+            for (j, &i) in sel.iter().enumerate() {
+                if m.is_null(i as usize) {
+                    out.set_null(j);
+                }
+            }
+            let _ = data;
+            (out.null_count() > 0).then_some(out)
+        }
+        match self {
+            Column::Int { data, nulls } => Column::Int {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                nulls: mask(data, nulls, sel),
+            },
+            Column::Float { data, nulls } => Column::Float {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                nulls: mask(data, nulls, sel),
+            },
+            Column::Bool { data, nulls } => Column::Bool {
+                data: sel.iter().map(|&i| data[i as usize]).collect(),
+                nulls: mask(data, nulls, sel),
+            },
+            Column::Str { data, nulls } => Column::Str {
+                data: sel.iter().map(|&i| Arc::clone(&data[i as usize])).collect(),
+                nulls: mask(data, nulls, sel),
+            },
+            Column::Val(data) => {
+                Column::Val(sel.iter().map(|&i| data[i as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+/// Incremental typed-column builder with progressive type inference:
+/// starts untyped, locks to the first non-NULL type it sees, and demotes
+/// to the generic [`Column::Val`] fallback on the first mismatch (the
+/// already-pushed cells are reconstructed exactly).
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    kind: BuilderKind,
+    len: usize,
+}
+
+#[derive(Debug)]
+enum BuilderKind {
+    /// Only NULLs so far (`usize` = how many).
+    Empty(usize),
+    Int(Vec<i64>, Option<NullMask>),
+    Float(Vec<f64>, Option<NullMask>),
+    Bool(Vec<bool>, Option<NullMask>),
+    Str(Vec<Arc<str>>, Option<NullMask>),
+    Val(Vec<Value>),
+}
+
+impl Default for ColumnBuilder {
+    fn default() -> Self {
+        ColumnBuilder::new()
+    }
+}
+
+fn push_null<T: Default>(data: &mut Vec<T>, nulls: &mut Option<NullMask>, cap_hint: usize) {
+    let i = data.len();
+    data.push(T::default());
+    nulls
+        .get_or_insert_with(|| NullMask::new(cap_hint.max(i + 1)))
+        .set_null(i);
+}
+
+impl ColumnBuilder {
+    /// A fresh, untyped builder.
+    pub fn new() -> Self {
+        ColumnBuilder {
+            kind: BuilderKind::Empty(0),
+            len: 0,
+        }
+    }
+
+    /// Number of cells pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No cells pushed yet?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one cell.
+    pub fn push(&mut self, v: Value) {
+        self.len += 1;
+        // Type-lock on first non-null; demote to Val on mismatch.
+        let demote = match (&mut self.kind, &v) {
+            (BuilderKind::Empty(n), Value::Null) => {
+                *n += 1;
+                return;
+            }
+            (BuilderKind::Empty(n), _) => {
+                let n = *n;
+                let mut kind = match &v {
+                    Value::Int(_) => BuilderKind::Int(Vec::new(), None),
+                    Value::Float(_) => BuilderKind::Float(Vec::new(), None),
+                    Value::Bool(_) => BuilderKind::Bool(Vec::new(), None),
+                    Value::Str(_) => BuilderKind::Str(Vec::new(), None),
+                    _ => BuilderKind::Val(Vec::new()),
+                };
+                // Re-play the leading NULLs into the typed storage.
+                for _ in 0..n {
+                    match &mut kind {
+                        BuilderKind::Int(d, m) => push_null(d, m, n),
+                        BuilderKind::Float(d, m) => push_null(d, m, n),
+                        BuilderKind::Bool(d, m) => push_null(d, m, n),
+                        BuilderKind::Str(d, m) => push_null(d, m, n),
+                        BuilderKind::Val(d) => d.push(Value::Null),
+                        BuilderKind::Empty(_) => unreachable!(),
+                    }
+                }
+                self.kind = kind;
+                self.len -= 1; // recurse once for the actual value
+                self.push(v);
+                return;
+            }
+            (BuilderKind::Int(d, m), Value::Null) => {
+                push_null(d, m, 0);
+                return;
+            }
+            (BuilderKind::Int(d, _), Value::Int(i)) => {
+                d.push(*i);
+                return;
+            }
+            (BuilderKind::Float(d, m), Value::Null) => {
+                push_null(d, m, 0);
+                return;
+            }
+            (BuilderKind::Float(d, _), Value::Float(f)) => {
+                d.push(*f);
+                return;
+            }
+            (BuilderKind::Bool(d, m), Value::Null) => {
+                push_null(d, m, 0);
+                return;
+            }
+            (BuilderKind::Bool(d, _), Value::Bool(b)) => {
+                d.push(*b);
+                return;
+            }
+            (BuilderKind::Str(d, m), Value::Null) => {
+                push_null(d, m, 0);
+                return;
+            }
+            (BuilderKind::Str(d, _), Value::Str(s)) => {
+                d.push(Arc::clone(s));
+                return;
+            }
+            (BuilderKind::Val(d), _) => {
+                d.push(v);
+                return;
+            }
+            _ => true,
+        };
+        debug_assert!(demote);
+        // Mismatched type: reconstruct what we have as boxed values and
+        // continue generic.
+        let done = std::mem::replace(&mut self.kind, BuilderKind::Empty(0)).finish();
+        let mut vals: Vec<Value> = (0..done.len()).map(|i| done.value(i)).collect();
+        vals.push(v);
+        self.kind = BuilderKind::Val(vals);
+    }
+
+    /// Finish into a [`Column`].
+    pub fn finish(self) -> Column {
+        self.kind.finish()
+    }
+}
+
+impl BuilderKind {
+    fn finish(self) -> Column {
+        match self {
+            // An all-NULL column stays generic: no type to vectorize over.
+            BuilderKind::Empty(n) => Column::Val(vec![Value::Null; n]),
+            BuilderKind::Int(data, nulls) => Column::Int { data, nulls },
+            BuilderKind::Float(data, nulls) => Column::Float { data, nulls },
+            BuilderKind::Bool(data, nulls) => Column::Bool { data, nulls },
+            BuilderKind::Str(data, nulls) => Column::Str { data, nulls },
+            BuilderKind::Val(data) => Column::Val(data),
+        }
+    }
+}
+
+/// One partition of rows stored column-wise: shared field names plus one
+/// [`Column`] per field. Construction from rows requires every row to be a
+/// struct with the *same field names in the same order* (the executor's
+/// per-partition schema invariant) — anything else returns `None` and the
+/// caller keeps the row path.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    len: usize,
+    names: Vec<Arc<str>>,
+    cols: Vec<Column>,
+}
+
+impl ColumnBatch {
+    /// Columnarize `rows` (each a [`Value::Struct`] with an identical
+    /// field-name sequence). `None` when the rows are not uniform structs.
+    pub fn from_rows(rows: &[Value]) -> Option<ColumnBatch> {
+        let Some(first) = rows.first() else {
+            return Some(ColumnBatch {
+                len: 0,
+                names: Vec::new(),
+                cols: Vec::new(),
+            });
+        };
+        let Ok(template) = first.as_struct() else {
+            return None;
+        };
+        let names: Vec<Arc<str>> = template.iter().map(|(n, _)| Arc::clone(n)).collect();
+        let mut builders: Vec<ColumnBuilder> =
+            (0..names.len()).map(|_| ColumnBuilder::new()).collect();
+        for row in rows {
+            let Ok(fields) = row.as_struct() else {
+                return None;
+            };
+            if fields.len() != names.len() {
+                return None;
+            }
+            for ((name, value), (want, b)) in
+                fields.iter().zip(names.iter().zip(builders.iter_mut()))
+            {
+                if !Arc::ptr_eq(name, want) && name != want {
+                    return None; // shuffled or renamed schema → row fallback
+                }
+                b.push(value.clone());
+            }
+        }
+        Some(ColumnBatch {
+            len: rows.len(),
+            names,
+            cols: builders.into_iter().map(ColumnBuilder::finish).collect(),
+        })
+    }
+
+    /// Assemble a batch from pre-built columns. Fails when column lengths
+    /// disagree.
+    pub fn from_columns(names: Vec<Arc<str>>, cols: Vec<Column>) -> Result<ColumnBatch> {
+        if names.len() != cols.len() {
+            return Err(Error::Invalid(format!(
+                "{} column names for {} columns",
+                names.len(),
+                cols.len()
+            )));
+        }
+        let len = cols.first().map_or(0, Column::len);
+        if let Some(bad) = cols.iter().find(|c| c.len() != len) {
+            return Err(Error::Invalid(format!(
+                "ragged columns: expected {len} rows, found {}",
+                bad.len()
+            )));
+        }
+        Ok(ColumnBatch { len, names, cols })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// No rows?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Field names, in field order.
+    pub fn names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// The columns, in field order.
+    pub fn columns(&self) -> &[Column] {
+        &self.cols
+    }
+
+    /// Column index of `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n.as_ref() == name)
+    }
+
+    /// The column at field index `i`.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.cols[i]
+    }
+
+    /// Reconstruct row `i` as the exact [`Value::Struct`] it was built
+    /// from (field names shared by refcount).
+    pub fn row(&self, i: usize) -> Value {
+        let fields: Arc<[(Arc<str>, Value)]> = self
+            .names
+            .iter()
+            .zip(&self.cols)
+            .map(|(n, c)| (Arc::clone(n), c.value(i)))
+            .collect();
+        Value::Struct(fields)
+    }
+
+    /// Reconstruct every row (round-trip tests, row-path handoff).
+    pub fn to_rows(&self) -> Vec<Value> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+
+    /// Gather the rows selected by `sel` into a new batch.
+    pub fn gather(&self, sel: &[u32]) -> ColumnBatch {
+        ColumnBatch {
+            len: sel.len(),
+            names: self.names.clone(),
+            cols: self.cols.iter().map(|c| c.gather(sel)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: i64) -> Value {
+        Value::record([
+            ("id", Value::Int(i)),
+            ("score", Value::Float(i as f64 / 2.0)),
+            ("name", Value::str(format!("n{i}"))),
+        ])
+    }
+
+    #[test]
+    fn round_trips_uniform_rows() {
+        let rows: Vec<Value> = (0..10).map(row).collect();
+        let batch = ColumnBatch::from_rows(&rows).expect("uniform structs columnarize");
+        assert_eq!(batch.len(), 10);
+        assert!(matches!(batch.column(0), Column::Int { .. }));
+        assert!(matches!(batch.column(1), Column::Float { .. }));
+        assert!(matches!(batch.column(2), Column::Str { .. }));
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn nulls_round_trip() {
+        let rows = vec![
+            Value::record([("a", Value::Null), ("b", Value::str("x"))]),
+            Value::record([("a", Value::Int(2)), ("b", Value::Null)]),
+            Value::record([("a", Value::Null), ("b", Value::str("y"))]),
+        ];
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        assert_eq!(batch.to_rows(), rows);
+        assert!(batch.column(0).is_null(0));
+        assert!(!batch.column(0).is_null(1));
+        assert!(batch.column(1).is_null(1));
+    }
+
+    #[test]
+    fn mixed_type_column_falls_back_to_val() {
+        let rows = vec![
+            Value::record([("a", Value::Int(1))]),
+            Value::record([("a", Value::str("two"))]),
+        ];
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        assert!(matches!(batch.column(0), Column::Val(_)));
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn nan_and_negative_zero_round_trip_bitwise() {
+        let rows = vec![
+            Value::record([("f", Value::Float(f64::NAN))]),
+            Value::record([("f", Value::Float(-0.0))]),
+        ];
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        let back = batch.to_rows();
+        match (&back[0], &back[1]) {
+            (Value::Struct(a), Value::Struct(b)) => {
+                assert!(matches!(a[0].1, Value::Float(f) if f.is_nan()));
+                assert!(matches!(b[0].1, Value::Float(f) if f == 0.0 && f.is_sign_negative()));
+            }
+            _ => panic!("expected structs"),
+        }
+    }
+
+    #[test]
+    fn shuffled_schema_is_rejected() {
+        let rows = vec![
+            Value::record([("a", Value::Int(1)), ("b", Value::Int(2))]),
+            Value::record([("b", Value::Int(2)), ("a", Value::Int(1))]),
+        ];
+        assert!(ColumnBatch::from_rows(&rows).is_none());
+        let ragged = vec![
+            Value::record([("a", Value::Int(1))]),
+            Value::record([("a", Value::Int(1)), ("b", Value::Int(2))]),
+        ];
+        assert!(ColumnBatch::from_rows(&ragged).is_none());
+        assert!(ColumnBatch::from_rows(&[Value::Int(3)]).is_none());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_batch() {
+        let batch = ColumnBatch::from_rows(&[]).unwrap();
+        assert!(batch.is_empty());
+        assert!(batch.to_rows().is_empty());
+    }
+
+    #[test]
+    fn gather_preserves_selection_order_and_nulls() {
+        let rows = vec![
+            Value::record([("a", Value::Int(0))]),
+            Value::record([("a", Value::Null)]),
+            Value::record([("a", Value::Int(2))]),
+            Value::record([("a", Value::Int(3))]),
+        ];
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        let picked = batch.gather(&[3, 1]);
+        assert_eq!(
+            picked.to_rows(),
+            vec![
+                Value::record([("a", Value::Int(3))]),
+                Value::record([("a", Value::Null)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn all_null_column_stays_generic() {
+        let rows = vec![
+            Value::record([("a", Value::Null)]),
+            Value::record([("a", Value::Null)]),
+        ];
+        let batch = ColumnBatch::from_rows(&rows).unwrap();
+        assert!(matches!(batch.column(0), Column::Val(_)));
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn builder_demotes_and_reconstructs_exactly() {
+        let mut b = ColumnBuilder::new();
+        b.push(Value::Float(1.5));
+        b.push(Value::Null);
+        b.push(Value::Int(7)); // mismatch: Int into a Float column
+        let col = b.finish();
+        assert!(matches!(col, Column::Val(_)));
+        assert_eq!(col.value(0), Value::Float(1.5));
+        assert!(col.value(1).is_null());
+        // Exact variant preserved — Int(7), not Float(7.0).
+        assert!(matches!(col.value(2), Value::Int(7)));
+    }
+
+    #[test]
+    fn sel_all_covers_every_row() {
+        assert_eq!(sel_all(3), vec![0, 1, 2]);
+        assert!(sel_all(0).is_empty());
+    }
+}

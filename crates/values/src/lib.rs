@@ -13,6 +13,7 @@
 //! * [`Row`] — one record: a boxed slice of values positionally matching a
 //!   schema.
 
+mod batch;
 mod error;
 mod fxhash;
 mod intern;
@@ -21,6 +22,7 @@ mod strview;
 mod types;
 mod value;
 
+pub use batch::{sel_all, Column, ColumnBatch, ColumnBuilder, NullMask, SelVec};
 pub use error::{Error, Result};
 pub use fxhash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, HASH_SEED};
 pub use intern::{intern, intern_all};

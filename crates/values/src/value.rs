@@ -168,7 +168,9 @@ impl Value {
 
     /// Canonical bits for a float: all NaNs collapse to one pattern and
     /// `-0.0` collapses to `0.0`, so equal-looking floats group together.
-    fn float_key(f: f64) -> u64 {
+    /// Public so vectorized kernels can replicate the total float order
+    /// (and hash) over raw `f64` columns without boxing each cell.
+    pub fn float_key(f: f64) -> u64 {
         if f.is_nan() {
             u64::MAX
         } else if f == 0.0 {

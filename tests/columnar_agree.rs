@@ -1,0 +1,276 @@
+//! The columnar execution core is a *physical* optimization: with
+//! `EngineProfile::vectorize` on, eligible `Select` nodes sweep typed
+//! column batches with whole-column kernels; with it off the very same
+//! plans run row-at-a-time. Every observable output — violating ids,
+//! repairs, operator outputs — must be identical either way, across all
+//! four profiles, every operator family (FD / DEDUP / DC / GROUP BY /
+//! CLUSTER BY), and the nasty edges: NULL cells, NaN floats, empty
+//! tables, and row structs whose field order varies (which defeats
+//! columnarization and must fall back to the row path).
+
+use cleanm::core::ops::{DcOutcome, InequalityDc};
+use cleanm::core::{CleanDb, CleaningReport, EngineProfile};
+use cleanm::datagen::customer::CustomerGen;
+use cleanm::datagen::tpch::{LineitemGen, NoiseColumn};
+use cleanm::formats::csv;
+use cleanm::values::{DataType, Row, Schema, Table, Value};
+
+fn all_profiles() -> Vec<EngineProfile> {
+    vec![
+        EngineProfile::clean_db(),
+        EngineProfile::spark_sql_like(),
+        EngineProfile::big_dansing_like(),
+        EngineProfile::adaptive(),
+    ]
+}
+
+fn with_vectorize(mut p: EngineProfile, on: bool) -> EngineProfile {
+    p.vectorize = on;
+    p
+}
+
+/// Everything observable about a run that must not depend on `vectorize`.
+type Digest = (Vec<i64>, Vec<(String, String)>, Vec<(String, Vec<Value>)>);
+
+fn digest(r: &CleaningReport) -> Digest {
+    // Repairs and grouped outputs surface in hash-map iteration order,
+    // which is not stable run to run — compare both as sorted multisets.
+    let mut repairs: Vec<(String, String)> = r
+        .repairs
+        .iter()
+        .map(|x| (x.term.clone(), x.suggestion.clone()))
+        .collect();
+    repairs.sort();
+    (
+        r.violating_ids.clone(),
+        repairs,
+        r.ops
+            .iter()
+            .map(|o| {
+                let mut out = o.output.clone();
+                out.sort();
+                (o.label.clone(), out)
+            })
+            .collect(),
+    )
+}
+
+fn run_with(profile: EngineProfile, name: &str, table: &Table, query: &str) -> CleaningReport {
+    let mut db = CleanDb::new(profile);
+    db.register(name, table.clone());
+    if query.contains("dictionary d") {
+        db.register_dictionary("dictionary", cleanm::datagen::names::dictionary(200, 6));
+    }
+    db.run(query).unwrap()
+}
+
+fn assert_agree(profile: &EngineProfile, name: &str, table: &Table, query: &str) {
+    let row = run_with(with_vectorize(profile.clone(), false), name, table, query);
+    let col = run_with(with_vectorize(profile.clone(), true), name, table, query);
+    assert_eq!(
+        digest(&row),
+        digest(&col),
+        "row vs columnar drift under {} for `{query}`",
+        profile.name
+    );
+}
+
+#[test]
+fn cleaning_ops_identical_row_vs_columnar_all_profiles() {
+    let data = CustomerGen::new(91)
+        .rows(900)
+        .duplicate_fraction(0.12)
+        .fd_noise_fraction(0.05)
+        .generate();
+    let query = "SELECT c.name, c.address FROM customer c, dictionary d \
+                 FD(c.address | c.nationkey) \
+                 DEDUP(exact, LD, 0.8, c.address, c.name) \
+                 CLUSTER BY(token_filtering(3), LD, 0.8, c.name)";
+    for profile in all_profiles() {
+        assert_agree(&profile, "customer", &data.table, query);
+    }
+}
+
+#[test]
+fn group_by_identical_row_vs_columnar_all_profiles() {
+    let data = CustomerGen::new(92).rows(1_000).generate();
+    let query = "SELECT c.nationkey, count(*) AS n FROM customer c \
+                 WHERE c.acctbal > 100.0 GROUP BY c.nationkey HAVING count(*) > 3";
+    for profile in all_profiles() {
+        assert_agree(&profile, "customer", &data.table, query);
+    }
+}
+
+#[test]
+fn plain_where_select_vectorizes_and_agrees() {
+    let data = CustomerGen::new(93).rows(1_500).generate();
+    // A filter over one scan, no grouping: this is the shape the columnar
+    // fast path executes as a whole-column kernel sweep.
+    let query = "SELECT c.name, c.acctbal FROM customer c \
+                 WHERE c.acctbal > 500.0 AND c.nationkey >= 10";
+    let row = run_with(
+        with_vectorize(EngineProfile::clean_db(), false),
+        "customer",
+        &data.table,
+        query,
+    );
+    let col = run_with(EngineProfile::clean_db(), "customer", &data.table, query);
+    assert_eq!(digest(&row), digest(&col));
+    assert_eq!(row.exprs.vectorized_rows, 0, "vectorize off must not sweep");
+    assert!(
+        col.exprs.vectorized_rows > 0,
+        "the WHERE sweep should have gone columnar: {:?}",
+        col.exprs
+    );
+}
+
+#[test]
+fn dc_identical_row_vs_columnar() {
+    let data = LineitemGen::new(94)
+        .rows(2_000)
+        .noise_column(NoiseColumn::OrderKey)
+        .generate();
+    for profile in [EngineProfile::clean_db(), EngineProfile::adaptive()] {
+        let run = |on: bool| {
+            let mut db = CleanDb::new(with_vectorize(profile.clone(), on));
+            db.register("lineitem", data.table.clone());
+            InequalityDc::rule_psi("lineitem", 20_000.0)
+                .run(&mut db)
+                .unwrap()
+        };
+        match (run(false), run(true)) {
+            (
+                DcOutcome::Completed {
+                    violations: row, ..
+                },
+                DcOutcome::Completed {
+                    violations: col, ..
+                },
+            ) => assert_eq!(row, col, "DC drift under {}", profile.name),
+            (r, c) => panic!("DC outcomes diverged: {r:?} vs {c:?}"),
+        }
+    }
+}
+
+#[test]
+fn null_and_nan_edges_agree() {
+    // Hand-built rows exercising every kernel comparison edge: NULL in
+    // numeric and string cells, NaN floats, negative zero, mixed int/float
+    // magnitudes near the predicate constants.
+    let schema = Schema::of([
+        ("k", DataType::Int),
+        ("v", DataType::Float),
+        ("s", DataType::Str),
+    ]);
+    let mut rows = Vec::new();
+    for i in 0..200i64 {
+        let v = match i % 7 {
+            0 => Value::Null,
+            1 => Value::Float(f64::NAN),
+            2 => Value::Float(-0.0),
+            3 => Value::Float(i as f64 * 1.5 - 100.0),
+            _ => Value::Float(-(i as f64) / 3.0),
+        };
+        let s = match i % 5 {
+            0 => Value::Null,
+            1 => Value::str(""),
+            _ => Value::str(["Ann", "bob", "CAROL"][(i % 3) as usize]),
+        };
+        rows.push(Row::new(vec![Value::Int(i % 11), v, s]));
+    }
+    let table = Table::new(schema, rows);
+    // (The grammar has no unary minus, so bounds stay non-negative; the
+    // NaN / NULL / -0.0 cells still flow through every comparison.)
+    let queries = [
+        "SELECT t.k, t.v FROM edge t WHERE t.v <= 10.0 AND t.k < 8",
+        "SELECT t.s FROM edge t WHERE lower(t.s) = 'ann'",
+        "SELECT t.k, count(*) AS n FROM edge t WHERE t.v < 50.0 GROUP BY t.k",
+        "SELECT t.k FROM edge t FD(t.s | t.k)",
+    ];
+    for profile in all_profiles() {
+        for query in &queries {
+            assert_agree(&profile, "edge", &table, query);
+        }
+    }
+}
+
+#[test]
+fn empty_table_agrees() {
+    let schema = Schema::of([("a", DataType::Int), ("b", DataType::Str)]);
+    let table = Table::new(schema, vec![]);
+    let queries = [
+        "SELECT t.a FROM empty t WHERE t.a > 0",
+        "SELECT t.b, count(*) AS n FROM empty t GROUP BY t.b",
+        "SELECT t.a FROM empty t FD(t.b | t.a)",
+    ];
+    for profile in all_profiles() {
+        for query in &queries {
+            assert_agree(&profile, "empty", &table, query);
+        }
+    }
+}
+
+#[test]
+fn shuffled_struct_layout_falls_back_to_rows() {
+    // Structs whose field order differs row to row cannot columnarize
+    // (`ColumnBatch::from_rows` requires one layout); the vectorized
+    // profile must silently take the row path and agree.
+    let mk = |id: i64, a: i64, b: &str, flipped: bool| {
+        if flipped {
+            Value::record([
+                ("__rowid", Value::Int(id)),
+                ("b", Value::str(b)),
+                ("a", Value::Int(a)),
+            ])
+        } else {
+            Value::record([
+                ("__rowid", Value::Int(id)),
+                ("a", Value::Int(a)),
+                ("b", Value::str(b)),
+            ])
+        }
+    };
+    let rows: Vec<Value> = (0..100)
+        .map(|i| mk(i, i % 13, ["x", "y", "z"][(i % 3) as usize], i % 2 == 1))
+        .collect();
+    let query = "SELECT t.a, t.b FROM shuffled t WHERE t.a > 4";
+    let run = |on: bool| {
+        let mut db = CleanDb::new(with_vectorize(EngineProfile::clean_db(), on));
+        db.register_values("shuffled", rows.clone());
+        db.run(query).unwrap()
+    };
+    let (row, col) = (run(false), run(true));
+    assert_eq!(digest(&row), digest(&col));
+    assert_eq!(
+        col.exprs.vectorized_rows, 0,
+        "mixed layouts must not vectorize"
+    );
+}
+
+#[test]
+fn register_columnar_matches_row_register() {
+    // Column-first CSV ingest → register_columnar must be observationally
+    // identical to row ingest → register, and the pre-seeded batch must
+    // still feed the vectorized sweep.
+    let data = CustomerGen::new(95).rows(800).generate();
+    let text = csv::write_str(&data.table, &csv::CsvOptions::default());
+    let query = "SELECT c.name FROM customer c WHERE c.acctbal > 250.0";
+
+    let row_table = csv::read_str(&text, &data.table.schema, &csv::CsvOptions::default()).unwrap();
+    let mut db_rows = CleanDb::new(EngineProfile::clean_db());
+    db_rows.register("customer", row_table);
+    let via_rows = db_rows.run(query).unwrap();
+
+    let batch =
+        csv::read_str_columnar(&text, &data.table.schema, &csv::CsvOptions::default()).unwrap();
+    let mut db_cols = CleanDb::new(EngineProfile::clean_db());
+    db_cols.register_columnar("customer", batch);
+    let via_cols = db_cols.run(query).unwrap();
+
+    assert_eq!(digest(&via_rows), digest(&via_cols));
+    assert!(via_cols.exprs.vectorized_rows > 0, "{:?}", via_cols.exprs);
+    assert_eq!(
+        via_rows.exprs.vectorized_rows,
+        via_cols.exprs.vectorized_rows
+    );
+}
