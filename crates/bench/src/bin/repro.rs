@@ -1,14 +1,16 @@
 //! `repro` — regenerate every table and figure of the CleanM paper.
 //!
 //! ```text
-//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|eval|incr|all]
+//! repro [table3|fig3|fig4|fig5|table4|fig6|table5|fig7|fig8a|fig8b|eval|incr|repair|all]
 //! ```
 //!
 //! Set `CLEANM_SCALE=full` for the larger workloads (default: quick).
 //! `eval` additionally writes `BENCH_eval.json` (interpreted vs compiled
-//! rows/sec per workload) and `incr` writes `BENCH_incr.json` (incremental
-//! re-clean after a 1% append vs full re-run) so the perf trajectory is
-//! trackable across PRs.
+//! rows/sec per workload), `incr` writes `BENCH_incr.json` (incremental
+//! re-clean after a 1% append vs full re-run), and `repair` writes
+//! `BENCH_repair.json` (repair throughput at seeded violation rates and
+//! the re-validation speedup through the incremental path) so the perf
+//! trajectory is trackable across PRs.
 
 use cleanm_bench::experiments as exp;
 use cleanm_bench::{fmt_duration, Scale};
@@ -19,7 +21,7 @@ fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let known = [
         "table3", "fig3", "fig4", "fig5", "table4", "fig6", "table5", "fig7", "fig8a", "fig8b",
-        "ablation", "eval", "incr", "all",
+        "ablation", "eval", "incr", "repair", "all",
     ];
     if !known.contains(&arg.as_str()) {
         eprintln!("unknown experiment `{arg}`; one of {known:?}");
@@ -63,6 +65,9 @@ fn main() {
     }
     if want("incr") {
         incr_bench(scale);
+    }
+    if want("repair") {
+        repair_bench(scale);
     }
 }
 
@@ -128,6 +133,109 @@ fn incr_bench(scale: Scale) {
     match std::fs::write("BENCH_incr.json", &json) {
         Ok(()) => println!("\nwrote BENCH_incr.json"),
         Err(e) => eprintln!("\ncould not write BENCH_incr.json: {e}"),
+    }
+    println!();
+}
+
+fn repair_bench(scale: Scale) {
+    println!("## Repair — plan+apply throughput and re-validation at seeded violation rates");
+    println!(
+        "{:<6} {:>8} {:>8} {:>7} {:>8} {:>10} {:>9} {:>9} {:>12} {:>12} {:>9} {:>7}",
+        "rate",
+        "rows",
+        "viols",
+        "fixes",
+        "dropped",
+        "detect",
+        "plan",
+        "apply",
+        "actions/s",
+        "reval full",
+        "incr",
+        "speedup"
+    );
+    let rows = exp::repair_rates(scale);
+    for r in &rows {
+        println!(
+            "{:<6} {:>8} {:>8} {:>7} {:>8} {:>8.2}ms {:>7.2}ms {:>7.2}ms {:>12.0} {:>10.2}ms {:>7.2}ms {:>6.2}x",
+            format!("{:.0}%", r.rate * 100.0),
+            r.rows,
+            r.violations,
+            r.fixes,
+            r.rows_dropped,
+            r.detect_ms,
+            r.plan_ms,
+            r.apply_ms,
+            r.actions_per_sec(),
+            r.revalidate_full_ms,
+            r.revalidate_incr_ms,
+            r.revalidation_speedup(),
+        );
+    }
+    // Acceptance gates: seeded dirt is found and fully translated into
+    // fixes at every rate, the repaired table re-cleans with zero
+    // violations, and the incremental path beats a full re-validation.
+    for r in &rows {
+        assert!(
+            r.violations > 0,
+            "rate {:.0}%: no violations seeded",
+            r.rate * 100.0
+        );
+        assert!(
+            r.fixes + r.rows_dropped > 0,
+            "rate {:.0}%: nothing repaired",
+            r.rate * 100.0
+        );
+        assert_eq!(
+            r.unrepaired,
+            0,
+            "rate {:.0}%: unrepaired violations",
+            r.rate * 100.0
+        );
+        assert_eq!(
+            r.violations_after,
+            0,
+            "rate {:.0}%: repaired table must re-clean with zero violations",
+            r.rate * 100.0
+        );
+    }
+    let best = rows
+        .iter()
+        .map(|r| r.revalidation_speedup())
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= 2.0,
+        "incremental re-validation must be ≥2x a full re-run somewhere, got {best:.2}x"
+    );
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"rate\": {:.2}, \"rows\": {}, \"violations\": {}, \"fixes\": {}, \
+             \"rows_dropped\": {}, \"unrepaired\": {}, \"detect_ms\": {:.3}, \
+             \"plan_ms\": {:.3}, \"apply_ms\": {:.3}, \"actions_per_sec\": {:.1}, \
+             \"violations_after\": {}, \"revalidate_full_ms\": {:.3}, \
+             \"revalidate_incr_ms\": {:.3}, \"revalidation_speedup\": {:.3}}}{}\n",
+            r.rate,
+            r.rows,
+            r.violations,
+            r.fixes,
+            r.rows_dropped,
+            r.unrepaired,
+            r.detect_ms,
+            r.plan_ms,
+            r.apply_ms,
+            r.actions_per_sec(),
+            r.violations_after,
+            r.revalidate_full_ms,
+            r.revalidate_incr_ms,
+            r.revalidation_speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    match std::fs::write("BENCH_repair.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_repair.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_repair.json: {e}"),
     }
     println!();
 }

@@ -8,11 +8,13 @@
 //! optimizer statistics, and runtime metrics.
 
 pub mod registry;
+pub mod repair;
 pub mod report;
 pub mod session;
 pub mod storage;
 
 pub use registry::{LatencyTrack, MetricsRegistry};
+pub use repair::{AppliedRepairs, AppliedTable, Fix, RepairSection};
 pub use report::{CleaningReport, IncrementalInfo, OpResult, PlanCacheStats, Repair};
 pub use session::{
     collect_repairs, collect_rowids, combine_local_violations, CleanDb, EngineError, PlannedQuery,

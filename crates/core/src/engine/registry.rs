@@ -24,6 +24,7 @@ use std::time::Duration;
 use cleanm_stats::EquiDepthHistogram;
 use cleanm_trace::json;
 
+use super::repair::{AppliedRepairs, RepairSection};
 use super::report::CleaningReport;
 
 /// Bounded latency samples with percentile reads.
@@ -131,6 +132,22 @@ pub struct MetricsRegistry {
     /// Rows processed by columnar kernels instead of row-at-a-time
     /// evaluation, cumulative.
     rows_vectorized: u64,
+    /// Repair-planning latencies (one observation per planned
+    /// [`RepairSection`]).
+    repair_latency: LatencyTrack,
+    /// Fixes proposed per rule label (`"fd"`, `"dedup:most_frequent"`, …),
+    /// cumulative across planned sections.
+    fixes_by_rule: BTreeMap<String, u64>,
+    /// Violating groups/cells no repair family could fix, cumulative.
+    unrepaired: u64,
+    /// Cells actually rewritten by [`CleanDb::apply_repairs`], cumulative.
+    ///
+    /// [`CleanDb::apply_repairs`]: super::CleanDb::apply_repairs
+    fixes_applied: u64,
+    /// Fixes skipped as stale at application time, cumulative.
+    fixes_stale: u64,
+    /// Rows deleted by applied DEDUP merges, cumulative.
+    repair_rows_dropped: u64,
 }
 
 impl MetricsRegistry {
@@ -170,6 +187,44 @@ impl MetricsRegistry {
     /// re-validation after an append).
     pub fn record_refresh(&mut self, wall: Duration) {
         self.refresh_latency.observe(wall);
+    }
+
+    /// Fold one planned repair section in: per-rule fix counts, the
+    /// unrepaired tally, and the planning latency.
+    pub fn record_repair_plan(&mut self, section: &RepairSection) {
+        self.repair_latency.observe(section.duration);
+        for (rule, n) in section.by_rule() {
+            *self.fixes_by_rule.entry(rule.to_string()).or_insert(0) += n as u64;
+        }
+        self.unrepaired += section.unrepaired as u64;
+    }
+
+    /// Fold one [`CleanDb::apply_repairs`] outcome in.
+    ///
+    /// [`CleanDb::apply_repairs`]: super::CleanDb::apply_repairs
+    pub fn record_repair_applied(&mut self, applied: &AppliedRepairs) {
+        self.fixes_applied += applied.cells_changed() as u64;
+        self.fixes_stale += applied.stale() as u64;
+        self.repair_rows_dropped += applied.rows_dropped() as u64;
+    }
+
+    /// Repair-planning latency distribution.
+    pub fn repair_latency(&self) -> &LatencyTrack {
+        &self.repair_latency
+    }
+
+    /// Fixes proposed per rule label, cumulative across planned sections.
+    pub fn fixes_by_rule(&self) -> &BTreeMap<String, u64> {
+        &self.fixes_by_rule
+    }
+
+    /// `(applied, stale, rows_dropped)` cumulative application counters.
+    pub fn repair_applied_counts(&self) -> (u64, u64, u64) {
+        (
+            self.fixes_applied,
+            self.fixes_stale,
+            self.repair_rows_dropped,
+        )
     }
 
     /// Batch-query latency distribution.
@@ -238,7 +293,23 @@ impl MetricsRegistry {
             }
             out.push_str(&format!("{}: {v}", json::string(k)));
         }
-        out.push_str("}}");
+        out.push('}');
+        out.push_str(&format!(
+            ", \"repairs\": {{\"plan_latency\": {}, \"applied\": {}, \"stale\": {}, \
+             \"rows_dropped\": {}, \"unrepaired\": {}, \"fixes_by_rule\": {{",
+            self.repair_latency.json(),
+            self.fixes_applied,
+            self.fixes_stale,
+            self.repair_rows_dropped,
+            self.unrepaired
+        ));
+        for (i, (k, v)) in self.fixes_by_rule.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json::string(k)));
+        }
+        out.push_str("}}}");
         out
     }
 
@@ -282,6 +353,16 @@ impl MetricsRegistry {
         ));
         for (op, n) in &self.violations_by_op {
             out.push_str(&format!("  violations[{op}]: {n}\n"));
+        }
+        if self.repair_latency.count() > 0 || self.fixes_applied > 0 {
+            out.push_str(&fmt_track("repair plans", &self.repair_latency));
+            out.push_str(&format!(
+                "  repairs: {} applied, {} stale, {} rows dropped, {} unrepaired\n",
+                self.fixes_applied, self.fixes_stale, self.repair_rows_dropped, self.unrepaired
+            ));
+            for (rule, n) in &self.fixes_by_rule {
+                out.push_str(&format!("  fixes[{rule}]: {n}\n"));
+            }
         }
         out
     }
@@ -332,6 +413,46 @@ mod tests {
         assert!(r.plan_cache_hit_ratio().is_none());
         assert!(r.query_latency().percentiles().is_none());
         assert!(r.summary().contains("queries: none"));
+    }
+
+    #[test]
+    fn repair_counters_accumulate() {
+        use super::super::repair::{AppliedTable, Fix};
+        use cleanm_values::Value;
+        let fix = |rule: &str| Fix {
+            table: "t".into(),
+            column: "c".into(),
+            row_id: 0,
+            original: Value::Int(0),
+            repaired: Value::Int(1),
+            confidence: 0.9,
+            rule: rule.into(),
+        };
+        let mut r = MetricsRegistry::default();
+        r.record_repair_plan(&RepairSection {
+            fixes: vec![fix("fd"), fix("fd"), fix("dc:relax")],
+            dropped_rows: Vec::new(),
+            unrepaired: 1,
+            duration: Duration::from_millis(3),
+        });
+        r.record_repair_applied(&AppliedRepairs {
+            tables: vec![AppliedTable {
+                table: "t".into(),
+                cells_changed: 2,
+                rows_dropped: 1,
+                stale: 1,
+                rows_after: 9,
+            }],
+        });
+        assert_eq!(r.fixes_by_rule().get("fd"), Some(&2));
+        assert_eq!(r.repair_applied_counts(), (2, 1, 1));
+        assert_eq!(r.repair_latency().count(), 1);
+        let js = r.snapshot_json();
+        assert!(js.contains("\"repairs\""));
+        assert!(js.contains("\"fd\": 2"));
+        assert!(r
+            .summary()
+            .contains("repairs: 2 applied, 1 stale, 1 rows dropped, 1 unrepaired"));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Cell-level repairs: the records a repair engine produces and the
+//! accounting a [`CleaningReport`](super::CleaningReport) carries for them.
+//!
+//! The types live in `cleanm-core` (not `cleanm-repair`) so the report can
+//! embed a repair section and [`CleanDb`](super::CleanDb) can apply fixes
+//! without depending on the repair crate; `cleanm-repair` *produces* these
+//! values from op output.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cleanm_values::Value;
+
+/// One confidence-scored cell repair: set `table[row_id].column` from
+/// `original` to `repaired`.
+///
+/// `row_id` is the hidden `__rowid` of the row at detection time — for a
+/// registered table it equals the row's index into the merged row vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fix {
+    /// Table the cell belongs to.
+    pub table: String,
+    /// Column (struct field) to rewrite.
+    pub column: String,
+    /// Row id (`__rowid`) of the cell's row at detection time.
+    pub row_id: i64,
+    /// The dirty value observed at detection time. Application is guarded:
+    /// a fix whose `original` no longer matches the live cell is skipped as
+    /// stale instead of clobbering newer data.
+    pub original: Value,
+    /// The proposed clean value.
+    pub repaired: Value,
+    /// How sure the engine is, in `[0, 1]` — see docs/LANGUAGE.md
+    /// ("Repairs") for the per-family semantics.
+    pub confidence: f64,
+    /// Which repair family and strategy produced the fix, e.g. `"fd"`,
+    /// `"dedup:most_frequent"`, `"dc:relax"`, `"dc:null_out"`.
+    pub rule: String,
+}
+
+/// The repair section of a [`CleaningReport`](super::CleaningReport):
+/// every proposed fix plus summary counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairSection {
+    /// Proposed cell fixes, sorted by `(table, row_id, column)` — the
+    /// deterministic order every shuffle strategy and partition count must
+    /// agree on.
+    pub fixes: Vec<Fix>,
+    /// Rows a DEDUP merge collapses into their cluster's canonical record,
+    /// as `(table, row_id)`; applying the section deletes them.
+    pub dropped_rows: Vec<(String, i64)>,
+    /// Violating groups/cells no repair family could fix (e.g. an FD whose
+    /// right-hand side is a derived expression rather than a column).
+    pub unrepaired: usize,
+    /// Wall time spent planning the repairs (detection excluded).
+    pub duration: Duration,
+}
+
+impl RepairSection {
+    /// No fixes, no dropped rows, nothing unrepairable.
+    pub fn is_empty(&self) -> bool {
+        self.fixes.is_empty() && self.dropped_rows.is_empty() && self.unrepaired == 0
+    }
+
+    /// Fix counts per rule label, alphabetically.
+    pub fn by_rule(&self) -> BTreeMap<&str, usize> {
+        let mut out = BTreeMap::new();
+        for f in &self.fixes {
+            *out.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Mean confidence over all fixes (0.0 when there are none).
+    pub fn mean_confidence(&self) -> f64 {
+        if self.fixes.is_empty() {
+            return 0.0;
+        }
+        self.fixes.iter().map(|f| f.confidence).sum::<f64>() / self.fixes.len() as f64
+    }
+
+    /// Sort fixes by `(table, row_id, column)` and dropped rows by
+    /// `(table, row_id)` — the canonical order (satellite: determinism
+    /// across shuffle strategies and partition counts).
+    pub fn sort(&mut self) {
+        self.fixes
+            .sort_by(|a, b| (&a.table, a.row_id, &a.column).cmp(&(&b.table, b.row_id, &b.column)));
+        self.dropped_rows.sort();
+        self.dropped_rows.dedup();
+    }
+
+    /// Fold another section into this one (fix lists concatenate, counters
+    /// add); call [`RepairSection::sort`] afterwards to restore order.
+    pub fn merge(&mut self, other: RepairSection) {
+        self.fixes.extend(other.fixes);
+        self.dropped_rows.extend(other.dropped_rows);
+        self.unrepaired += other.unrepaired;
+        self.duration += other.duration;
+    }
+
+    /// Human-readable block, used by report summaries and EXPLAIN ANALYZE
+    /// renderings.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "repairs: {} fix(es), {} row(s) to drop, {} unrepaired, mean confidence {:.2} in {:?}\n",
+            self.fixes.len(),
+            self.dropped_rows.len(),
+            self.unrepaired,
+            self.mean_confidence(),
+            self.duration,
+        );
+        for (rule, n) in self.by_rule() {
+            out.push_str(&format!("  rule {rule}: {n} fix(es)\n"));
+        }
+        out
+    }
+}
+
+/// Outcome of [`CleanDb::apply_repairs`](super::CleanDb::apply_repairs) for
+/// one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedTable {
+    /// Table the fixes were applied to.
+    pub table: String,
+    /// Cells actually rewritten.
+    pub cells_changed: usize,
+    /// Rows deleted (DEDUP cluster members merged away).
+    pub rows_dropped: usize,
+    /// Fixes skipped because the live cell no longer matched the fix's
+    /// `original` (the table changed between detection and application).
+    pub stale: usize,
+    /// Row count of the re-registered table.
+    pub rows_after: usize,
+}
+
+/// Outcome of applying a [`RepairSection`]: per-table application counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AppliedRepairs {
+    /// One entry per table touched, in table-name order.
+    pub tables: Vec<AppliedTable>,
+}
+
+impl AppliedRepairs {
+    /// Total cells rewritten across all tables.
+    pub fn cells_changed(&self) -> usize {
+        self.tables.iter().map(|t| t.cells_changed).sum()
+    }
+
+    /// Total rows deleted across all tables.
+    pub fn rows_dropped(&self) -> usize {
+        self.tables.iter().map(|t| t.rows_dropped).sum()
+    }
+
+    /// Total stale fixes skipped across all tables.
+    pub fn stale(&self) -> usize {
+        self.tables.iter().map(|t| t.stale).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(table: &str, row: i64, col: &str, rule: &str) -> Fix {
+        Fix {
+            table: table.into(),
+            column: col.into(),
+            row_id: row,
+            original: Value::Int(0),
+            repaired: Value::Int(1),
+            confidence: 0.5,
+            rule: rule.into(),
+        }
+    }
+
+    #[test]
+    fn sort_is_table_row_column() {
+        let mut s = RepairSection {
+            fixes: vec![
+                fix("b", 0, "x", "fd"),
+                fix("a", 2, "y", "fd"),
+                fix("a", 2, "x", "dedup:longest"),
+                fix("a", 1, "z", "fd"),
+            ],
+            dropped_rows: vec![("b".into(), 4), ("a".into(), 3), ("a".into(), 3)],
+            unrepaired: 0,
+            duration: Duration::ZERO,
+        };
+        s.sort();
+        let order: Vec<(String, i64, String)> = s
+            .fixes
+            .iter()
+            .map(|f| (f.table.clone(), f.row_id, f.column.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a".into(), 1, "z".into()),
+                ("a".into(), 2, "x".into()),
+                ("a".into(), 2, "y".into()),
+                ("b".into(), 0, "x".into()),
+            ]
+        );
+        // Dropped rows sort and dedup.
+        assert_eq!(s.dropped_rows, vec![("a".into(), 3), ("b".into(), 4)]);
+        assert_eq!(s.by_rule().get("fd"), Some(&3));
+        assert!((s.mean_confidence() - 0.5).abs() < 1e-9);
+        assert!(s.render().contains("4 fix(es)"));
+    }
+
+    #[test]
+    fn empty_section_reports_empty() {
+        let s = RepairSection::default();
+        assert!(s.is_empty());
+        assert_eq!(s.mean_confidence(), 0.0);
+    }
+}

@@ -11,6 +11,7 @@ use cleanm_values::Value;
 use crate::algebra::RewriteStats;
 use crate::calculus::desugar::OpKind;
 use crate::calculus::NormalizeStats;
+use crate::engine::repair::RepairSection;
 use crate::physical::{PhaseTimings, PlanDecision, QueryProfile};
 
 /// One operator's output.
@@ -120,6 +121,11 @@ pub struct CleaningReport {
     /// Present when an incremental session produced this report from
     /// retained operator state rather than a full pass.
     pub incremental: Option<IncrementalInfo>,
+    /// Cell-level repair plan for this run's violations: per-fix records
+    /// plus summary counters. `None` on plain detection runs; filled by
+    /// `cleanm-repair`'s engine (which runs the query, plans fixes from the
+    /// op output, and attaches the section here).
+    pub repair: Option<RepairSection>,
     /// Per-operator execution profiles (EXPLAIN ANALYZE trees), one per
     /// cleaning operator in plan order. Empty unless the session ran with
     /// tracing enabled ([`CleanDb::set_tracing`]) or via
@@ -149,7 +155,15 @@ impl CleaningReport {
     /// compiled/fused flags. Empty string unless the run was traced (see
     /// [`CleaningReport::profiles`]).
     pub fn profile_tree(&self) -> String {
-        self.profiles.iter().map(QueryProfile::render).collect()
+        let mut out: String = self.profiles.iter().map(QueryProfile::render).collect();
+        // A repaired run's EXPLAIN ANALYZE shows the repair plan alongside
+        // the operator trees.
+        if let Some(rep) = &self.repair {
+            if !out.is_empty() {
+                out.push_str(&rep.render());
+            }
+        }
+        out
     }
 
     /// The profiles as one JSON array (machine-readable EXPLAIN ANALYZE).
@@ -224,6 +238,11 @@ impl CleaningReport {
                 inc.delta_rows, inc.incremental_ops, inc.fallback_ops
             ));
         }
+        if let Some(rep) = &self.repair {
+            for line in rep.render().lines() {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
         out
     }
 }
@@ -269,6 +288,7 @@ mod tests {
                 misses: 3,
             },
             incremental: None,
+            repair: None,
             profiles: Vec::new(),
         };
         let s = report.summary();

@@ -400,6 +400,124 @@ impl CleanDb {
         self.dict_gen += 1;
     }
 
+    /// Apply a repair plan: rewrite the fixed cells, delete the rows a
+    /// DEDUP merge collapsed away, and re-register each touched table **in
+    /// place** through the columnar [`CleanDb::register_columnar`] path
+    /// (rows that no longer share a uniform columnar layout fall back to
+    /// the row path). Re-registration bumps the table's lineage, so
+    /// standing queries in `cleanm-incr` notice on their next refresh and
+    /// re-validate the repaired table from scratch — a correctly repaired
+    /// table re-cleans with zero violations.
+    ///
+    /// Application is guarded per cell: a fix whose `original` no longer
+    /// matches the live value (the table changed between detection and
+    /// application) is counted as stale and skipped, never clobbered. Row
+    /// ids are reassigned sequentially after drops, restoring the
+    /// `__rowid == index` invariant.
+    pub fn apply_repairs(
+        &mut self,
+        section: &super::repair::RepairSection,
+    ) -> Result<super::repair::AppliedRepairs, EngineError> {
+        use std::collections::BTreeMap;
+        let ctx = Arc::clone(&self.ctx);
+        let _span = ctx.tracer().span("apply_repairs");
+        // Group the plan by table; BTreeMap keeps the outcome table-ordered.
+        let mut by_table: BTreeMap<&str, (Vec<&super::repair::Fix>, HashSet<i64>)> =
+            BTreeMap::new();
+        for f in &section.fixes {
+            by_table.entry(f.table.as_str()).or_default().0.push(f);
+        }
+        for (t, id) in &section.dropped_rows {
+            by_table.entry(t.as_str()).or_default().1.insert(*id);
+        }
+        let mut out = super::repair::AppliedRepairs::default();
+        for (table, (fixes, drops)) in by_table {
+            let stored = self.tables.get(table).ok_or_else(|| unknown_table(table))?;
+            let mut rows: Vec<Value> = stored.merged_rows().as_ref().clone();
+            let mut cells_changed = 0usize;
+            let mut stale = 0usize;
+            for fix in fixes {
+                // `__rowid == index` for registered tables; a fix pointing
+                // past the end (row deleted by an earlier application) is
+                // stale, not an error.
+                let Some(row) = usize::try_from(fix.row_id).ok().and_then(|i| rows.get(i)) else {
+                    stale += 1;
+                    continue;
+                };
+                match row.field(&fix.column) {
+                    Ok(live) if *live == fix.original => {
+                        let patched = row.with_field(&fix.column, fix.repaired.clone())?;
+                        rows[fix.row_id as usize] = patched;
+                        cells_changed += 1;
+                    }
+                    _ => stale += 1,
+                }
+            }
+            let before = rows.len();
+            if !drops.is_empty() {
+                rows.retain(|r| {
+                    r.field(ROWID_FIELD)
+                        .ok()
+                        .and_then(|v| v.as_int().ok())
+                        .is_none_or(|id| !drops.contains(&id))
+                });
+            }
+            let rows_dropped = before - rows.len();
+            // Re-register through the columnar path: strip the stale row
+            // ids (register_columnar re-derives them sequentially) and
+            // rebuild the typed batch so vectorized scans see the repaired
+            // cells without a row→column pivot.
+            let stripped: Result<Vec<Value>, _> =
+                rows.iter().map(|r| r.without_field(ROWID_FIELD)).collect();
+            let stripped = stripped?;
+            let rows_after = stripped.len();
+            match ColumnBatch::from_rows(&stripped) {
+                Some(batch) => self.register_columnar(table, batch),
+                None => {
+                    // Non-uniform layouts (mixed schemas within one table)
+                    // cannot columnarize; re-id the rows and take the row
+                    // path instead.
+                    let rowid_name = intern(ROWID_FIELD);
+                    let reided: Result<Vec<Value>, cleanm_values::Error> = stripped
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            let mut fields = vec![(Arc::clone(&rowid_name), Value::Int(i as i64))];
+                            fields.extend(r.as_struct()?.iter().cloned());
+                            Ok(Value::Struct(fields.into()))
+                        })
+                        .collect();
+                    let table_name = table.to_string();
+                    self.register_values(&table_name, reided?);
+                }
+            }
+            ctx.tracer().event(
+                "table_repaired",
+                format!(
+                    "{table}: {cells_changed} cell(s) changed, {rows_dropped} row(s) dropped, \
+                     {stale} stale"
+                ),
+            );
+            out.tables.push(super::repair::AppliedTable {
+                table: table.to_string(),
+                cells_changed,
+                rows_dropped,
+                stale,
+                rows_after,
+            });
+        }
+        self.registry.record_repair_applied(&out);
+        Ok(out)
+    }
+
+    /// Fold a planned repair section into the session registry (per-rule
+    /// fix counts, planning latency). Called by the repair engine in
+    /// `cleanm-repair` after planning; application counters are recorded
+    /// by [`CleanDb::apply_repairs`] itself.
+    pub fn record_repair_plan(&mut self, section: &super::repair::RepairSection) {
+        self.registry.record_repair_plan(section);
+    }
+
     /// The stored table (batches + epochs), if registered.
     pub fn table(&self, name: &str) -> Option<&StoredTable> {
         self.tables.get(name)
@@ -745,6 +863,7 @@ impl CleanDb {
                 misses: self.plan_cache.misses,
             },
             incremental: None,
+            repair: None,
             profiles,
         };
         let programs_after = entry.programs.counters();

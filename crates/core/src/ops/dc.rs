@@ -59,6 +59,133 @@ impl DcOutcome {
     }
 }
 
+/// Which tuple variable of a two-tuple constraint a term reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DcSide {
+    /// The filtered/left tuple variable.
+    T1,
+    /// The right tuple variable.
+    T2,
+}
+
+/// One side of an atomic comparison: a cell of `t1`/`t2` or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DcTerm {
+    /// `tᵢ.column`.
+    Cell(DcSide, String),
+    /// A literal bound.
+    Const(Value),
+}
+
+impl DcTerm {
+    /// Read the term's current value against a concrete `(t1, t2)` pair.
+    pub fn value(&self, t1: &Value, t2: &Value) -> cleanm_values::Result<Value> {
+        match self {
+            DcTerm::Cell(DcSide::T1, col) => t1.field(col).cloned(),
+            DcTerm::Cell(DcSide::T2, col) => t2.field(col).cloned(),
+            DcTerm::Const(v) => Ok(v.clone()),
+        }
+    }
+}
+
+/// One atomic comparison of the constraint's conjunction — the structured
+/// form a repair engine consumes instead of re-parsing [`CalcExpr`] trees.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcAtom {
+    /// The comparison operator.
+    pub op: BinOp,
+    /// Left operand.
+    pub left: DcTerm,
+    /// Right operand.
+    pub right: DcTerm,
+}
+
+impl DcAtom {
+    /// Evaluate the atom against a concrete `(t1, t2)` pair under the
+    /// engine's comparison semantics (NULL non-truthy outside Eq/Ne, mixed
+    /// numerics widened, NaN via the canonical total order) — detection and
+    /// repair agree by construction.
+    pub fn holds(&self, t1: &Value, t2: &Value) -> cleanm_values::Result<bool> {
+        let l = self.left.value(t1, t2)?;
+        let r = self.right.value(t1, t2)?;
+        Ok(matches!(
+            crate::calculus::eval::eval_binop(self.op, &l, &r)?,
+            Value::Bool(true)
+        ))
+    }
+}
+
+/// An offending cell of one violating pair, oriented so the failed relation
+/// reads `value op bound` (right-hand cells carry the flipped comparison).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcCell {
+    /// Which tuple variable the cell belongs to.
+    pub side: DcSide,
+    /// The cell's row id.
+    pub row_id: i64,
+    /// The cell's column.
+    pub column: String,
+    /// The cell's value at detection time.
+    pub value: Value,
+    /// The comparison the cell satisfied (making the pair violate).
+    pub op: BinOp,
+    /// The other operand's value at detection time.
+    pub bound: Value,
+}
+
+/// One violating `(t1, t2)` pair with the offending cells of every atomic
+/// comparison that held.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcViolation {
+    /// Row id bound to `t1`.
+    pub t1: i64,
+    /// Row id bound to `t2`.
+    pub t2: i64,
+    /// Offending cells, in atom order (left cell before right cell).
+    pub cells: Vec<DcCell>,
+}
+
+/// Flip a comparison so `a op b` reads as `b flip(op) a`.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn term_of(e: &CalcExpr) -> Option<DcTerm> {
+    match e {
+        CalcExpr::Proj(base, col) => match base.as_ref() {
+            CalcExpr::Var(v) if v == "t1" => Some(DcTerm::Cell(DcSide::T1, col.clone())),
+            CalcExpr::Var(v) if v == "t2" => Some(DcTerm::Cell(DcSide::T2, col.clone())),
+            _ => None,
+        },
+        CalcExpr::Const(v) => Some(DcTerm::Const(v.clone())),
+        _ => None,
+    }
+}
+
+fn flatten_conjunction(e: &CalcExpr, out: &mut Vec<DcAtom>) -> Option<()> {
+    match e {
+        CalcExpr::BinOp(BinOp::And, l, r) => {
+            flatten_conjunction(l, out)?;
+            flatten_conjunction(r, out)
+        }
+        CalcExpr::BinOp(op, l, r) if op.is_comparison() => {
+            out.push(DcAtom {
+                op: *op,
+                left: term_of(l)?,
+                right: term_of(r)?,
+            });
+            Some(())
+        }
+        _ => None,
+    }
+}
+
 impl InequalityDc {
     /// Rule ψ of §8.3: an item cannot have a bigger discount than a more
     /// expensive item, restricted to cheap t1 items
@@ -125,8 +252,105 @@ impl InequalityDc {
         })
     }
 
+    /// The constraint's conjunction as structured atomic comparisons
+    /// (selective filter first, then the pairwise atoms), or `None` when
+    /// any conjunct is not a simple `term cmp term` over `t1`/`t2` cells
+    /// and constants. Detection and repair share this decomposition — the
+    /// repair engine never re-parses the [`CalcExpr`] trees.
+    pub fn atoms(&self) -> Option<Vec<DcAtom>> {
+        let mut out = Vec::new();
+        if let Some(f) = &self.selective_filter {
+            flatten_conjunction(f, &mut out)?;
+        }
+        flatten_conjunction(&self.pair_pred, &mut out)?;
+        Some(out)
+    }
+
     /// Check the constraint on a session, honouring its profile and budget.
     pub fn run(&self, db: &mut CleanDb) -> Result<DcOutcome, EngineError> {
+        self.execute(db).map(|(outcome, _)| outcome)
+    }
+
+    /// [`InequalityDc::run`], additionally returning one structured
+    /// [`DcViolation`] per distinct violating pair (sorted by `(t1, t2)`;
+    /// empty when the budget was exceeded).
+    pub fn run_detailed(
+        &self,
+        db: &mut CleanDb,
+    ) -> Result<(DcOutcome, Vec<DcViolation>), EngineError> {
+        let (outcome, outputs) = self.execute(db)?;
+        let violations = self.describe_pairs(db, &outputs)?;
+        Ok((outcome, violations))
+    }
+
+    /// Turn raw pair-plan output rows into structured violation records by
+    /// re-reading the offending cells and the bounds they crossed. Shared
+    /// by [`InequalityDc::run_detailed`] and incremental DC maintainers
+    /// (which hold delta pair output in the same shape).
+    pub fn describe_pairs(
+        &self,
+        db: &CleanDb,
+        outputs: &[Value],
+    ) -> Result<Vec<DcViolation>, EngineError> {
+        let mut pairs = pair_ids(outputs);
+        pairs.sort_unstable();
+        pairs.dedup();
+        if pairs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let rows = db.table_rows(&self.table).ok_or_else(|| {
+            EngineError::Plan(cleanm_values::Error::Invalid(format!(
+                "DC over unknown table `{}`",
+                self.table
+            )))
+        })?;
+        let atoms = self.atoms().unwrap_or_default();
+        let mut out = Vec::with_capacity(pairs.len());
+        for (a, b) in pairs {
+            let (Some(r1), Some(r2)) = (
+                usize::try_from(a).ok().and_then(|i| rows.get(i)),
+                usize::try_from(b).ok().and_then(|i| rows.get(i)),
+            ) else {
+                continue;
+            };
+            let mut cells = Vec::new();
+            for atom in &atoms {
+                if !atom.holds(r1, r2).unwrap_or(false) {
+                    continue;
+                }
+                let l = atom.left.value(r1, r2)?;
+                let r = atom.right.value(r1, r2)?;
+                if let DcTerm::Cell(side, col) = &atom.left {
+                    cells.push(DcCell {
+                        side: *side,
+                        row_id: if *side == DcSide::T1 { a } else { b },
+                        column: col.clone(),
+                        value: l.clone(),
+                        op: atom.op,
+                        bound: r.clone(),
+                    });
+                }
+                if let DcTerm::Cell(side, col) = &atom.right {
+                    cells.push(DcCell {
+                        side: *side,
+                        row_id: if *side == DcSide::T1 { a } else { b },
+                        column: col.clone(),
+                        value: r,
+                        op: flip(atom.op),
+                        bound: l,
+                    });
+                }
+            }
+            out.push(DcViolation {
+                t1: a,
+                t2: b,
+                cells,
+            });
+        }
+        Ok(out)
+    }
+
+    fn execute(&self, db: &mut CleanDb) -> Result<(DcOutcome, Vec<Value>), EngineError> {
         let push = db.profile().push_selective_filters;
         let plan = self.plan(push);
         let tables = db_tables(db)?;
@@ -139,18 +363,24 @@ impl InequalityDc {
         );
         let start = Instant::now();
         match executor.run_reduce(&plan) {
-            Ok(violations) => Ok(DcOutcome::Completed {
-                violations: dedup_pairs(&violations),
-                duration: start.elapsed(),
-                comparisons: db.context().metrics().snapshot().comparisons,
-            }),
+            Ok(violations) => {
+                let outcome = DcOutcome::Completed {
+                    violations: dedup_pairs(&violations),
+                    duration: start.elapsed(),
+                    comparisons: db.context().metrics().snapshot().comparisons,
+                };
+                Ok((outcome, violations))
+            }
             Err(ExecError::BudgetExceeded {
                 operator, needed, ..
-            }) => Ok(DcOutcome::BudgetExceeded {
-                operator,
-                needed,
-                duration: start.elapsed(),
-            }),
+            }) => Ok((
+                DcOutcome::BudgetExceeded {
+                    operator,
+                    needed,
+                    duration: start.elapsed(),
+                },
+                Vec::new(),
+            )),
             Err(e) => Err(EngineError::Exec(e)),
         }
     }
@@ -160,17 +390,23 @@ impl InequalityDc {
 /// violation unit Table 5 reports (exposed for incremental DC maintainers,
 /// which must count new pairs the same way).
 pub fn dedup_pairs(outputs: &[Value]) -> usize {
-    let mut pairs: Vec<(i64, i64)> = outputs
+    let mut pairs = pair_ids(outputs);
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs.len()
+}
+
+/// The raw `(t1, t2)` row-id pairs of a DC plan's output (unsorted,
+/// duplicates preserved).
+pub fn pair_ids(outputs: &[Value]) -> Vec<(i64, i64)> {
+    outputs
         .iter()
         .filter_map(|v| {
             let a = v.field("t1").ok()?.as_int().ok()?;
             let b = v.field("t2").ok()?.as_int().ok()?;
             Some((a, b))
         })
-        .collect();
-    pairs.sort_unstable();
-    pairs.dedup();
-    pairs.len()
+        .collect()
 }
 
 // The executor borrows the session's table map; expose it via a helper to
@@ -244,6 +480,56 @@ mod tests {
                 other => panic!("{}: {other:?}", profile.name),
             }
         }
+    }
+
+    #[test]
+    fn rule_psi_decomposes_into_three_atoms() {
+        let atoms = psi(60.0).atoms().expect("ψ is a simple conjunction");
+        assert_eq!(atoms.len(), 3);
+        // Selective filter first: t1.extendedprice < 60.0.
+        assert_eq!(
+            atoms[0],
+            DcAtom {
+                op: BinOp::Lt,
+                left: DcTerm::Cell(DcSide::T1, "extendedprice".into()),
+                right: DcTerm::Const(Value::Float(60.0)),
+            }
+        );
+        assert_eq!(atoms[2].op, BinOp::Gt);
+        assert_eq!(
+            atoms[2].left,
+            DcTerm::Cell(DcSide::T1, "discount".into()),
+            "pairwise discount atom last"
+        );
+    }
+
+    #[test]
+    fn run_detailed_reports_offending_cells_with_bounds() {
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("lineitem", lineitem(100));
+        let (outcome, violations) = psi(60.0).run_detailed(&mut db).unwrap();
+        assert!(outcome.completed());
+        assert_eq!(violations.len(), 99);
+        // Pairs come back sorted; every violation names the poisoned row
+        // (id 100: price 50, discount .99) on the t1 side.
+        for v in &violations {
+            assert_eq!(v.t1, 100);
+            // 3 atoms × (1 or 2 cells): filter contributes one cell, each
+            // pairwise atom two.
+            assert_eq!(v.cells.len(), 5);
+            let discount = v
+                .cells
+                .iter()
+                .find(|c| c.side == DcSide::T1 && c.column == "discount")
+                .unwrap();
+            assert_eq!(discount.value, Value::Float(0.99));
+            assert_eq!(discount.op, BinOp::Gt);
+            // The bound is the partner row's (smaller) discount.
+            assert!(discount.bound.as_float().unwrap() < 0.99);
+        }
+        assert!(violations
+            .windows(2)
+            .all(|w| (w[0].t1, w[0].t2) < (w[1].t1, w[1].t2)));
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod fd;
 pub mod termval;
 pub mod transform;
 
-pub use dc::{DcOutcome, InequalityDc};
+pub use dc::{DcAtom, DcCell, DcOutcome, DcSide, DcTerm, DcViolation, InequalityDc};
 pub use dedup::{Dedup, DedupPlanShape};
 pub use fd::{FdCheck, FdPlanShape};
 pub use termval::{TermValidation, TermvalPlanShape};

@@ -331,6 +331,7 @@ impl IncrementalSession {
                 incremental_ops,
                 fallback_ops,
             }),
+            repair: None,
             // The incremental path drives exec datasets directly rather
             // than through the plan executor, so no per-node tree exists;
             // refresh cost shows up in the registry's refresh latencies

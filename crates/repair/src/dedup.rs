@@ -1,0 +1,172 @@
+//! DEDUP repairs: union-find the reported pairs into clusters, collapse
+//! each cluster onto its canonical (lowest row id) record via per-column
+//! merge functions, and drop the merged-away members.
+
+use std::collections::BTreeMap;
+
+use cleanm_core::calculus::desugar::ROWID_FIELD;
+use cleanm_core::engine::{Fix, RepairSection};
+use cleanm_values::Value;
+
+use crate::merge::MergePolicy;
+
+/// Union-find over row ids (path-halving, union by min id so the root is
+/// always the cluster's canonical row).
+struct Clusters {
+    parent: BTreeMap<i64, i64>,
+}
+
+impl Clusters {
+    fn new() -> Self {
+        Clusters {
+            parent: BTreeMap::new(),
+        }
+    }
+
+    fn find(&mut self, mut x: i64) -> i64 {
+        self.parent.entry(x).or_insert(x);
+        loop {
+            let p = self.parent[&x];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[&p];
+            self.parent.insert(x, gp);
+            x = gp;
+        }
+    }
+
+    fn union(&mut self, a: i64, b: i64) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Min-id root: the canonical record is deterministic.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            self.parent.insert(hi, lo);
+        }
+    }
+}
+
+/// Plan DEDUP repairs from the op's `{left, right}` pair output (full row
+/// structs on both sides).
+///
+/// Pairs are clustered transitively; each cluster keeps its lowest-row-id
+/// member as the canonical record, whose cells are rewritten by the
+/// policy's merge functions over the member values (row-id order). All
+/// other members land in `dropped_rows`. Confidence per rewritten cell is
+/// the members' agreement fraction with the merged value.
+pub(crate) fn plan(table: &str, output: &[Value], policy: &MergePolicy) -> RepairSection {
+    let mut section = RepairSection::default();
+    // Row id → full row, and the pair graph.
+    let mut rows: BTreeMap<i64, &Value> = BTreeMap::new();
+    let mut clusters = Clusters::new();
+    for pair in output {
+        let (Ok(l), Ok(r)) = (pair.field("left"), pair.field("right")) else {
+            section.unrepaired += 1;
+            continue;
+        };
+        let (Some(li), Some(ri)) = (rowid(l), rowid(r)) else {
+            section.unrepaired += 1;
+            continue;
+        };
+        rows.entry(li).or_insert(l);
+        rows.entry(ri).or_insert(r);
+        clusters.union(li, ri);
+    }
+    // Root → sorted member ids (BTreeMap iteration keeps them ordered).
+    let ids: Vec<i64> = rows.keys().copied().collect();
+    let mut members: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+    for id in ids {
+        members.entry(clusters.find(id)).or_default().push(id);
+    }
+    for (canonical, ids) in members {
+        debug_assert_eq!(ids[0], canonical, "min-id root is the canonical record");
+        let canonical_row = rows[&canonical];
+        let Ok(fields) = canonical_row.as_struct() else {
+            section.unrepaired += 1;
+            continue;
+        };
+        for (name, current) in fields {
+            if name.as_ref() == ROWID_FIELD {
+                continue;
+            }
+            let values: Vec<Value> = ids
+                .iter()
+                .map(|id| rows[id].field(name).cloned().unwrap_or(Value::Null))
+                .collect();
+            let f = policy.for_column(name);
+            let merged = f.merge(&values);
+            if merged != *current {
+                section.fixes.push(Fix {
+                    table: table.to_string(),
+                    column: name.to_string(),
+                    row_id: canonical,
+                    original: current.clone(),
+                    repaired: merged.clone(),
+                    confidence: f.confidence(&merged, &values),
+                    rule: format!("dedup:{}", f.label()),
+                });
+            }
+        }
+        for id in &ids[1..] {
+            section.dropped_rows.push((table.to_string(), *id));
+        }
+    }
+    section
+}
+
+fn rowid(v: &Value) -> Option<i64> {
+    v.field(ROWID_FIELD).ok().and_then(|x| x.as_int().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::MergeFn;
+
+    fn row(id: i64, name: &str, bal: Value) -> Value {
+        Value::record([
+            (ROWID_FIELD, Value::Int(id)),
+            ("name", Value::str(name)),
+            ("bal", bal),
+        ])
+    }
+
+    fn pair(l: &Value, r: &Value) -> Value {
+        Value::record([("left", l.clone()), ("right", r.clone())])
+    }
+
+    #[test]
+    fn clusters_collapse_onto_min_rowid_with_merges() {
+        let (a, b, c) = (
+            row(5, "Smith John", Value::Null),
+            row(2, "J. Smith", Value::Int(10)),
+            row(9, "J Smith", Value::Int(10)),
+        );
+        // Transitive cluster {2, 5, 9} via two pairs.
+        let output = vec![pair(&a, &b), pair(&b, &c)];
+        let policy = MergePolicy::keep_canonical()
+            .with_column("name", MergeFn::Longest)
+            .with_column("bal", MergeFn::NonNull);
+        let section = plan("customer", &output, &policy);
+        // Canonical row 2 takes the longest name and the non-null balance
+        // (already 10, so only the name changes).
+        assert_eq!(section.fixes.len(), 1);
+        let fix = &section.fixes[0];
+        assert_eq!(fix.row_id, 2);
+        assert_eq!(fix.column, "name");
+        assert_eq!(fix.repaired, Value::str("Smith John"));
+        assert_eq!(fix.rule, "dedup:longest");
+        assert_eq!(
+            section.dropped_rows,
+            vec![("customer".to_string(), 5), ("customer".to_string(), 9)]
+        );
+    }
+
+    #[test]
+    fn keep_canonical_only_drops() {
+        let (a, b) = (row(0, "x", Value::Int(1)), row(3, "y", Value::Int(2)));
+        let section = plan("t", &[pair(&a, &b)], &MergePolicy::keep_canonical());
+        assert!(section.fixes.is_empty());
+        assert_eq!(section.dropped_rows, vec![("t".to_string(), 3)]);
+    }
+}

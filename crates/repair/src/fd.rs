@@ -1,0 +1,212 @@
+//! FD repairs: per violating LHS group, pick the right-hand side by
+//! weighted in-group frequency, breaking ties with table-level statistics.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use cleanm_core::calculus::desugar::ROWID_FIELD;
+use cleanm_core::calculus::CalcExpr;
+use cleanm_core::engine::{Fix, RepairSection};
+use cleanm_core::ops::FdPlanShape;
+use cleanm_stats::TableStats;
+use cleanm_values::Value;
+
+/// The columns an FD right-hand side rewrites, or `None` when any
+/// component is a derived expression (e.g. `prefix(t.phone)`): a derived
+/// component cannot be inverted into a cell assignment, so such groups are
+/// counted as unrepaired rather than half-fixed (repairing only the plain
+/// columns could leave the group violating).
+fn rhs_columns(shape: &FdPlanShape) -> Option<Vec<String>> {
+    let components: Vec<&CalcExpr> = match &shape.rhs {
+        CalcExpr::Record(fields) => fields.iter().map(|(_, e)| e).collect(),
+        other => vec![other],
+    };
+    components
+        .into_iter()
+        .map(|c| match c {
+            CalcExpr::Proj(base, col) => match base.as_ref() {
+                CalcExpr::Var(v) if *v == shape.member_var => Some(col.clone()),
+                _ => None,
+            },
+            _ => None,
+        })
+        .collect()
+}
+
+/// Global frequency of `v` in the table's column, from the stats catalog's
+/// heavy hitters (0 when untracked or stats are absent). Sketches that
+/// truncated anywhere (`heavy_error_bound() > 0`) are ignored entirely:
+/// their lower-bound counts depend on how the rows were partitioned, and a
+/// repair plan must be byte-identical across partition layouts.
+fn global_count(stats: Option<&Arc<TableStats>>, column: &str, v: &Value) -> u64 {
+    stats
+        .and_then(|s| s.column(column))
+        .filter(|c| c.heavy_error_bound() == 0)
+        .map(|c| {
+            c.heavy_hitters()
+                .iter()
+                .find(|(hv, _)| hv == v)
+                .map(|(_, n)| *n)
+                .unwrap_or(0)
+        })
+        .unwrap_or(0)
+}
+
+/// Plan FD repairs from the op's violating-group output (`{key, partition}`
+/// records with full member rows).
+///
+/// Per group and repairable RHS column: the winner is the most frequent
+/// member value (weighted frequency within the group), ties broken by the
+/// table-level heavy-hitter count, then by the canonical value order. One
+/// [`Fix`] is emitted per member cell differing from the winner, with
+/// `confidence = winner_count / group_size`.
+pub(crate) fn plan(
+    shape: &FdPlanShape,
+    output: &[Value],
+    stats: Option<&Arc<TableStats>>,
+) -> RepairSection {
+    let mut section = RepairSection::default();
+    let Some(columns) = rhs_columns(shape) else {
+        section.unrepaired = output.len();
+        return section;
+    };
+    for group in output {
+        let Ok(members) = group.field("partition").and_then(|p| p.as_list()) else {
+            section.unrepaired += 1;
+            continue;
+        };
+        if members.is_empty() {
+            continue;
+        }
+        for column in &columns {
+            // Weighted in-group frequency per candidate value.
+            let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+            for m in members {
+                if let Ok(v) = m.field(column) {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+            }
+            let mut best: Option<(&Value, usize, u64)> = None;
+            for (v, n) in counts {
+                let g = global_count(stats, column, v);
+                // Count desc, global heavy-hitter count desc; the BTreeMap
+                // order resolves remaining ties toward the smaller value.
+                let better = match best {
+                    None => true,
+                    Some((_, bn, bg)) => n > bn || (n == bn && g > bg),
+                };
+                if better {
+                    best = Some((v, n, g));
+                }
+            }
+            let Some((winner, winner_count, _)) = best else {
+                continue;
+            };
+            let winner = winner.clone();
+            let confidence = winner_count as f64 / members.len() as f64;
+            for m in members {
+                let (Ok(current), Ok(rowid)) = (
+                    m.field(column),
+                    m.field(ROWID_FIELD).and_then(|r| r.as_int()),
+                ) else {
+                    continue;
+                };
+                if *current != winner {
+                    section.fixes.push(Fix {
+                        table: shape.table.clone(),
+                        column: column.clone(),
+                        row_id: rowid,
+                        original: current.clone(),
+                        repaired: winner.clone(),
+                        confidence,
+                        rule: "fd".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    section
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cleanm_core::engine::CleanDb;
+    use cleanm_core::physical::EngineProfile;
+    use cleanm_values::{DataType, Row, Schema, Table};
+
+    fn db_with(rows: Vec<(&str, i64)>) -> CleanDb {
+        let schema = Schema::of([("addr", DataType::Str), ("nation", DataType::Int)]);
+        let table = Table::new(
+            schema,
+            rows.into_iter()
+                .map(|(a, n)| Row::new(vec![Value::str(a), Value::Int(n)]))
+                .collect(),
+        );
+        let mut db = CleanDb::new(EngineProfile::clean_db());
+        db.register("t", table);
+        db
+    }
+
+    #[test]
+    fn in_group_majority_wins_with_confidence() {
+        let sql = "SELECT * FROM t x FD(x.addr, x.nation)";
+        let mut db = db_with(vec![("a", 1), ("a", 1), ("a", 2), ("b", 7)]);
+        let report = db.run(sql).unwrap();
+        let shape = {
+            let entry = db.cached_plan(sql).unwrap();
+            FdPlanShape::from_plan(&entry.plans()[0]).unwrap()
+        };
+        let output = report.op_output("FD#0").unwrap();
+        assert_eq!(output.len(), 1, "one violating group (addr = a)");
+        let section = plan(&shape, output, None);
+        assert_eq!(section.fixes.len(), 1);
+        let fix = &section.fixes[0];
+        assert_eq!(fix.column, "nation");
+        assert_eq!(fix.row_id, 2);
+        assert_eq!(fix.original, Value::Int(2));
+        assert_eq!(fix.repaired, Value::Int(1));
+        assert!((fix.confidence - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(fix.rule, "fd");
+    }
+
+    #[test]
+    fn ties_break_with_table_level_heavy_hitters() {
+        let sql = "SELECT * FROM t x FD(x.addr, x.nation)";
+        // Group "a" ties 1-vs-2; globally nation=2 dominates via "b" rows.
+        let mut db = db_with(vec![("a", 1), ("a", 2), ("b", 2), ("c", 2), ("d", 2)]);
+        let report = db.run(sql).unwrap();
+        let shape = {
+            let entry = db.cached_plan(sql).unwrap();
+            FdPlanShape::from_plan(&entry.plans()[0]).unwrap()
+        };
+        let stats = db.table_stats("t").unwrap();
+        let output = report.op_output("FD#0").unwrap().to_vec();
+        let section = plan(&shape, &output, Some(&stats));
+        assert_eq!(section.fixes.len(), 1);
+        assert_eq!(
+            section.fixes[0].repaired,
+            Value::Int(2),
+            "global mode wins the tie"
+        );
+        assert_eq!(section.fixes[0].row_id, 0);
+        // Without stats the tie falls to the smaller value.
+        let section = plan(&shape, &output, None);
+        assert_eq!(section.fixes[0].repaired, Value::Int(1));
+    }
+
+    #[test]
+    fn derived_rhs_counts_as_unrepaired() {
+        let sql = "SELECT * FROM t x FD(x.nation, prefix(x.addr))";
+        let mut db = db_with(vec![("abc", 100), ("xyz", 100)]);
+        let report = db.run(sql).unwrap();
+        let shape = {
+            let entry = db.cached_plan(sql).unwrap();
+            FdPlanShape::from_plan(&entry.plans()[0]).unwrap()
+        };
+        let output = report.op_output("FD#0").unwrap();
+        let section = plan(&shape, output, None);
+        assert!(section.fixes.is_empty());
+        assert_eq!(section.unrepaired, output.len());
+    }
+}

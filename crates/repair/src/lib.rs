@@ -1,0 +1,74 @@
+//! # cleanm-repair — from violation reports to applicable fixes
+//!
+//! The detection engine in `cleanm-core` reports *where* data is dirty;
+//! this crate decides *what to write instead*. A [`RepairEngine`] consumes
+//! the violation output of every cleaning operator and produces
+//! confidence-scored cell fixes
+//! ([`Fix`]`{table, column, row_id, original, repaired, confidence, rule}`),
+//! collected into the [`RepairSection`] a
+//! [`CleaningReport`](cleanm_core::engine::CleaningReport) carries.
+//!
+//! Three repair families:
+//!
+//! * **FD repairs** — per violating LHS group, the right-hand side is set
+//!   to the group's most frequent value (weighted in-group frequency), ties
+//!   broken by table-level `cleanm-stats` heavy hitters; confidence is the
+//!   winner's in-group share.
+//! * **DEDUP / CLUSTER BY merges** — duplicate clusters collapse onto their
+//!   canonical record through matching-dependency-style [`MergeFn`]s per
+//!   column (most-frequent, longest, non-null, mean/min/max, custom
+//!   precedence); dirty terms are rewritten to their best dictionary
+//!   suggestion, confidence-scored by string similarity.
+//! * **DC repairs via relaxation** — for inequality denial constraints, the
+//!   offending cell moves to the boundary the constraint implies (the
+//!   minimal adjustment that exits the predicate), verified by simulation,
+//!   with a low-confidence null-out fallback for anything that survives.
+//!
+//! Fixes are deterministic — sorted by `(table, row_id, column)` regardless
+//! of shuffle strategy or partition count — and *applicable*:
+//! [`CleanDb::apply_repairs`](cleanm_core::engine::CleanDb::apply_repairs)
+//! rewrites the cells, drops merged rows, and re-registers the table
+//! through the columnar path, so standing queries in `cleanm-incr`
+//! re-validate the repaired table (to zero violations) on their next
+//! refresh.
+//!
+//! ```
+//! use cleanm_core::engine::CleanDb;
+//! use cleanm_core::physical::EngineProfile;
+//! use cleanm_repair::RepairEngine;
+//! use cleanm_values::{DataType, Row, Schema, Table, Value};
+//!
+//! let schema = Schema::of([("addr", DataType::Str), ("nation", DataType::Int)]);
+//! let rows = vec![
+//!     Row::new(vec![Value::str("athens"), Value::Int(30)]),
+//!     Row::new(vec![Value::str("athens"), Value::Int(30)]),
+//!     Row::new(vec![Value::str("athens"), Value::Int(99)]), // FD violation
+//! ];
+//! let mut db = CleanDb::new(EngineProfile::clean_db());
+//! db.register("c", Table::new(schema, rows));
+//!
+//! let engine = RepairEngine::default();
+//! let report = engine.run(&mut db, "SELECT * FROM c x FD(x.addr, x.nation)").unwrap();
+//! let section = report.repair.clone().unwrap();
+//! assert_eq!(section.fixes.len(), 1);
+//! db.apply_repairs(&section).unwrap();
+//!
+//! // The repaired table re-cleans with zero violations.
+//! let clean = db.run("SELECT * FROM c x FD(x.addr, x.nation)").unwrap();
+//! assert_eq!(clean.violations(), 0);
+//! ```
+#![warn(missing_docs)]
+
+mod dc;
+mod dedup;
+mod engine;
+mod fd;
+mod merge;
+mod termval;
+
+pub use engine::{RepairConfig, RepairEngine};
+pub use merge::{MergeFn, MergePolicy};
+
+// The record types live in cleanm-core (the report embeds them); re-export
+// for one-stop imports.
+pub use cleanm_core::engine::{AppliedRepairs, AppliedTable, Fix, RepairSection};

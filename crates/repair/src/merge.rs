@@ -1,0 +1,249 @@
+//! Matching-dependency-style merge functions for duplicate clusters.
+//!
+//! When DEDUP (or CLUSTER BY) groups rows into a duplicate cluster, each
+//! column of the cluster's canonical record is produced by a [`MergeFn`]
+//! over the member values — the per-attribute merge functions of the
+//! matching-dependency literature (Bertossi et al.). A [`MergePolicy`]
+//! assigns one function per column with a default for the rest.
+
+use std::collections::BTreeMap;
+
+use cleanm_values::Value;
+
+/// How to collapse one column of a duplicate cluster into a single value.
+///
+/// Every function is deterministic over the member values **in row-id
+/// order** (ties broken by the canonical total [`Value`] order), so two
+/// runs over differently partitioned data agree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeFn {
+    /// Keep the canonical (lowest row id) member's value unchanged. The
+    /// safe default: merged records never diverge from an observed row, so
+    /// re-running detection cannot surface new pairs.
+    First,
+    /// The most frequent non-null value (HoloClean-style pick-the-mode);
+    /// ties go to the smaller value in canonical order.
+    MostFrequent,
+    /// The longest string value; ties go to the smaller string. Falls back
+    /// to [`MergeFn::First`] when no member is a string.
+    Longest,
+    /// The first non-null value in row-id order (null only when every
+    /// member is null).
+    NonNull,
+    /// The arithmetic mean of the numeric members (NaN and non-numerics
+    /// skipped); falls back to [`MergeFn::First`] when none are numeric.
+    Mean,
+    /// The smallest non-null value in canonical order.
+    Min,
+    /// The largest non-null value in canonical order (NaN sorts last).
+    Max,
+    /// Custom precedence: the first listed value present among the
+    /// members; falls back to [`MergeFn::First`] when none is.
+    Precedence(Vec<Value>),
+}
+
+impl MergeFn {
+    /// Stable label used in fix rules (`"dedup:most_frequent"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MergeFn::First => "first",
+            MergeFn::MostFrequent => "most_frequent",
+            MergeFn::Longest => "longest",
+            MergeFn::NonNull => "non_null",
+            MergeFn::Mean => "mean",
+            MergeFn::Min => "min",
+            MergeFn::Max => "max",
+            MergeFn::Precedence(_) => "precedence",
+        }
+    }
+
+    /// Merge the cluster's member values (row-id order, canonical first)
+    /// into one. `values` must be non-empty.
+    pub fn merge(&self, values: &[Value]) -> Value {
+        debug_assert!(!values.is_empty());
+        let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        match self {
+            MergeFn::First => values[0].clone(),
+            MergeFn::MostFrequent => {
+                if non_null.is_empty() {
+                    return Value::Null;
+                }
+                let mut counts: BTreeMap<&Value, usize> = BTreeMap::new();
+                for v in &non_null {
+                    *counts.entry(v).or_insert(0) += 1;
+                }
+                // BTreeMap iterates in value order, so the first maximum is
+                // the smallest among tied values.
+                let mut best: Option<(&Value, usize)> = None;
+                for (v, n) in counts {
+                    if best.is_none_or(|(_, bn)| n > bn) {
+                        best = Some((v, n));
+                    }
+                }
+                best.expect("non_null is non-empty").0.clone()
+            }
+            MergeFn::Longest => {
+                let mut best: Option<&str> = None;
+                for v in &non_null {
+                    if let Ok(s) = v.as_str() {
+                        let better = match best {
+                            None => true,
+                            Some(b) => s.len() > b.len() || (s.len() == b.len() && s < b),
+                        };
+                        if better {
+                            best = Some(s);
+                        }
+                    }
+                }
+                match best {
+                    Some(s) => Value::str(s),
+                    None => values[0].clone(),
+                }
+            }
+            MergeFn::NonNull => non_null.first().map_or(Value::Null, |v| (*v).clone()),
+            MergeFn::Mean => {
+                let nums: Vec<f64> = non_null
+                    .iter()
+                    .filter_map(|v| v.as_float().ok())
+                    .filter(|f| !f.is_nan())
+                    .collect();
+                if nums.is_empty() {
+                    values[0].clone()
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            MergeFn::Min => non_null.iter().min().map_or(Value::Null, |v| (*v).clone()),
+            MergeFn::Max => non_null.iter().max().map_or(Value::Null, |v| (*v).clone()),
+            MergeFn::Precedence(prefs) => prefs
+                .iter()
+                .find(|p| values.contains(p))
+                .cloned()
+                .unwrap_or_else(|| values[0].clone()),
+        }
+    }
+
+    /// Confidence of a merged value: the fraction of members that already
+    /// equal it. Synthesized values no member holds (e.g. a mean) score 0
+    /// under this rule and surface as low-confidence fixes.
+    pub fn confidence(&self, merged: &Value, values: &[Value]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().filter(|v| *v == merged).count() as f64 / values.len() as f64
+    }
+}
+
+/// Column → merge-function assignment for cluster collapsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergePolicy {
+    /// Function for columns without a per-column override.
+    pub default: MergeFn,
+    /// Per-column overrides.
+    pub per_column: BTreeMap<String, MergeFn>,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy::keep_canonical()
+    }
+}
+
+impl MergePolicy {
+    /// Keep every canonical cell unchanged ([`MergeFn::First`] everywhere):
+    /// merging only deletes the non-canonical members. This is the only
+    /// policy that *guarantees* a re-run finds zero pairs, because the
+    /// surviving rows are untouched originals.
+    pub fn keep_canonical() -> Self {
+        MergePolicy {
+            default: MergeFn::First,
+            per_column: BTreeMap::new(),
+        }
+    }
+
+    /// HoloClean-style: every column takes its cluster mode. Note a mode
+    /// rewrite of a blocking/similarity attribute can, in principle, make
+    /// the canonical record similar to a row outside the cluster — keep
+    /// such attributes on [`MergeFn::First`] via
+    /// [`MergePolicy::with_column`] when that matters.
+    pub fn most_frequent() -> Self {
+        MergePolicy {
+            default: MergeFn::MostFrequent,
+            per_column: BTreeMap::new(),
+        }
+    }
+
+    /// Override one column's merge function.
+    pub fn with_column(mut self, column: &str, f: MergeFn) -> Self {
+        self.per_column.insert(column.to_string(), f);
+        self
+    }
+
+    /// The function governing `column`.
+    pub fn for_column(&self, column: &str) -> &MergeFn {
+        self.per_column.get(column).unwrap_or(&self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_functions_are_deterministic_and_documented() {
+        let vals = vec![
+            Value::str("aa"),
+            Value::Null,
+            Value::str("bbb"),
+            Value::str("bbb"),
+            Value::str("cc"),
+        ];
+        assert_eq!(MergeFn::First.merge(&vals), Value::str("aa"));
+        assert_eq!(MergeFn::MostFrequent.merge(&vals), Value::str("bbb"));
+        assert_eq!(MergeFn::Longest.merge(&vals), Value::str("bbb"));
+        assert_eq!(MergeFn::NonNull.merge(&vals), Value::str("aa"));
+        assert_eq!(MergeFn::Min.merge(&vals), Value::str("aa"));
+        assert_eq!(MergeFn::Max.merge(&vals), Value::str("cc"));
+        assert_eq!(
+            MergeFn::Precedence(vec![Value::str("zz"), Value::str("cc")]).merge(&vals),
+            Value::str("cc")
+        );
+        // Frequency ties break toward the smaller value.
+        let tie = vec![Value::str("b"), Value::str("a")];
+        assert_eq!(MergeFn::MostFrequent.merge(&tie), Value::str("a"));
+    }
+
+    #[test]
+    fn numeric_merges_skip_nan_and_nulls() {
+        let vals = vec![
+            Value::Float(2.0),
+            Value::Float(f64::NAN),
+            Value::Null,
+            Value::Int(4),
+        ];
+        assert_eq!(MergeFn::Mean.merge(&vals), Value::Float(3.0));
+        assert_eq!(MergeFn::Min.merge(&vals), Value::Float(2.0));
+        // NaN sorts last in the canonical order, so Max picks it — the
+        // caller sees exactly what the engine's total order would.
+        assert!(matches!(MergeFn::Max.merge(&vals), Value::Float(f) if f.is_nan()));
+        let empty = vec![Value::Null, Value::Null];
+        assert_eq!(MergeFn::MostFrequent.merge(&empty), Value::Null);
+        assert_eq!(MergeFn::NonNull.merge(&empty), Value::Null);
+    }
+
+    #[test]
+    fn confidence_is_agreement_fraction() {
+        let vals = vec![Value::Int(1), Value::Int(1), Value::Int(2), Value::Int(1)];
+        let merged = MergeFn::MostFrequent.merge(&vals);
+        assert_eq!(merged, Value::Int(1));
+        assert!((MergeFn::MostFrequent.confidence(&merged, &vals) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policy_routes_columns() {
+        let p = MergePolicy::most_frequent().with_column("name", MergeFn::Longest);
+        assert_eq!(p.for_column("name"), &MergeFn::Longest);
+        assert_eq!(p.for_column("other"), &MergeFn::MostFrequent);
+        assert_eq!(MergePolicy::default(), MergePolicy::keep_canonical());
+    }
+}

@@ -1,0 +1,85 @@
+//! CLUSTER BY repairs: replace every occurrence of a dirty term with its
+//! best dictionary suggestion, confidence-scored by string similarity.
+
+use std::collections::BTreeMap;
+
+use cleanm_core::calculus::desugar::ROWID_FIELD;
+use cleanm_core::calculus::CalcExpr;
+use cleanm_core::engine::{Fix, RepairSection};
+use cleanm_core::ops::TermvalPlanShape;
+use cleanm_text::Metric;
+use cleanm_values::Value;
+
+/// The data-side term column, or `None` when the clustered term is a
+/// derived expression that cannot be inverted into a cell assignment.
+fn term_column(shape: &TermvalPlanShape) -> Option<String> {
+    match &shape.data.item {
+        CalcExpr::Proj(base, col) => match base.as_ref() {
+            CalcExpr::Var(v) if *v == shape.data.scan_var => Some(col.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Plan CLUSTER BY repairs from the op's `{term, repair}` candidate output
+/// and the data table's rows.
+///
+/// Per dirty term the best suggestion wins (highest similarity, ties to
+/// the lexicographically smaller candidate — mirroring
+/// `cleanm_core::quality::select_best_repairs`); every cell holding the
+/// term becomes one [`Fix`] with `confidence = similarity`.
+pub(crate) fn plan(
+    shape: &TermvalPlanShape,
+    output: &[Value],
+    rows: &[Value],
+    metric: Metric,
+) -> RepairSection {
+    let mut section = RepairSection::default();
+    let Some(column) = term_column(shape) else {
+        section.unrepaired = output.len();
+        return section;
+    };
+    // Best (similarity, suggestion) per dirty term.
+    let mut best: BTreeMap<String, (f64, String)> = BTreeMap::new();
+    for v in output {
+        let (Ok(term), Ok(repair)) = (v.field("term"), v.field("repair")) else {
+            section.unrepaired += 1;
+            continue;
+        };
+        let (term, repair) = (term.to_text(), repair.to_text());
+        if term == repair {
+            continue;
+        }
+        let sim = metric.similarity(&term, &repair);
+        match best.get(&term) {
+            Some((s, cand)) if *s > sim || (*s == sim && *cand <= repair) => {}
+            _ => {
+                best.insert(term, (sim, repair));
+            }
+        }
+    }
+    for row in rows {
+        let (Ok(current), Ok(rowid)) = (
+            row.field(&column),
+            row.field(ROWID_FIELD).and_then(|r| r.as_int()),
+        ) else {
+            continue;
+        };
+        let Ok(text) = current.as_str() else {
+            continue;
+        };
+        if let Some((sim, suggestion)) = best.get(text) {
+            section.fixes.push(Fix {
+                table: shape.data.table.clone(),
+                column: column.clone(),
+                row_id: rowid,
+                original: current.clone(),
+                repaired: Value::str(suggestion),
+                confidence: *sim,
+                rule: "cluster:term".to_string(),
+            });
+        }
+    }
+    section
+}

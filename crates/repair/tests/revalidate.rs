@@ -1,0 +1,57 @@
+//! Applying repairs re-registers the repaired tables, which bumps their
+//! lineage: a standing query in `cleanm-incr` notices on its next refresh,
+//! falls back to a full re-run over the repaired data, and reports **zero
+//! violations** — the end-to-end contract of the repair subsystem.
+
+use cleanm_core::physical::EngineProfile;
+use cleanm_core::CleanDb;
+use cleanm_datagen::customer::CustomerGen;
+use cleanm_incr::IncrementalSession;
+use cleanm_repair::RepairEngine;
+
+const QUERY: &str = "SELECT * FROM customer c \
+                     FD(c.address, c.nationkey) \
+                     DEDUP(exact, LD, 0.8, c.address, c.name)";
+
+#[test]
+fn standing_query_revalidates_repaired_table_to_zero_violations() {
+    let data = CustomerGen::new(3)
+        .rows(500)
+        .duplicate_fraction(0.10)
+        .fd_noise_fraction(0.04)
+        .generate();
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", data.table);
+
+    let mut session = IncrementalSession::new(db);
+    let (id, baseline) = session.install(QUERY).unwrap();
+    assert!(baseline.violations() > 0, "corpus must start dirty");
+
+    // Plan repairs from the standing query's own detection output and
+    // apply them through the session's database.
+    let engine = RepairEngine::default();
+    let section = engine
+        .plan_for_report(session.db(), QUERY, &baseline)
+        .unwrap();
+    assert_eq!(section.unrepaired, 0);
+    assert!(!section.is_empty());
+    let applied = session.db().apply_repairs(&section).unwrap();
+    assert_eq!(applied.stale(), 0, "plan applied against live data");
+    assert!(applied.rows_dropped() > 0, "duplicates were merged away");
+
+    // The refresh detects the re-registration (lineage bump), falls back
+    // to a full re-run, and finds the table clean.
+    let refreshed = session.refresh(id).unwrap();
+    let info = refreshed.incremental.clone().unwrap();
+    assert_eq!(
+        info.fallback_ops,
+        refreshed.ops.len(),
+        "re-registration forces the fallback path"
+    );
+    assert_eq!(refreshed.violations(), 0, "repaired table re-cleans clean");
+
+    // Subsequent refreshes run incrementally again from the rebuilt state.
+    let steady = session.refresh(id).unwrap();
+    assert_eq!(steady.violations(), 0);
+    assert_eq!(steady.incremental.unwrap().fallback_ops, 0);
+}

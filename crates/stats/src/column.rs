@@ -178,6 +178,15 @@ impl ColumnStats {
         self.heavy.candidates()
     }
 
+    /// Undercount bound on the heavy-hitter counts. `0` means the sketch
+    /// never truncated — every count is an exact frequency, independent of
+    /// how the observations were partitioned. Consumers needing
+    /// partition-deterministic decisions (e.g. repair tie-breaking) should
+    /// only trust the counts when this is zero.
+    pub fn heavy_error_bound(&self) -> u64 {
+        self.heavy.error_bound()
+    }
+
     /// Cut an equi-depth histogram at the configured resolution from the
     /// numeric sample. `None` when the column has no numeric values.
     pub fn histogram(&self) -> Option<EquiDepthHistogram> {

@@ -152,6 +152,42 @@ impl Value {
             .ok_or_else(|| Error::UnknownField(name.to_string()))
     }
 
+    /// A copy of this struct with the named field's value replaced. Errors
+    /// on non-structs and unknown fields; every untouched cell is shared
+    /// (`Arc` clones), so a single-cell repair of a wide row is cheap.
+    pub fn with_field(&self, name: &str, value: Value) -> Result<Value> {
+        let fields = self.as_struct()?;
+        let mut found = false;
+        let out: Vec<(Arc<str>, Value)> = fields
+            .iter()
+            .map(|(n, v)| {
+                if n.as_ref() == name {
+                    found = true;
+                    (Arc::clone(n), value.clone())
+                } else {
+                    (Arc::clone(n), v.clone())
+                }
+            })
+            .collect();
+        if !found {
+            return Err(Error::UnknownField(name.to_string()));
+        }
+        Ok(Value::Struct(out.into()))
+    }
+
+    /// A copy of this struct with the named field removed (identity when
+    /// the field is absent). Errors on non-structs.
+    pub fn without_field(&self, name: &str) -> Result<Value> {
+        let fields = self.as_struct()?;
+        Ok(Value::Struct(
+            fields
+                .iter()
+                .filter(|(n, _)| n.as_ref() != name)
+                .cloned()
+                .collect(),
+        ))
+    }
+
     /// Render the value as a plain string: the textual content for scalars
     /// (no quotes), and a JSON-ish rendering for containers. Used when a
     /// cleaning operator needs "the words of" a value.

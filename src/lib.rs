@@ -23,6 +23,9 @@
 //! * [`incr`] — the incremental cleaning service: append ingestion with
 //!   monoid-maintained statistics, standing queries with delta-driven
 //!   re-validation, and the session plan cache.
+//! * [`repair`] — the repair engine: confidence-scored cell fixes for
+//!   FD/DEDUP/CLUSTER BY/DC violations, applied through
+//!   [`core::CleanDb::apply_repairs`] and re-validated incrementally.
 //!
 //! ## Quickstart
 //!
@@ -53,5 +56,6 @@ pub use cleanm_datagen as datagen;
 pub use cleanm_exec as exec;
 pub use cleanm_formats as formats;
 pub use cleanm_incr as incr;
+pub use cleanm_repair as repair;
 pub use cleanm_text as text;
 pub use cleanm_values as values;
