@@ -1,0 +1,204 @@
+//! Golden-fixture harness.
+//!
+//! A fixture is a directory under `tests/fixtures/` containing:
+//!
+//! * `query.cm` — the CleanM source (one statement, or a broken file for
+//!   diagnostic fixtures).
+//! * `tables.txt` — optional; one `name=relative/path.csv` per line,
+//!   resolved against the fixture directory (shared data lives in
+//!   `tests/fixtures/_data/`).
+//! * `expected.plan` / `expected.report` — the pinned plan and outcome
+//!   renderings for a clean query ([`crate::render`]).
+//! * `expected.stderr` — the pinned diagnostics rendering for a file with
+//!   frontend errors (caret underlines, spans, codes).
+//!
+//! [`run_case`] executes one fixture deterministically
+//! (`EngineProfile::clean_db()`, seed [`crate::DEFAULT_SEED`]) and either
+//! compares against the expected files or, in update mode
+//! (`UPDATE_FIXTURES=1`), rewrites them.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cleanm_core::lang::diag::render_all;
+use cleanm_core::{analyze, EngineProfile};
+
+use crate::render::{render_plan, render_report};
+use crate::schema::read_csv_file;
+use crate::{session, DEFAULT_SEED};
+
+/// The comparison result for one fixture.
+#[derive(Debug)]
+pub struct CaseOutcome {
+    /// Fixture directory name.
+    pub name: String,
+    /// Human-readable mismatch descriptions; empty means the case passed.
+    pub mismatches: Vec<String>,
+    /// Files (re)written in update mode.
+    pub updated: Vec<String>,
+}
+
+impl CaseOutcome {
+    /// Did the case pass (no mismatches)?
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// All fixture directories (those containing `query.cm`) under `root`,
+/// sorted by name for stable ordering.
+pub fn discover(root: &Path) -> Vec<PathBuf> {
+    let mut cases: Vec<PathBuf> = fs::read_dir(root)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.join("query.cm").is_file())
+        .collect();
+    cases.sort();
+    cases
+}
+
+/// Table registrations from a fixture's `tables.txt`: `(name, csv path)`.
+fn parse_tables(dir: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let manifest = dir.join("tables.txt");
+    if !manifest.is_file() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+    let mut tables = Vec::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let Some((name, rel)) = line.split_once('=') else {
+            return Err(format!("tables.txt: malformed line `{line}`"));
+        };
+        tables.push((name.trim().to_string(), dir.join(rel.trim())));
+    }
+    Ok(tables)
+}
+
+/// Compare `actual` against the expected file, or rewrite it in update
+/// mode. Records the outcome on `out`.
+fn check_file(dir: &Path, file: &str, actual: &str, update: bool, out: &mut CaseOutcome) {
+    let path = dir.join(file);
+    if update {
+        if fs::read_to_string(&path).ok().as_deref() != Some(actual) {
+            if let Err(e) = fs::write(&path, actual) {
+                out.mismatches.push(format!("{file}: write failed: {e}"));
+                return;
+            }
+            out.updated.push(file.to_string());
+        }
+        return;
+    }
+    match fs::read_to_string(&path) {
+        Ok(expected) if expected == actual => {}
+        Ok(expected) => out.mismatches.push(format!(
+            "{file} mismatch\n--- expected ---\n{expected}--- actual ---\n{actual}"
+        )),
+        Err(_) => out.mismatches.push(format!(
+            "{file} missing (run with UPDATE_FIXTURES=1 to create)\n--- actual ---\n{actual}"
+        )),
+    }
+}
+
+/// A file that must NOT exist for this fixture shape (e.g. `expected.plan`
+/// next to `expected.stderr`).
+fn check_absent(dir: &Path, file: &str, update: bool, out: &mut CaseOutcome) {
+    let path = dir.join(file);
+    if path.is_file() {
+        if update {
+            let _ = fs::remove_file(&path);
+            out.updated.push(format!("{file} (removed)"));
+        } else {
+            out.mismatches.push(format!(
+                "{file} present but the fixture shape does not use it"
+            ));
+        }
+    }
+}
+
+/// Run one fixture directory. `update` switches from compare to regenerate.
+pub fn run_case(dir: &Path, update: bool) -> CaseOutcome {
+    let name = dir
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| dir.display().to_string());
+    let mut out = CaseOutcome {
+        name,
+        mismatches: Vec::new(),
+        updated: Vec::new(),
+    };
+    let source = match fs::read_to_string(dir.join("query.cm")) {
+        Ok(s) => s,
+        Err(e) => {
+            out.mismatches.push(format!("query.cm: {e}"));
+            return out;
+        }
+    };
+
+    let analysis = analyze(&source, DEFAULT_SEED);
+    if !analysis.is_clean() {
+        // Diagnostic fixture: pin the full rendered stderr.
+        let stderr = render_all(&analysis.diagnostics, &source, "query.cm");
+        check_file(dir, "expected.stderr", &stderr, update, &mut out);
+        check_absent(dir, "expected.plan", update, &mut out);
+        check_absent(dir, "expected.report", update, &mut out);
+        return out;
+    }
+
+    // Execution fixture: deterministic profile + seed.
+    let mut db = session(EngineProfile::clean_db());
+    let tables = match parse_tables(dir) {
+        Ok(t) => t,
+        Err(e) => {
+            out.mismatches.push(e);
+            return out;
+        }
+    };
+    for (table_name, path) in tables {
+        match read_csv_file(&path) {
+            Ok(t) => db.register(&table_name, t),
+            Err(e) => {
+                out.mismatches.push(e);
+                return out;
+            }
+        }
+    }
+    let report = match db.run(source.trim_end()) {
+        Ok(r) => r,
+        Err(e) => {
+            out.mismatches.push(format!("execution failed: {e}"));
+            return out;
+        }
+    };
+    check_file(
+        dir,
+        "expected.plan",
+        &render_plan(&report),
+        update,
+        &mut out,
+    );
+    check_file(
+        dir,
+        "expected.report",
+        &render_report(&report),
+        update,
+        &mut out,
+    );
+    check_absent(dir, "expected.stderr", update, &mut out);
+    out
+}
+
+/// Run every fixture under `root`. Returns the outcomes; the caller decides
+/// how to report them.
+pub fn run_all(root: &Path, update: bool) -> Vec<CaseOutcome> {
+    discover(root).iter().map(|d| run_case(d, update)).collect()
+}
+
+/// Is fixture-update mode requested via the environment
+/// (`UPDATE_FIXTURES=1`)?
+pub fn update_mode() -> bool {
+    std::env::var("UPDATE_FIXTURES")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}

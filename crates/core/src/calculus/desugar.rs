@@ -12,6 +12,11 @@
 //!   group key, unnested, similarity-checked:
 //!   `list{ {term, repair} | g1 ← dataGroup, g2 ← dictGroup, g1.key = g2.key,
 //!   t ← g1.partition, w ← g2.partition, similar(t, w) }`
+//! * **DC** — like DEDUP, but the pairwise predicate is the user's denial
+//!   predicate over `t1`/`t2` and blocking keys come from its
+//!   `t1.x = t2.x` equality conjuncts (single block when there are none):
+//!   `bag{ {left: p1, right: p2} | g ← filter{…}, p1 ← g.partition,
+//!   p2 ← g.partition, p1.__rowid ≠ p2.__rowid, pred(p1, p2) }`
 //!
 //! Rows flow through the calculus as structs; the engine injects a
 //! `__rowid` field so pair enumeration can break symmetry.
@@ -20,11 +25,19 @@
 //! blocking attribute; similarity compares the concatenation of `a₁…`
 //! (falling back to `a₀` when no others are given). The dictionary table of
 //! CLUSTER BY exposes its term under the column `term`.
+//!
+//! Errors are span-carrying [`Diagnostic`]s ([`desugar_query_diag`]); the
+//! plain [`desugar_query`] wrapper flattens them into `Error::Invalid` for
+//! engine callers.
 
 use cleanm_text::Metric;
 use cleanm_values::{Error, Result};
 
-use crate::lang::ast::{BlockSpec, CleanOp, Expr, Query};
+use crate::lang::ast::{BlockSpec, CleanOp, Expr, ExprKind, Query};
+use crate::lang::diag::{
+    Diagnostic, Phase, Span, E201_UNKNOWN_ALIAS, E202_UNKNOWN_FUNCTION, E203_MISPLACED_STAR,
+    E204_GROUP_BY_WITH_CLEANING, E205_OPERATOR_SHAPE, E206_DC_VARS,
+};
 
 use super::expr::{BinOp, CalcExpr, FilterAlgo, Func, MonoidKind, Qual};
 
@@ -36,7 +49,7 @@ pub const DICT_TERM_FIELD: &str = "term";
 /// One desugared cleaning operation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DesugaredOp {
-    /// Human-readable label for reports (`"FD(address → prefix(phone))"`).
+    /// Human-readable label for reports (`"FD#0"`).
     pub label: String,
     /// The §4.4 comprehension.
     pub comp: CalcExpr,
@@ -49,6 +62,7 @@ pub enum OpKind {
     Fd,
     Dedup,
     TermValidation,
+    Dc,
     Select,
 }
 
@@ -59,54 +73,66 @@ pub struct DesugaredQuery {
     pub ops: Vec<DesugaredOp>,
 }
 
+type DResult<T> = std::result::Result<T, Diagnostic>;
+
+fn diag(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::new(code, Phase::Desugar, span, message)
+}
+
 /// Convert a surface expression to a calculus expression, resolving column
-/// references against `row_vars`: alias → comprehension variable.
+/// references against `row_vars`: alias → comprehension variable. The
+/// public strict wrapper around `expr_calc` used by tests and tools.
 pub fn expr_to_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> Result<CalcExpr> {
-    match e {
-        Expr::Literal(v) => Ok(CalcExpr::Const(v.clone())),
-        Expr::Star => Err(Error::Invalid(
-            "`*` cannot appear in this position".to_string(),
+    expr_calc(e, row_vars).map_err(|d| Error::Invalid(d.message))
+}
+
+fn expr_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> DResult<CalcExpr> {
+    match &e.kind {
+        ExprKind::Literal(v) => Ok(CalcExpr::Const(v.clone())),
+        ExprKind::Star => Err(diag(
+            E203_MISPLACED_STAR,
+            e.span,
+            "`*` cannot appear in this position",
         )),
-        Expr::Column { table, name } => {
+        ExprKind::Column { table, name } => {
             let var = match table {
                 Some(alias) => row_vars
                     .iter()
                     .find(|(a, _)| a.as_deref() == Some(alias.as_str()))
                     .map(|(_, v)| *v)
-                    .ok_or_else(|| Error::Invalid(format!("unknown alias `{alias}`")))?,
-                None => row_vars
-                    .first()
-                    .map(|(_, v)| *v)
-                    .ok_or_else(|| Error::Invalid("no row in scope".to_string()))?,
+                    .ok_or_else(|| {
+                        diag(
+                            E201_UNKNOWN_ALIAS,
+                            e.span,
+                            format!("unknown alias `{alias}`"),
+                        )
+                        .with_note(format!(
+                            "tables in scope: {}",
+                            row_vars
+                                .iter()
+                                .filter_map(|(a, _)| *a)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ))
+                    })?,
+                None => row_vars.first().map(|(_, v)| *v).ok_or_else(|| {
+                    diag(E201_UNKNOWN_ALIAS, e.span, "no row in scope".to_string())
+                })?,
             };
             Ok(CalcExpr::proj(CalcExpr::var(var), name))
         }
-        Expr::Not(inner) => Ok(CalcExpr::Not(Box::new(expr_to_calc(inner, row_vars)?))),
-        Expr::BinOp { op, left, right } => {
-            let l = expr_to_calc(left, row_vars)?;
-            let r = expr_to_calc(right, row_vars)?;
-            let op = match op.as_str() {
-                "+" => BinOp::Add,
-                "-" => BinOp::Sub,
-                "*" => BinOp::Mul,
-                "/" => BinOp::Div,
-                "=" => BinOp::Eq,
-                "<>" | "!=" => BinOp::Ne,
-                "<" => BinOp::Lt,
-                "<=" => BinOp::Le,
-                ">" => BinOp::Gt,
-                ">=" => BinOp::Ge,
-                "AND" => BinOp::And,
-                "OR" => BinOp::Or,
-                other => return Err(Error::Invalid(format!("unknown operator `{other}`"))),
-            };
+        ExprKind::Not(inner) => Ok(CalcExpr::Not(Box::new(expr_calc(inner, row_vars)?))),
+        ExprKind::BinOp { op, left, right } => {
+            let l = expr_calc(left, row_vars)?;
+            let r = expr_calc(right, row_vars)?;
+            let op = surface_binop(op, e.span)?;
             Ok(CalcExpr::bin(op, l, r))
         }
-        Expr::Call { name, args } => {
+        ExprKind::Call { name, args } => {
             let calc_args: Vec<CalcExpr> = args
                 .iter()
-                .map(|a| expr_to_calc(a, row_vars))
-                .collect::<Result<_>>()?;
+                .map(|a| expr_calc(a, row_vars))
+                .collect::<DResult<_>>()?;
             let func = match name.to_lowercase().as_str() {
                 "prefix" => Func::Prefix,
                 "lower" => Func::Lower,
@@ -122,23 +148,64 @@ pub fn expr_to_calc(e: &Expr, row_vars: &[(Option<&str>, &str)]) -> Result<CalcE
                 "distinct" => Func::Distinct,
                 "split" => {
                     // split(expr, 'sep') — the separator must be a literal.
-                    let Some(Expr::Literal(sep)) = args.get(1) else {
-                        return Err(Error::Invalid(
-                            "split() needs a literal separator".to_string(),
+                    let Some(Expr {
+                        kind: ExprKind::Literal(sep),
+                        ..
+                    }) = args.get(1)
+                    else {
+                        return Err(diag(
+                            E205_OPERATOR_SHAPE,
+                            e.span,
+                            "split() needs a literal separator",
                         ));
                     };
                     return Ok(CalcExpr::call(
                         Func::Split(sep.to_text()),
                         vec![calc_args.into_iter().next().ok_or_else(|| {
-                            Error::Invalid("split() needs an argument".to_string())
+                            diag(E205_OPERATOR_SHAPE, e.span, "split() needs an argument")
                         })?],
                     ));
                 }
-                other => return Err(Error::Invalid(format!("unknown function `{other}`"))),
+                other => {
+                    return Err(diag(
+                        E202_UNKNOWN_FUNCTION,
+                        e.span,
+                        format!("unknown function `{other}`"),
+                    )
+                    .with_note(
+                        "builtins: prefix, lower, upper, trim, length, concat, split, \
+                         is_null, coalesce, distinct, count, count_distinct, sum, avg, \
+                         min, max",
+                    ))
+                }
             };
             Ok(CalcExpr::call(func, calc_args))
         }
     }
+}
+
+fn surface_binop(op: &str, span: Span) -> DResult<BinOp> {
+    Ok(match op {
+        "+" => BinOp::Add,
+        "-" => BinOp::Sub,
+        "*" => BinOp::Mul,
+        "/" => BinOp::Div,
+        "=" => BinOp::Eq,
+        "<>" | "!=" => BinOp::Ne,
+        "<" => BinOp::Lt,
+        "<=" => BinOp::Le,
+        ">" => BinOp::Gt,
+        ">=" => BinOp::Ge,
+        "AND" => BinOp::And,
+        "OR" => BinOp::Or,
+        other => {
+            return Err(diag(
+                E205_OPERATOR_SHAPE,
+                span,
+                format!("unknown operator `{other}`"),
+            ))
+        }
+    })
 }
 
 /// The inner grouping comprehension
@@ -211,236 +278,445 @@ fn tuple_key(exprs: &[CalcExpr]) -> CalcExpr {
 }
 
 /// Desugar a parsed query into per-operator comprehensions. `seed`
-/// parameterizes randomized blockers (k-means center sampling).
+/// parameterizes randomized blockers (k-means center sampling). Strict
+/// wrapper: the first diagnostic becomes `Error::Invalid`.
 pub fn desugar_query(q: &Query, seed: u64) -> Result<DesugaredQuery> {
-    let primary = q
-        .primary_table()
-        .ok_or_else(|| Error::Invalid("query has no FROM table".to_string()))?;
+    desugar_query_diag(q, seed).map_err(|ds| {
+        let d = ds.into_iter().next().expect("non-empty diagnostics");
+        Error::Invalid(d.message)
+    })
+}
+
+/// Desugar a parsed query, reporting *every* failing operator with a
+/// span-carrying [`Diagnostic`] instead of stopping at the first.
+pub fn desugar_query_diag(
+    q: &Query,
+    seed: u64,
+) -> std::result::Result<DesugaredQuery, Vec<Diagnostic>> {
+    let Some(primary) = q.primary_table() else {
+        return Err(vec![diag(
+            E205_OPERATOR_SHAPE,
+            Span::default(),
+            "query has no FROM table",
+        )]);
+    };
     let table = primary.name.clone();
     let alias = primary.alias.clone();
     let d = "d0"; // canonical row variable for the primary table
     let row_vars: Vec<(Option<&str>, &str)> = vec![(alias.as_deref().or(Some(&table)), d)];
-    // Accept both the alias and the bare table name for unqualified columns.
-    let where_pred = q
-        .where_clause
-        .as_ref()
-        .map(|w| expr_to_calc(w, &row_vars))
-        .transpose()?;
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
 
     if !q.clean_ops.is_empty() && !q.group_by.is_empty() {
-        return Err(Error::Invalid(
+        let span = q
+            .clean_ops
+            .iter()
+            .map(CleanOp::span)
+            .fold(q.group_by[0].span, Span::join);
+        return Err(vec![diag(
+            E204_GROUP_BY_WITH_CLEANING,
+            span,
             "GROUP BY cannot be combined with cleaning operators; run the \
-             aggregation and the cleaning as separate queries"
-                .to_string(),
-        ));
+             aggregation and the cleaning as separate queries",
+        )]);
     }
+
+    // Accept both the alias and the bare table name for unqualified columns.
+    let where_pred = match q
+        .where_clause
+        .as_ref()
+        .map(|w| expr_calc(w, &row_vars))
+        .transpose()
+    {
+        Ok(p) => p,
+        Err(d) => {
+            diagnostics.push(d);
+            None
+        }
+    };
 
     let mut ops = Vec::new();
     for (i, op) in q.clean_ops.iter().enumerate() {
-        match op {
-            CleanOp::Fd { lhs, rhs } => {
-                let lhs_calc: Vec<CalcExpr> = lhs
-                    .iter()
-                    .map(|e| expr_to_calc(e, &row_vars))
-                    .collect::<Result<_>>()?;
-                // RHS is evaluated over partition members bound to `x0`.
-                let x_vars: Vec<(Option<&str>, &str)> =
-                    vec![(alias.as_deref().or(Some(&table)), "x0")];
-                let rhs_calc: Vec<CalcExpr> = rhs
-                    .iter()
-                    .map(|e| expr_to_calc(e, &x_vars))
-                    .collect::<Result<_>>()?;
-
-                let groups = grouping_comp(
-                    FilterAlgo::Exact,
-                    &table,
-                    d,
-                    tuple_key(&lhs_calc),
-                    CalcExpr::var(d),
-                    where_pred.clone(),
-                );
-                // count_distinct(bag{ rhs(x) | x <- g.partition }) > 1
-                let rhs_bag = CalcExpr::comp(
-                    MonoidKind::Bag,
-                    tuple_key(&rhs_calc),
-                    vec![Qual::Gen(
-                        "x0".into(),
-                        CalcExpr::proj(CalcExpr::var("g"), "partition"),
-                    )],
-                );
-                let violation_pred = CalcExpr::bin(
-                    BinOp::Gt,
-                    CalcExpr::call(Func::CountDistinct, vec![rhs_bag]),
-                    CalcExpr::int(1),
-                );
-                let comp = CalcExpr::comp(
-                    MonoidKind::Bag,
-                    CalcExpr::var("g"),
-                    vec![Qual::Gen("g".into(), groups), Qual::Pred(violation_pred)],
-                );
-                ops.push(DesugaredOp {
-                    label: format!("FD#{i}"),
-                    comp,
-                    kind: OpKind::Fd,
-                });
-            }
-            CleanOp::Dedup {
-                op,
-                metric,
-                theta,
-                attributes,
-            } => {
-                if attributes.is_empty() {
-                    return Err(Error::Invalid(
-                        "DEDUP needs at least one attribute".to_string(),
-                    ));
-                }
-                let algo = block_spec_to_algo(op, seed);
-                let attr_calc: Vec<CalcExpr> = attributes
-                    .iter()
-                    .map(|e| expr_to_calc(e, &row_vars))
-                    .collect::<Result<_>>()?;
-                let block_attr = attr_calc[0].clone();
-                let key = match algo {
-                    FilterAlgo::Exact => block_attr,
-                    ref a => CalcExpr::call(Func::BlockKeys(a.clone()), vec![block_attr]),
-                };
-                let groups =
-                    grouping_comp(algo, &table, d, key, CalcExpr::var(d), where_pred.clone());
-
-                // Similarity attributes: the non-blocking attributes, or the
-                // blocking one when it is alone. Rewritten over p1/p2.
-                let sim_attrs: &[Expr] = if attributes.len() > 1 {
-                    &attributes[1..]
-                } else {
-                    &attributes[..1]
-                };
-                let p1_vars: Vec<(Option<&str>, &str)> =
-                    vec![(alias.as_deref().or(Some(&table)), "p1")];
-                let p2_vars: Vec<(Option<&str>, &str)> =
-                    vec![(alias.as_deref().or(Some(&table)), "p2")];
-                let sim1: Vec<CalcExpr> = sim_attrs
-                    .iter()
-                    .map(|e| expr_to_calc(e, &p1_vars))
-                    .collect::<Result<_>>()?;
-                let sim2: Vec<CalcExpr> = sim_attrs
-                    .iter()
-                    .map(|e| expr_to_calc(e, &p2_vars))
-                    .collect::<Result<_>>()?;
-
-                let comp = CalcExpr::comp(
-                    MonoidKind::Bag,
-                    CalcExpr::record(vec![
-                        ("left", CalcExpr::var("p1")),
-                        ("right", CalcExpr::var("p2")),
-                    ]),
-                    vec![
-                        Qual::Gen("g".into(), groups),
-                        Qual::Gen("p1".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
-                        Qual::Gen("p2".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
-                        Qual::Pred(CalcExpr::bin(
-                            BinOp::Lt,
-                            CalcExpr::proj(CalcExpr::var("p1"), ROWID_FIELD),
-                            CalcExpr::proj(CalcExpr::var("p2"), ROWID_FIELD),
-                        )),
-                        Qual::Pred(CalcExpr::call(
-                            Func::Similar(*metric, *theta),
-                            vec![concat_attrs(&sim1), concat_attrs(&sim2)],
-                        )),
-                    ],
-                );
-                ops.push(DesugaredOp {
-                    label: format!("DEDUP#{i}"),
-                    comp,
-                    kind: OpKind::Dedup,
-                });
-            }
-            CleanOp::ClusterBy {
-                op,
-                metric,
-                theta,
-                term,
-            } => {
-                let dict = q.auxiliary_table().ok_or_else(|| {
-                    Error::Invalid(
-                        "CLUSTER BY needs a dictionary as the second FROM table".to_string(),
-                    )
-                })?;
-                let algo = block_spec_to_algo(op, seed);
-                let term_calc = expr_to_calc(term, &row_vars)?;
-                let data_group = grouping_comp(
-                    algo.clone(),
-                    &table,
-                    d,
-                    CalcExpr::call(Func::BlockKeys(algo.clone()), vec![term_calc.clone()]),
-                    term_calc,
-                    where_pred.clone(),
-                );
-                let dict_term = CalcExpr::proj(CalcExpr::var("w0"), DICT_TERM_FIELD);
-                let dict_group = grouping_comp(
-                    algo.clone(),
-                    &dict.name,
-                    "w0",
-                    CalcExpr::call(Func::BlockKeys(algo.clone()), vec![dict_term.clone()]),
-                    dict_term,
-                    None,
-                );
-                let comp = CalcExpr::comp(
-                    MonoidKind::List,
-                    CalcExpr::record(vec![
-                        ("term", CalcExpr::var("t")),
-                        ("repair", CalcExpr::var("w")),
-                    ]),
-                    vec![
-                        Qual::Gen("g1".into(), data_group),
-                        Qual::Gen("g2".into(), dict_group),
-                        Qual::Pred(CalcExpr::bin(
-                            BinOp::Eq,
-                            CalcExpr::proj(CalcExpr::var("g1"), "key"),
-                            CalcExpr::proj(CalcExpr::var("g2"), "key"),
-                        )),
-                        Qual::Gen("t".into(), CalcExpr::proj(CalcExpr::var("g1"), "partition")),
-                        Qual::Gen("w".into(), CalcExpr::proj(CalcExpr::var("g2"), "partition")),
-                        Qual::Pred(CalcExpr::call(
-                            Func::Similar(*metric, *theta),
-                            vec![CalcExpr::var("t"), CalcExpr::var("w")],
-                        )),
-                    ],
-                );
-                ops.push(DesugaredOp {
-                    label: format!("CLUSTERBY#{i}"),
-                    comp,
-                    kind: OpKind::TermValidation,
-                });
-            }
+        match desugar_clean_op(op, i, q, &table, alias.as_deref(), d, &where_pred, seed) {
+            Ok(op) => ops.push(op),
+            Err(d) => diagnostics.push(d),
         }
     }
 
     // Plain select part (used when no cleaning operators are present).
-    if ops.is_empty() {
+    if ops.is_empty() && diagnostics.is_empty() {
         let monoid = if q.distinct {
             MonoidKind::Set
         } else {
             MonoidKind::Bag
         };
         let comp = if q.group_by.is_empty() {
-            let head = select_head(q, &row_vars)?;
-            let mut quals = vec![Qual::Gen(d.to_string(), CalcExpr::TableRef(table.clone()))];
-            if let Some(p) = where_pred {
-                quals.push(Qual::Pred(p));
+            match select_head(q, &row_vars) {
+                Ok(head) => {
+                    let mut quals =
+                        vec![Qual::Gen(d.to_string(), CalcExpr::TableRef(table.clone()))];
+                    if let Some(p) = where_pred {
+                        quals.push(Qual::Pred(p));
+                    }
+                    Some(CalcExpr::comp(monoid, head, quals))
+                }
+                Err(d) => {
+                    diagnostics.push(d);
+                    None
+                }
             }
-            CalcExpr::comp(monoid, head, quals)
         } else {
-            desugar_group_by(q, &table, d, where_pred, monoid, &row_vars)?
+            match desugar_group_by(q, &table, d, where_pred, monoid, &row_vars) {
+                Ok(c) => Some(c),
+                Err(d) => {
+                    diagnostics.push(d);
+                    None
+                }
+            }
         };
-        ops.push(DesugaredOp {
-            label: "SELECT".to_string(),
-            comp,
-            kind: OpKind::Select,
-        });
+        if let Some(comp) = comp {
+            ops.push(DesugaredOp {
+                label: "SELECT".to_string(),
+                comp,
+                kind: OpKind::Select,
+            });
+        }
     }
 
-    Ok(DesugaredQuery { ops })
+    if diagnostics.is_empty() {
+        Ok(DesugaredQuery { ops })
+    } else {
+        Err(diagnostics)
+    }
+}
+
+/// Desugar one cleaning operator clause.
+#[allow(clippy::too_many_arguments)]
+fn desugar_clean_op(
+    op: &CleanOp,
+    i: usize,
+    q: &Query,
+    table: &str,
+    alias: Option<&str>,
+    d: &str,
+    where_pred: &Option<CalcExpr>,
+    seed: u64,
+) -> DResult<DesugaredOp> {
+    let row_vars: Vec<(Option<&str>, &str)> = vec![(alias.or(Some(table)), d)];
+    match op {
+        CleanOp::Fd { lhs, rhs, .. } => {
+            let lhs_calc: Vec<CalcExpr> = lhs
+                .iter()
+                .map(|e| expr_calc(e, &row_vars))
+                .collect::<DResult<_>>()?;
+            // RHS is evaluated over partition members bound to `x0`.
+            let x_vars: Vec<(Option<&str>, &str)> = vec![(alias.or(Some(table)), "x0")];
+            let rhs_calc: Vec<CalcExpr> = rhs
+                .iter()
+                .map(|e| expr_calc(e, &x_vars))
+                .collect::<DResult<_>>()?;
+
+            let groups = grouping_comp(
+                FilterAlgo::Exact,
+                table,
+                d,
+                tuple_key(&lhs_calc),
+                CalcExpr::var(d),
+                where_pred.clone(),
+            );
+            // count_distinct(bag{ rhs(x) | x <- g.partition }) > 1
+            let rhs_bag = CalcExpr::comp(
+                MonoidKind::Bag,
+                tuple_key(&rhs_calc),
+                vec![Qual::Gen(
+                    "x0".into(),
+                    CalcExpr::proj(CalcExpr::var("g"), "partition"),
+                )],
+            );
+            let violation_pred = CalcExpr::bin(
+                BinOp::Gt,
+                CalcExpr::call(Func::CountDistinct, vec![rhs_bag]),
+                CalcExpr::int(1),
+            );
+            let comp = CalcExpr::comp(
+                MonoidKind::Bag,
+                CalcExpr::var("g"),
+                vec![Qual::Gen("g".into(), groups), Qual::Pred(violation_pred)],
+            );
+            Ok(DesugaredOp {
+                label: format!("FD#{i}"),
+                comp,
+                kind: OpKind::Fd,
+            })
+        }
+        CleanOp::Dedup {
+            op,
+            metric,
+            theta,
+            attributes,
+            span,
+        } => {
+            if attributes.is_empty() {
+                return Err(diag(
+                    E205_OPERATOR_SHAPE,
+                    *span,
+                    "DEDUP needs at least one attribute",
+                ));
+            }
+            let algo = block_spec_to_algo(op, seed);
+            let attr_calc: Vec<CalcExpr> = attributes
+                .iter()
+                .map(|e| expr_calc(e, &row_vars))
+                .collect::<DResult<_>>()?;
+            let block_attr = attr_calc[0].clone();
+            let key = match algo {
+                FilterAlgo::Exact => block_attr,
+                ref a => CalcExpr::call(Func::BlockKeys(a.clone()), vec![block_attr]),
+            };
+            let groups = grouping_comp(algo, table, d, key, CalcExpr::var(d), where_pred.clone());
+
+            // Similarity attributes: the non-blocking attributes, or the
+            // blocking one when it is alone. Rewritten over p1/p2.
+            let sim_attrs: &[Expr] = if attributes.len() > 1 {
+                &attributes[1..]
+            } else {
+                &attributes[..1]
+            };
+            let p1_vars: Vec<(Option<&str>, &str)> = vec![(alias.or(Some(table)), "p1")];
+            let p2_vars: Vec<(Option<&str>, &str)> = vec![(alias.or(Some(table)), "p2")];
+            let sim1: Vec<CalcExpr> = sim_attrs
+                .iter()
+                .map(|e| expr_calc(e, &p1_vars))
+                .collect::<DResult<_>>()?;
+            let sim2: Vec<CalcExpr> = sim_attrs
+                .iter()
+                .map(|e| expr_calc(e, &p2_vars))
+                .collect::<DResult<_>>()?;
+
+            let comp = CalcExpr::comp(
+                MonoidKind::Bag,
+                CalcExpr::record(vec![
+                    ("left", CalcExpr::var("p1")),
+                    ("right", CalcExpr::var("p2")),
+                ]),
+                vec![
+                    Qual::Gen("g".into(), groups),
+                    Qual::Gen("p1".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
+                    Qual::Gen("p2".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
+                    Qual::Pred(CalcExpr::bin(
+                        BinOp::Lt,
+                        CalcExpr::proj(CalcExpr::var("p1"), ROWID_FIELD),
+                        CalcExpr::proj(CalcExpr::var("p2"), ROWID_FIELD),
+                    )),
+                    Qual::Pred(CalcExpr::call(
+                        Func::Similar(*metric, *theta),
+                        vec![concat_attrs(&sim1), concat_attrs(&sim2)],
+                    )),
+                ],
+            );
+            Ok(DesugaredOp {
+                label: format!("DEDUP#{i}"),
+                comp,
+                kind: OpKind::Dedup,
+            })
+        }
+        CleanOp::ClusterBy {
+            op,
+            metric,
+            theta,
+            term,
+            span,
+        } => {
+            let dict = q.auxiliary_table().ok_or_else(|| {
+                diag(
+                    E205_OPERATOR_SHAPE,
+                    *span,
+                    "CLUSTER BY needs a dictionary as the second FROM table",
+                )
+                .with_note("write `FROM data x, dictionary w` and reference the data term")
+            })?;
+            let algo = block_spec_to_algo(op, seed);
+            let term_calc = expr_calc(term, &row_vars)?;
+            let data_group = grouping_comp(
+                algo.clone(),
+                table,
+                d,
+                CalcExpr::call(Func::BlockKeys(algo.clone()), vec![term_calc.clone()]),
+                term_calc,
+                where_pred.clone(),
+            );
+            let dict_term = CalcExpr::proj(CalcExpr::var("w0"), DICT_TERM_FIELD);
+            let dict_group = grouping_comp(
+                algo.clone(),
+                &dict.name,
+                "w0",
+                CalcExpr::call(Func::BlockKeys(algo.clone()), vec![dict_term.clone()]),
+                dict_term,
+                None,
+            );
+            let comp = CalcExpr::comp(
+                MonoidKind::List,
+                CalcExpr::record(vec![
+                    ("term", CalcExpr::var("t")),
+                    ("repair", CalcExpr::var("w")),
+                ]),
+                vec![
+                    Qual::Gen("g1".into(), data_group),
+                    Qual::Gen("g2".into(), dict_group),
+                    Qual::Pred(CalcExpr::bin(
+                        BinOp::Eq,
+                        CalcExpr::proj(CalcExpr::var("g1"), "key"),
+                        CalcExpr::proj(CalcExpr::var("g2"), "key"),
+                    )),
+                    Qual::Gen("t".into(), CalcExpr::proj(CalcExpr::var("g1"), "partition")),
+                    Qual::Gen("w".into(), CalcExpr::proj(CalcExpr::var("g2"), "partition")),
+                    Qual::Pred(CalcExpr::call(
+                        Func::Similar(*metric, *theta),
+                        vec![CalcExpr::var("t"), CalcExpr::var("w")],
+                    )),
+                ],
+            );
+            Ok(DesugaredOp {
+                label: format!("CLUSTERBY#{i}"),
+                comp,
+                kind: OpKind::TermValidation,
+            })
+        }
+        CleanOp::Dc { pred, span } => desugar_dc(pred, *span, i, table, d, where_pred),
+    }
+}
+
+/// Lower `DC(pred)` into a blocked pairwise comprehension. The predicate's
+/// columns must be qualified with the tuple variables `t1`/`t2`; equality
+/// conjuncts whose two sides are the same expression on opposite tuples
+/// (`t1.x = t2.x`) become the blocking key, every other conjunct stays a
+/// pairwise predicate, and pairs are distinct ordered rows.
+fn desugar_dc(
+    pred: &Expr,
+    span: Span,
+    i: usize,
+    table: &str,
+    d: &str,
+    where_pred: &Option<CalcExpr>,
+) -> DResult<DesugaredOp> {
+    let (uses_t1, uses_t2) = tuple_var_usage(pred);
+    if !uses_t1 || !uses_t2 {
+        return Err(diag(
+            E206_DC_VARS,
+            pred.span,
+            "a DC predicate must relate both tuple variables `t1` and `t2`",
+        )
+        .with_note("example: DC(t1.zip = t2.zip AND t1.city <> t2.city)"));
+    }
+
+    // Split the top-level AND chain into conjuncts.
+    let mut conjuncts = Vec::new();
+    flatten_and(pred, &mut conjuncts);
+
+    // Both tuple variables map onto the same row variable for key
+    // canonicalization: `t1.x = t2.x` has equal sides under that mapping.
+    let canon_vars: Vec<(Option<&str>, &str)> = vec![(Some("t1"), d), (Some("t2"), d)];
+    let pair_vars: Vec<(Option<&str>, &str)> = vec![(Some("t1"), "p1"), (Some("t2"), "p2")];
+
+    let mut keys: Vec<CalcExpr> = Vec::new();
+    let mut residual: Vec<CalcExpr> = Vec::new();
+    for c in &conjuncts {
+        if let ExprKind::BinOp { op, left, right } = &c.kind {
+            if op == "=" {
+                let (l1, l2) = tuple_var_usage(left);
+                let (r1, r2) = tuple_var_usage(right);
+                let opposite = (l1 && !l2 && r2 && !r1) || (l2 && !l1 && r1 && !r2);
+                if opposite {
+                    let lk = expr_calc(left, &canon_vars)?;
+                    let rk = expr_calc(right, &canon_vars)?;
+                    if lk == rk {
+                        keys.push(lk);
+                        continue;
+                    }
+                }
+            }
+        }
+        residual.push(expr_calc(c, &pair_vars)?);
+    }
+
+    // No equality conjunct: a single block holds the whole table.
+    let key = if keys.is_empty() {
+        CalcExpr::int(0)
+    } else {
+        tuple_key(&keys)
+    };
+    let groups = grouping_comp(
+        FilterAlgo::Exact,
+        table,
+        d,
+        key,
+        CalcExpr::var(d),
+        where_pred.clone(),
+    );
+
+    let mut quals = vec![
+        Qual::Gen("g".into(), groups),
+        Qual::Gen("p1".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
+        Qual::Gen("p2".into(), CalcExpr::proj(CalcExpr::var("g"), "partition")),
+        Qual::Pred(CalcExpr::bin(
+            BinOp::Ne,
+            CalcExpr::proj(CalcExpr::var("p1"), ROWID_FIELD),
+            CalcExpr::proj(CalcExpr::var("p2"), ROWID_FIELD),
+        )),
+    ];
+    quals.extend(residual.into_iter().map(Qual::Pred));
+    if quals.len() == 4 {
+        // Pure-equality DC (all conjuncts were keys): any distinct pair in a
+        // block violates. Nothing to add — the rowid predicate suffices.
+        let _ = span;
+    }
+    let comp = CalcExpr::comp(
+        MonoidKind::Bag,
+        CalcExpr::record(vec![
+            ("left", CalcExpr::var("p1")),
+            ("right", CalcExpr::var("p2")),
+        ]),
+        quals,
+    );
+    Ok(DesugaredOp {
+        label: format!("DC#{i}"),
+        comp,
+        kind: OpKind::Dc,
+    })
+}
+
+/// Which of the DC tuple variables (`t1`, `t2`) an expression references.
+fn tuple_var_usage(e: &Expr) -> (bool, bool) {
+    match &e.kind {
+        ExprKind::Column { table, .. } => match table.as_deref() {
+            Some("t1") => (true, false),
+            Some("t2") => (false, true),
+            _ => (false, false),
+        },
+        ExprKind::Literal(_) | ExprKind::Star => (false, false),
+        ExprKind::Call { args, .. } => args.iter().fold((false, false), |(a, b), e| {
+            let (x, y) = tuple_var_usage(e);
+            (a || x, b || y)
+        }),
+        ExprKind::BinOp { left, right, .. } => {
+            let (a, b) = tuple_var_usage(left);
+            let (x, y) = tuple_var_usage(right);
+            (a || x, b || y)
+        }
+        ExprKind::Not(inner) => tuple_var_usage(inner),
+    }
+}
+
+/// Flatten a top-level AND chain into its conjuncts.
+fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let ExprKind::BinOp { op, left, right } = &e.kind {
+        if op == "AND" {
+            flatten_and(left, out);
+            flatten_and(right, out);
+            return;
+        }
+    }
+    out.push(e);
 }
 
 /// Desugar `GROUP BY … [HAVING …]` into a filter-monoid grouping:
@@ -454,12 +730,12 @@ fn desugar_group_by(
     where_pred: Option<CalcExpr>,
     monoid: MonoidKind,
     row_vars: &[(Option<&str>, &str)],
-) -> Result<CalcExpr> {
+) -> DResult<CalcExpr> {
     let key_exprs: Vec<CalcExpr> = q
         .group_by
         .iter()
-        .map(|e| expr_to_calc(e, row_vars))
-        .collect::<Result<_>>()?;
+        .map(|e| expr_calc(e, row_vars))
+        .collect::<DResult<_>>()?;
     let groups = grouping_comp(
         FilterAlgo::Exact,
         table,
@@ -471,9 +747,9 @@ fn desugar_group_by(
 
     let mut fields = Vec::with_capacity(q.select.len());
     for (i, item) in q.select.iter().enumerate() {
-        let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
-            Expr::Column { name, .. } => name.clone(),
-            Expr::Call { name, .. } => name.clone(),
+        let name = item.alias.clone().unwrap_or_else(|| match &item.expr.kind {
+            ExprKind::Column { name, .. } => name.clone(),
+            ExprKind::Call { name, .. } => name.clone(),
             _ => format!("col{i}"),
         });
         fields.push((name, grouped_expr(&item.expr, q, &key_exprs, row_vars)?));
@@ -498,10 +774,10 @@ fn grouped_expr(
     q: &Query,
     key_exprs: &[CalcExpr],
     row_vars: &[(Option<&str>, &str)],
-) -> Result<CalcExpr> {
+) -> DResult<CalcExpr> {
     // A group-by expression is replaced by the matching key component.
     for (i, gb) in q.group_by.iter().enumerate() {
-        if gb == e {
+        if gb.kind == e.kind {
             let key = CalcExpr::proj(CalcExpr::var("g"), "key");
             return Ok(if key_exprs.len() == 1 {
                 key
@@ -510,17 +786,18 @@ fn grouped_expr(
             });
         }
     }
-    match e {
-        Expr::Literal(v) => Ok(CalcExpr::Const(v.clone())),
-        Expr::Call { name, args } if AGGREGATES.contains(&name.to_lowercase().as_str()) => {
+    match &e.kind {
+        ExprKind::Literal(v) => Ok(CalcExpr::Const(v.clone())),
+        ExprKind::Call { name, args } if AGGREGATES.contains(&name.to_lowercase().as_str()) => {
             let lname = name.to_lowercase();
             // count(*) counts rows; other aggregates evaluate their
             // argument per partition member `x0`.
             let member_vars: Vec<(Option<&str>, &str)> =
                 row_vars.iter().map(|(a, _)| (*a, "x0")).collect();
             let arg = match args.first() {
-                Some(Expr::Star) | None => CalcExpr::int(1),
-                Some(a) => expr_to_calc(a, &member_vars)?,
+                None => CalcExpr::int(1),
+                Some(a) if matches!(a.kind, ExprKind::Star) => CalcExpr::int(1),
+                Some(a) => expr_calc(a, &member_vars)?,
             };
             let over_partition = |m: MonoidKind, head: CalcExpr| {
                 CalcExpr::comp(
@@ -544,57 +821,45 @@ fn grouped_expr(
                 ),
             })
         }
-        Expr::BinOp { op, left, right } => {
+        ExprKind::BinOp { op, left, right } => {
             let l = grouped_expr(left, q, key_exprs, row_vars)?;
             let r = grouped_expr(right, q, key_exprs, row_vars)?;
-            // Reuse the operator mapping by round-tripping through a
-            // synthetic surface expression is clumsy; map directly.
-            let op = match op.as_str() {
-                "+" => BinOp::Add,
-                "-" => BinOp::Sub,
-                "*" => BinOp::Mul,
-                "/" => BinOp::Div,
-                "=" => BinOp::Eq,
-                "<>" | "!=" => BinOp::Ne,
-                "<" => BinOp::Lt,
-                "<=" => BinOp::Le,
-                ">" => BinOp::Gt,
-                ">=" => BinOp::Ge,
-                "AND" => BinOp::And,
-                "OR" => BinOp::Or,
-                other => return Err(Error::Invalid(format!("unknown operator `{other}`"))),
-            };
+            let op = surface_binop(op, e.span)?;
             Ok(CalcExpr::bin(op, l, r))
         }
-        Expr::Not(inner) => Ok(CalcExpr::Not(Box::new(grouped_expr(
+        ExprKind::Not(inner) => Ok(CalcExpr::Not(Box::new(grouped_expr(
             inner, q, key_exprs, row_vars,
         )?))),
-        Expr::Column { name, .. } => Err(Error::Invalid(format!(
-            "column `{name}` must appear in GROUP BY or inside an aggregate"
-        ))),
-        other => Err(Error::Invalid(format!(
-            "unsupported expression in grouped select: {other:?}"
-        ))),
+        ExprKind::Column { name, .. } => Err(diag(
+            E205_OPERATOR_SHAPE,
+            e.span,
+            format!("column `{name}` must appear in GROUP BY or inside an aggregate"),
+        )),
+        other => Err(diag(
+            E205_OPERATOR_SHAPE,
+            e.span,
+            format!("unsupported expression in grouped select: {other:?}"),
+        )),
     }
 }
 
-fn select_head(q: &Query, row_vars: &[(Option<&str>, &str)]) -> Result<CalcExpr> {
+fn select_head(q: &Query, row_vars: &[(Option<&str>, &str)]) -> DResult<CalcExpr> {
     // `SELECT *` keeps the whole row struct.
-    if q.select.len() == 1 && matches!(q.select[0].expr, Expr::Star) {
+    if q.select.len() == 1 && matches!(q.select[0].expr.kind, ExprKind::Star) {
         return Ok(CalcExpr::var(row_vars[0].1));
     }
     let mut fields = Vec::with_capacity(q.select.len());
     for (i, item) in q.select.iter().enumerate() {
-        if matches!(item.expr, Expr::Star) {
+        if matches!(item.expr.kind, ExprKind::Star) {
             // Mixed star: keep the row under a reserved name.
             fields.push(("__row".to_string(), CalcExpr::var(row_vars[0].1)));
             continue;
         }
-        let name = item.alias.clone().unwrap_or_else(|| match &item.expr {
-            Expr::Column { name, .. } => name.clone(),
+        let name = item.alias.clone().unwrap_or_else(|| match &item.expr.kind {
+            ExprKind::Column { name, .. } => name.clone(),
             _ => format!("col{i}"),
         });
-        fields.push((name, expr_to_calc(&item.expr, row_vars)?));
+        fields.push((name, expr_calc(&item.expr, row_vars)?));
     }
     Ok(CalcExpr::Record(fields))
 }
@@ -748,9 +1013,77 @@ mod tests {
     }
 
     #[test]
+    fn desugar_diagnostics_carry_spans() {
+        let src = "SELECT zz.name FROM customer c";
+        let q = parse_query(src).unwrap();
+        let ds = desugar_query_diag(&q, 1).unwrap_err();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, E201_UNKNOWN_ALIAS);
+        assert_eq!(
+            &src[ds[0].span.start as usize..ds[0].span.end as usize],
+            "zz.name"
+        );
+    }
+
+    #[test]
     fn cluster_by_without_dictionary_is_error() {
         let q = parse_query("SELECT * FROM t CLUSTER BY(tf, LD, 0.8, t.name)").unwrap();
         assert!(desugar_query(&q, 1).is_err());
+    }
+
+    #[test]
+    fn dc_desugars_to_pairwise_comprehension() {
+        let q =
+            parse_query("SELECT * FROM t DC(t1.region = t2.region AND t1.amount > t2.amount + 50)")
+                .unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        assert_eq!(dq.ops[0].kind, OpKind::Dc);
+        let mk = |id: i64, region: &str, amount: i64| {
+            Value::record([
+                (ROWID_FIELD, Value::Int(id)),
+                ("region", Value::str(region)),
+                ("amount", Value::Int(amount)),
+            ])
+        };
+        let data = Value::list([
+            mk(0, "east", 10),
+            mk(1, "east", 100), // violates with row 0 (100 > 10 + 50)
+            mk(2, "west", 100), // different region: no pair
+        ]);
+        let mut ctx = EvalCtx::new().with_table("t", data);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        let pairs = v.as_list().unwrap();
+        assert_eq!(pairs.len(), 1, "{v}");
+        assert_eq!(
+            pairs[0].field("left").unwrap().field(ROWID_FIELD).unwrap(),
+            &Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn dc_without_equality_uses_single_block() {
+        let q = parse_query("SELECT * FROM t DC(t1.amount > t2.amount * 10)").unwrap();
+        let dq = desugar_query(&q, 1).unwrap();
+        let mk = |id: i64, amount: i64| {
+            Value::record([
+                (ROWID_FIELD, Value::Int(id)),
+                ("amount", Value::Int(amount)),
+            ])
+        };
+        let data = Value::list([mk(0, 1), mk(1, 5), mk(2, 100)]);
+        let mut ctx = EvalCtx::new().with_table("t", data);
+        ctx.prepare_blockers(&dq.ops[0].comp, &[]);
+        let v = eval(&dq.ops[0].comp, &vec![], &ctx).unwrap();
+        // 100 > 10*1 and 100 > 10*5: two ordered violating pairs.
+        assert_eq!(v.as_list().unwrap().len(), 2, "{v}");
+    }
+
+    #[test]
+    fn dc_requires_both_tuple_vars() {
+        let q = parse_query("SELECT * FROM t DC(t1.amount > 10)").unwrap();
+        let ds = desugar_query_diag(&q, 1).unwrap_err();
+        assert_eq!(ds[0].code, E206_DC_VARS);
     }
 
     #[test]

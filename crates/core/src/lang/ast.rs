@@ -1,11 +1,25 @@
 //! Abstract syntax tree for CleanM queries.
+//!
+//! Every node carries the byte [`Span`] of the source text it was parsed
+//! from, so desugar-time diagnostics (unknown alias, unknown function, …)
+//! can point at the exact offending expression.
 
 use cleanm_text::Metric;
 use cleanm_values::Value;
 
-/// Surface-level scalar expression.
+use super::diag::Span;
+
+/// Surface-level scalar expression: a [`kind`](ExprKind) plus its source
+/// span.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+}
+
+/// The shape of a surface expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
     /// Literal constant.
     Literal(Value),
     /// `alias.column` or bare `column`.
@@ -24,6 +38,29 @@ pub enum Expr {
     Star,
 }
 
+impl Expr {
+    /// Wrap a kind with its span.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// A column reference (test/builder convenience; zero span).
+    pub fn column(table: Option<&str>, name: &str) -> Self {
+        Expr::new(
+            ExprKind::Column {
+                table: table.map(str::to_string),
+                name: name.to_string(),
+            },
+            Span::default(),
+        )
+    }
+
+    /// A literal (test/builder convenience; zero span).
+    pub fn literal(v: Value) -> Self {
+        Expr::new(ExprKind::Literal(v), Span::default())
+    }
+}
+
 /// One select-list item.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectItem {
@@ -36,22 +73,40 @@ pub struct SelectItem {
 pub struct TableRef {
     pub name: String,
     pub alias: Option<String>,
+    /// Span of `name [alias]` in the source.
+    pub span: Span,
 }
 
-/// The cleaning operators of Listing 1. A query may carry any number of
-/// them, in any order; §4.4: "when multiple cleaning operations appear …
-/// the semantics of the query correspond to an outer join \[of\] the
-/// violations of each cleaning operator".
+impl TableRef {
+    /// A table reference with a zero span (tests/builders).
+    pub fn named(name: &str, alias: Option<&str>) -> Self {
+        TableRef {
+            name: name.to_string(),
+            alias: alias.map(str::to_string),
+            span: Span::default(),
+        }
+    }
+}
+
+/// The cleaning operators of Listing 1 (plus the `DC` extension). A query
+/// may carry any number of them, in any order; §4.4: "when multiple
+/// cleaning operations appear … the semantics of the query correspond to an
+/// outer join \[of\] the violations of each cleaning operator".
 #[derive(Debug, Clone, PartialEq)]
 pub enum CleanOp {
     /// `FD(lhs…, rhs…)` — both sides may contain several expressions.
-    Fd { lhs: Vec<Expr>, rhs: Vec<Expr> },
+    Fd {
+        lhs: Vec<Expr>,
+        rhs: Vec<Expr>,
+        span: Span,
+    },
     /// `DEDUP(op[, metric, theta][, attributes…])`.
     Dedup {
         op: BlockSpec,
         metric: Metric,
         theta: f64,
         attributes: Vec<Expr>,
+        span: Span,
     },
     /// `CLUSTER BY(op[, metric, theta], term)` — term validation against
     /// the dictionary table (the second FROM table).
@@ -60,7 +115,25 @@ pub enum CleanOp {
         metric: Metric,
         theta: f64,
         term: Expr,
+        span: Span,
     },
+    /// `DC(pred)` — a two-tuple denial constraint over the primary table.
+    /// `pred` relates the tuple variables `t1` and `t2`; a violation is any
+    /// ordered pair of distinct rows satisfying it. Equality conjuncts of
+    /// the form `t1.x = t2.x` become blocking keys.
+    Dc { pred: Expr, span: Span },
+}
+
+impl CleanOp {
+    /// The source span of the whole operator clause.
+    pub fn span(&self) -> Span {
+        match self {
+            CleanOp::Fd { span, .. }
+            | CleanOp::Dedup { span, .. }
+            | CleanOp::ClusterBy { span, .. }
+            | CleanOp::Dc { span, .. } => *span,
+        }
+    }
 }
 
 /// The `<op>` of DEDUP/CLUSTER BY: which blocking algorithm to use.
@@ -118,14 +191,8 @@ mod tests {
             distinct: false,
             select: vec![],
             from: vec![
-                TableRef {
-                    name: "customer".into(),
-                    alias: Some("c".into()),
-                },
-                TableRef {
-                    name: "dictionary".into(),
-                    alias: Some("d".into()),
-                },
+                TableRef::named("customer", Some("c")),
+                TableRef::named("dictionary", Some("d")),
             ],
             where_clause: None,
             group_by: vec![],
@@ -140,5 +207,14 @@ mod tests {
         assert_eq!(q.resolve_alias(None).unwrap().name, "customer");
         assert!(q.resolve_alias(Some("zz")).is_none());
         assert_eq!(q.auxiliary_table().unwrap().name, "dictionary");
+    }
+
+    #[test]
+    fn clean_op_spans() {
+        let op = CleanOp::Dc {
+            pred: Expr::literal(Value::Bool(true)),
+            span: Span::new(4, 9),
+        };
+        assert_eq!(op.span(), Span::new(4, 9));
     }
 }

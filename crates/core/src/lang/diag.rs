@@ -1,0 +1,310 @@
+//! Span-tracked diagnostics for the CleanM frontend.
+//!
+//! Every lexer, parser, and desugar error carries a byte-offset [`Span`]
+//! into the original query text plus a stable error [`code`], so tooling
+//! (the `cleanm` CLI, golden diagnostic fixtures, editors) can pin exact
+//! locations. [`Diagnostic::render`] produces the human rendering with a
+//! caret underline:
+//!
+//! ```text
+//! error[E102]: expected `)`, found keyword `FROM`
+//!  --> query.cm:1:27
+//!   |
+//! 1 | SELECT a FROM t FD(a, b FROM
+//!   |                         ^^^^
+//!   = note: FD arguments must be a parenthesized expression list
+//! ```
+//!
+//! [`code`]: Diagnostic::code
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the query source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: u32,
+    /// Byte offset one past the last byte.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start: start as u32,
+            end: end.max(start) as u32,
+        }
+    }
+
+    /// A zero-width span at `at` (end-of-input, insertion points).
+    pub fn point(at: usize) -> Self {
+        Span::new(at, at)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Byte length (zero for point spans).
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Is this a zero-width (point) span?
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Which phase of the frontend produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization (E0xx codes).
+    Lex,
+    /// Parsing (E1xx codes).
+    Parse,
+    /// Desugaring / semantic lowering (E2xx codes).
+    Desugar,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Desugar => write!(f, "desugar"),
+        }
+    }
+}
+
+// Stable diagnostic codes. Lexer errors are E0xx, parser errors E1xx,
+// desugar/semantic errors E2xx. Codes are part of the tool surface (golden
+// fixtures pin them); never renumber, only append.
+/// Unexpected character in the input.
+pub const E001_UNEXPECTED_CHAR: &str = "E001";
+/// String literal not closed before end of input.
+pub const E002_UNTERMINATED_STRING: &str = "E002";
+/// Numeric literal that does not parse.
+pub const E003_BAD_NUMBER: &str = "E003";
+/// A token other than the expected one.
+pub const E101_UNEXPECTED_TOKEN: &str = "E101";
+/// Expected an identifier.
+pub const E102_EXPECTED_IDENT: &str = "E102";
+/// Input continues after a complete query without a `;` separator.
+pub const E103_TRAILING_TOKENS: &str = "E103";
+/// Unknown blocking operator in DEDUP/CLUSTER BY.
+pub const E104_UNKNOWN_BLOCKER: &str = "E104";
+/// Similarity threshold outside [0, 1].
+pub const E105_BAD_THRESHOLD: &str = "E105";
+/// FD without at least one LHS and one RHS attribute.
+pub const E106_FD_ARITY: &str = "E106";
+/// Empty statement or missing clause body.
+pub const E107_EMPTY_CLAUSE: &str = "E107";
+/// Unknown table alias in a column reference.
+pub const E201_UNKNOWN_ALIAS: &str = "E201";
+/// Unknown builtin function.
+pub const E202_UNKNOWN_FUNCTION: &str = "E202";
+/// `*` used where a scalar expression is required.
+pub const E203_MISPLACED_STAR: &str = "E203";
+/// GROUP BY combined with cleaning operators.
+pub const E204_GROUP_BY_WITH_CLEANING: &str = "E204";
+/// Cleaning operator missing a required argument/table.
+pub const E205_OPERATOR_SHAPE: &str = "E205";
+/// DC predicate must relate the two tuple variables t1/t2.
+pub const E206_DC_VARS: &str = "E206";
+
+/// One frontend error: a stable code, the source span it points at, the
+/// message, and an optional note with recovery/usage guidance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable error code (`E001`…); see the module constants.
+    pub code: &'static str,
+    /// Which frontend phase raised it.
+    pub phase: Phase,
+    /// Byte span into the source text.
+    pub span: Span,
+    /// Primary message ("expected `)`, found keyword `FROM`").
+    pub message: String,
+    /// Optional secondary guidance line.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// A new diagnostic without a note.
+    pub fn new(code: &'static str, phase: Phase, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            phase,
+            span,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// Attach a note line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// One-line rendering: `error[E101] at 1:27: expected ...`.
+    pub fn one_line(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.start as usize);
+        format!("error[{}] at {line}:{col}: {}", self.code, self.message)
+    }
+
+    /// Full rendering with the offending source line and a caret underline.
+    /// `origin` names the source (file path or `<query>`).
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let start = (self.span.start as usize).min(source.len());
+        let (line_no, col) = line_col(source, start);
+        let line_text = source.lines().nth(line_no - 1).unwrap_or("");
+        let gutter = line_no.to_string();
+        let pad = " ".repeat(gutter.len());
+        let mut out = format!(
+            "error[{}]: {}\n{pad}--> {origin}:{line_no}:{col}\n{pad} |\n{gutter} | {line_text}\n",
+            self.code, self.message
+        );
+        // Underline: clamp the span to the rendered line, at least one caret.
+        let line_start = start - (col - 1);
+        let span_chars = {
+            let in_line_end = (self.span.end as usize)
+                .min(line_start + line_text.len())
+                .max(start);
+            source
+                .get(start..in_line_end)
+                .map(|s| s.chars().count())
+                .unwrap_or(0)
+                .max(1)
+        };
+        let lead = col - 1;
+        out.push_str(&format!(
+            "{pad} | {}{}\n",
+            " ".repeat(lead),
+            "^".repeat(span_chars)
+        ));
+        if let Some(note) = &self.note {
+            out.push_str(&format!("{pad} = note: {note}\n"));
+        }
+        out
+    }
+}
+
+/// 1-based (line, column) of a byte offset. Columns count characters, not
+/// bytes, so caret alignment survives multi-byte input.
+pub fn line_col(source: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(source.len());
+    let before = &source[..floor_char_boundary(source, offset)];
+    let line = before.matches('\n').count() + 1;
+    let col = before
+        .rsplit('\n')
+        .next()
+        .map(|l| l.chars().count())
+        .unwrap_or(0)
+        + 1;
+    (line, col)
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Render a batch of diagnostics against one source, separated by blank
+/// lines, with a trailing error count — the `cleanm check` stderr format
+/// (and the golden `expected.stderr` format).
+pub fn render_all(diagnostics: &[Diagnostic], source: &str, origin: &str) -> String {
+    let mut out = String::new();
+    for d in diagnostics {
+        out.push_str(&d.render(source, origin));
+        out.push('\n');
+    }
+    if !diagnostics.is_empty() {
+        out.push_str(&format!(
+            "{} error{} emitted\n",
+            diagnostics.len(),
+            if diagnostics.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_basics() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(a.len(), 4);
+        assert!(Span::point(5).is_empty());
+        assert_eq!(Span::new(9, 4), Span::new(9, 9), "end clamps to start");
+    }
+
+    #[test]
+    fn line_col_counts_chars() {
+        let src = "ab\ncdé f";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        // 'é' is two bytes; the char after it is column 4.
+        assert_eq!(line_col(src, 7), (2, 4));
+        assert_eq!(line_col(src, 999), (2, 6));
+    }
+
+    #[test]
+    fn render_underlines_the_span() {
+        let src = "SELECT a FRM t";
+        let d = Diagnostic::new(
+            E101_UNEXPECTED_TOKEN,
+            Phase::Parse,
+            Span::new(9, 12),
+            "expected FROM, found identifier `FRM`",
+        )
+        .with_note("did you mean `FROM`?");
+        let r = d.render(src, "query.cm");
+        assert!(r.contains("error[E101]"), "{r}");
+        assert!(r.contains("--> query.cm:1:10"), "{r}");
+        assert!(r.contains("1 | SELECT a FRM t"), "{r}");
+        assert!(r.contains("|          ^^^"), "{r}");
+        assert!(r.contains("= note: did you mean `FROM`?"), "{r}");
+    }
+
+    #[test]
+    fn render_handles_point_span_at_eof() {
+        let src = "SELECT * FROM";
+        let d = Diagnostic::new(
+            E107_EMPTY_CLAUSE,
+            Phase::Parse,
+            Span::point(src.len()),
+            "expected a table name",
+        );
+        let r = d.render(src, "<query>");
+        assert!(r.contains("^"), "{r}");
+        assert!(r.ends_with('\n'), "{r:?}");
+    }
+
+    #[test]
+    fn render_all_counts() {
+        let src = "x";
+        let d = Diagnostic::new(E001_UNEXPECTED_CHAR, Phase::Lex, Span::new(0, 1), "boom");
+        let out = render_all(&[d.clone(), d], src, "f");
+        assert!(out.contains("2 errors emitted"), "{out}");
+        assert!(render_all(&[], src, "f").is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! One-call frontend analysis: lex + parse + desugar with full diagnostics.
+//!
+//! [`analyze`] drives the whole pipeline over a (possibly multi-statement)
+//! source text and returns every statement's best-effort AST and calculus
+//! together with all diagnostics, sorted by source position. Statements
+//! that parsed with errors are *not* desugared — a half-recovered AST
+//! would only produce cascading secondary diagnostics.
+
+use crate::calculus::desugar::{desugar_query_diag, DesugaredQuery};
+
+use super::ast::Query;
+use super::diag::{Diagnostic, Span};
+use super::parser::parse_program;
+
+/// The analysis of one `;`-separated statement.
+#[derive(Debug, Clone)]
+pub struct AnalyzedStatement {
+    /// Source span of the statement.
+    pub span: Span,
+    /// Best-effort AST (present even for partially recovered statements).
+    pub query: Option<Query>,
+    /// Desugared calculus — only for statements that parsed cleanly and
+    /// desugared without errors.
+    pub desugared: Option<DesugaredQuery>,
+}
+
+/// The full-frontend result for a source text.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    pub statements: Vec<AnalyzedStatement>,
+    /// All lex, parse, and desugar diagnostics, sorted by span.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Analysis {
+    /// True when every statement lexed, parsed, and desugared cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Run the frontend end to end. `seed` parameterizes randomized blockers
+/// exactly as in [`crate::calculus::desugar::desugar_query`].
+pub fn analyze(source: &str, seed: u64) -> Analysis {
+    let outcome = parse_program(source);
+    let mut diagnostics = outcome.diagnostics;
+    let statements = outcome
+        .statements
+        .into_iter()
+        .map(|stmt| {
+            let parsed_clean =
+                stmt.query.is_some() && !diagnostics.iter().any(|d| overlaps(d.span, stmt.span));
+            let desugared = if parsed_clean {
+                match desugar_query_diag(stmt.query.as_ref().unwrap(), seed) {
+                    Ok(dq) => Some(dq),
+                    Err(mut ds) => {
+                        diagnostics.append(&mut ds);
+                        None
+                    }
+                }
+            } else {
+                None
+            };
+            AnalyzedStatement {
+                span: stmt.span,
+                query: stmt.query,
+                desugared,
+            }
+        })
+        .collect();
+    diagnostics.sort_by_key(|d| (d.span.start, d.span.end));
+    Analysis {
+        statements,
+        diagnostics,
+    }
+}
+
+/// Closed-interval span overlap (point spans at a boundary count as inside).
+fn overlaps(a: Span, b: Span) -> bool {
+    a.start <= b.end && a.end >= b.start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_desugars_every_statement() {
+        let a = analyze("SELECT * FROM t FD(a, b); SELECT * FROM u", 1);
+        assert!(a.is_clean(), "{:?}", a.diagnostics);
+        assert_eq!(a.statements.len(), 2);
+        assert!(a.statements.iter().all(|s| s.desugared.is_some()));
+    }
+
+    #[test]
+    fn broken_statement_is_not_desugared_but_neighbors_are() {
+        let a = analyze("SELECT * FORM t; SELECT * FROM u", 1);
+        assert!(!a.is_clean());
+        assert_eq!(a.statements.len(), 2);
+        assert!(a.statements[0].desugared.is_none());
+        assert!(a.statements[1].desugared.is_some());
+    }
+
+    #[test]
+    fn desugar_diagnostics_are_merged_and_sorted() {
+        let a = analyze("SELECT zz.x FROM t; SELECT * FROM u ?", 1);
+        assert!(a.diagnostics.len() >= 2, "{:?}", a.diagnostics);
+        assert!(a
+            .diagnostics
+            .windows(2)
+            .all(|w| w[0].span.start <= w[1].span.start));
+    }
+
+    #[test]
+    fn three_seeded_errors_yield_three_diagnostics() {
+        // The acceptance scenario: one pass reports all three.
+        let src = "SELECT o.name, FROM orders o WHERE ;\n\
+                   SELECT * FORM orders;\n\
+                   SELECT * FROM orders o FD(o.region |)";
+        let a = analyze(src, 1);
+        assert!(a.diagnostics.len() >= 3, "{:#?}", a.diagnostics);
+    }
+}

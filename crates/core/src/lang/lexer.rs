@@ -1,6 +1,16 @@
 //! Tokenizer for CleanM query text.
+//!
+//! [`lex`] is the span-tracking, recoverable entry point: it never fails,
+//! returning every token it could form plus a [`Diagnostic`] per lexical
+//! error (unexpected characters are skipped, unterminated strings are
+//! closed at end of input). [`tokenize`] is the strict compatibility
+//! wrapper that surfaces the first lexical error as `Error::Parse`.
 
 use cleanm_values::{Error, Result};
+
+use super::diag::{
+    Diagnostic, Phase, Span, E001_UNEXPECTED_CHAR, E002_UNTERMINATED_STRING, E003_BAD_NUMBER,
+};
 
 /// One lexical token. Keywords are recognized case-insensitively and carried
 /// upper-cased; identifiers keep their original spelling.
@@ -16,69 +26,110 @@ pub enum Token {
     Op(String),
 }
 
+impl Token {
+    /// Short human description used in diagnostics: `` keyword `FROM` ``.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Keyword(k) => format!("keyword `{k}`"),
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Int(i) => format!("number `{i}`"),
+            Token::Float(f) => format!("number `{f}`"),
+            Token::Str(s) => format!("string `'{s}'`"),
+            Token::Symbol(c) => format!("`{c}`"),
+            Token::Op(o) => format!("`{o}`"),
+        }
+    }
+}
+
+/// A token plus the byte span it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub token: Token,
+    pub span: Span,
+}
+
 const KEYWORDS: &[&str] = &[
     "SELECT", "ALL", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "FD", "DEDUP",
-    "CLUSTER", "AND", "OR", "NOT", "AS", "NULL", "TRUE", "FALSE",
+    "CLUSTER", "DC", "AND", "OR", "NOT", "AS", "NULL", "TRUE", "FALSE",
 ];
 
-/// Tokenize a query string.
-pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+/// Recoverable tokenization: all well-formed tokens plus one diagnostic per
+/// lexical error. Never fails, always terminates.
+pub fn lex(input: &str) -> (Vec<Tok>, Vec<Diagnostic>) {
     let mut tokens = Vec::new();
-    let chars: Vec<char> = input.chars().collect();
+    let mut diagnostics = Vec::new();
+    // (byte offset, char) pairs so spans are byte-accurate on non-ASCII.
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
+    let end_of = |i: usize| -> usize {
+        chars
+            .get(i)
+            .map(|(o, c)| o + c.len_utf8())
+            .unwrap_or(input.len())
+    };
     let mut i = 0;
     while i < chars.len() {
-        let c = chars[i];
+        let (off, c) = chars[i];
         if c.is_whitespace() {
             i += 1;
             continue;
         }
-        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        if c.is_ascii_digit()
+            || (c == '.' && chars.get(i + 1).is_some_and(|(_, d)| d.is_ascii_digit()))
         {
             let start = i;
             let mut saw_dot = false;
-            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !saw_dot)) {
-                if chars[i] == '.' {
+            while i < chars.len()
+                && (chars[i].1.is_ascii_digit() || (chars[i].1 == '.' && !saw_dot))
+            {
+                if chars[i].1 == '.' {
                     saw_dot = true;
                 }
                 i += 1;
             }
-            let text: String = chars[start..i].iter().collect();
-            if saw_dot {
-                tokens.push(Token::Float(
-                    text.parse()
-                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
-                ));
+            let span = Span::new(chars[start].0, end_of(i - 1));
+            let text = &input[chars[start].0..span.end as usize];
+            let parsed = if saw_dot {
+                text.parse::<f64>().ok().map(Token::Float)
             } else {
-                tokens.push(Token::Int(
-                    text.parse()
-                        .map_err(|_| Error::Parse(format!("bad number `{text}`")))?,
-                ));
+                text.parse::<i64>().ok().map(Token::Int)
+            };
+            match parsed {
+                Some(t) => tokens.push(Tok { token: t, span }),
+                None => diagnostics.push(Diagnostic::new(
+                    E003_BAD_NUMBER,
+                    Phase::Lex,
+                    span,
+                    format!("number `{text}` does not fit a 64-bit value"),
+                )),
             }
             continue;
         }
         if c.is_alphabetic() || c == '_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            while i < chars.len() && (chars[i].1.is_alphanumeric() || chars[i].1 == '_') {
                 i += 1;
             }
-            let text: String = chars[start..i].iter().collect();
+            let span = Span::new(chars[start].0, end_of(i - 1));
+            let text = &input[span.start as usize..span.end as usize];
             let upper = text.to_uppercase();
-            if KEYWORDS.contains(&upper.as_str()) {
-                tokens.push(Token::Keyword(upper));
+            let token = if KEYWORDS.contains(&upper.as_str()) {
+                Token::Keyword(upper)
             } else {
-                tokens.push(Token::Ident(text));
-            }
+                Token::Ident(text.to_string())
+            };
+            tokens.push(Tok { token, span });
             continue;
         }
         if c == '\'' || c == '"' {
             let quote = c;
+            let start_off = off;
             i += 1;
             let mut s = String::new();
             let mut closed = false;
             while i < chars.len() {
-                if chars[i] == quote {
+                if chars[i].1 == quote {
                     // Doubled quote = escaped quote.
-                    if chars.get(i + 1) == Some(&quote) {
+                    if chars.get(i + 1).map(|(_, c)| *c) == Some(quote) {
                         s.push(quote);
                         i += 2;
                         continue;
@@ -87,32 +138,66 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                     break;
                 }
-                s.push(chars[i]);
+                s.push(chars[i].1);
                 i += 1;
             }
+            let end = if i == 0 { input.len() } else { end_of(i - 1) };
+            let span = Span::new(start_off, end.max(start_off + 1));
             if !closed {
-                return Err(Error::Parse("unterminated string literal".to_string()));
+                diagnostics.push(
+                    Diagnostic::new(
+                        E002_UNTERMINATED_STRING,
+                        Phase::Lex,
+                        span,
+                        "unterminated string literal",
+                    )
+                    .with_note(format!("expected a closing `{quote}` before end of input")),
+                );
             }
-            tokens.push(Token::Str(s));
+            tokens.push(Tok {
+                token: Token::Str(s),
+                span,
+            });
             continue;
         }
         // Two-char operators.
-        if i + 1 < chars.len() {
-            let two: String = chars[i..i + 2].iter().collect();
+        if let Some((_, c2)) = chars.get(i + 1) {
+            let two: String = [c, *c2].iter().collect();
             if matches!(two.as_str(), "<=" | ">=" | "<>" | "!=") {
-                tokens.push(Token::Op(two));
+                tokens.push(Tok {
+                    token: Token::Op(two),
+                    span: Span::new(off, end_of(i + 1)),
+                });
                 i += 2;
                 continue;
             }
         }
-        if "(),.*=<>+-/|".contains(c) {
-            tokens.push(Token::Symbol(c));
+        if "(),.*=<>+-/|;".contains(c) {
+            tokens.push(Tok {
+                token: Token::Symbol(c),
+                span: Span::new(off, end_of(i)),
+            });
             i += 1;
             continue;
         }
-        return Err(Error::Parse(format!("unexpected character `{c}`")));
+        diagnostics.push(Diagnostic::new(
+            E001_UNEXPECTED_CHAR,
+            Phase::Lex,
+            Span::new(off, end_of(i)),
+            format!("unexpected character `{c}`"),
+        ));
+        i += 1;
     }
-    Ok(tokens)
+    (tokens, diagnostics)
+}
+
+/// Strict tokenization: the token stream, or the first lexical error.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let (tokens, diagnostics) = lex(input);
+    match diagnostics.into_iter().next() {
+        Some(d) => Err(Error::Parse(d.message)),
+        None => Ok(tokens.into_iter().map(|t| t.token).collect()),
+    }
 }
 
 #[cfg(test)]
@@ -165,6 +250,38 @@ mod tests {
     }
 
     #[test]
+    fn spans_are_byte_accurate() {
+        let (toks, diags) = lex("ab  'x' <= é?");
+        assert!(diags.len() == 1, "{diags:?}");
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(4, 7));
+        assert_eq!(toks[2].span, Span::new(8, 10));
+        // `é` is a two-byte identifier starting at byte 11.
+        assert_eq!(toks[3].span, Span::new(11, 13));
+        assert_eq!(diags[0].span, Span::new(13, 14));
+        assert_eq!(diags[0].code, "E001");
+    }
+
+    #[test]
+    fn lex_recovers_past_errors() {
+        let (toks, diags) = lex("a ? b ?? c");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.token, Token::Ident(_)))
+            .collect();
+        assert_eq!(idents.len(), 3);
+        assert_eq!(diags.len(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_still_yields_token() {
+        let (toks, diags) = lex("'abc");
+        assert_eq!(toks.len(), 1);
+        assert!(matches!(&toks[0].token, Token::Str(s) if s == "abc"));
+        assert_eq!(diags[0].code, "E002");
+    }
+
+    #[test]
     fn full_cleanm_query_tokenizes() {
         let q = "SELECT c.name, c.address, * FROM customer c, dictionary d \
                  FD(c.address, prefix(c.phone)) \
@@ -175,5 +292,12 @@ mod tests {
         assert!(t.contains(&Token::Keyword("DEDUP".into())));
         assert!(t.contains(&Token::Keyword("CLUSTER".into())));
         assert!(t.contains(&Token::Ident("token_filtering".into())));
+    }
+
+    #[test]
+    fn semicolon_and_dc_are_tokens() {
+        let t = tokenize("DC(a); SELECT").unwrap();
+        assert_eq!(t[0], Token::Keyword("DC".into()));
+        assert!(t.contains(&Token::Symbol(';')));
     }
 }

@@ -4,19 +4,29 @@
 //!
 //! ```text
 //! SELECT [ALL|DISTINCT] <SELECTLIST> <FROMCLAUSE>
-//! [WHERECLAUSE][GBCLAUSE[HCLAUSE]][FD|DEDUP|CLUSTER BY]*
+//! [WHERECLAUSE][GBCLAUSE[HCLAUSE]][FD|DEDUP|CLUSTER BY|DC]*
 //! FD       = FD(attributesLHS, attributesRHS)
 //! DEDUP    = DEDUP(<op>[, <metric>, <theta>][, <attributes>])
 //! CLUSTERBY= CLUSTER BY(<op>[, <metric>, <theta>], <term>)
+//! DC       = DC(<pred over t1/t2>)
 //! ```
 //!
 //! [`lexer`] tokenizes, [`parser`] builds the [`ast`], and
 //! [`crate::calculus::desugar`] (the Monoid Rewriter) lowers the AST into
-//! monoid comprehensions.
+//! monoid comprehensions. Every error along the way is a span-carrying
+//! [`diag::Diagnostic`]; [`frontend::analyze`] runs the whole pipeline and
+//! collects them, and [`pretty::pretty_query`] renders ASTs back to
+//! canonical query text.
 
 pub mod ast;
+pub mod diag;
+pub mod frontend;
 pub mod lexer;
 pub mod parser;
+pub mod pretty;
 
-pub use ast::{CleanOp, Expr, Query, SelectItem};
-pub use parser::parse_query;
+pub use ast::{CleanOp, Expr, ExprKind, Query, SelectItem};
+pub use diag::{Diagnostic, Phase, Span};
+pub use frontend::{analyze, Analysis};
+pub use parser::{parse_program, parse_query, ParseOutcome};
+pub use pretty::{pretty_expr, pretty_query};

@@ -1,36 +1,158 @@
-//! Recursive-descent parser for CleanM (Listing 1).
+//! Recursive-descent parser for CleanM (Listing 1, plus the `DC` clause).
+//!
+//! The parser is *recoverable*: instead of bailing on the first error it
+//! records a span-carrying [`Diagnostic`] and synchronizes at the nearest
+//! statement or clause boundary (`;`, `FROM`, `WHERE`, `GROUP`, `HAVING`,
+//! `FD`, `DEDUP`, `CLUSTER`, `DC`, or a list comma), so one pass over a
+//! broken file reports every error. [`parse_program`] handles
+//! `;`-separated multi-statement sources; [`parse_query`] is the strict
+//! single-statement wrapper the engine uses.
 
 use cleanm_text::Metric;
 use cleanm_values::{Error, Result, Value};
 
-use super::ast::{BlockSpec, CleanOp, Expr, Query, SelectItem, TableRef};
-use super::lexer::{tokenize, Token};
+use super::ast::{BlockSpec, CleanOp, Expr, ExprKind, Query, SelectItem, TableRef};
+use super::diag::{
+    Diagnostic, Phase, Span, E101_UNEXPECTED_TOKEN, E102_EXPECTED_IDENT, E103_TRAILING_TOKENS,
+    E104_UNKNOWN_BLOCKER, E105_BAD_THRESHOLD, E106_FD_ARITY, E107_EMPTY_CLAUSE,
+};
+use super::lexer::{lex, Tok, Token};
 
-/// Parse a CleanM query string into its AST.
-pub fn parse_query(input: &str) -> Result<Query> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser { tokens, pos: 0 };
-    let q = p.query()?;
-    if p.pos < p.tokens.len() {
-        return Err(Error::Parse(format!(
-            "trailing tokens after query: {:?}",
-            &p.tokens[p.pos..]
-        )));
-    }
-    Ok(q)
+/// The parse of one `;`-separated statement: the best-effort query (absent
+/// when the statement was too broken to shape) plus its source span.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    pub query: Option<Query>,
+    pub span: Span,
 }
 
+impl Statement {
+    /// Did this statement parse without errors? (A `Some` query may still
+    /// be a partial recovery; callers that need a trustworthy AST should
+    /// also check that no diagnostics overlap [`Statement::span`].)
+    pub fn is_complete(&self) -> bool {
+        self.query.is_some()
+    }
+}
+
+/// The outcome of parsing a whole source text.
+#[derive(Debug, Clone, Default)]
+pub struct ParseOutcome {
+    pub statements: Vec<Statement>,
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ParseOutcome {
+    /// True when no lexical or syntactic error was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Parse a (possibly multi-statement) source text, recovering at statement
+/// and clause boundaries. Never fails; inspect
+/// [`ParseOutcome::diagnostics`].
+pub fn parse_program(input: &str) -> ParseOutcome {
+    let (tokens, mut diagnostics) = lex(input);
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        diags: Vec::new(),
+        src_len: input.len(),
+    };
+    let mut statements = Vec::new();
+    while !p.at_end() {
+        if p.eat_symbol(';').is_some() {
+            continue; // empty statement
+        }
+        let start = p.here().start as usize;
+        let query = p.statement();
+        let end = p.prev_end();
+        statements.push(Statement {
+            query,
+            span: Span::new(start, end),
+        });
+        // Consume the separator (statement() synchronized up to it).
+        let _ = p.eat_symbol(';');
+    }
+    diagnostics.append(&mut p.diags);
+    diagnostics.sort_by_key(|d| (d.span.start, d.span.end));
+    ParseOutcome {
+        statements,
+        diagnostics,
+    }
+}
+
+/// Parse exactly one CleanM query string into its AST (strict: the first
+/// diagnostic becomes an error).
+pub fn parse_query(input: &str) -> Result<Query> {
+    let outcome = parse_program(input);
+    if let Some(d) = outcome.diagnostics.first() {
+        return Err(Error::Parse(d.one_line(input)));
+    }
+    match outcome.statements.len() {
+        0 => Err(Error::Parse("empty query".to_string())),
+        1 => outcome
+            .statements
+            .into_iter()
+            .next()
+            .unwrap()
+            .query
+            .ok_or_else(|| Error::Parse("statement did not form a query".to_string())),
+        n => Err(Error::Parse(format!(
+            "expected one statement, found {n}; use run/check on multi-statement files"
+        ))),
+    }
+}
+
+/// Recovery signal: a diagnostic has already been recorded; unwind to the
+/// nearest synchronization point.
+#[derive(Debug)]
+struct Recovery;
+
+type PResult<T> = std::result::Result<T, Recovery>;
+
+/// Keywords that open a clause — synchronization targets for recovery.
+const CLAUSE_KEYWORDS: &[&str] = &[
+    "FROM", "WHERE", "GROUP", "HAVING", "FD", "DEDUP", "CLUSTER", "DC",
+];
+
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<Tok>,
     pos: usize,
+    diags: Vec<Diagnostic>,
+    src_len: usize,
 }
 
 impl Parser {
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+    // ------------------------------------------------------------ plumbing
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    /// Span of the current token, or a point span at end of input.
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.span)
+            .unwrap_or_else(|| Span::point(self.src_len))
+    }
+
+    /// End offset of the previously consumed token.
+    fn prev_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|i| self.tokens.get(i))
+            .map(|t| t.span.end as usize)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -38,101 +160,265 @@ impl Parser {
         t
     }
 
-    fn eat_keyword(&mut self, kw: &str) -> bool {
+    fn describe_here(&self) -> String {
+        match self.peek() {
+            Some(t) => t.describe(),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn error(&mut self, code: &'static str, span: Span, message: String) -> Recovery {
+        self.diags
+            .push(Diagnostic::new(code, Phase::Parse, span, message));
+        Recovery
+    }
+
+    fn error_note(
+        &mut self,
+        code: &'static str,
+        span: Span,
+        message: String,
+        note: String,
+    ) -> Recovery {
+        self.diags
+            .push(Diagnostic::new(code, Phase::Parse, span, message).with_note(note));
+        Recovery
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Option<Span> {
         if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            let span = self.here();
             self.pos += 1;
-            true
+            Some(span)
         } else {
-            false
+            None
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
-        if self.eat_keyword(kw) {
-            Ok(())
-        } else {
-            Err(Error::Parse(format!(
-                "expected {kw}, found {:?}",
-                self.peek()
-            )))
+    fn expect_keyword(&mut self, kw: &str) -> PResult<Span> {
+        match self.eat_keyword(kw) {
+            Some(s) => Ok(s),
+            None => {
+                let (span, found) = (self.here(), self.describe_here());
+                Err(self.error(
+                    E101_UNEXPECTED_TOKEN,
+                    span,
+                    format!("expected `{kw}`, found {found}"),
+                ))
+            }
         }
     }
 
-    fn eat_symbol(&mut self, s: char) -> bool {
+    fn eat_symbol(&mut self, s: char) -> Option<Span> {
         if matches!(self.peek(), Some(Token::Symbol(c)) if *c == s) {
+            let span = self.here();
             self.pos += 1;
-            true
+            Some(span)
         } else {
-            false
+            None
         }
     }
 
-    fn expect_symbol(&mut self, s: char) -> Result<()> {
-        if self.eat_symbol(s) {
-            Ok(())
-        } else {
-            Err(Error::Parse(format!(
-                "expected `{s}`, found {:?}",
-                self.peek()
-            )))
+    fn expect_symbol(&mut self, s: char) -> PResult<Span> {
+        match self.eat_symbol(s) {
+            Some(sp) => Ok(sp),
+            None => {
+                let (span, found) = (self.here(), self.describe_here());
+                Err(self.error(
+                    E101_UNEXPECTED_TOKEN,
+                    span,
+                    format!("expected `{s}`, found {found}"),
+                ))
+            }
         }
     }
 
-    fn ident(&mut self) -> Result<String> {
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(Error::Parse(format!(
-                "expected identifier, found {other:?}"
-            ))),
+    fn ident(&mut self) -> PResult<(String, Span)> {
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let t = self.next().unwrap();
+                match t.token {
+                    Token::Ident(s) => Ok((s, t.span)),
+                    _ => unreachable!(),
+                }
+            }
+            _ => {
+                let (span, found) = (self.here(), self.describe_here());
+                Err(self.error(
+                    E102_EXPECTED_IDENT,
+                    span,
+                    format!("expected an identifier, found {found}"),
+                ))
+            }
+        }
+    }
+
+    /// Is the current token a top-level synchronization point?
+    fn at_sync_point(&self, stop_at_comma: bool) -> bool {
+        match self.peek() {
+            None => true,
+            Some(Token::Symbol(';')) => true,
+            Some(Token::Symbol(',')) if stop_at_comma => true,
+            Some(Token::Keyword(k)) => CLAUSE_KEYWORDS.contains(&k.as_str()),
+            _ => false,
+        }
+    }
+
+    /// Skip tokens until a clause keyword, `;`, or end of input —
+    /// balancing parentheses so a sync point inside an argument list is
+    /// not mistaken for a clause boundary. With `stop_at_comma`, a
+    /// top-level `,` also stops the skip (list-element recovery).
+    fn sync(&mut self, stop_at_comma: bool) {
+        let mut depth: u32 = 0;
+        while let Some(t) = self.peek() {
+            if depth == 0 && self.at_sync_point(stop_at_comma) {
+                return;
+            }
+            match t {
+                Token::Symbol('(') => depth += 1,
+                Token::Symbol(')') => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skip to the closing `)` of an already-open group (or a clause
+    /// boundary if the parens never close) and consume it.
+    fn sync_close_paren(&mut self) {
+        let mut depth: u32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                Token::Symbol('(') => depth += 1,
+                Token::Symbol(')') => {
+                    if depth == 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                    depth -= 1;
+                }
+                Token::Symbol(';') => return,
+                Token::Keyword(k) if depth == 0 && CLAUSE_KEYWORDS.contains(&k.as_str()) => return,
+                _ => {}
+            }
+            self.pos += 1;
         }
     }
 
     // ------------------------------------------------------------- grammar
 
-    fn query(&mut self) -> Result<Query> {
-        self.expect_keyword("SELECT")?;
-        let distinct = if self.eat_keyword("DISTINCT") {
+    /// One statement, recovering at clause boundaries. Returns the
+    /// best-effort query, or `None` when it did not even start like one.
+    fn statement(&mut self) -> Option<Query> {
+        if self.eat_keyword("SELECT").is_none() {
+            let (span, found) = (self.here(), self.describe_here());
+            self.error(
+                E101_UNEXPECTED_TOKEN,
+                span,
+                format!("expected `SELECT` at the start of a statement, found {found}"),
+            );
+            self.sync(false);
+            // Skip any stray clause tokens too: resync until `;`/EOF.
+            while !self.at_end() && !matches!(self.peek(), Some(Token::Symbol(';'))) {
+                self.pos += 1;
+                self.sync(false);
+            }
+            return None;
+        }
+        let distinct = if self.eat_keyword("DISTINCT").is_some() {
             true
         } else {
             let _ = self.eat_keyword("ALL");
             false
         };
-        let select = self.select_list()?;
-        self.expect_keyword("FROM")?;
-        let from = self.parse_from_list()?;
-        let where_clause = if self.eat_keyword("WHERE") {
-            Some(self.expr()?)
+        let select = self.select_list();
+        let from = if self.expect_keyword("FROM").is_ok() {
+            self.table_list()
         } else {
-            None
+            self.sync(false);
+            // A `FROM` may still be ahead (e.g. a stray token before it).
+            if self.eat_keyword("FROM").is_some() {
+                self.table_list()
+            } else {
+                Vec::new()
+            }
         };
+        let mut where_clause = None;
+        if self.eat_keyword("WHERE").is_some() {
+            match self.expr() {
+                Ok(e) => where_clause = Some(e),
+                Err(Recovery) => self.sync(false),
+            }
+        }
         let mut group_by = Vec::new();
         let mut having = None;
-        if self.eat_keyword("GROUP") {
-            self.expect_keyword("BY")?;
-            loop {
-                group_by.push(self.expr()?);
-                if !self.eat_symbol(',') {
-                    break;
+        if self.eat_keyword("GROUP").is_some() {
+            if self.expect_keyword("BY").is_err() {
+                self.sync(false);
+            } else {
+                loop {
+                    match self.expr() {
+                        Ok(e) => group_by.push(e),
+                        Err(Recovery) => {
+                            self.sync(true);
+                        }
+                    }
+                    if self.eat_symbol(',').is_none() {
+                        break;
+                    }
                 }
             }
-            if self.eat_keyword("HAVING") {
-                having = Some(self.expr()?);
+            if self.eat_keyword("HAVING").is_some() {
+                match self.expr() {
+                    Ok(e) => having = Some(e),
+                    Err(Recovery) => self.sync(false),
+                }
             }
         }
         let mut clean_ops = Vec::new();
         loop {
-            if self.eat_keyword("FD") {
-                clean_ops.push(self.fd_op()?);
-            } else if self.eat_keyword("DEDUP") {
-                clean_ops.push(self.dedup_op()?);
-            } else if self.eat_keyword("CLUSTER") {
-                self.expect_keyword("BY")?;
-                clean_ops.push(self.cluster_by_op()?);
+            if let Some(kw) = self.eat_keyword("FD") {
+                match self.fd_op(kw) {
+                    Ok(op) => clean_ops.push(op),
+                    Err(Recovery) => self.sync_close_paren(),
+                }
+            } else if let Some(kw) = self.eat_keyword("DEDUP") {
+                match self.dedup_op(kw) {
+                    Ok(op) => clean_ops.push(op),
+                    Err(Recovery) => self.sync_close_paren(),
+                }
+            } else if let Some(kw) = self.eat_keyword("CLUSTER") {
+                let parsed = self
+                    .expect_keyword("BY")
+                    .and_then(|_| self.cluster_by_op(kw));
+                match parsed {
+                    Ok(op) => clean_ops.push(op),
+                    Err(Recovery) => self.sync_close_paren(),
+                }
+            } else if let Some(kw) = self.eat_keyword("DC") {
+                match self.dc_op(kw) {
+                    Ok(op) => clean_ops.push(op),
+                    Err(Recovery) => self.sync_close_paren(),
+                }
             } else {
                 break;
             }
         }
-        Ok(Query {
+        if !self.at_end() && !matches!(self.peek(), Some(Token::Symbol(';'))) {
+            let (span, found) = (self.here(), self.describe_here());
+            self.error_note(
+                E103_TRAILING_TOKENS,
+                span,
+                format!("unexpected {found} after the end of the query"),
+                "statements are separated by `;`".to_string(),
+            );
+            self.sync(false);
+            while !self.at_end() && !matches!(self.peek(), Some(Token::Symbol(';'))) {
+                self.pos += 1;
+                self.sync(false);
+            }
+        }
+        Some(Query {
             distinct,
             select,
             from,
@@ -143,118 +429,168 @@ impl Parser {
         })
     }
 
-    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+    fn select_list(&mut self) -> Vec<SelectItem> {
         let mut items = Vec::new();
         loop {
-            let expr = if self.eat_symbol('*') {
-                Expr::Star
-            } else {
-                self.expr()?
-            };
-            let alias = if self.eat_keyword("AS") {
-                Some(self.ident()?)
-            } else {
-                None
-            };
-            items.push(SelectItem { expr, alias });
-            if !self.eat_symbol(',') {
+            let item = (|| -> PResult<SelectItem> {
+                let expr = if let Some(star) = self.eat_symbol('*') {
+                    Expr::new(ExprKind::Star, star)
+                } else {
+                    self.expr()?
+                };
+                let alias = if self.eat_keyword("AS").is_some() {
+                    Some(self.ident()?.0)
+                } else {
+                    None
+                };
+                Ok(SelectItem { expr, alias })
+            })();
+            match item {
+                Ok(i) => items.push(i),
+                Err(Recovery) => self.sync(true),
+            }
+            if self.eat_symbol(',').is_none() {
                 break;
             }
         }
-        Ok(items)
+        items
     }
 
-    fn parse_from_list(&mut self) -> Result<Vec<TableRef>> {
+    fn table_list(&mut self) -> Vec<TableRef> {
         let mut tables = Vec::new();
         loop {
-            let name = self.ident()?;
-            // Optional alias: a bare identifier not followed by `.`.
-            let alias = match self.peek() {
-                Some(Token::Ident(_)) => Some(self.ident()?),
-                _ => None,
-            };
-            tables.push(TableRef { name, alias });
-            if !self.eat_symbol(',') {
+            match self.ident() {
+                Ok((name, span)) => {
+                    // Optional alias: a bare identifier not followed by `.`.
+                    let alias = match self.peek() {
+                        Some(Token::Ident(_)) => {
+                            let (a, a_span) = self.ident().expect("peeked ident");
+                            tables.push(TableRef {
+                                name,
+                                alias: Some(a),
+                                span: span.join(a_span),
+                            });
+                            if self.eat_symbol(',').is_none() {
+                                break;
+                            }
+                            continue;
+                        }
+                        _ => None,
+                    };
+                    tables.push(TableRef { name, alias, span });
+                }
+                Err(Recovery) => self.sync(true),
+            }
+            if self.eat_symbol(',').is_none() {
                 break;
             }
         }
-        Ok(tables)
+        tables
     }
 
     // FD(lhs…, rhs…): with multi-attribute sides the last argument is the
     // RHS unless a `|` separator splits them; the common two-argument form
     // FD(a, b) reads as lhs=[a], rhs=[b].
-    fn fd_op(&mut self) -> Result<CleanOp> {
+    fn fd_op(&mut self, kw: Span) -> PResult<CleanOp> {
         self.expect_symbol('(')?;
         let mut exprs = vec![self.expr()?];
         let mut split_at = None;
         loop {
-            if self.eat_symbol('|') {
+            if self.eat_symbol('|').is_some() {
                 split_at = Some(exprs.len());
                 exprs.push(self.expr()?);
                 continue;
             }
-            if self.eat_symbol(',') {
+            if self.eat_symbol(',').is_some() {
                 exprs.push(self.expr()?);
                 continue;
             }
             break;
         }
-        self.expect_symbol(')')?;
+        let close = self.expect_symbol(')')?;
+        let span = kw.join(close);
         let split = split_at.unwrap_or(exprs.len().saturating_sub(1).max(1));
         if split >= exprs.len() {
-            return Err(Error::Parse(
+            return Err(self.error_note(
+                E106_FD_ARITY,
+                span,
                 "FD needs at least one LHS and one RHS attribute".to_string(),
+                "write FD(lhs, rhs) or FD(a, b | c) for multi-attribute sides".to_string(),
             ));
         }
         let rhs = exprs.split_off(split);
-        Ok(CleanOp::Fd { lhs: exprs, rhs })
+        Ok(CleanOp::Fd {
+            lhs: exprs,
+            rhs,
+            span,
+        })
     }
 
     // DEDUP(op[, metric, theta][, attributes…])
-    fn dedup_op(&mut self) -> Result<CleanOp> {
+    fn dedup_op(&mut self, kw: Span) -> PResult<CleanOp> {
         self.expect_symbol('(')?;
         let op = self.block_spec()?;
         let (metric, theta) = self.optional_metric_theta()?;
         let mut attributes = Vec::new();
-        while self.eat_symbol(',') {
+        while self.eat_symbol(',').is_some() {
             attributes.push(self.expr()?);
         }
-        self.expect_symbol(')')?;
+        let close = self.expect_symbol(')')?;
         Ok(CleanOp::Dedup {
             op,
             metric,
             theta,
             attributes,
+            span: kw.join(close),
         })
     }
 
     // CLUSTER BY(op[, metric, theta], term)
-    fn cluster_by_op(&mut self) -> Result<CleanOp> {
+    fn cluster_by_op(&mut self, kw: Span) -> PResult<CleanOp> {
         self.expect_symbol('(')?;
         let op = self.block_spec()?;
         let (metric, theta) = self.optional_metric_theta()?;
         self.expect_symbol(',')?;
         let term = self.expr()?;
-        self.expect_symbol(')')?;
+        let close = self.expect_symbol(')')?;
         Ok(CleanOp::ClusterBy {
             op,
             metric,
             theta,
             term,
+            span: kw.join(close),
         })
     }
 
-    fn block_spec(&mut self) -> Result<BlockSpec> {
-        let name = self.ident()?.to_lowercase();
+    // DC(pred) — two-tuple denial constraint over `t1`/`t2`.
+    fn dc_op(&mut self, kw: Span) -> PResult<CleanOp> {
+        self.expect_symbol('(')?;
+        let pred = self.expr()?;
+        let close = self.expect_symbol(')')?;
+        Ok(CleanOp::Dc {
+            pred,
+            span: kw.join(close),
+        })
+    }
+
+    fn block_spec(&mut self) -> PResult<BlockSpec> {
+        let (raw, span) = self.ident()?;
+        let name = raw.to_lowercase();
         // Optional parameter: token_filtering(3), kmeans(10).
-        let param = if self.eat_symbol('(') {
-            let v = match self.next() {
-                Some(Token::Int(i)) if i > 0 => i as usize,
-                other => {
-                    return Err(Error::Parse(format!(
-                        "expected positive integer parameter, found {other:?}"
-                    )))
+        let param = if self.eat_symbol('(').is_some() {
+            let v = match self.peek() {
+                Some(Token::Int(i)) if *i > 0 => {
+                    let v = *i as usize;
+                    self.pos += 1;
+                    v
+                }
+                _ => {
+                    let (span, found) = (self.here(), self.describe_here());
+                    return Err(self.error(
+                        E101_UNEXPECTED_TOKEN,
+                        span,
+                        format!("expected a positive integer parameter, found {found}"),
+                    ));
                 }
             };
             self.expect_symbol(')')?;
@@ -273,31 +609,49 @@ impl Parser {
             "length_band" => Ok(BlockSpec::LengthBand {
                 width: param.unwrap_or(4),
             }),
-            other => Err(Error::Parse(format!("unknown blocking op `{other}`"))),
+            other => Err(self.error_note(
+                E104_UNKNOWN_BLOCKER,
+                span,
+                format!("unknown blocking op `{other}`"),
+                "one of: exact, token_filtering(q), kmeans(k), length_band(w)".to_string(),
+            )),
         }
     }
 
     /// `, metric, theta` — optional; defaults are Levenshtein / 0.8.
-    fn optional_metric_theta(&mut self) -> Result<(Metric, f64)> {
+    fn optional_metric_theta(&mut self) -> PResult<(Metric, f64)> {
         let save = self.pos;
-        if self.eat_symbol(',') {
+        if self.eat_symbol(',').is_some() {
             if let Some(Token::Ident(name)) = self.peek().cloned() {
                 if let Some(metric) = Metric::parse(&name) {
                     self.pos += 1;
                     self.expect_symbol(',')?;
-                    let theta = match self.next() {
-                        Some(Token::Float(f)) => f,
-                        Some(Token::Int(i)) => i as f64,
-                        other => {
-                            return Err(Error::Parse(format!(
-                                "expected threshold, found {other:?}"
-                            )))
+                    let (theta, theta_span) = match self.peek() {
+                        Some(Token::Float(f)) => {
+                            let (f, s) = (*f, self.here());
+                            self.pos += 1;
+                            (f, s)
+                        }
+                        Some(Token::Int(i)) => {
+                            let (f, s) = (*i as f64, self.here());
+                            self.pos += 1;
+                            (f, s)
+                        }
+                        _ => {
+                            let (span, found) = (self.here(), self.describe_here());
+                            return Err(self.error(
+                                E101_UNEXPECTED_TOKEN,
+                                span,
+                                format!("expected a similarity threshold, found {found}"),
+                            ));
                         }
                     };
                     if !(0.0..=1.0).contains(&theta) {
-                        return Err(Error::Parse(format!(
-                            "similarity threshold {theta} outside [0, 1]"
-                        )));
+                        return Err(self.error(
+                            E105_BAD_THRESHOLD,
+                            theta_span,
+                            format!("similarity threshold {theta} outside [0, 1]"),
+                        ));
                     }
                     return Ok((metric, theta));
                 }
@@ -310,45 +664,51 @@ impl Parser {
 
     // --------------------------------------------------------- expressions
 
-    fn expr(&mut self) -> Result<Expr> {
+    fn expr(&mut self) -> PResult<Expr> {
         self.or_expr()
     }
 
-    fn or_expr(&mut self) -> Result<Expr> {
+    fn bin(op: &str, left: Expr, right: Expr) -> Expr {
+        let span = left.span.join(right.span);
+        Expr::new(
+            ExprKind::BinOp {
+                op: op.to_string(),
+                left: Box::new(left),
+                right: Box::new(right),
+            },
+            span,
+        )
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
         let mut left = self.and_expr()?;
-        while self.eat_keyword("OR") {
+        while self.eat_keyword("OR").is_some() {
             let right = self.and_expr()?;
-            left = Expr::BinOp {
-                op: "OR".into(),
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Self::bin("OR", left, right);
         }
         Ok(left)
     }
 
-    fn and_expr(&mut self) -> Result<Expr> {
+    fn and_expr(&mut self) -> PResult<Expr> {
         let mut left = self.not_expr()?;
-        while self.eat_keyword("AND") {
+        while self.eat_keyword("AND").is_some() {
             let right = self.not_expr()?;
-            left = Expr::BinOp {
-                op: "AND".into(),
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Self::bin("AND", left, right);
         }
         Ok(left)
     }
 
-    fn not_expr(&mut self) -> Result<Expr> {
-        if self.eat_keyword("NOT") {
-            Ok(Expr::Not(Box::new(self.not_expr()?)))
+    fn not_expr(&mut self) -> PResult<Expr> {
+        if let Some(kw) = self.eat_keyword("NOT") {
+            let inner = self.not_expr()?;
+            let span = kw.join(inner.span);
+            Ok(Expr::new(ExprKind::Not(Box::new(inner)), span))
         } else {
             self.comparison()
         }
     }
 
-    fn comparison(&mut self) -> Result<Expr> {
+    fn comparison(&mut self) -> PResult<Expr> {
         let left = self.additive()?;
         let op = match self.peek() {
             Some(Token::Symbol('=')) => Some("=".to_string()),
@@ -360,17 +720,13 @@ impl Parser {
         if let Some(op) = op {
             self.pos += 1;
             let right = self.additive()?;
-            Ok(Expr::BinOp {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            })
+            Ok(Self::bin(&op, left, right))
         } else {
             Ok(left)
         }
     }
 
-    fn additive(&mut self) -> Result<Expr> {
+    fn additive(&mut self) -> PResult<Expr> {
         let mut left = self.multiplicative()?;
         loop {
             let op = match self.peek() {
@@ -381,16 +737,12 @@ impl Parser {
             .to_string();
             self.pos += 1;
             let right = self.multiplicative()?;
-            left = Expr::BinOp {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Self::bin(&op, left, right);
         }
         Ok(left)
     }
 
-    fn multiplicative(&mut self) -> Result<Expr> {
+    fn multiplicative(&mut self) -> PResult<Expr> {
         let mut left = self.primary()?;
         loop {
             let op = match self.peek() {
@@ -401,59 +753,97 @@ impl Parser {
             .to_string();
             self.pos += 1;
             let right = self.primary()?;
-            left = Expr::BinOp {
-                op,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left = Self::bin(&op, left, right);
         }
         Ok(left)
     }
 
-    fn primary(&mut self) -> Result<Expr> {
-        match self.next() {
-            Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(i))),
-            Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
-            Some(Token::Str(s)) => Ok(Expr::Literal(Value::from(s))),
-            Some(Token::Keyword(k)) if k == "NULL" => Ok(Expr::Literal(Value::Null)),
-            Some(Token::Keyword(k)) if k == "TRUE" => Ok(Expr::Literal(Value::Bool(true))),
-            Some(Token::Keyword(k)) if k == "FALSE" => Ok(Expr::Literal(Value::Bool(false))),
-            Some(Token::Symbol('(')) => {
-                let e = self.expr()?;
-                self.expect_symbol(')')?;
-                Ok(e)
+    fn primary(&mut self) -> PResult<Expr> {
+        // Peek, don't consume: a token that cannot start an expression must
+        // stay put so recovery can synchronize on it (`;`, clause keywords).
+        let Some(tok) = self.tokens.get(self.pos).cloned() else {
+            let span = Span::point(self.src_len);
+            return Err(self.error(
+                E107_EMPTY_CLAUSE,
+                span,
+                "expected an expression, found end of input".to_string(),
+            ));
+        };
+        let span = tok.span;
+        match tok.token {
+            Token::Op(_) | Token::Symbol(_) if !matches!(tok.token, Token::Symbol('(')) => {
+                return Err(self.error(
+                    E101_UNEXPECTED_TOKEN,
+                    span,
+                    format!("expected an expression, found {}", tok.token.describe()),
+                ));
             }
-            Some(Token::Ident(name)) => {
+            Token::Keyword(ref k) if !matches!(k.as_str(), "NULL" | "TRUE" | "FALSE") => {
+                return Err(self.error(
+                    E101_UNEXPECTED_TOKEN,
+                    span,
+                    format!("expected an expression, found {}", tok.token.describe()),
+                ));
+            }
+            _ => {}
+        }
+        self.pos += 1;
+        match tok.token {
+            Token::Int(i) => Ok(Expr::new(ExprKind::Literal(Value::Int(i)), span)),
+            Token::Float(f) => Ok(Expr::new(ExprKind::Literal(Value::Float(f)), span)),
+            Token::Str(s) => Ok(Expr::new(ExprKind::Literal(Value::from(s)), span)),
+            Token::Keyword(k) if k == "NULL" => Ok(Expr::new(ExprKind::Literal(Value::Null), span)),
+            Token::Keyword(k) if k == "TRUE" => {
+                Ok(Expr::new(ExprKind::Literal(Value::Bool(true)), span))
+            }
+            Token::Keyword(k) if k == "FALSE" => {
+                Ok(Expr::new(ExprKind::Literal(Value::Bool(false)), span))
+            }
+            Token::Symbol('(') => {
+                let e = self.expr()?;
+                let close = self.expect_symbol(')')?;
+                Ok(Expr::new(e.kind, span.join(close)))
+            }
+            Token::Ident(name) => {
                 // Function call?
-                if self.eat_symbol('(') {
+                if self.eat_symbol('(').is_some() {
                     let mut args = Vec::new();
-                    if !self.eat_symbol(')') {
+                    let close = if let Some(c) = self.eat_symbol(')') {
+                        c
+                    } else {
                         loop {
                             // `count(*)`-style star argument.
-                            if self.eat_symbol('*') {
-                                args.push(Expr::Star);
+                            if let Some(star) = self.eat_symbol('*') {
+                                args.push(Expr::new(ExprKind::Star, star));
                             } else {
                                 args.push(self.expr()?);
                             }
-                            if !self.eat_symbol(',') {
+                            if self.eat_symbol(',').is_none() {
                                 break;
                             }
                         }
-                        self.expect_symbol(')')?;
-                    }
-                    return Ok(Expr::Call { name, args });
+                        self.expect_symbol(')')?
+                    };
+                    return Ok(Expr::new(ExprKind::Call { name, args }, span.join(close)));
                 }
                 // Qualified column?
-                if self.eat_symbol('.') {
-                    let col = self.ident()?;
-                    return Ok(Expr::Column {
-                        table: Some(name),
-                        name: col,
-                    });
+                if self.eat_symbol('.').is_some() {
+                    let (col, col_span) = self.ident()?;
+                    return Ok(Expr::new(
+                        ExprKind::Column {
+                            table: Some(name),
+                            name: col,
+                        },
+                        span.join(col_span),
+                    ));
                 }
-                Ok(Expr::Column { table: None, name })
+                Ok(Expr::new(ExprKind::Column { table: None, name }, span))
             }
-            other => Err(Error::Parse(format!("unexpected token {other:?}"))),
+            other => Err(self.error(
+                E101_UNEXPECTED_TOKEN,
+                span,
+                format!("expected an expression, found {}", other.describe()),
+            )),
         }
     }
 }
@@ -497,9 +887,9 @@ mod tests {
         assert_eq!(q.from.len(), 2);
         assert_eq!(q.clean_ops.len(), 3);
         match &q.clean_ops[0] {
-            CleanOp::Fd { lhs, rhs } => {
+            CleanOp::Fd { lhs, rhs, .. } => {
                 assert_eq!(lhs.len(), 1);
-                assert!(matches!(&rhs[0], Expr::Call { name, .. } if name == "prefix"));
+                assert!(matches!(&rhs[0].kind, ExprKind::Call { name, .. } if name == "prefix"));
             }
             other => panic!("{other:?}"),
         }
@@ -509,6 +899,7 @@ mod tests {
                 metric,
                 theta,
                 attributes,
+                ..
             } => {
                 assert_eq!(*op, BlockSpec::TokenFiltering { q: 3 });
                 assert_eq!(*metric, Metric::Levenshtein);
@@ -519,7 +910,7 @@ mod tests {
         }
         match &q.clean_ops[2] {
             CleanOp::ClusterBy { term, .. } => {
-                assert!(matches!(term, Expr::Column { name, .. } if name == "name"));
+                assert!(matches!(&term.kind, ExprKind::Column { name, .. } if name == "name"));
             }
             other => panic!("{other:?}"),
         }
@@ -534,6 +925,7 @@ mod tests {
                 metric,
                 theta,
                 attributes,
+                ..
             } => {
                 assert_eq!(*op, BlockSpec::Exact);
                 assert_eq!(*metric, Metric::Levenshtein);
@@ -565,7 +957,7 @@ mod tests {
     fn multi_attribute_fd() {
         let q = parse_query("SELECT * FROM t FD(a, b | c)").unwrap();
         match &q.clean_ops[0] {
-            CleanOp::Fd { lhs, rhs } => {
+            CleanOp::Fd { lhs, rhs, .. } => {
                 assert_eq!(lhs.len(), 2);
                 assert_eq!(rhs.len(), 1);
             }
@@ -574,9 +966,21 @@ mod tests {
         // Default split: last expr is RHS.
         let q = parse_query("SELECT * FROM t FD(a, b, c)").unwrap();
         match &q.clean_ops[0] {
-            CleanOp::Fd { lhs, rhs } => {
+            CleanOp::Fd { lhs, rhs, .. } => {
                 assert_eq!(lhs.len(), 2);
                 assert_eq!(rhs.len(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dc_clause_parses() {
+        let q = parse_query("SELECT * FROM t DC(t1.region = t2.region AND t1.amount > t2.amount)")
+            .unwrap();
+        match &q.clean_ops[0] {
+            CleanOp::Dc { pred, .. } => {
+                assert!(matches!(&pred.kind, ExprKind::BinOp { op, .. } if op == "AND"));
             }
             other => panic!("{other:?}"),
         }
@@ -595,12 +999,66 @@ mod tests {
     #[test]
     fn arithmetic_precedence() {
         let q = parse_query("SELECT a + b * c FROM t").unwrap();
-        match &q.select[0].expr {
-            Expr::BinOp { op, right, .. } => {
+        match &q.select[0].expr.kind {
+            ExprKind::BinOp { op, right, .. } => {
                 assert_eq!(op, "+");
-                assert!(matches!(&**right, Expr::BinOp { op, .. } if op == "*"));
+                assert!(matches!(&right.kind, ExprKind::BinOp { op, .. } if op == "*"));
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn spans_point_at_the_source() {
+        let src = "SELECT o.name FROM orders o WHERE o.amount > 10";
+        let q = parse_query(src).unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(
+            &src[w.span.start as usize..w.span.end as usize],
+            "o.amount > 10"
+        );
+        let sel = &q.select[0].expr;
+        assert_eq!(
+            &src[sel.span.start as usize..sel.span.end as usize],
+            "o.name"
+        );
+    }
+
+    #[test]
+    fn recovers_multiple_errors_in_one_pass() {
+        let src = "SELECT o.name, FROM orders o WHERE ; \
+                   SELECT * FORM orders; \
+                   SELECT * FROM orders o FD(o.region |)";
+        let out = parse_program(src);
+        assert!(out.diagnostics.len() >= 3, "{:#?}", out.diagnostics);
+        assert_eq!(out.statements.len(), 3);
+        // Every diagnostic carries a non-default location or EOF point.
+        for d in &out.diagnostics {
+            assert!(d.span.end as usize <= src.len());
+        }
+    }
+
+    #[test]
+    fn recovery_resumes_at_clause_boundaries() {
+        // The broken WHERE must not swallow the FD clause that follows.
+        let out = parse_program("SELECT * FROM t WHERE > 3 FD(a, b)");
+        assert!(!out.diagnostics.is_empty());
+        let q = out.statements[0].query.as_ref().unwrap();
+        assert_eq!(q.clean_ops.len(), 1);
+    }
+
+    #[test]
+    fn multi_statement_program() {
+        let out = parse_program("SELECT * FROM a; SELECT * FROM b;");
+        assert!(out.is_clean(), "{:?}", out.diagnostics);
+        assert_eq!(out.statements.len(), 2);
+        assert!(out.statements.iter().all(|s| s.is_complete()));
+    }
+
+    #[test]
+    fn strict_parse_rejects_multi_statement() {
+        assert!(parse_query("SELECT * FROM a; SELECT * FROM b").is_err());
+        // A single trailing `;` is fine.
+        assert!(parse_query("SELECT * FROM a;").is_ok());
     }
 }

@@ -487,6 +487,8 @@ impl IncrementalSession {
                     vec![shape.data.table.clone(), shape.dict.table.clone()],
                 ))
             }
+            // DC pair enumeration has no incremental state yet: re-run fully.
+            OpKind::Dc => Ok((OpState::Fallback, Vec::new())),
             OpKind::Select => {
                 let Some(mut state) = SelectState::from_plan(plan, eval_ctx) else {
                     return Ok((OpState::Fallback, Vec::new()));

@@ -106,6 +106,9 @@ impl RepairEngine {
                     }
                     None => section.unrepaired += output.len(),
                 },
+                // Denial-constraint repairs need holistic reasoning over the
+                // violation hypergraph; report the pairs as unrepaired.
+                OpKind::Dc => section.unrepaired += output.len(),
                 // Projections have nothing to repair.
                 OpKind::Select => {}
             }

@@ -1,0 +1,57 @@
+//! Golden-fixture harness: every directory under `tests/fixtures/` with a
+//! `query.cm` is run deterministically (CleanDB profile, seed 42) and its
+//! rendered plan/report — or, for broken sources, its rendered diagnostics
+//! — is compared byte-for-byte against the `expected.*` files.
+//!
+//! Regenerate with `UPDATE_FIXTURES=1 cargo test --test golden`.
+
+use std::path::Path;
+
+use cleanm_cli::fixtures::{run_all, update_mode};
+
+#[test]
+fn golden_fixtures() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let update = update_mode();
+    let outcomes = run_all(&root, update);
+    assert!(
+        outcomes.len() >= 12,
+        "expected at least 12 fixtures under {}, found {}",
+        root.display(),
+        outcomes.len()
+    );
+    let diag_cases = outcomes
+        .iter()
+        .filter(|o| o.name.starts_with("diag"))
+        .count();
+    assert!(
+        diag_cases >= 2,
+        "expected at least 2 diagnostic fixtures, found {diag_cases}"
+    );
+
+    let mut failures = String::new();
+    for o in &outcomes {
+        if update && !o.updated.is_empty() {
+            eprintln!("updated {}: {:?}", o.name, o.updated);
+        }
+        for m in &o.mismatches {
+            failures.push_str(&format!("[{}] {m}\n", o.name));
+        }
+    }
+    assert!(failures.is_empty(), "fixture mismatches:\n{failures}");
+
+    // Update mode must be idempotent: an immediate second regeneration
+    // writes nothing (renderings are byte-stable run to run).
+    if update {
+        let second = run_all(&root, true);
+        let rewritten: Vec<_> = second
+            .iter()
+            .filter(|o| !o.updated.is_empty())
+            .map(|o| &o.name)
+            .collect();
+        assert!(
+            rewritten.is_empty(),
+            "regeneration is not byte-stable for: {rewritten:?}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Frontend totality properties: the recoverable lexer/parser/desugar
+//! pipeline must never panic and always terminate, on any input — arbitrary
+//! unicode text, arbitrary (possibly invalid UTF-8) bytes decoded lossily,
+//! and adversarial splices of valid CleanM tokens.
+
+use cleanm::core::lang::parser::parse_program;
+use cleanm::core::{analyze, parse_query};
+use proptest::prelude::*;
+
+/// Every diagnostic must point inside the source (or at its EOF point).
+fn spans_in_bounds(source: &str) {
+    let outcome = parse_program(source);
+    for d in &outcome.diagnostics {
+        assert!(
+            d.span.start <= d.span.end && d.span.end as usize <= source.len(),
+            "diagnostic span {} out of bounds for {} bytes: {:?}",
+            d.span,
+            source.len(),
+            d
+        );
+    }
+}
+
+/// Vocabulary for token-splice fuzzing: every token family the grammar
+/// knows, plus pathological neighbors.
+const VOCAB: &[&str] = &[
+    "SELECT",
+    "DISTINCT",
+    "ALL",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "FD",
+    "DEDUP",
+    "CLUSTER",
+    "DC",
+    "AND",
+    "OR",
+    "NOT",
+    "AS",
+    "NULL",
+    "TRUE",
+    "FALSE",
+    "orders",
+    "o",
+    "region",
+    "amount",
+    "prefix",
+    "count",
+    "token_filtering",
+    "exact",
+    "kmeans",
+    "LD",
+    "t1",
+    "t2",
+    "(",
+    ")",
+    ",",
+    ".",
+    "*",
+    "=",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "<>",
+    "!=",
+    "+",
+    "-",
+    "/",
+    "|",
+    ";",
+    "0.8",
+    "42",
+    "1.5",
+    "'x'",
+    "'unterminated",
+    "?",
+    "0.8.3",
+    "99999999999999999999999",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text: parse + analyze are total.
+    #[test]
+    fn parser_never_panics_on_text(s in "(?s).*") {
+        spans_in_bounds(&s);
+        let _ = analyze(&s, 1);
+        let _ = parse_query(&s);
+    }
+
+    /// Arbitrary bytes (lossily decoded): totality survives invalid UTF-8
+    /// replacement characters and unprintable input.
+    #[test]
+    fn parser_never_panics_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let s = String::from_utf8_lossy(&bytes).into_owned();
+        spans_in_bounds(&s);
+        let _ = analyze(&s, 1);
+    }
+
+    /// Token splices: random sequences of *valid* CleanM tokens — the
+    /// adversarial inputs most likely to drive the recovery machinery into
+    /// a corner (half-open clauses, stray separators, nested parens).
+    #[test]
+    fn parser_never_panics_on_token_splices(
+        picks in proptest::collection::vec(0usize..VOCAB.len(), 0..48)
+    ) {
+        let s = picks.iter().map(|&i| VOCAB[i]).collect::<Vec<_>>().join(" ");
+        spans_in_bounds(&s);
+        let analysis = analyze(&s, 1);
+        // Recovery must make progress: statements cover the input at most
+        // once each, so their count is bounded by the token count.
+        prop_assert!(analysis.statements.len() <= picks.len() + 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Pretty-printer round-trip: for the language-surface corpus (the queries
+//! exercised by `tests/language.rs`), `parse → pretty-print → parse` must
+//! yield the *identical desugared calculus* — the printer is a faithful,
+//! canonical rendering of what the engine executes.
+
+use cleanm::core::calculus::desugar::desugar_query;
+use cleanm::core::{parse_query, pretty_query};
+
+/// The valid queries from the language-surface integration tests, plus the
+/// frontier this PR adds (DC, multi-attribute FD, parameterized blockers).
+const CORPUS: &[&str] = &[
+    "SELECT o.region AS r, o.amount FROM orders o WHERE o.amount > 12",
+    "SELECT DISTINCT o.region FROM orders o",
+    "SELECT o.region, count(*) AS n, sum(o.amount) AS total, \
+     avg(o.amount) AS mean, max(o.amount) AS biggest \
+     FROM orders o GROUP BY o.region",
+    "SELECT o.region, count(*) AS n FROM orders o \
+     GROUP BY o.region HAVING count(*) > 1",
+    "SELECT o.region, count(*) AS n FROM orders o \
+     WHERE o.status = 'open' GROUP BY o.region",
+    "SELECT lower(o.region) AS l, length(o.region) AS n FROM orders o \
+     WHERE o.region = 'east'",
+    "SELECT * FROM orders o \
+     DEDUP(exact, LD, 0.7, o.region, o.status) \
+     FD(o.region | o.status)",
+    "SELECT * FROM orders o \
+     FD(o.region | o.status) \
+     DEDUP(exact, LD, 0.7, o.region, o.status)",
+    "SELECT c.name, c.address, * FROM customer c, dictionary d \
+     FD(c.address, prefix(c.phone)) \
+     DEDUP(token_filtering, LD, 0.8, c.address) \
+     CLUSTER BY(token_filtering, LD, 0.8, c.name)",
+    "SELECT * FROM t FD(a, b | c)",
+    "SELECT * FROM t DEDUP(token_filtering(2), jaccard, 0.9, name)",
+    "SELECT * FROM t, d CLUSTER BY(kmeans(5), JW, 0.7, t.name)",
+    "SELECT * FROM orders DC(t1.region = t2.region AND t1.amount > t2.amount + 50)",
+    "SELECT * FROM orders DC(t1.amount > t2.amount * 10)",
+    "SELECT a + b * c, (a + b) * c FROM t WHERE NOT a = 1 AND (b = 2 OR c = 3)",
+    "SELECT 'it''s' AS q, NULL AS n, TRUE AS t FROM t",
+];
+
+#[test]
+fn roundtrip_preserves_the_calculus() {
+    for src in CORPUS {
+        let q1 = parse_query(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = pretty_query(&q1);
+        let q2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        let d1 = desugar_query(&q1, 42).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let d2 = desugar_query(&q2, 42)
+            .unwrap_or_else(|e| panic!("desugar of re-parse `{printed}` failed: {e}"));
+        assert_eq!(
+            d1, d2,
+            "calculus drifted through pretty-printing:\n  source: {src}\n  printed: {printed}"
+        );
+    }
+}
+
+#[test]
+fn pretty_is_a_fixpoint() {
+    for src in CORPUS {
+        let printed = pretty_query(&parse_query(src).unwrap());
+        let twice = pretty_query(&parse_query(&printed).unwrap());
+        assert_eq!(printed, twice, "printer not canonical for {src}");
+    }
+}
