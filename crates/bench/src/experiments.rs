@@ -1537,7 +1537,9 @@ pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
     // translation before fusion.
     let filter_chain = |mut ds: Dataset<Env>| -> Dataset<Env> {
         for rx in &preds {
-            ds = ds.filter_partitions(|part| part.retain(|env| pred_keep(rx, env)));
+            ds = ds
+                .filter_partitions(|part| part.retain(|env| pred_keep(rx, env)))
+                .expect("bench filter runs without faults");
         }
         ds
     };
@@ -1552,6 +1554,7 @@ pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
                     out.push(head.eval_env(&env, &eval_ctx).expect("head evaluates"))
                 },
             )
+            .expect("bench sweep runs without faults")
             .collect();
         outputs.into_iter().fold(sum.zero(), fold_sum)
     };
@@ -1579,7 +1582,10 @@ pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
                 )
             },
         );
-        partials.into_iter().fold(sum.zero(), fold_sum)
+        partials
+            .expect("bench fold runs without faults")
+            .into_iter()
+            .fold(sum.zero(), fold_sum)
     };
     let agg = measure(&unfused_agg, &fused_agg, "fused_filter_agg");
 
@@ -1606,10 +1612,13 @@ pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
         };
         let grouped = filter_chain(ds)
             .filter_transform("flat_map", |_| true, emit_pair)
-            .group_by_key_local();
+            .expect("bench sweep runs without faults")
+            .group_by_key_local()
+            .expect("bench grouping runs without faults");
         checksum_counts(
             grouped
                 .map(|(k, members)| (k, members.len() as i64))
+                .expect("bench map runs without faults")
                 .collect(),
         )
     };
@@ -1625,7 +1634,7 @@ pub fn fused_pipeline(scale: Scale) -> Vec<FusedRow> {
             |a, v| *a += v,
             |a, b| *a += b,
         );
-        checksum_counts(counts.collect())
+        checksum_counts(counts.expect("bench fold runs without faults").collect())
     };
     let group = measure(&unfused_group, &fused_group, "fused_filter_group");
 
@@ -2197,6 +2206,169 @@ pub fn profile_artifact(scale: Scale) -> String {
         report.profiles_json(),
         db.metrics_registry().snapshot_json()
     )
+}
+
+// ====================================================================
+// Fault tolerance — cancellation latency, retry overhead, and the cost
+// of armed resource limits on the clean path.
+// ====================================================================
+
+/// One fault-tolerance measurement over the FD cleaning workload.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceRow {
+    pub workload: String,
+    pub rows: usize,
+    /// Best-of-N clean run, no limits armed.
+    pub clean_ms: f64,
+    /// Best-of-N with a generous deadline + work budget armed — measures
+    /// what the per-operator interrupt/budget checks cost when live.
+    pub armed_ms: f64,
+    /// Best-of-N with one transient partition panic (retried once): the
+    /// failed attempt dies at partition start, so recovery should cost
+    /// little more than the catch/re-queue bookkeeping.
+    pub retry_ms: f64,
+    /// Cancellation latency samples: time from `CancelToken::cancel()` on
+    /// another thread until the running query returned, sorted ascending.
+    pub cancel_latency_ms: Vec<f64>,
+}
+
+impl FaultToleranceRow {
+    /// Fractional slowdown of armed limits (`0.01` = 1% slower).
+    pub fn armed_overhead(&self) -> f64 {
+        self.armed_ms / self.clean_ms.max(1e-9) - 1.0
+    }
+
+    /// Fractional slowdown of the retried-panic run.
+    pub fn retry_overhead(&self) -> f64 {
+        self.retry_ms / self.clean_ms.max(1e-9) - 1.0
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.cancel_latency_ms.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.cancel_latency_ms.len() - 1) as f64 * p).round() as usize;
+        self.cancel_latency_ms[idx]
+    }
+
+    pub fn cancel_p50_ms(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    pub fn cancel_p99_ms(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Measure the fault-tolerance machinery on the FD workload: clean vs
+/// armed-limits vs retried-panic timings (interleaved best-of-rounds, so a
+/// noise burst hits every mode equally) plus a cancellation-latency
+/// distribution from repeated mid-run cancels.
+pub fn fault_tolerance(scale: Scale) -> Vec<FaultToleranceRow> {
+    use cleanm_core::RunLimits;
+    use cleanm_exec::{FaultKind, FaultPlan, FaultSite};
+
+    let n_rows = match scale {
+        Scale::Quick => 60_000,
+        Scale::Full => 240_000,
+    };
+    let data = CustomerGen::new(SEED)
+        .rows(n_rows)
+        .duplicate_fraction(0.0)
+        .fd_noise_fraction(0.02)
+        .generate();
+    let sql = "SELECT * FROM customer c FD(c.address | c.nationkey)";
+    let mut db = session(EngineProfile::clean_db());
+    db.set_seed(SEED);
+    db.register("customer", data.table);
+    db.run(sql).expect("warm-up run");
+
+    let generous = RunLimits {
+        timeout: Some(Duration::from_secs(3600)),
+        max_work: Some(u64::MAX / 2),
+        max_retries: None,
+    };
+    // A transient panic on partition 0's first attempt per sweep: the
+    // retry runs the partition's real work exactly once.
+    let transient_panic = std::sync::Arc::new(FaultPlan::new().arm(
+        FaultSite::PartitionStart,
+        0,
+        FaultKind::Panic,
+        1,
+    ));
+
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..5 {
+        for (mode, slot) in best.iter_mut().enumerate() {
+            let limits = match mode {
+                0 => RunLimits::default(),
+                1 => generous,
+                _ => RunLimits {
+                    max_retries: Some(2),
+                    ..RunLimits::default()
+                },
+            };
+            if mode == 2 {
+                db.context()
+                    .set_fault_plan(Some(std::sync::Arc::clone(&transient_panic)));
+            }
+            let start = Instant::now();
+            let report = db.run_with_limits(sql, limits).expect("timed run");
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            db.context().set_fault_plan(None);
+            assert!(
+                report.failure.is_none(),
+                "mode {mode} must complete: {:?}",
+                report.failure
+            );
+            *slot = slot.min(elapsed);
+        }
+    }
+
+    // Cancellation latency: cancel from another thread mid-run and time
+    // how long the query takes to come back. A delay arm on every
+    // partition start guarantees the query is still in flight when the
+    // cancel lands, without adding real work to unwind.
+    let reps = match scale {
+        Scale::Quick => 40,
+        Scale::Full => 100,
+    };
+    let slow_plan = std::sync::Arc::new(FaultPlan::new().arm_all(
+        FaultSite::PartitionStart,
+        FaultKind::Delay(Duration::from_millis(20)),
+        u32::MAX,
+    ));
+    let mut latencies = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        db.context()
+            .set_fault_plan(Some(std::sync::Arc::clone(&slow_plan)));
+        let token = db.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            let t = Instant::now();
+            token.cancel();
+            t
+        });
+        let report = db
+            .run_with_limits(sql, RunLimits::default())
+            .expect("cancelled run still reports");
+        let returned = Instant::now();
+        let cancelled_at = canceller.join().expect("canceller");
+        db.context().set_fault_plan(None);
+        let fail = report.failure.expect("cancel landed mid-run");
+        assert_eq!(fail.kind, "cancelled");
+        latencies.push((returned - cancelled_at).as_secs_f64() * 1e3);
+    }
+    latencies.sort_by(f64::total_cmp);
+
+    vec![FaultToleranceRow {
+        workload: "fd".to_string(),
+        rows: n_rows,
+        clean_ms: best[0],
+        armed_ms: best[1],
+        retry_ms: best[2],
+        cancel_latency_ms: latencies,
+    }]
 }
 
 #[cfg(test)]

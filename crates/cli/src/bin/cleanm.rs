@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! cleanm check <file.cm> [--format]
-//! cleanm explain <file.cm|query> [--profile <p>] [--table name=file.csv]... [--seed <n>]
-//! cleanm run <file.cm|query> [--profile <p>] [--table name=file.csv]... [--seed <n>]
+//! cleanm explain <file.cm|query> [--profile <p>] [--table name=file.csv]...
+//!                [--seed <n>] [--timeout <secs>] [--max-work <units>]
+//! cleanm run <file.cm|query> [--profile <p>] [--table name=file.csv]...
+//!            [--seed <n>] [--timeout <secs>] [--max-work <units>]
 //! cleanm bench [repro args...]
 //! ```
 //!
@@ -12,6 +14,11 @@
 //! tracing and prints the physical plan, strategy decisions, compilation
 //! counters, and the EXPLAIN ANALYZE tree. `run` executes and prints the
 //! cleaning report. `bench` delegates to the `repro` harness binary.
+//!
+//! Exit codes: 0 success, 1 diagnostics or execution failure, 2 usage
+//! error, 3 resource limit hit (`--timeout` deadline, `--max-work` budget,
+//! or external cancellation) — the paper's "unable to terminate" outcome,
+//! distinguishable by wrappers from a real failure.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -19,7 +26,7 @@ use std::process::ExitCode;
 use cleanm_cli::schema::read_csv_file;
 use cleanm_cli::{parse_profile, session, DEFAULT_SEED};
 use cleanm_core::lang::diag::render_all;
-use cleanm_core::{analyze, pretty_query, CleanDb, EngineProfile};
+use cleanm_core::{analyze, pretty_query, CleanDb, EngineProfile, RunLimits};
 
 const USAGE: &str = "usage: cleanm <command> [args]
 
@@ -29,14 +36,19 @@ commands:
       underlines to stderr. With --format, print the canonical
       pretty-printed statements to stdout. Exit 1 on any diagnostic.
   explain <file.cm|query> [--profile <p>] [--table name=file.csv]... [--seed <n>]
+          [--timeout <secs>] [--max-work <units>]
       Execute with tracing and print the physical plan, strategy decisions,
       compilation counters, and the EXPLAIN ANALYZE profile.
   run <file.cm|query> [--profile <p>] [--table name=file.csv]... [--seed <n>]
+      [--timeout <secs>] [--max-work <units>]
       Execute and print the cleaning report.
   bench [args...]
       Delegate to the `repro` benchmark harness binary.
 
-profiles: clean_db (default), spark, bigdansing, adaptive";
+profiles: clean_db (default), spark, bigdansing, adaptive
+
+exit codes: 0 success; 1 diagnostics or execution failure; 2 usage error;
+3 resource limit (--timeout deadline, --max-work budget, or cancellation)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +85,7 @@ struct ExecArgs {
     tables: Vec<(String, PathBuf)>,
     seed: u64,
     format: bool,
+    limits: RunLimits,
 }
 
 fn parse_exec_args(args: &[String]) -> Result<ExecArgs, String> {
@@ -81,9 +94,26 @@ fn parse_exec_args(args: &[String]) -> Result<ExecArgs, String> {
     let mut tables = Vec::new();
     let mut seed = DEFAULT_SEED;
     let mut format = false;
+    let mut limits = RunLimits::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--timeout" => {
+                let v = it.next().ok_or("--timeout needs seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .ok_or_else(|| format!("bad timeout `{v}` (want positive seconds)"))?;
+                limits.timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--max-work" => {
+                let v = it.next().ok_or("--max-work needs a unit count")?;
+                let units: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad work limit `{v}` (want a unit count)"))?;
+                limits.max_work = Some(units);
+            }
             "--profile" => {
                 let name = it.next().ok_or("--profile needs a name")?;
                 profile = parse_profile(name).ok_or_else(|| format!("unknown profile `{name}`"))?;
@@ -124,6 +154,7 @@ fn parse_exec_args(args: &[String]) -> Result<ExecArgs, String> {
         tables,
         seed,
         format,
+        limits,
     })
 }
 
@@ -185,8 +216,22 @@ fn execute(args: &[String], explain: bool) -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::FAILURE;
     }
-    match db.run(parsed.source.trim_end()) {
+    // Runtime failures come back as a report with `failure` set (partial
+    // progress intact) rather than an `Err`; planning errors still `Err`.
+    match db.run_with_limits(parsed.source.trim_end(), parsed.limits) {
         Ok(report) => {
+            if let Some(fail) = &report.failure {
+                // The partial report goes to stdout, the verdict to
+                // stderr; resource limits get their own exit code so
+                // wrappers can tell "took too long" from "broke".
+                print!("{}", report.summary());
+                eprintln!("error: {}", fail.error);
+                return if fail.resource_limit {
+                    ExitCode::from(3)
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
             if explain {
                 print!("{}", cleanm_cli::render::render_plan(&report));
                 let tree = report.profile_tree();

@@ -315,7 +315,7 @@ mod tests {
             })
             .collect();
         let ctx = cleanm_exec::ExecContext::new(2, 4);
-        let ts = collect_table_stats(&ctx, Arc::new(data), StatsConfig::default());
+        let ts = collect_table_stats(&ctx, Arc::new(data), StatsConfig::default()).unwrap();
         let mut m = HashMap::new();
         m.insert("customer".to_string(), Arc::new(ts));
         m

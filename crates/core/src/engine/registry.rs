@@ -148,6 +148,19 @@ pub struct MetricsRegistry {
     fixes_stale: u64,
     /// Rows deleted by applied DEDUP merges, cumulative.
     repair_rows_dropped: u64,
+    /// Failed runs by error kind (`"cancelled"`, `"deadline_exceeded"`,
+    /// `"budget_exceeded"`, `"partition_panic"`, `"fault_injected"`, …),
+    /// fed from [`CleaningReport::failure`].
+    ///
+    /// [`CleaningReport::failure`]: super::CleaningReport::failure
+    failures_by_kind: BTreeMap<String, u64>,
+    /// Panicked partition tasks re-run by the pool, all queries.
+    partition_retries: u64,
+    /// Partition/driver panics caught and isolated, all queries.
+    partition_panics: u64,
+    /// Deterministic fault-injection arms fired, all queries (chaos runs
+    /// only; 0 in production).
+    faults_injected: u64,
 }
 
 impl MetricsRegistry {
@@ -165,6 +178,12 @@ impl MetricsRegistry {
         self.program_cache_misses += program_delta.1;
         self.records_shuffled += report.metrics.records_shuffled;
         self.comparisons += report.metrics.comparisons;
+        self.partition_retries += report.metrics.partition_retries;
+        self.partition_panics += report.metrics.partition_panics;
+        self.faults_injected += report.metrics.faults_injected;
+        if let Some(fail) = &report.failure {
+            *self.failures_by_kind.entry(fail.kind.clone()).or_insert(0) += 1;
+        }
         self.compiled_exprs += report.exprs.compiled as u64;
         self.interpreted_exprs += report.exprs.interpreted as u64;
         self.fused_selects += report.exprs.fused_selects as u64;
@@ -257,6 +276,21 @@ impl MetricsRegistry {
         &self.violations_by_op
     }
 
+    /// Failed runs by error kind, cumulative over the session.
+    pub fn failures_by_kind(&self) -> &BTreeMap<String, u64> {
+        &self.failures_by_kind
+    }
+
+    /// `(retries, panics, faults_injected)` fault-tolerance counters,
+    /// cumulative over the session.
+    pub fn fault_counts(&self) -> (u64, u64, u64) {
+        (
+            self.partition_retries,
+            self.partition_panics,
+            self.faults_injected,
+        )
+    }
+
     /// Machine-readable snapshot of everything the registry tracks.
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{");
@@ -294,6 +328,18 @@ impl MetricsRegistry {
             out.push_str(&format!("{}: {v}", json::string(k)));
         }
         out.push('}');
+        out.push_str(&format!(
+            ", \"faults\": {{\"partition_retries\": {}, \"partition_panics\": {}, \
+             \"faults_injected\": {}, \"failures_by_kind\": {{",
+            self.partition_retries, self.partition_panics, self.faults_injected
+        ));
+        for (i, (k, v)) in self.failures_by_kind.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{}: {v}", json::string(k)));
+        }
+        out.push_str("}}");
         out.push_str(&format!(
             ", \"repairs\": {{\"plan_latency\": {}, \"applied\": {}, \"stale\": {}, \
              \"rows_dropped\": {}, \"unrepaired\": {}, \"fixes_by_rule\": {{",
@@ -353,6 +399,17 @@ impl MetricsRegistry {
         ));
         for (op, n) in &self.violations_by_op {
             out.push_str(&format!("  violations[{op}]: {n}\n"));
+        }
+        if self.partition_retries + self.partition_panics + self.faults_injected > 0
+            || !self.failures_by_kind.is_empty()
+        {
+            out.push_str(&format!(
+                "  faults: {} retries, {} panics isolated, {} injected\n",
+                self.partition_retries, self.partition_panics, self.faults_injected
+            ));
+            for (k, n) in &self.failures_by_kind {
+                out.push_str(&format!("  failures[{k}]: {n}\n"));
+            }
         }
         if self.repair_latency.count() > 0 || self.fixes_applied > 0 {
             out.push_str(&fmt_track("repair plans", &self.repair_latency));

@@ -86,6 +86,46 @@ pub struct IncrementalInfo {
     pub fallback_ops: usize,
 }
 
+/// How a failed run ended: the typed error plus how far execution got
+/// before it. Attached to [`CleaningReport::failure`] by
+/// [`CleanDb::run_with_limits`], which reports resource-limit and fault
+/// outcomes as data instead of tearing the report away with an `Err`.
+///
+/// [`CleanDb::run_with_limits`]: super::CleanDb::run_with_limits
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureInfo {
+    /// Stable machine-readable classification of the error
+    /// ([`ExecError::kind`]: `"cancelled"`, `"deadline_exceeded"`,
+    /// `"budget_exceeded"`, `"partition_panic"`, `"fault_injected"`, …).
+    ///
+    /// [`ExecError::kind`]: cleanm_exec::ExecError::kind
+    pub kind: String,
+    /// The runtime error that ended the query, rendered for humans.
+    pub error: String,
+    /// True for cancellation / deadline / work-budget failures (external
+    /// control), false for panics, injected faults, and data errors. The
+    /// CLI maps this to its resource-limit exit code.
+    pub resource_limit: bool,
+    /// Label of the cleaning operator that failed (`None` when the failure
+    /// hit before the first operator started).
+    pub failed_op: Option<String>,
+    /// Cleaning operators that completed before the failure; their
+    /// [`OpResult`]s are present in [`CleaningReport::ops`].
+    pub ops_completed: usize,
+    /// Last exec-layer stage that finished (partial progress at stage
+    /// granularity — finer than `ops_completed`).
+    pub last_stage: Option<String>,
+    /// Rows entering exec-layer stages before the failure (partial
+    /// progress at row granularity).
+    pub rows_processed: u64,
+    /// Panicked partition tasks the pool re-ran before this outcome.
+    pub partition_retries: u64,
+    /// Partition/driver panics caught (isolated) during the run.
+    pub partition_panics: u64,
+    /// Deterministic fault-injection arms that fired during the run.
+    pub faults_injected: u64,
+}
+
 /// The result of running one CleanM query.
 #[derive(Debug, Clone)]
 pub struct CleaningReport {
@@ -134,6 +174,14 @@ pub struct CleaningReport {
     /// [`CleanDb::set_tracing`]: super::CleanDb::set_tracing
     /// [`CleanDb::explain`]: super::CleanDb::explain
     pub profiles: Vec<QueryProfile>,
+    /// Present when the run failed under [`CleanDb::run_with_limits`]: the
+    /// typed error plus partial progress (completed ops stay in
+    /// [`CleaningReport::ops`]). `None` on successful runs — and always
+    /// `None` from [`CleanDb::run`], which surfaces failures as `Err`.
+    ///
+    /// [`CleanDb::run`]: super::CleanDb::run
+    /// [`CleanDb::run_with_limits`]: super::CleanDb::run_with_limits
+    pub failure: Option<FailureInfo>,
 }
 
 impl CleaningReport {
@@ -243,6 +291,29 @@ impl CleaningReport {
                 out.push_str(&format!("  {line}\n"));
             }
         }
+        if let Some(fail) = &self.failure {
+            out.push_str(&format!(
+                "  FAILED ({}): {}\n",
+                if fail.resource_limit {
+                    "resource limit"
+                } else {
+                    "fault"
+                },
+                fail.error
+            ));
+            out.push_str(&format!(
+                "  partial progress: {} op(s) completed, {} rows processed, last stage {}\n",
+                fail.ops_completed,
+                fail.rows_processed,
+                fail.last_stage.as_deref().unwrap_or("<none>"),
+            ));
+            if fail.partition_retries + fail.partition_panics + fail.faults_injected > 0 {
+                out.push_str(&format!(
+                    "  fault handling: {} retries, {} panics isolated, {} faults injected\n",
+                    fail.partition_retries, fail.partition_panics, fail.faults_injected
+                ));
+            }
+        }
         out
     }
 }
@@ -290,6 +361,7 @@ mod tests {
             incremental: None,
             repair: None,
             profiles: Vec::new(),
+            failure: None,
         };
         let s = report.summary();
         assert!(s.contains("3 compiled"));
@@ -307,5 +379,24 @@ mod tests {
         // Untraced runs carry no profiles and render empty.
         assert!(report.profile_tree().is_empty());
         assert_eq!(report.profiles_json(), "[]");
+
+        // A failed run renders its outcome and partial progress.
+        let mut failed = report.clone();
+        failed.failure = Some(FailureInfo {
+            kind: "cancelled".into(),
+            error: "query cancelled while running map".into(),
+            resource_limit: true,
+            failed_op: Some("FD#1".into()),
+            ops_completed: 1,
+            last_stage: Some("map".into()),
+            rows_processed: 42,
+            partition_retries: 1,
+            partition_panics: 1,
+            faults_injected: 0,
+        });
+        let s = failed.summary();
+        assert!(s.contains("FAILED (resource limit): query cancelled"));
+        assert!(s.contains("1 op(s) completed, 42 rows processed, last stage map"));
+        assert!(s.contains("1 retries, 1 panics isolated"));
     }
 }

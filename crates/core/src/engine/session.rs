@@ -196,6 +196,28 @@ pub struct CleanDb {
     /// Session-wide aggregates across queries (latency percentiles, cache
     /// hit ratios, shuffle totals) — fed after every run.
     registry: MetricsRegistry,
+    /// When set (inside [`CleanDb::run_with_limits`]), runtime failures
+    /// become a [`FailureInfo`]-bearing report instead of an `Err`.
+    ///
+    /// [`FailureInfo`]: super::report::FailureInfo
+    capture_failures: bool,
+}
+
+/// Per-run resource limits for [`CleanDb::run_with_limits`]. `None` fields
+/// leave the corresponding limit unarmed; the session restores the
+/// context's unarmed state after the run either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Wall-clock deadline for the run; past it, cooperative check points
+    /// fail with [`ExecError::DeadlineExceeded`].
+    pub timeout: Option<std::time::Duration>,
+    /// Work budget in units (≈ one pairwise comparison each); plans
+    /// needing more fail with [`ExecError::BudgetExceeded`] — the paper's
+    /// "unable to terminate" outcome.
+    pub max_work: Option<u64>,
+    /// How many times the pool re-runs a panicked partition task before
+    /// failing the query (default 0: fail on first panic).
+    pub max_retries: Option<u32>,
 }
 
 impl CleanDb {
@@ -219,7 +241,16 @@ impl CleanDb {
             dict_gen: 0,
             plan_cache: PlanCache::new(),
             registry: MetricsRegistry::default(),
+            capture_failures: false,
         }
+    }
+
+    /// A handle that cancels whatever query is (or will be) running on
+    /// this session's context, from any thread. Cancellation is sticky;
+    /// [`CleanDb::run_with_limits`] clears it after each run so the
+    /// session stays reusable.
+    pub fn cancel_handle(&self) -> cleanm_exec::CancelToken {
+        self.ctx.cancel_token()
     }
 
     /// Turn end-to-end tracing on or off for this session. On, every run
@@ -414,6 +445,12 @@ impl CleanDb {
     /// application) is counted as stale and skipped, never clobbered. Row
     /// ids are reassigned sequentially after drops, restoring the
     /// `__rowid == index` invariant.
+    ///
+    /// Application is **all-or-nothing across tables**: every table's
+    /// repaired row set is staged first, and the catalog is only mutated
+    /// once all of them built successfully. A failure mid-plan (a fault
+    /// injected during batch rebuild, a malformed fix) leaves every table
+    /// exactly as it was.
     pub fn apply_repairs(
         &mut self,
         section: &super::repair::RepairSection,
@@ -430,7 +467,15 @@ impl CleanDb {
         for (t, id) in &section.dropped_rows {
             by_table.entry(t.as_str()).or_default().1.insert(*id);
         }
+        // Stage phase: build every table's repaired row set without
+        // touching the catalog. Either registration path below is
+        // infallible, so a staged plan always commits in full.
+        enum Staged {
+            Columnar(ColumnBatch),
+            Rows(Vec<Value>),
+        }
         let mut out = super::repair::AppliedRepairs::default();
+        let mut staged: Vec<(String, Staged)> = Vec::new();
         for (table, (fixes, drops)) in by_table {
             let stored = self.tables.get(table).ok_or_else(|| unknown_table(table))?;
             let mut rows: Vec<Value> = stored.merged_rows().as_ref().clone();
@@ -471,26 +516,32 @@ impl CleanDb {
                 rows.iter().map(|r| r.without_field(ROWID_FIELD)).collect();
             let stripped = stripped?;
             let rows_after = stripped.len();
-            match ColumnBatch::from_rows(&stripped) {
-                Some(batch) => self.register_columnar(table, batch),
-                None => {
-                    // Non-uniform layouts (mixed schemas within one table)
-                    // cannot columnarize; re-id the rows and take the row
-                    // path instead.
-                    let rowid_name = intern(ROWID_FIELD);
-                    let reided: Result<Vec<Value>, cleanm_values::Error> = stripped
-                        .iter()
-                        .enumerate()
-                        .map(|(i, r)| {
-                            let mut fields = vec![(Arc::clone(&rowid_name), Value::Int(i as i64))];
-                            fields.extend(r.as_struct()?.iter().cloned());
-                            Ok(Value::Struct(fields.into()))
-                        })
-                        .collect();
-                    let table_name = table.to_string();
-                    self.register_values(&table_name, reided?);
+            let reg = ctx.catch_driver("repair batch rebuild", || {
+                ctx.fault_visit(cleanm_exec::FaultSite::Columnarize)?;
+                match ColumnBatch::from_rows(&stripped) {
+                    Some(batch) => Ok(Staged::Columnar(batch)),
+                    None => {
+                        // Non-uniform layouts (mixed schemas within one
+                        // table) cannot columnarize; re-id the rows and
+                        // take the row path instead.
+                        let rowid_name = intern(ROWID_FIELD);
+                        let reided: Result<Vec<Value>, cleanm_values::Error> = stripped
+                            .iter()
+                            .enumerate()
+                            .map(|(i, r)| {
+                                let mut fields =
+                                    vec![(Arc::clone(&rowid_name), Value::Int(i as i64))];
+                                fields.extend(r.as_struct()?.iter().cloned());
+                                Ok(Value::Struct(fields.into()))
+                            })
+                            .collect();
+                        Ok(Staged::Rows(reided.map_err(|e| {
+                            cleanm_exec::ExecError::Value(e.to_string())
+                        })?))
+                    }
                 }
-            }
+            })?;
+            staged.push((table.to_string(), reg));
             ctx.tracer().event(
                 "table_repaired",
                 format!(
@@ -505,6 +556,13 @@ impl CleanDb {
                 stale,
                 rows_after,
             });
+        }
+        // Commit phase: every table staged — mutate the catalog.
+        for (table, reg) in staged {
+            match reg {
+                Staged::Columnar(batch) => self.register_columnar(&table, batch),
+                Staged::Rows(rows) => self.register_values(&table, rows),
+            }
         }
         self.registry.record_repair_applied(&out);
         Ok(out)
@@ -545,7 +603,12 @@ impl CleanDb {
             }
             _ => (TableStats::new(self.stats_config), 0),
         };
-        let fresh = collect_batch_stats(&self.ctx, &stored.batches()[seen..], self.stats_config);
+        // Statistics are advisory (the adaptive planner falls back to fixed
+        // heuristics without them), so a runtime failure here — an armed
+        // fault or a cancellation racing the collection — yields `None`
+        // rather than poisoning the cache.
+        let fresh =
+            collect_batch_stats(&self.ctx, &stored.batches()[seen..], self.stats_config).ok()?;
         base.merge(&fresh);
         let stats = Arc::new(base);
         self.stats.insert(
@@ -585,6 +648,51 @@ impl CleanDb {
     /// plan cache, when its normalized calculus was planned before).
     pub fn run_query(&mut self, query: &Query) -> Result<CleaningReport, EngineError> {
         self.run_query_internal(None, query)
+    }
+
+    /// Run a query under per-run resource limits, reporting runtime
+    /// failures as **data** instead of an error: cancellation, an expired
+    /// deadline, an exhausted work budget, an isolated panic, or an
+    /// injected fault all yield `Ok(report)` with
+    /// [`CleaningReport::failure`] filled in — the completed operators,
+    /// partial-progress counters, and metrics survive. Only planning
+    /// errors (bad SQL, unknown tables) still return `Err`.
+    ///
+    /// The limits are armed for this run only: the deadline, budget, and
+    /// retry bound are restored (and any sticky cancellation cleared)
+    /// before returning, so the session — and its worker pool — stay
+    /// reusable. A `max_work` limit overrides a context-level budget for
+    /// the duration of the run.
+    pub fn run_with_limits(
+        &mut self,
+        sql: &str,
+        limits: RunLimits,
+    ) -> Result<CleaningReport, EngineError> {
+        if let Some(t) = limits.timeout {
+            self.ctx.set_deadline(t);
+        }
+        if let Some(w) = limits.max_work {
+            self.ctx.limit_budget(w);
+        }
+        if let Some(r) = limits.max_retries {
+            self.ctx.set_retry_max(r);
+        }
+        self.capture_failures = true;
+        let result = self.run(sql);
+        self.capture_failures = false;
+        // Disarm everything the run armed — including a sticky external
+        // cancellation — so the next query runs clean.
+        if limits.timeout.is_some() {
+            self.ctx.clear_deadline();
+        }
+        if limits.max_work.is_some() {
+            self.ctx.unlimit_budget();
+        }
+        if limits.max_retries.is_some() {
+            self.ctx.set_retry_max(0);
+        }
+        self.ctx.reset_cancel();
+        result
     }
 
     /// The cached plan for a query text, if present and still valid — the
@@ -808,9 +916,21 @@ impl CleanDb {
         let mut profiles: Vec<QueryProfile> =
             Vec::with_capacity(if traced { entry.plans.len() } else { 0 });
         let exec_span = self.ctx.tracer().span("execute");
+        // First runtime error stops the loop; completed ops stay in `ops`
+        // as partial progress for the failure report.
+        let mut failure: Option<(Option<String>, ExecError)> = None;
         for (plan, op) in entry.plans.iter().zip(&entry.ops) {
             let op_start = Instant::now();
-            let output = executor.run_reduce(plan)?;
+            let output = match executor.run_reduce(plan) {
+                Ok(output) => output,
+                Err(e) => {
+                    self.ctx
+                        .tracer()
+                        .event("query_failed", format!("{}: {e}", op.label));
+                    failure = Some((Some(op.label.clone()), e));
+                    break;
+                }
+            };
             if traced {
                 if let Some(root) = executor.take_profile_root() {
                     profiles.push(QueryProfile {
@@ -839,9 +959,38 @@ impl CleanDb {
             .metrics()
             .add_comparisons(entry.eval_ctx.comparisons() - comparisons_before);
 
-        // Combine per-operator violations (§4.4 outer-join semantics).
-        let violating_ids = self.combine_violations(&ops)?;
+        // Combine per-operator violations (§4.4 outer-join semantics). A
+        // runtime error here (cancellation racing the combine) becomes the
+        // run's failure too.
+        let violating_ids = if failure.is_none() {
+            match self.combine_violations(&ops) {
+                Ok(ids) => ids,
+                Err(EngineError::Exec(e)) => {
+                    failure = Some((None, e));
+                    Vec::new()
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            Vec::new()
+        };
         let repairs = collect_repairs(&ops);
+
+        let metrics = self.ctx.metrics().snapshot();
+        let failure_info = failure
+            .as_ref()
+            .map(|(label, e)| super::report::FailureInfo {
+                kind: e.kind().to_string(),
+                error: e.to_string(),
+                resource_limit: e.is_resource_limit(),
+                failed_op: label.clone(),
+                ops_completed: ops.len(),
+                last_stage: metrics.stages.last().map(|s| s.operator.to_string()),
+                rows_processed: metrics.stages.iter().map(|s| s.records_in).sum(),
+                partition_retries: metrics.partition_retries,
+                partition_panics: metrics.partition_panics,
+                faults_injected: metrics.faults_injected,
+            });
 
         let report = CleaningReport {
             profile: self.profile.name.clone(),
@@ -852,7 +1001,7 @@ impl CleanDb {
             rewrite_stats: entry.rewrite_stats.clone(),
             timings,
             total: started.elapsed(),
-            metrics: self.ctx.metrics().snapshot(),
+            metrics,
             plan_text: entry.plan_text.clone(),
             decisions,
             table_stats: query_stats,
@@ -865,6 +1014,7 @@ impl CleanDb {
             incremental: None,
             repair: None,
             profiles,
+            failure: failure_info,
         };
         let programs_after = entry.programs.counters();
         self.registry.record_query(
@@ -874,6 +1024,13 @@ impl CleanDb {
                 programs_after.1 - programs_before.1,
             ),
         );
+        if let Some((_, e)) = failure {
+            // `run` keeps its `Err` contract; `run_with_limits` asks for
+            // the failure as report data instead.
+            if !self.capture_failures {
+                return Err(EngineError::Exec(e));
+            }
+        }
         Ok(report)
     }
 
@@ -946,7 +1103,7 @@ impl CleanDb {
             for ids in iter {
                 let right: Dataset<(i64, bool)> =
                     Dataset::from_vec(&self.ctx, ids.into_iter().map(|id| (id, true)).collect());
-                acc = acc.full_outer_join(right).map(|(id, _, _)| (id, true));
+                acc = acc.full_outer_join(right)?.map(|(id, _, _)| (id, true))?;
             }
             let mut out: Vec<i64> = acc.collect().into_iter().map(|(id, _)| id).collect();
             out.sort_unstable();

@@ -39,6 +39,6 @@ pub mod physical;
 pub mod quality;
 
 pub use calculus::desugar::OpKind;
-pub use engine::{CleanDb, CleaningReport, MetricsRegistry};
+pub use engine::{CleanDb, CleaningReport, FailureInfo, MetricsRegistry, RunLimits};
 pub use lang::{analyze, parse_program, parse_query, pretty_query, Analysis, Diagnostic, Span};
 pub use physical::{EngineProfile, ProfileNode, QueryProfile};

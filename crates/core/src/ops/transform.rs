@@ -12,6 +12,12 @@ use std::time::{Duration, Instant};
 use cleanm_exec::{Dataset, ExecContext};
 use cleanm_values::{DataType, Error, Field, Result, Row, Schema, Table, Value};
 
+/// Map a runtime failure (cancellation, deadline, injected fault) into the
+/// value-layer error these table-level passes report.
+fn exec_err(e: cleanm_exec::ExecError) -> Error {
+    Error::Invalid(e.to_string())
+}
+
 /// One transformation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Transform {
@@ -42,7 +48,9 @@ pub struct TransformReport {
 pub fn baseline_scan(ctx: &Arc<ExecContext>, table: &Table) -> Duration {
     let start = Instant::now();
     let ds = Dataset::from_vec(ctx, table.rows.clone());
-    let projected = ds.map(|row| Row::new(row.values().to_vec()));
+    let projected = ds
+        .map(|row| Row::new(row.values().to_vec()))
+        .expect("baseline scan runs without faults");
     let n = projected.collect().len();
     assert_eq!(n, table.rows.len());
     start.elapsed()
@@ -122,6 +130,7 @@ fn resolve(ctx: &Arc<ExecContext>, table: &Table, t: &Transform) -> Result<Resol
                     }
                     vec![(sum, n)]
                 })
+                .map_err(exec_err)?
                 .collect();
             let (sum, n) = partials
                 .into_iter()
@@ -188,6 +197,7 @@ fn run_pass(ctx: &Arc<ExecContext>, table: &Table, specs: &[ResolvedTransform]) 
             }
             Row::new(out)
         })
+        .map_err(exec_err)?
         .collect();
     Ok(Table::new(schema, rows))
 }
@@ -249,6 +259,7 @@ pub fn semantic_map(
                 None => (row, false),
             }
         })
+        .map_err(exec_err)?
         .collect();
     let applied = mapped.iter().filter(|(_, hit)| *hit).count();
     let rows = mapped.into_iter().map(|(r, _)| r).collect();

@@ -383,34 +383,57 @@ impl<'a> Executor<'a> {
         &mut self,
         source: &Arc<Alg>,
         pred_rxs: &Option<Arc<RowExpr>>,
-    ) -> Option<Dataset<RowEnv>> {
+    ) -> ExecResult<Option<Dataset<RowEnv>>> {
         if !self.profile.vectorize {
-            return None;
+            return Ok(None);
         }
         let Alg::Scan { table, var } = &**source else {
-            return None;
+            return Ok(None);
         };
         let key = Arc::as_ptr(source) as usize;
         if self.profile.share_plans && self.shared_nodes.contains(&key) {
             // A shared scan must stay materialized once for all consumers.
-            return None;
+            return Ok(None);
         }
-        let program = pred_rxs.as_ref()?.program()?;
+        let Some(program) = pred_rxs.as_ref().and_then(|rx| rx.program()) else {
+            return Ok(None);
+        };
         if program.scope_len() != 1 {
-            return None;
+            return Ok(None);
         }
-        let stored = self.tables.get(table.as_str())?;
+        let Some(stored) = self.tables.get(table.as_str()) else {
+            return Ok(None);
+        };
 
         // Columnarize every batch and lower the predicate against each
         // batch's concrete schema (appends may differ in column order).
+        // Columnarization runs on the driver, so it gets its own panic
+        // guard and fault/interrupt checks per batch (the chaos suite's
+        // `columnarize` and `kernel_entry` sites).
         let nbatches = stored.batches().len();
-        let mut cols: Vec<Arc<ColumnBatch>> = Vec::with_capacity(nbatches);
-        let mut kernels: Vec<PredKernel> = Vec::with_capacity(nbatches);
-        for idx in 0..nbatches {
-            let cb = stored.columnar_batch(idx)?;
-            kernels.push(PredKernel::compile(program, &[&cb])?);
-            cols.push(cb);
-        }
+        let built = self.ctx.catch_driver("storage batch columnarization", || {
+            let mut cols: Vec<Arc<ColumnBatch>> = Vec::with_capacity(nbatches);
+            let mut kernels: Vec<Option<PredKernel>> = Vec::with_capacity(nbatches);
+            for idx in 0..nbatches {
+                self.ctx.check_interrupt("columnarize")?;
+                self.ctx
+                    .fault_point(cleanm_exec::FaultSite::Columnarize, idx as u64, 0)?;
+                let Some(cb) = stored.columnar_batch(idx) else {
+                    return Ok(None);
+                };
+                self.ctx
+                    .fault_point(cleanm_exec::FaultSite::KernelEntry, idx as u64, 0)?;
+                kernels.push(PredKernel::compile(program, &[&cb]));
+                cols.push(cb);
+            }
+            Ok(Some((cols, kernels)))
+        })?;
+        let Some((cols, kernels)) = built else {
+            return Ok(None);
+        };
+        let Some(kernels) = kernels.into_iter().collect::<Option<Vec<PredKernel>>>() else {
+            return Ok(None);
+        };
 
         // Replicate the row path's partition layout: the concatenated
         // stream split into contiguous chunks of `total.div_ceil(p)`.
@@ -461,8 +484,8 @@ impl<'a> Executor<'a> {
                 }
             }
             envs
-        });
-        Some(out)
+        })?;
+        Ok(Some(out))
     }
 
     /// Materialize `source` with a peeled predicate chain already applied
@@ -478,7 +501,7 @@ impl<'a> Executor<'a> {
         source: &Arc<Alg>,
         pred_rxs: Option<Arc<RowExpr>>,
     ) -> ExecResult<(Dataset<RowEnv>, Option<Arc<RowExpr>>)> {
-        if let Some(ds) = self.try_columnar_select(source, &pred_rxs) {
+        if let Some(ds) = self.try_columnar_select(source, &pred_rxs)? {
             return Ok((ds, None));
         }
         Ok((self.run(source)?, pred_rxs))
@@ -662,7 +685,7 @@ impl<'a> Executor<'a> {
                         }
                     }
                 },
-            );
+            )?;
             self.check_errors()?;
             let mut acc = monoid.zero();
             for p in partials {
@@ -700,7 +723,7 @@ impl<'a> Executor<'a> {
                         }
                     })
                 },
-            )
+            )?
             .collect();
         self.check_errors()?;
         let result = match monoid {
@@ -974,21 +997,22 @@ impl<'a> Executor<'a> {
                     }
                 }
             };
-            let partial_maps = ds.fold_partitions("group_fold_probe", FxHashMap::default, probe);
-            let merged = merge_tree(ds.context(), partial_maps, |mut a, b| {
-                for (k, accs) in b {
-                    match a.entry(k) {
-                        std::collections::hash_map::Entry::Occupied(mut e) => {
-                            merge_accs(e.get_mut(), accs)
-                        }
-                        std::collections::hash_map::Entry::Vacant(e) => {
-                            e.insert(accs);
+            let partial_maps = ds.fold_partitions("group_fold_probe", FxHashMap::default, probe)?;
+            let merged: FxHashMap<Value, GroupAcc> =
+                merge_tree(ds.context(), partial_maps, |mut a, b| {
+                    for (k, accs) in b {
+                        match a.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                merge_accs(e.get_mut(), accs)
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(accs);
+                            }
                         }
                     }
-                }
-                a
-            })
-            .unwrap_or_default();
+                    a
+                })?
+                .unwrap_or_default();
             self.check_errors()?;
 
             // Decide the passing keys from the folded accumulators.
@@ -1064,17 +1088,17 @@ impl<'a> Executor<'a> {
                 }
             };
             let pairs: Dataset<(Value, Value)> =
-                ds.filter_transform("group_fold_materialize", pred, emit);
+                ds.filter_transform("group_fold_materialize", pred, emit)?;
             self.check_errors()?;
             let grouped: Dataset<(Value, Vec<Value>)> = match strategy {
-                NestStrategy::LocalAggregate => pairs.group_by_key_local(),
-                NestStrategy::SortShuffle => pairs.group_by_key_sorted(),
-                NestStrategy::HashShuffle => pairs.group_by_key_hash(),
+                NestStrategy::LocalAggregate => pairs.group_by_key_local()?,
+                NestStrategy::SortShuffle => pairs.group_by_key_sorted()?,
+                NestStrategy::HashShuffle => pairs.group_by_key_hash()?,
             };
             let outputs: Vec<Value> = grouped
                 .map(|(k, members)| {
                     Value::record([("key", k), ("partition", Value::list(members))])
-                })
+                })?
                 .collect();
             self.book_fold_phase(pred_similarity, start);
             return Ok(outputs);
@@ -1097,13 +1121,13 @@ impl<'a> Executor<'a> {
         };
         let grouped: Dataset<(Value, GroupAcc)> = match strategy {
             NestStrategy::LocalAggregate => {
-                ds.group_fold("group_fold", pred, emit, init, fold, merge_accs)
+                ds.group_fold("group_fold", pred, emit, init, fold, merge_accs)?
             }
             NestStrategy::HashShuffle => {
-                ds.group_fold_hash("group_fold_hash", pred, emit, init, fold)
+                ds.group_fold_hash("group_fold_hash", pred, emit, init, fold)?
             }
             NestStrategy::SortShuffle => {
-                ds.group_fold_sorted("group_fold_sorted", pred, emit, init, fold)
+                ds.group_fold_sorted("group_fold_sorted", pred, emit, init, fold)?
             }
         };
         self.check_errors()?;
@@ -1132,7 +1156,7 @@ impl<'a> Executor<'a> {
             }
         };
         let outputs: Vec<Value> = grouped
-            .filter_transform("group_finish", |_| true, finish)
+            .filter_transform("group_finish", |_| true, finish)?
             .collect();
         self.check_errors()?;
         self.book_fold_phase(pred_similarity, start);
@@ -1255,7 +1279,7 @@ impl<'a> Executor<'a> {
                 // the stored table columnarizes into typed batches and the
                 // predicate re-lowers into a whole-column kernel sweep.
                 let col_start = Instant::now();
-                if let Some(out) = self.try_columnar_select(source, &pred_rxs) {
+                if let Some(out) = self.try_columnar_select(source, &pred_rxs)? {
                     self.fused_selects += chained;
                     self.timings.other += col_start.elapsed();
                     return Ok(out);
@@ -1267,7 +1291,7 @@ impl<'a> Executor<'a> {
                 let errors = Arc::clone(&self.errors);
                 let out = ds.filter_partitions(move |part| {
                     part.retain(|env| passes(&pred_rxs, env, &eval_ctx, &errors));
-                });
+                })?;
                 self.check_errors()?;
                 if similarity {
                     self.timings.similarity += start.elapsed();
@@ -1283,6 +1307,12 @@ impl<'a> Executor<'a> {
                 let pred_rxs = self.compile_preds(&preds, &scope);
                 let (ds, pred_rxs) = self.run_filtered(source, pred_rxs)?;
                 let start = Instant::now();
+                // Fan-out charges the work budget by its input size before
+                // expanding: every source row yields at least one candidate,
+                // so a hopeless pair enumeration (a DC/DEDUP block gone
+                // quadratic) fails fast instead of materializing pairs the
+                // budget can never cover.
+                self.ctx.consume_budget("flat_map", ds.count() as u64)?;
                 let path_rx = self.row_expr(path, &scope);
                 self.fused_selects += nfused;
                 let eval_ctx = Arc::clone(&self.eval_ctx);
@@ -1313,7 +1343,7 @@ impl<'a> Executor<'a> {
                             errors.lock().push(e.to_string());
                         }
                     },
-                );
+                )?;
                 self.check_errors()?;
                 self.timings.similarity += start.elapsed();
                 Ok(out)
@@ -1377,8 +1407,8 @@ impl<'a> Executor<'a> {
                             },
                         )
                     };
-                let lk = keyed(lds, lkey_rx, lpred_rxs);
-                let rk = keyed(rds, rkey_rx, rpred_rxs);
+                let lk = keyed(lds, lkey_rx, lpred_rxs)?;
+                let rk = keyed(rds, rkey_rx, rpred_rxs)?;
                 self.check_errors()?;
                 // Phase split: the keying sweeps carry any fused similarity
                 // predicate's cost; the hash join itself is grouping.
@@ -1388,11 +1418,11 @@ impl<'a> Executor<'a> {
                     self.timings.grouping += start.elapsed();
                 }
                 let start = Instant::now();
-                let joined = lk.join_hash(rk);
+                let joined = lk.join_hash(rk)?;
                 let out = joined.map(|(_, mut lenv, renv)| {
                     lenv.extend(renv);
                     lenv
-                });
+                })?;
                 self.timings.grouping += start.elapsed();
                 Ok(out)
             }
@@ -1624,7 +1654,7 @@ impl<'a> Executor<'a> {
                     scalar => out.push((scalar, it)),
                 }
             },
-        );
+        )?;
         self.check_errors()?;
         // Phase split: the pair-emission sweep carries any fused similarity
         // predicate's cost; the shuffle/aggregation below is grouping.
@@ -1648,9 +1678,9 @@ impl<'a> Executor<'a> {
             self.profile.nest
         };
         let grouped: Dataset<(Value, Vec<Value>)> = match strategy {
-            NestStrategy::LocalAggregate => pairs.group_by_key_local(),
-            NestStrategy::SortShuffle => pairs.group_by_key_sorted(),
-            NestStrategy::HashShuffle => pairs.group_by_key_hash(),
+            NestStrategy::LocalAggregate => pairs.group_by_key_local()?,
+            NestStrategy::SortShuffle => pairs.group_by_key_sorted()?,
+            NestStrategy::HashShuffle => pairs.group_by_key_hash()?,
         };
         let gv = group_var.to_string();
         // `mapPartitions`-style finishing: wrap each group as {key, partition}.
@@ -1659,7 +1689,7 @@ impl<'a> Executor<'a> {
                 gv.clone(),
                 Value::record([("key", k), ("partition", Value::list(members))]),
             )]
-        });
+        })?;
         self.timings.grouping += start.elapsed();
         Ok(out)
     }
@@ -1708,10 +1738,10 @@ impl<'a> Executor<'a> {
                     .unwrap_or(false)
             };
             let joined = theta::cartesian_filter(lds, rds, predicate)?;
-            return Ok(joined.map(|(mut l, r)| {
+            return joined.map(|(mut l, r)| {
                 l.extend(r);
                 l
-            }));
+            });
         }
 
         // Pruning strategies need each row's mapped join key *and* the key
@@ -1725,8 +1755,8 @@ impl<'a> Executor<'a> {
         // could miss strings deep in a partition and silently disable the
         // collision widening), and the evaluated keys are zipped back onto
         // the rows so the join never re-evaluates them.
-        let (l_keys, l_text, l_num) = keys_and_flags(&lds, &lkey_rx, &eval_ctx);
-        let (r_keys, r_text, r_num) = keys_and_flags(&rds, &rkey_rx, &eval_ctx);
+        let (l_keys, l_text, l_num) = keys_and_flags(&lds, &lkey_rx, &eval_ctx)?;
+        let (r_keys, r_text, r_num) = keys_and_flags(&rds, &rkey_rx, &eval_ctx)?;
         let mixed = (l_text && l_num) || (r_text && r_num) || (l_text != r_text);
         if mixed {
             // Mixed numeric/text keys have no common pruning domain — fall
@@ -1744,10 +1774,10 @@ impl<'a> Executor<'a> {
                     .unwrap_or(false)
             };
             let joined = theta::cartesian_filter(lds, rds, predicate)?;
-            return Ok(joined.map(|(mut l, r)| {
+            return joined.map(|(mut l, r)| {
                 l.extend(r);
                 l
-            }));
+            });
         }
 
         let compat = hint.kind.compat_fn(theta_widen(l_text || r_text));
@@ -1773,10 +1803,10 @@ impl<'a> Executor<'a> {
             }
             (ThetaStrategy::CartesianFilter, _) => unreachable!("handled above"),
         };
-        Ok(joined.map(|((_, mut l), (_, r))| {
+        joined.map(|((_, mut l), (_, r))| {
             l.extend(r);
             l
-        }))
+        })
     }
 }
 
@@ -1868,7 +1898,7 @@ fn keys_and_flags(
     ds: &Dataset<RowEnv>,
     rx: &Arc<RowExpr>,
     eval_ctx: &Arc<EvalCtx>,
-) -> (Vec<Vec<f64>>, bool, bool) {
+) -> ExecResult<(Vec<Vec<f64>>, bool, bool)> {
     let parts = ds.probe_partitions(|part| {
         let mut keys = Vec::with_capacity(part.len());
         let (mut text, mut numeric) = (false, false);
@@ -1889,7 +1919,7 @@ fn keys_and_flags(
             keys.push(key);
         }
         (keys, text, numeric)
-    });
+    })?;
     let mut key_parts = Vec::with_capacity(parts.len());
     let (mut text, mut numeric) = (false, false);
     for (keys, t, n) in parts {
@@ -1897,7 +1927,7 @@ fn keys_and_flags(
         text |= t;
         numeric |= n;
     }
-    (key_parts, text, numeric)
+    Ok((key_parts, text, numeric))
 }
 
 /// Does the expression contain a similarity call? (Phase attribution.)
@@ -2117,11 +2147,14 @@ mod tests {
             .map(|(name, stored)| {
                 (
                     name.clone(),
-                    Arc::new(cleanm_stats::collect_table_stats(
-                        &ctx,
-                        stored.merged_rows(),
-                        cleanm_stats::StatsConfig::default(),
-                    )),
+                    Arc::new(
+                        cleanm_stats::collect_table_stats(
+                            &ctx,
+                            stored.merged_rows(),
+                            cleanm_stats::StatsConfig::default(),
+                        )
+                        .unwrap(),
+                    ),
                 )
             })
             .collect()

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::context::ExecContext;
+use crate::error::ExecResult;
 use crate::metrics::StageReport;
 use crate::pool::run_partitions;
 
@@ -31,7 +32,9 @@ impl<T: Data + Hash + Eq + Ord> Key for T {}
 /// let ds = Dataset::from_vec(&ctx, (0..100i64).collect());
 /// let total: i64 = ds
 ///     .filter(|x| x % 2 == 0)
+///     .unwrap()
 ///     .map(|x| x * 10)
+///     .unwrap()
 ///     .collect()
 ///     .into_iter()
 ///     .sum();
@@ -111,24 +114,24 @@ impl<T: Data> Dataset<T> {
     }
 
     /// Element-wise transform (narrow).
-    pub fn map<U: Data>(self, f: impl Fn(T) -> U + Sync) -> Dataset<U> {
+    pub fn map<U: Data>(self, f: impl Fn(T) -> U + Sync) -> ExecResult<Dataset<U>> {
         let ctx = self.ctx;
-        let (parts, _) = run_partitions(&ctx, self.parts, |_, part| {
+        let (parts, _) = run_partitions(&ctx, "map", self.parts, |_, part| {
             part.into_iter().map(&f).collect::<Vec<U>>()
-        });
-        Dataset { ctx, parts }
+        })?;
+        Ok(Dataset { ctx, parts })
     }
 
     /// Keep records satisfying `pred` (narrow). Per-worker busy time is
     /// recorded: predicate work (e.g. similarity checks) on a skewed
     /// partition layout shows up as load imbalance here.
-    pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> Dataset<T> {
+    pub fn filter(self, pred: impl Fn(&T) -> bool + Sync) -> ExecResult<Dataset<T>> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
-        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
+        let (parts, busy) = run_partitions(&ctx, "filter", self.parts, |_, part| {
             part.into_iter().filter(|t| pred(t)).collect::<Vec<T>>()
-        });
+        })?;
         ctx.record_stage(StageReport {
             operator: "filter",
             records_in,
@@ -136,7 +139,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Partition-at-a-time filtering (narrow): `f` retains the surviving
@@ -144,14 +147,14 @@ impl<T: Data> Dataset<T> {
     /// compiled row programs use — one scratch allocation per partition
     /// instead of per record — and it reports the same `filter` stage as
     /// [`Dataset::filter`].
-    pub fn filter_partitions(self, f: impl Fn(&mut Vec<T>) + Sync) -> Dataset<T> {
+    pub fn filter_partitions(self, f: impl Fn(&mut Vec<T>) + Sync) -> ExecResult<Dataset<T>> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
-        let (parts, busy) = run_partitions(&ctx, self.parts, |_, mut part| {
+        let (parts, busy) = run_partitions(&ctx, "filter", self.parts, |_, mut part| {
             f(&mut part);
             part
-        });
+        })?;
         ctx.record_stage(StageReport {
             operator: "filter",
             records_in,
@@ -159,7 +162,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Partition-at-a-time transform (narrow) with an explicit stage label:
@@ -171,11 +174,11 @@ impl<T: Data> Dataset<T> {
         self,
         label: &'static str,
         f: impl Fn(Vec<T>) -> Vec<U> + Sync,
-    ) -> Dataset<U> {
+    ) -> ExecResult<Dataset<U>> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
-        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| f(part));
+        let (parts, busy) = run_partitions(&ctx, label, self.parts, |_, part| f(part))?;
         ctx.record_stage(StageReport {
             operator: label,
             records_in,
@@ -183,7 +186,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Fused filter+transform (narrow): one pass per partition that drops
@@ -198,11 +201,11 @@ impl<T: Data> Dataset<T> {
         label: &'static str,
         pred: impl Fn(&T) -> bool + Sync,
         emit: impl Fn(T, &mut Vec<U>) + Sync,
-    ) -> Dataset<U> {
+    ) -> ExecResult<Dataset<U>> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
-        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
+        let (parts, busy) = run_partitions(&ctx, label, self.parts, |_, part| {
             let mut out = Vec::with_capacity(part.len());
             for t in part {
                 if pred(&t) {
@@ -210,7 +213,7 @@ impl<T: Data> Dataset<T> {
                 }
             }
             out
-        });
+        })?;
         ctx.record_stage(StageReport {
             operator: label,
             records_in,
@@ -218,7 +221,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Fused filter+fold (narrow): one pass per partition that folds the
@@ -235,10 +238,10 @@ impl<T: Data> Dataset<T> {
         zero: impl Fn() -> A + Sync,
         pred: impl Fn(&T) -> bool + Sync,
         fold: impl Fn(A, T) -> A + Sync,
-    ) -> Vec<A> {
+    ) -> ExecResult<Vec<A>> {
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
-        let (partials, busy) = run_partitions(&self.ctx, self.parts, |_, part| {
+        let (partials, busy) = run_partitions(&self.ctx, label, self.parts, |_, part| {
             let mut acc = zero();
             for t in part {
                 if pred(&t) {
@@ -246,7 +249,7 @@ impl<T: Data> Dataset<T> {
                 }
             }
             acc
-        });
+        })?;
         self.ctx.record_stage(StageReport {
             operator: label,
             records_in,
@@ -254,19 +257,19 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        partials
+        Ok(partials)
     }
 
     /// One-to-many transform (narrow) — Spark's `flatMap`, the physical
     /// translation of the algebra's Unnest. Per-worker busy time is
     /// recorded (unnesting a skewed group layout is where stragglers form).
-    pub fn flat_map<U: Data>(self, f: impl Fn(T) -> Vec<U> + Sync) -> Dataset<U> {
+    pub fn flat_map<U: Data>(self, f: impl Fn(T) -> Vec<U> + Sync) -> ExecResult<Dataset<U>> {
         let ctx = self.ctx;
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
-        let (parts, busy) = run_partitions(&ctx, self.parts, |_, part| {
+        let (parts, busy) = run_partitions(&ctx, "flat_map", self.parts, |_, part| {
             part.into_iter().flat_map(&f).collect::<Vec<U>>()
-        });
+        })?;
         ctx.record_stage(StageReport {
             operator: "flat_map",
             records_in,
@@ -274,13 +277,16 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Whole-partition transform (narrow) — Spark's `mapPartitions`, used by
     /// the Nest translation to apply per-group output/filter functions after
     /// the shuffle.
-    pub fn map_partitions<U: Data>(self, f: impl Fn(Vec<T>) -> Vec<U> + Sync) -> Dataset<U> {
+    pub fn map_partitions<U: Data>(
+        self,
+        f: impl Fn(Vec<T>) -> Vec<U> + Sync,
+    ) -> ExecResult<Dataset<U>> {
         self.transform_partitions("map_partitions", f)
     }
 
@@ -289,10 +295,11 @@ impl<T: Data> Dataset<T> {
     /// report, no shuffle accounting) for planner-side checks such as key
     /// type classification. For accounted statistics collection use
     /// [`Dataset::summarize_partitions`] instead.
-    pub fn probe_partitions<A: Data>(&self, f: impl Fn(&[T]) -> A + Sync) -> Vec<A> {
+    pub fn probe_partitions<A: Data>(&self, f: impl Fn(&[T]) -> A + Sync) -> ExecResult<Vec<A>> {
         let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
-        let (partials, _busy) = run_partitions(&self.ctx, refs, |_, part| f(part));
-        partials
+        let (partials, _busy) =
+            run_partitions(&self.ctx, "probe_partitions", refs, |_, part| f(part))?;
+        Ok(partials)
     }
 
     /// One-pass per-partition summarization: apply `f` to each whole
@@ -301,11 +308,15 @@ impl<T: Data> Dataset<T> {
     /// summary (a monoid) is computed where the data sits and only the
     /// per-partition partials travel to the driver, so the pass is charged
     /// one shuffled record per partition — nothing else moves.
-    pub fn summarize_partitions<A: Data>(&self, f: impl Fn(&[T]) -> A + Sync) -> Vec<A> {
+    pub fn summarize_partitions<A: Data>(
+        &self,
+        f: impl Fn(&[T]) -> A + Sync,
+    ) -> ExecResult<Vec<A>> {
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
         let start = Instant::now();
-        let (partials, busy) = run_partitions(&self.ctx, refs, |_, part| f(part));
+        let (partials, busy) =
+            run_partitions(&self.ctx, "summarize_partitions", refs, |_, part| f(part))?;
         self.ctx.charge_shuffle(partials.len() as u64);
         self.ctx.record_stage(StageReport {
             operator: "summarize_partitions",
@@ -314,7 +325,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        partials
+        Ok(partials)
     }
 
     /// Fold each partition into one accumulator (borrowed pass, like
@@ -331,17 +342,17 @@ impl<T: Data> Dataset<T> {
         label: &'static str,
         init: impl Fn() -> A + Sync,
         fold: impl Fn(&mut A, &T) + Sync,
-    ) -> Vec<A> {
+    ) -> ExecResult<Vec<A>> {
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let refs: Vec<&[T]> = self.parts.iter().map(|p| p.as_slice()).collect();
         let start = Instant::now();
-        let (partials, busy) = run_partitions(&self.ctx, refs, |_, part| {
+        let (partials, busy) = run_partitions(&self.ctx, label, refs, |_, part| {
             let mut acc = init();
             for t in part {
                 fold(&mut acc, t);
             }
             acc
-        });
+        })?;
         self.ctx.charge_shuffle(partials.len() as u64);
         self.ctx.record_stage(StageReport {
             operator: label,
@@ -350,7 +361,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        partials
+        Ok(partials)
     }
 
     /// Zip each partition with a parallel vector of per-record companions
@@ -400,15 +411,15 @@ impl<T: Data> Dataset<T> {
 /// caller-declared `records_in` — so a vectorized scan+filter reports the
 /// same `filter` stage shape (input rows, per-worker busy time, skew) as
 /// the row path it replaces.
-pub fn produce_partitions<S: Send, T: Data>(
+pub fn produce_partitions<S: Send + Clone, T: Data>(
     ctx: &Arc<ExecContext>,
     label: &'static str,
     records_in: u64,
     tasks: Vec<S>,
     f: impl Fn(S) -> Vec<T> + Sync,
-) -> Dataset<T> {
+) -> ExecResult<Dataset<T>> {
     let start = Instant::now();
-    let (parts, busy) = run_partitions(ctx, tasks, |_, task| f(task));
+    let (parts, busy) = run_partitions(ctx, label, tasks, |_, task| f(task))?;
     ctx.record_stage(StageReport {
         operator: label,
         records_in,
@@ -416,10 +427,10 @@ pub fn produce_partitions<S: Send, T: Data>(
         worker_busy_ns: busy,
         wall_ns: start.elapsed().as_nanos() as u64,
     });
-    Dataset {
+    Ok(Dataset {
         ctx: Arc::clone(ctx),
         parts,
-    }
+    })
 }
 
 /// [`Dataset::summarize_partitions`] over *borrowed* rows: chunks `rows`
@@ -432,7 +443,7 @@ pub fn summarize_rows<T: Sync, A: Data>(
     ctx: &Arc<ExecContext>,
     rows: &[T],
     f: impl Fn(&[T]) -> A + Sync,
-) -> Vec<A> {
+) -> ExecResult<Vec<A>> {
     let p = ctx.default_partitions();
     let chunk = rows.len().div_ceil(p).max(1);
     let mut refs: Vec<&[T]> = rows.chunks(chunk).collect();
@@ -440,7 +451,7 @@ pub fn summarize_rows<T: Sync, A: Data>(
         refs.push(&[]);
     }
     let start = Instant::now();
-    let (partials, busy) = run_partitions(ctx, refs, |_, part| f(part));
+    let (partials, busy) = run_partitions(ctx, "summarize_partitions", refs, |_, part| f(part))?;
     ctx.charge_shuffle(partials.len() as u64);
     ctx.record_stage(StageReport {
         operator: "summarize_partitions",
@@ -449,7 +460,7 @@ pub fn summarize_rows<T: Sync, A: Data>(
         worker_busy_ns: busy,
         wall_ns: start.elapsed().as_nanos() as u64,
     });
-    partials
+    Ok(partials)
 }
 
 /// [`summarize_rows`] over **several borrowed row batches in one accounted
@@ -463,7 +474,7 @@ pub fn summarize_batches<T: Sync, A: Data>(
     ctx: &Arc<ExecContext>,
     batches: &[&[T]],
     f: impl Fn(&[T]) -> A + Sync,
-) -> Vec<A> {
+) -> ExecResult<Vec<A>> {
     let total: usize = batches.iter().map(|b| b.len()).sum();
     let p = ctx.default_partitions();
     let chunk = total.div_ceil(p).max(1);
@@ -475,7 +486,7 @@ pub fn summarize_batches<T: Sync, A: Data>(
         refs.push(&[]);
     }
     let start = Instant::now();
-    let (partials, busy) = run_partitions(ctx, refs, |_, part| f(part));
+    let (partials, busy) = run_partitions(ctx, "summarize_partitions", refs, |_, part| f(part))?;
     ctx.charge_shuffle(partials.len() as u64);
     ctx.record_stage(StageReport {
         operator: "summarize_partitions",
@@ -484,7 +495,7 @@ pub fn summarize_batches<T: Sync, A: Data>(
         worker_busy_ns: busy,
         wall_ns: start.elapsed().as_nanos() as u64,
     });
-    partials
+    Ok(partials)
 }
 
 /// Merge per-partition partials **tree-wise on the worker pool**: each
@@ -500,7 +511,7 @@ pub fn merge_tree<A: Data>(
     ctx: &Arc<ExecContext>,
     mut partials: Vec<A>,
     merge: impl Fn(A, A) -> A + Sync,
-) -> Option<A> {
+) -> ExecResult<Option<A>> {
     while partials.len() > 1 {
         let mut pairs: Vec<Vec<A>> = Vec::with_capacity(partials.len().div_ceil(2));
         let mut it = partials.into_iter();
@@ -510,17 +521,16 @@ pub fn merge_tree<A: Data>(
                 None => pairs.push(vec![first]),
             }
         }
-        let (merged, _busy) = run_partitions(ctx, pairs, |_, pair| {
+        let (merged, _busy) = run_partitions(ctx, "merge_tree", pairs, |_, pair| {
             let mut it = pair.into_iter();
-            let first = it.next().expect("non-empty pair");
-            match it.next() {
-                Some(second) => merge(first, second),
-                None => first,
+            match (it.next(), it.next()) {
+                (Some(first), Some(second)) => Some(merge(first, second)),
+                (first, _) => first,
             }
-        });
-        partials = merged;
+        })?;
+        partials = merged.into_iter().flatten().collect();
     }
-    partials.into_iter().next()
+    Ok(partials.into_iter().next())
 }
 
 #[cfg(test)]
@@ -535,7 +545,8 @@ mod merge_tree_tests {
             let merged = merge_tree(&ctx, partials.clone(), |mut a, b| {
                 a.extend(b);
                 a
-            });
+            })
+            .unwrap();
             match n {
                 0 => assert!(merged.is_none()),
                 _ => {
@@ -552,7 +563,7 @@ mod merge_tree_tests {
     fn tree_merge_moves_no_records() {
         let ctx = ExecContext::new(2, 4);
         let before = ctx.metrics().snapshot().records_shuffled;
-        let out = merge_tree(&ctx, vec![1u64, 2, 3, 4, 5], |a, b| a + b);
+        let out = merge_tree(&ctx, vec![1u64, 2, 3, 4, 5], |a, b| a + b).unwrap();
         assert_eq!(out, Some(15));
         assert_eq!(ctx.metrics().snapshot().records_shuffled, before);
     }
@@ -566,7 +577,7 @@ mod summarize_rows_tests {
     fn borrowed_summaries_match_dataset_path() {
         let ctx = ExecContext::new(4, 8);
         let rows: Vec<u64> = (0..1000).collect();
-        let partials = summarize_rows(&ctx, &rows, |part| part.iter().sum::<u64>());
+        let partials = summarize_rows(&ctx, &rows, |part| part.iter().sum::<u64>()).unwrap();
         assert_eq!(partials.len(), 8);
         assert_eq!(partials.iter().sum::<u64>(), 999 * 1000 / 2);
         let stage = ctx.metrics().snapshot().stages.pop().unwrap();
@@ -579,7 +590,7 @@ mod summarize_rows_tests {
     fn empty_rows_still_yield_one_partial_per_partition() {
         let ctx = ExecContext::new(2, 4);
         let rows: Vec<u64> = vec![];
-        let partials = summarize_rows(&ctx, &rows, |part| part.len());
+        let partials = summarize_rows(&ctx, &rows, |part| part.len()).unwrap();
         assert_eq!(partials.len(), 4);
         assert!(partials.iter().all(|&n| n == 0));
     }
@@ -624,8 +635,11 @@ mod tests {
         let ds = Dataset::from_vec(&ctx(), (0..100).collect());
         let out = ds
             .map(|x| x * 2)
+            .unwrap()
             .filter(|x| x % 4 == 0)
+            .unwrap()
             .flat_map(|x| vec![x, x + 1])
+            .unwrap()
             .collect();
         assert_eq!(out.len(), 100);
         assert_eq!(out[0], 0);
@@ -635,7 +649,10 @@ mod tests {
     #[test]
     fn map_partitions_sees_whole_partition() {
         let ds = Dataset::from_vec(&ctx(), (0..8).collect());
-        let sums = ds.map_partitions(|p| vec![p.iter().sum::<i32>()]).collect();
+        let sums = ds
+            .map_partitions(|p| vec![p.iter().sum::<i32>()])
+            .unwrap()
+            .collect();
         assert_eq!(sums.len(), 4);
         assert_eq!(sums.iter().sum::<i32>(), 28);
     }
@@ -646,10 +663,13 @@ mod tests {
         let data: Vec<i32> = (0..100).collect();
         let separate = Dataset::from_vec(&c, data.clone())
             .filter(|x| x % 3 == 0)
+            .unwrap()
             .flat_map(|x| vec![x, -x])
+            .unwrap()
             .collect();
         let fused = Dataset::from_vec(&c, data)
             .filter_transform("fused", |x| x % 3 == 0, |x, out| out.extend([x, -x]))
+            .unwrap()
             .collect();
         assert_eq!(separate, fused);
         let stage = c.metrics().snapshot().stages.pop().unwrap();
@@ -662,12 +682,9 @@ mod tests {
         let c = ctx();
         let data: Vec<i64> = (0..1000).collect();
         let expected: i64 = data.iter().filter(|x| *x % 2 == 0).sum();
-        let partials = Dataset::from_vec(&c, data).filter_fold(
-            "fused_fold",
-            || 0i64,
-            |x| x % 2 == 0,
-            |acc, x| acc + x,
-        );
+        let partials = Dataset::from_vec(&c, data)
+            .filter_fold("fused_fold", || 0i64, |x| x % 2 == 0, |acc, x| acc + x)
+            .unwrap();
         assert_eq!(partials.len(), 4, "one partial per partition");
         assert_eq!(partials.iter().sum::<i64>(), expected);
     }
@@ -676,7 +693,9 @@ mod tests {
     fn filter_fold_empty_partitions_yield_zeros() {
         let c = ctx();
         let ds: Dataset<i64> = Dataset::from_vec(&c, vec![]);
-        let partials = ds.filter_fold("fused_fold", || 7i64, |_| true, |acc, x| acc + x);
+        let partials = ds
+            .filter_fold("fused_fold", || 7i64, |_| true, |acc, x| acc + x)
+            .unwrap();
         assert_eq!(partials, vec![7, 7, 7, 7]);
     }
 

@@ -14,10 +14,67 @@ pub enum ExecError {
         /// Budget that remained.
         remaining: u64,
     },
+    /// The query was cancelled from outside through its
+    /// [`crate::CancelToken`] while `operator` was running.
+    Cancelled {
+        /// The operator that observed the cancellation.
+        operator: &'static str,
+    },
+    /// The context's wall-clock deadline (see
+    /// [`crate::ExecContext::set_deadline`]) expired while `operator` was
+    /// running.
+    DeadlineExceeded {
+        /// The operator that observed the expired deadline.
+        operator: &'static str,
+    },
+    /// A partition task panicked and exhausted its configured retries
+    /// (see [`crate::ExecContext::set_retry_max`]). The process survives:
+    /// the pool catches the unwind, records the payload here, and stays
+    /// reusable.
+    PartitionPanic {
+        /// Index of the partition whose task panicked.
+        partition: usize,
+        /// The panic payload, rendered to a string.
+        cause: String,
+    },
+    /// A deterministic fault-injection arm (see [`crate::FaultPlan`]) fired
+    /// with [`crate::FaultKind::Error`] at the named site.
+    FaultInjected {
+        /// The injection site that fired.
+        site: &'static str,
+    },
     /// A value-level error surfaced inside an operator closure.
     Value(String),
     /// Any other invariant violation.
     Other(String),
+}
+
+impl ExecError {
+    /// True for errors caused by resource limits or external control
+    /// (cancellation, deadline, budget) rather than by the data or the
+    /// plan. Sessions use this to classify failures for exit codes.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            ExecError::BudgetExceeded { .. }
+                | ExecError::Cancelled { .. }
+                | ExecError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Stable machine-readable classification of the error, for failure
+    /// counters and structured reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecError::BudgetExceeded { .. } => "budget_exceeded",
+            ExecError::Cancelled { .. } => "cancelled",
+            ExecError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ExecError::PartitionPanic { .. } => "partition_panic",
+            ExecError::FaultInjected { .. } => "fault_injected",
+            ExecError::Value(_) => "value",
+            ExecError::Other(_) => "other",
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -32,6 +89,18 @@ impl fmt::Display for ExecError {
                 "work budget exceeded in {operator}: needed {needed} units, {remaining} remaining \
                  (the paper reports this as `unable to terminate`)"
             ),
+            ExecError::Cancelled { operator } => {
+                write!(f, "query cancelled while running {operator}")
+            }
+            ExecError::DeadlineExceeded { operator } => {
+                write!(f, "deadline exceeded while running {operator}")
+            }
+            ExecError::PartitionPanic { partition, cause } => {
+                write!(f, "partition {partition} task panicked: {cause}")
+            }
+            ExecError::FaultInjected { site } => {
+                write!(f, "injected fault at {site}")
+            }
             ExecError::Value(msg) => write!(f, "value error: {msg}"),
             ExecError::Other(msg) => write!(f, "{msg}"),
         }
@@ -48,3 +117,15 @@ impl From<cleanm_values::Error> for ExecError {
 
 /// Result alias for runtime operations.
 pub type ExecResult<T> = std::result::Result<T, ExecError>;
+
+/// Render a `catch_unwind` payload (usually a `&str` or `String` panic
+/// message) for error reporting.
+pub(crate) fn panic_cause(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

@@ -36,6 +36,7 @@ use std::time::Instant;
 use cleanm_values::{fx_hash, HASH_SEED};
 
 use crate::dataset::{Data, Dataset, Key};
+use crate::error::ExecResult;
 use crate::metrics::StageReport;
 use crate::pool::run_partitions;
 use crate::shuffle::scatter;
@@ -176,6 +177,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
     /// let pairs: Vec<(u32, u64)> = (0..100).map(|i| (i % 3, 1u64)).collect();
     /// let mut counts = Dataset::from_vec(&ctx, pairs)
     ///     .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+    ///     .unwrap()
     ///     .collect();
     /// counts.sort();
     /// assert_eq!(counts, vec![(0, 34), (1, 33), (2, 33)]);
@@ -185,7 +187,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
         init: impl Fn() -> A + Sync,
         fold: impl Fn(&mut A, V) + Sync,
         merge: impl Fn(&mut A, A) + Sync,
-    ) -> Dataset<(K, A)> {
+    ) -> ExecResult<Dataset<(K, A)>> {
         self.group_fold(
             "aggregate_by_key_fold",
             |_| true,
@@ -216,14 +218,14 @@ impl<T: Data> Dataset<T> {
         init: impl Fn() -> A + Sync,
         fold: impl Fn(&mut A, V) + Sync,
         merge: impl Fn(&mut A, A) + Sync,
-    ) -> Dataset<(K, A)> {
+    ) -> ExecResult<Dataset<(K, A)>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
 
         // Map-side fold: pairs land in the table as they are emitted.
-        let (combined, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
+        let (combined, mut busy) = run_partitions(&ctx, label, self.parts, |_, part| {
             let mut table: FoldTable<K, A> = FoldTable::default();
             let mut pairs: Vec<(K, V)> = Vec::new();
             for t in part {
@@ -236,14 +238,16 @@ impl<T: Data> Dataset<T> {
                 }
             }
             table.into_iter().collect::<Vec<_>>()
-        });
+        })?;
 
         // Only the per-partition partials cross the shuffle, routed by
         // their carried hashes.
         let partials: u64 = combined.iter().map(|p| p.len() as u64).sum();
         ctx.charge_shuffle(partials);
-        let shuffled = scatter(combined, n, |(hk, _): &(HashedKey<K>, A)| hk.target(n));
-        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, part| {
+        let shuffled = scatter(&ctx, combined, n, |(hk, _): &(HashedKey<K>, A)| {
+            hk.target(n)
+        })?;
+        let (parts, busy2) = run_partitions(&ctx, label, shuffled, |_, part| {
             let mut table: FoldTable<K, A> = FoldTable::default();
             table.reserve(part.len());
             for (hk, a) in part {
@@ -253,7 +257,7 @@ impl<T: Data> Dataset<T> {
                 .into_iter()
                 .map(|(hk, a)| (hk.key, a))
                 .collect::<Vec<_>>()
-        });
+        })?;
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
@@ -264,7 +268,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Fold-based grouping under the **hash-shuffle** strategy
@@ -280,13 +284,13 @@ impl<T: Data> Dataset<T> {
         emit: impl Fn(T, &mut Vec<(K, V)>) + Sync,
         init: impl Fn() -> A + Sync,
         fold: impl Fn(&mut A, V) + Sync,
-    ) -> Dataset<(K, A)> {
+    ) -> ExecResult<Dataset<(K, A)>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
 
-        let (pair_parts, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
+        let (pair_parts, mut busy) = run_partitions(&ctx, label, self.parts, |_, part| {
             let mut out: Vec<(HashedKey<K>, V)> = Vec::with_capacity(part.len());
             let mut pairs: Vec<(K, V)> = Vec::new();
             for t in part {
@@ -297,11 +301,13 @@ impl<T: Data> Dataset<T> {
                 out.extend(pairs.drain(..).map(|(k, v)| (HashedKey::new(k), v)));
             }
             out
-        });
+        })?;
         let moved: u64 = pair_parts.iter().map(|p| p.len() as u64).sum();
         ctx.charge_shuffle(moved);
-        let shuffled = scatter(pair_parts, n, |(hk, _): &(HashedKey<K>, V)| hk.target(n));
-        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, part| {
+        let shuffled = scatter(&ctx, pair_parts, n, |(hk, _): &(HashedKey<K>, V)| {
+            hk.target(n)
+        })?;
+        let (parts, busy2) = run_partitions(&ctx, label, shuffled, |_, part| {
             let mut table: FoldTable<K, A> = FoldTable::default();
             for (hk, v) in part {
                 fold_into(&mut table, hk, v, &init, &fold);
@@ -310,7 +316,7 @@ impl<T: Data> Dataset<T> {
                 .into_iter()
                 .map(|(hk, a)| (hk.key, a))
                 .collect::<Vec<_>>()
-        });
+        })?;
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
@@ -321,7 +327,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Fold-based grouping under the **sort-shuffle** strategy (Spark SQL):
@@ -337,13 +343,13 @@ impl<T: Data> Dataset<T> {
         emit: impl Fn(T, &mut Vec<(K, V)>) + Sync,
         init: impl Fn() -> A + Sync,
         fold: impl Fn(&mut A, V) + Sync,
-    ) -> Dataset<(K, A)> {
+    ) -> ExecResult<Dataset<(K, A)>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records_in: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
 
-        let (pair_parts, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
+        let (pair_parts, mut busy) = run_partitions(&ctx, label, self.parts, |_, part| {
             let mut out: Vec<(K, V)> = Vec::with_capacity(part.len());
             let mut pairs: Vec<(K, V)> = Vec::new();
             for t in part {
@@ -354,7 +360,7 @@ impl<T: Data> Dataset<T> {
                 out.append(&mut pairs);
             }
             out
-        });
+        })?;
         let moved: u64 = pair_parts.iter().map(|p| p.len() as u64).sum();
         ctx.charge_shuffle(moved);
 
@@ -370,10 +376,10 @@ impl<T: Data> Dataset<T> {
             .filter_map(|i| sample.get(i * sample.len() / n).cloned())
             .collect();
 
-        let shuffled = scatter(pair_parts, n, |(k, _): &(K, V)| {
+        let shuffled = scatter(&ctx, pair_parts, n, |(k, _): &(K, V)| {
             bounds.partition_point(|b| b <= k)
-        });
-        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, mut part| {
+        })?;
+        let (parts, busy2) = run_partitions(&ctx, label, shuffled, |_, mut part| {
             part.sort_by(|(a, _), (b, _)| a.cmp(b));
             let mut out: Vec<(K, A)> = Vec::new();
             for (k, v) in part {
@@ -387,7 +393,7 @@ impl<T: Data> Dataset<T> {
                 }
             }
             out
-        });
+        })?;
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
@@ -398,7 +404,7 @@ impl<T: Data> Dataset<T> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 }
 
@@ -430,12 +436,15 @@ mod tests {
         let c = ctx();
         let folded: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
             .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
         let materialized: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
             .group_by_key_local()
+            .unwrap()
             .map(|(k, vs)| (k, vs.iter().sum::<u64>()))
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -456,16 +465,19 @@ mod tests {
                 |a, v| *a += v,
                 |a, b| *a += b,
             )
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
         let hash: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
             .group_fold_hash("gfh", |_| true, emit, || 0u64, |a, v| *a += v)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
         let sorted: BTreeMap<u32, u64> = Dataset::from_vec(&c, pairs())
             .group_fold_sorted("gfs", |_| true, emit, || 0u64, |a, v| *a += v)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -481,6 +493,7 @@ mod tests {
         let c = ExecContext::new(4, 4);
         let out = Dataset::from_vec(&c, data)
             .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect();
         assert_eq!(out.len(), 10);
         let snap = c.metrics().snapshot();
@@ -508,6 +521,7 @@ mod tests {
                 |a, v| *a += v,
                 |a, b| *a += b,
             )
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -529,10 +543,13 @@ mod tests {
                 |a, v: String| a.push_str(&v),
                 |a, b| a.push_str(&b),
             )
+            .unwrap()
             .collect();
         let materialized = Dataset::from_vec(&c, data)
             .group_by_key_local()
+            .unwrap()
             .map(|(k, vs)| (k, vs.concat()))
+            .unwrap()
             .collect();
         assert_eq!(folded, materialized);
     }
@@ -543,11 +560,13 @@ mod tests {
         let empty: Vec<(u32, u64)> = vec![];
         assert!(Dataset::from_vec(&c, empty)
             .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect()
             .is_empty());
         let single = Dataset::from_partitions(&c, vec![vec![(1u32, 2u64), (1, 3)]]);
         let out = single
             .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect();
         assert_eq!(out, vec![(1, 5)]);
     }
@@ -563,6 +582,7 @@ mod tests {
         let c = ExecContext::new(4, 4);
         let out: BTreeMap<u32, u64> = Dataset::from_vec(&c, data)
             .aggregate_by_key_fold(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use crate::dataset::{Data, Dataset, Key};
+use crate::error::ExecResult;
 use crate::metrics::StageReport;
 use crate::pool::run_partitions;
 
@@ -20,26 +21,26 @@ type ZippedParts<K, V, W> = Vec<(Vec<(K, V)>, Vec<(K, W)>)>;
 fn co_partition<K: Key, V: Data, W: Data>(
     left: Dataset<(K, V)>,
     right: Dataset<(K, W)>,
-) -> (Dataset<(K, V)>, Dataset<(K, W)>) {
+) -> ExecResult<(Dataset<(K, V)>, Dataset<(K, W)>)> {
     assert!(
         std::sync::Arc::ptr_eq(&left.ctx, &right.ctx),
         "join across different contexts"
     );
-    let l = left.repartition_by_hash(|(k, _)| k.clone());
-    let r = right.repartition_by_hash(|(k, _)| k.clone());
-    (l, r)
+    let l = left.repartition_by_hash(|(k, _)| k.clone())?;
+    let r = right.repartition_by_hash(|(k, _)| k.clone())?;
+    Ok((l, r))
 }
 
 impl<K: Key, V: Data> Dataset<(K, V)> {
     /// Hash inner equi-join.
-    pub fn join_hash<W: Data>(self, right: Dataset<(K, W)>) -> Dataset<(K, V, W)> {
+    pub fn join_hash<W: Data>(self, right: Dataset<(K, W)>) -> ExecResult<Dataset<(K, V, W)>> {
         let start = Instant::now();
-        let (l, r) = co_partition(self, right);
+        let (l, r) = co_partition(self, right)?;
         let ctx = l.ctx.clone();
         let records_in: u64 = (l.count() + r.count()) as u64;
 
         let zipped: ZippedParts<K, V, W> = l.parts.into_iter().zip(r.parts).collect();
-        let (parts, busy) = run_partitions(&ctx, zipped, |_, (lp, rp)| {
+        let (parts, busy) = run_partitions(&ctx, "join_hash", zipped, |_, (lp, rp)| {
             let mut build: HashMap<K, Vec<W>> = HashMap::new();
             for (k, w) in rp {
                 build.entry(k).or_default().push(w);
@@ -53,7 +54,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
                 }
             }
             out
-        });
+        })?;
         ctx.record_stage(StageReport {
             operator: "join_hash",
             records_in,
@@ -61,15 +62,18 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Hash left outer equi-join: unmatched left rows appear with `None`.
-    pub fn left_outer_join<W: Data>(self, right: Dataset<(K, W)>) -> Dataset<(K, V, Option<W>)> {
-        let (l, r) = co_partition(self, right);
+    pub fn left_outer_join<W: Data>(
+        self,
+        right: Dataset<(K, W)>,
+    ) -> ExecResult<Dataset<(K, V, Option<W>)>> {
+        let (l, r) = co_partition(self, right)?;
         let ctx = l.ctx.clone();
         let zipped: ZippedParts<K, V, W> = l.parts.into_iter().zip(r.parts).collect();
-        let (parts, _) = run_partitions(&ctx, zipped, |_, (lp, rp)| {
+        let (parts, _) = run_partitions(&ctx, "left_outer_join", zipped, |_, (lp, rp)| {
             let mut build: HashMap<K, Vec<W>> = HashMap::new();
             for (k, w) in rp {
                 build.entry(k).or_default().push(w);
@@ -86,20 +90,21 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
                 }
             }
             out
-        });
-        Dataset { ctx, parts }
+        })?;
+        Ok(Dataset { ctx, parts })
     }
 
     /// Hash full outer equi-join: every key from either side appears;
     /// unmatched sides are `None`.
+    #[allow(clippy::type_complexity)]
     pub fn full_outer_join<W: Data>(
         self,
         right: Dataset<(K, W)>,
-    ) -> Dataset<(K, Option<V>, Option<W>)> {
-        let (l, r) = co_partition(self, right);
+    ) -> ExecResult<Dataset<(K, Option<V>, Option<W>)>> {
+        let (l, r) = co_partition(self, right)?;
         let ctx = l.ctx.clone();
         let zipped: ZippedParts<K, V, W> = l.parts.into_iter().zip(r.parts).collect();
-        let (parts, _) = run_partitions(&ctx, zipped, |_, (lp, rp)| {
+        let (parts, _) = run_partitions(&ctx, "full_outer_join", zipped, |_, (lp, rp)| {
             let mut build: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
             for (k, v) in lp {
                 build.entry(k).or_default().0.push(v);
@@ -131,8 +136,8 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
                 }
             }
             out
-        });
-        Dataset { ctx, parts }
+        })?;
+        Ok(Dataset { ctx, parts })
     }
 }
 
@@ -151,7 +156,7 @@ mod tests {
         let c = ctx();
         let l = Dataset::from_vec(&c, vec![(1, "a"), (2, "b"), (3, "c"), (2, "b2")]);
         let r = Dataset::from_vec(&c, vec![(2, 20), (3, 30), (4, 40), (2, 21)]);
-        let mut out = l.join_hash(r).collect();
+        let mut out = l.join_hash(r).unwrap().collect();
         out.sort();
         assert_eq!(
             out,
@@ -170,7 +175,7 @@ mod tests {
         let c = ctx();
         let l = Dataset::from_vec(&c, vec![(1, "a"), (2, "b")]);
         let r = Dataset::from_vec(&c, vec![(2, 20)]);
-        let mut out = l.left_outer_join(r).collect();
+        let mut out = l.left_outer_join(r).unwrap().collect();
         out.sort();
         assert_eq!(out, vec![(1, "a", None), (2, "b", Some(20))]);
     }
@@ -180,7 +185,7 @@ mod tests {
         let c = ctx();
         let l = Dataset::from_vec(&c, vec![(1, "a"), (2, "b")]);
         let r = Dataset::from_vec(&c, vec![(2, 20), (3, 30)]);
-        let mut out = l.full_outer_join(r).collect();
+        let mut out = l.full_outer_join(r).unwrap().collect();
         out.sort_by_key(|(k, _, _)| *k);
         assert_eq!(
             out,
@@ -197,7 +202,7 @@ mod tests {
         let c = ctx();
         let l: Dataset<(u32, u32)> = Dataset::from_vec(&c, vec![]);
         let r = Dataset::from_vec(&c, vec![(1u32, 1u32)]);
-        assert!(l.clone().join_hash(r.clone()).collect().is_empty());
-        assert_eq!(l.full_outer_join(r).collect().len(), 1);
+        assert!(l.clone().join_hash(r.clone()).unwrap().collect().is_empty());
+        assert_eq!(l.full_outer_join(r).unwrap().collect().len(), 1);
     }
 }

@@ -34,6 +34,7 @@
 mod context;
 mod dataset;
 mod error;
+mod faults;
 mod fold;
 mod join;
 mod metrics;
@@ -41,9 +42,10 @@ mod pool;
 mod shuffle;
 pub mod theta;
 
-pub use context::ExecContext;
+pub use context::{CancelToken, ExecContext};
 pub use dataset::{
     merge_tree, produce_partitions, summarize_batches, summarize_rows, Data, Dataset, Key,
 };
 pub use error::{ExecError, ExecResult};
+pub use faults::{FaultArm, FaultKind, FaultPlan, FaultSite};
 pub use metrics::{ExecMetrics, MetricsSnapshot, StageReport};

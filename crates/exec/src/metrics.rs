@@ -30,7 +30,8 @@ impl StageReport {
     /// mean one straggler dominated. Because idle (zero-busy) workers are
     /// excluded from the mean, this metric understates skew when most
     /// workers never got a partition — pair it with [`Self::idle_fraction`],
-    /// which counts them.
+    /// which counts them. A stage with no busy workers at all (zero-worker
+    /// or empty snapshot) has no skew to report and returns 0.0.
     pub fn imbalance(&self) -> f64 {
         let busy: Vec<u64> = self
             .worker_busy_ns
@@ -38,15 +39,14 @@ impl StageReport {
             .copied()
             .filter(|&b| b > 0)
             .collect();
-        if busy.is_empty() {
-            return 1.0;
-        }
-        let max = *busy.iter().max().unwrap() as f64;
+        let Some(&max) = busy.iter().max() else {
+            return 0.0;
+        };
         let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
         if mean == 0.0 {
-            1.0
+            0.0
         } else {
-            max / mean
+            max as f64 / mean
         }
     }
 
@@ -71,6 +71,9 @@ impl StageReport {
 pub struct ExecMetrics {
     records_shuffled: AtomicU64,
     comparisons: AtomicU64,
+    partition_retries: AtomicU64,
+    partition_panics: AtomicU64,
+    faults_injected: AtomicU64,
     stages: Mutex<Vec<StageReport>>,
 }
 
@@ -81,6 +84,22 @@ impl ExecMetrics {
 
     pub fn add_comparisons(&self, n: u64) {
         self.comparisons.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count a panicked partition task being re-run by the pool.
+    pub fn add_partition_retries(&self, n: u64) {
+        self.partition_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count a partition task panic caught by the pool (whether or not a
+    /// retry followed).
+    pub fn add_partition_panics(&self, n: u64) {
+        self.partition_panics.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count a fault-injection arm firing (any kind, any site).
+    pub fn add_faults_injected(&self, n: u64) {
+        self.faults_injected.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn push_stage(&self, report: StageReport) {
@@ -105,6 +124,9 @@ impl ExecMetrics {
         MetricsSnapshot {
             records_shuffled: self.records_shuffled.load(Ordering::Relaxed),
             comparisons: self.comparisons.load(Ordering::Relaxed),
+            partition_retries: self.partition_retries.load(Ordering::Relaxed),
+            partition_panics: self.partition_panics.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
             stages: self.stages.lock().clone(),
         }
     }
@@ -113,6 +135,9 @@ impl ExecMetrics {
     pub fn reset(&self) {
         self.records_shuffled.store(0, Ordering::Relaxed);
         self.comparisons.store(0, Ordering::Relaxed);
+        self.partition_retries.store(0, Ordering::Relaxed);
+        self.partition_panics.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
         self.stages.lock().clear();
     }
 }
@@ -122,6 +147,12 @@ impl ExecMetrics {
 pub struct MetricsSnapshot {
     pub records_shuffled: u64,
     pub comparisons: u64,
+    /// Panicked partition tasks re-run by the pool.
+    pub partition_retries: u64,
+    /// Partition task panics caught by the pool.
+    pub partition_panics: u64,
+    /// Fault-injection arms fired (chaos runs only; 0 in production).
+    pub faults_injected: u64,
     pub stages: Vec<StageReport>,
 }
 
@@ -167,11 +198,31 @@ mod tests {
             ..r.clone()
         };
         assert!((skewed.imbalance() - 400.0 / 175.0).abs() < 1e-9);
+        // A zero-worker/empty-busy snapshot has no skew: 0.0, not a panic.
         let empty = StageReport {
             worker_busy_ns: vec![],
+            ..r.clone()
+        };
+        assert_eq!(empty.imbalance(), 0.0);
+        let all_idle = StageReport {
+            worker_busy_ns: vec![0, 0],
             ..r
         };
-        assert_eq!(empty.imbalance(), 1.0);
+        assert_eq!(all_idle.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_reset() {
+        let m = ExecMetrics::default();
+        m.add_partition_retries(2);
+        m.add_partition_panics(3);
+        m.add_faults_injected(4);
+        let s = m.snapshot();
+        assert_eq!(s.partition_retries, 2);
+        assert_eq!(s.partition_panics, 3);
+        assert_eq!(s.faults_injected, 4);
+        m.reset();
+        assert_eq!(m.snapshot().partition_panics, 0);
     }
 
     #[test]

@@ -6,24 +6,113 @@
 //! skew *visible* — a single oversized partition pins one worker while the
 //! others drain the rest and then idle, so wall-clock approaches the cost of
 //! the heaviest partition, as on a real cluster.
+//!
+//! The runner is also the fault boundary of the whole engine:
+//!
+//! * every partition claim is a cooperative **cancellation/deadline check**
+//!   ([`ExecContext::check_interrupt`]);
+//! * every task runs under **`catch_unwind`** — a panicking closure fails
+//!   the *query* with [`ExecError::PartitionPanic`], never the process, and
+//!   the pool stays reusable;
+//! * a panic that strikes **before the task claims its input** — the
+//!   modeled transient machine-failure class, where the fault-injection
+//!   site fires — is **retried** up to [`ExecContext::retry_max`] times,
+//!   deterministically, by replaying the still-intact input. A panic
+//!   raised mid-computation consumed its input and would replay the same
+//!   deterministic failure, so it surfaces typed instead of retrying;
+//!   either way the input is never cloned, so armed retries cost nothing
+//!   on the clean path;
+//! * the partition-start **fault-injection site** fires here (chaos tests).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use crate::context::ExecContext;
+use crate::error::{ExecError, ExecResult};
+use crate::faults::FaultSite;
+
+use crate::error::panic_cause;
+
+/// Run one partition task to completion, through the fault-injection site,
+/// panic isolation, and the retry loop. Returns the task's result or the
+/// typed error that ends the query.
+fn run_one<P, R>(
+    ctx: &ExecContext,
+    operator: &'static str,
+    i: usize,
+    slot: &Mutex<Option<P>>,
+    f: &(impl Fn(usize, P) -> R + Sync),
+) -> ExecResult<R>
+where
+    P: Send,
+{
+    let retry_max = ctx.retry_max();
+    let mut attempt: u32 = 0;
+    loop {
+        ctx.check_interrupt(operator)?;
+        // The input stays in its slot until the fault-injection point has
+        // passed: a panicking arm leaves the slot intact, so the retry
+        // replays the original input without the clean path (or the armed
+        // but quiet path) ever paying for a backup clone.
+        let outcome = catch_unwind(AssertUnwindSafe(|| -> ExecResult<R> {
+            ctx.fault_point(FaultSite::PartitionStart, i as u64, attempt)?;
+            let input = slot.lock().take().ok_or_else(|| {
+                ExecError::Other(format!("partition {i} claimed twice in {operator}"))
+            })?;
+            Ok(f(i, input))
+        }));
+        match outcome {
+            Ok(Ok(r)) => return Ok(r),
+            // Typed errors (cancellation, budget, injected errors) are
+            // deterministic — retrying cannot help, propagate immediately.
+            Ok(Err(e)) => return Err(e),
+            Err(payload) => {
+                let cause = panic_cause(payload);
+                ctx.metrics().add_partition_panics(1);
+                if ctx.tracer().is_enabled() {
+                    ctx.tracer().event(
+                        "partition_panic",
+                        format!("{operator} partition {i} attempt {attempt}: {cause}"),
+                    );
+                }
+                // Retry only while the input survived the panic — a fault
+                // before the claim is the replayable transient class. A
+                // panic mid-`f` destroyed its input, and a deterministic
+                // logic panic would fail identically on replay anyway.
+                if attempt < retry_max && slot.lock().is_some() {
+                    attempt += 1;
+                    ctx.metrics().add_partition_retries(1);
+                    continue;
+                }
+                return Err(ExecError::PartitionPanic {
+                    partition: i,
+                    cause,
+                });
+            }
+        }
+    }
+}
 
 /// Apply `f` to every partition in parallel; returns one result per
 /// partition (in partition order) plus per-worker busy nanoseconds. `P` is
 /// whatever a "partition" is for the caller — a `Vec<T>` of rows for narrow
 /// operators, a pair of co-partitioned vectors for joins, a set of matrix
 /// cells for theta joins.
+///
+/// On failure (cancellation, expired deadline, a partition panic that
+/// exhausted its retries, or a typed error from a fault arm) the first
+/// error **by partition order** is returned: in-flight partitions finish,
+/// unclaimed ones are skipped, and the error a caller sees does not depend
+/// on worker scheduling.
 pub(crate) fn run_partitions<P, R>(
     ctx: &ExecContext,
+    operator: &'static str,
     parts: Vec<P>,
     f: impl Fn(usize, P) -> R + Sync,
-) -> (Vec<R>, Vec<u64>)
+) -> ExecResult<(Vec<R>, Vec<u64>)>
 where
     P: Send,
     R: Send,
@@ -35,13 +124,29 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let busy: Vec<Mutex<u64>> = (0..workers).map(|_| Mutex::new(0)).collect();
+    // First failure by partition index; once set, workers stop claiming.
+    let failed = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, ExecError)>> = Mutex::new(None);
+    let record_failure = |i: usize, e: ExecError| {
+        let mut slot = failure.lock();
+        match &*slot {
+            Some((j, _)) if *j <= i => {}
+            _ => *slot = Some((i, e)),
+        }
+        failed.store(true, Ordering::Relaxed);
+    };
 
     if workers <= 1 {
         // Fast path: no threads.
         let start = Instant::now();
-        for i in 0..n {
-            let part = slots[i].lock().take().expect("unclaimed partition");
-            *results[i].lock() = Some(f(i, part));
+        for (i, slot) in slots.iter().enumerate() {
+            match run_one(ctx, operator, i, slot, &f) {
+                Ok(r) => *results[i].lock() = Some(r),
+                Err(e) => {
+                    record_failure(i, e);
+                    break;
+                }
+            }
         }
         if !busy.is_empty() {
             *busy[0].lock() = start.elapsed().as_nanos() as u64;
@@ -54,18 +159,24 @@ where
                 let next = &next;
                 let busy = &busy;
                 let f = &f;
+                let failed = &failed;
+                let record_failure = &record_failure;
                 scope.spawn(move || {
                     let mut local_busy = 0u64;
                     loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        let part = slots[i].lock().take().expect("unclaimed partition");
                         let start = Instant::now();
-                        let r = f(i, part);
+                        match run_one(ctx, operator, i, &slots[i], f) {
+                            Ok(r) => *results[i].lock() = Some(r),
+                            Err(e) => record_failure(i, e),
+                        }
                         local_busy += start.elapsed().as_nanos() as u64;
-                        *results[i].lock() = Some(r);
                     }
                     *busy[w].lock() = local_busy;
                 });
@@ -73,23 +184,34 @@ where
         });
     }
 
+    if let Some((_, e)) = failure.into_inner() {
+        return Err(e);
+    }
     let out: Vec<R> = results
         .into_iter()
-        .map(|m| m.into_inner().expect("partition result missing"))
-        .collect();
+        .enumerate()
+        .map(|(i, m)| {
+            m.into_inner()
+                .ok_or_else(|| ExecError::Other(format!("partition {i} produced no result")))
+        })
+        .collect::<ExecResult<_>>()?;
     let busy_ns: Vec<u64> = busy.into_iter().map(|m| m.into_inner()).collect();
-    (out, busy_ns)
+    Ok((out, busy_ns))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan};
+    use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn results_keep_partition_order() {
         let ctx = ExecContext::new(4, 8);
         let parts: Vec<Vec<u32>> = (0..8).map(|i| vec![i as u32; i + 1]).collect();
-        let (sums, busy) = run_partitions(&ctx, parts, |_, p| p.iter().sum::<u32>());
+        let (sums, busy) =
+            run_partitions(&ctx, "test", parts, |_, p| p.iter().sum::<u32>()).unwrap();
         // partition i holds (i+1) copies of i, so its sum is i*(i+1).
         assert_eq!(sums, vec![0, 2, 6, 12, 20, 30, 42, 56]);
         assert_eq!(busy.len(), 4);
@@ -98,7 +220,8 @@ mod tests {
     #[test]
     fn single_worker_path() {
         let ctx = ExecContext::new(1, 2);
-        let (out, busy) = run_partitions(&ctx, vec![vec![1], vec![2, 3]], |i, p| (i, p.len()));
+        let (out, busy) =
+            run_partitions(&ctx, "test", vec![vec![1], vec![2, 3]], |i, p| (i, p.len())).unwrap();
         assert_eq!(out, vec![(0, 1), (1, 2)]);
         assert_eq!(busy.len(), 1);
     }
@@ -106,7 +229,8 @@ mod tests {
     #[test]
     fn empty_input() {
         let ctx = ExecContext::new(4, 4);
-        let (out, _) = run_partitions::<Vec<u32>, usize>(&ctx, vec![], |_, p| p.len());
+        let (out, _) =
+            run_partitions::<Vec<u32>, usize>(&ctx, "test", vec![], |_, p| p.len()).unwrap();
         assert!(out.is_empty());
     }
 
@@ -116,14 +240,112 @@ mod tests {
         // One partition 100x heavier.
         let mut parts = vec![vec![1u64; 2_000]; 4];
         parts[0] = vec![1u64; 200_000];
-        let (_, busy) = run_partitions(&ctx, parts, |_, p| {
+        let (_, busy) = run_partitions(&ctx, "test", parts, |_, p| {
             // Busy-ish loop proportional to partition size.
             p.iter()
                 .map(|x| x.wrapping_mul(31).wrapping_add(7))
                 .sum::<u64>()
-        });
-        let max = *busy.iter().max().unwrap();
+        })
+        .unwrap();
+        let max = busy.iter().max().copied().unwrap_or(0);
         let min = *busy.iter().filter(|&&b| b > 0).min().unwrap_or(&max);
         assert!(max >= min, "straggler should dominate: {busy:?}");
+    }
+
+    #[test]
+    fn panic_is_isolated_and_pool_stays_reusable() {
+        let ctx = ExecContext::new(4, 4);
+        let parts: Vec<Vec<u32>> = (0..4).map(|i| vec![i]).collect();
+        let err = run_partitions(&ctx, "test", parts.clone(), |i, p: Vec<u32>| {
+            if i == 2 {
+                panic!("boom at {i}");
+            }
+            p.len()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::PartitionPanic {
+                partition: 2,
+                cause: "boom at 2".into()
+            }
+        );
+        assert_eq!(ctx.metrics().snapshot().partition_panics, 1);
+        // The pool (and context) run the next query normally.
+        let (out, _) = run_partitions(&ctx, "test", parts, |_, p| p.len()).unwrap();
+        assert_eq!(out, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn retry_replays_a_panicked_partition() {
+        let ctx = ExecContext::new(2, 4);
+        ctx.set_retry_max(2);
+        // Fault arm: partition 1 panics on its first attempt only.
+        ctx.set_fault_plan(Some(Arc::new(FaultPlan::new().arm(
+            FaultSite::PartitionStart,
+            1,
+            FaultKind::Panic,
+            1,
+        ))));
+        let parts: Vec<Vec<u32>> = (0..4).map(|i| vec![i, i + 10]).collect();
+        let (out, _) = run_partitions(&ctx, "test", parts, |_, p| p.iter().sum::<u32>()).unwrap();
+        assert_eq!(out, vec![10, 12, 14, 16]);
+        let snap = ctx.metrics().snapshot();
+        assert_eq!(snap.partition_panics, 1);
+        assert_eq!(snap.partition_retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_panic() {
+        let ctx = ExecContext::new(2, 4);
+        ctx.set_retry_max(2);
+        ctx.set_fault_plan(Some(Arc::new(FaultPlan::new().arm(
+            FaultSite::PartitionStart,
+            0,
+            FaultKind::Panic,
+            u32::MAX,
+        ))));
+        let parts: Vec<Vec<u32>> = (0..2).map(|i| vec![i]).collect();
+        let err = run_partitions(&ctx, "test", parts, |_, p| p.len()).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::PartitionPanic { partition: 0, .. }
+        ));
+        assert_eq!(ctx.metrics().snapshot().partition_retries, 2);
+    }
+
+    #[test]
+    fn cancel_stops_the_sweep() {
+        let ctx = ExecContext::new(2, 4);
+        ctx.cancel_token().cancel();
+        let parts: Vec<Vec<u32>> = (0..64).map(|i| vec![i]).collect();
+        let err = run_partitions(&ctx, "test", parts, |_, p| p.len()).unwrap_err();
+        assert_eq!(err, ExecError::Cancelled { operator: "test" });
+        ctx.reset_cancel();
+    }
+
+    #[test]
+    fn first_error_by_partition_order_wins() {
+        let ctx = ExecContext::new(4, 8);
+        // Error arms on two partitions: the lower index must surface.
+        ctx.set_fault_plan(Some(Arc::new(
+            FaultPlan::new()
+                .arm(FaultSite::PartitionStart, 6, FaultKind::Error, u32::MAX)
+                .arm(FaultSite::PartitionStart, 3, FaultKind::Error, u32::MAX),
+        )));
+        for _ in 0..8 {
+            let parts: Vec<Vec<u32>> = (0..8).map(|i| vec![i]).collect();
+            let err = run_partitions(&ctx, "test", parts, |_, p| {
+                std::thread::sleep(Duration::from_micros(200));
+                p.len()
+            })
+            .unwrap_err();
+            assert_eq!(
+                err,
+                ExecError::FaultInjected {
+                    site: "partition_start"
+                }
+            );
+        }
     }
 }

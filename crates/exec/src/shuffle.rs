@@ -20,7 +20,10 @@ use std::time::Instant;
 
 use cleanm_values::{fx_hash, HASH_SEED};
 
+use crate::context::ExecContext;
 use crate::dataset::{Data, Dataset, Key};
+use crate::error::ExecResult;
+use crate::faults::FaultSite;
 use crate::metrics::StageReport;
 use crate::pool::run_partitions;
 
@@ -40,77 +43,89 @@ pub(crate) fn hash_partition<K: Hash + ?Sized>(key: &K, partitions: usize) -> us
 /// reallocate on uniform keys), and a single input partition returns its
 /// local buckets directly — its records are already grouped by target, so
 /// the concatenation copy is skipped entirely.
+///
+/// This is a cooperative interrupt point and the shuffle-scatter fault
+/// site: the whole region runs under the context's driver panic guard, so
+/// an injected (or genuine) panic here fails the query, not the process.
 pub(crate) fn scatter<T: Data>(
+    ctx: &ExecContext,
     parts: Vec<Vec<T>>,
     partitions: usize,
     assign: impl Fn(&T) -> usize + Sync,
-) -> Vec<Vec<T>> {
-    // Per input partition, bucket locally (parallel), then concatenate by
-    // target — mimicking map-side shuffle files + reduce-side fetch.
-    let mut buckets: Vec<Vec<Vec<T>>> = parts
-        .into_iter()
-        .map(|part| {
-            let per_target = part.len() / partitions + 1;
-            let mut local: Vec<Vec<T>> = (0..partitions)
-                .map(|_| Vec::with_capacity(per_target))
-                .collect();
-            for t in part {
-                let target = assign(&t).min(partitions - 1);
-                local[target].push(t);
+) -> ExecResult<Vec<Vec<T>>> {
+    ctx.check_interrupt("shuffle")?;
+    ctx.catch_driver("shuffle scatter", move || {
+        ctx.fault_visit(FaultSite::ShuffleScatter)?;
+        // Per input partition, bucket locally (parallel), then concatenate by
+        // target — mimicking map-side shuffle files + reduce-side fetch.
+        let mut buckets: Vec<Vec<Vec<T>>> = parts
+            .into_iter()
+            .map(|part| {
+                let per_target = part.len() / partitions + 1;
+                let mut local: Vec<Vec<T>> = (0..partitions)
+                    .map(|_| Vec::with_capacity(per_target))
+                    .collect();
+                for t in part {
+                    let target = assign(&t).min(partitions - 1);
+                    local[target].push(t);
+                }
+                local
+            })
+            .collect();
+        if buckets.len() == 1 {
+            return Ok(buckets.pop().unwrap_or_default());
+        }
+        // Each target's total is known before any record moves: reserve once,
+        // append each source bucket without intermediate growth.
+        let mut totals = vec![0usize; partitions];
+        for local in &buckets {
+            for (target, bucket) in local.iter().enumerate() {
+                totals[target] += bucket.len();
             }
-            local
-        })
-        .collect();
-    if buckets.len() == 1 {
-        return buckets.pop().expect("one local bucket set");
-    }
-    // Each target's total is known before any record moves: reserve once,
-    // append each source bucket without intermediate growth.
-    let mut totals = vec![0usize; partitions];
-    for local in &buckets {
-        for (target, bucket) in local.iter().enumerate() {
-            totals[target] += bucket.len();
         }
-    }
-    let mut out: Vec<Vec<T>> = totals.iter().map(|&n| Vec::with_capacity(n)).collect();
-    for local in buckets {
-        for (target, mut bucket) in local.into_iter().enumerate() {
-            out[target].append(&mut bucket);
+        let mut out: Vec<Vec<T>> = totals.iter().map(|&n| Vec::with_capacity(n)).collect();
+        for local in buckets {
+            for (target, mut bucket) in local.into_iter().enumerate() {
+                out[target].append(&mut bucket);
+            }
         }
-    }
-    out
+        Ok(out)
+    })
 }
 
 impl<T: Data> Dataset<T> {
     /// Repartition by hash of a derived key; every record is shuffled.
-    pub fn repartition_by_hash<K: Key>(self, key: impl Fn(&T) -> K + Sync) -> Dataset<T> {
+    pub fn repartition_by_hash<K: Key>(
+        self,
+        key: impl Fn(&T) -> K + Sync,
+    ) -> ExecResult<Dataset<T>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         ctx.charge_shuffle(records);
-        let parts = scatter(self.parts, n, |t| hash_partition(&key(t), n));
-        Dataset { ctx, parts }
+        let parts = scatter(&ctx, self.parts, n, |t| hash_partition(&key(t), n))?;
+        Ok(Dataset { ctx, parts })
     }
 }
 
 impl<K: Key, V: Data> Dataset<(K, V)> {
     /// BigDansing-style grouping: hash-shuffle all records, group per
     /// partition.
-    pub fn group_by_key_hash(self) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key_hash(self) -> ExecResult<Dataset<(K, Vec<V>)>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
         let start = Instant::now();
         ctx.charge_shuffle(records);
 
-        let shuffled = scatter(self.parts, n, |(k, _)| hash_partition(k, n));
-        let (parts, busy) = run_partitions(&ctx, shuffled, |_, part| {
+        let shuffled = scatter(&ctx, self.parts, n, |(k, _)| hash_partition(k, n))?;
+        let (parts, busy) = run_partitions(&ctx, "group_by_key_hash", shuffled, |_, part| {
             let mut groups: HashMap<K, Vec<V>> = HashMap::new();
             for (k, v) in part {
                 groups.entry(k).or_default().push(v);
             }
             groups.into_iter().collect::<Vec<_>>()
-        });
+        })?;
         ctx.record_stage(StageReport {
             operator: "group_by_key_hash",
             records_in: records,
@@ -118,13 +133,13 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Spark SQL-style sort-based grouping: sample keys, range-partition,
     /// sort each partition, group adjacent equal keys. All records shuffle,
     /// and a popular key's records all land in one range partition.
-    pub fn group_by_key_sorted(self) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key_sorted(self) -> ExecResult<Dataset<(K, Vec<V>)>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
@@ -142,19 +157,22 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             .filter_map(|i| sample.get(i * sample.len() / n).cloned())
             .collect();
 
-        let shuffled = scatter(self.parts, n, |(k, _)| bounds.partition_point(|b| b <= k));
-        let (parts, busy) = run_partitions(&ctx, shuffled, |_, mut part| {
-            // External-sort stand-in: in-memory sort of the whole partition.
-            part.sort_by(|(a, _), (b, _)| a.cmp(b));
-            let mut out: Vec<(K, Vec<V>)> = Vec::new();
-            for (k, v) in part {
-                match out.last_mut() {
-                    Some((lk, vs)) if *lk == k => vs.push(v),
-                    _ => out.push((k, vec![v])),
+        let shuffled = scatter(&ctx, self.parts, n, |(k, _)| {
+            bounds.partition_point(|b| b <= k)
+        })?;
+        let (parts, busy) =
+            run_partitions(&ctx, "group_by_key_sorted", shuffled, |_, mut part| {
+                // External-sort stand-in: in-memory sort of the whole partition.
+                part.sort_by(|(a, _), (b, _)| a.cmp(b));
+                let mut out: Vec<(K, Vec<V>)> = Vec::new();
+                for (k, v) in part {
+                    match out.last_mut() {
+                        Some((lk, vs)) if *lk == k => vs.push(v),
+                        _ => out.push((k, vec![v])),
+                    }
                 }
-            }
-            out
-        });
+                out
+            })?;
         ctx.record_stage(StageReport {
             operator: "group_by_key_sorted",
             records_in: records,
@@ -162,7 +180,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// CleanDB-style grouping: aggregate locally per partition (`seq`), then
@@ -173,27 +191,28 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
         init: impl Fn() -> A + Sync,
         seq: impl Fn(&mut A, V) + Sync,
         comb: impl Fn(&mut A, A) + Sync,
-    ) -> Dataset<(K, A)> {
+    ) -> ExecResult<Dataset<(K, A)>> {
         let ctx = self.ctx;
         let n = ctx.default_partitions();
         let records: u64 = self.parts.iter().map(|p| p.len() as u64).sum();
 
         // Map-side combine.
         let start = Instant::now();
-        let (combined, mut busy) = run_partitions(&ctx, self.parts, |_, part| {
-            let mut local: HashMap<K, A> = HashMap::new();
-            for (k, v) in part {
-                seq(local.entry(k).or_insert_with(&init), v);
-            }
-            local.into_iter().collect::<Vec<(K, A)>>()
-        });
+        let (combined, mut busy) =
+            run_partitions(&ctx, "aggregate_by_key", self.parts, |_, part| {
+                let mut local: HashMap<K, A> = HashMap::new();
+                for (k, v) in part {
+                    seq(local.entry(k).or_insert_with(&init), v);
+                }
+                local.into_iter().collect::<Vec<(K, A)>>()
+            })?;
 
         // Only partials cross partitions.
         let partials: u64 = combined.iter().map(|p| p.len() as u64).sum();
         ctx.charge_shuffle(partials);
-        let shuffled = scatter(combined, n, |(k, _)| hash_partition(k, n));
+        let shuffled = scatter(&ctx, combined, n, |(k, _)| hash_partition(k, n))?;
 
-        let (parts, busy2) = run_partitions(&ctx, shuffled, |_, part| {
+        let (parts, busy2) = run_partitions(&ctx, "aggregate_by_key", shuffled, |_, part| {
             let mut merged: HashMap<K, A> = HashMap::new();
             for (k, a) in part {
                 match merged.entry(k) {
@@ -206,7 +225,7 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
                 }
             }
             merged.into_iter().collect::<Vec<_>>()
-        });
+        })?;
         for (b, b2) in busy.iter_mut().zip(busy2) {
             *b += b2;
         }
@@ -217,12 +236,12 @@ impl<K: Key, V: Data> Dataset<(K, V)> {
             worker_busy_ns: busy,
             wall_ns: start.elapsed().as_nanos() as u64,
         });
-        Dataset { ctx, parts }
+        Ok(Dataset { ctx, parts })
     }
 
     /// Convenience: group values into `Vec`s via [`Self::aggregate_by_key`]
     /// (CleanDB's default grouping for cleaning operators).
-    pub fn group_by_key_local(self) -> Dataset<(K, Vec<V>)> {
+    pub fn group_by_key_local(self) -> ExecResult<Dataset<(K, Vec<V>)>> {
         self.aggregate_by_key(
             Vec::new,
             |acc, v| acc.push(v),
@@ -266,15 +285,22 @@ mod tests {
             }
             m
         };
-        let hash = normalize(Dataset::from_vec(&c, pairs()).group_by_key_hash().collect());
+        let hash = normalize(
+            Dataset::from_vec(&c, pairs())
+                .group_by_key_hash()
+                .unwrap()
+                .collect(),
+        );
         let sorted = normalize(
             Dataset::from_vec(&c, pairs())
                 .group_by_key_sorted()
+                .unwrap()
                 .collect(),
         );
         let local = normalize(
             Dataset::from_vec(&c, pairs())
                 .group_by_key_local()
+                .unwrap()
                 .collect(),
         );
         assert_eq!(hash, expected);
@@ -291,12 +317,14 @@ mod tests {
         let c1 = ExecContext::new(4, 4);
         let _ = Dataset::from_vec(&c1, data.clone())
             .group_by_key_hash()
+            .unwrap()
             .collect();
         let hash_shuffled = c1.metrics().snapshot().records_shuffled;
 
         let c2 = ExecContext::new(4, 4);
         let _ = Dataset::from_vec(&c2, data)
             .aggregate_by_key(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect();
         let local_shuffled = c2.metrics().snapshot().records_shuffled;
 
@@ -310,6 +338,7 @@ mod tests {
         let data: Vec<(u32, u64)> = (1..=100).map(|i| (i % 3, i as u64)).collect();
         let sums: BTreeMap<u32, u64> = Dataset::from_vec(&c, data)
             .aggregate_by_key(|| 0u64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -325,7 +354,7 @@ mod tests {
         let data: Vec<(u32, u32)> = (0..1000)
             .map(|i| if i % 10 == 0 { (i, i) } else { (42, i) })
             .collect();
-        let grouped = Dataset::from_vec(&c, data).group_by_key_sorted();
+        let grouped = Dataset::from_vec(&c, data).group_by_key_sorted().unwrap();
         let heavy_part_size = grouped
             .parts
             .iter()
@@ -341,7 +370,9 @@ mod tests {
     #[test]
     fn repartition_by_hash_collocates_keys() {
         let c = ctx();
-        let ds = Dataset::from_vec(&c, pairs()).repartition_by_hash(|(k, _)| *k);
+        let ds = Dataset::from_vec(&c, pairs())
+            .repartition_by_hash(|(k, _)| *k)
+            .unwrap();
         // Every occurrence of a key is in exactly one partition.
         for key in 0..7u32 {
             let holding: Vec<usize> = ds
@@ -360,6 +391,6 @@ mod tests {
     fn grouping_empty_dataset() {
         let c = ctx();
         let ds: Dataset<(u32, u32)> = Dataset::from_vec(&c, vec![]);
-        assert!(ds.group_by_key_sorted().collect().is_empty());
+        assert!(ds.group_by_key_sorted().unwrap().collect().is_empty());
     }
 }

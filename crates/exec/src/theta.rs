@@ -43,7 +43,7 @@ pub fn cartesian_filter<T: Data, U: Data>(
     let broadcast: Arc<Vec<U>> = Arc::new(right.collect());
     ctx.charge_shuffle(rn * left.parts.len() as u64);
 
-    let (parts, busy) = run_partitions(&ctx, left.parts, |_, lp| {
+    let (parts, busy) = run_partitions(&ctx, "cartesian_filter", left.parts, |_, lp| {
         let mut out = Vec::new();
         for t in &lp {
             for u in broadcast.iter() {
@@ -53,7 +53,7 @@ pub fn cartesian_filter<T: Data, U: Data>(
             }
         }
         out
-    });
+    })?;
     ctx.record_stage(StageReport {
         operator: "cartesian_filter",
         records_in: ln + rn,
@@ -135,7 +135,7 @@ pub fn minmax_block_join<T: Data, U: Data>(
     let left = Arc::new(left.parts);
     let right = Arc::new(right.parts);
     let work: Vec<Vec<(usize, usize)>> = pairs.into_iter().map(|p| vec![p]).collect();
-    let (parts, busy) = run_partitions(&ctx, work, |_, assigned| {
+    let (parts, busy) = run_partitions(&ctx, "minmax_block_join", work, |_, assigned| {
         let mut out = Vec::new();
         for (i, j) in assigned {
             for t in &left[i] {
@@ -147,7 +147,7 @@ pub fn minmax_block_join<T: Data, U: Data>(
             }
         }
         out
-    });
+    })?;
     ctx.record_stage(StageReport {
         operator: "minmax_block_join",
         records_in: ln + rn,
@@ -302,7 +302,7 @@ pub fn mbucket_join_with_bounds<T: Data, U: Data>(
     // 5. Execute one region per worker.
     let l_buckets = Arc::new(l_buckets);
     let r_buckets = Arc::new(r_buckets);
-    let (parts, busy) = run_partitions(&ctx, region_cells, |_, assigned| {
+    let (parts, busy) = run_partitions(&ctx, "mbucket_join", region_cells, |_, assigned| {
         let mut out = Vec::new();
         for cell in assigned {
             for t in &l_buckets[cell.l_bucket] {
@@ -314,7 +314,7 @@ pub fn mbucket_join_with_bounds<T: Data, U: Data>(
             }
         }
         out
-    });
+    })?;
     ctx.record_stage(StageReport {
         operator: "mbucket_join",
         records_in: ln + rn,

@@ -41,9 +41,9 @@ proptest! {
     fn grouping_strategies_agree(pairs in proptest::collection::vec((any::<u8>(), any::<i32>()), 0..200)) {
         let expected = group_reference(&pairs);
         let c = ctx();
-        let hash = normalize(Dataset::from_vec(&c, pairs.clone()).group_by_key_hash().collect());
-        let sorted = normalize(Dataset::from_vec(&c, pairs.clone()).group_by_key_sorted().collect());
-        let local = normalize(Dataset::from_vec(&c, pairs.clone()).group_by_key_local().collect());
+        let hash = normalize(Dataset::from_vec(&c, pairs.clone()).group_by_key_hash().unwrap().collect());
+        let sorted = normalize(Dataset::from_vec(&c, pairs.clone()).group_by_key_sorted().unwrap().collect());
+        let local = normalize(Dataset::from_vec(&c, pairs.clone()).group_by_key_local().unwrap().collect());
         prop_assert_eq!(&hash, &expected);
         prop_assert_eq!(&sorted, &expected);
         prop_assert_eq!(&local, &expected);
@@ -62,6 +62,7 @@ proptest! {
             let c = ExecContext::new(4, 5);
             let mut parts: Vec<Vec<(u64, i32)>> = Dataset::from_vec(&c, pairs)
                 .repartition_by_hash(|(k, _)| *k)
+                .unwrap()
                 .collect_partitions();
             for p in &mut parts {
                 p.sort_unstable();
@@ -80,12 +81,15 @@ proptest! {
         let c = ctx();
         let folded: BTreeMap<u8, i64> = Dataset::from_vec(&c, pairs.clone())
             .aggregate_by_key_fold(|| 0i64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
         let materialized: BTreeMap<u8, i64> = Dataset::from_vec(&c, pairs)
             .group_by_key_local()
+            .unwrap()
             .map(|(k, vs)| (k, vs.iter().sum::<i64>()))
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -103,6 +107,7 @@ proptest! {
         let c = ctx();
         let got: BTreeMap<u8, i64> = Dataset::from_vec(&c, pairs)
             .aggregate_by_key(|| 0i64, |a, v| *a += v, |a, b| *a += b)
+            .unwrap()
             .collect()
             .into_iter()
             .collect();
@@ -127,6 +132,7 @@ proptest! {
         let c = ctx();
         let mut got = Dataset::from_vec(&c, left)
             .join_hash(Dataset::from_vec(&c, right))
+            .unwrap()
             .collect();
         got.sort_unstable();
         prop_assert_eq!(got, expected);
@@ -142,7 +148,7 @@ proptest! {
         let c = ctx();
         let l: Vec<(u8, u8)> = left.iter().map(|&k| (k, k)).collect();
         let r: Vec<(u8, u8)> = right.iter().map(|&k| (k, k)).collect();
-        let out = Dataset::from_vec(&c, l).full_outer_join(Dataset::from_vec(&c, r)).collect();
+        let out = Dataset::from_vec(&c, l).full_outer_join(Dataset::from_vec(&c, r)).unwrap().collect();
         let out_keys: BTreeSet<u8> = out.iter().map(|(k, _, _)| *k).collect();
         let expected: BTreeSet<u8> = left.iter().chain(right.iter()).copied().collect();
         prop_assert_eq!(out_keys, expected);
@@ -212,8 +218,11 @@ proptest! {
         expected.sort_unstable();
         let mut got = Dataset::from_vec(&c, data)
             .map(|x| x as i64)
+            .unwrap()
             .filter(|x| x % 3 != 0)
+            .unwrap()
             .flat_map(|x| vec![x, -x])
+            .unwrap()
             .collect();
         got.sort_unstable();
         prop_assert_eq!(got, expected);

@@ -245,57 +245,71 @@ impl IncrementalSession {
         let eval_ctx = Arc::clone(entry.eval_ctx());
         let comparisons_before = eval_ctx.comparisons();
 
-        let q = &mut self.queries[id.0];
-        let mut ops = Vec::with_capacity(q.ops.len());
+        let ctx = Arc::clone(self.db.context());
+        let mut ops = Vec::new();
         let (mut incremental_ops, mut fallback_ops) = (0usize, 0usize);
-        let mut absorb_error = false;
-        for op in &mut q.ops {
-            let op_start = Instant::now();
-            let output = if op.state.is_fallback() {
-                fallback_ops += 1;
-                full_report
-                    .as_ref()
-                    .and_then(|r| r.op_output(&op.label))
-                    .map(|o| o.to_vec())
-                    .unwrap_or_default()
-            } else {
-                incremental_ops += 1;
-                if op
-                    .state
-                    .absorb_deltas(&op.tables, &deltas, &eval_ctx)
-                    .is_err()
-                {
-                    // A delta row failed to evaluate. Earlier ops may have
-                    // absorbed this delta already, so retained state is no
-                    // longer trustworthy: rebuild from a full run, which
-                    // reports the same evaluation error the batch engine
-                    // would (or succeeds if only our state was stale).
-                    absorb_error = true;
-                    break;
+        // Delta absorption runs under panic isolation with a deterministic
+        // fault-injection point: a panic or injected fault mid-absorb —
+        // like a delta row that fails to evaluate — leaves retained state
+        // half-updated, so all three recover the same way below: poison
+        // the standing state and rebuild from a full run.
+        let absorbed = {
+            let q = &mut self.queries[id.0];
+            ops.reserve(q.ops.len());
+            ctx.catch_driver("incremental refresh", || {
+                ctx.fault_visit(cleanm_exec::FaultSite::IncrRefresh)?;
+                for op in &mut q.ops {
+                    let op_start = Instant::now();
+                    let output = if op.state.is_fallback() {
+                        fallback_ops += 1;
+                        full_report
+                            .as_ref()
+                            .and_then(|r| r.op_output(&op.label))
+                            .map(|o| o.to_vec())
+                            .unwrap_or_default()
+                    } else {
+                        incremental_ops += 1;
+                        if op
+                            .state
+                            .absorb_deltas(&op.tables, &deltas, &eval_ctx)
+                            .is_err()
+                        {
+                            // A delta row failed to evaluate. Earlier ops
+                            // may have absorbed this delta already, so
+                            // retained state is no longer trustworthy:
+                            // rebuild from a full run, which reports the
+                            // same evaluation error the batch engine would
+                            // (or succeeds if only our state was stale).
+                            return Err(cleanm_exec::ExecError::Other(
+                                "delta row failed to evaluate".into(),
+                            ));
+                        }
+                        op.state.output()
+                    };
+                    ops.push(cleanm_core::engine::OpResult {
+                        label: op.label.clone(),
+                        kind: op.kind,
+                        output,
+                        duration: op_start.elapsed(),
+                    });
                 }
-                op.state.output()
-            };
-            ops.push(cleanm_core::engine::OpResult {
-                label: op.label.clone(),
-                kind: op.kind,
-                output,
-                duration: op_start.elapsed(),
-            });
-        }
-        if absorb_error {
+                Ok(())
+            })
+        };
+        if let Err(e) = absorbed {
             // Poison the standing state first: even if the rebuild's full
             // run errors, the next refresh reinstalls instead of absorbing
             // the same delta into half-updated state again.
             tracer.event(
                 "refresh_fallback",
-                "delta row failed to evaluate; retained state untrustworthy; rebuilding",
+                format!("{e}; retained state untrustworthy; rebuilding"),
             );
             self.queries[id.0].entry = None;
             let report = self.reinstall(id)?;
             self.db.record_refresh_latency(report.total);
             return Ok(report);
         }
-        q.cursors = new_cursors;
+        self.queries[id.0].cursors = new_cursors;
 
         self.db
             .context()
@@ -337,6 +351,9 @@ impl IncrementalSession {
             // refresh cost shows up in the registry's refresh latencies
             // and in the tracer's `refresh` span instead.
             profiles: Vec::new(),
+            // Refresh failures either fall back to a full run (above) or
+            // propagate as `Err`; a refresh report is always a success.
+            failure: None,
         };
         self.db.record_refresh_latency(report.total);
         Ok(report)

@@ -1,0 +1,160 @@
+//! Chaos coverage for the incremental refresh path: a fault (panic or
+//! injected error) mid-delta-absorption must never corrupt standing state.
+//! The refresh falls back to a full rebuild — counted in
+//! `CleaningReport::incremental.fallback_ops` — and subsequent refreshes
+//! agree with a from-scratch batch run. Seeded plans behave identically
+//! across fresh sessions.
+
+use std::sync::Arc;
+
+use cleanm_core::engine::CleaningReport;
+use cleanm_core::{CleanDb, EngineProfile};
+use cleanm_exec::{FaultKind, FaultPlan, FaultSite};
+use cleanm_incr::IncrementalSession;
+use cleanm_values::{DataType, Row, Schema, Table, Value};
+
+const NAMES: [&str; 6] = ["anderson", "andersen", "zhang", "zheng", "miller", "mellor"];
+const ADDRS: [&str; 4] = ["a st", "b st", "c st", "d st"];
+const SQL: &str = "SELECT * FROM customer c FD(c.address, c.nationkey)";
+
+fn schema() -> Schema {
+    Schema::of([
+        ("name", DataType::Str),
+        ("address", DataType::Str),
+        ("nationkey", DataType::Int),
+    ])
+}
+
+fn rows(range: std::ops::Range<usize>) -> Table {
+    Table::new(
+        schema(),
+        range
+            .map(|i| {
+                Row::new(vec![
+                    Value::str(NAMES[i % NAMES.len()]),
+                    Value::str(ADDRS[i % ADDRS.len()]),
+                    Value::Int((i % 5) as i64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn standing_session() -> (IncrementalSession, cleanm_incr::QueryId) {
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", rows(0..24));
+    let mut sess = IncrementalSession::new(db);
+    let (id, _) = sess.install(SQL).unwrap();
+    (sess, id)
+}
+
+/// What a refresh must get right regardless of how it got there: the
+/// violating ids and each op's output as a sorted multiset.
+fn fingerprint(r: &CleaningReport) -> (Vec<i64>, Vec<(String, Vec<String>)>) {
+    (
+        r.violating_ids.clone(),
+        r.ops
+            .iter()
+            .map(|o| {
+                let mut out: Vec<String> = o.output.iter().map(|v| format!("{v:?}")).collect();
+                out.sort_unstable();
+                (o.label.clone(), out)
+            })
+            .collect(),
+    )
+}
+
+/// The ground truth: a fresh batch run over the concatenated data.
+fn batch_fingerprint(n: usize) -> (Vec<i64>, Vec<(String, Vec<String>)>) {
+    let mut db = CleanDb::new(EngineProfile::clean_db());
+    db.register("customer", rows(0..n));
+    fingerprint(&db.run(SQL).unwrap())
+}
+
+#[test]
+fn faulted_refresh_falls_back_without_corrupting_state() {
+    for kind in [FaultKind::Panic, FaultKind::Error] {
+        let (mut sess, id) = standing_session();
+        sess.append("customer", rows(24..32)).unwrap();
+        // Arm the refresh site: the first delta absorption fails mid-way.
+        sess.db()
+            .context()
+            .set_fault_plan(Some(Arc::new(FaultPlan::new().arm(
+                FaultSite::IncrRefresh,
+                0,
+                kind,
+                u32::MAX,
+            ))));
+        let report = sess.refresh(id).unwrap();
+        // The refresh survived as a full rebuild: every op is a fallback,
+        // none ran from (possibly half-updated) retained state.
+        let info = report
+            .incremental
+            .as_ref()
+            .expect("refresh reports incremental info");
+        assert_eq!(info.incremental_ops, 0, "{kind:?}: state was reused");
+        assert_eq!(info.fallback_ops, report.ops.len());
+        assert_eq!(fingerprint(&report), batch_fingerprint(32), "{kind:?}");
+        // Disarm: the rebuilt standing state absorbs the next delta
+        // incrementally and still agrees with the batch run.
+        sess.db().context().set_fault_plan(None);
+        sess.append("customer", rows(32..40)).unwrap();
+        let next = sess.refresh(id).unwrap();
+        let info = next.incremental.as_ref().expect("incremental info");
+        assert!(
+            info.incremental_ops > 0,
+            "{kind:?}: rebuild did not restore state"
+        );
+        assert_eq!(fingerprint(&next), batch_fingerprint(40), "{kind:?}");
+    }
+}
+
+#[test]
+fn transient_refresh_fault_only_costs_one_rebuild() {
+    let (mut sess, id) = standing_session();
+    sess.append("customer", rows(24..30)).unwrap();
+    // The arm fires once; the fallback's own run and later refreshes pass.
+    sess.db()
+        .context()
+        .set_fault_plan(Some(Arc::new(FaultPlan::new().arm(
+            FaultSite::IncrRefresh,
+            0,
+            FaultKind::Error,
+            1,
+        ))));
+    let report = sess.refresh(id).unwrap();
+    assert_eq!(report.incremental.as_ref().unwrap().incremental_ops, 0);
+    assert_eq!(fingerprint(&report), batch_fingerprint(30));
+    sess.append("customer", rows(30..36)).unwrap();
+    let next = sess.refresh(id).unwrap();
+    assert!(next.incremental.as_ref().unwrap().incremental_ops > 0);
+    assert_eq!(fingerprint(&next), batch_fingerprint(36));
+}
+
+#[test]
+fn seeded_refresh_chaos_is_deterministic() {
+    let outcome = |seed: u64| {
+        let (mut sess, id) = standing_session();
+        sess.append("customer", rows(24..32)).unwrap();
+        sess.db()
+            .context()
+            .set_fault_plan(Some(Arc::new(FaultPlan::seeded(
+                seed,
+                &[FaultSite::IncrRefresh],
+                2,
+            ))));
+        let report = sess.refresh(id).unwrap();
+        let info = report.incremental.clone().unwrap();
+        (
+            info.incremental_ops,
+            info.fallback_ops,
+            fingerprint(&report),
+        )
+    };
+    for seed in 0..6u64 {
+        let (a, b) = (outcome(seed), outcome(seed));
+        // Whatever path the seed picked, the answer matches the batch run.
+        assert_eq!(a.2, batch_fingerprint(32), "seed {seed}");
+        assert_eq!(a, b, "seed {seed} diverged");
+    }
+}

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use cleanm_exec::ExecContext;
+use cleanm_exec::{ExecContext, ExecResult};
 use cleanm_values::Value;
 
 use crate::column::ColumnStats;
@@ -117,14 +117,14 @@ pub fn collect_table_stats(
     ctx: &Arc<ExecContext>,
     rows: Arc<Vec<Value>>,
     config: StatsConfig,
-) -> TableStats {
+) -> ExecResult<TableStats> {
     let partials =
-        cleanm_exec::summarize_rows(ctx, &rows, move |part| TableStats::of_rows(part, config));
-    cleanm_exec::merge_tree(ctx, partials, |mut a, b| {
+        cleanm_exec::summarize_rows(ctx, &rows, move |part| TableStats::of_rows(part, config))?;
+    Ok(cleanm_exec::merge_tree(ctx, partials, |mut a, b| {
         a.merge(&b);
         a
-    })
-    .unwrap_or_else(|| TableStats::new(config))
+    })?
+    .unwrap_or_else(|| TableStats::new(config)))
 }
 
 /// [`collect_table_stats`] over a table stored as **append batches**: one
@@ -138,15 +138,15 @@ pub fn collect_batch_stats(
     ctx: &Arc<ExecContext>,
     batches: &[Arc<Vec<Value>>],
     config: StatsConfig,
-) -> TableStats {
+) -> ExecResult<TableStats> {
     let refs: Vec<&[Value]> = batches.iter().map(|b| b.as_slice()).collect();
     let partials =
-        cleanm_exec::summarize_batches(ctx, &refs, move |part| TableStats::of_rows(part, config));
-    cleanm_exec::merge_tree(ctx, partials, |mut a, b| {
+        cleanm_exec::summarize_batches(ctx, &refs, move |part| TableStats::of_rows(part, config))?;
+    Ok(cleanm_exec::merge_tree(ctx, partials, |mut a, b| {
         a.merge(&b);
         a
-    })
-    .unwrap_or_else(|| TableStats::new(config))
+    })?
+    .unwrap_or_else(|| TableStats::new(config)))
 }
 
 #[cfg(test)]
@@ -190,7 +190,8 @@ mod tests {
             .map(|i| row(i, if i % 3 == 0 { "x" } else { "y" }, i % 17))
             .collect();
         let ctx = ExecContext::new(4, 8);
-        let stats = collect_table_stats(&ctx, Arc::new(rows.clone()), StatsConfig::default());
+        let stats =
+            collect_table_stats(&ctx, Arc::new(rows.clone()), StatsConfig::default()).unwrap();
         let reference = TableStats::of_rows(&rows, StatsConfig::default());
         assert_eq!(stats.rows(), reference.rows());
         assert_eq!(
